@@ -1,0 +1,86 @@
+"""E6 — §3.5: BLMT commit throughput vs open table formats.
+
+Open table formats commit by atomically swapping a metadata pointer in the
+object store, which allows only a handful of mutations per second per
+object; BLMT commits are appends to Big Metadata's in-memory log tail. The
+bench measures sustained commits/second of simulated time for both, plus
+the read-side ablation (tail + columnar baseline vs log-replay reads).
+"""
+
+from repro import DataType, Schema, batch_from_pydict
+from repro.bench import format_table
+from repro.security.iam import Role
+from repro.tableformats import DataFileInfo, IcebergTable
+
+from tests.helpers import make_platform
+
+SCHEMA = Schema.of(("k", DataType.INT64), ("v", DataType.FLOAT64))
+COMMITS = 24
+
+
+def _setup():
+    platform, admin = make_platform()
+    platform.catalog.create_dataset("ds")
+    store = platform.stores.store_for("gcp/us-central1")
+    store.create_bucket("cust")
+    conn = platform.connections.create_connection("us.cust")
+    platform.connections.grant_lake_access(conn, "cust", writable=True)
+    platform.iam.grant("connections/us.cust", Role.CONNECTION_USER, admin)
+    blmt = platform.tables.create_blmt(admin, "ds", "t", SCHEMA, "cust", "t", "us.cust")
+    return platform, admin, store, blmt
+
+
+def _batch(i):
+    return batch_from_pydict(SCHEMA, {"k": [i], "v": [float(i)]})
+
+
+def test_e6_commit_throughput(benchmark):
+    platform, admin, store, blmt = _setup()
+
+    def blmt_commits():
+        t0 = platform.ctx.clock.now_ms
+        for i in range(COMMITS):
+            platform.tables.blmt.insert(blmt, [_batch(i)])
+        return (platform.ctx.clock.now_ms - t0) / 1000.0
+
+    blmt_seconds = benchmark.pedantic(blmt_commits, rounds=1, iterations=1)
+
+    iceberg = IcebergTable.create(store, "cust", "iceberg/t", SCHEMA, [])
+    t0 = platform.ctx.clock.now_ms
+    for i in range(COMMITS):
+        iceberg.commit_append(
+            [DataFileInfo(path=f"cust/ice/{i}.pqs", file_size=100, record_count=1)]
+        )
+    iceberg_seconds = (platform.ctx.clock.now_ms - t0) / 1000.0
+
+    blmt_rate = COMMITS / max(blmt_seconds, 1e-9)
+    iceberg_rate = COMMITS / max(iceberg_seconds, 1e-9)
+    print(
+        format_table(
+            f"E6 — {COMMITS} single-row commits",
+            ["format", "seconds (sim)", "commits/s", "advantage"],
+            [
+                ("iceberg-like (object-store CAS)", iceberg_seconds, iceberg_rate, "1.0x"),
+                ("BLMT (Big Metadata log)", blmt_seconds, blmt_rate,
+                 f"{blmt_rate / iceberg_rate:.0f}x"),
+            ],
+        )
+    )
+    # Paper shape: the open format is pinned near the per-object CAS
+    # budget; BLMT commits orders of magnitude faster.
+    assert iceberg_rate <= platform.ctx.costs.cas_mutations_per_sec * 1.5
+    assert blmt_rate >= iceberg_rate * 10
+
+    # Read-side ablation: reads stay fast because the tail is folded into
+    # columnar baselines; snapshot cost must not grow with history length.
+    platform.bigmeta.compact_baseline(blmt.table_id)
+    t0 = platform.ctx.clock.now_ms
+    entries = platform.bigmeta.snapshot(blmt.table_id)
+    compacted_read_ms = platform.ctx.clock.now_ms - t0
+    assert len(entries) == COMMITS
+    meta = platform.bigmeta.table(blmt.table_id)
+    print(
+        f"\nE6 read ablation: snapshot after compaction {compacted_read_ms:.1f}ms "
+        f"(tail {len(meta.tail)} records, baseline {len(meta.baseline)} files)"
+    )
+    assert len(meta.tail) == 0

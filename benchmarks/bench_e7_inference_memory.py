@@ -1,0 +1,101 @@
+"""E7 — §4.2.1 / Fig. 7: distributed preprocessing bounds worker memory.
+
+Scheduling preprocessing and inference on different workers means the raw
+image and the model are never resident together; the workers exchange
+small tensors instead. The bench sweeps model size and reports the peak
+per-worker memory of the colocated vs split plans — the split plan's peak
+stays below the worker budget long after the colocated plan OOMs.
+"""
+
+from repro.bench import format_table
+from repro.ml.models import serialize_model
+from repro.security.iam import Role
+from repro.workloads.objects_corpus import build_image_corpus, train_classifier_for_corpus
+
+from tests.helpers import make_platform
+
+MIB = 1024 * 1024
+
+
+def _setup():
+    platform, admin = make_platform()
+    store = platform.stores.store_for("gcp/us-central1")
+    corpus = build_image_corpus(store, "media", count=30)
+    conn = platform.connections.create_connection("us.media")
+    platform.connections.grant_lake_access(conn, "media")
+    platform.iam.grant("connections/us.media", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("dataset1")
+    platform.tables.create_object_table(
+        admin, "dataset1", "files", "media", "images", "us.media"
+    )
+    return platform, admin, corpus
+
+
+QUERY = (
+    "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.m, "
+    "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))"
+)
+
+
+def _run(platform, admin, model_bytes, split: bool):
+    """(completed, peak_worker_bytes, exchange_bytes) for one plan mode."""
+    platform.ml.import_model("dataset1.m", model_bytes)
+    platform.ml.split_preprocess = split
+    stats_before_peak = platform.ml.stats.peak_worker_memory_bytes
+    platform.ml.stats.peak_worker_memory_bytes = 0
+    try:
+        platform.home_engine.query(QUERY, admin)
+        completed = True
+    except Exception:
+        completed = False
+    peak = platform.ml.stats.peak_worker_memory_bytes
+    platform.ml.stats.peak_worker_memory_bytes = max(stats_before_peak, peak)
+    return completed, peak
+
+
+def test_e7_split_vs_colocated_inference(benchmark):
+    platform, admin, corpus = _setup()
+    base_model = train_classifier_for_corpus()
+    worker_budget = platform.ml.profile.memory_bytes
+
+    rows = []
+    crossover_colocated = None
+    # Sweep up to the split plan's own ceiling (model + sandbox + tensor
+    # batch must still fit one worker); colocated OOMs much earlier.
+    for declared_mib in (16, 64, 128, 160, 200):
+        model_bytes = serialize_model(base_model, declared_size_bytes=declared_mib * MIB)
+        colocated_ok, colocated_peak = _run(platform, admin, model_bytes, split=False)
+        split_ok, split_peak = _run(platform, admin, model_bytes, split=True)
+        rows.append(
+            (
+                f"{declared_mib} MiB",
+                f"{colocated_peak / MIB:.0f} MiB" + ("" if colocated_ok else "  OOM"),
+                f"{split_peak / MIB:.0f} MiB" + ("" if split_ok else "  OOM"),
+            )
+        )
+        if not colocated_ok and crossover_colocated is None:
+            crossover_colocated = declared_mib
+        assert split_ok, f"split plan must fit at {declared_mib} MiB"
+    print(
+        format_table(
+            f"E7 — peak worker memory (budget {worker_budget // MIB} MiB)",
+            ["model size", "colocated plan", "split plan (Fig. 7)"],
+            rows,
+        )
+    )
+    assert crossover_colocated is not None, "colocated plan never OOMed in sweep"
+    print(
+        f"\nE7: colocated plan OOMs from {crossover_colocated} MiB models; "
+        f"split plan survives the whole sweep. Exchange overhead "
+        f"{platform.ml.stats.exchange_bytes / MIB:.2f} MiB of tensors, "
+        f"{platform.ml.stats.exchange_ms:.1f}ms."
+    )
+
+    # Throughput of the split plan under the benchmark timer.
+    model_bytes = serialize_model(base_model, declared_size_bytes=64 * MIB)
+    platform.ml.import_model("dataset1.m", model_bytes)
+    platform.ml.split_preprocess = True
+    result = benchmark.pedantic(
+        lambda: platform.home_engine.query(QUERY, admin), rounds=1, iterations=1
+    )
+    assert result.num_rows == len(corpus)

@@ -1,0 +1,103 @@
+"""E8 — §4.2: in-engine vs external inference trade-offs.
+
+The paper's framing: in-engine inference rides Dremel's fast transparent
+autoscaling but is capped at 2 GB models; external inference has no size
+cap and specialized capacity, but autoscaling is less agile and every call
+pays a communication cost. The bench measures a bursty workload on both
+paths and the model-size boundary between them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.errors import ModelTooLargeError
+from repro.ml.models import IN_ENGINE_MODEL_LIMIT_BYTES, serialize_model
+from repro.ml.remote import VertexEndpoint
+from repro.security.iam import Role
+from repro.workloads.objects_corpus import build_image_corpus, train_classifier_for_corpus
+
+from tests.helpers import make_platform
+
+BURST_IMAGES = 120
+
+
+def _setup():
+    platform, admin = make_platform()
+    store = platform.stores.store_for("gcp/us-central1")
+    corpus = build_image_corpus(store, "media", count=BURST_IMAGES)
+    conn = platform.connections.create_connection("us.media")
+    platform.connections.grant_lake_access(conn, "media")
+    platform.iam.grant("connections/us.media", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("dataset1")
+    platform.tables.create_object_table(
+        admin, "dataset1", "files", "media", "images", "us.media"
+    )
+    model = train_classifier_for_corpus()
+    platform.ml.import_model("dataset1.local", serialize_model(model))
+    endpoint = VertexEndpoint(
+        model, platform.ctx, per_replica_qps=40.0, min_replicas=1, max_replicas=4
+    )
+    platform.ml.create_remote_vertex_model("dataset1.remote", "us.media", endpoint)
+    return platform, admin, corpus, endpoint, model
+
+
+def _burst(platform, admin, model_name):
+    sql = (
+        f"SELECT predicted_label FROM ML.PREDICT(MODEL {model_name}, "
+        "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))"
+    )
+    t0 = platform.ctx.clock.now_ms
+    result = platform.home_engine.query(sql, admin)
+    return result, platform.ctx.clock.now_ms - t0
+
+
+def test_e8_in_engine_vs_external(benchmark):
+    platform, admin, corpus, endpoint, model = _setup()
+
+    local_result, local_ms = benchmark.pedantic(
+        lambda: _burst(platform, admin, "dataset1.local"), rounds=1, iterations=1
+    )
+    remote_result, remote_ms = _burst(platform, admin, "dataset1.remote")
+    assert local_result.num_rows == remote_result.num_rows == BURST_IMAGES
+
+    print(
+        format_table(
+            f"E8 — burst of {BURST_IMAGES} images",
+            ["path", "simulated ms", "remote calls", "scale-ups", "queued ms"],
+            [
+                ("in-engine (Dremel workers)", local_ms, 0, 0, 0.0),
+                (
+                    "external (Vertex endpoint)", remote_ms,
+                    endpoint.stats.calls, endpoint.stats.scale_ups,
+                    endpoint.stats.queued_ms_total,
+                ),
+            ],
+        )
+    )
+    # Paper shape: for a bursty workload that fits in-engine, Dremel's
+    # elastic workers absorb it faster than the endpoint can scale.
+    assert local_ms < remote_ms
+    assert endpoint.stats.calls > 0
+
+    # The 2 GB boundary: past it, in-engine loading fails and the remote
+    # path is the only option (§4.2.1).
+    big = serialize_model(model, declared_size_bytes=IN_ENGINE_MODEL_LIMIT_BYTES + 1)
+    platform.ml.import_model("dataset1.big", big)
+    with pytest.raises(ModelTooLargeError):
+        _burst(platform, admin, "dataset1.big")
+    big_endpoint = VertexEndpoint(model, platform.ctx)
+    platform.ml.create_remote_vertex_model("dataset1.bigremote", "us.media", big_endpoint)
+    result, _ = _burst(platform, admin, "dataset1.bigremote")
+    assert result.num_rows == BURST_IMAGES
+    print(
+        "\nE8: models over the in-engine limit "
+        f"({IN_ENGINE_MODEL_LIMIT_BYTES // 1024**3} GB) fail to load in Dremel "
+        "workers and serve successfully from the remote endpoint."
+    )
+
+    # Communication-cost accounting: external inference ships tensors.
+    tensors = np.zeros((32, 16, 16, 3), dtype=np.float32)
+    calls_before = endpoint.stats.calls
+    endpoint.predict(tensors)
+    assert endpoint.stats.calls == calls_before + 1

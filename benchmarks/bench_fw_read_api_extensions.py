@@ -1,0 +1,165 @@
+"""Future-work ablations — the §3.4 roadmap items, implemented & measured.
+
+The paper closes §3.4 with three planned optimizations; this repo builds
+all three and this bench quantifies each:
+
+1. **ReadRows payload efficiency** — dictionary/RLE encoding of the wire
+   payload cuts bytes shipped (and TLS-decrypt cost) vs plain Arrow-like
+   batches.
+2. **Read-session reuse** — re-created sessions (as dynamic partition
+   pruning produces) skip the expensive enumerate/prune step.
+3. **Aggregate pushdown** — MIN/MAX/SUM/COUNT computed server-side by
+   Superluminal, returning one tiny row per stream.
+"""
+
+from repro.bench import format_table
+from tests.helpers import make_platform, setup_sales_lake
+
+
+def _setup():
+    platform, admin = make_platform()
+    table, _ = setup_sales_lake(platform, admin, files=8, rows_per_file=3000)
+    platform.read_api.create_read_session(admin, table)  # prime cache
+    return platform, admin, table
+
+
+def _drain(platform, admin, table, **kwargs):
+    session = platform.read_api.create_read_session(admin, table, **kwargs)
+    t0 = platform.ctx.clock.now_ms
+    rows = 0
+    for i in range(len(session.streams)):
+        for batch in platform.read_api.read_rows(session, i):
+            rows += batch.num_rows
+    return session, rows, platform.ctx.clock.now_ms - t0
+
+
+def _setup_dictionary_heavy():
+    """An event-log-shaped table: mostly low-cardinality strings and a
+    sorted key — the payload mix dictionary/RLE wire encoding targets."""
+    from repro import DataType, Role, Schema, batch_from_pydict
+    from repro.metastore.catalog import MetadataCacheMode
+    from repro.storageapi.fileutil import write_data_file
+
+    platform, admin = make_platform()
+    store = platform.stores.store_for("gcp/us-central1")
+    store.create_bucket("events")
+    conn = platform.connections.create_connection("us.events")
+    platform.connections.grant_lake_access(conn, "events")
+    platform.iam.grant("connections/us.events", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("logs")
+    schema = Schema.of(
+        ("ts", DataType.INT64),
+        ("service", DataType.STRING),
+        ("severity", DataType.STRING),
+        ("country", DataType.STRING),
+        ("status_code", DataType.INT64),
+    )
+    n = 20_000
+    batch = batch_from_pydict(schema, {
+        "ts": list(range(n)),
+        "service": [f"svc-{i % 6}" for i in range(n)],
+        "severity": [("INFO", "WARN", "ERROR")[i % 7 % 3] for i in range(n)],
+        "country": [("us", "de", "jp", "br")[i % 11 % 4] for i in range(n)],
+        "status_code": sorted((200, 200, 200, 404, 500)[i % 5] for i in range(n)),
+    })
+    write_data_file(store, "events", "events/part-0.pqs", schema, [batch])
+    table = platform.tables.create_biglake_table(
+        admin, "logs", "events", schema, "events", "events", "us.events",
+        cache_mode=MetadataCacheMode.AUTOMATIC,
+    )
+    platform.read_api.create_read_session(admin, table)  # prime cache
+    return platform, admin, table
+
+
+def test_fw_wire_encoding(benchmark):
+    platform, admin, table = _setup_dictionary_heavy()
+    plain, _, plain_ms = _drain(platform, admin, table, wire_format="arrow")
+    encoded, _, encoded_ms = benchmark.pedantic(
+        lambda: _drain(platform, admin, table, wire_format="encoded"),
+        rounds=1, iterations=1,
+    )
+    reduction = 1 - encoded.stats.wire_bytes_encoded / plain.stats.wire_bytes_plain
+    print(
+        format_table(
+            "FW1 — ReadRows payload: plain Arrow vs dictionary/RLE wire",
+            ["format", "wire bytes", "read ms (sim)", "payload reduction"],
+            [
+                ("plain", plain.stats.wire_bytes_plain, plain_ms, "-"),
+                ("dict/RLE", encoded.stats.wire_bytes_encoded, encoded_ms,
+                 f"{reduction:.1%}"),
+            ],
+        )
+    )
+    assert reduction >= 0.3
+    assert encoded_ms < plain_ms
+
+
+def test_fw_session_reuse(benchmark):
+    platform, admin, table = _setup()
+
+    def create(reuse):
+        t0 = platform.ctx.clock.now_ms
+        session = platform.read_api.create_read_session(
+            admin, table, row_restriction="year = 2023", reuse=reuse
+        )
+        return session, platform.ctx.clock.now_ms - t0
+
+    _, cold_ms = create(reuse=True)  # populates the cache
+    (warm, warm_ms) = benchmark.pedantic(
+        lambda: create(reuse=True), rounds=1, iterations=1
+    )
+    _, nocache_ms = create(reuse=False)
+    print(
+        format_table(
+            "FW2 — CreateReadSession cost (file enumeration + pruning)",
+            ["path", "ms (sim)"],
+            [
+                ("cold (populates cache)", cold_ms),
+                ("reused session", warm_ms),
+                ("reuse disabled", nocache_ms),
+            ],
+        )
+    )
+    assert warm.stats.served_from_session_cache
+    assert warm_ms < nocache_ms
+
+
+def test_fw_aggregate_pushdown(benchmark):
+    platform, admin, table = _setup()
+    sql = "SELECT COUNT(*), SUM(amount), MIN(order_id), MAX(order_id) FROM ds.sales"
+
+    pushed = benchmark.pedantic(
+        lambda: platform.home_engine.query(sql, admin), rounds=1, iterations=1
+    )
+    platform.home_engine.enable_aggregate_pushdown = False
+    try:
+        plain = platform.home_engine.query(sql, admin)
+    finally:
+        platform.home_engine.enable_aggregate_pushdown = True
+    assert pushed.rows() == plain.rows()
+
+    # Payload shrinkage: rows crossing the API boundary.
+    pushed_session, pushed_rows, _ = _drain(
+        platform, admin, table,
+        columns=["amount"],
+        aggregates=[("SUM", "amount", "sum_amount")],
+        wire_format="arrow",
+    )
+    plain_session, plain_rows, _ = _drain(
+        platform, admin, table, columns=["amount"], wire_format="arrow"
+    )
+    print(
+        format_table(
+            "FW3 — aggregate pushdown: payload across the Read API",
+            ["path", "rows returned", "wire bytes"],
+            [
+                ("full scan to client", plain_rows, plain_session.stats.wire_bytes_plain),
+                ("partial aggregates", pushed_rows, pushed_session.stats.wire_bytes_plain),
+            ],
+        )
+    )
+    assert pushed_rows <= len(pushed_session.streams)
+    assert (
+        pushed_session.stats.wire_bytes_plain
+        < plain_session.stats.wire_bytes_plain / 100
+    )

@@ -1,0 +1,13 @@
+"""Benchmark-suite conftest: make the repo root importable.
+
+The benches reuse ``tests.helpers`` scenario builders; a bare ``pytest
+benchmarks/`` invocation only puts ``benchmarks/`` itself on ``sys.path``,
+so the repo root is added here.
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = str(Path(__file__).resolve().parent.parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)

@@ -1,0 +1,118 @@
+"""Quickstart: a governed BigLake table over an object-store data lake.
+
+Walks the paper's §3 end to end:
+  1. stand up a lakehouse platform and a data lake bucket;
+  2. create a connection (delegated access, §3.1) and a BigLake table with
+     metadata caching (§3.3);
+  3. attach row-level security and data masking (§3.2);
+  4. query as different principals from BigQuery *and* from an external
+     Spark-like engine through the Storage Read API — same governed bytes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DataType,
+    LakehousePlatform,
+    MaskingKind,
+    MetadataCacheMode,
+    Role,
+    Schema,
+    batch_from_pydict,
+)
+from repro.external import SparkSim
+from repro.security import DataMaskingRule, RowAccessPolicy
+from repro.storageapi.fileutil import write_data_file
+
+
+def main() -> None:
+    # -- 1. Platform + lake ------------------------------------------------
+    platform = LakehousePlatform()
+    admin = platform.admin_user()
+    store = platform.stores.store_for("gcp/us-central1")
+    store.create_bucket("acme-lake")
+
+    schema = Schema.of(
+        ("order_id", DataType.INT64),
+        ("region", DataType.STRING),
+        ("card_number", DataType.STRING),
+        ("amount", DataType.FLOAT64),
+    )
+    regions = ["us", "eu", "apac"]
+    for part in range(4):
+        rows = {
+            "order_id": list(range(part * 100, part * 100 + 100)),
+            "region": [regions[i % 3] for i in range(100)],
+            "card_number": [f"4111{i:012d}" for i in range(100)],
+            "amount": [round(1.5 * i + part, 2) for i in range(100)],
+        }
+        write_data_file(
+            store, "acme-lake", f"orders/part-{part:03d}.pqs", schema,
+            [batch_from_pydict(schema, rows)],
+        )
+    print(f"lake: {store.count_objects('acme-lake', 'orders/')} files in acme-lake/orders/")
+
+    # -- 2. Delegated access + BigLake table --------------------------------
+    connection = platform.connections.create_connection("us.acme-lake")
+    platform.connections.grant_lake_access(connection, "acme-lake")
+    platform.iam.grant("connections/us.acme-lake", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("sales")
+    table = platform.tables.create_biglake_table(
+        admin, "sales", "orders", schema, "acme-lake", "orders", "us.acme-lake",
+        cache_mode=MetadataCacheMode.AUTOMATIC,
+    )
+    print(f"created {table.table_id} (connection SA: {connection.service_account.name})")
+
+    # -- 3. Query as admin (before any row policies exist) --------------------
+    result = platform.home_engine.query(
+        "SELECT region, COUNT(*) AS orders, SUM(amount) AS revenue "
+        "FROM sales.orders GROUP BY region ORDER BY revenue DESC",
+        admin,
+    )
+    print("\nadmin sees every region:")
+    for row in result.rows():
+        print(f"  {row[0]:>5}: {row[1]} orders, revenue {row[2]:,.2f}")
+
+    # -- 4. Fine-grained governance for the analyst ---------------------------
+    # (Once row policies exist, only their grantees see rows — admin keeps
+    # full access through an explicit all-rows policy.)
+    analyst = platform.create_user("eu_analyst", [Role.DATA_VIEWER, Role.JOB_USER])
+    table.policies.add_row_policy(
+        RowAccessPolicy("eu_only", "region = 'eu'", frozenset({analyst}))
+    )
+    table.policies.add_row_policy(
+        RowAccessPolicy("admin_all", "1 = 1", frozenset({admin}))
+    )
+    table.policies.add_masking_rule(
+        DataMaskingRule("card_number", MaskingKind.LAST_FOUR, frozenset({analyst}))
+    )
+
+    governed = platform.home_engine.query(
+        "SELECT region, card_number, amount FROM sales.orders LIMIT 3", analyst
+    )
+    print("\neu_analyst sees only EU rows, with masked cards:")
+    for region, card, amount in governed.rows():
+        print(f"  {region}: card={card} amount={amount}")
+
+    # The same policies hold for an external engine using the Read API.
+    spark = SparkSim(platform, mode="connector")
+    spark_rows = spark.query(
+        "SELECT region, card_number, amount FROM sales.orders LIMIT 3", analyst
+    )
+    assert sorted(spark_rows.rows()) == sorted(governed.rows())
+    print("\nSparkSim (via Storage Read API) returns byte-identical governed rows.")
+
+    # Pruning in action: a selective filter reads 1 of 4 files.
+    pruned = platform.home_engine.query(
+        "SELECT COUNT(*) FROM sales.orders WHERE order_id BETWEEN 120 AND 150", admin
+    )
+    print(
+        f"\nselective query scanned {pruned.stats.files_read} of "
+        f"{pruned.stats.files_total} files "
+        f"(metadata cache pruned {pruned.stats.files_pruned}); "
+        f"simulated latency {pruned.stats.elapsed_ms:.1f}ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — a from-scratch reproduction of BigLake (SIGMOD 2024).
+
+BigQuery's evolution toward a multi-cloud lakehouse, as a laptop-scale
+simulation: BigLake tables with delegated access, fine-grained governance,
+and metadata-cache acceleration; BigLake managed tables with ACID DML over
+customer buckets; Object tables and BQML-style inference over unstructured
+data; and Omni-style multi-cloud deployment with cross-cloud queries and
+materialized views.
+
+Quickstart::
+
+    from repro import LakehousePlatform
+
+    platform = LakehousePlatform()
+    admin = platform.admin_user()
+    ...
+
+See ``examples/quickstart.py`` for a complete walkthrough.
+"""
+
+from repro.cloud import Cloud, Region
+from repro.core import LakehousePlatform
+from repro.data import Column, DataType, Field, RecordBatch, Schema, batch_from_pydict
+from repro.metastore.catalog import MetadataCacheMode, TableKind
+from repro.security import (
+    ColumnAcl,
+    DataMaskingRule,
+    MaskingKind,
+    Principal,
+    Role,
+    RowAccessPolicy,
+)
+from repro.simtime import CostModel, SimContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cloud",
+    "Region",
+    "LakehousePlatform",
+    "Column",
+    "DataType",
+    "Field",
+    "RecordBatch",
+    "Schema",
+    "batch_from_pydict",
+    "MetadataCacheMode",
+    "TableKind",
+    "ColumnAcl",
+    "DataMaskingRule",
+    "MaskingKind",
+    "Principal",
+    "Role",
+    "RowAccessPolicy",
+    "CostModel",
+    "SimContext",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        — run the quickstart scenario inline (no files needed).
+* ``experiments`` — run the full E1–E12 + future-work benchmark suite.
+* ``info``        — print the module inventory and experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+
+def _demo() -> int:
+    from repro import (
+        DataType, LakehousePlatform, MetadataCacheMode, Role, Schema,
+        batch_from_pydict,
+    )
+    from repro.storageapi.fileutil import write_data_file
+
+    platform = LakehousePlatform()
+    admin = platform.admin_user()
+    store = platform.stores.store_for("gcp/us-central1")
+    store.create_bucket("demo-lake")
+    schema = Schema.of(
+        ("id", DataType.INT64), ("region", DataType.STRING), ("amount", DataType.FLOAT64)
+    )
+    for part in range(3):
+        write_data_file(
+            store, "demo-lake", f"orders/part-{part}.pqs", schema,
+            [batch_from_pydict(schema, {
+                "id": list(range(part * 100, part * 100 + 100)),
+                "region": [("us", "eu", "apac")[i % 3] for i in range(100)],
+                "amount": [float(i) for i in range(100)],
+            })],
+        )
+    conn = platform.connections.create_connection("us.demo")
+    platform.connections.grant_lake_access(conn, "demo-lake")
+    platform.iam.grant("connections/us.demo", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("demo")
+    platform.tables.create_biglake_table(
+        admin, "demo", "orders", schema, "demo-lake", "orders", "us.demo",
+        cache_mode=MetadataCacheMode.AUTOMATIC,
+    )
+    result = platform.home_engine.query(
+        "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
+        "FROM demo.orders WHERE id < 150 GROUP BY region ORDER BY total DESC",
+        admin,
+    )
+    print("region  orders  total")
+    for region, n, total in result.rows():
+        print(f"{region:<7} {n:>6}  {total:>8,.1f}")
+    print(
+        f"\nscanned {result.stats.files_read}/{result.stats.files_total} files "
+        f"({result.stats.files_pruned} pruned by the metadata cache); "
+        f"simulated latency {result.stats.elapsed_ms:.1f} ms"
+    )
+    return 0
+
+
+def _experiments(extra: list[str]) -> int:
+    command = [
+        sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
+        "-p", "no:warnings", "-s", "-q", *extra,
+    ]
+    return subprocess.call(command)
+
+
+def _info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — BigLake reproduction (SIGMOD 2024)")
+    print(__doc__)
+    print("Subsystems: data, formats, objectstore, cloud, security, metastore,")
+    print("  tableformats, sql, engine, storageapi, core, objects, ml, omni,")
+    print("  external, workloads, bench")
+    print("Experiments: see DESIGN.md (index) and EXPERIMENTS.md (results).")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "command", choices=["demo", "experiments", "info"], nargs="?", default="demo"
+    )
+    parser.add_argument("extra", nargs="*", help="extra pytest args for 'experiments'")
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _demo()
+    if args.command == "experiments":
+        return _experiments(args.extra)
+    return _info()
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        raise SystemExit(0)

@@ -1,0 +1,17 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    build_tpcds_platform,
+    build_tpch_platform,
+    format_table,
+    power_run,
+    PowerRunResult,
+)
+
+__all__ = [
+    "build_tpcds_platform",
+    "build_tpch_platform",
+    "format_table",
+    "power_run",
+    "PowerRunResult",
+]

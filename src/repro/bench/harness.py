@@ -1,0 +1,97 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each benchmark in ``benchmarks/`` regenerates one of the paper's
+tables/figures (see DESIGN.md's experiment index). The harness provides
+platform builders for the standard workloads, a sequential "power run"
+runner (the measurement mode Fig. 4 uses), and plain-text table printing so
+benchmark output reads like the paper's reported series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core import LakehousePlatform
+from repro.engine.engine import QueryStats
+from repro.metastore.catalog import MetadataCacheMode
+from repro.workloads import tpcds_lite, tpch_lite
+
+
+@dataclass
+class PowerRunResult:
+    """Per-query and total simulated timings for one power run."""
+
+    query_stats: dict[str, QueryStats] = field(default_factory=dict)
+    total_elapsed_ms: float = 0.0
+
+    def elapsed(self, name: str) -> float:
+        return self.query_stats[name].elapsed_ms
+
+
+def power_run(engine, queries: dict[str, str], principal) -> PowerRunResult:
+    """Run each query sequentially (the paper's TPC-DS power-run mode)."""
+    result = PowerRunResult()
+    for name, sql in queries.items():
+        query_result = engine.query(sql, principal)
+        result.query_stats[name] = query_result.stats
+        result.total_elapsed_ms += query_result.stats.elapsed_ms
+    return result
+
+
+def build_tpcds_platform(
+    scale: float = 0.3,
+    cache_mode: MetadataCacheMode = MetadataCacheMode.AUTOMATIC,
+    fact_files: int = 24,
+    **engine_flags: Any,
+):
+    """(platform, admin, engine, queries) over a BigLake TPC-DS lake."""
+    platform = LakehousePlatform()
+    admin = platform.admin_user()
+    data = tpcds_lite.generate(scale=scale)
+    tpcds_lite.load_as_biglake(
+        platform, admin, data, cache_mode=cache_mode, fact_files=fact_files
+    )
+    engine = platform.home_engine
+    for flag, value in engine_flags.items():
+        setattr(engine, flag, value)
+    return platform, admin, engine, tpcds_lite.queries()
+
+
+def build_tpch_platform(
+    scale: float = 0.3,
+    cache_mode: MetadataCacheMode = MetadataCacheMode.AUTOMATIC,
+    **engine_flags: Any,
+):
+    platform = LakehousePlatform()
+    admin = platform.admin_user()
+    data = tpch_lite.generate(scale=scale)
+    tpch_lite.load_as_biglake(platform, admin, data, cache_mode=cache_mode)
+    engine = platform.home_engine
+    for flag, value in engine_flags.items():
+        setattr(engine, flag, value)
+    return platform, admin, engine, tpch_lite.queries()
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table (the benches print these)."""
+    formatted_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted_rows)) if formatted_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [f"\n=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

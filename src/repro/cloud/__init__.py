@@ -1,0 +1,25 @@
+"""Clouds, regions, and network links between them.
+
+Omni's whole premise (§5) is that data lives in regions of different cloud
+providers and moving bytes between them costs real time and money. This
+package gives every component a *location* (``cloud/region``) and a way to
+price a transfer between two locations.
+"""
+
+from repro.cloud.regions import (
+    Cloud,
+    Region,
+    LinkKind,
+    classify_link,
+    transfer_latency_ms,
+    egress_cost_usd,
+)
+
+__all__ = [
+    "Cloud",
+    "Region",
+    "LinkKind",
+    "classify_link",
+    "transfer_latency_ms",
+    "egress_cost_usd",
+]

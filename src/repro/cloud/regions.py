@@ -1,0 +1,78 @@
+"""Cloud providers, regions, and link classification."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.simtime import CostModel, MIB
+
+
+class Cloud(enum.Enum):
+    """Cloud providers Omni spans (§5: GCP control plane; AWS/Azure data planes)."""
+
+    GCP = "gcp"
+    AWS = "aws"
+    AZURE = "azure"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A (cloud, region-name) pair; its string form is a *location*."""
+
+    cloud: Cloud
+    name: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.cloud.value}/{self.name}"
+
+    @staticmethod
+    def parse(location: str) -> "Region":
+        cloud_name, _, region_name = location.partition("/")
+        return Region(Cloud(cloud_name), region_name)
+
+    def __str__(self) -> str:
+        return self.location
+
+
+class LinkKind(enum.Enum):
+    """How two locations relate, which determines transfer cost."""
+
+    LOCAL = "local"  # same cloud, same region
+    CROSS_REGION = "cross_region"  # same cloud, different region
+    CROSS_CLOUD = "cross_cloud"  # different clouds
+
+
+def classify_link(source: str, destination: str) -> LinkKind:
+    """Classify the link between two ``cloud/region`` locations."""
+    src = Region.parse(source)
+    dst = Region.parse(destination)
+    if src.cloud is not dst.cloud:
+        return LinkKind.CROSS_CLOUD
+    if src.name != dst.name:
+        return LinkKind.CROSS_REGION
+    return LinkKind.LOCAL
+
+
+def transfer_latency_ms(costs: CostModel, source: str, destination: str, num_bytes: int) -> float:
+    """Simulated time to move ``num_bytes`` from ``source`` to ``destination``."""
+    kind = classify_link(source, destination)
+    if kind is LinkKind.LOCAL:
+        return costs.transfer_ms(num_bytes, costs.in_region_per_mib_ms, costs.in_region_rtt_ms)
+    if kind is LinkKind.CROSS_REGION:
+        return costs.transfer_ms(num_bytes, costs.cross_region_per_mib_ms, costs.cross_region_rtt_ms)
+    return costs.transfer_ms(num_bytes, costs.cross_cloud_per_mib_ms, costs.cross_cloud_rtt_ms)
+
+
+def egress_cost_usd(costs: CostModel, source: str, destination: str, num_bytes: int) -> float:
+    """Dollar cost of egress between two locations (zero in-region)."""
+    kind = classify_link(source, destination)
+    if kind is LinkKind.LOCAL:
+        return 0.0
+    gib = num_bytes / (MIB * 1024.0)
+    # Cross-region same-cloud egress is priced at roughly half of
+    # cross-cloud egress; the benchmarks only rely on cross-cloud > 0.
+    if kind is LinkKind.CROSS_REGION:
+        return gib * costs.cross_cloud_egress_usd_per_gib * 0.5
+    return gib * costs.cross_cloud_egress_usd_per_gib

@@ -1,0 +1,17 @@
+"""BigLake core: the paper's primary contribution, assembled.
+
+* :mod:`repro.core.platform` — :class:`LakehousePlatform`, the deployment
+  builder that wires clouds, stores, IAM, catalog, Big Metadata, the
+  Storage APIs, and per-region engines into one lakehouse.
+* :mod:`repro.core.tables` — table lifecycle (managed, BigLake, Object,
+  BLMT) and the DML handler (CTAS / INSERT / UPDATE / DELETE / MERGE).
+* :mod:`repro.core.blmt` — BigLake managed tables (§3.5): ACID DML through
+  Big Metadata, background storage optimization (adaptive file sizing,
+  reclustering, garbage collection), and Iceberg snapshot export.
+"""
+
+from repro.core.platform import LakehousePlatform
+from repro.core.tables import TableManager
+from repro.core.blmt import BlmtManager, BlmtTransaction
+
+__all__ = ["LakehousePlatform", "TableManager", "BlmtManager", "BlmtTransaction"]

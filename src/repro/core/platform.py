@@ -1,0 +1,163 @@
+"""LakehousePlatform: one-stop wiring of the whole deployment.
+
+A platform owns the shared simulation context plus the control-plane
+services (IAM, catalog, connections, Big Metadata, audit) and constructs
+per-region data planes: object stores and query engines. This mirrors the
+paper's architecture: a single control plane, engines colocated with data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud import Cloud, Region
+from repro.engine.engine import QueryEngine
+from repro.errors import CatalogError
+from repro.metastore.bigmeta import BigMetadataService
+from repro.metastore.catalog import Catalog
+from repro.metastore.hivemeta import HiveMetastore
+from repro.objectstore.registry import StoreRegistry
+from repro.security.audit import AuditLog
+from repro.security.connections import ConnectionManager
+from repro.security.iam import IamService, Principal, Role
+from repro.simtime import SimContext
+from repro.sql.expressions import FunctionRegistry
+from repro.storageapi.managed import ManagedStorage
+from repro.storageapi.read_api import ReadApi
+from repro.storageapi.write_api import WriteApi
+
+GCP_US = Region(Cloud.GCP, "us-central1")
+
+
+@dataclass
+class PlatformConfig:
+    project: str = "repro-project"
+    home_region: Region = field(default_factory=lambda: GCP_US)
+    engine_slots: int = 64
+
+
+class LakehousePlatform:
+    """The assembled multi-cloud lakehouse."""
+
+    def __init__(self, config: PlatformConfig | None = None) -> None:
+        self.config = config or PlatformConfig()
+        self.ctx = SimContext()
+        self.iam = IamService()
+        self.audit = AuditLog(self.ctx)
+        self.catalog = Catalog(self.config.project)
+        self.bigmeta = BigMetadataService(self.ctx)
+        self.hivemeta = HiveMetastore(self.ctx)
+        self.stores = StoreRegistry(self.ctx)
+        self.connections = ConnectionManager(self.iam, self.ctx)
+        self.managed = ManagedStorage(self.ctx)
+        self.functions = FunctionRegistry()
+        self.read_api = ReadApi(
+            catalog=self.catalog,
+            bigmeta=self.bigmeta,
+            connections=self.connections,
+            iam=self.iam,
+            audit=self.audit,
+            stores=self.stores,
+            managed=self.managed,
+            ctx=self.ctx,
+            functions=self.functions,
+        )
+        self.write_api = WriteApi(
+            bigmeta=self.bigmeta,
+            managed=self.managed,
+            stores=self.stores,
+            iam=self.iam,
+            audit=self.audit,
+            ctx=self.ctx,
+        )
+        self._engines: dict[str, QueryEngine] = {}
+        self.stores.add_region(self.config.home_region)
+        self.home_engine = self.add_engine(self.config.home_region)
+
+        # Table manager wires itself into every engine as the DML handler;
+        # the inference runtime registers the ML TVFs and scalar functions.
+        from repro.core.tables import TableManager
+        from repro.ml.inference import InferenceRuntime
+
+        self.tables = TableManager(self)
+        self.ml = InferenceRuntime(self)
+        for engine in self._engines.values():
+            engine.set_dml_handler(self.tables)
+            self.ml.attach(engine)
+
+    # -- regions & engines ----------------------------------------------------
+
+    def add_region(self, region: Region) -> None:
+        """Bring up object storage for a region (data can now live there)."""
+        self.stores.add_region(region)
+
+    def add_engine(self, region: Region, name: str | None = None, **flags) -> QueryEngine:
+        """Deploy a query engine into a region (on GCP this is a native
+        deployment; on AWS/Azure it is what Omni automates, §5)."""
+        self.stores.add_region(region)
+        engine = QueryEngine(
+            read_api=self.read_api,
+            catalog=self.catalog,
+            location=region.location,
+            name=name or f"dremel-{region.location.replace('/', '-')}",
+            slots=self.config.engine_slots,
+            functions=self.functions,
+            **flags,
+        )
+        self._engines[engine.name] = engine
+        if hasattr(self, "tables"):
+            engine.set_dml_handler(self.tables)
+        if hasattr(self, "ml"):
+            self.ml.attach(engine)
+        return engine
+
+    def engine(self, name: str) -> QueryEngine:
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise CatalogError(f"no engine named {name!r}") from None
+
+    def engines(self) -> list[QueryEngine]:
+        return list(self._engines.values())
+
+    def engine_in(self, location: str) -> QueryEngine:
+        """The engine colocated with ``location`` (cloud/region)."""
+        for engine in self._engines.values():
+            if engine.location == location:
+                return engine
+        raise CatalogError(f"no engine deployed in {location!r}")
+
+    # -- Omni ---------------------------------------------------------------------
+
+    @property
+    def omni(self):
+        """The Omni deployment for this platform (created on first use)."""
+        if not hasattr(self, "_omni"):
+            from repro.omni.deployment import OmniDeployment
+
+            self._omni = OmniDeployment(platform=self)
+        return self._omni
+
+    @property
+    def job_server(self):
+        """The control-plane Job Server (created on first use)."""
+        if not hasattr(self, "_job_server"):
+            from repro.omni.control_plane import JobServer
+
+            self._job_server = JobServer(self, self.omni)
+        return self._job_server
+
+    # -- convenience -------------------------------------------------------------
+
+    def create_user(self, name: str, roles: list[Role] | None = None) -> Principal:
+        """Create a user and grant project-level roles."""
+        user = Principal.user(name)
+        for role in roles or []:
+            self.iam.grant(f"projects/{self.config.project}", role, user)
+        return user
+
+    def admin_user(self, name: str = "admin") -> Principal:
+        return self.create_user(
+            name,
+            [Role.DATA_EDITOR, Role.JOB_USER, Role.CONNECTION_USER, Role.ML_USER],
+        )

@@ -1,0 +1,30 @@
+"""Arrow-like in-memory columnar data layer.
+
+This package is the foundation every other subsystem builds on: a typed
+:class:`Schema`, null-aware :class:`Column` vectors backed by numpy,
+dictionary-encoded columns, and :class:`RecordBatch` — the unit of data
+exchanged by the file format readers, the Superluminal evaluator, the query
+engine, and the Storage Read API (which, like the paper's Arrow output,
+returns columnar batches to external engines).
+"""
+
+from repro.data.types import DataType, Field, Schema
+from repro.data.column import Column, DictionaryColumn
+from repro.data.batch import (
+    RecordBatch,
+    batch_from_pydict,
+    batch_from_rows,
+    concat_batches,
+)
+
+__all__ = [
+    "DataType",
+    "Field",
+    "Schema",
+    "Column",
+    "DictionaryColumn",
+    "RecordBatch",
+    "batch_from_pydict",
+    "batch_from_rows",
+    "concat_batches",
+]

@@ -1,0 +1,44 @@
+"""The Dremel-like distributed query engine (§2.1).
+
+A regional query engine that plans SQL over the catalog, optimizes with
+whatever physical metadata is available (partition/file pruning, statistics
+-based join ordering, dynamic partition pruning), executes vectorized
+operators over columnar batches, and accounts simulated elapsed time under
+a slot-limited scheduler. All storage access — managed, BigLake, Object
+tables — goes through the Storage Read API, so governance is identical for
+the engine and for external consumers (§3.2).
+"""
+
+from repro.engine.plan import (
+    AggregateNode,
+    AggSpec,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    TvfNode,
+    UnionAllNode,
+)
+from repro.engine.engine import QueryEngine, QueryResult, QueryStats
+
+__all__ = [
+    "AggregateNode",
+    "AggSpec",
+    "DistinctNode",
+    "FilterNode",
+    "JoinNode",
+    "LimitNode",
+    "PlanNode",
+    "ProjectNode",
+    "ScanNode",
+    "SortNode",
+    "TvfNode",
+    "UnionAllNode",
+    "QueryEngine",
+    "QueryResult",
+    "QueryStats",
+]

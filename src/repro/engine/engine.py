@@ -1,0 +1,280 @@
+"""The query engine facade: parse -> plan -> optimize -> execute."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.data.batch import RecordBatch, concat_batches
+from repro.data.types import Schema
+from repro.errors import AnalysisError, QueryError
+from repro.metastore.catalog import Catalog, TableKind
+from repro.security.iam import Principal
+from repro.sql import ast_nodes as ast
+from repro.sql.expressions import FunctionRegistry
+from repro.sql.parser import parse_statement
+from repro.storageapi.read_api import ReadApi, SessionStats
+
+from repro.engine.operators import ExecContext, execute_plan
+from repro.engine.optimizer import optimize
+from repro.engine.plan import PlanNode, ScanNode, TvfNode
+from repro.engine.planner import Planner
+
+
+@dataclass
+class QueryStats:
+    """Accounting for one query execution (simulated time + work)."""
+
+    planning_ms: float = 0.0
+    scan_work_ms: float = 0.0
+    compute_ms: float = 0.0  # join/aggregate CPU (rows processed)
+    scan_tasks: int = 0
+    bytes_scanned: int = 0
+    rows_scanned: int = 0
+    files_total: int = 0
+    files_read: int = 0
+    row_groups_pruned: int = 0
+    dpp_applied: int = 0
+    elapsed_ms: float = 0.0
+    slot_ms: float = 0.0
+
+    def record_scan(self, session: SessionStats, scan_ms: float, tasks: int) -> None:
+        self.scan_work_ms += scan_ms
+        self.scan_tasks += tasks
+        self.bytes_scanned += session.bytes_scanned
+        self.rows_scanned += session.rows_scanned
+        self.files_total += session.files_total
+        self.files_read += session.files_after_pruning
+        self.row_groups_pruned += session.row_groups_pruned
+
+    @property
+    def files_pruned(self) -> int:
+        return self.files_total - self.files_read
+
+    def finalize(self, slots: int, startup_ms: float) -> None:
+        """Slot-limited elapsed-time model: metadata/planning work is
+        serial; scan work spreads across min(slots, tasks) workers; operator
+        compute spreads across shuffle partitions (bounded by slots)."""
+        parallelism = max(1, min(slots, self.scan_tasks or 1))
+        compute_parallelism = max(1, min(slots, 8))
+        self.slot_ms = self.planning_ms + self.scan_work_ms + self.compute_ms
+        self.elapsed_ms = (
+            startup_ms
+            + self.planning_ms
+            + self.scan_work_ms / parallelism
+            + self.compute_ms / compute_parallelism
+        )
+
+
+@dataclass
+class QueryResult:
+    """A completed query: schema, data, stats, and the executed plan."""
+
+    schema: Schema
+    batches: list[RecordBatch]
+    stats: QueryStats
+    plan_text: str = ""
+    rows_affected: int = 0  # set by DML statements
+    cross_cloud: dict | None = None  # set by the cross-cloud planner
+
+    @property
+    def num_rows(self) -> int:
+        return sum(b.num_rows for b in self.batches)
+
+    def rows(self) -> list[tuple]:
+        out: list[tuple] = []
+        for batch in self.batches:
+            out.extend(batch.iter_rows())
+        return out
+
+    def to_pydict(self) -> dict[str, list[Any]]:
+        return concat_batches(self.schema, self.batches).to_pydict()
+
+    def column(self, name: str) -> list[Any]:
+        return self.to_pydict()[self.schema.field(name).name]
+
+    def single_value(self) -> Any:
+        rows = self.rows()
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise QueryError("query did not produce a single value")
+        return rows[0][0]
+
+
+class TvfHandler(Protocol):
+    """Handler for one table-valued function family (registered by ML)."""
+
+    def output_schema(self, model: tuple[str, ...], input_schema: Schema | None) -> Schema:
+        ...
+
+    def execute(
+        self, node: TvfNode, input_batches: list[RecordBatch] | None, ctx: ExecContext
+    ) -> list[RecordBatch]:
+        ...
+
+
+class DmlHandler(Protocol):
+    """Executes DML/CTAS statements (provided by the table manager)."""
+
+    def execute_dml(self, statement: ast.Statement, engine: "QueryEngine", principal: Principal) -> "QueryResult":
+        ...
+
+
+class QueryEngine:
+    """A regional Dremel-like engine instance.
+
+    Feature flags mirror the paper's ablations:
+
+    * ``use_stats`` — planner sees Big Metadata statistics (join
+      reordering); off reproduces the pre-acceleration baseline.
+    * ``enable_dpp`` — dynamic partition pruning at execution time.
+    * ``use_row_oriented_reader`` — the §3.4 prototype scan path.
+    """
+
+    def __init__(
+        self,
+        read_api: ReadApi,
+        catalog: Catalog,
+        location: str = "gcp/us-central1",
+        name: str = "dremel",
+        slots: int = 64,
+        functions: FunctionRegistry | None = None,
+        use_stats: bool = True,
+        enable_dpp: bool = True,
+        use_row_oriented_reader: bool = False,
+        enable_aggregate_pushdown: bool = True,
+    ) -> None:
+        self.read_api = read_api
+        self.catalog = catalog
+        self.location = location
+        self.name = name
+        self.slots = slots
+        self.functions = functions or FunctionRegistry()
+        self.use_stats = use_stats
+        self.enable_dpp = enable_dpp
+        self.use_row_oriented_reader = use_row_oriented_reader
+        self.enable_aggregate_pushdown = enable_aggregate_pushdown
+        self.ctx = read_api.ctx
+        self._tvf_handlers: dict[str, TvfHandler] = {}
+        self.dml_handler: DmlHandler | None = None
+
+    # -- registration -------------------------------------------------------
+
+    def register_tvf(self, name: str, handler: TvfHandler) -> None:
+        self._tvf_handlers[name.upper()] = handler
+
+    def set_dml_handler(self, handler: DmlHandler) -> None:
+        self.dml_handler = handler
+
+    # -- planning helpers -----------------------------------------------------
+
+    def _planner(self) -> Planner:
+        return Planner(
+            self.catalog,
+            functions=self.functions,
+            tvf_schema_resolver=self._tvf_schema,
+        )
+
+    def _tvf_schema(
+        self, name: str, model: tuple[str, ...], input_schema: Schema | None
+    ) -> Schema:
+        handler = self._tvf_handlers.get(name.upper())
+        if handler is None:
+            raise AnalysisError(f"no handler registered for {name}")
+        return handler.output_schema(model, input_schema)
+
+    def stats_provider(self, scan: ScanNode) -> float | None:
+        """Cardinality source for the optimizer (Big Metadata / managed)."""
+        if not self.use_stats:
+            return None
+        table = scan.table
+        if table.kind is TableKind.MANAGED:
+            if self.read_api.managed.exists(table.table_id):
+                return float(self.read_api.managed.row_count(table.table_id))
+            return None
+        if self.read_api.bigmeta.has_table(table.table_id):
+            return float(self.read_api.bigmeta.table_stats(table.table_id)["num_rows"])
+        return None
+
+    def remote_location_for(self, table) -> str | None:
+        """Engine location when reading a bucket outside this region."""
+        if table.storage is None:
+            return None
+        if table.storage.location == self.location:
+            return None
+        return self.location
+
+    # -- entry points ------------------------------------------------------------
+
+    def plan(self, select: ast.Select) -> PlanNode:
+        plan = self._planner().plan_select(select)
+        return optimize(
+            plan,
+            stats_provider=self.stats_provider,
+            use_stats=self.use_stats,
+            aggregate_pushdown=self.enable_aggregate_pushdown,
+        )
+
+    def explain(self, sql: str) -> str:
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise AnalysisError("EXPLAIN supports SELECT statements")
+        return self.plan(statement).describe()
+
+    def query(
+        self,
+        sql: str | ast.Select,
+        principal: Principal,
+        snapshot_ms: float | None = None,
+    ) -> QueryResult:
+        """Plan and execute a SELECT."""
+        if isinstance(sql, str):
+            statement = parse_statement(sql)
+            if not isinstance(statement, ast.Select):
+                raise AnalysisError("query() takes SELECT; use execute() for DML")
+        else:
+            statement = sql
+        plan = self.plan(statement)
+        return self.run_plan(plan, principal, snapshot_ms=snapshot_ms)
+
+    def run_plan(
+        self,
+        plan: PlanNode,
+        principal: Principal,
+        snapshot_ms: float | None = None,
+    ) -> QueryResult:
+        stats = QueryStats()
+        ctx = ExecContext(
+            engine=self,
+            principal=principal,
+            stats=stats,
+            dpp_enabled=self.enable_dpp,
+            snapshot_ms=snapshot_ms,
+        )
+        batches = execute_plan(plan, ctx)
+        stats.finalize(self.slots, self.ctx.costs.slot_startup_ms)
+        return QueryResult(
+            schema=plan.schema, batches=batches, stats=stats, plan_text=plan.describe()
+        )
+
+    def execute(self, sql: str, principal: Principal) -> QueryResult:
+        """Execute any statement: SELECT directly, DML via the handler."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Select):
+            return self.run_plan(self.plan(statement), principal)
+        if self.dml_handler is None:
+            raise QueryError(
+                f"{type(statement).__name__} requires a DML handler "
+                "(wire the engine through a table manager)"
+            )
+        return self.dml_handler.execute_dml(statement, self, principal)
+
+    # -- TVF execution -------------------------------------------------------------
+
+    def execute_tvf(self, node: TvfNode, ctx: ExecContext) -> list[RecordBatch]:
+        handler = self._tvf_handlers.get(node.name.upper())
+        if handler is None:
+            raise AnalysisError(f"no handler registered for {node.name}")
+        input_batches = None
+        if node.input_plan is not None:
+            input_batches = execute_plan(node.input_plan, ctx)
+        return handler.execute(node, input_batches, ctx)

@@ -1,0 +1,638 @@
+"""Vectorized physical operators and the plan executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.data.batch import RecordBatch, batch_from_rows, concat_batches
+from repro.data.column import Column
+from repro.data.types import DataType, Schema
+from repro.errors import ExecutionError
+from repro.metastore.constraints import ColumnConstraint
+from repro.sql import ast_nodes as ast
+from repro.sql.expressions import Binder, evaluate, evaluate_predicate
+from repro.sql.printer import strip_qualifiers, to_sql
+
+from repro.engine.plan import (
+    AggregateNode,
+    AggSpec,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    TvfNode,
+    UnionAllNode,
+    ValuesNode,
+)
+
+# Build sides larger than this skip dynamic partition pruning (the IN-set
+# would be too large to be useful as a pruning predicate).
+_DPP_MAX_KEYS = 10_000
+
+
+def _charge_compute(ctx: "ExecContext", rows: int, us_per_row: float) -> None:
+    """Record operator CPU work (drives the simulated elapsed model)."""
+    if rows <= 0:
+        return
+    work_ms = rows * us_per_row / 1000.0
+    ctx.stats.compute_ms += work_ms
+    ctx.engine.ctx.clock.advance(work_ms)
+
+
+@dataclass
+class ExecContext:
+    """Everything operators need at runtime."""
+
+    engine: "Any"  # QueryEngine (typed loosely to avoid a cycle)
+    principal: Any
+    stats: Any  # QueryStats
+    dpp_enabled: bool = True
+    snapshot_ms: float | None = None
+
+
+def execute_plan(node: PlanNode, ctx: ExecContext) -> list[RecordBatch]:
+    """Execute a plan subtree, returning its batches."""
+    if isinstance(node, ScanNode):
+        return _execute_scan(node, ctx)
+    if isinstance(node, FilterNode):
+        return _execute_filter(node, ctx)
+    if isinstance(node, ProjectNode):
+        return _execute_project(node, ctx)
+    if isinstance(node, AggregateNode):
+        return _execute_aggregate(node, ctx)
+    if isinstance(node, JoinNode):
+        return _execute_join(node, ctx)
+    if isinstance(node, SortNode):
+        return _execute_sort(node, ctx)
+    if isinstance(node, LimitNode):
+        return _execute_limit(node, ctx)
+    if isinstance(node, DistinctNode):
+        return _execute_distinct(node, ctx)
+    if isinstance(node, UnionAllNode):
+        return _execute_union(node, ctx)
+    if isinstance(node, TvfNode):
+        return ctx.engine.execute_tvf(node, ctx)
+    if isinstance(node, ValuesNode):
+        return _execute_values(node, ctx)
+    raise ExecutionError(f"cannot execute plan node {type(node).__name__}")
+
+
+# --------------------------------------------------------------------------
+# Scan
+# --------------------------------------------------------------------------
+
+
+def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
+    restriction = _scan_restriction(node)
+    engine = ctx.engine
+    t0 = engine.ctx.clock.now_ms
+    session = engine.read_api.create_read_session(
+        principal=ctx.principal,
+        table=node.table,
+        columns=node.columns,
+        row_restriction=restriction,
+        snapshot_ms=node.snapshot_ms or ctx.snapshot_ms,
+        max_streams=engine.slots,
+        engine_location=engine.remote_location_for(node.table),
+        use_row_oriented_reader=engine.use_row_oriented_reader,
+        aggregates=node.pushed_aggregates or None,
+    )
+    ctx.stats.planning_ms += engine.ctx.clock.now_ms - t0
+    t1 = engine.ctx.clock.now_ms
+    batches: list[RecordBatch] = []
+    for stream_index in range(len(session.streams)):
+        for batch in engine.read_api.read_rows(session, stream_index):
+            batches.append(batch)
+    scan_ms = engine.ctx.clock.now_ms - t1
+    tasks = max(1, session.stats.files_after_pruning)
+    ctx.stats.record_scan(session.stats, scan_ms, tasks)
+    if node.pushed_aggregates:
+        # Partial-aggregate rows already carry the scan's output names.
+        return batches
+    # Rename plain session output to the (possibly qualified) scan schema.
+    out_names = node.schema.names()
+    renamed = []
+    for batch in batches:
+        ordered = batch.select(node.columns)
+        renamed.append(ordered.rename(out_names))
+    return renamed
+
+
+def _scan_restriction(node: ScanNode) -> str | None:
+    clauses: list[str] = [
+        to_sql(strip_qualifiers(f)) for f in node.pushed_filters
+    ]
+    clauses.extend(_constraints_to_sql(node.runtime_constraints))
+    if not clauses:
+        return None
+    return " AND ".join(clauses)
+
+
+def _constraints_to_sql(constraints) -> list[str]:
+    clauses = []
+    for column, constraint in constraints:
+        if constraint.in_set is not None:
+            rendered = ", ".join(_render_literal(v) for v in sorted(constraint.in_set, key=repr))
+            clauses.append(f"{column} IN ({rendered})")
+            continue
+        if constraint.lo is not None:
+            clauses.append(f"{column} >= {_render_literal(constraint.lo)}")
+        if constraint.hi is not None:
+            clauses.append(f"{column} <= {_render_literal(constraint.hi)}")
+    return clauses
+
+
+def _render_literal(value) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    return repr(value)
+
+
+# --------------------------------------------------------------------------
+# Row-level operators
+# --------------------------------------------------------------------------
+
+
+def _execute_filter(node: FilterNode, ctx: ExecContext) -> list[RecordBatch]:
+    batches = execute_plan(node.child, ctx)
+    if not batches:
+        return []
+    bound = Binder(node.child.schema, ctx.engine.functions).bind(node.predicate)
+    out = []
+    for batch in batches:
+        mask = evaluate_predicate(bound, batch)
+        filtered = batch.filter(mask)
+        if filtered.num_rows:
+            out.append(filtered)
+    return out
+
+
+def _execute_project(node: ProjectNode, ctx: ExecContext) -> list[RecordBatch]:
+    batches = execute_plan(node.child, ctx)
+    binder = Binder(node.child.schema, ctx.engine.functions)
+    bound = [binder.bind(expr) for expr, _ in node.items]
+    out = []
+    for batch in batches:
+        columns = [evaluate(b, batch) for b in bound]
+        out.append(RecordBatch(node.schema, columns))
+    return out
+
+
+def _execute_values(node: ValuesNode, ctx: ExecContext) -> list[RecordBatch]:
+    if not node.schema.fields:
+        # FROM-less SELECT: one placeholder row; projections evaluate
+        # literals against it.
+        return [_one_row_batch()]
+    binder = Binder(Schema(()), ctx.engine.functions)
+    rows = []
+    for row_exprs in node.rows:
+        one = _one_row_batch()
+        rows.append(tuple(evaluate(binder.bind(e), one)[0] for e in row_exprs))
+    return [batch_from_rows(node.schema, rows)]
+
+
+def _one_row_batch() -> RecordBatch:
+    schema = Schema.of(("$dummy", DataType.INT64))
+    return RecordBatch(schema, [Column(DataType.INT64, [0])])
+
+
+def _execute_limit(node: LimitNode, ctx: ExecContext) -> list[RecordBatch]:
+    batches = execute_plan(node.child, ctx)
+    out = []
+    remaining = node.limit
+    for batch in batches:
+        if remaining <= 0:
+            break
+        if batch.num_rows <= remaining:
+            out.append(batch)
+            remaining -= batch.num_rows
+        else:
+            out.append(batch.slice(0, remaining))
+            remaining = 0
+    return out
+
+
+def _execute_union(node: UnionAllNode, ctx: ExecContext) -> list[RecordBatch]:
+    out: list[RecordBatch] = []
+    names = node.schema.names()
+    for child in node.inputs:
+        for batch in execute_plan(child, ctx):
+            out.append(batch.rename(names))
+    return out
+
+
+def _execute_distinct(node: DistinctNode, ctx: ExecContext) -> list[RecordBatch]:
+    batches = execute_plan(node.child, ctx)
+    seen: set[tuple] = set()
+    rows: list[tuple] = []
+    for batch in batches:
+        for row in batch.iter_rows():
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+    if not rows:
+        return []
+    return [batch_from_rows(node.schema, rows)]
+
+
+def _execute_sort(node: SortNode, ctx: ExecContext) -> list[RecordBatch]:
+    batches = execute_plan(node.child, ctx)
+    if not batches:
+        return []
+    combined = concat_batches(node.child.schema, batches)
+    binder = Binder(node.child.schema, ctx.engine.functions)
+    key_columns = [
+        (evaluate(binder.bind(expr), combined), ascending)
+        for expr, ascending in node.keys
+    ]
+
+    def sort_key(i: int):
+        parts = []
+        for column, ascending in key_columns:
+            value = column[i]
+            # NULLs first ascending, last descending (BigQuery default).
+            null_rank = 0 if value is None else 1
+            if not ascending:
+                null_rank = -null_rank
+            parts.append((null_rank, _Reversed(value) if not ascending else _orderable(value)))
+        return tuple(parts)
+
+    order = sorted(range(combined.num_rows), key=sort_key)
+    return [combined.take(np.asarray(order, dtype=np.int64))]
+
+
+class _Reversed:
+    """Wrap a value so ascending sort yields descending order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = _orderable(value)
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def _orderable(value):
+    return 0 if value is None else value
+
+
+# --------------------------------------------------------------------------
+# Aggregation
+# --------------------------------------------------------------------------
+
+
+def _execute_aggregate(node: AggregateNode, ctx: ExecContext) -> list[RecordBatch]:
+    batches = execute_plan(node.child, ctx)
+    combined = concat_batches(node.child.schema, batches)
+    binder = Binder(node.child.schema, ctx.engine.functions)
+    n = combined.num_rows
+    _charge_compute(ctx, n, ctx.engine.ctx.costs.aggregate_cpu_us_per_row)
+
+    if node.group_items:
+        key_columns = [evaluate(binder.bind(expr), combined) for expr, _ in node.group_items]
+        key_lists = [c.to_pylist() for c in key_columns]
+        group_of: dict[tuple, int] = {}
+        gid = np.empty(n, dtype=np.int64)
+        keys_in_order: list[tuple] = []
+        for i in range(n):
+            key = tuple(lst[i] for lst in key_lists)
+            g = group_of.get(key)
+            if g is None:
+                g = len(keys_in_order)
+                group_of[key] = g
+                keys_in_order.append(key)
+            gid[i] = g
+        num_groups = len(keys_in_order)
+        if num_groups == 0:
+            return []
+    else:
+        gid = np.zeros(n, dtype=np.int64)
+        keys_in_order = [()]
+        num_groups = 1
+
+    out_columns: list[Column] = []
+    for j, (_, name) in enumerate(node.group_items):
+        dtype = node.schema.field(name).dtype
+        out_columns.append(
+            Column.from_pylist(dtype, [key[j] for key in keys_in_order])
+        )
+    for spec in node.aggregates:
+        arg = evaluate(binder.bind(spec.arg), combined) if spec.arg is not None else None
+        out_columns.append(_aggregate(spec, arg, gid, num_groups, n))
+    return [RecordBatch(node.schema, out_columns)]
+
+
+def _aggregate(spec: AggSpec, arg: Column | None, gid: np.ndarray, groups: int, n: int) -> Column:
+    if spec.func == "COUNT":
+        if arg is None:  # COUNT(*)
+            counts = np.bincount(gid, minlength=groups) if n else np.zeros(groups, dtype=np.int64)
+            return Column(DataType.INT64, counts.astype(np.int64))
+        valid = arg.is_valid()
+        if spec.distinct:
+            seen: list[set] = [set() for _ in range(groups)]
+            values = arg.to_pylist()
+            for i in range(n):
+                if valid[i]:
+                    seen[gid[i]].add(values[i])
+            return Column(DataType.INT64, np.asarray([len(s) for s in seen], dtype=np.int64))
+        counts = np.bincount(gid[valid], minlength=groups) if n else np.zeros(groups)
+        return Column(DataType.INT64, counts.astype(np.int64))
+
+    if arg is None:
+        raise ExecutionError(f"{spec.func}() requires an argument")
+    valid = arg.is_valid()
+    group_has_value = np.zeros(groups, dtype=bool)
+    if n:
+        np.logical_or.at(group_has_value, gid[valid], True)
+    validity = None if bool(group_has_value.all()) else group_has_value
+
+    if spec.func in ("SUM", "AVG"):
+        values = arg.values.astype(np.float64)
+        sums = (
+            np.bincount(gid[valid], weights=values[valid], minlength=groups)
+            if n
+            else np.zeros(groups)
+        )
+        if spec.func == "AVG":
+            counts = np.bincount(gid[valid], minlength=groups) if n else np.zeros(groups)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                result = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+            return Column(DataType.FLOAT64, result, validity)
+        if spec.dtype is DataType.INT64:
+            return Column(DataType.INT64, np.round(sums).astype(np.int64), validity)
+        return Column(DataType.FLOAT64, sums, validity)
+
+    if spec.func in ("MIN", "MAX"):
+        if arg.dtype.is_variable_width:
+            best: list[Any] = [None] * groups
+            values = arg.to_pylist()
+            for i in range(n):
+                if not valid[i]:
+                    continue
+                g = gid[i]
+                v = values[i]
+                if best[g] is None:
+                    best[g] = v
+                elif spec.func == "MIN":
+                    best[g] = min(best[g], v)
+                else:
+                    best[g] = max(best[g], v)
+            return Column.from_pylist(arg.dtype, best)
+        if spec.func == "MIN":
+            init = np.inf
+            out = np.full(groups, init, dtype=np.float64)
+            if n:
+                np.minimum.at(out, gid[valid], arg.values[valid].astype(np.float64))
+        else:
+            out = np.full(groups, -np.inf, dtype=np.float64)
+            if n:
+                np.maximum.at(out, gid[valid], arg.values[valid].astype(np.float64))
+        out = np.where(group_has_value, out, 0.0)
+        if spec.dtype in (DataType.INT64, DataType.TIMESTAMP, DataType.DATE):
+            return Column(spec.dtype, out.astype(np.int64), validity)
+        if spec.dtype is DataType.BOOL:
+            return Column(spec.dtype, out.astype(bool), validity)
+        return Column(DataType.FLOAT64, out, validity)
+
+    raise ExecutionError(f"unknown aggregate {spec.func}")
+
+
+# --------------------------------------------------------------------------
+# Joins
+# --------------------------------------------------------------------------
+
+
+def _execute_join(node: JoinNode, ctx: ExecContext) -> list[RecordBatch]:
+    if node.kind == "CROSS":
+        return _execute_cross_join(node, ctx)
+    if node.kind in ("SEMI", "ANTI"):
+        return _execute_semi_join(node, ctx)
+    if not node.equi_keys:
+        # Non-equi inner join: cross join + residual filter.
+        batches = _execute_cross_join(node, ctx)
+        if node.residual is None:
+            return batches
+        bound = Binder(node.schema, ctx.engine.functions).bind(node.residual)
+        return [b.filter(evaluate_predicate(bound, b)) for b in batches]
+
+    # Decide build/probe by estimated size, then build first so dynamic
+    # partition pruning can inform the probe-side scan (§3.4).
+    from repro.engine.optimizer import estimate_rows
+
+    stats_provider = ctx.engine.stats_provider
+    left_estimate = estimate_rows(node.left, stats_provider)
+    right_estimate = estimate_rows(node.right, stats_provider)
+    build_is_left = left_estimate <= right_estimate
+    if node.kind == "LEFT":
+        build_is_left = False  # preserve all left rows: probe with left
+
+    build_node = node.left if build_is_left else node.right
+    probe_node = node.right if build_is_left else node.left
+    build_keys = [l if build_is_left else r for l, r in node.equi_keys]
+    probe_keys = [r if build_is_left else l for l, r in node.equi_keys]
+
+    build_batches = execute_plan(build_node, ctx)
+    build = concat_batches(build_node.schema, build_batches)
+    build_binder = Binder(build_node.schema, ctx.engine.functions)
+    build_key_cols = [evaluate(build_binder.bind(k), build) for k in build_keys]
+    _charge_compute(ctx, build.num_rows, ctx.engine.ctx.costs.join_cpu_us_per_row)
+
+    if ctx.dpp_enabled and node.kind == "INNER":
+        _apply_dynamic_partition_pruning(probe_node, probe_keys, build_key_cols, ctx)
+
+    probe_batches = execute_plan(probe_node, ctx)
+    probe = concat_batches(probe_node.schema, probe_batches)
+    probe_binder = Binder(probe_node.schema, ctx.engine.functions)
+    probe_key_cols = [evaluate(probe_binder.bind(k), probe) for k in probe_keys]
+    _charge_compute(ctx, probe.num_rows, ctx.engine.ctx.costs.join_cpu_us_per_row)
+
+    # Build hash table: key tuple -> row indices.
+    table: dict[tuple, list[int]] = {}
+    build_valid = np.ones(build.num_rows, dtype=bool)
+    for col in build_key_cols:
+        build_valid &= col.is_valid()
+    build_key_lists = [c.to_pylist() for c in build_key_cols]
+    for i in range(build.num_rows):
+        if not build_valid[i]:
+            continue
+        table.setdefault(tuple(lst[i] for lst in build_key_lists), []).append(i)
+
+    probe_valid = np.ones(probe.num_rows, dtype=bool)
+    for col in probe_key_cols:
+        probe_valid &= col.is_valid()
+    probe_key_lists = [c.to_pylist() for c in probe_key_cols]
+
+    probe_indices: list[int] = []
+    build_indices: list[int] = []
+    for i in range(probe.num_rows):
+        matches = (
+            table.get(tuple(lst[i] for lst in probe_key_lists)) if probe_valid[i] else None
+        )
+        if matches:
+            for j in matches:
+                probe_indices.append(i)
+                build_indices.append(j)
+
+    probe_idx_array = np.asarray(probe_indices, dtype=np.int64)
+    probe_taken = probe.take(probe_idx_array)
+    build_taken = build.take(np.asarray(build_indices, dtype=np.int64))
+    if build_is_left:
+        joined = _concat_columns(node.schema, build_taken, probe_taken)
+    else:
+        joined = _concat_columns(node.schema, probe_taken, build_taken)
+
+    if node.residual is not None and joined.num_rows:
+        bound = Binder(node.schema, ctx.engine.functions).bind(node.residual)
+        keep = evaluate_predicate(bound, joined)
+        joined = joined.filter(keep)
+        probe_idx_array = probe_idx_array[keep]
+
+    results = [joined] if joined.num_rows else []
+    if node.kind == "LEFT":
+        # Probe rows with no *surviving* match get NULL-extended output.
+        matched = set(probe_idx_array.tolist())
+        unmatched_probe = [i for i in range(probe.num_rows) if i not in matched]
+    else:
+        unmatched_probe = []
+    if node.kind == "LEFT" and unmatched_probe:
+        left_rows = probe.take(np.asarray(unmatched_probe, dtype=np.int64))
+        null_right = RecordBatch(
+            build_node.schema,
+            [Column.nulls(f.dtype, left_rows.num_rows) for f in build_node.schema],
+        )
+        results.append(_concat_columns(node.schema, left_rows, null_right))
+    return results
+
+
+def _apply_dynamic_partition_pruning(
+    probe_node: PlanNode,
+    probe_keys: list[ast.Expr],
+    build_key_cols: list[Column],
+    ctx: ExecContext,
+) -> None:
+    """Feed distinct build-side keys into the probe scan as IN constraints.
+
+    This is the optimization the read-session statistics unlock for
+    snowflake joins (§3.4): the probe scan's file pruning sees the concrete
+    dimension keys instead of scanning every partition.
+    """
+    for key_expr, build_col in zip(probe_keys, build_key_cols):
+        if not isinstance(key_expr, ast.ColumnRef):
+            continue
+        column = key_expr.parts[-1]
+        # The probe side may be a join subtree whose fact scan has not
+        # executed yet; locate the (unique) scan owning the key column.
+        scan = _find_scan_for_column(probe_node, column)
+        if scan is None:
+            continue
+        values = {v for v in build_col.to_pylist() if v is not None}
+        if not values or len(values) > _DPP_MAX_KEYS:
+            continue
+        scan.runtime_constraints.add(column, ColumnConstraint(in_set=frozenset(values)))
+        ctx.stats.dpp_applied += 1
+
+
+def _unwrap_scan(node: PlanNode) -> ScanNode | None:
+    if isinstance(node, ScanNode):
+        return node
+    if isinstance(node, FilterNode):
+        return _unwrap_scan(node.child)
+    return None
+
+
+def _find_scan_for_column(node: PlanNode, column: str) -> ScanNode | None:
+    """The unique un-executed scan (through filters and inner joins) whose
+    base table carries ``column`` — the DPP injection target."""
+    if isinstance(node, ScanNode):
+        if node.table.schema.has_field(column):
+            return node
+        return None
+    if isinstance(node, FilterNode):
+        return _find_scan_for_column(node.child, column)
+    if isinstance(node, JoinNode) and node.kind == "INNER":
+        left = _find_scan_for_column(node.left, column)
+        right = _find_scan_for_column(node.right, column)
+        if left is not None and right is not None:
+            return None  # ambiguous: refuse to prune
+        return left or right
+    return None
+
+
+def _execute_semi_join(node: JoinNode, ctx: ExecContext) -> list[RecordBatch]:
+    """SEMI/ANTI join for IN / NOT IN subqueries.
+
+    The subquery (right side) builds first so its keys can dynamically
+    prune the probe scan, like any other build side. NOT IN follows SQL
+    null semantics: a NULL anywhere in the subquery result means no probe
+    row can pass, and probe rows with NULL keys never qualify.
+    """
+    build_node, probe_node = node.right, node.left
+    probe_keys = [l for l, _ in node.equi_keys]
+    build_keys = [r for _, r in node.equi_keys]
+
+    build_batches = execute_plan(build_node, ctx)
+    build = concat_batches(build_node.schema, build_batches)
+    build_binder = Binder(build_node.schema, ctx.engine.functions)
+    build_key_cols = [evaluate(build_binder.bind(k), build) for k in build_keys]
+    _charge_compute(ctx, build.num_rows, ctx.engine.ctx.costs.join_cpu_us_per_row)
+
+    build_has_null = any(c.null_count() > 0 for c in build_key_cols)
+    if node.kind == "ANTI" and build_has_null:
+        return []  # NOT IN over a set containing NULL matches nothing
+    key_set: set[tuple] = set()
+    build_lists = [c.to_pylist() for c in build_key_cols]
+    for i in range(build.num_rows):
+        key = tuple(lst[i] for lst in build_lists)
+        if None not in key:
+            key_set.add(key)
+
+    if ctx.dpp_enabled and node.kind == "SEMI":
+        # Pruning to the build keys is only sound for SEMI: an ANTI join
+        # needs precisely the non-matching rows.
+        _apply_dynamic_partition_pruning(probe_node, probe_keys, build_key_cols, ctx)
+
+    probe_batches = execute_plan(probe_node, ctx)
+    probe = concat_batches(probe_node.schema, probe_batches)
+    probe_binder = Binder(probe_node.schema, ctx.engine.functions)
+    probe_key_cols = [evaluate(probe_binder.bind(k), probe) for k in probe_keys]
+    _charge_compute(ctx, probe.num_rows, ctx.engine.ctx.costs.join_cpu_us_per_row)
+
+    probe_lists = [c.to_pylist() for c in probe_key_cols]
+    keep = np.zeros(probe.num_rows, dtype=bool)
+    for i in range(probe.num_rows):
+        key = tuple(lst[i] for lst in probe_lists)
+        if None in key:
+            continue  # NULL keys match nothing in either mode
+        matched = key in key_set
+        keep[i] = matched if node.kind == "SEMI" else not matched
+    result = probe.filter(keep)
+    return [result] if result.num_rows else []
+
+
+def _execute_cross_join(node: JoinNode, ctx: ExecContext) -> list[RecordBatch]:
+    left = concat_batches(node.left.schema, execute_plan(node.left, ctx))
+    right = concat_batches(node.right.schema, execute_plan(node.right, ctx))
+    if left.num_rows == 0 or right.num_rows == 0:
+        return []
+    left_idx = np.repeat(np.arange(left.num_rows), right.num_rows)
+    right_idx = np.tile(np.arange(right.num_rows), left.num_rows)
+    return [
+        _concat_columns(node.schema, left.take(left_idx), right.take(right_idx))
+    ]
+
+
+def _concat_columns(schema: Schema, left: RecordBatch, right: RecordBatch) -> RecordBatch:
+    return RecordBatch(schema, list(left.columns) + list(right.columns))

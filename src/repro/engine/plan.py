@@ -1,0 +1,209 @@
+"""Logical plan nodes.
+
+Plans carry *syntactic* expressions (AST) plus the schema each node
+produces; binding to concrete column indices happens per-batch at execution
+via :class:`repro.sql.expressions.Binder`, which keeps plan rewrites (filter
+pushdown, join reordering, DPP) simple tree surgery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data.types import DataType, Schema
+from repro.metastore.catalog import TableInfo
+from repro.metastore.constraints import ConstraintSet
+from repro.sql import ast_nodes as ast
+
+
+class PlanNode:
+    """Base class; every node exposes ``schema`` and ``children()``."""
+
+    schema: Schema
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def describe(self, indent: int = 0) -> str:
+        """Human-readable plan tree (EXPLAIN output)."""
+        pad = "  " * indent
+        lines = [f"{pad}{self._label()}"]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Read one table through the Storage Read API.
+
+    ``pushed_filters`` are conjuncts fully answerable by this relation,
+    serialized into the session's row restriction. ``runtime_constraints``
+    receive dynamic-partition-pruning IN-sets at execution time.
+    """
+
+    table: TableInfo
+    schema: Schema
+    columns: list[str]
+    qualifier: str | None = None
+    pushed_filters: list[ast.Expr] = field(default_factory=list)
+    runtime_constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    snapshot_ms: float | None = None
+    # Aggregate pushdown (§3.4 future work): (func, column|None, output).
+    # When set, the scan returns one partial-aggregate row per stream and
+    # ``schema`` describes the partial columns.
+    pushed_aggregates: list[tuple[str, str | None, str]] = field(default_factory=list)
+
+    def _label(self) -> str:
+        filters = (
+            " filter=[" + " AND ".join(str(f) for f in self.pushed_filters) + "]"
+            if self.pushed_filters
+            else ""
+        )
+        return f"Scan({self.table.table_id} cols={self.columns}{filters})"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    child: PlanNode
+    predicate: ast.Expr
+    schema: Schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        return f"Filter({self.predicate})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    child: PlanNode
+    items: list[tuple[ast.Expr, str]]  # (expression, output name)
+    schema: Schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        return f"Project({', '.join(name for _, name in self.items)})"
+
+
+@dataclass
+class AggSpec:
+    """One aggregate computation: ``func(arg)`` with an output name."""
+
+    func: str  # COUNT, SUM, MIN, MAX, AVG
+    arg: ast.Expr | None  # None for COUNT(*)
+    output: str
+    distinct: bool = False
+    dtype: DataType = DataType.FLOAT64
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    child: PlanNode
+    group_items: list[tuple[ast.Expr, str]]
+    aggregates: list[AggSpec]
+    schema: Schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        keys = ", ".join(name for _, name in self.group_items)
+        aggs = ", ".join(f"{a.func}->{a.output}" for a in self.aggregates)
+        return f"Aggregate(keys=[{keys}] aggs=[{aggs}])"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    kind: str  # INNER, LEFT, CROSS
+    left: PlanNode
+    right: PlanNode
+    schema: Schema
+    # Equi-join key pairs extracted from the condition (left_expr, right_expr).
+    equi_keys: list[tuple[ast.Expr, ast.Expr]] = field(default_factory=list)
+    # Residual non-equi condition applied after matching.
+    residual: ast.Expr | None = None
+    # Dynamic partition pruning: feed build-side keys into the probe scan.
+    dpp_eligible: bool = False
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def _label(self) -> str:
+        keys = ", ".join(f"{l}={r}" for l, r in self.equi_keys)
+        dpp = " +DPP" if self.dpp_eligible else ""
+        return f"{self.kind}Join({keys}){dpp}"
+
+
+@dataclass
+class SortNode(PlanNode):
+    child: PlanNode
+    keys: list[tuple[ast.Expr, bool]]  # (expr, ascending)
+    schema: Schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    limit: int
+    schema: Schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def _label(self) -> str:
+        return f"Limit({self.limit})"
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    child: PlanNode
+    schema: Schema
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class UnionAllNode(PlanNode):
+    inputs: list[PlanNode]
+    schema: Schema
+
+    def children(self) -> list[PlanNode]:
+        return list(self.inputs)
+
+
+@dataclass
+class TvfNode(PlanNode):
+    """A table-valued function (ML.PREDICT / ML.PROCESS_DOCUMENT)."""
+
+    name: str
+    model: tuple[str, ...]
+    input_plan: PlanNode | None
+    input_table: TableInfo | None
+    schema: Schema
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def children(self) -> list[PlanNode]:
+        return [self.input_plan] if self.input_plan is not None else []
+
+    def _label(self) -> str:
+        return f"Tvf({self.name} model={'.'.join(self.model)})"
+
+
+@dataclass
+class ValuesNode(PlanNode):
+    """Literal rows (INSERT ... VALUES)."""
+
+    rows: list[list[ast.Expr]]
+    schema: Schema

@@ -1,0 +1,97 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures without also swallowing programming errors. The
+subclasses mirror the failure domains of the real system: storage, catalog,
+security, query processing, the storage APIs, ML inference, and Omni.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Object-store level failure (missing object, bad bucket, etc.)."""
+
+
+class NotFoundError(StorageError):
+    """A referenced object, bucket, table, or resource does not exist."""
+
+
+class AlreadyExistsError(StorageError):
+    """Attempt to create a resource that already exists."""
+
+
+class PreconditionFailedError(StorageError):
+    """A conditional (CAS) write lost the race: generation mismatch."""
+
+
+class RateLimitedError(StorageError):
+    """The object store rejected a mutation due to per-object rate limits."""
+
+
+class CatalogError(ReproError):
+    """Catalog / metadata-service failure."""
+
+
+class TransactionConflictError(CatalogError):
+    """An optimistic transaction conflicted with a concurrent commit."""
+
+
+class SecurityError(ReproError):
+    """Authentication or authorization failure."""
+
+
+class AccessDeniedError(SecurityError):
+    """The principal lacks permission for the attempted operation."""
+
+
+class InvalidCredentialError(SecurityError):
+    """Credential is malformed, expired, or out of scope."""
+
+
+class QueryError(ReproError):
+    """Query front-end or execution failure."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class AnalysisError(QueryError):
+    """The query is syntactically valid but semantically wrong."""
+
+
+class ExecutionError(QueryError):
+    """Runtime failure while executing a (valid) plan."""
+
+
+class StorageApiError(ReproError):
+    """Read/Write API protocol failure."""
+
+
+class SessionExpiredError(StorageApiError):
+    """The read/write session is no longer usable."""
+
+
+class StreamOffsetError(StorageApiError):
+    """An append arrived at an unexpected offset (exactly-once violation)."""
+
+
+class MlError(ReproError):
+    """Model registry or inference failure."""
+
+
+class ModelTooLargeError(MlError):
+    """Model exceeds the in-engine (Dremel worker) loadable size limit."""
+
+
+class OmniError(ReproError):
+    """Multi-cloud control/data-plane failure."""
+
+
+class VpnPolicyError(OmniError):
+    """The VPN policy engine rejected a cross-plane RPC."""

@@ -1,0 +1,18 @@
+"""External analytics engines (§3.2, §3.4).
+
+:class:`~repro.external.sparksim.SparkSim` models Apache Spark with the
+open-source BigQuery connector: it plans and executes queries itself, but
+sources data either
+
+* **via the Storage Read API** (DataSourceV2-style) — getting uniform
+  governance and, when session statistics are enabled, the §3.4 plan
+  improvements (join reordering, dynamic partition pruning); or
+* **directly from the object store** — the legacy credential-forwarding
+  model: the Spark principal needs raw bucket access, every query re-lists
+  the bucket and reads footers, and *no* BigLake policies apply (the
+  governance gap §3.2 closes).
+"""
+
+from repro.external.sparksim import DirectLakeReader, SparkSim
+
+__all__ = ["DirectLakeReader", "SparkSim"]

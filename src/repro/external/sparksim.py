@@ -1,0 +1,201 @@
+"""Spark simulator + direct object-store data source."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.data.batch import RecordBatch
+from repro.errors import QueryError
+from repro.engine.engine import QueryEngine
+from repro.formats import pqs
+from repro.formats.readers import VectorizedReader
+from repro.metastore.catalog import TableInfo, TableKind
+from repro.metastore.constraints import ConstraintSet
+from repro.security.iam import Permission, Principal
+from repro.simtime import MIB
+from repro.sql.analysis import extract_constraints
+from repro.sql.expressions import Binder, evaluate_predicate
+from repro.sql.parser import parse_expression
+from repro.storageapi.fileutil import entry_from_footer, read_remote_footer
+from repro.storageapi.read_api import ReadStream, SessionStats, _dir_prefix
+from repro.tableformats.hive_layout import parse_partition_from_key
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class _DirectSession:
+    """Duck-typed stand-in for a Read API session (direct mode)."""
+
+    session_id: str
+    table: TableInfo
+    principal: Principal
+    columns: list[str]
+    row_restriction: str | None
+    constraints: ConstraintSet
+    streams: list[ReadStream]
+    engine_location: str | None
+    stats: SessionStats = field(default_factory=SessionStats)
+    table_stats: dict | None = None  # direct reads have no statistics
+    use_row_oriented_reader: bool = False
+
+
+class DirectLakeReader:
+    """Spark's legacy path: list the bucket, read footers, scan files.
+
+    Governance model: *credential forwarding* — the querying principal
+    itself must hold object-store permissions, gets raw bytes, and no
+    row/column policies or masking apply (§3.1/§3.2's status quo).
+    """
+
+    def __init__(self, platform) -> None:
+        self.platform = platform
+        self.ctx = platform.ctx
+        self.stores = platform.stores
+        self.iam = platform.iam
+        # Engine facade compatibility (stats_provider guards on use_stats).
+        self.managed = platform.managed
+        self.bigmeta = platform.bigmeta
+
+    def create_read_session(
+        self,
+        principal: Principal,
+        table: TableInfo,
+        columns: list[str] | None = None,
+        row_restriction: str | None = None,
+        snapshot_ms: float | None = None,
+        max_streams: int = 8,
+        with_table_stats: bool = False,
+        engine_location: str | None = None,
+        use_row_oriented_reader: bool = False,
+        aggregates: list | None = None,
+        wire_format: str | None = None,
+        reuse: bool = False,
+        ranged_reads: bool = False,
+    ) -> _DirectSession:
+        if aggregates:
+            raise QueryError("direct reads have no server to push aggregates to")
+        if table.kind not in (TableKind.BIGLAKE, TableKind.EXTERNAL):
+            raise QueryError(
+                f"direct reads only work on lake files, not {table.kind.value} tables"
+            )
+        bucket = table.storage.bucket
+        # Credential forwarding: the user needs raw bucket access.
+        self.iam.require(principal, Permission.STORAGE_OBJECTS_LIST, f"buckets/{bucket}")
+        self.iam.require(principal, Permission.STORAGE_OBJECTS_GET, f"buckets/{bucket}")
+
+        constraints = ConstraintSet()
+        if row_restriction:
+            constraints = extract_constraints(parse_expression(row_restriction))
+
+        store = self.stores.store_for(table.storage.location)
+        stats = SessionStats()
+        entries = []
+        for meta in store.list_objects(bucket, prefix=_dir_prefix(table.storage.prefix)):
+            if not meta.key.endswith(".pqs"):
+                continue
+            stats.files_total += 1
+            partition = {}
+            if table.partition_columns:
+                partition = parse_partition_from_key(table.storage.prefix, meta.key)
+            footer, size = read_remote_footer(
+                store, bucket, meta.key, caller_location=engine_location
+            )
+            entry = entry_from_footer(f"{bucket}/{meta.key}", size, footer, partition)
+            from repro.metastore.bigmeta import BigMetadataService
+
+            if BigMetadataService._entry_matches(entry, constraints):
+                entries.append(entry)
+        stats.files_after_pruning = len(entries)
+        count = max(1, min(max_streams, len(entries) or 1))
+        streams = [ReadStream(stream_id=i) for i in range(count)]
+        for i, entry in enumerate(entries):
+            streams[i % count].files.append(entry)
+        return _DirectSession(
+            session_id=f"direct-{next(_session_ids):06d}",
+            table=table,
+            principal=principal,
+            columns=columns or table.schema.names(),
+            row_restriction=row_restriction,
+            constraints=constraints,
+            streams=streams,
+            engine_location=engine_location,
+            stats=stats,
+        )
+
+    def read_rows(self, session: _DirectSession, stream_index: int) -> Iterator[RecordBatch]:
+        table = session.table
+        store = self.stores.store_for(table.storage.location)
+        predicate = None
+        if session.row_restriction:
+            predicate = Binder(table.schema, self.platform.functions).bind(
+                parse_expression(session.row_restriction)
+            )
+        for entry in session.streams[stream_index].files:
+            bucket, _, key = entry.file_path.partition("/")
+            data = store.get_object(bucket, key, caller_location=session.engine_location)
+            session.stats.bytes_scanned += len(data)
+            reader = VectorizedReader(data)
+            keep = set(range(len(reader.footer.row_groups)))
+            for column, constraint in session.constraints:
+                if not reader.footer.schema.has_field(column):
+                    continue
+                keep &= set(
+                    reader.prunable_row_groups(
+                        reader.footer.schema.field(column).name,
+                        lo=constraint.lo, hi=constraint.hi,
+                    )
+                )
+            session.stats.row_groups_pruned += len(reader.footer.row_groups) - len(keep)
+            self.ctx.charge(
+                "spark.direct_scan", (len(data) / MIB) * self.ctx.costs.scan_per_mib_ms
+            )
+            for rg_index in sorted(keep):
+                batch = pqs.read_row_group(data, reader.footer, rg_index)
+                session.stats.rows_scanned += batch.num_rows
+                if predicate is not None:
+                    batch = batch.filter(evaluate_predicate(predicate, batch))
+                out = batch.select(session.columns)
+                session.stats.rows_returned += out.num_rows
+                if out.num_rows:
+                    yield out
+
+
+class SparkSim(QueryEngine):
+    """An external engine with Spark's planner characteristics.
+
+    ``mode='connector'`` reads through the Storage Read API; with
+    ``session_stats=True`` the connector also consumes the table statistics
+    CreateReadSession returns, unlocking join reordering and dynamic
+    partition pruning (§3.4). ``mode='direct'`` bypasses BigLake entirely.
+    """
+
+    def __init__(
+        self,
+        platform,
+        mode: str = "connector",
+        session_stats: bool = True,
+        location: str | None = None,
+        name: str | None = None,
+        slots: int = 32,
+    ) -> None:
+        if mode not in ("connector", "direct"):
+            raise ValueError(f"unknown SparkSim mode {mode!r}")
+        self.mode = mode
+        read_api = platform.read_api if mode == "connector" else DirectLakeReader(platform)
+        stats_on = mode == "connector" and session_stats
+        super().__init__(
+            read_api=read_api,
+            catalog=platform.catalog,
+            location=location or platform.config.home_region.location,
+            name=name or f"sparksim-{mode}",
+            slots=slots,
+            functions=platform.functions,
+            use_stats=stats_on,
+            enable_dpp=stats_on,
+            # Aggregate pushdown is a DataSourceV2/connector capability;
+            # the direct path has no server to push to.
+            enable_aggregate_pushdown=(mode == "connector"),
+        )

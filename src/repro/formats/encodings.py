@@ -1,0 +1,120 @@
+"""Physical encodings for pqs column chunks.
+
+Encodings implemented:
+
+* ``PLAIN`` — validity bytes followed by raw values (numpy buffers for
+  fixed-width types, length-prefixed payloads for strings/bytes).
+* ``RLE`` — run-length encoding of int32 code arrays.
+
+Dictionary encoding is layered in :mod:`repro.formats.pqs`: a dictionary
+chunk is a PLAIN-encoded dictionary followed by a (possibly RLE-compressed)
+code array.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.data.column import Column
+from repro.data.types import DataType
+from repro.errors import ExecutionError
+
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+
+
+def _fixed_numpy_dtype(dtype: DataType) -> np.dtype:
+    if dtype is DataType.BOOL:
+        return np.dtype(np.uint8)
+    return dtype.numpy_dtype()
+
+
+def encode_plain(column: Column) -> bytes:
+    """Serialize a flat column: [n][validity bytes][values]."""
+    n = len(column)
+    parts = [_U32.pack(n), column.is_valid().astype(np.uint8).tobytes()]
+    if column.dtype.is_variable_width:
+        valid = column.is_valid()
+        for i in range(n):
+            if not valid[i]:
+                continue
+            v = column.values[i]
+            payload = v.encode("utf-8") if isinstance(v, str) else bytes(v)
+            parts.append(_U32.pack(len(payload)))
+            parts.append(payload)
+    else:
+        physical = column.values.astype(_fixed_numpy_dtype(column.dtype), copy=False)
+        parts.append(physical.tobytes())
+    return b"".join(parts)
+
+
+def decode_plain(dtype: DataType, buf: bytes) -> Column:
+    """Inverse of :func:`encode_plain`."""
+    if len(buf) < 4:
+        raise ExecutionError("truncated PLAIN chunk")
+    (n,) = _U32.unpack_from(buf, 0)
+    offset = 4
+    validity = np.frombuffer(buf, dtype=np.uint8, count=n, offset=offset).astype(bool)
+    offset += n
+    if dtype.is_variable_width:
+        values = np.empty(n, dtype=object)
+        for i in range(n):
+            if not validity[i]:
+                continue
+            (length,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            offset += length
+            values[i] = payload.decode("utf-8") if dtype is DataType.STRING else payload
+        return Column(dtype, values, validity)
+    physical = _fixed_numpy_dtype(dtype)
+    values = np.frombuffer(buf, dtype=physical, count=n, offset=offset)
+    if dtype is DataType.BOOL:
+        values = values.astype(bool)
+    else:
+        values = values.copy()  # frombuffer yields a read-only view
+    return Column(dtype, values, validity)
+
+
+def encode_codes_plain(codes: np.ndarray) -> bytes:
+    """[n][int32 codes]; code -1 is null."""
+    codes = np.asarray(codes, dtype=np.int32)
+    return _U32.pack(len(codes)) + codes.tobytes()
+
+
+def decode_codes_plain(buf: bytes) -> np.ndarray:
+    (n,) = _U32.unpack_from(buf, 0)
+    return np.frombuffer(buf, dtype=np.int32, count=n, offset=4).copy()
+
+
+def encode_codes_rle(codes: np.ndarray) -> bytes:
+    """Run-length encode an int32 code array: [n][num_runs][(code,len)...]."""
+    codes = np.asarray(codes, dtype=np.int32)
+    n = len(codes)
+    if n == 0:
+        return _U32.pack(0) + _U32.pack(0)
+    # Boundaries where the value changes.
+    change = np.flatnonzero(codes[1:] != codes[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [n]))
+    run_values = codes[starts]
+    run_lengths = (ends - starts).astype(np.uint32)
+    parts = [_U32.pack(n), _U32.pack(len(starts))]
+    interleaved = np.empty(2 * len(starts), dtype=np.uint32)
+    interleaved[0::2] = run_values.view(np.uint32)
+    interleaved[1::2] = run_lengths
+    parts.append(interleaved.tobytes())
+    return b"".join(parts)
+
+
+def decode_codes_rle(buf: bytes) -> np.ndarray:
+    (n,) = _U32.unpack_from(buf, 0)
+    (num_runs,) = _U32.unpack_from(buf, 4)
+    interleaved = np.frombuffer(buf, dtype=np.uint32, count=2 * num_runs, offset=8)
+    run_values = interleaved[0::2].view(np.int32)
+    run_lengths = interleaved[1::2].astype(np.int64)
+    if int(run_lengths.sum()) != n:
+        raise ExecutionError("corrupt RLE chunk: run lengths do not sum to n")
+    return np.repeat(run_values, run_lengths)

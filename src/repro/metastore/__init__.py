@@ -1,0 +1,50 @@
+"""Catalog and metadata services.
+
+* :mod:`repro.metastore.catalog` — the logical catalog (projects, datasets,
+  tables of every kind the paper introduces: managed, BigLake external,
+  BLMT, Object tables, materialized views).
+* :mod:`repro.metastore.bigmeta` — Big Metadata (§3.3/§3.5): a columnar
+  file-level metadata cache with a stateful transaction log (in-memory tail
+  + periodically compacted columnar baselines), supporting snapshot reads,
+  multi-table transactions, and high commit rates.
+* :mod:`repro.metastore.hivemeta` — the Hive-Metastore-granularity baseline
+  (partition prefixes only), used as the comparator in E1/E5.
+* :mod:`repro.metastore.constraints` — plain column-range constraints used
+  by partition/file pruning (engine-independent).
+"""
+
+from repro.metastore.catalog import (
+    Catalog,
+    Dataset,
+    StorageDescriptor,
+    TableInfo,
+    TableKind,
+    MetadataCacheConfig,
+)
+from repro.metastore.constraints import ColumnConstraint, ConstraintSet
+from repro.metastore.bigmeta import (
+    BigMetadataService,
+    ColumnStats,
+    FileEntry,
+    MetaTransaction,
+    TableMetadata,
+)
+from repro.metastore.hivemeta import HiveMetastore, HivePartition
+
+__all__ = [
+    "Catalog",
+    "Dataset",
+    "StorageDescriptor",
+    "TableInfo",
+    "TableKind",
+    "MetadataCacheConfig",
+    "ColumnConstraint",
+    "ConstraintSet",
+    "BigMetadataService",
+    "ColumnStats",
+    "FileEntry",
+    "MetaTransaction",
+    "TableMetadata",
+    "HiveMetastore",
+    "HivePartition",
+]

@@ -1,0 +1,60 @@
+"""BQML-style inference over unstructured data (§4.2).
+
+* :mod:`repro.ml.media` — synthetic unstructured formats: SIMG images and
+  SDOC documents, plus tensor (de)serialization.
+* :mod:`repro.ml.models` — a numpy model zoo (centroid/linear classifier,
+  MLP, tiny conv net) with a binary model format and a loadable-size limit
+  standing in for the 2 GB Dremel-worker constraint.
+* :mod:`repro.ml.registry` — local (imported) and remote (Vertex-style)
+  model registration.
+* :mod:`repro.ml.remote` — remote endpoints: a Vertex-like serving
+  endpoint with capacity/autoscaling simulation and a Document-AI-style
+  invoice processor that reads objects directly via access tokens.
+* :mod:`repro.ml.inference` — the in-engine inference runtime: the
+  ``ML.PREDICT`` / ``ML.PROCESS_DOCUMENT`` TVF handlers, the
+  ``ML.DECODE_IMAGE`` scalar function, and the Fig. 7 distributed
+  preprocess/inference split with per-worker memory accounting.
+"""
+
+from repro.ml.media import (
+    decode_image,
+    decode_tensor,
+    encode_image,
+    encode_tensor,
+    make_document,
+    parse_document,
+)
+from repro.ml.models import (
+    CentroidClassifier,
+    MlpClassifier,
+    TinyConvNet,
+    load_model,
+    serialize_model,
+    train_centroid_classifier,
+)
+from repro.ml.registry import LocalModel, ModelRegistry, RemoteModel
+from repro.ml.remote import DocumentAiProcessor, VertexEndpoint
+from repro.ml.inference import InferenceRuntime, InferenceStats, WorkerProfile
+
+__all__ = [
+    "decode_image",
+    "decode_tensor",
+    "encode_image",
+    "encode_tensor",
+    "make_document",
+    "parse_document",
+    "CentroidClassifier",
+    "MlpClassifier",
+    "TinyConvNet",
+    "load_model",
+    "serialize_model",
+    "train_centroid_classifier",
+    "LocalModel",
+    "ModelRegistry",
+    "RemoteModel",
+    "DocumentAiProcessor",
+    "VertexEndpoint",
+    "InferenceRuntime",
+    "InferenceStats",
+    "WorkerProfile",
+]

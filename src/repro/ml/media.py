@@ -1,0 +1,128 @@
+"""Synthetic unstructured media: SIMG images, SDOC documents, tensors.
+
+The paper's object tables hold JPEGs and PDFs; offline we use two
+self-describing binary formats that exercise the same code paths — a real
+decode step with real bytes and sizes for images, and a text-extraction
+step for documents.
+
+SIMG layout: ``b"SIMG"`` + uint16 height/width/channels + uint8 pixels.
+SDOC: UTF-8 JSON with an invoice-like payload and free-text body.
+Tensors: ``b"TNSR"`` + uint8 ndim + uint32 dims + float32 data.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import MlError
+
+_SIMG_MAGIC = b"SIMG"
+_TENSOR_MAGIC = b"TNSR"
+
+
+def encode_image(pixels: np.ndarray) -> bytes:
+    """Serialize an HxWxC uint8 image to SIMG bytes."""
+    if pixels.ndim == 2:
+        pixels = pixels[:, :, None]
+    if pixels.ndim != 3:
+        raise MlError(f"image must be HxWxC, got shape {pixels.shape}")
+    h, w, c = pixels.shape
+    header = _SIMG_MAGIC + struct.pack("<HHH", h, w, c)
+    return header + pixels.astype(np.uint8).tobytes()
+
+
+def decode_image(data: bytes) -> np.ndarray:
+    """Decode SIMG bytes to an HxWxC uint8 array."""
+    if len(data) < 10 or data[:4] != _SIMG_MAGIC:
+        raise MlError("not a SIMG image (bad magic)")
+    h, w, c = struct.unpack_from("<HHH", data, 4)
+    expected = h * w * c
+    if len(data) - 10 < expected:
+        raise MlError("truncated SIMG image")
+    pixels = np.frombuffer(data, dtype=np.uint8, count=expected, offset=10)
+    return pixels.reshape(h, w, c).copy()
+
+
+def resize_image(pixels: np.ndarray, target_h: int, target_w: int) -> np.ndarray:
+    """Nearest-neighbour resize (the preprocessing resize of §4.2.1)."""
+    h, w, _ = pixels.shape
+    row_idx = (np.arange(target_h) * h // target_h).clip(0, h - 1)
+    col_idx = (np.arange(target_w) * w // target_w).clip(0, w - 1)
+    return pixels[row_idx][:, col_idx]
+
+
+def preprocess_image(data: bytes, target_h: int, target_w: int) -> np.ndarray:
+    """Decode + resize + normalize to float32 in [0, 1] — the full
+    preprocessing pipeline run before inference."""
+    pixels = decode_image(data)
+    resized = resize_image(pixels, target_h, target_w)
+    return resized.astype(np.float32) / 255.0
+
+
+def encode_tensor(tensor: np.ndarray) -> bytes:
+    """Serialize a float tensor (the unit exchanged between preprocessing
+    and inference workers in Fig. 7 — much smaller than the raw image)."""
+    tensor = np.asarray(tensor, dtype=np.float32)
+    header = _TENSOR_MAGIC + struct.pack("<B", tensor.ndim)
+    dims = struct.pack(f"<{tensor.ndim}I", *tensor.shape)
+    return header + dims + tensor.tobytes()
+
+
+def decode_tensor(data: bytes) -> np.ndarray:
+    if len(data) < 5 or data[:4] != _TENSOR_MAGIC:
+        raise MlError("not a tensor (bad magic)")
+    (ndim,) = struct.unpack_from("<B", data, 4)
+    dims = struct.unpack_from(f"<{ndim}I", data, 5)
+    offset = 5 + 4 * ndim
+    count = int(np.prod(dims)) if ndim else 1
+    values = np.frombuffer(data, dtype=np.float32, count=count, offset=offset)
+    return values.reshape(dims).copy()
+
+
+# --------------------------------------------------------------------------
+# Documents
+# --------------------------------------------------------------------------
+
+
+def make_document(
+    doc_id: str,
+    vendor: str,
+    invoice_date: str,
+    total: float,
+    line_items: list[tuple[str, float]] | None = None,
+) -> bytes:
+    """Build an SDOC invoice document."""
+    lines = line_items or []
+    text = "\n".join(
+        [
+            f"INVOICE #{doc_id}",
+            f"Vendor: {vendor}",
+            f"Date: {invoice_date}",
+        ]
+        + [f"  {name}: ${amount:.2f}" for name, amount in lines]
+        + [f"TOTAL DUE: ${total:.2f}"]
+    )
+    payload = {
+        "format": "sdoc/v1",
+        "doc_id": doc_id,
+        "vendor": vendor,
+        "invoice_date": invoice_date,
+        "total": total,
+        "line_items": [[n, a] for n, a in lines],
+        "text": text,
+    }
+    return json.dumps(payload).encode("utf-8")
+
+
+def parse_document(data: bytes) -> dict:
+    """Parse SDOC bytes; raises :class:`MlError` on anything else."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MlError(f"not an SDOC document: {exc}") from None
+    if payload.get("format") != "sdoc/v1":
+        raise MlError("not an SDOC document (wrong format tag)")
+    return payload

@@ -1,0 +1,82 @@
+"""Model registry: imported (local) and remote models.
+
+Mirrors BQML's model catalog: ``CREATE MODEL ... OPTIONS(model_path=...)``
+imports a model into the dataset (runs in-engine), while ``CREATE MODEL
+... REMOTE WITH CONNECTION`` (Listing 2) registers an endpoint reference —
+a Vertex-style serving endpoint or a first-party processor like Document
+AI — that inference calls out to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import NotFoundError
+from repro.ml.models import ImageModel, load_model, peek_model_size
+
+
+@dataclass
+class LocalModel:
+    """An imported model: bytes loadable into engine workers (§4.2.1)."""
+
+    name: str  # dataset.model
+    data: bytes
+
+    def size_bytes(self) -> int:
+        return peek_model_size(self.data)
+
+    def load(self, memory_limit_bytes: int) -> ImageModel:
+        return load_model(self.data, memory_limit_bytes)
+
+
+@dataclass
+class RemoteModel:
+    """A remote model reference: endpoint + connection (§4.2.2)."""
+
+    name: str
+    connection_name: str
+    remote_service_type: str  # "vertex" | "cloud_ai_document" | ...
+    endpoint: Any  # VertexEndpoint or DocumentAiProcessor
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """dataset.model -> model lookup for one deployment."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, LocalModel | RemoteModel] = {}
+
+    def register_local(self, name: str, data: bytes) -> LocalModel:
+        model = LocalModel(name=name, data=data)
+        self._models[name.lower()] = model
+        return model
+
+    def register_remote(
+        self,
+        name: str,
+        connection_name: str,
+        remote_service_type: str,
+        endpoint: Any,
+        **options: Any,
+    ) -> RemoteModel:
+        model = RemoteModel(
+            name=name,
+            connection_name=connection_name,
+            remote_service_type=remote_service_type,
+            endpoint=endpoint,
+            options=options,
+        )
+        self._models[name.lower()] = model
+        return model
+
+    def get(self, path: tuple[str, ...] | str) -> LocalModel | RemoteModel:
+        name = path if isinstance(path, str) else ".".join(path)
+        try:
+            return self._models[name.lower()]
+        except KeyError:
+            raise NotFoundError(f"model {name!r} not found") from None
+
+    def has(self, path: tuple[str, ...] | str) -> bool:
+        name = path if isinstance(path, str) else ".".join(path)
+        return name.lower() in self._models

@@ -1,0 +1,142 @@
+"""Remote inference services (§4.2.2).
+
+* :class:`VertexEndpoint` — a customer-owned model behind a serving
+  endpoint: fixed per-replica throughput, autoscaling with a lag, and a
+  per-call network overhead. Captures the paper's trade-off: specialized
+  capacity and no model-size limit, but slower scaling agility than
+  Dremel's and an extra communication cost.
+* :class:`DocumentAiProcessor` — a first-party model behind a dedicated
+  API: Dremel passes URIs + access tokens, the service reads the objects
+  itself (bytes never flow through the engine) and returns flattened
+  entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MlError
+from repro.ml.media import parse_document
+from repro.ml.models import ImageModel
+from repro.objectstore.registry import StoreRegistry
+from repro.security.connections import ConnectionManager, ScopedCredential
+from repro.simtime import SimContext
+
+
+@dataclass
+class EndpointStats:
+    calls: int = 0
+    samples: int = 0
+    queued_ms_total: float = 0.0
+    scale_ups: int = 0
+
+
+class VertexEndpoint:
+    """A Vertex-AI-style model serving endpoint.
+
+    Each replica serves ``per_replica_qps`` samples per second. Replica
+    count starts at ``min_replicas`` and grows toward ``max_replicas``
+    when the queue backs up, but each step takes ``autoscale_step_ms`` —
+    the "limited auto scaling agility" of §4.2.
+    """
+
+    def __init__(
+        self,
+        model: ImageModel,
+        ctx: SimContext,
+        per_replica_qps: float = 50.0,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+    ) -> None:
+        self.model = model
+        self.ctx = ctx
+        self.per_replica_qps = per_replica_qps
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.replicas = min_replicas
+        self.stats = EndpointStats()
+        # Simulated time at which current in-flight work drains.
+        self._backlog_clear_ms = 0.0
+        self._next_scale_ready_ms = 0.0
+
+    def predict(self, tensors: np.ndarray) -> tuple[list[str], np.ndarray]:
+        """Serve one batch, charging call overhead + queue + service time."""
+        now = self.ctx.clock.now_ms
+        n = len(tensors)
+        self.stats.calls += 1
+        self.stats.samples += n
+        self.ctx.charge("vertex.call", self.ctx.costs.remote_call_overhead_ms)
+
+        service_ms = (n / (self.replicas * self.per_replica_qps)) * 1000.0
+        queue_ms = max(0.0, self._backlog_clear_ms - now)
+        self.stats.queued_ms_total += queue_ms
+        # Autoscale when work backs up — either a queue has formed or a
+        # single batch exceeds a second of service time (demand > capacity).
+        overloaded = queue_ms > 1000.0 or service_ms > 1000.0
+        if overloaded and self.replicas < self.max_replicas:
+            if now >= self._next_scale_ready_ms:
+                self.replicas += 1
+                self.stats.scale_ups += 1
+                self._next_scale_ready_ms = now + self.ctx.costs.remote_autoscale_step_ms
+        self._backlog_clear_ms = max(self._backlog_clear_ms, now) + service_ms
+        self.ctx.clock.advance(queue_ms + service_ms)
+        return self.model.predict(tensors)
+
+
+class DocumentAiProcessor:
+    """A first-party Document AI processor (Listing 2).
+
+    ``process`` takes object references plus a scoped credential; the
+    processor fetches bytes directly from the object store (validating the
+    token for every access) and returns flattened invoice entities.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ctx: SimContext,
+        stores: StoreRegistry,
+        connections: ConnectionManager,
+        per_document_ms: float = 40.0,
+    ) -> None:
+        self.name = name
+        self.ctx = ctx
+        self.stores = stores
+        self.connections = connections
+        self.per_document_ms = per_document_ms
+        self.documents_processed = 0
+
+    def process(
+        self,
+        references: list[tuple[str, str]],  # (bucket, key)
+        credential: ScopedCredential,
+    ) -> list[dict]:
+        """Fetch + parse each referenced document; returns entity dicts."""
+        results = []
+        for bucket, key in references:
+            self.connections.validate(credential, bucket, key)
+            store = self.stores.find_bucket(bucket)
+            data = store.get_object(bucket, key)
+            self.ctx.charge("documentai.process", self.per_document_ms)
+            try:
+                payload = parse_document(data)
+            except MlError:
+                results.append(
+                    {"uri": f"store://{bucket}/{key}", "error": "unparseable document"}
+                )
+                continue
+            self.documents_processed += 1
+            results.append(
+                {
+                    "uri": f"store://{bucket}/{key}",
+                    "doc_id": payload["doc_id"],
+                    "vendor": payload["vendor"],
+                    "invoice_date": payload["invoice_date"],
+                    "total": float(payload["total"]),
+                    "num_line_items": len(payload.get("line_items", [])),
+                    "error": None,
+                }
+            )
+        return results

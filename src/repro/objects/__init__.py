@@ -1,0 +1,11 @@
+"""Object-table convenience services (§4.1).
+
+The Object table itself lives in the catalog and is served by the Read
+API; this package provides the workflows the paper's §6 use cases
+describe on top of it: governed sampling, signed-URL export for external
+processing, and corpus statistics.
+"""
+
+from repro.objects.service import ObjectSample, ObjectTableService
+
+__all__ = ["ObjectSample", "ObjectTableService"]

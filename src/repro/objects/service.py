@@ -1,0 +1,110 @@
+"""High-level Object-table workflows: sampling, signed URLs, stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+from repro.metastore.catalog import TableInfo, TableKind
+from repro.objectstore.store import SignedUrl
+from repro.security.iam import Principal
+
+
+@dataclass
+class ObjectSample:
+    """A governed sample of objects: (uri, bucket, key) triples."""
+
+    rows: list[tuple[str, str, str]]
+
+    def uris(self) -> list[str]:
+        return [uri for uri, _, _ in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ObjectTableService:
+    """Workflows over Object tables, always through the governed SQL path.
+
+    Every method runs as the supplied principal via the engine, so row
+    policies on the Object table bound exactly what can be sampled,
+    exported, or counted — the §4.1 invariant and the §6
+    "training corpus definition" / "granular security enforcement" use
+    cases.
+    """
+
+    def __init__(self, platform) -> None:
+        self.platform = platform
+
+    def _require_object_table(self, table: TableInfo) -> None:
+        if table.kind is not TableKind.OBJECT:
+            raise CatalogError(f"{table.table_id} is not an Object table")
+
+    def list_objects(
+        self,
+        table: TableInfo,
+        principal: Principal,
+        where: str | None = None,
+        limit: int | None = None,
+    ) -> ObjectSample:
+        """Governed listing: uri/bucket/key of visible objects."""
+        self._require_object_table(table)
+        sql = f"SELECT uri, bucket, key FROM {table.dataset}.{table.name}"
+        if where:
+            sql += f" WHERE {where}"
+        if limit is not None:
+            sql += f" ORDER BY key LIMIT {limit}"
+        result = self.platform.home_engine.query(sql, principal)
+        return ObjectSample(rows=result.rows())
+
+    def sample(
+        self,
+        table: TableInfo,
+        principal: Principal,
+        every_nth: int = 100,
+        where: str | None = None,
+    ) -> ObjectSample:
+        """Deterministic 1/N sample of visible objects (the paper's
+        "two lines of SQL" sampling, §4.1) using the generation-stable
+        object ordering."""
+        self._require_object_table(table)
+        listing = self.list_objects(table, principal, where=where)
+        return ObjectSample(rows=listing.rows[::every_nth])
+
+    def export_signed_urls(
+        self,
+        table: TableInfo,
+        principal: Principal,
+        where: str | None = None,
+        ttl_ms: float = 3_600_000.0,
+        limit: int | None = None,
+    ) -> list[SignedUrl]:
+        """Mint signed URLs for exactly the objects the principal can see.
+
+        The URL set is bounded by the principal's row policies, extending
+        the governance umbrella to external consumers (§4.1).
+        """
+        sample = self.list_objects(table, principal, where=where, limit=limit)
+        store = self.platform.stores.store_for(table.storage.location)
+        return [
+            store.generate_signed_url(bucket, key, ttl_ms=ttl_ms)
+            for _, bucket, key in sample.rows
+        ]
+
+    def corpus_stats(self, table: TableInfo, principal: Principal) -> dict:
+        """Visible-object counts and sizes, grouped by content type."""
+        self._require_object_table(table)
+        result = self.platform.home_engine.query(
+            f"SELECT content_type, COUNT(*) AS objects, SUM(size) AS bytes "
+            f"FROM {table.dataset}.{table.name} GROUP BY content_type",
+            principal,
+        )
+        by_type = {
+            content_type: {"objects": n, "bytes": size}
+            for content_type, n, size in result.rows()
+        }
+        return {
+            "total_objects": sum(v["objects"] for v in by_type.values()),
+            "total_bytes": sum(v["bytes"] or 0 for v in by_type.values()),
+            "by_content_type": by_type,
+        }

@@ -1,0 +1,21 @@
+"""In-memory cloud object store simulation (GCS / S3 / Azure Blob).
+
+Models the behaviours BigLake's experiments hinge on:
+
+* paginated LIST with per-page latency (listing millions of objects is
+  slow — the motivation for metadata caching, §3.3, and Object tables, §4.1);
+* per-object GET/PUT with first-byte + per-MiB latency and byte metering;
+* conditional (generation-match) writes with a per-object mutation rate
+  limit — the bottleneck that caps open-table-format commit rates (§3.5);
+* signed URLs extending governance outside the warehouse (§4.1);
+* location-aware access so cross-region/cross-cloud reads accrue egress.
+"""
+
+from repro.objectstore.store import (
+    Bucket,
+    ObjectMeta,
+    ObjectStore,
+    SignedUrl,
+)
+
+__all__ = ["Bucket", "ObjectMeta", "ObjectStore", "SignedUrl"]

@@ -1,0 +1,43 @@
+"""Registry of object stores across clouds and regions."""
+
+from __future__ import annotations
+
+from repro.cloud import Region
+from repro.errors import NotFoundError
+from repro.objectstore.store import ObjectStore
+from repro.simtime import SimContext
+
+
+class StoreRegistry:
+    """Location (``cloud/region``) -> :class:`ObjectStore` lookup.
+
+    A multi-cloud deployment has one object-store endpoint per region; the
+    registry is how engines find the store colocated with (or remote from)
+    a table's bucket.
+    """
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        self._stores: dict[str, ObjectStore] = {}
+
+    def add_region(self, region: Region) -> ObjectStore:
+        """Create (or return) the store endpoint for a region."""
+        if region.location not in self._stores:
+            self._stores[region.location] = ObjectStore(region, self.ctx)
+        return self._stores[region.location]
+
+    def store_for(self, location: str) -> ObjectStore:
+        try:
+            return self._stores[location]
+        except KeyError:
+            raise NotFoundError(f"no object store registered for {location!r}") from None
+
+    def find_bucket(self, bucket: str) -> ObjectStore:
+        """Locate the (unique) store hosting ``bucket``."""
+        for store in self._stores.values():
+            if store.has_bucket(bucket):
+                return store
+        raise NotFoundError(f"bucket {bucket!r} not found in any region")
+
+    def locations(self) -> list[str]:
+        return sorted(self._stores)

@@ -1,0 +1,66 @@
+"""Omni: BigQuery's data plane on non-GCP clouds (§5).
+
+* :mod:`repro.omni.network` — the QUIC-style zero-trust VPN between the
+  GCP control plane and foreign-cloud data planes: policy engine,
+  per-query session tokens, and the untrusted proxy (§5.2, §5.3.2).
+* :mod:`repro.omni.deployment` — foreign-cloud data planes: a Kubernetes
+  cluster simulation hosting Dremel + the Borg-like dependency set
+  (Chubby, Envelope, shuffle), binary authorization (§5.3.5), and
+  per-region security realms (§5.3.3).
+* :mod:`repro.omni.control_plane` — the Job Server: query validation, IAM
+  authorization, metadata lookup, per-query credential downscoping
+  (§5.3.1), and routing to the engine colocated with the data.
+* :mod:`repro.omni.crosscloud` — cross-cloud queries (§5.6.1): regional
+  subqueries with filter pushdown, results streamed back to the primary
+  region, local join over temp tables.
+* :mod:`repro.omni.ccmv` — cross-cloud materialized views (§5.6.2):
+  partition-level incremental replication from foreign clouds to GCP.
+"""
+
+from repro.omni.network import (
+    RpcPolicy,
+    SecurityRealm,
+    SessionToken,
+    UntrustedProxy,
+    VpnChannel,
+)
+from repro.omni.deployment import (
+    BinaryRegistry,
+    KubernetesCluster,
+    OmniDeployment,
+    OmniRegion,
+)
+from repro.omni.control_plane import JobServer
+from repro.omni.crosscloud import CrossCloudQueryPlanner
+from repro.omni.ccmv import CrossCloudMaterializedView
+from repro.omni.release import Release, ReleaseKind, RolloutManager
+from repro.omni.access import (
+    CorporateSshCa,
+    ProductionAccessService,
+    ProductionCredential,
+    SecurityKey,
+    SshCertificate,
+)
+
+__all__ = [
+    "RpcPolicy",
+    "SecurityRealm",
+    "SessionToken",
+    "UntrustedProxy",
+    "VpnChannel",
+    "BinaryRegistry",
+    "KubernetesCluster",
+    "OmniDeployment",
+    "OmniRegion",
+    "JobServer",
+    "CrossCloudQueryPlanner",
+    "CrossCloudMaterializedView",
+    "Release",
+    "ReleaseKind",
+    "RolloutManager",
+    "CorporateSshCa",
+    "ProductionAccessService",
+    "ProductionCredential",
+    "SecurityKey",
+    "SshCertificate",
+]

@@ -1,0 +1,214 @@
+"""Human access to Omni production systems (§5.3.4).
+
+The paper's controls, modeled end to end:
+
+* operators refresh a *production credential* daily, signed with their
+  physical security key;
+* VM login trusts the corporate SSH certificate authority and provisions
+  users from internally managed groups — an offline path that works when
+  online services are down;
+* privilege escalation re-authenticates the SSH certificate through PAM
+  (guarding against container escape);
+* every access and escalation lands in an independently auditable log.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import AccessDeniedError, InvalidCredentialError
+from repro.simtime import SimContext
+
+_DAY_MS = 24 * 3600 * 1000.0
+_cert_serial = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SecurityKey:
+    """An operator's physical security key (the signing root)."""
+
+    owner: str
+    secret: str
+
+    @staticmethod
+    def issue(owner: str) -> "SecurityKey":
+        return SecurityKey(
+            owner=owner,
+            secret=hashlib.sha256(f"sk|{owner}".encode()).hexdigest(),
+        )
+
+    def sign(self, payload: str) -> str:
+        return hashlib.sha256(f"{self.secret}|{payload}".encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ProductionCredential:
+    """A daily credential for an operator's production identity."""
+
+    operator: str
+    issued_ms: float
+    expires_ms: float
+    signature: str
+
+
+@dataclass(frozen=True)
+class SshCertificate:
+    """An SSH certificate signed by the corporate CA."""
+
+    serial: int
+    operator: str
+    ca_fingerprint: str
+    signature: str
+
+
+@dataclass
+class AccessLogEntry:
+    timestamp_ms: float
+    operator: str
+    action: str  # "login" | "escalate" | "refresh" | "denied:<reason>"
+    host: str = ""
+
+
+class CorporateSshCa:
+    """The Google-wide SSH certificate authority the VMs trust."""
+
+    def __init__(self, name: str = "corp-ssh-ca") -> None:
+        self._secret = hashlib.sha256(f"ca|{name}".encode()).hexdigest()
+        self.fingerprint = self._secret[:16]
+
+    def issue(self, operator: str) -> SshCertificate:
+        serial = next(_cert_serial)
+        return SshCertificate(
+            serial=serial,
+            operator=operator,
+            ca_fingerprint=self.fingerprint,
+            signature=hashlib.sha256(
+                f"{self._secret}|{serial}|{operator}".encode()
+            ).hexdigest(),
+        )
+
+    def verify(self, cert: SshCertificate) -> bool:
+        expected = hashlib.sha256(
+            f"{self._secret}|{cert.serial}|{cert.operator}".encode()
+        ).hexdigest()
+        return cert.ca_fingerprint == self.fingerprint and cert.signature == expected
+
+
+class ProductionAccessService:
+    """Gatekeeper for human access to an Omni region's VMs."""
+
+    def __init__(self, ctx: SimContext, ca: CorporateSshCa | None = None) -> None:
+        self.ctx = ctx
+        self.ca = ca or CorporateSshCa()
+        self._trusted_groups: dict[str, set[str]] = {"omni-oncall": set()}
+        self._keys: dict[str, SecurityKey] = {}
+        self.access_log: list[AccessLogEntry] = []
+
+    # -- enrollment ---------------------------------------------------------
+
+    def enroll_operator(self, operator: str, group: str = "omni-oncall") -> SecurityKey:
+        key = SecurityKey.issue(operator)
+        self._keys[operator] = key
+        self._trusted_groups.setdefault(group, set()).add(operator)
+        return key
+
+    def remove_from_groups(self, operator: str) -> None:
+        for members in self._trusted_groups.values():
+            members.discard(operator)
+
+    # -- daily credential refresh ------------------------------------------------
+
+    def refresh_credential(self, key: SecurityKey) -> ProductionCredential:
+        """Mint the daily production credential, signed by the operator's
+        physical security key (multi-factor: possession of the key)."""
+        if self._keys.get(key.owner) != key:
+            raise InvalidCredentialError(f"unknown security key for {key.owner!r}")
+        issued = self.ctx.clock.now_ms
+        expires = issued + _DAY_MS
+        credential = ProductionCredential(
+            operator=key.owner,
+            issued_ms=issued,
+            expires_ms=expires,
+            signature=key.sign(f"prod|{issued:.3f}|{expires:.3f}"),
+        )
+        self._log(key.owner, "refresh")
+        return credential
+
+    def _validate_credential(self, credential: ProductionCredential) -> None:
+        key = self._keys.get(credential.operator)
+        if key is None:
+            raise InvalidCredentialError("operator has no enrolled security key")
+        expected = key.sign(
+            f"prod|{credential.issued_ms:.3f}|{credential.expires_ms:.3f}"
+        )
+        if credential.signature != expected:
+            self._log(credential.operator, "denied:bad-signature")
+            raise InvalidCredentialError("production credential signature mismatch")
+        if self.ctx.clock.now_ms > credential.expires_ms:
+            self._log(credential.operator, "denied:expired")
+            raise InvalidCredentialError(
+                "production credential expired (refresh is daily)"
+            )
+
+    # -- VM login + escalation ------------------------------------------------------
+
+    def ssh_login(
+        self,
+        credential: ProductionCredential,
+        certificate: SshCertificate,
+        host: str,
+    ) -> None:
+        """Log into a production VM: valid daily credential, CA-signed SSH
+        certificate, and membership in a provisioned group.
+
+        Certificate verification is offline (no service dependency), which
+        matters when responding to incidents with services down (§5.3.4).
+        """
+        self._validate_credential(credential)
+        if certificate.operator != credential.operator:
+            self._log(credential.operator, "denied:cert-mismatch", host)
+            raise AccessDeniedError("SSH certificate is for a different operator")
+        if not self.ca.verify(certificate):
+            self._log(credential.operator, "denied:untrusted-cert", host)
+            raise AccessDeniedError("SSH certificate not signed by the corporate CA")
+        if not any(
+            credential.operator in members for members in self._trusted_groups.values()
+        ):
+            self._log(credential.operator, "denied:not-provisioned", host)
+            raise AccessDeniedError(
+                f"{credential.operator!r} is not in a provisioned group"
+            )
+        self._log(credential.operator, "login", host)
+
+    def escalate(
+        self,
+        credential: ProductionCredential,
+        certificate: SshCertificate,
+        host: str,
+    ) -> None:
+        """Privilege escalation re-authenticates the SSH certificate via
+        PAM — a container escape with a stolen session cannot escalate."""
+        self._validate_credential(credential)
+        if not self.ca.verify(certificate) or certificate.operator != credential.operator:
+            self._log(credential.operator, "denied:pam-reauth-failed", host)
+            raise AccessDeniedError("PAM re-authentication failed")
+        self._log(credential.operator, "escalate", host)
+
+    # -- audit --------------------------------------------------------------------------
+
+    def _log(self, operator: str, action: str, host: str = "") -> None:
+        self.access_log.append(
+            AccessLogEntry(
+                timestamp_ms=self.ctx.clock.now_ms,
+                operator=operator,
+                action=action,
+                host=host,
+            )
+        )
+
+    def audit_trail(self, operator: str | None = None) -> list[AccessLogEntry]:
+        if operator is None:
+            return list(self.access_log)
+        return [e for e in self.access_log if e.operator == operator]

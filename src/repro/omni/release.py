@@ -1,0 +1,131 @@
+"""Multi-phase rollout deployment for Omni regions (§5.1, §5.4).
+
+The paper: binaries and configs are built from the monorepo by the trusted
+build system, then "the deployment of binaries/configs progresses through
+one or more regions at a time. A set of validations are run and then the
+deployment proceeds to the next set of regions in a predetermined order."
+Config deployments are separate and roll out on a shorter window. §5.4 adds
+that performance runs gate every release.
+
+This module models exactly that: deterministic region waves, per-wave
+validation callbacks (the benchmarks' parity checks plug in directly), and
+a halt-on-failure policy that leaves un-deployed regions on the previous
+version.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import OmniError
+from repro.omni.deployment import OmniDeployment, OmniRegion
+
+# Validation gate: (region, release) -> True to proceed.
+Validator = Callable[[OmniRegion, "Release"], bool]
+
+
+class ReleaseKind(enum.Enum):
+    BINARY = "binary"
+    CONFIG = "config"
+
+
+@dataclass(frozen=True)
+class Release:
+    """One versioned artifact set to roll out."""
+
+    version: str
+    kind: ReleaseKind
+    # service -> binary bytes (BINARY) or key -> value (CONFIG).
+    payloads: dict = field(default_factory=dict)
+
+
+@dataclass
+class WaveResult:
+    regions: list[str]
+    validated: bool
+    detail: str = ""
+
+
+@dataclass
+class RolloutReport:
+    release: Release
+    waves: list[WaveResult] = field(default_factory=list)
+    completed: bool = False
+
+    @property
+    def deployed_regions(self) -> list[str]:
+        return [r for wave in self.waves if wave.validated for r in wave.regions]
+
+
+class RolloutManager:
+    """Drives releases through an Omni deployment's regions."""
+
+    # Binary rollouts go one region per wave; configs ride a shorter
+    # schedule (§5.1) — more regions per wave.
+    BINARY_WAVE_SIZE = 1
+    CONFIG_WAVE_SIZE = 3
+
+    def __init__(self, omni: OmniDeployment) -> None:
+        self.omni = omni
+        # region location -> {"binary": version, "config": version}
+        self.versions: dict[str, dict[str, str]] = {}
+
+    def region_version(self, location: str, kind: ReleaseKind) -> str | None:
+        return self.versions.get(location, {}).get(kind.value)
+
+    def plan_waves(self, kind: ReleaseKind) -> list[list[OmniRegion]]:
+        """Deterministic region order, grouped into rollout waves."""
+        regions = [
+            self.omni.regions[loc] for loc in sorted(self.omni.regions)
+        ]
+        size = (
+            self.BINARY_WAVE_SIZE if kind is ReleaseKind.BINARY else self.CONFIG_WAVE_SIZE
+        )
+        return [regions[i : i + size] for i in range(0, len(regions), size)]
+
+    def rollout(self, release: Release, validator: Validator) -> RolloutReport:
+        """Deploy wave by wave; a failed validation halts the rollout,
+        leaving later regions on their previous version."""
+        report = RolloutReport(release=release)
+        if release.kind is ReleaseKind.BINARY:
+            # Built inside the trusted system: register checksums first
+            # (binary authorization admits only registered builds, §5.3.5).
+            for service, binary in release.payloads.items():
+                self.omni.binaries.register(service, binary)
+        for wave in self.plan_waves(release.kind):
+            locations = [r.region.location for r in wave]
+            for region in wave:
+                self._deploy_to_region(region, release)
+            passed = all(validator(region, release) for region in wave)
+            report.waves.append(
+                WaveResult(
+                    regions=locations,
+                    validated=passed,
+                    detail="" if passed else "validation failed; rollout halted",
+                )
+            )
+            if not passed:
+                # Roll the failing wave back to keep the fleet consistent.
+                for region in wave:
+                    self.versions.get(region.region.location, {}).pop(
+                        release.kind.value, None
+                    )
+                return report
+        report.completed = True
+        return report
+
+    def _deploy_to_region(self, region: OmniRegion, release: Release) -> None:
+        if release.kind is ReleaseKind.BINARY:
+            for service, binary in release.payloads.items():
+                pods = region.cluster.pods_for(service)
+                if not pods:
+                    raise OmniError(f"service {service!r} not running in "
+                                    f"{region.region.location}")
+                for pod in pods:
+                    pod.running = False
+                region.cluster.launch_pod(service, service, binary)
+        self.versions.setdefault(region.region.location, {})[
+            release.kind.value
+        ] = release.version

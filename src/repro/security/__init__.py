@@ -1,0 +1,57 @@
+"""Security and governance: IAM, delegated access, fine-grained policies.
+
+Implements the paper's governance model:
+
+* coarse IAM (principals, roles, resource policies) — §2, §5.1;
+* connection objects holding service-account credentials for delegated
+  access to object stores (§3.1) — users never touch raw files;
+* fine-grained controls: row-level access policies, column-level ACLs, and
+  data masking (§3.2), enforced *inside* the Read API trust boundary;
+* downscoped per-query credentials limiting blast radius (§5.3.1);
+* an audit log for every authorization decision.
+"""
+
+from repro.security.iam import (
+    AccessDecision,
+    IamService,
+    Permission,
+    Principal,
+    PrincipalKind,
+    Role,
+    ROLE_PERMISSIONS,
+)
+from repro.security.policies import (
+    ColumnAcl,
+    DataMaskingRule,
+    MaskingKind,
+    RowAccessPolicy,
+    TablePolicySet,
+    apply_mask_value,
+)
+from repro.security.connections import (
+    Connection,
+    ConnectionManager,
+    ScopedCredential,
+)
+from repro.security.audit import AuditEvent, AuditLog
+
+__all__ = [
+    "AccessDecision",
+    "IamService",
+    "Permission",
+    "Principal",
+    "PrincipalKind",
+    "Role",
+    "ROLE_PERMISSIONS",
+    "ColumnAcl",
+    "DataMaskingRule",
+    "MaskingKind",
+    "RowAccessPolicy",
+    "TablePolicySet",
+    "apply_mask_value",
+    "Connection",
+    "ConnectionManager",
+    "ScopedCredential",
+    "AuditEvent",
+    "AuditLog",
+]

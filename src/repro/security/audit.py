@@ -1,0 +1,57 @@
+"""Audit logging for authorization decisions and data access (§5.3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.security.iam import Principal
+from repro.simtime import SimContext
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One audited action: who did what to which resource, and the outcome."""
+
+    timestamp_ms: float
+    principal: Principal
+    action: str
+    resource: str
+    allowed: bool
+    detail: str = ""
+
+
+@dataclass
+class AuditLog:
+    """Append-only audit trail; every governance decision lands here."""
+
+    ctx: SimContext
+    events: list[AuditEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        principal: Principal,
+        action: str,
+        resource: str,
+        allowed: bool,
+        detail: str = "",
+    ) -> AuditEvent:
+        event = AuditEvent(
+            timestamp_ms=self.ctx.clock.now_ms,
+            principal=principal,
+            action=action,
+            resource=resource,
+            allowed=allowed,
+            detail=detail,
+        )
+        self.events.append(event)
+        return event
+
+    def for_principal(self, principal: Principal) -> Iterator[AuditEvent]:
+        return (e for e in self.events if e.principal == principal)
+
+    def denials(self) -> list[AuditEvent]:
+        return [e for e in self.events if not e.allowed]
+
+    def __len__(self) -> int:
+        return len(self.events)

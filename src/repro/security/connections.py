@@ -1,0 +1,150 @@
+"""Delegated access: connections and downscoped credentials.
+
+§3.1: BigLake tables never forward user credentials to the object store.
+Instead each table references a *connection* holding a service account with
+read access to the data lake; the table uses the connection both for query
+processing and for background maintenance (metadata refresh, reclustering).
+
+§5.3.1: for each query, the job server computes the superset of object paths
+the query needs and mints a credential scoped down to exactly those paths,
+so a compromised worker's blast radius is that query's tables only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import AccessDeniedError, InvalidCredentialError, NotFoundError
+from repro.security.iam import IamService, Permission, Principal, Role
+from repro.simtime import SimContext
+
+_token_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A named connection object holding service-account credentials.
+
+    Customers typically use one connection per data lake; many tables can
+    share it (§3.1).
+    """
+
+    name: str  # e.g. "us.my-lake-connection"
+    service_account: Principal
+
+    def __post_init__(self) -> None:
+        if self.service_account.kind.value != "serviceAccount":
+            raise ValueError("connection credentials must be a service account")
+
+
+@dataclass(frozen=True)
+class ScopedCredential:
+    """A short-lived credential limited to specific bucket paths.
+
+    ``allowed_paths`` entries are ``bucket/key-prefix`` strings; a request
+    for ``bucket/key`` is permitted iff some entry prefixes it.
+    """
+
+    token: str
+    principal: Principal
+    allowed_paths: frozenset[str]
+    expires_ms: float
+
+    def permits(self, bucket: str, key: str) -> bool:
+        target = f"{bucket}/{key}"
+        return any(target.startswith(p) for p in self.allowed_paths)
+
+
+class ConnectionManager:
+    """Registry of connections + credential minting/validation service."""
+
+    def __init__(self, iam: IamService, ctx: SimContext) -> None:
+        self._iam = iam
+        self._ctx = ctx
+        self._connections: dict[str, Connection] = {}
+        self._live_tokens: dict[str, ScopedCredential] = {}
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def create_connection(self, name: str) -> Connection:
+        """Create a connection with a fresh service account.
+
+        The caller must separately grant the service account storage access
+        on the lake bucket (the paper's "grant the connection's service
+        account read access to the object store" step).
+        """
+        if name in self._connections:
+            raise ValueError(f"connection {name!r} already exists")
+        digest = hashlib.sha1(name.encode()).hexdigest()[:10]
+        sa = Principal.service_account(f"biglake-conn-{digest}@repro.iam")
+        conn = Connection(name=name, service_account=sa)
+        self._connections[name] = conn
+        return conn
+
+    def has_connection(self, name: str) -> bool:
+        return name in self._connections
+
+    def get_connection(self, name: str) -> Connection:
+        try:
+            return self._connections[name]
+        except KeyError:
+            raise NotFoundError(f"connection {name!r} not found") from None
+
+    def grant_lake_access(self, conn: Connection, bucket: str, writable: bool = False) -> None:
+        """Grant the connection's service account access to a bucket."""
+        role = Role.STORAGE_OBJECT_ADMIN if writable else Role.STORAGE_OBJECT_VIEWER
+        self._iam.grant(f"buckets/{bucket}", role, conn.service_account)
+
+    def authorize_use(self, principal: Principal, conn: Connection) -> None:
+        """Verify the querying user may *use* the connection (not the data)."""
+        self._iam.require(
+            principal, Permission.CONNECTIONS_USE, f"connections/{conn.name}"
+        )
+
+    # -- downscoped credentials (§5.3.1) ---------------------------------------
+
+    def mint_scoped_credential(
+        self,
+        conn: Connection,
+        paths: list[str],
+        ttl_ms: float = 3_600_000.0,
+    ) -> ScopedCredential:
+        """Mint a credential for the connection's service account restricted
+        to ``paths`` (``bucket/prefix`` strings).
+
+        The connection's service account must itself have access to each
+        bucket — downscoping can only narrow, never widen.
+        """
+        for path in paths:
+            bucket = path.split("/", 1)[0]
+            self._iam.require(
+                conn.service_account,
+                Permission.STORAGE_OBJECTS_GET,
+                f"buckets/{bucket}",
+            )
+        token = f"scoped-{next(_token_counter):08d}"
+        cred = ScopedCredential(
+            token=token,
+            principal=conn.service_account,
+            allowed_paths=frozenset(paths),
+            expires_ms=self._ctx.clock.now_ms + ttl_ms,
+        )
+        self._live_tokens[token] = cred
+        return cred
+
+    def validate(self, cred: ScopedCredential, bucket: str, key: str) -> None:
+        """Validate a credential for a specific object access."""
+        live = self._live_tokens.get(cred.token)
+        if live is None or live != cred:
+            raise InvalidCredentialError(f"unknown or tampered token {cred.token!r}")
+        if self._ctx.clock.now_ms > cred.expires_ms:
+            raise InvalidCredentialError(f"token {cred.token!r} expired")
+        if not cred.permits(bucket, key):
+            raise AccessDeniedError(
+                f"token {cred.token!r} not scoped for {bucket}/{key}"
+            )
+
+    def revoke(self, cred: ScopedCredential) -> None:
+        self._live_tokens.pop(cred.token, None)

@@ -1,0 +1,184 @@
+"""Coarse-grained IAM: principals, roles, resource policies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AccessDeniedError
+
+
+class PrincipalKind(enum.Enum):
+    USER = "user"
+    SERVICE_ACCOUNT = "serviceAccount"
+    GROUP = "group"
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An identity: human user, service account, or group."""
+
+    kind: PrincipalKind
+    name: str
+
+    @staticmethod
+    def user(name: str) -> "Principal":
+        return Principal(PrincipalKind.USER, name)
+
+    @staticmethod
+    def service_account(name: str) -> "Principal":
+        return Principal(PrincipalKind.SERVICE_ACCOUNT, name)
+
+    @staticmethod
+    def group(name: str) -> "Principal":
+        return Principal(PrincipalKind.GROUP, name)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.name}"
+
+
+class Permission(enum.Enum):
+    """Fine verbs checked against resources."""
+
+    TABLES_GET = "bigquery.tables.get"
+    TABLES_GET_DATA = "bigquery.tables.getData"
+    TABLES_UPDATE_DATA = "bigquery.tables.updateData"
+    TABLES_CREATE = "bigquery.tables.create"
+    TABLES_DELETE = "bigquery.tables.delete"
+    JOBS_CREATE = "bigquery.jobs.create"
+    CONNECTIONS_USE = "bigquery.connections.use"
+    MODELS_PREDICT = "bigquery.models.predict"
+    STORAGE_OBJECTS_GET = "storage.objects.get"
+    STORAGE_OBJECTS_LIST = "storage.objects.list"
+    STORAGE_OBJECTS_CREATE = "storage.objects.create"
+
+
+class Role(enum.Enum):
+    """Bundles of permissions, modeled on BigQuery's predefined roles."""
+
+    DATA_VIEWER = "roles/bigquery.dataViewer"
+    DATA_EDITOR = "roles/bigquery.dataEditor"
+    JOB_USER = "roles/bigquery.jobUser"
+    CONNECTION_USER = "roles/bigquery.connectionUser"
+    STORAGE_OBJECT_VIEWER = "roles/storage.objectViewer"
+    STORAGE_OBJECT_ADMIN = "roles/storage.objectAdmin"
+    ML_USER = "roles/bigquery.mlUser"
+
+
+ROLE_PERMISSIONS: dict[Role, frozenset[Permission]] = {
+    Role.DATA_VIEWER: frozenset(
+        {Permission.TABLES_GET, Permission.TABLES_GET_DATA}
+    ),
+    Role.DATA_EDITOR: frozenset(
+        {
+            Permission.TABLES_GET,
+            Permission.TABLES_GET_DATA,
+            Permission.TABLES_UPDATE_DATA,
+            Permission.TABLES_CREATE,
+            Permission.TABLES_DELETE,
+        }
+    ),
+    Role.JOB_USER: frozenset({Permission.JOBS_CREATE}),
+    Role.CONNECTION_USER: frozenset({Permission.CONNECTIONS_USE}),
+    Role.STORAGE_OBJECT_VIEWER: frozenset(
+        {Permission.STORAGE_OBJECTS_GET, Permission.STORAGE_OBJECTS_LIST}
+    ),
+    Role.STORAGE_OBJECT_ADMIN: frozenset(
+        {
+            Permission.STORAGE_OBJECTS_GET,
+            Permission.STORAGE_OBJECTS_LIST,
+            Permission.STORAGE_OBJECTS_CREATE,
+        }
+    ),
+    Role.ML_USER: frozenset({Permission.MODELS_PREDICT}),
+}
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """Outcome of an authorization check, recorded in the audit log."""
+
+    principal: Principal
+    permission: Permission
+    resource: str
+    allowed: bool
+    reason: str
+
+
+@dataclass
+class _Binding:
+    role: Role
+    members: set[Principal] = field(default_factory=set)
+
+
+class IamService:
+    """Resource-scoped role bindings with hierarchical resource names.
+
+    Resources are slash-separated paths (``projects/p/datasets/d/tables/t``
+    or ``buckets/b``); a binding on a prefix grants access to everything
+    beneath it, like real IAM resource hierarchies.
+    """
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, list[_Binding]] = {}
+        self._group_members: dict[Principal, set[Principal]] = {}
+
+    def grant(self, resource: str, role: Role, principal: Principal) -> None:
+        """Grant ``role`` on ``resource`` to ``principal``."""
+        for binding in self._bindings.setdefault(resource, []):
+            if binding.role is role:
+                binding.members.add(principal)
+                return
+        self._bindings[resource].append(_Binding(role=role, members={principal}))
+
+    def revoke(self, resource: str, role: Role, principal: Principal) -> None:
+        for binding in self._bindings.get(resource, []):
+            if binding.role is role:
+                binding.members.discard(principal)
+
+    def add_group_member(self, group: Principal, member: Principal) -> None:
+        if group.kind is not PrincipalKind.GROUP:
+            raise ValueError(f"{group} is not a group")
+        self._group_members.setdefault(group, set()).add(member)
+
+    def _expanded_identities(self, principal: Principal) -> set[Principal]:
+        """The principal plus every group containing it (one level deep)."""
+        identities = {principal}
+        for group, members in self._group_members.items():
+            if principal in members:
+                identities.add(group)
+        return identities
+
+    def is_allowed(
+        self, principal: Principal, permission: Permission, resource: str
+    ) -> AccessDecision:
+        """Check whether ``principal`` holds ``permission`` on ``resource``
+        via a binding on the resource or any ancestor prefix."""
+        identities = self._expanded_identities(principal)
+        # Walk the resource and its ancestors.
+        parts = resource.split("/")
+        for end in range(len(parts), 0, -1):
+            prefix = "/".join(parts[:end])
+            for binding in self._bindings.get(prefix, []):
+                if permission not in ROLE_PERMISSIONS[binding.role]:
+                    continue
+                if identities & binding.members:
+                    return AccessDecision(
+                        principal, permission, resource, True,
+                        f"granted by {binding.role.value} on {prefix}",
+                    )
+        return AccessDecision(
+            principal, permission, resource, False,
+            f"no binding grants {permission.value}",
+        )
+
+    def require(
+        self, principal: Principal, permission: Permission, resource: str
+    ) -> AccessDecision:
+        """Like :meth:`is_allowed` but raises on denial."""
+        decision = self.is_allowed(principal, permission, resource)
+        if not decision.allowed:
+            raise AccessDeniedError(
+                f"{principal} lacks {permission.value} on {resource}: {decision.reason}"
+            )
+        return decision

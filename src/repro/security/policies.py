@@ -1,0 +1,164 @@
+"""Fine-grained governance: row policies, column ACLs, data masking (§3.2).
+
+Policies are *declarative* table-level metadata. Enforcement happens inside
+the Storage Read API's trust boundary (``repro.storageapi.superluminal``),
+never in the calling engine — so BigQuery, the Spark simulator, and a
+hostile engine all see exactly the same governed view of the data.
+
+Row-access predicates are stored as SQL text and compiled by the enforcement
+layer; this module stays independent of the SQL front end.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.security.iam import Principal
+
+
+class MaskingKind(enum.Enum):
+    """Supported masking routines, modeled on BigQuery data-masking rules."""
+
+    HASH = "hash"  # deterministic SHA-256 hex digest
+    NULLIFY = "nullify"  # replace with NULL
+    DEFAULT_VALUE = "default"  # type-appropriate default ("", 0, ...)
+    LAST_FOUR = "last_four"  # keep last 4 chars, mask the rest
+
+
+@dataclass(frozen=True)
+class RowAccessPolicy:
+    """Grantees see only rows satisfying ``filter_sql``.
+
+    Multiple policies on a table combine per BigQuery semantics: a principal
+    subject to row policies sees the union of rows admitted by the policies
+    that name them; a principal named by no policy (when any policy exists)
+    sees no rows.
+    """
+
+    name: str
+    filter_sql: str
+    grantees: frozenset[Principal]
+
+    def applies_to(self, principal: Principal) -> bool:
+        return principal in self.grantees
+
+
+@dataclass(frozen=True)
+class ColumnAcl:
+    """Column-level access control: only ``readers`` may select the column."""
+
+    column: str
+    readers: frozenset[Principal]
+
+    def allows(self, principal: Principal) -> bool:
+        return principal in self.readers
+
+
+@dataclass(frozen=True)
+class DataMaskingRule:
+    """Principals in ``masked_readers`` see ``column`` through the mask
+    instead of being denied outright."""
+
+    column: str
+    kind: MaskingKind
+    masked_readers: frozenset[Principal]
+
+    def applies_to(self, principal: Principal) -> bool:
+        return principal in self.masked_readers
+
+
+def apply_mask_value(kind: MaskingKind, value: Any) -> Any:
+    """Mask a single value. Vectorized masking in the Read API defers to
+    this for semantics; tests compare against it."""
+    if value is None:
+        return None
+    if kind is MaskingKind.NULLIFY:
+        return None
+    if kind is MaskingKind.HASH:
+        payload = value if isinstance(value, bytes) else str(value).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+    if kind is MaskingKind.DEFAULT_VALUE:
+        if isinstance(value, str):
+            return ""
+        if isinstance(value, bytes):
+            return b""
+        if isinstance(value, bool):
+            return False
+        if isinstance(value, int):
+            return 0
+        if isinstance(value, float):
+            return 0.0
+        return None
+    if kind is MaskingKind.LAST_FOUR:
+        text = value if isinstance(value, str) else str(value)
+        if len(text) <= 4:
+            return "X" * len(text)
+        return "X" * (len(text) - 4) + text[-4:]
+    raise ValueError(f"unknown masking kind {kind}")
+
+
+@dataclass
+class EffectiveAccess:
+    """What one principal may see of one table, after policy resolution."""
+
+    # SQL predicates whose union admits the visible rows; empty list with
+    # row_policies_exist=False means "all rows".
+    row_filters: list[str] = field(default_factory=list)
+    row_policies_exist: bool = False
+    # Columns the principal must not see at all.
+    denied_columns: set[str] = field(default_factory=set)
+    # Columns the principal sees through a mask.
+    masked_columns: dict[str, MaskingKind] = field(default_factory=dict)
+
+    @property
+    def sees_no_rows(self) -> bool:
+        return self.row_policies_exist and not self.row_filters
+
+
+@dataclass
+class TablePolicySet:
+    """All fine-grained policies attached to one table."""
+
+    row_policies: list[RowAccessPolicy] = field(default_factory=list)
+    column_acls: list[ColumnAcl] = field(default_factory=list)
+    masking_rules: list[DataMaskingRule] = field(default_factory=list)
+
+    def add_row_policy(self, policy: RowAccessPolicy) -> None:
+        if any(p.name == policy.name for p in self.row_policies):
+            raise ValueError(f"row access policy {policy.name!r} already exists")
+        self.row_policies.append(policy)
+
+    def add_column_acl(self, acl: ColumnAcl) -> None:
+        self.column_acls.append(acl)
+
+    def add_masking_rule(self, rule: DataMaskingRule) -> None:
+        self.masking_rules.append(rule)
+
+    def resolve(self, principal: Principal) -> EffectiveAccess:
+        """Compute the principal's effective access to the table.
+
+        Masking takes precedence over column denial (a masked reader gets
+        masked values rather than an error), matching BigQuery behaviour.
+        """
+        access = EffectiveAccess()
+        if self.row_policies:
+            access.row_policies_exist = True
+            access.row_filters = [
+                p.filter_sql for p in self.row_policies if p.applies_to(principal)
+            ]
+        for rule in self.masking_rules:
+            if rule.applies_to(principal):
+                access.masked_columns[rule.column] = rule.kind
+        for acl in self.column_acls:
+            if acl.column in access.masked_columns:
+                continue
+            if not acl.allows(principal):
+                access.denied_columns.add(acl.column)
+        return access
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.row_policies or self.column_acls or self.masking_rules)

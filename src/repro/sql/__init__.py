@@ -1,0 +1,28 @@
+"""GoogleSQL-flavored front end: lexer, AST, parser, and helpers.
+
+The dialect covers what the paper's listings and workloads use: SELECT with
+joins/aggregation/ordering, DML (INSERT/UPDATE/DELETE/MERGE), CTAS, and the
+ML table-valued functions (``ML.PREDICT``, ``ML.PROCESS_DOCUMENT``) from
+Listings 1 and 2. Name binding and vectorized evaluation live in
+:mod:`repro.sql.expressions`, shared by the query engine and by the Read
+API's Superluminal enforcement layer.
+"""
+
+from repro.sql.parser import parse_statement, parse_expression
+from repro.sql import ast_nodes as ast
+from repro.sql.expressions import (
+    BoundExpr,
+    Binder,
+    evaluate,
+    evaluate_predicate,
+)
+
+__all__ = [
+    "parse_statement",
+    "parse_expression",
+    "ast",
+    "BoundExpr",
+    "Binder",
+    "evaluate",
+    "evaluate_predicate",
+]

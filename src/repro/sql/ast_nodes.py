@@ -1,0 +1,299 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Expression nodes are pure syntax — name resolution and typing happen in
+:mod:`repro.sql.expressions`. Statement nodes cover queries, DML, and CTAS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression AST nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # python value: int, float, str, bytes, bool, None
+    type_hint: str | None = None  # "TIMESTAMP" / "DATE" for typed literals
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference: ``name`` or ``alias.name``."""
+
+    parts: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return ".".join(self.parts)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # '+', '-', '*', '/', '%', '=', '!=', '<', '<=', '>', '>=', 'AND', 'OR', '||'
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # 'NOT', '-'
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True, eq=False)
+class InSubquery(Expr):
+    """``operand [NOT] IN (SELECT ...)`` — lowered to a semi/anti join.
+
+    Not structurally comparable (the subquery is mutable), so it is
+    extracted from predicates before any rewriting that relies on
+    equality.
+    """
+
+    operand: Expr
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """Searched CASE: WHEN cond THEN value ... [ELSE value] END."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    default: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    operand: Expr
+    target_type: str  # DataType value name
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """Scalar or aggregate function; name may be dotted (``ML.DECODE_IMAGE``)."""
+
+    name: str  # upper-cased, dots preserved
+    args: tuple[Expr, ...]
+    distinct: bool = False  # COUNT(DISTINCT x)
+    is_star: bool = False  # COUNT(*)
+
+    def __str__(self) -> str:
+        inner = "*" if self.is_star else ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+# --------------------------------------------------------------------------
+# Query structure
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass
+class TableRef:
+    """FROM item: a named table (dotted path) with optional alias and
+    optional time travel (``FOR SYSTEM_TIME AS OF <timestamp>``)."""
+
+    path: tuple[str, ...]
+    alias: str | None = None
+    system_time: Expr | None = None  # a TIMESTAMP-typed expression
+
+    @property
+    def name(self) -> str:
+        return ".".join(self.path)
+
+
+@dataclass
+class SubqueryRef:
+    query: "Select"
+    alias: str | None = None
+
+
+@dataclass
+class TvfRef:
+    """Table-valued function in FROM: ``ML.PREDICT(MODEL m, (subquery))`` or
+    ``ML.PROCESS_DOCUMENT(MODEL m, TABLE t)``."""
+
+    name: str  # e.g. "ML.PREDICT"
+    model: tuple[str, ...]
+    input_query: "Select | None" = None
+    input_table: tuple[str, ...] | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+    alias: str | None = None
+
+
+@dataclass
+class Join:
+    kind: str  # 'INNER', 'LEFT', 'CROSS'
+    left: "FromItem"
+    right: "FromItem"
+    condition: Expr | None = None
+
+
+FromItem = TableRef | SubqueryRef | TvfRef | Join
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select:
+    """A SELECT query block (optionally UNION ALL-chained)."""
+
+    items: list[SelectItem]
+    from_item: FromItem | None = None
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+    union_all: "Select | None" = None  # chained UNION ALL arm
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CreateTableAsSelect:
+    table: tuple[str, ...]
+    query: Select
+    replace: bool = False
+
+
+@dataclass
+class InsertValues:
+    table: tuple[str, ...]
+    columns: list[str]
+    rows: list[list[Expr]]
+
+
+@dataclass
+class InsertSelect:
+    table: tuple[str, ...]
+    columns: list[str]
+    query: Select
+
+
+@dataclass
+class Update:
+    table: tuple[str, ...]
+    assignments: list[tuple[str, Expr]]
+    where: Expr | None = None
+
+
+@dataclass
+class Delete:
+    table: tuple[str, ...]
+    where: Expr | None = None
+
+
+@dataclass
+class MergeWhenClause:
+    """One WHEN arm of a MERGE statement."""
+
+    matched: bool
+    condition: Expr | None
+    action: str  # 'UPDATE', 'DELETE', 'INSERT'
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    insert_columns: list[str] = field(default_factory=list)
+    insert_values: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Merge:
+    target: tuple[str, ...]
+    target_alias: str | None
+    source: FromItem
+    on: Expr
+    whens: list[MergeWhenClause] = field(default_factory=list)
+
+
+@dataclass
+class CreateModel:
+    """``CREATE [OR REPLACE] MODEL name [REMOTE WITH CONNECTION conn]
+    OPTIONS (k = 'v', ...)`` — the Listing 2 DDL."""
+
+    name: tuple[str, ...]
+    replace: bool = False
+    remote_connection: tuple[str, ...] | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+Statement = (
+    Select
+    | CreateTableAsSelect
+    | InsertValues
+    | InsertSelect
+    | Update
+    | Delete
+    | Merge
+    | CreateModel
+)

@@ -1,0 +1,69 @@
+"""Date/timestamp literal parsing and arithmetic helpers.
+
+Internally, TIMESTAMP is int64 microseconds since the Unix epoch and DATE is
+int64 days since the epoch (both UTC), matching the storage representation
+in :mod:`repro.data.types`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.errors import AnalysisError
+
+MICROS_PER_SECOND = 1_000_000
+MICROS_PER_DAY = 86_400 * MICROS_PER_SECOND
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+def parse_date_to_days(text: str) -> int:
+    """``'YYYY-MM-DD'`` (also tolerating ``'YY-M-D'``) -> days since epoch."""
+    parts = text.strip().split("-")
+    if len(parts) != 3:
+        raise AnalysisError(f"invalid DATE literal {text!r}")
+    try:
+        year, month, day = (int(p) for p in parts)
+        if year < 100:  # two-digit years, as in the paper's Listing 1
+            year += 2000
+        return (_dt.date(year, month, day) - _EPOCH).days
+    except ValueError as exc:
+        raise AnalysisError(f"invalid DATE literal {text!r}: {exc}") from None
+
+
+def parse_timestamp_to_micros(text: str) -> int:
+    """``'YYYY-MM-DD[ HH:MM[:SS[.ffffff]]]'`` -> microseconds since epoch."""
+    text = text.strip()
+    date_part, _, time_part = text.partition(" ")
+    days = parse_date_to_days(date_part)
+    micros = days * MICROS_PER_DAY
+    if time_part:
+        pieces = time_part.split(":")
+        try:
+            hours = int(pieces[0])
+            minutes = int(pieces[1]) if len(pieces) > 1 else 0
+            seconds = float(pieces[2]) if len(pieces) > 2 else 0.0
+        except (ValueError, IndexError) as exc:
+            raise AnalysisError(f"invalid TIMESTAMP literal {text!r}: {exc}") from None
+        micros += int(((hours * 60 + minutes) * 60 + seconds) * MICROS_PER_SECOND)
+    return micros
+
+
+def days_to_date_string(days: int) -> str:
+    return (_EPOCH + _dt.timedelta(days=int(days))).isoformat()
+
+
+def micros_to_timestamp_string(micros: int) -> str:
+    dt = _dt.datetime(1970, 1, 1) + _dt.timedelta(microseconds=int(micros))
+    return dt.strftime("%Y-%m-%d %H:%M:%S.%f")
+
+
+def date_year(days: int) -> int:
+    return (_EPOCH + _dt.timedelta(days=int(days))).year
+
+
+def date_month(days: int) -> int:
+    return (_EPOCH + _dt.timedelta(days=int(days))).month
+
+
+def date_day(days: int) -> int:
+    return (_EPOCH + _dt.timedelta(days=int(days))).day

@@ -1,0 +1,780 @@
+"""Name binding and vectorized expression evaluation.
+
+The binder turns syntactic :mod:`~repro.sql.ast_nodes` expressions into
+typed :class:`BoundExpr` trees against a concrete schema; the evaluator runs
+bound trees over :class:`~repro.data.RecordBatch` columns with numpy,
+honoring SQL three-valued NULL semantics. This evaluator *is* the
+reproduction's Superluminal (§2.2.1): the Read API uses it to apply user
+predicates, security filters, and masking before data leaves the trust
+boundary, and the query engine uses it for filters and projections.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.data.batch import RecordBatch
+from repro.data.column import Column
+from repro.data.types import DataType, Schema
+from repro.errors import AnalysisError, ExecutionError
+from repro.sql import ast_nodes as ast
+from repro.sql.dates import parse_date_to_days, parse_timestamp_to_micros
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+# --------------------------------------------------------------------------
+# Bound expression nodes
+# --------------------------------------------------------------------------
+
+
+class BoundExpr:
+    """Base class for bound (resolved, typed) expressions."""
+
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class BoundColumn(BoundExpr):
+    index: int
+    name: str
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class BoundLiteral(BoundExpr):
+    value: Any
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class BoundBinary(BoundExpr):
+    op: str
+    left: BoundExpr
+    right: BoundExpr
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class BoundUnary(BoundExpr):
+    op: str
+    operand: BoundExpr
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class BoundIsNull(BoundExpr):
+    operand: BoundExpr
+    negated: bool
+    dtype: DataType = DataType.BOOL
+
+
+@dataclass(frozen=True)
+class BoundInList(BoundExpr):
+    operand: BoundExpr
+    values: tuple
+    negated: bool
+    dtype: DataType = DataType.BOOL
+
+
+@dataclass(frozen=True)
+class BoundLike(BoundExpr):
+    operand: BoundExpr
+    pattern: str
+    negated: bool
+    dtype: DataType = DataType.BOOL
+
+
+@dataclass(frozen=True)
+class BoundCase(BoundExpr):
+    whens: tuple[tuple[BoundExpr, BoundExpr], ...]
+    default: BoundExpr | None
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class BoundCast(BoundExpr):
+    operand: BoundExpr
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class BoundCall(BoundExpr):
+    name: str
+    args: tuple[BoundExpr, ...]
+    dtype: DataType
+    impl: Callable = field(compare=False, hash=False)
+
+
+# --------------------------------------------------------------------------
+# Scalar function registry
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ScalarFunction:
+    """A registered scalar function: vectorized impl + result-type rule."""
+
+    name: str
+    impl: Callable  # (args: list[Column]) -> Column
+    result_type: Callable  # (arg_dtypes: list[DataType]) -> DataType
+    min_args: int = 1
+    max_args: int | None = None
+
+
+class FunctionRegistry:
+    """Scalar function lookup; products (e.g. ML) register extras here."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, ScalarFunction] = {}
+        _register_builtins(self)
+
+    def register(self, fn: ScalarFunction) -> None:
+        self._functions[fn.name.upper()] = fn
+
+    def lookup(self, name: str) -> ScalarFunction:
+        fn = self._functions.get(name.upper())
+        if fn is None:
+            raise AnalysisError(f"unknown function {name}()")
+        return fn
+
+    def has(self, name: str) -> bool:
+        return name.upper() in self._functions
+
+
+def _map_values(column: Column, fn: Callable, out_dtype: DataType) -> Column:
+    """Apply ``fn`` per present value; nulls propagate."""
+    valid = column.is_valid()
+    out = np.empty(len(column), dtype=out_dtype.numpy_dtype())
+    if out_dtype.numpy_dtype() != np.dtype(object):
+        out = np.zeros(len(column), dtype=out_dtype.numpy_dtype())
+    for i in range(len(column)):
+        if valid[i]:
+            out[i] = fn(column.values[i])
+    return Column(out_dtype, out, None if bool(valid.all()) else valid)
+
+
+def _register_builtins(reg: FunctionRegistry) -> None:
+    from repro.sql import dates
+
+    def _same(dtypes: list[DataType]) -> DataType:
+        return dtypes[0]
+
+    def _fixed(dtype: DataType) -> Callable:
+        return lambda dtypes: dtype
+
+    reg.register(ScalarFunction(
+        "UPPER", lambda args: _map_values(args[0], str.upper, DataType.STRING),
+        _fixed(DataType.STRING)))
+    reg.register(ScalarFunction(
+        "LOWER", lambda args: _map_values(args[0], str.lower, DataType.STRING),
+        _fixed(DataType.STRING)))
+    reg.register(ScalarFunction(
+        "LENGTH", lambda args: _map_values(args[0], len, DataType.INT64),
+        _fixed(DataType.INT64)))
+    reg.register(ScalarFunction(
+        "TRIM", lambda args: _map_values(args[0], str.strip, DataType.STRING),
+        _fixed(DataType.STRING)))
+    reg.register(ScalarFunction(
+        "ABS", lambda args: Column(args[0].dtype, np.abs(args[0].values), args[0].validity),
+        _same))
+
+    def _round(args: list[Column]) -> Column:
+        digits = 0
+        if len(args) > 1:
+            digits = int(args[1].values[0])
+        return Column(DataType.FLOAT64, np.round(args[0].values.astype(np.float64), digits), args[0].validity)
+
+    reg.register(ScalarFunction("ROUND", _round, _fixed(DataType.FLOAT64), max_args=2))
+    reg.register(ScalarFunction(
+        "FLOOR", lambda args: Column(DataType.FLOAT64, np.floor(args[0].values.astype(np.float64)), args[0].validity),
+        _fixed(DataType.FLOAT64)))
+    reg.register(ScalarFunction(
+        "CEIL", lambda args: Column(DataType.FLOAT64, np.ceil(args[0].values.astype(np.float64)), args[0].validity),
+        _fixed(DataType.FLOAT64)))
+
+    def _concat(args: list[Column]) -> Column:
+        n = len(args[0])
+        valid = np.ones(n, dtype=bool)
+        for a in args:
+            valid &= a.is_valid()
+        out = np.empty(n, dtype=object)
+        for i in range(n):
+            if valid[i]:
+                out[i] = "".join(str(a.values[i]) for a in args)
+        return Column(DataType.STRING, out, None if bool(valid.all()) else valid)
+
+    reg.register(ScalarFunction("CONCAT", _concat, _fixed(DataType.STRING), max_args=None))
+
+    def _substr(args: list[Column]) -> Column:
+        start = int(args[1].values[0])
+        length = int(args[2].values[0]) if len(args) > 2 else None
+        begin = max(start - 1, 0)  # SQL SUBSTR is 1-based
+
+        def cut(s: str) -> str:
+            return s[begin : begin + length] if length is not None else s[begin:]
+
+        return _map_values(args[0], cut, DataType.STRING)
+
+    reg.register(ScalarFunction("SUBSTR", _substr, _fixed(DataType.STRING), min_args=2, max_args=3))
+
+    def _coalesce(args: list[Column]) -> Column:
+        n = len(args[0])
+        out_dtype = args[0].dtype
+        values = np.array(args[0].values, copy=True)
+        valid = np.array(args[0].is_valid(), copy=True)
+        for a in args[1:]:
+            need = ~valid
+            if not need.any():
+                break
+            avail = need & a.is_valid()
+            values[avail] = a.values[avail]
+            valid |= avail
+        return Column(out_dtype, values, None if bool(valid.all()) else valid)
+
+    reg.register(ScalarFunction("COALESCE", _coalesce, _same, min_args=2, max_args=None))
+    reg.register(ScalarFunction("IFNULL", _coalesce, _same, min_args=2, max_args=2))
+
+    def _if(args: list[Column]) -> Column:
+        cond = args[0]
+        truthy = cond.is_valid() & cond.values.astype(bool)
+        out_dtype = args[1].dtype
+        values = np.where(truthy, args[1].values, args[2].values)
+        valid = np.where(truthy, args[1].is_valid(), args[2].is_valid())
+        return Column(out_dtype, values, None if bool(valid.all()) else valid)
+
+    def _if_type(dtypes: list[DataType]) -> DataType:
+        return dtypes[1]
+
+    reg.register(ScalarFunction("IF", _if, _if_type, min_args=3, max_args=3))
+
+    def _safe_divide(args: list[Column]) -> Column:
+        num = args[0].values.astype(np.float64)
+        den = args[1].values.astype(np.float64)
+        valid = args[0].is_valid() & args[1].is_valid() & (den != 0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(valid, num / np.where(den == 0, 1.0, den), 0.0)
+        return Column(DataType.FLOAT64, out, None if bool(valid.all()) else valid)
+
+    reg.register(ScalarFunction("SAFE_DIVIDE", _safe_divide, _fixed(DataType.FLOAT64), min_args=2, max_args=2))
+
+    def _temporal_part(extractor: Callable) -> Callable:
+        def impl(args: list[Column]) -> Column:
+            col = args[0]
+            if col.dtype is DataType.TIMESTAMP:
+                days = col.values // dates.MICROS_PER_DAY
+            else:
+                days = col.values
+            return _map_values(Column(DataType.INT64, days, col.validity), extractor, DataType.INT64)
+
+        return impl
+
+    reg.register(ScalarFunction("YEAR", _temporal_part(dates.date_year), _fixed(DataType.INT64)))
+    reg.register(ScalarFunction("MONTH", _temporal_part(dates.date_month), _fixed(DataType.INT64)))
+    reg.register(ScalarFunction("DAY", _temporal_part(dates.date_day), _fixed(DataType.INT64)))
+
+    def _starts_with(args: list[Column]) -> Column:
+        prefix = args[1].values[0]
+        return _map_values(args[0], lambda s: s.startswith(prefix), DataType.BOOL)
+
+    reg.register(ScalarFunction("STARTS_WITH", _starts_with, _fixed(DataType.BOOL), min_args=2, max_args=2))
+
+    def _regexp_contains(args: list[Column]) -> Column:
+        pattern = re.compile(args[1].values[0])
+        return _map_values(args[0], lambda s: pattern.search(s) is not None, DataType.BOOL)
+
+    reg.register(ScalarFunction("REGEXP_CONTAINS", _regexp_contains, _fixed(DataType.BOOL), min_args=2, max_args=2))
+
+    def _greatest(args: list[Column]) -> Column:
+        values = args[0].values
+        valid = args[0].is_valid()
+        for a in args[1:]:
+            values = np.maximum(values, a.values)
+            valid = valid & a.is_valid()
+        return Column(args[0].dtype, values, None if bool(valid.all()) else valid)
+
+    def _least(args: list[Column]) -> Column:
+        values = args[0].values
+        valid = args[0].is_valid()
+        for a in args[1:]:
+            values = np.minimum(values, a.values)
+            valid = valid & a.is_valid()
+        return Column(args[0].dtype, values, None if bool(valid.all()) else valid)
+
+    reg.register(ScalarFunction("GREATEST", _greatest, _same, min_args=2, max_args=None))
+    reg.register(ScalarFunction("LEAST", _least, _same, min_args=2, max_args=None))
+
+    def _timestamp(args: list[Column]) -> Column:
+        col = args[0]
+        if col.dtype is DataType.TIMESTAMP:
+            return col
+        if col.dtype is DataType.DATE:
+            return Column(DataType.TIMESTAMP, col.values * dates.MICROS_PER_DAY, col.validity)
+        return _map_values(col, dates.parse_timestamp_to_micros, DataType.TIMESTAMP)
+
+    def _date(args: list[Column]) -> Column:
+        col = args[0]
+        if col.dtype is DataType.DATE:
+            return col
+        if col.dtype is DataType.TIMESTAMP:
+            return Column(DataType.DATE, col.values // dates.MICROS_PER_DAY, col.validity)
+        return _map_values(col, dates.parse_date_to_days, DataType.DATE)
+
+    reg.register(ScalarFunction("TIMESTAMP", _timestamp, _fixed(DataType.TIMESTAMP)))
+    reg.register(ScalarFunction("DATE", _date, _fixed(DataType.DATE)))
+
+
+DEFAULT_FUNCTIONS = FunctionRegistry()
+
+
+# --------------------------------------------------------------------------
+# Binder
+# --------------------------------------------------------------------------
+
+_NUMERIC_RESULT = {
+    ("+",): None, ("-",): None, ("*",): None,
+}
+
+
+class Binder:
+    """Resolves names against a schema and type-checks expressions."""
+
+    def __init__(self, schema: Schema, functions: FunctionRegistry | None = None) -> None:
+        self.schema = schema
+        self.functions = functions or DEFAULT_FUNCTIONS
+
+    def bind(self, expr: ast.Expr) -> BoundExpr:
+        if isinstance(expr, ast.Literal):
+            return self._bind_literal(expr)
+        if isinstance(expr, ast.ColumnRef):
+            return self.bind_column(expr.name)
+        if isinstance(expr, ast.BinaryOp):
+            return self._bind_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._bind_unary(expr)
+        if isinstance(expr, ast.IsNull):
+            return BoundIsNull(self.bind(expr.operand), expr.negated)
+        if isinstance(expr, ast.InList):
+            operand = self.bind(expr.operand)
+            values = []
+            for item in expr.items:
+                bound = self.bind(item)
+                if not isinstance(bound, BoundLiteral):
+                    raise AnalysisError("IN list items must be literals")
+                values.append(bound.value)
+            return BoundInList(operand, tuple(values), expr.negated)
+        if isinstance(expr, ast.Between):
+            operand = self.bind(expr.operand)
+            low = self.bind(expr.low)
+            high = self.bind(expr.high)
+            ge = BoundBinary(">=", operand, low, DataType.BOOL)
+            le = BoundBinary("<=", operand, high, DataType.BOOL)
+            both = BoundBinary("AND", ge, le, DataType.BOOL)
+            if expr.negated:
+                return BoundUnary("NOT", both, DataType.BOOL)
+            return both
+        if isinstance(expr, ast.Like):
+            return BoundLike(self.bind(expr.operand), expr.pattern, expr.negated)
+        if isinstance(expr, ast.Case):
+            whens = tuple((self.bind(c), self.bind(v)) for c, v in expr.whens)
+            default = self.bind(expr.default) if expr.default is not None else None
+            dtype = whens[0][1].dtype
+            return BoundCase(whens, default, dtype)
+        if isinstance(expr, ast.Cast):
+            try:
+                target = DataType(expr.target_type)
+            except ValueError:
+                raise AnalysisError(f"unknown CAST target type {expr.target_type}") from None
+            return BoundCast(self.bind(expr.operand), target)
+        if isinstance(expr, ast.FunctionCall):
+            return self._bind_call(expr)
+        if isinstance(expr, ast.InSubquery):
+            raise AnalysisError(
+                "IN (SELECT ...) is only supported as a top-level WHERE "
+                "conjunct (it lowers to a semi/anti join)"
+            )
+        raise AnalysisError(f"cannot bind expression {expr!r}")
+
+    def bind_column(self, name: str) -> BoundColumn:
+        """Resolve a possibly-qualified column name against the schema.
+
+        Tries: exact match; the unqualified tail; then a unique
+        ``*.name`` suffix match (for join outputs with qualified fields).
+        """
+        if self.schema.has_field(name):
+            idx = self.schema.index_of(name)
+            return BoundColumn(idx, self.schema.fields[idx].name, self.schema.fields[idx].dtype)
+        if "." in name:
+            tail = name.rsplit(".", 1)[1]
+            if self.schema.has_field(tail):
+                idx = self.schema.index_of(tail)
+                return BoundColumn(idx, tail, self.schema.fields[idx].dtype)
+        suffix = "." + name.lower()
+        matches = [
+            i for i, f in enumerate(self.schema.fields)
+            if f.name.lower().endswith(suffix)
+        ]
+        if len(matches) == 1:
+            f = self.schema.fields[matches[0]]
+            return BoundColumn(matches[0], f.name, f.dtype)
+        if len(matches) > 1:
+            raise AnalysisError(f"ambiguous column reference {name!r}")
+        raise AnalysisError(
+            f"column {name!r} not found in [{', '.join(self.schema.names())}]"
+        )
+
+    def _bind_literal(self, expr: ast.Literal) -> BoundLiteral:
+        v = expr.value
+        if expr.type_hint == "TIMESTAMP":
+            return BoundLiteral(parse_timestamp_to_micros(v), DataType.TIMESTAMP)
+        if expr.type_hint == "DATE":
+            return BoundLiteral(parse_date_to_days(v), DataType.DATE)
+        if v is None:
+            return BoundLiteral(None, DataType.STRING)
+        if isinstance(v, bool):
+            return BoundLiteral(v, DataType.BOOL)
+        if isinstance(v, int):
+            return BoundLiteral(v, DataType.INT64)
+        if isinstance(v, float):
+            return BoundLiteral(v, DataType.FLOAT64)
+        if isinstance(v, str):
+            return BoundLiteral(v, DataType.STRING)
+        if isinstance(v, bytes):
+            return BoundLiteral(v, DataType.BYTES)
+        raise AnalysisError(f"unsupported literal {v!r}")
+
+    def _coerce_pair(self, left: BoundExpr, right: BoundExpr) -> tuple[BoundExpr, BoundExpr]:
+        """Insert implicit casts so both sides share a comparable type."""
+        lt, rt = left.dtype, right.dtype
+        if lt == rt:
+            return left, right
+        numeric = {DataType.INT64, DataType.FLOAT64}
+        if lt in numeric and rt in numeric:
+            if lt is DataType.INT64:
+                return BoundCast(left, DataType.FLOAT64), right
+            return left, BoundCast(right, DataType.FLOAT64)
+        temporal = {DataType.TIMESTAMP, DataType.DATE}
+        if lt in temporal and rt in temporal:
+            # Compare as timestamps (DATE -> midnight).
+            if lt is DataType.DATE:
+                return BoundCast(left, DataType.TIMESTAMP), right
+            return left, BoundCast(right, DataType.TIMESTAMP)
+        if lt in temporal and rt is DataType.INT64:
+            return left, BoundCast(right, lt)
+        if rt in temporal and lt is DataType.INT64:
+            return BoundCast(left, rt), right
+        # Comparing a typed value with an untyped NULL literal.
+        if isinstance(right, BoundLiteral) and right.value is None:
+            return left, BoundLiteral(None, lt)
+        if isinstance(left, BoundLiteral) and left.value is None:
+            return BoundLiteral(None, rt), right
+        raise AnalysisError(f"incompatible types {lt.value} and {rt.value}")
+
+    def _bind_binary(self, expr: ast.BinaryOp) -> BoundExpr:
+        left = self.bind(expr.left)
+        right = self.bind(expr.right)
+        op = expr.op
+        if op in ("AND", "OR"):
+            return BoundBinary(op, left, right, DataType.BOOL)
+        if op in ("=", "!=", "<", "<=", ">", ">="):
+            left, right = self._coerce_pair(left, right)
+            return BoundBinary(op, left, right, DataType.BOOL)
+        if op == "||":
+            return BoundBinary(op, left, right, DataType.STRING)
+        if op in ("+", "-", "*", "/", "%"):
+            left, right = self._coerce_pair(left, right)
+            if op == "/":
+                dtype = DataType.FLOAT64
+            elif left.dtype is DataType.FLOAT64:
+                dtype = DataType.FLOAT64
+            else:
+                dtype = left.dtype
+            return BoundBinary(op, left, right, dtype)
+        raise AnalysisError(f"unknown binary operator {op}")
+
+    def _bind_unary(self, expr: ast.UnaryOp) -> BoundExpr:
+        operand = self.bind(expr.operand)
+        if expr.op == "NOT":
+            return BoundUnary("NOT", operand, DataType.BOOL)
+        if expr.op == "-":
+            return BoundUnary("-", operand, operand.dtype)
+        raise AnalysisError(f"unknown unary operator {expr.op}")
+
+    def _bind_call(self, expr: ast.FunctionCall) -> BoundExpr:
+        if expr.name in AGGREGATE_FUNCTIONS:
+            raise AnalysisError(
+                f"aggregate {expr.name}() not allowed here (only in SELECT/HAVING "
+                "of a grouped query)"
+            )
+        fn = self.functions.lookup(expr.name)
+        if len(expr.args) < fn.min_args or (
+            fn.max_args is not None and len(expr.args) > fn.max_args
+        ):
+            raise AnalysisError(f"{fn.name}() arity mismatch: got {len(expr.args)} args")
+        args = tuple(self.bind(a) for a in expr.args)
+        dtype = fn.result_type([a.dtype for a in args])
+        return BoundCall(expr.name.upper(), args, dtype, fn.impl)
+
+
+# --------------------------------------------------------------------------
+# Evaluator
+# --------------------------------------------------------------------------
+
+
+def evaluate(expr: BoundExpr, batch: RecordBatch) -> Column:
+    """Evaluate a bound expression over a batch, returning one column."""
+    n = batch.num_rows
+    if isinstance(expr, BoundColumn):
+        return batch.column_at(expr.index)
+    if isinstance(expr, BoundLiteral):
+        return Column.repeat(expr.dtype, expr.value, n)
+    if isinstance(expr, BoundBinary):
+        return _eval_binary(expr, batch)
+    if isinstance(expr, BoundUnary):
+        operand = evaluate(expr.operand, batch)
+        if expr.op == "NOT":
+            values = ~operand.values.astype(bool)
+            return Column(DataType.BOOL, values, operand.validity)
+        if expr.op == "-":
+            return Column(operand.dtype, -operand.values, operand.validity)
+        raise ExecutionError(f"unknown unary op {expr.op}")
+    if isinstance(expr, BoundIsNull):
+        operand = evaluate(expr.operand, batch)
+        null_mask = ~operand.is_valid()
+        result = ~null_mask if expr.negated else null_mask
+        return Column(DataType.BOOL, result)
+    if isinstance(expr, BoundInList):
+        operand = evaluate(expr.operand, batch)
+        hits = np.zeros(n, dtype=bool)
+        for v in expr.values:
+            hits |= operand.values == v
+        hits &= operand.is_valid()
+        if expr.negated:
+            hits = ~hits & operand.is_valid()
+        return Column(DataType.BOOL, hits, operand.validity)
+    if isinstance(expr, BoundLike):
+        operand = evaluate(expr.operand, batch)
+        regex = _like_to_regex(expr.pattern)
+        valid = operand.is_valid()
+        out = np.zeros(n, dtype=bool)
+        for i in range(n):
+            if valid[i]:
+                out[i] = regex.match(operand.values[i]) is not None
+        if expr.negated:
+            out = ~out & valid
+        return Column(DataType.BOOL, out, operand.validity)
+    if isinstance(expr, BoundCase):
+        return _eval_case(expr, batch)
+    if isinstance(expr, BoundCast):
+        operand = evaluate(expr.operand, batch)
+        return _eval_cast(operand, expr.dtype)
+    if isinstance(expr, BoundCall):
+        args = [evaluate(a, batch) for a in expr.args]
+        return expr.impl(args)
+    raise ExecutionError(f"cannot evaluate {expr!r}")
+
+
+def evaluate_predicate(expr: BoundExpr, batch: RecordBatch) -> np.ndarray:
+    """Evaluate a boolean expression to a selection mask (NULL -> False)."""
+    col = evaluate(expr, batch)
+    return col.values.astype(bool) & col.is_valid()
+
+
+def _eval_binary(expr: BoundBinary, batch: RecordBatch) -> Column:
+    op = expr.op
+    if op in ("AND", "OR"):
+        left = evaluate(expr.left, batch)
+        right = evaluate(expr.right, batch)
+        lv = left.values.astype(bool)
+        rv = right.values.astype(bool)
+        lvalid = left.is_valid()
+        rvalid = right.is_valid()
+        if op == "AND":
+            values = lv & rv & lvalid & rvalid
+            # Kleene: FALSE AND NULL = FALSE; NULL AND TRUE = NULL.
+            known_false = (lvalid & ~lv) | (rvalid & ~rv)
+            valid = (lvalid & rvalid) | known_false
+        else:
+            values = (lv & lvalid) | (rv & rvalid)
+            known_true = (lvalid & lv) | (rvalid & rv)
+            valid = (lvalid & rvalid) | known_true
+        return Column(DataType.BOOL, values, None if bool(valid.all()) else valid)
+
+    left = evaluate(expr.left, batch)
+    right = evaluate(expr.right, batch)
+    lvalid = left.is_valid()
+    rvalid = right.is_valid()
+    valid = lvalid & rvalid
+    validity = None if bool(valid.all()) else valid
+
+    if op == "||":
+        out = np.empty(len(left), dtype=object)
+        for i in range(len(left)):
+            if valid[i]:
+                out[i] = str(left.values[i]) + str(right.values[i])
+        return Column(DataType.STRING, out, validity)
+
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        lv, rv = left.values, right.values
+        if lv.dtype == np.dtype(object) and op not in ("=", "!="):
+            # Ordered comparison of object (string/bytes) arrays must skip
+            # null placeholders, which do not support '<'.
+            values = np.zeros(len(lv), dtype=bool)
+            cmp = {"<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+                   ">": lambda a, b: a > b, ">=": lambda a, b: a >= b}[op]
+            for i in np.flatnonzero(valid):
+                values[i] = cmp(lv[i], rv[i])
+            return Column(DataType.BOOL, values, validity)
+        if op == "=":
+            values = lv == rv
+        elif op == "!=":
+            values = lv != rv
+        elif op == "<":
+            values = lv < rv
+        elif op == "<=":
+            values = lv <= rv
+        elif op == ">":
+            values = lv > rv
+        else:
+            values = lv >= rv
+        return Column(DataType.BOOL, np.asarray(values, dtype=bool), validity)
+
+    lv, rv = left.values, right.values
+    if op == "+":
+        values = lv + rv
+    elif op == "-":
+        values = lv - rv
+    elif op == "*":
+        values = lv * rv
+    elif op == "/":
+        denom = rv.astype(np.float64)
+        zero = denom == 0
+        valid = valid & ~zero
+        validity = None if bool(valid.all()) else valid
+        with np.errstate(divide="ignore", invalid="ignore"):
+            values = lv.astype(np.float64) / np.where(zero, 1.0, denom)
+    elif op == "%":
+        denom = np.where(rv == 0, 1, rv)
+        valid = valid & (rv != 0)
+        validity = None if bool(valid.all()) else valid
+        values = lv % denom
+    else:
+        raise ExecutionError(f"unknown binary op {op}")
+    return Column(expr.dtype, np.asarray(values, dtype=expr.dtype.numpy_dtype()), validity)
+
+
+def _eval_case(expr: BoundCase, batch: RecordBatch) -> Column:
+    n = batch.num_rows
+    out_dtype = expr.dtype
+    values = np.zeros(n, dtype=out_dtype.numpy_dtype())
+    if out_dtype.numpy_dtype() == np.dtype(object):
+        values = np.empty(n, dtype=object)
+    valid = np.zeros(n, dtype=bool)
+    decided = np.zeros(n, dtype=bool)
+    for cond_expr, value_expr in expr.whens:
+        mask = evaluate_predicate(cond_expr, batch) & ~decided
+        if mask.any():
+            branch = evaluate(value_expr, batch)
+            values[mask] = branch.values[mask]
+            valid[mask] = branch.is_valid()[mask]
+            decided |= mask
+    remaining = ~decided
+    if expr.default is not None and remaining.any():
+        branch = evaluate(expr.default, batch)
+        values[remaining] = branch.values[remaining]
+        valid[remaining] = branch.is_valid()[remaining]
+    return Column(out_dtype, values, None if bool(valid.all()) else valid)
+
+
+def _eval_cast(operand: Column, target: DataType) -> Column:
+    if operand.dtype == target:
+        return operand
+    src = operand.dtype
+    validity = operand.validity
+    if src is DataType.DATE and target is DataType.TIMESTAMP:
+        from repro.sql.dates import MICROS_PER_DAY
+
+        return Column(target, operand.values * MICROS_PER_DAY, validity)
+    if src is DataType.TIMESTAMP and target is DataType.DATE:
+        from repro.sql.dates import MICROS_PER_DAY
+
+        return Column(target, operand.values // MICROS_PER_DAY, validity)
+    if src.is_numeric and target.is_numeric:
+        return Column(target, operand.values.astype(target.numpy_dtype()), validity)
+    if src is DataType.INT64 and target.is_temporal:
+        return Column(target, operand.values, validity)
+    if target is DataType.STRING:
+        out = np.empty(len(operand), dtype=object)
+        valid = operand.is_valid()
+        for i in range(len(operand)):
+            if valid[i]:
+                v = operand.values[i]
+                out[i] = str(v.item() if isinstance(v, np.generic) else v)
+        return Column(target, out, validity)
+    if src is DataType.STRING and target is DataType.INT64:
+        return _map_values(operand, int, DataType.INT64)
+    if src is DataType.STRING and target is DataType.FLOAT64:
+        return _map_values(operand, float, DataType.FLOAT64)
+    if src is DataType.BOOL and target is DataType.INT64:
+        return Column(target, operand.values.astype(np.int64), validity)
+    if src.is_numeric and target is DataType.BOOL:
+        return Column(target, operand.values.astype(bool), validity)
+    raise ExecutionError(f"unsupported CAST from {src.value} to {target.value}")
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern to an anchored regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def collect_column_refs(expr: ast.Expr) -> set[str]:
+    """All column names referenced by a syntactic expression (for pruning
+    and projection pushdown analysis)."""
+    refs: set[str] = set()
+
+    def walk(e: ast.Expr) -> None:
+        if isinstance(e, ast.ColumnRef):
+            refs.add(e.name)
+        elif isinstance(e, ast.BinaryOp):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, ast.UnaryOp):
+            walk(e.operand)
+        elif isinstance(e, ast.IsNull):
+            walk(e.operand)
+        elif isinstance(e, ast.InList):
+            walk(e.operand)
+            for item in e.items:
+                walk(item)
+        elif isinstance(e, ast.Between):
+            walk(e.operand)
+            walk(e.low)
+            walk(e.high)
+        elif isinstance(e, ast.Like):
+            walk(e.operand)
+        elif isinstance(e, ast.Case):
+            for c, v in e.whens:
+                walk(c)
+                walk(v)
+            if e.default is not None:
+                walk(e.default)
+        elif isinstance(e, ast.Cast):
+            walk(e.operand)
+        elif isinstance(e, ast.FunctionCall):
+            for a in e.args:
+                walk(a)
+
+    walk(expr)
+    return refs

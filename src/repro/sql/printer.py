@@ -1,0 +1,125 @@
+"""AST -> SQL text serialization.
+
+Used when the engine pushes predicates down into Read API sessions: the
+Read API's protocol carries row restrictions as SQL text (like the real
+``row_restriction`` field), so pushed filters round-trip through the
+printer and the parser.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.sql import ast_nodes as ast
+
+
+def to_sql(expr: ast.Expr) -> str:
+    """Render an expression AST back to parseable SQL."""
+    if isinstance(expr, ast.Literal):
+        return _literal(expr)
+    if isinstance(expr, ast.ColumnRef):
+        return ".".join(expr.parts)
+    if isinstance(expr, ast.Star):
+        return f"{expr.qualifier}.*" if expr.qualifier else "*"
+    if isinstance(expr, ast.BinaryOp):
+        return f"({to_sql(expr.left)} {expr.op} {to_sql(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return f"(NOT {to_sql(expr.operand)})"
+        return f"(-{to_sql(expr.operand)})"
+    if isinstance(expr, ast.IsNull):
+        negated = " NOT" if expr.negated else ""
+        return f"({to_sql(expr.operand)} IS{negated} NULL)"
+    if isinstance(expr, ast.InList):
+        negated = "NOT " if expr.negated else ""
+        items = ", ".join(to_sql(i) for i in expr.items)
+        return f"({to_sql(expr.operand)} {negated}IN ({items}))"
+    if isinstance(expr, ast.Between):
+        negated = "NOT " if expr.negated else ""
+        return (
+            f"({to_sql(expr.operand)} {negated}BETWEEN "
+            f"{to_sql(expr.low)} AND {to_sql(expr.high)})"
+        )
+    if isinstance(expr, ast.Like):
+        negated = "NOT " if expr.negated else ""
+        return f"({to_sql(expr.operand)} {negated}LIKE {_quote(expr.pattern)})"
+    if isinstance(expr, ast.Case):
+        parts = ["CASE"]
+        for cond, value in expr.whens:
+            parts.append(f"WHEN {to_sql(cond)} THEN {to_sql(value)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {to_sql(expr.default)}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"
+    if isinstance(expr, ast.Cast):
+        return f"CAST({to_sql(expr.operand)} AS {expr.target_type})"
+    if isinstance(expr, ast.FunctionCall):
+        if expr.is_star:
+            return f"{expr.name}(*)"
+        distinct = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(to_sql(a) for a in expr.args)
+        return f"{expr.name}({distinct}{args})"
+    raise AnalysisError(f"cannot serialize expression {expr!r}")
+
+
+def _literal(expr: ast.Literal) -> str:
+    v = expr.value
+    if expr.type_hint is not None:
+        return f"{expr.type_hint} {_quote(str(v))}"
+    if v is None:
+        return "NULL"
+    if isinstance(v, bool):
+        return "TRUE" if v else "FALSE"
+    if isinstance(v, str):
+        return _quote(v)
+    return repr(v)
+
+
+def _quote(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+def strip_qualifiers(expr: ast.Expr) -> ast.Expr:
+    """Rewrite every column reference to its unqualified tail.
+
+    Needed when pushing a predicate bound against a join's qualified
+    schema (``o.amount``) into a single-table read session whose schema has
+    plain names (``amount``).
+    """
+    if isinstance(expr, ast.ColumnRef):
+        return ast.ColumnRef((expr.parts[-1],))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, strip_qualifiers(expr.left), strip_qualifiers(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, strip_qualifiers(expr.operand))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(strip_qualifiers(expr.operand), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            strip_qualifiers(expr.operand),
+            tuple(strip_qualifiers(i) for i in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            strip_qualifiers(expr.operand),
+            strip_qualifiers(expr.low),
+            strip_qualifiers(expr.high),
+            expr.negated,
+        )
+    if isinstance(expr, ast.Like):
+        return ast.Like(strip_qualifiers(expr.operand), expr.pattern, expr.negated)
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            tuple((strip_qualifiers(c), strip_qualifiers(v)) for c, v in expr.whens),
+            strip_qualifiers(expr.default) if expr.default is not None else None,
+        )
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(strip_qualifiers(expr.operand), expr.target_type)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(
+            expr.name,
+            tuple(strip_qualifiers(a) for a in expr.args),
+            expr.distinct,
+            expr.is_star,
+        )
+    return expr

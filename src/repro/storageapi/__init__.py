@@ -1,0 +1,33 @@
+"""BigQuery Storage APIs: the Read API, Write API, and Superluminal.
+
+This is the trust boundary of the whole system (§2.2, §3.2): every byte
+that leaves storage — whether consumed by the Dremel-like engine, the Spark
+simulator, or a hostile client — passes through the Read API, which applies
+projections, user predicates, row-level security filters, and data masking
+*before* returning Arrow-like batches. External engines are trusted with
+nothing.
+
+The Write API (§2.2.2) provides multi-stream, exactly-once ingestion with
+stream-level and cross-stream (batch) commit semantics.
+"""
+
+from repro.storageapi.superluminal import Superluminal
+from repro.storageapi.read_api import ReadApi, ReadSession, ReadStream, SessionStats
+from repro.storageapi.write_api import (
+    AppendResult,
+    WriteApi,
+    WriteStream,
+    WriteStreamKind,
+)
+
+__all__ = [
+    "Superluminal",
+    "ReadApi",
+    "ReadSession",
+    "ReadStream",
+    "SessionStats",
+    "AppendResult",
+    "WriteApi",
+    "WriteStream",
+    "WriteStreamKind",
+]

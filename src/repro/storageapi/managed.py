@@ -1,0 +1,84 @@
+"""BigQuery managed storage: the native replicated storage tier (§2).
+
+Managed tables live here as in-memory columnar batches. Reads charge the
+engine-side scan cost but no object-store round trips — managed storage is
+the fast, fully-owned substrate BigLake brings lake data up to par with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.batch import RecordBatch, concat_batches
+from repro.data.types import Schema
+from repro.errors import NotFoundError
+from repro.simtime import MIB, SimContext
+
+
+@dataclass
+class _ManagedTable:
+    schema: Schema
+    batches: list[RecordBatch] = field(default_factory=list)
+    num_rows: int = 0
+
+
+class ManagedStorage:
+    """In-memory columnar storage for managed tables."""
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        self._tables: dict[str, _ManagedTable] = {}
+
+    def create(self, table_id: str, schema: Schema, replace: bool = False) -> None:
+        if table_id in self._tables and not replace:
+            return
+        self._tables[table_id] = _ManagedTable(schema=schema)
+
+    def exists(self, table_id: str) -> bool:
+        return table_id in self._tables
+
+    def append(self, table_id: str, batch: RecordBatch) -> None:
+        table = self._lookup(table_id)
+        if batch.num_rows == 0:
+            return
+        table.batches.append(batch.decoded())
+        table.num_rows += batch.num_rows
+
+    def read(self, table_id: str) -> list[RecordBatch]:
+        """All batches; charges the columnar scan cost."""
+        table = self._lookup(table_id)
+        nbytes = sum(b.nbytes() for b in table.batches)
+        self.ctx.charge("managed.scan", (nbytes / MIB) * self.ctx.costs.scan_per_mib_ms)
+        return list(table.batches)
+
+    def read_all(self, table_id: str) -> RecordBatch:
+        table = self._lookup(table_id)
+        return concat_batches(table.schema, self.read(table_id))
+
+    def truncate(self, table_id: str) -> None:
+        table = self._lookup(table_id)
+        table.batches.clear()
+        table.num_rows = 0
+
+    def replace_contents(self, table_id: str, batches: list[RecordBatch]) -> None:
+        table = self._lookup(table_id)
+        table.batches = [b.decoded() for b in batches if b.num_rows]
+        table.num_rows = sum(b.num_rows for b in table.batches)
+
+    def drop(self, table_id: str) -> None:
+        self._tables.pop(table_id, None)
+
+    def row_count(self, table_id: str) -> int:
+        return self._lookup(table_id).num_rows
+
+    def schema(self, table_id: str) -> Schema:
+        return self._lookup(table_id).schema
+
+    def size_bytes(self, table_id: str) -> int:
+        return sum(b.nbytes() for b in self._lookup(table_id).batches)
+
+    def _lookup(self, table_id: str) -> _ManagedTable:
+        try:
+            return self._tables[table_id]
+        except KeyError:
+            raise NotFoundError(f"managed table {table_id!r} not found") from None

@@ -1,0 +1,908 @@
+"""The Storage Read API (§2.2.1): sessions, parallel streams, governance.
+
+``CreateReadSession`` resolves the table's file set (through the Big
+Metadata cache when enabled, otherwise by listing the bucket and reading
+file footers — the slow path §3.3 describes), applies constraint-based
+partition/file pruning, compiles the caller's effective security policies,
+and partitions work into streams. ``ReadRows`` then streams Arrow-like
+batches with projections, user predicates, security filters, and masking
+applied inside the trust boundary by Superluminal.
+
+Object tables (§4.1) are served from the metadata cache *directly*: each
+cached object becomes a row, so listing a billion objects is a metadata
+lookup, not an object-store LIST.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.data.batch import RecordBatch, batch_from_pydict
+from repro.data.types import DataType, Schema
+from repro.errors import (
+    AccessDeniedError,
+    CatalogError,
+    SessionExpiredError,
+    StorageApiError,
+)
+from repro.formats.readers import RowReader, VectorizedReader
+from repro.metastore.bigmeta import BigMetadataService, ColumnStats, FileEntry
+from repro.metastore.catalog import MetadataCacheMode, TableInfo, TableKind
+from repro.metastore.constraints import ConstraintSet
+from repro.objectstore.registry import StoreRegistry
+from repro.security.audit import AuditLog
+from repro.security.connections import ConnectionManager
+from repro.security.iam import IamService, Permission, Principal
+from repro.simtime import MIB, SimContext
+from repro.sql.analysis import extract_constraints
+from repro.sql.dates import parse_date_to_days
+from repro.sql.expressions import FunctionRegistry
+from repro.sql.parser import parse_expression
+from repro.storageapi.fileutil import entry_from_footer, read_remote_footer
+from repro.storageapi.managed import ManagedStorage
+from repro.storageapi.superluminal import Superluminal
+from repro.tableformats.hive_layout import parse_partition_from_key
+
+_session_ids = itertools.count(1)
+
+# Columns every Object table exposes (§4.1): object-store attributes, plus
+# ``data`` — the object's content, fetched lazily and only for rows that
+# survive the governance filters ("access to a row implies access to the
+# content of the corresponding object").
+OBJECT_TABLE_SCHEMA = Schema.of(
+    ("uri", DataType.STRING),
+    ("bucket", DataType.STRING),
+    ("key", DataType.STRING),
+    ("size", DataType.INT64),
+    ("content_type", DataType.STRING),
+    ("create_time", DataType.TIMESTAMP),
+    ("update_time", DataType.TIMESTAMP),
+    ("generation", DataType.INT64),
+    ("data", DataType.BYTES),
+)
+
+_SESSION_TTL_MS = 6 * 3600 * 1000.0
+
+
+@dataclass
+class SessionStats:
+    """Counters accumulated across a session's streams."""
+
+    files_total: int = 0
+    files_after_pruning: int = 0
+    bytes_scanned: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    row_groups_pruned: int = 0
+    cpu_ms: float = 0.0  # server-side decode/filter cost (CPU efficiency)
+    # ReadRows payload accounting (§3.4 future work): logical Arrow-like
+    # bytes vs the dictionary/RLE wire bytes actually shipped.
+    wire_bytes_plain: int = 0
+    wire_bytes_encoded: int = 0
+    served_from_session_cache: bool = False
+
+    @property
+    def files_pruned(self) -> int:
+        return self.files_total - self.files_after_pruning
+
+
+@dataclass
+class ReadStream:
+    """One unit of parallel consumption: a subset of the session's files."""
+
+    stream_id: int
+    files: list[FileEntry] = field(default_factory=list)
+    # For managed tables, streams carry batches instead of files.
+    batches: list[RecordBatch] = field(default_factory=list)
+
+
+@dataclass
+class ReadSession:
+    """A consistent point-in-time read of one table."""
+
+    session_id: str
+    table: TableInfo
+    principal: Principal
+    output_schema: Schema
+    columns: list[str]
+    row_restriction: str | None
+    constraints: ConstraintSet
+    streams: list[ReadStream]
+    engine_location: str | None
+    created_ms: float
+    expires_ms: float
+    stats: SessionStats = field(default_factory=SessionStats)
+    table_stats: dict[str, Any] | None = None
+    use_row_oriented_reader: bool = False
+    # (func, column-or-None, output-name) partial aggregates computed
+    # server-side by Superluminal (§3.4 future work: aggregate pushdown).
+    aggregates: list[tuple[str, str | None, str]] = field(default_factory=list)
+    # None: no wire accounting; "arrow": plain payloads; "encoded":
+    # dictionary/RLE-compressed payloads (§3.4 future work).
+    wire_format: str | None = None
+    # Ranged reads: fetch only the surviving row-group x needed-column
+    # chunks (with range coalescing) instead of whole objects.
+    ranged_reads: bool = False
+
+
+class ReadApi:
+    """The Read API service endpoint for one deployment."""
+
+    def __init__(
+        self,
+        catalog,
+        bigmeta: BigMetadataService,
+        connections: ConnectionManager,
+        iam: IamService,
+        audit: AuditLog,
+        stores: StoreRegistry,
+        managed: ManagedStorage,
+        ctx: SimContext,
+        functions: FunctionRegistry | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.bigmeta = bigmeta
+        self.connections = connections
+        self.iam = iam
+        self.audit = audit
+        self.stores = stores
+        self.managed = managed
+        self.ctx = ctx
+        self.functions = functions
+        # table_id -> simulated time of last metadata-cache refresh.
+        self._cache_refreshed_ms: dict[str, float] = {}
+        # Read-session reuse (§3.4 future work): cache of resolved file
+        # sets keyed by (table, version, restriction, snapshot) so a
+        # re-created session skips the expensive enumerate/prune step.
+        self._resolution_cache: dict[tuple, tuple[list[FileEntry], int]] = {}
+        self.session_cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # CreateReadSession
+    # ------------------------------------------------------------------
+
+    def create_read_session(
+        self,
+        principal: Principal,
+        table: TableInfo,
+        columns: list[str] | None = None,
+        row_restriction: str | None = None,
+        snapshot_ms: float | None = None,
+        max_streams: int = 8,
+        with_table_stats: bool = False,
+        engine_location: str | None = None,
+        use_row_oriented_reader: bool = False,
+        aggregates: list[tuple[str, str | None, str]] | None = None,
+        wire_format: str | None = None,
+        reuse: bool = False,
+        ranged_reads: bool = False,
+    ) -> ReadSession:
+        """Open a consistent read session over ``table``.
+
+        ``aggregates`` pushes partial MIN/MAX/SUM/COUNT computation into the
+        server; ``wire_format`` selects ReadRows payload accounting;
+        ``reuse=True`` serves the file resolution from the session cache
+        when the table has not changed (§3.4 future work, all three).
+
+        Raises :class:`AccessDeniedError` if the principal lacks table
+        access or requests a column denied by a column ACL.
+        """
+        decision = self.iam.is_allowed(
+            principal, Permission.TABLES_GET_DATA, table.resource_name
+        )
+        self.audit.record(
+            principal, "read_session.create", table.resource_name,
+            decision.allowed, decision.reason,
+        )
+        if not decision.allowed:
+            raise AccessDeniedError(
+                f"{principal} cannot read {table.table_id}: {decision.reason}"
+            )
+
+        table_schema = self._effective_schema(table)
+        access = table.policies.resolve(principal)
+        # Compile enforcement now so denied columns fail before any IO.
+        Superluminal(
+            table_schema, access, columns=columns,
+            row_restriction=row_restriction, functions=self.functions,
+        )
+
+        constraints = ConstraintSet()
+        if row_restriction:
+            constraints = extract_constraints(parse_expression(row_restriction))
+
+        stats = SessionStats()
+        streams: list[ReadStream]
+        cache_key = None
+        if reuse and table.kind not in (TableKind.MANAGED,):
+            cache_key = (
+                table.table_id, table.version, row_restriction, snapshot_ms, max_streams
+            )
+        if cache_key is not None and cache_key in self._resolution_cache:
+            entries, total = self._resolution_cache[cache_key]
+            stats.files_total = total
+            stats.files_after_pruning = len(entries)
+            stats.served_from_session_cache = True
+            self.session_cache_hits += 1
+            streams = self._balance_streams(entries, max_streams)
+        elif table.kind is TableKind.MANAGED:
+            streams = self._managed_streams(table, max_streams)
+        elif table.kind is TableKind.OBJECT:
+            streams = self._object_table_streams(table, constraints, snapshot_ms, max_streams, stats)
+        else:
+            streams = self._file_streams(table, constraints, snapshot_ms, max_streams, stats)
+        if cache_key is not None and not stats.served_from_session_cache:
+            resolved = [f for s in streams for f in s.files]
+            self._resolution_cache[cache_key] = (resolved, stats.files_total)
+
+        projected = columns if columns is not None else [
+            f.name for f in table_schema if f.name not in access.denied_columns
+        ]
+        table_stats = None
+        if with_table_stats and self.bigmeta.has_table(table.table_id):
+            table_stats = self.bigmeta.table_stats(table.table_id)
+
+        now = self.ctx.clock.now_ms
+        session = ReadSession(
+            session_id=f"sess-{next(_session_ids):08d}",
+            table=table,
+            principal=principal,
+            output_schema=table_schema.select(projected),
+            columns=projected,
+            row_restriction=row_restriction,
+            constraints=constraints,
+            streams=streams,
+            engine_location=engine_location,
+            created_ms=now,
+            expires_ms=now + _SESSION_TTL_MS,
+            stats=stats,
+            table_stats=table_stats,
+            use_row_oriented_reader=use_row_oriented_reader,
+            aggregates=list(aggregates or []),
+            wire_format=wire_format,
+            ranged_reads=ranged_reads,
+        )
+        return session
+
+    def _effective_schema(self, table: TableInfo) -> Schema:
+        if table.kind is TableKind.OBJECT:
+            return OBJECT_TABLE_SCHEMA
+        return table.schema
+
+    # -- stream construction ----------------------------------------------
+
+    def _managed_streams(self, table: TableInfo, max_streams: int) -> list[ReadStream]:
+        batches = self.managed.read(table.table_id)
+        streams = [ReadStream(stream_id=i) for i in range(max(1, min(max_streams, len(batches) or 1)))]
+        for i, batch in enumerate(batches):
+            streams[i % len(streams)].batches.append(batch)
+        return streams
+
+    def _file_streams(
+        self,
+        table: TableInfo,
+        constraints: ConstraintSet,
+        snapshot_ms: float | None,
+        max_streams: int,
+        stats: SessionStats,
+    ) -> list[ReadStream]:
+        entries, total = self._resolve_files(table, constraints, snapshot_ms)
+        stats.files_total = total
+        stats.files_after_pruning = len(entries)
+        return self._balance_streams(entries, max_streams)
+
+    @staticmethod
+    def _balance_streams(entries: list[FileEntry], max_streams: int) -> list[ReadStream]:
+        """Spread files over streams by size (largest-first greedy)."""
+        count = max(1, min(max_streams, len(entries) or 1))
+        streams = [ReadStream(stream_id=i) for i in range(count)]
+        loads = [0] * count
+        for entry in sorted(entries, key=lambda e: -e.size_bytes):
+            target = loads.index(min(loads))
+            streams[target].files.append(entry)
+            loads[target] += entry.size_bytes
+        return streams
+
+    def _object_table_streams(
+        self,
+        table: TableInfo,
+        constraints: ConstraintSet,
+        snapshot_ms: float | None,
+        max_streams: int,
+        stats: SessionStats,
+    ) -> list[ReadStream]:
+        """Object tables read the metadata cache itself as data (§4.1)."""
+        self._ensure_cache_fresh(table)
+        entries = self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms)
+        stats.files_total = self._live_file_count(table.table_id, snapshot_ms)
+        stats.files_after_pruning = len(entries)
+        count = max(1, min(max_streams, (len(entries) + 4095) // 4096 or 1))
+        streams = [ReadStream(stream_id=i) for i in range(count)]
+        for i, entry in enumerate(entries):
+            streams[i % count].files.append(entry)
+        return streams
+
+    # -- file resolution ------------------------------------------------------
+
+    def _resolve_files(
+        self,
+        table: TableInfo,
+        constraints: ConstraintSet,
+        snapshot_ms: float | None,
+    ) -> tuple[list[FileEntry], int]:
+        """(pruned entries, total live files) for a file-backed table."""
+        if table.kind is TableKind.BLMT:
+            # Big Metadata is the source of truth for managed BigLake tables.
+            pruned = self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms)
+            total = self._live_file_count(table.table_id, snapshot_ms)
+            return pruned, total
+        if table.kind in (TableKind.BIGLAKE, TableKind.EXTERNAL):
+            cache_on = (
+                table.kind is TableKind.BIGLAKE
+                and table.cache_config.mode is not MetadataCacheMode.DISABLED
+            )
+            if cache_on:
+                self._ensure_cache_fresh(table)
+                pruned = self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms)
+                total = self._live_file_count(table.table_id, snapshot_ms)
+                return pruned, total
+            return self._resolve_by_listing(table, constraints)
+        raise CatalogError(f"cannot stream table kind {table.kind}")
+
+    def _live_file_count(self, table_id: str, snapshot_ms: float | None) -> int:
+        """File count without a second metered metadata round trip (the
+        prune call already paid it; the count rides in the same response)."""
+        return len(self.bigmeta.table(table_id).live_entries(snapshot_ms))
+
+    def _resolve_by_listing(
+        self, table: TableInfo, constraints: ConstraintSet
+    ) -> tuple[list[FileEntry], int]:
+        """The uncached path: LIST the bucket, read every footer (§3.3)."""
+        store = self.stores.store_for(table.storage.location)
+        self._require_delegated_access(table, store, listing=True)
+        entries: list[FileEntry] = []
+        total = 0
+        caller = None  # the read API front end runs next to the store
+        for meta in store.list_objects(table.storage.bucket, prefix=_dir_prefix(table.storage.prefix)):
+            if not meta.key.endswith(".pqs"):
+                continue
+            total += 1
+            partition = self._partition_values(table, meta.key)
+            # Partition pruning from the key path alone avoids the footer
+            # read; anything else needs the footer statistics.
+            if not self._partition_admits(partition, constraints):
+                continue
+            footer, size = read_remote_footer(
+                store, table.storage.bucket, meta.key, caller_location=caller
+            )
+            entry = entry_from_footer(
+                f"{table.storage.bucket}/{meta.key}", size, footer, partition
+            )
+            if BigMetadataService._entry_matches(entry, constraints):
+                entries.append(entry)
+        return entries, total
+
+    @staticmethod
+    def _partition_admits(partition: dict[str, Any], constraints: ConstraintSet) -> bool:
+        for column, constraint in constraints:
+            if column in {k.lower() for k in partition}:
+                value = {k.lower(): v for k, v in partition.items()}[column]
+                if not constraint.admits_value(value):
+                    return False
+        return True
+
+    def _partition_values(self, table: TableInfo, key: str) -> dict[str, Any]:
+        if not table.partition_columns:
+            return {}
+        raw = parse_partition_from_key(table.storage.prefix, key)
+        values: dict[str, Any] = {}
+        for name in table.partition_columns:
+            if name not in raw:
+                continue
+            dtype = table.schema.field(name).dtype if table.schema.has_field(name) else DataType.STRING
+            values[name] = _coerce_partition_value(raw[name], dtype)
+        return values
+
+    def _require_delegated_access(
+        self, table: TableInfo, store, listing: bool = False
+    ) -> None:
+        """Verify the *connection's service account* (never the user) holds
+        storage access — the delegated access model of §3.1."""
+        if table.connection_name is None:
+            return
+        conn = self.connections.get_connection(table.connection_name)
+        permission = (
+            Permission.STORAGE_OBJECTS_LIST if listing else Permission.STORAGE_OBJECTS_GET
+        )
+        self.iam.require(conn.service_account, permission, f"buckets/{table.storage.bucket}")
+
+    # ------------------------------------------------------------------
+    # Metadata cache maintenance (§3.3)
+    # ------------------------------------------------------------------
+
+    def _ensure_cache_fresh(self, table: TableInfo) -> None:
+        if table.kind is TableKind.BLMT:
+            return  # always authoritative
+        last = self._cache_refreshed_ms.get(table.table_id)
+        stale = last is None or (
+            self.ctx.clock.now_ms - last > table.cache_config.max_staleness_ms
+        )
+        if stale and table.cache_config.mode is MetadataCacheMode.AUTOMATIC:
+            self.refresh_metadata_cache(table)
+        elif last is None:
+            # Manual mode with no refresh ever: populate once so queries work.
+            self.refresh_metadata_cache(table)
+
+    def refresh_metadata_cache(self, table: TableInfo) -> dict[str, int]:
+        """Re-scan the bucket and reconcile the Big Metadata cache.
+
+        Runs under the connection's credentials (a background maintenance
+        operation the user's credentials could never perform, §3.1).
+        Returns counters: {"added": n, "removed": m, "unchanged": k}.
+        """
+        store = self.stores.store_for(table.storage.location)
+        self._require_delegated_access(table, store, listing=True)
+        self.bigmeta.register_table(table.table_id)
+        current = {
+            e.file_path: e for e in self.bigmeta.table(table.table_id).live_entries().values()
+        }
+        observed: dict[str, FileEntry] = {}
+        bucket = table.storage.bucket
+        if table.kind is TableKind.OBJECT:
+            for meta in store.list_objects(bucket, prefix=_dir_prefix(table.storage.prefix)):
+                observed[f"{bucket}/{meta.key}"] = _object_entry(bucket, meta)
+        else:
+            for meta in store.list_objects(bucket, prefix=_dir_prefix(table.storage.prefix)):
+                if not meta.key.endswith(".pqs"):
+                    continue
+                path = f"{bucket}/{meta.key}"
+                known = current.get(path)
+                if known is not None and known.size_bytes == meta.size:
+                    observed[path] = known  # unchanged: skip the footer read
+                    continue
+                footer, size = read_remote_footer(store, bucket, meta.key)
+                observed[path] = entry_from_footer(
+                    path, size, footer, self._partition_values(table, meta.key)
+                )
+        added = [e for p, e in observed.items() if p not in current]
+        changed = [
+            e for p, e in observed.items() if p in current and current[p] != e
+        ]
+        removed = [p for p in current if p not in observed]
+        if added or removed or changed:
+            self.bigmeta.commit(
+                table.table_id,
+                added=added + changed,
+                deleted=removed + [e.file_path for e in changed],
+            )
+        self._cache_refreshed_ms[table.table_id] = self.ctx.clock.now_ms
+        return {
+            "added": len(added),
+            "removed": len(removed),
+            "unchanged": len(observed) - len(added) - len(changed),
+        }
+
+    def mark_cache_refreshed(self, table_id: str) -> None:
+        """Writers that update Big Metadata inline (BLMT, Write API) keep
+        the cache authoritative without a bucket re-scan."""
+        self._cache_refreshed_ms[table_id] = self.ctx.clock.now_ms
+
+    # ------------------------------------------------------------------
+    # ReadRows
+    # ------------------------------------------------------------------
+
+    def read_rows(self, session: ReadSession, stream_index: int) -> Iterator[RecordBatch]:
+        """Stream governed batches from one stream of a session."""
+        if self.ctx.clock.now_ms > session.expires_ms:
+            raise SessionExpiredError(f"session {session.session_id} expired")
+        if not 0 <= stream_index < len(session.streams):
+            raise StorageApiError(f"no stream {stream_index} in session")
+        table_schema = self._effective_schema(session.table)
+        access = session.table.policies.resolve(session.principal)
+        enforcement = Superluminal(
+            table_schema, access, columns=session.columns,
+            row_restriction=session.row_restriction, functions=self.functions,
+        )
+        stream = session.streams[stream_index]
+        if session.table.kind is TableKind.MANAGED:
+            batches = self._read_managed_stream(session, stream, enforcement)
+        elif session.table.kind is TableKind.OBJECT:
+            batches = self._read_object_stream(session, stream, enforcement)
+        else:
+            batches = self._read_file_stream(session, stream, enforcement)
+        if session.aggregates:
+            yield from self._aggregate_stream(session, batches)
+            return
+        for batch in batches:
+            self._account_wire(session, batch)
+            yield batch
+
+    def _account_wire(self, session: ReadSession, batch: RecordBatch) -> None:
+        """ReadRows payload accounting + transfer/TLS cost (§3.4 f.w.)."""
+        if session.wire_format is None:
+            return
+        from repro.storageapi import wire
+
+        plain = wire.plain_size(batch)
+        if session.wire_format == "encoded":
+            encoded = len(wire.encode_batch(batch))
+        else:
+            encoded = plain
+        session.stats.wire_bytes_plain += plain
+        session.stats.wire_bytes_encoded += encoded
+        # Wire transfer + client-side TLS decryption scale with the bytes
+        # actually shipped.
+        self.ctx.charge(
+            "read_api.wire",
+            (encoded / MIB)
+            * (self.ctx.costs.in_region_per_mib_ms + self.ctx.costs.tls_decrypt_per_mib_ms),
+        )
+
+    def _aggregate_stream(self, session: ReadSession, batches) -> Iterator[RecordBatch]:
+        """Aggregate pushdown (§3.4 future work): compute partial
+        MIN/MAX/SUM/COUNT server-side and return one tiny row per stream."""
+        from repro.data.column import Column
+        from repro.data.types import Field
+
+        counts = {name: 0 for _, _, name in session.aggregates}
+        sums: dict[str, float | int | None] = {name: None for _, _, name in session.aggregates}
+        mins: dict[str, Any] = {name: None for _, _, name in session.aggregates}
+        maxs: dict[str, Any] = {name: None for _, _, name in session.aggregates}
+        dtypes: dict[str, DataType] = {}
+        for func, column, name in session.aggregates:
+            if func == "COUNT":
+                dtypes[name] = DataType.INT64
+            else:
+                dtypes[name] = session.output_schema.field(column).dtype
+        for batch in batches:
+            for func, column, name in session.aggregates:
+                if func == "COUNT" and column is None:
+                    counts[name] += batch.num_rows
+                    continue
+                col = batch.column(column)
+                if func == "COUNT":
+                    counts[name] += len(col) - col.null_count()
+                elif func == "SUM":
+                    valid = col.is_valid()
+                    if valid.any():
+                        part = col.values[valid].sum()
+                        part = part.item() if hasattr(part, "item") else part
+                        sums[name] = part if sums[name] is None else sums[name] + part
+                elif func in ("MIN", "MAX"):
+                    lo, hi = col.min_max()
+                    target = mins if func == "MIN" else maxs
+                    value = lo if func == "MIN" else hi
+                    if value is not None:
+                        current = target[name]
+                        if current is None:
+                            target[name] = value
+                        else:
+                            target[name] = min(current, value) if func == "MIN" else max(current, value)
+        fields = []
+        columns = []
+        for func, column, name in session.aggregates:
+            fields.append(Field(name, dtypes[name]))
+            if func == "COUNT":
+                value = counts[name]
+            elif func == "SUM":
+                value = sums[name]
+            elif func == "MIN":
+                value = mins[name]
+            else:
+                value = maxs[name]
+            columns.append(Column.from_pylist(dtypes[name], [value]))
+        partial = RecordBatch(Schema(tuple(fields)), columns)
+        self._account_wire(session, partial)
+        yield partial
+
+    def _read_managed_stream(self, session, stream, enforcement) -> Iterator[RecordBatch]:
+        for batch in stream.batches:
+            session.stats.rows_scanned += batch.num_rows
+            session.stats.bytes_scanned += batch.nbytes()
+            out = enforcement.process(batch)
+            session.stats.rows_returned += out.num_rows
+            if out.num_rows:
+                yield out
+
+    def _read_object_stream(self, session, stream, enforcement) -> Iterator[RecordBatch]:
+        """Materialize object-table rows from cached metadata entries.
+
+        When the ``data`` column is requested, object contents are fetched
+        *after* row filtering, so a principal only ever reads bytes of
+        objects whose rows it can see (§4.1's invariant), and unselected
+        objects cost nothing.
+        """
+        needs_data = any(c.lower() == "data" for c in session.columns)
+        if needs_data:
+            # Widen the enforcement projection so bucket/key survive for
+            # the fetch, then narrow to the requested columns at the end.
+            wide_columns = list(session.columns)
+            for extra in ("bucket", "key"):
+                if extra not in [c.lower() for c in wide_columns]:
+                    wide_columns.append(extra)
+            access = session.table.policies.resolve(session.principal)
+            enforcement = Superluminal(
+                self._effective_schema(session.table), access,
+                columns=wide_columns, row_restriction=session.row_restriction,
+                functions=self.functions,
+            )
+            store = self.stores.store_for(session.table.storage.location)
+            self._require_delegated_access(session.table, store)
+        chunk = 4096
+        for start in range(0, len(stream.files), chunk):
+            entries = stream.files[start : start + chunk]
+            batch = _object_entries_to_batch(entries)
+            self.ctx.charge("object_table.materialize", self.ctx.costs.bigmeta_lookup_ms)
+            session.stats.rows_scanned += batch.num_rows
+            out = enforcement.process(batch)
+            if needs_data and out.num_rows:
+                out = self._fetch_object_data(session, out)
+                out = out.select(session.columns)
+            session.stats.rows_returned += out.num_rows
+            if out.num_rows:
+                yield out
+
+    def _fetch_object_data(self, session, batch: RecordBatch) -> RecordBatch:
+        """Fill the ``data`` column by fetching each surviving object."""
+        from repro.data.column import Column
+        from repro.data.types import Field
+
+        store = self.stores.store_for(session.table.storage.location)
+        buckets = batch.column("bucket").to_pylist()
+        keys = batch.column("key").to_pylist()
+        payloads = []
+        for bucket, key in zip(buckets, keys):
+            data = store.get_object(bucket, key, caller_location=session.engine_location)
+            session.stats.bytes_scanned += len(data)
+            payloads.append(data)
+        column = Column.from_pylist(DataType.BYTES, payloads)
+        return batch.with_column(Field("data", DataType.BYTES), column)
+
+    def _read_file_stream(self, session, stream, enforcement) -> Iterator[RecordBatch]:
+        table = session.table
+        store = self.stores.store_for(table.storage.location)
+        self._require_delegated_access(table, store)
+        for entry in stream.files:
+            bucket, _, key = entry.file_path.partition("/")
+            if session.ranged_reads and not session.use_row_oriented_reader:
+                yield from self._ranged_scan(session, store, bucket, key, enforcement)
+                continue
+            data = store.get_object(bucket, key, caller_location=session.engine_location)
+            session.stats.bytes_scanned += len(data)
+            if session.use_row_oriented_reader:
+                yield from self._row_oriented_scan(session, data, enforcement)
+            else:
+                yield from self._vectorized_scan(session, data, enforcement)
+
+    # -- ranged scans -----------------------------------------------------
+
+    # Selected chunk ranges closer together than this are fetched as one
+    # request (standard reader coalescing).
+    _COALESCE_GAP_BYTES = 64 * 1024
+
+    def _ranged_scan(
+        self, session, store, bucket: str, key: str, enforcement
+    ) -> Iterator[RecordBatch]:
+        """Fetch only the chunks the query needs: footer first, then the
+        surviving row groups x (projected + filter) columns, coalescing
+        adjacent byte ranges."""
+        from repro.formats import pqs as _pqs
+        from repro.sql.expressions import collect_column_refs
+
+        footer, _size = read_remote_footer(
+            store, bucket, key, caller_location=session.engine_location
+        )
+        keep = self._surviving_row_groups(session, footer)
+        session.stats.row_groups_pruned += len(footer.row_groups) - len(keep)
+        if not keep:
+            return
+
+        needed = {c.lower() for c in session.columns if c.lower() != "data"}
+        if session.row_restriction:
+            needed |= {
+                r.rsplit(".", 1)[-1].lower()
+                for r in collect_column_refs(parse_expression(session.row_restriction))
+            }
+        access = session.table.policies.resolve(session.principal)
+        for filter_sql in access.row_filters:
+            needed |= {
+                r.rsplit(".", 1)[-1].lower()
+                for r in collect_column_refs(parse_expression(filter_sql))
+            }
+        schema = footer.schema
+        fetch_columns = [f.name for f in schema if f.name.lower() in needed]
+        if not fetch_columns:
+            fetch_columns = [schema.fields[0].name]
+
+        for rg_index in keep:
+            rg = footer.row_groups[rg_index]
+            chunks = sorted(
+                (rg.column(name) for name in fetch_columns), key=lambda c: c.offset
+            )
+            buffers: dict[str, bytes] = {}
+            for start, stop, members in self._coalesced_ranges(chunks):
+                blob = store.get_range(
+                    bucket, key, start, stop - start,
+                    caller_location=session.engine_location,
+                )
+                session.stats.bytes_scanned += len(blob)
+                for chunk in members:
+                    lo = chunk.offset - start
+                    buffers[chunk.name] = blob[lo : lo + chunk.length]
+            columns = []
+            for field in schema:
+                chunk = rg.column(field.name)
+                if field.name in buffers:
+                    columns.append(
+                        _pqs._decode_chunk(
+                            field.dtype, chunk.encoding, buffers[field.name]
+                        )
+                    )
+                else:
+                    # Unfetched columns ride as null placeholders so the
+                    # batch stays aligned with the table schema; they are
+                    # never projected or filtered on.
+                    from repro.data.column import Column
+
+                    columns.append(Column.nulls(field.dtype, rg.num_rows))
+            batch = RecordBatch(schema, columns)
+            cpu_cost = (
+                sum(len(b) for b in buffers.values()) / MIB
+            ) * self.ctx.costs.scan_per_mib_ms
+            session.stats.cpu_ms += cpu_cost
+            self.ctx.charge("read_api.ranged_scan", cpu_cost)
+            session.stats.rows_scanned += batch.num_rows
+            out = enforcement.process(batch)
+            session.stats.rows_returned += out.num_rows
+            if out.num_rows:
+                yield out
+
+    def _surviving_row_groups(self, session, footer) -> list[int]:
+        keep = set(range(len(footer.row_groups)))
+        reader = VectorizedReader.__new__(VectorizedReader)
+        reader.footer = footer
+        for column, constraint in session.constraints:
+            if not footer.schema.has_field(column):
+                continue
+            keep &= set(
+                reader.prunable_row_groups(
+                    footer.schema.field(column).name,
+                    lo=constraint.lo, hi=constraint.hi,
+                )
+            )
+        return sorted(keep)
+
+    def _coalesced_ranges(self, chunks) -> list[tuple[int, int, list]]:
+        """Group offset-sorted chunks into fetch ranges, merging neighbors
+        separated by less than the coalescing gap."""
+        ranges: list[tuple[int, int, list]] = []
+        for chunk in chunks:
+            if ranges and chunk.offset - ranges[-1][1] <= self._COALESCE_GAP_BYTES:
+                start, _stop, members = ranges[-1]
+                members.append(chunk)
+                ranges[-1] = (start, max(_stop, chunk.offset + chunk.length), members)
+            else:
+                ranges.append((chunk.offset, chunk.offset + chunk.length, [chunk]))
+        return ranges
+
+    def _vectorized_scan(self, session, data: bytes, enforcement) -> Iterator[RecordBatch]:
+        reader = VectorizedReader(data)
+        keep = set(range(len(reader.footer.row_groups)))
+        # Row-group skipping with footer stats and session constraints.
+        for column, constraint in session.constraints:
+            if not reader.footer.schema.has_field(column):
+                continue
+            survivors = set(
+                reader.prunable_row_groups(
+                    reader.footer.schema.field(column).name,
+                    lo=constraint.lo,
+                    hi=constraint.hi,
+                )
+            )
+            keep &= survivors
+        session.stats.row_groups_pruned += len(reader.footer.row_groups) - len(keep)
+        cpu_cost = (len(data) / MIB) * self.ctx.costs.scan_per_mib_ms
+        session.stats.cpu_ms += cpu_cost
+        self.ctx.charge("read_api.vectorized_scan", cpu_cost)
+        for rg_index in sorted(keep):
+            from repro.formats import pqs
+
+            batch = pqs.read_row_group(data, reader.footer, rg_index)
+            session.stats.rows_scanned += batch.num_rows
+            out = enforcement.process(batch)
+            session.stats.rows_returned += out.num_rows
+            if out.num_rows:
+                yield out
+
+    def _row_oriented_scan(self, session, data: bytes, enforcement) -> Iterator[RecordBatch]:
+        """The legacy prototype path (§3.4): decode rows, re-columnarize,
+        then enforce. Slower in CPU and in simulated time."""
+        reader = RowReader(data)
+        n_rows = reader.footer.num_rows
+        cpu_cost = (
+            (len(data) / MIB) * self.ctx.costs.scan_per_mib_ms * 4.0
+            + n_rows * self.ctx.costs.row_scan_overhead_per_row_us / 1000.0
+        )
+        session.stats.cpu_ms += cpu_cost
+        self.ctx.charge("read_api.row_scan", cpu_cost)
+        for batch in reader.read_all(batch_rows=8192):
+            session.stats.rows_scanned += batch.num_rows
+            out = enforcement.process(batch)
+            session.stats.rows_returned += out.num_rows
+            if out.num_rows:
+                yield out
+
+    # ------------------------------------------------------------------
+    # Dynamic work rebalancing
+    # ------------------------------------------------------------------
+
+    def split_stream(self, session: ReadSession, stream_index: int) -> int:
+        """Split half of a stream's remaining files into a new stream."""
+        stream = session.streams[stream_index]
+        if len(stream.files) < 2:
+            raise StorageApiError("stream too small to split")
+        half = len(stream.files) // 2
+        moved = stream.files[half:]
+        del stream.files[half:]
+        new_stream = ReadStream(stream_id=len(session.streams), files=moved)
+        session.streams.append(new_stream)
+        return new_stream.stream_id
+
+
+def _object_entry(bucket: str, meta) -> FileEntry:
+    """Encode one object's attributes as a metadata-cache entry.
+
+    Object tables reuse the structured-table cache (§4.1): attributes ride
+    in ``partition_values`` so the standard pruner can filter on them
+    (e.g. ``content_type = 'image/jpeg'`` or ``create_time > ...``).
+    """
+    create_us = int(meta.create_time_ms * 1000)
+    update_us = int(meta.update_time_ms * 1000)
+    return FileEntry(
+        file_path=f"{bucket}/{meta.key}",
+        size_bytes=meta.size,
+        row_count=1,
+        partition_values=(
+            ("bucket", bucket),
+            ("content_type", meta.content_type),
+            ("create_time", create_us),
+            ("generation", meta.generation),
+            ("key", meta.key),
+            ("size", meta.size),
+            ("update_time", update_us),
+            ("uri", meta.uri),
+        ),
+        column_stats=(
+            ("create_time", ColumnStats(min_value=create_us, max_value=create_us)),
+            ("size", ColumnStats(min_value=meta.size, max_value=meta.size)),
+        ),
+    )
+
+
+def _object_entries_to_batch(entries: list[FileEntry]) -> RecordBatch:
+    columns = {name: [] for name in OBJECT_TABLE_SCHEMA.names()}
+    for entry in entries:
+        values = entry.partition()
+        for name in columns:
+            columns[name].append(values.get(name))
+    return batch_from_pydict(OBJECT_TABLE_SCHEMA, columns)
+
+
+def _coerce_partition_value(raw: str, dtype: DataType):
+    if dtype is DataType.INT64:
+        return int(raw)
+    if dtype is DataType.FLOAT64:
+        return float(raw)
+    if dtype is DataType.DATE:
+        return parse_date_to_days(raw)
+    if dtype is DataType.BOOL:
+        return raw.lower() in ("true", "1")
+    return raw
+
+
+def _dir_prefix(prefix: str) -> str:
+    """Normalize a table prefix to a directory prefix so that listing
+    ``a/store`` never also matches ``a/store_sales/``."""
+    return prefix.rstrip("/") + "/" if prefix else ""

@@ -1,0 +1,25 @@
+"""Open table formats over object storage.
+
+* :mod:`repro.tableformats.iceberg` — an Iceberg-like format: snapshots,
+  manifest lists, manifest files, and an atomic metadata-pointer swap via
+  conditional object-store writes. Used as (a) the commit-rate baseline
+  BLMT is compared against (§3.5) and (b) the target of BLMT's Iceberg
+  snapshot export, readable by any engine.
+* :mod:`repro.tableformats.hive_layout` — Hive-style ``col=value/`` key
+  layouts for plain external tables that have *no* table format, only
+  directory structure (the tables metadata caching accelerates, §3.3).
+"""
+
+from repro.tableformats.iceberg import DataFileInfo, IcebergSnapshot, IcebergTable
+from repro.tableformats.hive_layout import (
+    parse_partition_from_key,
+    partition_prefix,
+)
+
+__all__ = [
+    "DataFileInfo",
+    "IcebergSnapshot",
+    "IcebergTable",
+    "parse_partition_from_key",
+    "partition_prefix",
+]

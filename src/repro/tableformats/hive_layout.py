@@ -1,0 +1,35 @@
+"""Hive-style partitioned key layout: ``prefix/col=value/.../file``."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import CatalogError
+
+
+def partition_prefix(prefix: str, values: dict[str, Any]) -> str:
+    """Build the key prefix for one partition.
+
+    >>> partition_prefix("sales", {"year": 2023, "region": "us"})
+    'sales/year=2023/region=us/'
+    """
+    parts = [prefix.rstrip("/")] if prefix else []
+    for name, value in values.items():
+        parts.append(f"{name}={value}")
+    return "/".join(parts) + "/"
+
+
+def parse_partition_from_key(prefix: str, key: str) -> dict[str, str]:
+    """Extract ``col=value`` pairs from an object key under ``prefix``.
+
+    Values come back as strings; callers coerce using the table schema.
+    """
+    if prefix and not key.startswith(prefix.rstrip("/") + "/"):
+        raise CatalogError(f"key {key!r} not under prefix {prefix!r}")
+    remainder = key[len(prefix.rstrip("/")) + 1 :] if prefix else key
+    values: dict[str, str] = {}
+    for segment in remainder.split("/")[:-1]:  # last segment is the file name
+        name, sep, value = segment.partition("=")
+        if sep:
+            values[name] = value
+    return values

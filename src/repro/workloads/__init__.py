@@ -1,0 +1,19 @@
+"""Workload generators and query sets for the experiments.
+
+* :mod:`repro.workloads.tpcds_lite` — a scaled-down TPC-DS star schema
+  (store_sales fact + dimensions) with a power-run query set, used by the
+  metadata-caching (E1), connector-statistics (E3), and Omni-parity (E9)
+  experiments.
+* :mod:`repro.workloads.tpch_lite` — a scaled-down TPC-H schema and query
+  set for the Spark-parity experiment (E4) and Omni parity (E9).
+* :mod:`repro.workloads.objects_corpus` — synthetic unstructured corpora:
+  SIMG images with learnable class patterns and SDOC invoice documents,
+  uploaded to object storage for the Object-table and inference
+  experiments (E5, E7, E8).
+
+All generators are deterministic under a seed.
+"""
+
+from repro.workloads import objects_corpus, tpcds_lite, tpch_lite
+
+__all__ = ["objects_corpus", "tpcds_lite", "tpch_lite"]

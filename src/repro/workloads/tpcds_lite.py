@@ -1,0 +1,377 @@
+"""TPC-DS-lite: a scaled-down star schema and power-run query set.
+
+The shape matters, not the scale: a ``store_sales`` fact with date, item,
+store, customer, and promotion dimensions; fact files written in date
+order so file-level min/max statistics can prune them (§3.3); snowflake
+joins that benefit from dynamic partition pruning and join reordering
+(§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batch import RecordBatch, batch_from_pydict
+from repro.data.types import DataType, Schema
+from repro.metastore.catalog import MetadataCacheMode, TableInfo
+from repro.security.iam import Principal, Role
+from repro.sql.dates import parse_date_to_days
+from repro.storageapi.fileutil import write_data_file
+
+CATEGORIES = ["Electronics", "Clothing", "Home", "Sports", "Books", "Music"]
+BRANDS_PER_CATEGORY = 5
+STATES = ["CA", "NY", "TX", "WA", "IL", "GA"]
+DAY_NAMES = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+
+SCHEMAS: dict[str, Schema] = {
+    "date_dim": Schema.of(
+        ("d_date_sk", DataType.INT64),
+        ("d_date", DataType.DATE),
+        ("d_year", DataType.INT64),
+        ("d_moy", DataType.INT64),
+        ("d_qoy", DataType.INT64),
+        ("d_day_name", DataType.STRING),
+    ),
+    "item": Schema.of(
+        ("i_item_sk", DataType.INT64),
+        ("i_item_id", DataType.STRING),
+        ("i_category", DataType.STRING),
+        ("i_brand", DataType.STRING),
+        ("i_class", DataType.STRING),
+        ("i_current_price", DataType.FLOAT64),
+        ("i_manager_id", DataType.INT64),
+    ),
+    "store": Schema.of(
+        ("s_store_sk", DataType.INT64),
+        ("s_store_id", DataType.STRING),
+        ("s_store_name", DataType.STRING),
+        ("s_state", DataType.STRING),
+        ("s_market_id", DataType.INT64),
+    ),
+    "customer": Schema.of(
+        ("c_customer_sk", DataType.INT64),
+        ("c_customer_id", DataType.STRING),
+        ("c_birth_year", DataType.INT64),
+        ("c_preferred_cust_flag", DataType.STRING),
+    ),
+    "promotion": Schema.of(
+        ("p_promo_sk", DataType.INT64),
+        ("p_promo_id", DataType.STRING),
+        ("p_channel_email", DataType.STRING),
+        ("p_channel_event", DataType.STRING),
+    ),
+    "store_sales": Schema.of(
+        ("ss_sold_date_sk", DataType.INT64),
+        ("ss_item_sk", DataType.INT64),
+        ("ss_store_sk", DataType.INT64),
+        ("ss_customer_sk", DataType.INT64),
+        ("ss_promo_sk", DataType.INT64),
+        ("ss_quantity", DataType.INT64),
+        ("ss_sales_price", DataType.FLOAT64),
+        ("ss_ext_sales_price", DataType.FLOAT64),
+        ("ss_net_profit", DataType.FLOAT64),
+    ),
+}
+
+_BASE_ROWS = {
+    "date_dim": 730,  # 2022-2023
+    "item": 180,
+    "store": 12,
+    "customer": 800,
+    "promotion": 30,
+    "store_sales": 20_000,
+}
+
+
+@dataclass
+class TpcdsData:
+    """Generated tables, fact rows sorted by date for pruning-friendly
+    file layout."""
+
+    tables: dict[str, RecordBatch]
+
+    def __getitem__(self, name: str) -> RecordBatch:
+        return self.tables[name]
+
+
+def generate(scale: float = 1.0, seed: int = 7) -> TpcdsData:
+    """Generate the full schema at ``scale`` x the lite base size."""
+    rng = np.random.default_rng(seed)
+    tables: dict[str, RecordBatch] = {}
+
+    n_dates = _BASE_ROWS["date_dim"]
+    start = parse_date_to_days("2022-01-01")
+    date_sks = np.arange(n_dates, dtype=np.int64)
+    dates = start + date_sks
+    months = ((date_sks % 365) // 31 + 1).clip(1, 12)
+    tables["date_dim"] = batch_from_pydict(
+        SCHEMAS["date_dim"],
+        {
+            "d_date_sk": date_sks,
+            "d_date": dates,
+            "d_year": 2022 + date_sks // 365,
+            "d_moy": months,
+            "d_qoy": (months - 1) // 3 + 1,
+            "d_day_name": [DAY_NAMES[int(d % 7)] for d in date_sks],
+        },
+    )
+
+    n_items = max(10, int(_BASE_ROWS["item"] * scale))
+    item_sks = np.arange(1, n_items + 1, dtype=np.int64)
+    categories = [CATEGORIES[i % len(CATEGORIES)] for i in range(n_items)]
+    tables["item"] = batch_from_pydict(
+        SCHEMAS["item"],
+        {
+            "i_item_sk": item_sks,
+            "i_item_id": [f"ITEM{int(sk):06d}" for sk in item_sks],
+            "i_category": categories,
+            "i_brand": [
+                f"{categories[i][:4]}Brand#{i % BRANDS_PER_CATEGORY + 1}"
+                for i in range(n_items)
+            ],
+            "i_class": [f"class{i % 8}" for i in range(n_items)],
+            "i_current_price": np.round(rng.uniform(0.5, 300.0, n_items), 2),
+            "i_manager_id": rng.integers(1, 40, n_items),
+        },
+    )
+
+    n_stores = max(2, int(_BASE_ROWS["store"] * scale**0.5))
+    store_sks = np.arange(1, n_stores + 1, dtype=np.int64)
+    tables["store"] = batch_from_pydict(
+        SCHEMAS["store"],
+        {
+            "s_store_sk": store_sks,
+            "s_store_id": [f"S{int(sk):04d}" for sk in store_sks],
+            "s_store_name": [f"Store {int(sk)}" for sk in store_sks],
+            "s_state": [STATES[i % len(STATES)] for i in range(n_stores)],
+            "s_market_id": rng.integers(1, 10, n_stores),
+        },
+    )
+
+    n_customers = max(20, int(_BASE_ROWS["customer"] * scale))
+    cust_sks = np.arange(1, n_customers + 1, dtype=np.int64)
+    tables["customer"] = batch_from_pydict(
+        SCHEMAS["customer"],
+        {
+            "c_customer_sk": cust_sks,
+            "c_customer_id": [f"C{int(sk):07d}" for sk in cust_sks],
+            "c_birth_year": rng.integers(1940, 2005, n_customers),
+            "c_preferred_cust_flag": rng.choice(["Y", "N"], n_customers).tolist(),
+        },
+    )
+
+    n_promos = _BASE_ROWS["promotion"]
+    promo_sks = np.arange(1, n_promos + 1, dtype=np.int64)
+    tables["promotion"] = batch_from_pydict(
+        SCHEMAS["promotion"],
+        {
+            "p_promo_sk": promo_sks,
+            "p_promo_id": [f"P{int(sk):04d}" for sk in promo_sks],
+            "p_channel_email": [("Y" if i % 3 == 0 else "N") for i in range(n_promos)],
+            "p_channel_event": [("Y" if i % 4 == 0 else "N") for i in range(n_promos)],
+        },
+    )
+
+    n_sales = max(100, int(_BASE_ROWS["store_sales"] * scale))
+    sold_dates = np.sort(rng.integers(0, n_dates, n_sales)).astype(np.int64)
+    quantity = rng.integers(1, 20, n_sales)
+    price = np.round(rng.uniform(1.0, 250.0, n_sales), 2)
+    tables["store_sales"] = batch_from_pydict(
+        SCHEMAS["store_sales"],
+        {
+            "ss_sold_date_sk": sold_dates,
+            "ss_item_sk": rng.integers(1, n_items + 1, n_sales),
+            "ss_store_sk": rng.integers(1, n_stores + 1, n_sales),
+            "ss_customer_sk": rng.integers(1, n_customers + 1, n_sales),
+            "ss_promo_sk": rng.integers(1, n_promos + 1, n_sales),
+            "ss_quantity": quantity,
+            "ss_sales_price": price,
+            "ss_ext_sales_price": np.round(price * quantity, 2),
+            "ss_net_profit": np.round(price * quantity * rng.uniform(-0.2, 0.4, n_sales), 2),
+        },
+    )
+    return TpcdsData(tables=tables)
+
+
+def load_as_biglake(
+    platform,
+    principal: Principal,
+    data: TpcdsData,
+    dataset: str = "tpcds",
+    bucket: str = "tpcds-lake",
+    connection_name: str = "tpcds.lake",
+    cache_mode: MetadataCacheMode = MetadataCacheMode.AUTOMATIC,
+    fact_files: int = 24,
+) -> dict[str, TableInfo]:
+    """Upload the data set as pqs files and register BigLake tables.
+
+    The fact table is split into ``fact_files`` files in date order, so
+    per-file ``ss_sold_date_sk`` min/max statistics form disjoint ranges —
+    the layout metadata caching prunes.
+    """
+    store = platform.stores.store_for(platform.config.home_region.location)
+    if not store.has_bucket(bucket):
+        store.create_bucket(bucket)
+    if not platform.connections.has_connection(connection_name):
+        conn = platform.connections.create_connection(connection_name)
+        platform.connections.grant_lake_access(conn, bucket)
+    platform.iam.grant(
+        f"connections/{connection_name}", Role.CONNECTION_USER, principal
+    )
+    if not platform.catalog.has_dataset(dataset):
+        platform.catalog.create_dataset(dataset)
+
+    tables: dict[str, TableInfo] = {}
+    for name, batch in data.tables.items():
+        schema = SCHEMAS[name]
+        prefix = f"{dataset}/{name}"
+        if name == "store_sales":
+            rows_per_file = max(1, batch.num_rows // fact_files)
+            part = 0
+            for start in range(0, batch.num_rows, rows_per_file):
+                chunk = batch.slice(start, min(start + rows_per_file, batch.num_rows))
+                write_data_file(
+                    store, bucket, f"{prefix}/part-{part:05d}.pqs", schema, [chunk]
+                )
+                part += 1
+        else:
+            write_data_file(store, bucket, f"{prefix}/part-00000.pqs", schema, [batch])
+        tables[name] = platform.tables.create_biglake_table(
+            principal, dataset, name, schema, bucket, prefix, connection_name,
+            cache_mode=cache_mode,
+        )
+    return tables
+
+
+def load_as_managed(platform, data: TpcdsData, dataset: str = "tpcds_managed") -> dict[str, TableInfo]:
+    """Load the data set into BigQuery managed storage."""
+    if not platform.catalog.has_dataset(dataset):
+        platform.catalog.create_dataset(dataset)
+    tables = {}
+    for name, batch in data.tables.items():
+        table = platform.tables.create_managed_table(dataset, name, SCHEMAS[name])
+        platform.managed.append(table.table_id, batch)
+        tables[name] = table
+    return tables
+
+
+def queries(dataset: str = "tpcds") -> dict[str, str]:
+    """The power-run query set (TPC-DS-shaped, written in our dialect)."""
+    d = dataset
+    return {
+        # q3-like: brand revenue for one category in one month.
+        "q03": f"""
+            SELECT dt.d_year, i.i_brand, SUM(ss.ss_ext_sales_price) AS sum_agg
+            FROM {d}.store_sales AS ss
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            JOIN {d}.item AS i ON ss.ss_item_sk = i.i_item_sk
+            WHERE i.i_category = 'Electronics' AND dt.d_moy = 11
+            GROUP BY dt.d_year, i.i_brand
+            ORDER BY sum_agg DESC, i_brand
+            LIMIT 10
+        """,
+        # q7-like: average quantities by item with promotion + year filter
+        # (the real q7 filters d_year too).
+        "q07": f"""
+            SELECT i.i_item_id, AVG(ss.ss_quantity) AS agg1,
+                   AVG(ss.ss_sales_price) AS agg2
+            FROM {d}.store_sales AS ss
+            JOIN {d}.item AS i ON ss.ss_item_sk = i.i_item_sk
+            JOIN {d}.promotion AS p ON ss.ss_promo_sk = p.p_promo_sk
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            WHERE p.p_channel_email = 'N' AND ss.ss_quantity > 5
+              AND dt.d_year = 2023
+            GROUP BY i.i_item_id
+            ORDER BY i_item_id
+            LIMIT 20
+        """,
+        # q19-like: brand revenue by manager for one month/year.
+        "q19": f"""
+            SELECT i.i_brand, i.i_manager_id, SUM(ss.ss_ext_sales_price) AS ext_price
+            FROM {d}.store_sales AS ss
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            JOIN {d}.item AS i ON ss.ss_item_sk = i.i_item_sk
+            WHERE dt.d_year = 2023 AND dt.d_moy = 6 AND i.i_manager_id < 10
+            GROUP BY i.i_brand, i.i_manager_id
+            ORDER BY ext_price DESC
+            LIMIT 10
+        """,
+        # q42-like: category revenue in a month.
+        "q42": f"""
+            SELECT dt.d_year, i.i_category, SUM(ss.ss_ext_sales_price) AS total
+            FROM {d}.store_sales AS ss
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            JOIN {d}.item AS i ON ss.ss_item_sk = i.i_item_sk
+            WHERE dt.d_moy = 12 AND dt.d_year = 2022
+            GROUP BY dt.d_year, i.i_category
+            ORDER BY total DESC
+        """,
+        # q52-like: brand revenue ordered.
+        "q52": f"""
+            SELECT dt.d_year, i.i_brand, SUM(ss.ss_ext_sales_price) AS ext_price
+            FROM {d}.store_sales AS ss
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            JOIN {d}.item AS i ON ss.ss_item_sk = i.i_item_sk
+            WHERE dt.d_moy = 11 AND dt.d_year = 2023
+            GROUP BY dt.d_year, i.i_brand
+            ORDER BY ext_price DESC, i_brand
+            LIMIT 10
+        """,
+        # q55-like: manager brand revenue.
+        "q55": f"""
+            SELECT i.i_brand, SUM(ss.ss_ext_sales_price) AS ext_price
+            FROM {d}.store_sales AS ss
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            JOIN {d}.item AS i ON ss.ss_item_sk = i.i_item_sk
+            WHERE i.i_manager_id = 5 AND dt.d_moy = 11 AND dt.d_year = 2023
+            GROUP BY i.i_brand
+            ORDER BY ext_price DESC
+            LIMIT 10
+        """,
+        # Narrow date-range scan: file pruning on fact statistics alone.
+        "q_range": f"""
+            SELECT COUNT(*) AS cnt, SUM(ss_ext_sales_price) AS revenue
+            FROM {d}.store_sales
+            WHERE ss_sold_date_sk BETWEEN 640 AND 670
+        """,
+        # Selective store filter with a snowflake join (DPP showcase).
+        "q_dpp": f"""
+            SELECT s.s_state, SUM(ss.ss_net_profit) AS profit
+            FROM {d}.store_sales AS ss
+            JOIN {d}.store AS s ON ss.ss_store_sk = s.s_store_sk
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            WHERE s.s_state = 'CA' AND dt.d_year = 2023
+            GROUP BY s.s_state
+        """,
+        # q96-like: counting with store + month filters.
+        "q96": f"""
+            SELECT COUNT(*) AS cnt
+            FROM {d}.store_sales AS ss
+            JOIN {d}.store AS s ON ss.ss_store_sk = s.s_store_sk
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            WHERE s.s_market_id < 5 AND dt.d_day_name = 'Sat'
+              AND dt.d_year = 2023 AND dt.d_moy = 3
+        """,
+        # Semi-join variant (real TPC-DS q95 uses IN-subqueries): sales in
+        # stores located in one state.
+        "q_semi": f"""
+            SELECT COUNT(*) AS cnt, SUM(ss_net_profit) AS profit
+            FROM {d}.store_sales
+            WHERE ss_store_sk IN (
+              SELECT s_store_sk FROM {d}.store WHERE s_state = 'CA'
+            )
+        """,
+        # Customer-heavy join: preferred customers' spend by year.
+        "q_cust": f"""
+            SELECT dt.d_year, COUNT(*) AS orders, SUM(ss.ss_ext_sales_price) AS spend
+            FROM {d}.store_sales AS ss
+            JOIN {d}.customer AS c ON ss.ss_customer_sk = c.c_customer_sk
+            JOIN {d}.date_dim AS dt ON ss.ss_sold_date_sk = dt.d_date_sk
+            WHERE c.c_preferred_cust_flag = 'Y' AND c.c_birth_year < 1980
+              AND dt.d_qoy = 2 AND dt.d_year = 2022
+            GROUP BY dt.d_year
+            ORDER BY dt.d_year
+        """,
+    }

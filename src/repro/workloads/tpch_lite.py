@@ -1,0 +1,327 @@
+"""TPC-H-lite: a scaled-down schema and query subset.
+
+Used by the Spark-parity experiment (E4: connector reads vs direct object
+-store reads must match or beat) and the Omni-parity experiment (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batch import RecordBatch, batch_from_pydict
+from repro.data.types import DataType, Schema
+from repro.metastore.catalog import MetadataCacheMode, TableInfo
+from repro.security.iam import Principal, Role
+from repro.sql.dates import parse_date_to_days
+from repro.storageapi.fileutil import write_data_file
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+SHIP_MODES = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+
+SCHEMAS: dict[str, Schema] = {
+    "region": Schema.of(
+        ("r_regionkey", DataType.INT64),
+        ("r_name", DataType.STRING),
+    ),
+    "nation": Schema.of(
+        ("n_nationkey", DataType.INT64),
+        ("n_name", DataType.STRING),
+        ("n_regionkey", DataType.INT64),
+    ),
+    "supplier": Schema.of(
+        ("s_suppkey", DataType.INT64),
+        ("s_name", DataType.STRING),
+        ("s_nationkey", DataType.INT64),
+        ("s_acctbal", DataType.FLOAT64),
+    ),
+    "customer": Schema.of(
+        ("c_custkey", DataType.INT64),
+        ("c_name", DataType.STRING),
+        ("c_nationkey", DataType.INT64),
+        ("c_mktsegment", DataType.STRING),
+        ("c_acctbal", DataType.FLOAT64),
+    ),
+    "part": Schema.of(
+        ("p_partkey", DataType.INT64),
+        ("p_name", DataType.STRING),
+        ("p_type", DataType.STRING),
+        ("p_retailprice", DataType.FLOAT64),
+    ),
+    "orders": Schema.of(
+        ("o_orderkey", DataType.INT64),
+        ("o_custkey", DataType.INT64),
+        ("o_orderstatus", DataType.STRING),
+        ("o_totalprice", DataType.FLOAT64),
+        ("o_orderdate", DataType.DATE),
+        ("o_orderpriority", DataType.STRING),
+    ),
+    "lineitem": Schema.of(
+        ("l_orderkey", DataType.INT64),
+        ("l_partkey", DataType.INT64),
+        ("l_suppkey", DataType.INT64),
+        ("l_quantity", DataType.FLOAT64),
+        ("l_extendedprice", DataType.FLOAT64),
+        ("l_discount", DataType.FLOAT64),
+        ("l_tax", DataType.FLOAT64),
+        ("l_returnflag", DataType.STRING),
+        ("l_linestatus", DataType.STRING),
+        ("l_shipdate", DataType.DATE),
+        ("l_commitdate", DataType.DATE),
+        ("l_receiptdate", DataType.DATE),
+        ("l_shipmode", DataType.STRING),
+    ),
+}
+
+_BASE = {
+    "supplier": 50,
+    "customer": 500,
+    "part": 400,
+    "orders": 3_000,
+    "lineitem": 12_000,
+}
+
+
+@dataclass
+class TpchData:
+    tables: dict[str, RecordBatch]
+
+    def __getitem__(self, name: str) -> RecordBatch:
+        return self.tables[name]
+
+
+def generate(scale: float = 1.0, seed: int = 11) -> TpchData:
+    rng = np.random.default_rng(seed)
+    tables: dict[str, RecordBatch] = {}
+
+    tables["region"] = batch_from_pydict(
+        SCHEMAS["region"],
+        {"r_regionkey": np.arange(len(REGIONS), dtype=np.int64), "r_name": REGIONS},
+    )
+    tables["nation"] = batch_from_pydict(
+        SCHEMAS["nation"],
+        {
+            "n_nationkey": np.arange(len(NATIONS), dtype=np.int64),
+            "n_name": [n for n, _ in NATIONS],
+            "n_regionkey": np.asarray([r for _, r in NATIONS], dtype=np.int64),
+        },
+    )
+
+    n_supp = max(5, int(_BASE["supplier"] * scale))
+    supp_keys = np.arange(1, n_supp + 1, dtype=np.int64)
+    tables["supplier"] = batch_from_pydict(
+        SCHEMAS["supplier"],
+        {
+            "s_suppkey": supp_keys,
+            "s_name": [f"Supplier#{int(k):06d}" for k in supp_keys],
+            "s_nationkey": rng.integers(0, len(NATIONS), n_supp),
+            "s_acctbal": np.round(rng.uniform(-500, 9000, n_supp), 2),
+        },
+    )
+
+    n_cust = max(10, int(_BASE["customer"] * scale))
+    cust_keys = np.arange(1, n_cust + 1, dtype=np.int64)
+    tables["customer"] = batch_from_pydict(
+        SCHEMAS["customer"],
+        {
+            "c_custkey": cust_keys,
+            "c_name": [f"Customer#{int(k):07d}" for k in cust_keys],
+            "c_nationkey": rng.integers(0, len(NATIONS), n_cust),
+            "c_mktsegment": rng.choice(SEGMENTS, n_cust).tolist(),
+            "c_acctbal": np.round(rng.uniform(-900, 9900, n_cust), 2),
+        },
+    )
+
+    n_part = max(10, int(_BASE["part"] * scale))
+    part_keys = np.arange(1, n_part + 1, dtype=np.int64)
+    types = ["PROMO BRUSHED", "PROMO PLATED", "STANDARD POLISHED", "SMALL ANODIZED",
+             "ECONOMY BURNISHED", "MEDIUM BRUSHED"]
+    tables["part"] = batch_from_pydict(
+        SCHEMAS["part"],
+        {
+            "p_partkey": part_keys,
+            "p_name": [f"part {int(k)}" for k in part_keys],
+            "p_type": [types[i % len(types)] for i in range(n_part)],
+            "p_retailprice": np.round(rng.uniform(900, 2000, n_part), 2),
+        },
+    )
+
+    n_orders = max(50, int(_BASE["orders"] * scale))
+    order_keys = np.arange(1, n_orders + 1, dtype=np.int64)
+    start = parse_date_to_days("1995-01-01")
+    order_dates = start + np.sort(rng.integers(0, 730, n_orders)).astype(np.int64)
+    tables["orders"] = batch_from_pydict(
+        SCHEMAS["orders"],
+        {
+            "o_orderkey": order_keys,
+            "o_custkey": rng.integers(1, n_cust + 1, n_orders),
+            "o_orderstatus": rng.choice(["O", "F", "P"], n_orders).tolist(),
+            "o_totalprice": np.round(rng.uniform(900, 350_000, n_orders), 2),
+            "o_orderdate": order_dates,
+            "o_orderpriority": rng.choice(ORDER_PRIORITIES, n_orders).tolist(),
+        },
+    )
+
+    n_items = max(100, int(_BASE["lineitem"] * scale))
+    owner = rng.integers(0, n_orders, n_items)
+    ship_lag = rng.integers(1, 120, n_items)
+    ship_dates = order_dates[owner] + ship_lag
+    sort_order = np.argsort(ship_dates)
+    tables["lineitem"] = batch_from_pydict(
+        SCHEMAS["lineitem"],
+        {
+            "l_orderkey": order_keys[owner][sort_order],
+            "l_partkey": rng.integers(1, n_part + 1, n_items)[sort_order],
+            "l_suppkey": rng.integers(1, n_supp + 1, n_items)[sort_order],
+            "l_quantity": np.round(rng.uniform(1, 50, n_items), 0)[sort_order],
+            "l_extendedprice": np.round(rng.uniform(900, 100_000, n_items), 2)[sort_order],
+            "l_discount": np.round(rng.uniform(0.0, 0.1, n_items), 2)[sort_order],
+            "l_tax": np.round(rng.uniform(0.0, 0.08, n_items), 2)[sort_order],
+            "l_returnflag": rng.choice(["A", "N", "R"], n_items).tolist(),
+            "l_linestatus": rng.choice(["O", "F"], n_items).tolist(),
+            "l_shipdate": ship_dates[sort_order],
+            "l_commitdate": (ship_dates + rng.integers(-30, 30, n_items))[sort_order],
+            "l_receiptdate": (ship_dates + rng.integers(1, 30, n_items))[sort_order],
+            "l_shipmode": rng.choice(SHIP_MODES, n_items).tolist(),
+        },
+    )
+    return TpchData(tables=tables)
+
+
+def load_as_biglake(
+    platform,
+    principal: Principal,
+    data: TpchData,
+    dataset: str = "tpch",
+    bucket: str = "tpch-lake",
+    connection_name: str = "tpch.lake",
+    cache_mode: MetadataCacheMode = MetadataCacheMode.AUTOMATIC,
+    lineitem_files: int = 16,
+) -> dict[str, TableInfo]:
+    """Upload as pqs files (lineitem split in shipdate order) and register
+    BigLake tables."""
+    store = platform.stores.store_for(platform.config.home_region.location)
+    if not store.has_bucket(bucket):
+        store.create_bucket(bucket)
+    if not platform.connections.has_connection(connection_name):
+        conn = platform.connections.create_connection(connection_name)
+        platform.connections.grant_lake_access(conn, bucket)
+    platform.iam.grant(f"connections/{connection_name}", Role.CONNECTION_USER, principal)
+    if not platform.catalog.has_dataset(dataset):
+        platform.catalog.create_dataset(dataset)
+    tables: dict[str, TableInfo] = {}
+    for name, batch in data.tables.items():
+        schema = SCHEMAS[name]
+        prefix = f"{dataset}/{name}"
+        n_files = lineitem_files if name == "lineitem" else 1
+        rows_per_file = max(1, batch.num_rows // n_files)
+        part = 0
+        for start in range(0, batch.num_rows, rows_per_file):
+            chunk = batch.slice(start, min(start + rows_per_file, batch.num_rows))
+            write_data_file(store, bucket, f"{prefix}/part-{part:05d}.pqs", schema, [chunk])
+            part += 1
+        tables[name] = platform.tables.create_biglake_table(
+            principal, dataset, name, schema, bucket, prefix, connection_name,
+            cache_mode=cache_mode,
+        )
+    return tables
+
+
+def queries(dataset: str = "tpch") -> dict[str, str]:
+    """A representative TPC-H query subset in our dialect."""
+    d = dataset
+    return {
+        # Q1: pricing summary report.
+        "q01": f"""
+            SELECT l_returnflag, l_linestatus,
+                   SUM(l_quantity) AS sum_qty,
+                   SUM(l_extendedprice) AS sum_base_price,
+                   SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+                   AVG(l_quantity) AS avg_qty,
+                   AVG(l_discount) AS avg_disc,
+                   COUNT(*) AS count_order
+            FROM {d}.lineitem
+            WHERE l_shipdate <= DATE '1996-09-01'
+            GROUP BY l_returnflag, l_linestatus
+            ORDER BY l_returnflag, l_linestatus
+        """,
+        # Q3: shipping priority.
+        "q03": f"""
+            SELECT o.o_orderkey,
+                   SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+                   o.o_orderdate
+            FROM {d}.customer AS c
+            JOIN {d}.orders AS o ON c.c_custkey = o.o_custkey
+            JOIN {d}.lineitem AS l ON l.l_orderkey = o.o_orderkey
+            WHERE c.c_mktsegment = 'BUILDING'
+              AND o.o_orderdate < DATE '1996-03-15'
+              AND l.l_shipdate > DATE '1996-03-15'
+            GROUP BY o.o_orderkey, o.o_orderdate
+            ORDER BY revenue DESC
+            LIMIT 10
+        """,
+        # Q5: local supplier volume.
+        "q05": f"""
+            SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+            FROM {d}.customer AS c
+            JOIN {d}.orders AS o ON c.c_custkey = o.o_custkey
+            JOIN {d}.lineitem AS l ON l.l_orderkey = o.o_orderkey
+            JOIN {d}.supplier AS s ON l.l_suppkey = s.s_suppkey
+            JOIN {d}.nation AS n ON s.s_nationkey = n.n_nationkey
+            JOIN {d}.region AS r ON n.n_regionkey = r.r_regionkey
+            WHERE r.r_name = 'ASIA'
+              AND o.o_orderdate >= DATE '1995-01-01'
+              AND o.o_orderdate < DATE '1996-01-01'
+            GROUP BY n.n_name
+            ORDER BY revenue DESC
+        """,
+        # Q6: forecasting revenue change (pure fact scan with range filter).
+        "q06": f"""
+            SELECT SUM(l_extendedprice * l_discount) AS revenue
+            FROM {d}.lineitem
+            WHERE l_shipdate >= DATE '1995-06-01'
+              AND l_shipdate < DATE '1995-09-01'
+              AND l_discount BETWEEN 0.03 AND 0.07
+              AND l_quantity < 24
+        """,
+        # Q12: shipmode priority counts.
+        "q12": f"""
+            SELECT l.l_shipmode,
+                   SUM(CASE WHEN o.o_orderpriority = '1-URGENT'
+                            OR o.o_orderpriority = '2-HIGH'
+                       THEN 1 ELSE 0 END) AS high_line_count,
+                   SUM(CASE WHEN o.o_orderpriority != '1-URGENT'
+                            AND o.o_orderpriority != '2-HIGH'
+                       THEN 1 ELSE 0 END) AS low_line_count
+            FROM {d}.orders AS o
+            JOIN {d}.lineitem AS l ON l.l_orderkey = o.o_orderkey
+            WHERE l.l_shipmode IN ('SHIP', 'RAIL')
+              AND l.l_receiptdate >= DATE '1995-01-01'
+              AND l.l_receiptdate < DATE '1996-01-01'
+            GROUP BY l.l_shipmode
+            ORDER BY l_shipmode
+        """,
+        # Q14: promotion effect.
+        "q14": f"""
+            SELECT 100.0 * SUM(CASE WHEN p.p_type LIKE 'PROMO%'
+                                    THEN l.l_extendedprice * (1 - l.l_discount)
+                                    ELSE 0.0 END)
+                   / SUM(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+            FROM {d}.lineitem AS l
+            JOIN {d}.part AS p ON l.l_partkey = p.p_partkey
+            WHERE l.l_shipdate >= DATE '1995-09-01'
+              AND l.l_shipdate < DATE '1995-10-01'
+        """,
+    }

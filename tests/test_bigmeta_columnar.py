@@ -1,0 +1,119 @@
+"""Tests for the columnar baseline index (§3.5's "columnar baselines")."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metastore import (
+    BigMetadataService,
+    ColumnConstraint,
+    ColumnStats,
+    ConstraintSet,
+    FileEntry,
+)
+from repro.simtime import SimContext
+
+
+def entry(path, lo, hi, region=None):
+    stats = [("x", ColumnStats(min_value=lo, max_value=hi))]
+    partition = (("region", region),) if region else ()
+    return FileEntry(
+        file_path=path, size_bytes=100, row_count=10,
+        partition_values=partition, column_stats=tuple(stats),
+    )
+
+
+@pytest.fixture
+def service():
+    return BigMetadataService(SimContext(), tail_compaction_threshold=4)
+
+
+def range_cs(lo=None, hi=None):
+    cs = ConstraintSet()
+    cs.add("x", ColumnConstraint(lo=lo, hi=hi))
+    return cs
+
+
+class TestColumnarFastPath:
+    def _fill(self, service, n=12):
+        service.register_table("t")
+        for i in range(n):
+            service.commit("t", added=[entry(f"b/f{i}", lo=i * 10, hi=i * 10 + 9)])
+        return service
+
+    def test_fast_path_engaged_after_compaction(self, service):
+        self._fill(service)
+        service.compact_baseline("t")
+        before = service.ctx.metering.op_counts.get("bigmeta.columnar_prune", 0)
+        survivors = service.prune("t", range_cs(lo=50, hi=69))
+        after = service.ctx.metering.op_counts.get("bigmeta.columnar_prune", 0)
+        assert after == before + 1
+        assert sorted(e.file_path for e in survivors) == ["b/f5", "b/f6"]
+
+    def test_snapshot_reads_bypass_index(self, service):
+        self._fill(service)
+        service.compact_baseline("t")
+        t = service.ctx.clock.now_ms
+        before = service.ctx.metering.op_counts.get("bigmeta.columnar_prune", 0)
+        service.prune("t", range_cs(lo=50), as_of_ms=t)
+        assert service.ctx.metering.op_counts.get("bigmeta.columnar_prune", 0) == before
+
+    def test_tail_reconciliation_adds(self, service):
+        self._fill(service, n=4)  # threshold triggers a compaction
+        service.commit("t", added=[entry("b/tail", lo=55, hi=56)])
+        survivors = service.prune("t", range_cs(lo=50, hi=60))
+        assert "b/tail" in {e.file_path for e in survivors}
+
+    def test_tail_reconciliation_deletes(self, service):
+        self._fill(service)
+        service.compact_baseline("t")
+        service.commit("t", deleted=["b/f5"])
+        survivors = service.prune("t", range_cs(lo=50, hi=69))
+        assert {e.file_path for e in survivors} == {"b/f6"}
+
+    def test_delete_then_readd_uses_new_entry(self, service):
+        self._fill(service)
+        service.compact_baseline("t")
+        service.commit("t", deleted=["b/f5"])
+        service.commit("t", added=[entry("b/f5", lo=900, hi=999)])
+        assert service.prune("t", range_cs(lo=50, hi=69)) != []
+        survivors = {e.file_path for e in service.prune("t", range_cs(lo=50, hi=69))}
+        assert survivors == {"b/f6"}  # the re-added f5 moved out of range
+        high = {e.file_path for e in service.prune("t", range_cs(lo=900))}
+        assert high == {"b/f5"}
+
+    def test_string_constraints_still_correct(self, service):
+        service.register_table("t")
+        service.commit("t", added=[
+            entry("b/us", lo=0, hi=9, region="us"),
+            entry("b/eu", lo=0, hi=9, region="eu"),
+        ])
+        service.compact_baseline("t")
+        cs = ConstraintSet()
+        cs.add("region", ColumnConstraint(in_set=frozenset({"eu"})))
+        survivors = service.prune("t", cs)
+        assert [e.file_path for e in survivors] == ["b/eu"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bounds=st.lists(
+        st.tuples(st.integers(-100, 100), st.integers(0, 50)), min_size=1, max_size=25
+    ),
+    lo=st.one_of(st.none(), st.integers(-120, 160)),
+    hi=st.one_of(st.none(), st.integers(-120, 160)),
+)
+def test_columnar_prune_equals_per_entry_prune(bounds, lo, hi):
+    """Property: the vectorized fast path returns exactly the same files
+    as the per-entry slow path, for any file layout and range."""
+    service = BigMetadataService(SimContext(), tail_compaction_threshold=10_000)
+    service.register_table("t")
+    entries = [
+        entry(f"b/f{i}", lo=a, hi=a + width) for i, (a, width) in enumerate(bounds)
+    ]
+    service.commit("t", added=entries)
+    cs = range_cs(lo=lo, hi=hi)
+
+    slow = {e.file_path for e in service.prune("t", cs)}
+    service.compact_baseline("t")
+    fast = {e.file_path for e in service.prune("t", cs)}
+    assert fast == slow

@@ -1,0 +1,58 @@
+"""Tests for cloud/region modeling and link classification."""
+
+import pytest
+
+from repro.cloud import (
+    Cloud,
+    LinkKind,
+    Region,
+    classify_link,
+    egress_cost_usd,
+    transfer_latency_ms,
+)
+from repro.simtime import CostModel
+
+
+class TestRegion:
+    def test_location_string(self):
+        assert Region(Cloud.AWS, "us-east-1").location == "aws/us-east-1"
+
+    def test_parse_round_trip(self):
+        region = Region.parse("azure/westeurope")
+        assert region.cloud is Cloud.AZURE
+        assert region.name == "westeurope"
+
+
+class TestLinkClassification:
+    def test_local(self):
+        assert classify_link("gcp/us-central1", "gcp/us-central1") is LinkKind.LOCAL
+
+    def test_cross_region(self):
+        assert classify_link("gcp/us-central1", "gcp/europe-west1") is LinkKind.CROSS_REGION
+
+    def test_cross_cloud(self):
+        assert classify_link("gcp/us-central1", "aws/us-east-1") is LinkKind.CROSS_CLOUD
+
+
+class TestTransferCosts:
+    def test_latency_ordering(self):
+        costs = CostModel()
+        n = 10 * 1024 * 1024
+        local = transfer_latency_ms(costs, "gcp/us", "gcp/us", n)
+        cross_region = transfer_latency_ms(costs, "gcp/us", "gcp/eu", n)
+        cross_cloud = transfer_latency_ms(costs, "gcp/us", "aws/us", n)
+        assert local < cross_region < cross_cloud
+
+    def test_local_egress_free(self):
+        assert egress_cost_usd(CostModel(), "gcp/us", "gcp/us", 10**9) == 0.0
+
+    def test_cross_cloud_egress_priced(self):
+        cost = egress_cost_usd(CostModel(), "aws/us", "gcp/us", 1024**3)
+        assert cost == pytest.approx(CostModel().cross_cloud_egress_usd_per_gib)
+
+    def test_cross_region_cheaper_than_cross_cloud(self):
+        costs = CostModel()
+        n = 1024**3
+        assert egress_cost_usd(costs, "gcp/us", "gcp/eu", n) < egress_cost_usd(
+            costs, "gcp/us", "aws/us", n
+        )

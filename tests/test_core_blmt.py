@@ -1,0 +1,193 @@
+"""BLMT tests: transactions, storage optimization, Iceberg export (§3.5)."""
+
+import pytest
+
+from repro import DataType, Schema, batch_from_pydict
+from repro.errors import TransactionConflictError
+from repro.security.iam import Role
+from repro.tableformats import IcebergTable
+
+from tests.helpers import make_platform
+
+SCHEMA = Schema.of(
+    ("id", DataType.INT64),
+    ("cluster_key", DataType.INT64),
+    ("payload", DataType.STRING),
+)
+
+
+@pytest.fixture
+def env():
+    platform, admin = make_platform()
+    platform.catalog.create_dataset("ds")
+    store = platform.stores.store_for("gcp/us-central1")
+    store.create_bucket("cust")
+    conn = platform.connections.create_connection("us.cust")
+    platform.connections.grant_lake_access(conn, "cust", writable=True)
+    platform.iam.grant("connections/us.cust", Role.CONNECTION_USER, admin)
+    table = platform.tables.create_blmt(
+        admin, "ds", "t", SCHEMA, "cust", "tables/t", "us.cust",
+        clustering_columns=["cluster_key"],
+    )
+    return platform, admin, table, store
+
+
+def batch(ids, cluster=None):
+    return batch_from_pydict(
+        SCHEMA,
+        {
+            "id": ids,
+            "cluster_key": cluster or [i % 3 for i in ids],
+            "payload": [f"row-{i}" for i in ids],
+        },
+    )
+
+
+class TestTransactions:
+    def test_multi_table_transaction(self, env):
+        platform, admin, table, _ = env
+        other = platform.tables.create_blmt(
+            admin, "ds", "t2", SCHEMA, "cust", "tables/t2", "us.cust"
+        )
+        txn = platform.tables.blmt.begin_transaction()
+        txn.insert(table, batch([1, 2]))
+        txn.insert(other, batch([3]))
+        txn.commit()
+        assert len(platform.bigmeta.snapshot(table.table_id)) == 1
+        assert len(platform.bigmeta.snapshot(other.table_id)) == 1
+        # Same commit id on both tables: atomic.
+        assert (
+            platform.bigmeta.history(table.table_id)[-1].commit_id
+            == platform.bigmeta.history(other.table_id)[-1].commit_id
+        )
+
+    def test_aborted_transaction_invisible(self, env):
+        platform, admin, table, _ = env
+        txn = platform.tables.blmt.begin_transaction()
+        txn.insert(table, batch([1]))
+        txn.abort()
+        assert platform.bigmeta.snapshot(table.table_id) == []
+
+    def test_conflicting_rewrites_detected(self, env):
+        platform, admin, table, _ = env
+        platform.tables.blmt.insert(table, [batch([1, 2, 3])])
+        path = platform.bigmeta.snapshot(table.table_id)[0].file_path
+        txn = platform.bigmeta.begin()
+        txn.stage(table.table_id, deleted=[path])
+        # A concurrent DML rewrites the same file first.
+        platform.home_engine.execute("DELETE FROM ds.t WHERE id = 1", admin)
+        with pytest.raises(TransactionConflictError):
+            txn.commit()
+
+
+class TestStorageOptimization:
+    def test_compaction_merges_small_files(self, env):
+        platform, admin, table, _ = env
+        for i in range(6):
+            platform.tables.blmt.insert(table, [batch([i * 10 + j for j in range(3)])])
+        assert len(platform.bigmeta.snapshot(table.table_id)) == 6
+        report = platform.tables.blmt.optimize_storage(table)
+        assert report.files_compacted == 6
+        after = platform.bigmeta.snapshot(table.table_id)
+        assert len(after) < 6
+        result = platform.home_engine.query("SELECT COUNT(*) FROM ds.t", admin)
+        assert result.single_value() == 18
+
+    def test_compaction_reclusters(self, env):
+        platform, admin, table, _ = env
+        platform.tables.blmt.insert(table, [batch([1, 2], cluster=[9, 0])])
+        platform.tables.blmt.insert(table, [batch([3, 4], cluster=[5, 1])])
+        report = platform.tables.blmt.optimize_storage(table)
+        assert report.reclustered
+        result = platform.home_engine.query(
+            "SELECT cluster_key FROM ds.t", admin
+        )
+        values = result.column("cluster_key")
+        assert values == sorted(values)
+
+    def test_garbage_collection_removes_orphans(self, env):
+        platform, admin, table, store = env
+        platform.tables.blmt.insert(table, [batch([1, 2])])
+        # An orphaned data object (e.g. from a failed writer).
+        store.put_object("cust", "tables/t/data/orphan-000.pqs", b"garbage")
+        report = platform.tables.blmt.optimize_storage(table)
+        assert report.garbage_collected == 1
+        assert not store.object_exists("cust", "tables/t/data/orphan-000.pqs")
+
+    def test_gc_never_touches_live_files(self, env):
+        platform, admin, table, store = env
+        platform.tables.blmt.insert(table, [batch([1, 2])])
+        platform.tables.blmt.garbage_collect(table)
+        entries = platform.bigmeta.snapshot(table.table_id)
+        bucket, _, key = entries[0].file_path.partition("/")
+        assert store.object_exists(bucket, key)
+
+    def test_adaptive_target_grows_with_table(self, env):
+        platform, admin, table, _ = env
+        platform.tables.blmt.insert(table, [batch([1])])
+        small_target = platform.tables.blmt.target_file_bytes(table)
+        platform.tables.blmt.insert(table, [batch(list(range(3000)))])
+        big_target = platform.tables.blmt.target_file_bytes(table)
+        assert big_target >= small_target
+
+
+class TestIcebergExport:
+    def test_export_readable_by_iceberg_client(self, env):
+        """Any Iceberg-capable engine can scan the exported snapshot."""
+        platform, admin, table, store = env
+        platform.tables.blmt.insert(table, [batch([1, 2, 3])])
+        iceberg = platform.tables.blmt.export_iceberg_snapshot(table)
+        files = iceberg.scan()
+        live = {e.file_path for e in platform.bigmeta.snapshot(table.table_id)}
+        assert {f.path for f in files} == live
+
+    def test_export_tracks_subsequent_commits(self, env):
+        platform, admin, table, store = env
+        platform.tables.blmt.insert(table, [batch([1])])
+        platform.tables.blmt.export_iceberg_snapshot(table)
+        platform.tables.blmt.insert(table, [batch([2])])
+        iceberg = platform.tables.blmt.export_iceberg_snapshot(table)
+        assert len(iceberg.scan()) == 2
+        assert len(iceberg.snapshots()) >= 2  # snapshot history preserved
+
+    def test_exported_data_files_decode(self, env):
+        platform, admin, table, store = env
+        platform.tables.blmt.insert(table, [batch([7, 8])])
+        iceberg = platform.tables.blmt.export_iceberg_snapshot(table)
+        from repro.formats import pqs
+
+        for f in iceberg.scan():
+            bucket, _, key = f.path.partition("/")
+            data = store.get_object(bucket, key)
+            footer = pqs.read_footer(data)
+            assert footer.num_rows == f.record_count
+
+    def test_export_rejects_non_blmt(self, env):
+        platform, admin, _, _ = env
+        from repro.errors import CatalogError
+
+        managed = platform.tables.create_managed_table("ds", "m", SCHEMA)
+        with pytest.raises(CatalogError):
+            platform.tables.blmt.export_iceberg_snapshot(managed)
+
+
+class TestCommitThroughputStructure:
+    def test_blmt_commits_not_cas_bound(self, env):
+        """§3.5: N BLMT commits take far less simulated time than N
+        open-format commits, which serialize on the pointer CAS."""
+        platform, admin, table, store = env
+        t0 = platform.ctx.clock.now_ms
+        for i in range(8):
+            platform.tables.blmt.insert(table, [batch([i])])
+        blmt_elapsed = platform.ctx.clock.now_ms - t0
+
+        iceberg = IcebergTable.create(store, "cust", "iceberg/t", SCHEMA, [])
+        from repro.tableformats import DataFileInfo
+
+        t0 = platform.ctx.clock.now_ms
+        for i in range(8):
+            iceberg.commit_append(
+                [DataFileInfo(path=f"cust/x/{i}", file_size=10, record_count=1)]
+            )
+        iceberg_elapsed = platform.ctx.clock.now_ms - t0
+        assert iceberg_elapsed > blmt_elapsed * 3

@@ -1,0 +1,208 @@
+"""DML tests: CTAS / INSERT / UPDATE / DELETE / MERGE on managed tables
+and BLMTs (copy-on-write via Big Metadata, §3.5)."""
+
+import pytest
+
+from repro import DataType, Schema, batch_from_pydict
+from repro.errors import AccessDeniedError, QueryError
+from repro.security.iam import Principal, Role
+
+from tests.helpers import make_platform
+
+SCHEMA = Schema.of(
+    ("id", DataType.INT64),
+    ("status", DataType.STRING),
+    ("amount", DataType.FLOAT64),
+)
+
+
+def _seed_rows():
+    return batch_from_pydict(
+        SCHEMA,
+        {
+            "id": [1, 2, 3, 4],
+            "status": ["new", "new", "done", "new"],
+            "amount": [10.0, 20.0, 30.0, 40.0],
+        },
+    )
+
+
+@pytest.fixture(params=["managed", "blmt"])
+def env(request):
+    platform, admin = make_platform()
+    platform.catalog.create_dataset("ds")
+    if request.param == "managed":
+        table = platform.tables.create_managed_table("ds", "t", SCHEMA)
+        platform.managed.append(table.table_id, _seed_rows())
+    else:
+        store = platform.stores.store_for("gcp/us-central1")
+        store.create_bucket("cust")
+        conn = platform.connections.create_connection("us.cust")
+        platform.connections.grant_lake_access(conn, "cust", writable=True)
+        platform.iam.grant("connections/us.cust", Role.CONNECTION_USER, admin)
+        table = platform.tables.create_blmt(admin, "ds", "t", SCHEMA, "cust", "t", "us.cust")
+        platform.tables.blmt.insert(table, [_seed_rows()])
+    return platform, admin, table
+
+
+def run(env, sql):
+    platform, admin, _ = env
+    return platform.home_engine.execute(sql, admin)
+
+
+def rows(env, sql="SELECT * FROM ds.t ORDER BY id"):
+    platform, admin, _ = env
+    return platform.home_engine.query(sql, admin).rows()
+
+
+class TestInsert:
+    def test_insert_values(self, env):
+        result = run(env, "INSERT INTO ds.t (id, status, amount) VALUES (5, 'new', 50.0)")
+        assert result.rows_affected == 1
+        assert (5, "new", 50.0) in rows(env)
+
+    def test_insert_partial_columns_null_fills(self, env):
+        run(env, "INSERT INTO ds.t (id) VALUES (6)")
+        data = dict((r[0], r[1:]) for r in rows(env))
+        assert data[6] == (None, None)
+
+    def test_insert_select(self, env):
+        result = run(env, "INSERT INTO ds.t SELECT id + 100, status, amount FROM ds.t WHERE id = 1")
+        assert result.rows_affected == 1
+        assert any(r[0] == 101 for r in rows(env))
+
+    def test_multiple_value_rows(self, env):
+        result = run(env, "INSERT INTO ds.t (id, status, amount) VALUES (7, 'a', 1.0), (8, 'b', 2.0)")
+        assert result.rows_affected == 2
+
+
+class TestUpdate:
+    def test_update_with_predicate(self, env):
+        result = run(env, "UPDATE ds.t SET status = 'archived' WHERE status = 'done'")
+        assert result.rows_affected == 1
+        statuses = [r[1] for r in rows(env)]
+        assert statuses.count("archived") == 1
+
+    def test_update_expression_references_row(self, env):
+        run(env, "UPDATE ds.t SET amount = amount * 2 WHERE id <= 2")
+        data = {r[0]: r[2] for r in rows(env)}
+        assert data[1] == 20.0 and data[2] == 40.0 and data[3] == 30.0
+
+    def test_update_without_where_touches_all(self, env):
+        result = run(env, "UPDATE ds.t SET status = 'x'")
+        assert result.rows_affected == 4
+
+    def test_update_no_matches(self, env):
+        result = run(env, "UPDATE ds.t SET status = 'x' WHERE id = 999")
+        assert result.rows_affected == 0
+
+
+class TestDelete:
+    def test_delete_with_predicate(self, env):
+        result = run(env, "DELETE FROM ds.t WHERE amount > 25")
+        assert result.rows_affected == 2
+        assert [r[0] for r in rows(env)] == [1, 2]
+
+    def test_delete_all(self, env):
+        result = run(env, "DELETE FROM ds.t")
+        assert result.rows_affected == 4
+        assert rows(env) == []
+
+
+class TestMerge:
+    def _setup_source(self, env):
+        platform, admin, _ = env
+        source = Schema.of(("id", DataType.INT64), ("amount", DataType.FLOAT64))
+        s = platform.tables.create_managed_table("ds", "src", source)
+        platform.managed.append(
+            s.table_id,
+            batch_from_pydict(source, {"id": [2, 3, 9], "amount": [99.0, 0.0, 90.0]}),
+        )
+
+    def test_merge_update_delete_insert(self, env):
+        self._setup_source(env)
+        result = run(env, """
+            MERGE INTO ds.t AS tgt USING ds.src AS src ON tgt.id = src.id
+            WHEN MATCHED AND src.amount > 50 THEN UPDATE SET amount = src.amount
+            WHEN MATCHED THEN DELETE
+            WHEN NOT MATCHED THEN INSERT (id, status, amount) VALUES (src.id, 'merged', src.amount)
+        """)
+        data = {r[0]: (r[1], r[2]) for r in rows(env)}
+        assert data[2][1] == 99.0  # updated
+        assert 3 not in data  # deleted
+        assert data[9] == ("merged", 90.0)  # inserted
+        assert result.rows_affected == 3
+
+    def test_merge_duplicate_source_keys_rejected(self, env):
+        platform, admin, _ = env
+        source = Schema.of(("id", DataType.INT64),)
+        s = platform.tables.create_managed_table("ds", "dups", source)
+        platform.managed.append(
+            s.table_id, batch_from_pydict(source, {"id": [1, 1]})
+        )
+        with pytest.raises(QueryError):
+            run(env, """
+                MERGE INTO ds.t AS tgt USING ds.dups AS src ON tgt.id = src.id
+                WHEN MATCHED THEN DELETE
+            """)
+
+
+class TestCtasAndAuth:
+    def test_ctas_creates_managed_table(self, env):
+        platform, admin, _ = env
+        result = run(env, "CREATE TABLE ds.summary AS "
+                          "SELECT status, SUM(amount) AS total FROM ds.t GROUP BY status")
+        assert result.rows_affected > 0
+        out = platform.home_engine.query("SELECT * FROM ds.summary", admin)
+        assert out.schema.names() == ["status", "total"]
+
+    def test_ctas_or_replace(self, env):
+        run(env, "CREATE TABLE ds.c AS SELECT 1 AS x")
+        run(env, "CREATE OR REPLACE TABLE ds.c AS SELECT 2 AS x")
+        assert rows(env, "SELECT x FROM ds.c") == [(2,)]
+
+    def test_dml_requires_write_permission(self, env):
+        platform, _, table = env
+        viewer = platform.create_user("viewer", [Role.DATA_VIEWER, Role.JOB_USER])
+        with pytest.raises(AccessDeniedError):
+            platform.home_engine.execute("DELETE FROM ds.t WHERE id = 1", viewer)
+
+
+class TestBlmtSpecifics:
+    def test_update_prunes_untouched_files(self):
+        """Copy-on-write only rewrites files that can contain matches."""
+        platform, admin = make_platform()
+        platform.catalog.create_dataset("ds")
+        store = platform.stores.store_for("gcp/us-central1")
+        store.create_bucket("cust")
+        conn = platform.connections.create_connection("us.cust")
+        platform.connections.grant_lake_access(conn, "cust", writable=True)
+        platform.iam.grant("connections/us.cust", Role.CONNECTION_USER, admin)
+        table = platform.tables.create_blmt(admin, "ds", "t", SCHEMA, "cust", "t", "us.cust")
+        # Two files with disjoint id ranges.
+        platform.tables.blmt.insert(table, [batch_from_pydict(SCHEMA, {
+            "id": [1, 2], "status": ["a", "a"], "amount": [1.0, 2.0]})])
+        platform.tables.blmt.insert(table, [batch_from_pydict(SCHEMA, {
+            "id": [100, 101], "status": ["a", "a"], "amount": [3.0, 4.0]})])
+        files_before = {e.file_path for e in platform.bigmeta.snapshot(table.table_id)}
+        platform.home_engine.execute("UPDATE ds.t SET status = 'z' WHERE id >= 100", admin)
+        files_after = {e.file_path for e in platform.bigmeta.snapshot(table.table_id)}
+        # The low-range file survives untouched; the high one was replaced.
+        untouched = files_before & files_after
+        assert len(untouched) == 1
+
+    def test_blmt_dml_is_transactional_in_history(self):
+        platform, admin = make_platform()
+        platform.catalog.create_dataset("ds")
+        store = platform.stores.store_for("gcp/us-central1")
+        store.create_bucket("cust")
+        conn = platform.connections.create_connection("us.cust")
+        platform.connections.grant_lake_access(conn, "cust", writable=True)
+        platform.iam.grant("connections/us.cust", Role.CONNECTION_USER, admin)
+        table = platform.tables.create_blmt(admin, "ds", "t", SCHEMA, "cust", "t", "us.cust")
+        platform.tables.blmt.insert(table, [_seed_rows()])
+        platform.home_engine.execute("DELETE FROM ds.t WHERE id = 1", admin)
+        history = platform.bigmeta.history(table.table_id)
+        assert len(history) == 2  # one insert commit + one rewrite commit
+        last = history[-1]
+        assert last.deleted and last.added  # atomic swap in one record

@@ -1,0 +1,158 @@
+"""Cross-kind integration: queries and governance spanning managed tables,
+BigLake tables, BLMTs, and Object tables in one platform — the "seamless
+analytics on a single data copy" production pattern (§6)."""
+
+import pytest
+
+from repro import DataType, MetadataCacheMode, Role, Schema, batch_from_pydict
+from repro.external import SparkSim
+from repro.security import MaskingKind, DataMaskingRule, RowAccessPolicy
+from repro.storageapi.fileutil import write_data_file
+from repro.workloads.objects_corpus import build_image_corpus
+
+from tests.helpers import make_platform
+
+
+@pytest.fixture
+def env():
+    platform, admin = make_platform()
+    platform.catalog.create_dataset("ds")
+    store = platform.stores.store_for("gcp/us-central1")
+
+    # Managed dimension.
+    dim_schema = Schema.of(("region_code", DataType.STRING), ("region_name", DataType.STRING))
+    dim = platform.tables.create_managed_table("ds", "regions", dim_schema)
+    platform.managed.append(dim.table_id, batch_from_pydict(dim_schema, {
+        "region_code": ["us", "eu", "apac"],
+        "region_name": ["United States", "Europe", "Asia-Pacific"],
+    }))
+
+    # BigLake fact over lake files.
+    store.create_bucket("lake")
+    conn = platform.connections.create_connection("us.lake")
+    platform.connections.grant_lake_access(conn, "lake", writable=True)
+    platform.iam.grant("connections/us.lake", Role.CONNECTION_USER, admin)
+    fact_schema = Schema.of(
+        ("order_id", DataType.INT64), ("region", DataType.STRING),
+        ("amount", DataType.FLOAT64),
+    )
+    write_data_file(store, "lake", "orders/part-0.pqs", fact_schema, [
+        batch_from_pydict(fact_schema, {
+            "order_id": list(range(90)),
+            "region": [("us", "eu", "apac")[i % 3] for i in range(90)],
+            "amount": [float(i) for i in range(90)],
+        })
+    ])
+    fact = platform.tables.create_biglake_table(
+        admin, "ds", "orders", fact_schema, "lake", "orders", "us.lake",
+        cache_mode=MetadataCacheMode.AUTOMATIC,
+    )
+
+    # BLMT for adjustments.
+    adj_schema = Schema.of(("order_id", DataType.INT64), ("delta", DataType.FLOAT64))
+    adjustments = platform.tables.create_blmt(
+        admin, "ds", "adjustments", adj_schema, "lake", "adjustments", "us.lake"
+    )
+    platform.tables.blmt.insert(adjustments, [batch_from_pydict(adj_schema, {
+        "order_id": [1, 2, 3], "delta": [10.0, -5.0, 2.5],
+    })])
+
+    # Object table over images.
+    build_image_corpus(store, "lake", prefix="media", count=12)
+    media = platform.tables.create_object_table(
+        admin, "ds", "media", "lake", "media", "us.lake"
+    )
+    return platform, admin, fact, adjustments, media
+
+
+class TestCrossKindJoins:
+    def test_managed_join_biglake(self, env):
+        platform, admin, *_ = env
+        r = platform.home_engine.query("""
+            SELECT d.region_name, SUM(o.amount) AS total
+            FROM ds.orders AS o JOIN ds.regions AS d ON o.region = d.region_code
+            GROUP BY d.region_name ORDER BY total DESC
+        """, admin)
+        assert r.num_rows == 3
+        assert r.rows()[0][0] == "Asia-Pacific"  # highest index sum
+
+    def test_biglake_join_blmt(self, env):
+        platform, admin, *_ = env
+        r = platform.home_engine.query("""
+            SELECT o.order_id, o.amount + a.delta AS adjusted
+            FROM ds.orders AS o JOIN ds.adjustments AS a ON o.order_id = a.order_id
+            ORDER BY o.order_id
+        """, admin)
+        assert r.rows() == [(1, 11.0), (2, -3.0), (3, 5.5)]
+
+    def test_object_table_join_managed(self, env):
+        """Metadata extraction pattern (§6): structured join against
+        object attributes."""
+        platform, admin, *_ = env
+        r = platform.home_engine.query("""
+            SELECT COUNT(*) FROM ds.media AS m
+            JOIN ds.regions AS d ON d.region_code = 'us'
+        """, admin)
+        assert r.single_value() == 12
+
+    def test_semi_join_across_kinds(self, env):
+        platform, admin, *_ = env
+        r = platform.home_engine.query(
+            "SELECT COUNT(*) FROM ds.orders WHERE order_id IN "
+            "(SELECT order_id FROM ds.adjustments)",
+            admin,
+        )
+        assert r.single_value() == 3
+
+    def test_ctas_from_cross_kind_join(self, env):
+        platform, admin, *_ = env
+        platform.home_engine.execute("""
+            CREATE TABLE ds.summary AS
+            SELECT o.region, COUNT(*) AS n FROM ds.orders AS o GROUP BY o.region
+        """, admin)
+        r = platform.home_engine.query("SELECT SUM(n) FROM ds.summary", admin)
+        assert r.single_value() == 90
+
+
+class TestGovernanceAcrossKinds:
+    def test_same_policy_through_spark_on_blmt(self, env):
+        platform, admin, _, adjustments, _ = env
+        analyst = platform.create_user("xk", [Role.DATA_VIEWER, Role.JOB_USER])
+        adjustments.policies.add_row_policy(
+            RowAccessPolicy("pos", "delta > 0", frozenset({analyst}))
+        )
+        sql = "SELECT order_id, delta FROM ds.adjustments"
+        bq = platform.home_engine.query(sql, analyst)
+        spark = SparkSim(platform, mode="connector", name="xk-spark").query(sql, analyst)
+        assert sorted(bq.rows()) == sorted(spark.rows())
+        assert all(delta > 0 for _, delta in bq.rows())
+
+    def test_mask_on_biglake_flows_into_join(self, env):
+        platform, admin, fact, *_ = env
+        analyst = platform.create_user("xk2", [Role.DATA_VIEWER, Role.JOB_USER])
+        fact.policies.add_row_policy(
+            RowAccessPolicy("all", "1 = 1", frozenset({analyst}))
+        )
+        fact.policies.add_masking_rule(
+            DataMaskingRule("amount", MaskingKind.NULLIFY, frozenset({analyst}))
+        )
+        r = platform.home_engine.query("""
+            SELECT SUM(o.amount) FROM ds.orders AS o
+            JOIN ds.regions AS d ON o.region = d.region_code
+        """, analyst)
+        assert r.single_value() is None  # every amount masked to NULL
+
+
+class TestAggregatesOnObjectTables:
+    def test_count_pushdown_over_object_table(self, env):
+        platform, admin, _, _, media = env
+        r = platform.home_engine.query("SELECT COUNT(*) FROM ds.media", admin)
+        assert r.single_value() == 12
+
+    def test_min_max_size_over_object_table(self, env):
+        platform, admin, _, _, media = env
+        r = platform.home_engine.query(
+            "SELECT MIN(size), MAX(size), SUM(size) FROM ds.media", admin
+        )
+        lo, hi, total = r.rows()[0]
+        assert 0 < lo <= hi <= total

@@ -1,0 +1,115 @@
+"""Tests for RecordBatch construction and transformation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Column,
+    DataType,
+    DictionaryColumn,
+    Field,
+    RecordBatch,
+    Schema,
+    batch_from_pydict,
+    batch_from_rows,
+    concat_batches,
+)
+from repro.errors import ExecutionError
+
+
+class TestConstruction:
+    def test_from_pydict(self, sales_schema, sales_batch):
+        assert sales_batch.num_rows == 5
+        assert sales_batch.column("region").to_pylist()[1] == "eu"
+
+    def test_from_rows(self, sales_schema):
+        batch = batch_from_rows(sales_schema, [(1, "us", 2.0, True), (2, None, 3.0, False)])
+        assert batch.column("region").to_pylist() == ["us", None]
+
+    def test_missing_column_rejected(self, sales_schema):
+        with pytest.raises(ExecutionError):
+            batch_from_pydict(sales_schema, {"order_id": [1]})
+
+    def test_ragged_columns_rejected(self):
+        schema = Schema.of(("a", DataType.INT64), ("b", DataType.INT64))
+        with pytest.raises(ExecutionError):
+            RecordBatch(
+                schema,
+                [Column(DataType.INT64, [1, 2]), Column(DataType.INT64, [1])],
+            )
+
+    def test_empty(self, sales_schema):
+        batch = RecordBatch.empty(sales_schema)
+        assert batch.num_rows == 0
+
+
+class TestTransformations:
+    def test_select(self, sales_batch):
+        out = sales_batch.select(["amount", "order_id"])
+        assert out.schema.names() == ["amount", "order_id"]
+        assert out.num_rows == 5
+
+    def test_filter(self, sales_batch):
+        mask = np.array([True, False, True, False, False])
+        out = sales_batch.filter(mask)
+        assert out.column("order_id").to_pylist() == [1, 3]
+
+    def test_take(self, sales_batch):
+        out = sales_batch.take(np.array([4, 0]))
+        assert out.column("region").to_pylist() == ["apac", "us"]
+
+    def test_slice(self, sales_batch):
+        out = sales_batch.slice(1, 3)
+        assert out.column("order_id").to_pylist() == [2, 3]
+
+    def test_with_column_appends(self, sales_batch):
+        col = Column.from_pylist(DataType.INT64, [1] * 5)
+        out = sales_batch.with_column(Field("flag", DataType.INT64), col)
+        assert "flag" in out.schema.names()
+        assert out.num_rows == 5
+
+    def test_with_column_replaces(self, sales_batch):
+        col = Column.from_pylist(DataType.STRING, ["x"] * 5)
+        out = sales_batch.with_column(Field("region", DataType.STRING), col)
+        assert out.column("region").to_pylist() == ["x"] * 5
+        assert len(out.schema) == len(sales_batch.schema)
+
+    def test_rename(self, sales_batch):
+        out = sales_batch.rename(["a", "b", "c", "d"])
+        assert out.schema.names() == ["a", "b", "c", "d"]
+
+    def test_rows_round_trip(self, sales_schema, sales_batch):
+        rows = list(sales_batch.iter_rows())
+        rebuilt = batch_from_rows(sales_schema, rows)
+        assert rebuilt.to_pydict() == sales_batch.to_pydict()
+
+
+class TestDictionaryIntegration:
+    def test_dictionary_column_access_decodes(self):
+        schema = Schema.of(("k", DataType.STRING))
+        flat = Column.from_pylist(DataType.STRING, ["a", "b", "a"])
+        batch = RecordBatch(schema, [DictionaryColumn.encode(flat)])
+        assert batch.column("k").to_pylist() == ["a", "b", "a"]
+
+    def test_slice_keeps_dictionary(self):
+        schema = Schema.of(("k", DataType.STRING))
+        flat = Column.from_pylist(DataType.STRING, ["a", "b", "a", "c"])
+        batch = RecordBatch(schema, [DictionaryColumn.encode(flat)])
+        out = batch.slice(1, 3)
+        assert isinstance(out.raw_column("k"), DictionaryColumn)
+        assert out.column("k").to_pylist() == ["b", "a"]
+
+
+class TestConcat:
+    def test_concat_merges(self, sales_schema, sales_batch):
+        out = concat_batches(sales_schema, [sales_batch, sales_batch])
+        assert out.num_rows == 10
+        assert out.column("order_id").to_pylist()[5] == 1
+
+    def test_concat_empty_list(self, sales_schema):
+        out = concat_batches(sales_schema, [])
+        assert out.num_rows == 0
+
+    def test_concat_preserves_nulls(self, sales_schema, sales_batch):
+        out = concat_batches(sales_schema, [sales_batch, sales_batch])
+        assert out.column("order_id").null_count() == 2

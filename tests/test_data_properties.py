@@ -1,0 +1,68 @@
+"""Property-based invariants on the columnar data structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import DataType, Schema, batch_from_pydict, concat_batches
+
+SCHEMA = Schema.of(("i", DataType.INT64), ("s", DataType.STRING))
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(-1000, 1000)),
+        st.one_of(st.none(), st.text(alphabet="abcde", max_size=4)),
+    ),
+    max_size=60,
+)
+
+
+def _batch(rows):
+    return batch_from_pydict(
+        SCHEMA, {"i": [r[0] for r in rows], "s": [r[1] for r in rows]}
+    )
+
+
+@given(rows_strategy, rows_strategy)
+@settings(max_examples=80, deadline=None)
+def test_concat_preserves_rows(a, b):
+    combined = concat_batches(SCHEMA, [_batch(a), _batch(b)])
+    assert list(combined.iter_rows()) == a + b
+
+
+@given(rows_strategy, st.integers(0, 70), st.integers(0, 70))
+@settings(max_examples=80, deadline=None)
+def test_slice_matches_python_slicing(rows, start, stop):
+    batch = _batch(rows)
+    out = batch.slice(start, stop)
+    assert list(out.iter_rows()) == rows[start:stop]
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_filter_then_concat_partition_identity(rows):
+    """Splitting a batch by any mask and concatenating the parts back
+    (kept + dropped) is a permutation that loses nothing."""
+    batch = _batch(rows)
+    mask = np.array([(r[0] or 0) % 2 == 0 for r in rows], dtype=bool)
+    kept = batch.filter(mask)
+    dropped = batch.filter(~mask)
+    rebuilt = concat_batches(SCHEMA, [kept, dropped])
+    assert sorted(rebuilt.iter_rows(), key=repr) == sorted(batch.iter_rows(), key=repr)
+    assert kept.num_rows + dropped.num_rows == batch.num_rows
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_take_identity_permutation(rows):
+    batch = _batch(rows)
+    indices = np.arange(batch.num_rows)[::-1].copy()
+    reversed_batch = batch.take(indices)
+    assert list(reversed_batch.iter_rows()) == rows[::-1]
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_pydict_round_trip(rows):
+    batch = _batch(rows)
+    rebuilt = batch_from_pydict(SCHEMA, batch.to_pydict())
+    assert list(rebuilt.iter_rows()) == list(batch.iter_rows())

@@ -1,0 +1,76 @@
+"""Tests for logical types and schemas."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataType, Field, Schema
+from repro.errors import AnalysisError
+
+
+class TestDataType:
+    def test_numeric_classification(self):
+        assert DataType.INT64.is_numeric
+        assert DataType.FLOAT64.is_numeric
+        assert not DataType.STRING.is_numeric
+
+    def test_temporal_classification(self):
+        assert DataType.TIMESTAMP.is_temporal
+        assert DataType.DATE.is_temporal
+        assert not DataType.INT64.is_temporal
+
+    def test_variable_width(self):
+        assert DataType.STRING.is_variable_width
+        assert DataType.BYTES.is_variable_width
+        assert not DataType.BOOL.is_variable_width
+
+    def test_numpy_dtypes(self):
+        assert DataType.INT64.numpy_dtype() == np.dtype(np.int64)
+        assert DataType.TIMESTAMP.numpy_dtype() == np.dtype(np.int64)
+        assert DataType.FLOAT64.numpy_dtype() == np.dtype(np.float64)
+        assert DataType.STRING.numpy_dtype() == np.dtype(object)
+
+
+class TestSchema:
+    def test_of_constructor_and_lookup(self):
+        schema = Schema.of(("a", DataType.INT64), ("b", DataType.STRING))
+        assert len(schema) == 2
+        assert schema.index_of("b") == 1
+        assert schema.field("a").dtype is DataType.INT64
+
+    def test_lookup_is_case_insensitive(self):
+        schema = Schema.of(("OrderId", DataType.INT64))
+        assert schema.index_of("orderid") == 0
+        assert schema.field("ORDERID").name == "OrderId"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AnalysisError):
+            Schema.of(("a", DataType.INT64), ("A", DataType.STRING))
+
+    def test_missing_field_raises(self):
+        schema = Schema.of(("a", DataType.INT64))
+        with pytest.raises(AnalysisError):
+            schema.index_of("zzz")
+
+    def test_select_preserves_order(self):
+        schema = Schema.of(
+            ("a", DataType.INT64), ("b", DataType.STRING), ("c", DataType.BOOL)
+        )
+        sub = schema.select(["c", "a"])
+        assert sub.names() == ["c", "a"]
+
+    def test_rename_all_qualifies(self):
+        schema = Schema.of(("x", DataType.INT64))
+        assert schema.rename_all("t").names() == ["t.x"]
+
+    def test_merge_concatenates(self):
+        left = Schema.of(("a", DataType.INT64))
+        right = Schema.of(("b", DataType.STRING))
+        assert left.merge(right).names() == ["a", "b"]
+
+    def test_dict_round_trip(self):
+        schema = Schema(
+            (Field("a", DataType.INT64, nullable=False), Field("b", DataType.STRING))
+        )
+        restored = Schema.from_dict(schema.to_dict())
+        assert restored == schema
+        assert not restored.field("a").nullable

@@ -1,0 +1,171 @@
+"""Focused operator-level tests: sorting, limits, unions, casts, dates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DataType, Schema, batch_from_pydict
+from repro.sql import dates
+
+from tests.helpers import make_platform
+
+
+@pytest.fixture(scope="module")
+def env():
+    platform, admin = make_platform()
+    platform.catalog.create_dataset("ds")
+    schema = Schema.of(
+        ("i", DataType.INT64),
+        ("f", DataType.FLOAT64),
+        ("s", DataType.STRING),
+        ("b", DataType.BOOL),
+        ("d", DataType.DATE),
+    )
+    t = platform.tables.create_managed_table("ds", "t", schema)
+    platform.managed.append(
+        t.table_id,
+        batch_from_pydict(
+            schema,
+            {
+                "i": [3, 1, None, 2],
+                "f": [1.5, None, 2.5, -1.0],
+                "s": ["b", None, "a", "c"],
+                "b": [True, False, None, True],
+                "d": [
+                    dates.parse_date_to_days("2023-05-01"),
+                    dates.parse_date_to_days("2022-01-15"),
+                    None,
+                    dates.parse_date_to_days("2023-05-01"),
+                ],
+            },
+        ),
+    )
+    return platform, admin
+
+
+def q(env, sql):
+    platform, admin = env
+    return platform.home_engine.query(sql, admin)
+
+
+class TestSorting:
+    def test_multi_key_sort(self, env):
+        r = q(env, "SELECT d, i FROM ds.t ORDER BY d DESC, i ASC")
+        rows = r.rows()
+        assert rows[0][0] == dates.parse_date_to_days("2023-05-01")
+        assert rows[-1][0] is None  # NULLs last when leading key is DESC
+
+    def test_sort_by_expression(self, env):
+        r = q(env, "SELECT i FROM ds.t WHERE i IS NOT NULL ORDER BY i * -1")
+        assert r.column("i") == [3, 2, 1]
+
+    def test_sort_strings_with_nulls(self, env):
+        r = q(env, "SELECT s FROM ds.t ORDER BY s")
+        assert r.column("s") == [None, "a", "b", "c"]
+
+    def test_order_by_position(self, env):
+        r = q(env, "SELECT s, i FROM ds.t ORDER BY 2 DESC")
+        assert r.column("i")[0] == 3
+
+
+class TestCasts:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("CAST(i AS FLOAT64)", [3.0, 1.0, None, 2.0]),
+            ("CAST(f AS INT64)", [1, None, 2, -1]),
+            ("CAST(i AS STRING)", ["3", "1", None, "2"]),
+            ("CAST(b AS INT64)", [1, 0, None, 1]),
+            ("CAST(i AS BOOL)", [True, True, None, True]),
+        ],
+    )
+    def test_cast_matrix(self, env, expr, expected):
+        r = q(env, f"SELECT {expr} AS out FROM ds.t")
+        assert r.column("out") == expected
+
+    def test_cast_string_to_int(self, env):
+        r = q(env, "SELECT CAST('42' AS INT64) AS v")
+        assert r.single_value() == 42
+
+    def test_cast_date_to_timestamp_round_trip(self, env):
+        r = q(env, "SELECT CAST(CAST(d AS TIMESTAMP) AS DATE) AS rt FROM ds.t WHERE d IS NOT NULL")
+        original = q(env, "SELECT d FROM ds.t WHERE d IS NOT NULL")
+        assert r.column("rt") == original.column("d")
+
+
+class TestTemporalFunctions:
+    def test_year_month_day_on_date(self, env):
+        r = q(env, "SELECT YEAR(d), MONTH(d), DAY(d) FROM ds.t WHERE i = 1")
+        assert r.rows() == [(2022, 1, 15)]
+
+    def test_date_comparison(self, env):
+        r = q(env, "SELECT COUNT(*) FROM ds.t WHERE d >= DATE '2023-01-01'")
+        assert r.single_value() == 2
+
+
+class TestLimitsAndUnions:
+    def test_limit_zero(self, env):
+        assert q(env, "SELECT i FROM ds.t LIMIT 0").num_rows == 0
+
+    def test_limit_larger_than_input(self, env):
+        assert q(env, "SELECT i FROM ds.t LIMIT 99").num_rows == 4
+
+    def test_union_all_renames_to_first_arm(self, env):
+        r = q(env, "SELECT i AS left_name FROM ds.t UNION ALL SELECT i FROM ds.t")
+        assert r.schema.names() == ["left_name"]
+        assert r.num_rows == 8
+
+    def test_union_all_three_arms(self, env):
+        r = q(env, "SELECT 1 AS x UNION ALL SELECT 2 UNION ALL SELECT 3")
+        assert sorted(r.column("x")) == [1, 2, 3]
+
+
+class TestDateHelpers:
+    def test_round_trips(self):
+        days = dates.parse_date_to_days("2024-02-29")
+        assert dates.days_to_date_string(days) == "2024-02-29"
+
+    def test_timestamp_string_rendering(self):
+        micros = dates.parse_timestamp_to_micros("2023-06-15 12:30:45.5")
+        assert dates.micros_to_timestamp_string(micros).startswith("2023-06-15 12:30:45.5")
+
+    def test_two_digit_year(self):
+        assert dates.parse_date_to_days("23-11-1") == dates.parse_date_to_days("2023-11-01")
+
+    def test_invalid_date_raises(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            dates.parse_date_to_days("not-a-date")
+        with pytest.raises(AnalysisError):
+            dates.parse_date_to_days("2023-13-01")
+
+    @given(st.integers(0, 40000))
+    @settings(max_examples=100, deadline=None)
+    def test_days_round_trip_property(self, days):
+        assert dates.parse_date_to_days(dates.days_to_date_string(days)) == days
+
+
+class TestAggregateEdgeCases:
+    def test_min_max_on_strings(self, env):
+        r = q(env, "SELECT MIN(s), MAX(s) FROM ds.t")
+        assert r.rows() == [("a", "c")]
+
+    def test_min_max_on_dates(self, env):
+        r = q(env, "SELECT MIN(d), MAX(d) FROM ds.t")
+        lo, hi = r.rows()[0]
+        assert lo == dates.parse_date_to_days("2022-01-15")
+        assert hi == dates.parse_date_to_days("2023-05-01")
+
+    def test_sum_of_int_stays_int(self, env):
+        r = q(env, "SELECT SUM(i) AS total FROM ds.t")
+        value = r.single_value()
+        assert value == 6 and isinstance(value, int)
+
+    def test_group_by_bool(self, env):
+        r = q(env, "SELECT b, COUNT(*) FROM ds.t GROUP BY b")
+        data = dict(r.rows())
+        assert data[True] == 2 and data[False] == 1 and data[None] == 1
+
+    def test_aggregate_over_expression(self, env):
+        r = q(env, "SELECT SUM(i * 2) FROM ds.t")
+        assert r.single_value() == 12

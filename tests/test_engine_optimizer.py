@@ -1,0 +1,163 @@
+"""Unit tests for plan rewrites: pushdown, pruning, reordering, estimates."""
+
+import pytest
+
+from repro import DataType, Schema, batch_from_pydict
+from repro.engine.optimizer import estimate_rows
+from repro.engine.plan import FilterNode, JoinNode, ProjectNode, ScanNode
+from repro.sql.parser import parse_statement
+
+from tests.helpers import make_platform
+
+
+@pytest.fixture(scope="module")
+def env():
+    platform, admin = make_platform()
+    platform.catalog.create_dataset("ds")
+    fact = Schema.of(
+        ("k", DataType.INT64), ("dim_id", DataType.INT64),
+        ("v", DataType.FLOAT64), ("extra", DataType.STRING),
+    )
+    dim = Schema.of(("dim_id", DataType.INT64), ("label", DataType.STRING))
+    f = platform.tables.create_managed_table("ds", "fact", fact)
+    d = platform.tables.create_managed_table("ds", "dim", dim)
+    platform.managed.append(f.table_id, batch_from_pydict(fact, {
+        "k": list(range(1000)), "dim_id": [i % 10 for i in range(1000)],
+        "v": [float(i) for i in range(1000)], "extra": ["x"] * 1000,
+    }))
+    platform.managed.append(d.table_id, batch_from_pydict(dim, {
+        "dim_id": list(range(10)), "label": [f"L{i}" for i in range(10)],
+    }))
+    return platform, admin
+
+
+def plan_of(env, sql):
+    platform, _ = env
+    return platform.home_engine.plan(parse_statement(sql))
+
+
+def scans_of(plan):
+    out = []
+
+    def walk(node):
+        if isinstance(node, ScanNode):
+            out.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return out
+
+
+class TestFilterPushdown:
+    def test_single_table_conjuncts_absorbed(self, env):
+        plan = plan_of(env, "SELECT k FROM ds.fact WHERE v > 1 AND k < 100")
+        scan = scans_of(plan)[0]
+        assert len(scan.pushed_filters) == 2
+        assert not isinstance(plan, FilterNode)
+
+    def test_join_splits_per_side(self, env):
+        plan = plan_of(env, """
+            SELECT f.k FROM ds.fact AS f JOIN ds.dim AS d ON f.dim_id = d.dim_id
+            WHERE f.v > 10 AND d.label = 'L1'
+        """)
+        by_table = {s.table.name: s for s in scans_of(plan)}
+        assert len(by_table["fact"].pushed_filters) == 1
+        assert len(by_table["dim"].pushed_filters) == 1
+
+    def test_cross_table_conjunct_stays_above_join(self, env):
+        plan = plan_of(env, """
+            SELECT f.k FROM ds.fact AS f JOIN ds.dim AS d ON f.dim_id = d.dim_id
+            WHERE f.v > CAST(d.dim_id AS FLOAT64)
+        """)
+        assert any(isinstance(n, FilterNode) for n in _walk(plan))
+
+    def test_left_join_right_side_not_pushed(self, env):
+        plan = plan_of(env, """
+            SELECT f.k FROM ds.fact AS f LEFT JOIN ds.dim AS d ON f.dim_id = d.dim_id
+            WHERE f.v > 10
+        """)
+        by_table = {s.table.name: s for s in scans_of(plan)}
+        assert by_table["fact"].pushed_filters
+        assert not by_table["dim"].pushed_filters
+
+
+class TestColumnPruning:
+    def test_scan_narrowed_to_referenced(self, env):
+        plan = plan_of(env, "SELECT k FROM ds.fact WHERE v > 1")
+        scan = scans_of(plan)[0]
+        assert set(scan.columns) == {"k"}  # v lives in the pushed filter
+
+    def test_join_keys_retained(self, env):
+        plan = plan_of(env, """
+            SELECT d.label FROM ds.fact AS f JOIN ds.dim AS d ON f.dim_id = d.dim_id
+        """)
+        by_table = {s.table.name: s for s in scans_of(plan)}
+        assert "dim_id" in by_table["fact"].columns
+        assert set(by_table["dim"].columns) == {"dim_id", "label"}
+
+    def test_star_keeps_everything(self, env):
+        plan = plan_of(env, "SELECT * FROM ds.fact")
+        assert len(scans_of(plan)[0].columns) == 4
+
+    def test_count_star_keeps_one_column(self, env):
+        platform, _ = env
+        platform.home_engine.enable_aggregate_pushdown = False
+        try:
+            plan = plan_of(env, "SELECT COUNT(*) FROM ds.fact")
+        finally:
+            platform.home_engine.enable_aggregate_pushdown = True
+        assert len(scans_of(plan)[0].columns) == 1
+
+    def test_join_schema_refreshed_after_pruning(self, env):
+        plan = plan_of(env, """
+            SELECT f.k FROM ds.fact AS f JOIN ds.dim AS d ON f.dim_id = d.dim_id
+        """)
+        for node in _walk(plan):
+            if isinstance(node, JoinNode):
+                assert len(node.schema) == len(node.left.schema) + len(node.right.schema)
+
+
+class TestEstimates:
+    def test_scan_estimate_uses_storage(self, env):
+        plan = plan_of(env, "SELECT k FROM ds.fact")
+        platform, _ = env
+        estimate = estimate_rows(scans_of(plan)[0], platform.home_engine.stats_provider)
+        assert estimate == 1000.0
+
+    def test_filters_shrink_estimate(self, env):
+        platform, _ = env
+        filtered = plan_of(env, "SELECT k FROM ds.fact WHERE v > 1 AND k < 5")
+        bare = plan_of(env, "SELECT k FROM ds.fact")
+        provider = platform.home_engine.stats_provider
+        assert estimate_rows(scans_of(filtered)[0], provider) < estimate_rows(
+            scans_of(bare)[0], provider
+        )
+
+    def test_build_side_is_smaller_relation(self, env):
+        """With statistics, the join builds on the dimension (10 rows)."""
+        platform, admin = env
+        result = platform.home_engine.query(
+            "SELECT COUNT(*) FROM ds.fact AS f JOIN ds.dim AS d ON f.dim_id = d.dim_id",
+            admin,
+        )
+        assert result.single_value() == 1000
+
+
+class TestExplainStability:
+    def test_plan_describe_mentions_each_operator(self, env):
+        plan = plan_of(env, """
+            SELECT d.label, SUM(f.v) AS total
+            FROM ds.fact AS f JOIN ds.dim AS d ON f.dim_id = d.dim_id
+            WHERE f.k < 500
+            GROUP BY d.label ORDER BY total DESC LIMIT 3
+        """)
+        text = plan.describe()
+        for fragment in ("Limit(3)", "Aggregate", "INNERJoin", "Scan(", "filter="):
+            assert fragment in text, fragment
+
+
+def _walk(plan):
+    yield plan
+    for child in plan.children():
+        yield from _walk(child)

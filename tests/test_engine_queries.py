@@ -1,0 +1,253 @@
+"""Engine correctness tests: SQL semantics end to end over managed tables."""
+
+import pytest
+
+from repro import DataType, Schema, batch_from_pydict
+from repro.errors import AnalysisError, QueryError
+
+from tests.helpers import make_platform
+
+
+@pytest.fixture(scope="module")
+def env():
+    platform, admin = make_platform()
+    platform.catalog.create_dataset("ds")
+    orders = Schema.of(
+        ("order_id", DataType.INT64),
+        ("customer_id", DataType.INT64),
+        ("amount", DataType.FLOAT64),
+        ("region", DataType.STRING),
+    )
+    t = platform.tables.create_managed_table("ds", "orders", orders)
+    platform.managed.append(
+        t.table_id,
+        batch_from_pydict(
+            orders,
+            {
+                "order_id": [1, 2, 3, 4, 5, 6],
+                "customer_id": [10, 20, 10, 30, 20, None],
+                "amount": [100.0, 200.0, 50.0, None, 300.0, 25.0],
+                "region": ["us", "eu", "us", "us", None, "eu"],
+            },
+        ),
+    )
+    customers = Schema.of(
+        ("customer_id", DataType.INT64),
+        ("name", DataType.STRING),
+        ("tier", DataType.STRING),
+    )
+    c = platform.tables.create_managed_table("ds", "customers", customers)
+    platform.managed.append(
+        c.table_id,
+        batch_from_pydict(
+            customers,
+            {
+                "customer_id": [10, 20, 40],
+                "name": ["Ann", "Bo", "Cy"],
+                "tier": ["gold", "silver", "gold"],
+            },
+        ),
+    )
+    return platform, admin
+
+
+def q(env, sql):
+    platform, admin = env
+    return platform.home_engine.query(sql, admin)
+
+
+class TestBasics:
+    def test_select_star(self, env):
+        assert q(env, "SELECT * FROM ds.orders").num_rows == 6
+
+    def test_projection_and_alias(self, env):
+        r = q(env, "SELECT order_id AS id, amount * 2 AS double FROM ds.orders WHERE order_id = 1")
+        assert r.schema.names() == ["id", "double"]
+        assert r.rows() == [(1, 200.0)]
+
+    def test_where_with_null_semantics(self, env):
+        r = q(env, "SELECT order_id FROM ds.orders WHERE amount > 75")
+        assert sorted(r.column("order_id")) == [1, 2, 5]
+
+    def test_limit(self, env):
+        assert q(env, "SELECT order_id FROM ds.orders LIMIT 3").num_rows == 3
+
+    def test_order_by_desc_nulls_last(self, env):
+        r = q(env, "SELECT amount FROM ds.orders ORDER BY amount DESC")
+        values = r.column("amount")
+        assert values[0] == 300.0
+        assert values[-1] is None
+
+    def test_order_by_asc_nulls_first(self, env):
+        r = q(env, "SELECT amount FROM ds.orders ORDER BY amount")
+        assert r.column("amount")[0] is None
+
+    def test_distinct(self, env):
+        r = q(env, "SELECT DISTINCT region FROM ds.orders")
+        assert sorted(x for x in r.column("region") if x is not None) == ["eu", "us"]
+        assert r.num_rows == 3  # us, eu, NULL
+
+    def test_union_all(self, env):
+        r = q(env, "SELECT order_id FROM ds.orders WHERE region = 'us' "
+                   "UNION ALL SELECT order_id FROM ds.orders WHERE region = 'eu'")
+        assert r.num_rows == 5
+
+    def test_select_without_from(self, env):
+        r = q(env, "SELECT 1 + 2 AS x, 'hi' AS s")
+        assert r.rows() == [(3, "hi")]
+
+    def test_subquery_in_from(self, env):
+        r = q(env, "SELECT big.order_id FROM "
+                   "(SELECT order_id, amount FROM ds.orders WHERE amount > 100) AS big")
+        assert sorted(r.column("order_id")) == [2, 5]
+
+
+class TestAggregation:
+    def test_global_aggregates(self, env):
+        r = q(env, "SELECT COUNT(*), COUNT(amount), SUM(amount), MIN(amount), MAX(amount), AVG(amount) FROM ds.orders")
+        count_star, count_amount, total, lo, hi, avg = r.rows()[0]
+        assert count_star == 6
+        assert count_amount == 5
+        assert total == pytest.approx(675.0)
+        assert (lo, hi) == (25.0, 300.0)
+        assert avg == pytest.approx(675.0 / 5)
+
+    def test_global_aggregate_on_empty_input(self, env):
+        r = q(env, "SELECT COUNT(*), SUM(amount) FROM ds.orders WHERE order_id > 999")
+        assert r.rows() == [(0, None)]
+
+    def test_group_by(self, env):
+        r = q(env, "SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM ds.orders "
+                   "GROUP BY region ORDER BY region")
+        data = {row[0]: (row[1], row[2]) for row in r.rows()}
+        assert data["us"] == (3, 150.0)
+        assert data["eu"] == (2, 225.0)
+        assert data[None][0] == 1  # NULL region groups together
+
+    def test_group_by_position(self, env):
+        r = q(env, "SELECT region, COUNT(*) FROM ds.orders GROUP BY 1")
+        assert r.num_rows == 3
+
+    def test_having(self, env):
+        r = q(env, "SELECT region, SUM(amount) AS total FROM ds.orders "
+                   "GROUP BY region HAVING SUM(amount) > 200")
+        # 'eu' totals 225; the NULL-region group totals 300 — both qualify.
+        assert set(r.column("region")) == {"eu", None}
+
+    def test_order_by_alias_of_aggregate(self, env):
+        r = q(env, "SELECT region, SUM(amount) AS total FROM ds.orders "
+                   "GROUP BY region ORDER BY total DESC LIMIT 1")
+        # The NULL-region group has the largest total (300.0).
+        assert r.rows()[0] == (None, 300.0)
+
+    def test_order_by_unselected_aggregate(self, env):
+        r = q(env, "SELECT region FROM ds.orders GROUP BY region ORDER BY COUNT(*) DESC")
+        assert r.column("region")[0] == "us"
+
+    def test_count_distinct(self, env):
+        r = q(env, "SELECT COUNT(DISTINCT customer_id) FROM ds.orders")
+        assert r.single_value() == 3
+
+    def test_expression_over_aggregates(self, env):
+        r = q(env, "SELECT SUM(amount) / COUNT(amount) AS manual_avg FROM ds.orders")
+        assert r.single_value() == pytest.approx(135.0)
+
+    def test_having_without_group_rejected(self, env):
+        with pytest.raises(AnalysisError):
+            q(env, "SELECT order_id FROM ds.orders HAVING order_id > 1")
+
+
+class TestJoins:
+    def test_inner_join(self, env):
+        r = q(env, """
+            SELECT o.order_id, c.name FROM ds.orders AS o
+            JOIN ds.customers AS c ON o.customer_id = c.customer_id
+            ORDER BY o.order_id
+        """)
+        assert r.rows() == [(1, "Ann"), (2, "Bo"), (3, "Ann"), (5, "Bo")]
+
+    def test_join_null_keys_never_match(self, env):
+        r = q(env, """
+            SELECT COUNT(*) FROM ds.orders AS o
+            JOIN ds.customers AS c ON o.customer_id = c.customer_id
+        """)
+        assert r.single_value() == 4  # order 6 has NULL customer
+
+    def test_left_join_null_extends(self, env):
+        r = q(env, """
+            SELECT o.order_id, c.name FROM ds.orders AS o
+            LEFT JOIN ds.customers AS c ON o.customer_id = c.customer_id
+            ORDER BY o.order_id
+        """)
+        data = dict(r.rows())
+        assert data[4] is None and data[6] is None
+        assert data[1] == "Ann"
+
+    def test_join_with_residual_condition(self, env):
+        r = q(env, """
+            SELECT o.order_id FROM ds.orders AS o
+            JOIN ds.customers AS c ON o.customer_id = c.customer_id AND o.amount > 150
+            ORDER BY o.order_id
+        """)
+        assert r.column("order_id") == [2, 5]
+
+    def test_cross_join(self, env):
+        r = q(env, "SELECT COUNT(*) FROM ds.orders CROSS JOIN ds.customers")
+        assert r.single_value() == 18
+
+    def test_join_then_aggregate(self, env):
+        r = q(env, """
+            SELECT c.tier, SUM(o.amount) AS total FROM ds.orders AS o
+            JOIN ds.customers AS c ON o.customer_id = c.customer_id
+            GROUP BY c.tier ORDER BY total DESC
+        """)
+        assert r.rows() == [("silver", 500.0), ("gold", 150.0)]
+
+    def test_reversed_on_clause_orientation(self, env):
+        r = q(env, """
+            SELECT COUNT(*) FROM ds.customers AS c
+            JOIN ds.orders AS o ON o.customer_id = c.customer_id
+        """)
+        assert r.single_value() == 4
+
+
+class TestErrors:
+    def test_unknown_table(self, env):
+        from repro.errors import NotFoundError
+
+        with pytest.raises(NotFoundError):
+            q(env, "SELECT 1 FROM ds.nope")
+
+    def test_unknown_column(self, env):
+        with pytest.raises(AnalysisError):
+            q(env, "SELECT wat FROM ds.orders")
+
+    def test_ambiguous_column_in_join(self, env):
+        with pytest.raises(AnalysisError):
+            q(env, "SELECT customer_id FROM ds.orders AS o "
+                   "JOIN ds.customers AS c ON o.customer_id = c.customer_id")
+
+    def test_dml_without_handler(self, env):
+        platform, admin = env
+        from repro.engine.engine import QueryEngine
+
+        bare = QueryEngine(read_api=platform.read_api, catalog=platform.catalog)
+        with pytest.raises(QueryError):
+            bare.execute("DELETE FROM ds.orders WHERE order_id = 1", admin)
+
+
+class TestExplain:
+    def test_explain_shows_pushdown(self, env):
+        platform, admin = env
+        text = platform.home_engine.explain(
+            "SELECT order_id FROM ds.orders WHERE amount > 10 AND region = 'us'"
+        )
+        assert "Scan" in text and "filter=" in text
+
+    def test_explain_shows_join_tree(self, env):
+        platform, admin = env
+        text = platform.home_engine.explain(
+            "SELECT o.order_id FROM ds.orders AS o "
+            "JOIN ds.customers AS c ON o.customer_id = c.customer_id"
+        )
+        assert "INNERJoin" in text

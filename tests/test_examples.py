@@ -1,0 +1,32 @@
+"""Every example script must run cleanly end to end.
+
+Examples are the public face of the library; running them in-process (via
+``runpy``) keeps them from rotting as the API evolves.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "multimodal_ml",
+        "multicloud_analytics",
+        "managed_tables",
+        "advanced_features",
+    } <= names

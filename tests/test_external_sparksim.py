@@ -1,0 +1,139 @@
+"""SparkSim tests: connector vs direct reads, governance uniformity (§3.2,
+§3.4)."""
+
+import pytest
+
+from repro import Role
+from repro.errors import AccessDeniedError
+from repro.external import SparkSim
+from repro.security import DataMaskingRule, MaskingKind, RowAccessPolicy
+
+from tests.helpers import make_platform, setup_sales_lake
+
+
+@pytest.fixture
+def env():
+    platform, admin = make_platform()
+    table, store = setup_sales_lake(platform, admin)
+    return platform, admin, table, store
+
+
+class TestConnectorMode:
+    def test_reads_same_data_as_bigquery(self, env):
+        platform, admin, _, _ = env
+        spark = SparkSim(platform, mode="connector")
+        sql = "SELECT region, COUNT(*) AS n FROM ds.sales GROUP BY region ORDER BY region"
+        assert spark.query(sql, admin).rows() == platform.home_engine.query(sql, admin).rows()
+
+    def test_connector_user_needs_no_bucket_access(self, env):
+        platform, _, _, _ = env
+        analyst = platform.create_user("sparky", [Role.DATA_VIEWER, Role.JOB_USER])
+        spark = SparkSim(platform, mode="connector")
+        r = spark.query("SELECT COUNT(*) FROM ds.sales", analyst)
+        assert r.single_value() == 200
+
+    def test_session_stats_enable_dpp(self, env):
+        platform, admin, _, _ = env
+        with_stats = SparkSim(platform, mode="connector", session_stats=True, name="s1")
+        without = SparkSim(platform, mode="connector", session_stats=False, name="s2")
+        assert with_stats.enable_dpp and with_stats.use_stats
+        assert not without.enable_dpp and not without.use_stats
+
+
+class TestDirectMode:
+    def test_direct_requires_bucket_credentials(self, env):
+        """Credential forwarding: the user must hold raw storage access."""
+        platform, _, _, _ = env
+        analyst = platform.create_user("nocreds", [Role.DATA_VIEWER, Role.JOB_USER])
+        spark = SparkSim(platform, mode="direct")
+        with pytest.raises(AccessDeniedError):
+            spark.query("SELECT COUNT(*) FROM ds.sales", analyst)
+
+    def test_direct_reads_with_credentials(self, env):
+        platform, _, _, _ = env
+        power = platform.create_user("power", [Role.DATA_VIEWER])
+        platform.iam.grant("buckets/lake", Role.STORAGE_OBJECT_VIEWER, power)
+        spark = SparkSim(platform, mode="direct")
+        r = spark.query("SELECT COUNT(*) FROM ds.sales WHERE year = 2023", power)
+        assert r.single_value() == 100
+
+    def test_direct_lists_bucket_every_query(self, env):
+        platform, _, _, _ = env
+        power = platform.create_user("power2", [Role.DATA_VIEWER])
+        platform.iam.grant("buckets/lake", Role.STORAGE_OBJECT_VIEWER, power)
+        spark = SparkSim(platform, mode="direct")
+        spark.query("SELECT COUNT(*) FROM ds.sales", power)
+        before = platform.ctx.metering.snapshot()
+        spark.query("SELECT COUNT(*) FROM ds.sales", power)
+        delta = platform.ctx.metering.delta_since(before)
+        assert delta.op_counts.get("object_store.list_page", 0) >= 1
+
+    def test_direct_cannot_read_managed_tables(self, env):
+        from repro.errors import QueryError
+        from repro.data import DataType, Schema
+
+        platform, admin, _, _ = env
+        platform.tables.create_managed_table("ds", "m", Schema.of(("a", DataType.INT64)))
+        power = platform.create_user("power3", [Role.DATA_VIEWER, Role.STORAGE_OBJECT_VIEWER])
+        spark = SparkSim(platform, mode="direct")
+        with pytest.raises(QueryError):
+            spark.query("SELECT a FROM ds.m", power)
+
+
+class TestGovernanceUniformity:
+    """§3.2: the Read API enforces identical policies for every engine;
+    direct reads demonstrate the governance hole BigLake closes."""
+
+    def _lock_down(self, platform, table, principal):
+        table.policies.add_row_policy(
+            RowAccessPolicy("eu_only", "region = 'eu'", frozenset({principal}))
+        )
+        table.policies.add_masking_rule(
+            DataMaskingRule("amount", MaskingKind.NULLIFY, frozenset({principal}))
+        )
+
+    def test_policies_identical_across_engines(self, env):
+        platform, admin, table, _ = env
+        analyst = platform.create_user("gov", [Role.DATA_VIEWER, Role.JOB_USER])
+        self._lock_down(platform, table, analyst)
+        sql = "SELECT region, amount FROM ds.sales"
+        bq = platform.home_engine.query(sql, analyst)
+        spark = SparkSim(platform, mode="connector").query(sql, analyst)
+        assert sorted(bq.rows()) == sorted(spark.rows())
+        assert set(r[0] for r in bq.rows()) == {"eu"}
+        assert all(r[1] is None for r in bq.rows())  # masked
+
+    def test_direct_reads_bypass_policies(self, env):
+        """The hostile/legacy engine: with raw bucket creds, row policies
+        and masking do NOT apply — exactly why the trust boundary must sit
+        in the Read API."""
+        platform, admin, table, _ = env
+        insider = platform.create_user("insider", [Role.DATA_VIEWER])
+        platform.iam.grant("buckets/lake", Role.STORAGE_OBJECT_VIEWER, insider)
+        self._lock_down(platform, table, insider)
+        spark = SparkSim(platform, mode="direct")
+        leaked = spark.query("SELECT region, amount FROM ds.sales", insider)
+        regions = {r[0] for r in leaked.rows()}
+        assert regions == {"us", "eu", "apac"}  # row policy bypassed
+        assert any(r[1] is not None for r in leaked.rows())  # mask bypassed
+
+
+class TestPerformanceShape:
+    def test_connector_with_stats_not_slower_than_direct(self, env):
+        """E4's parity claim at unit scale: the governed connector path
+        should match or beat the direct path in simulated time."""
+        platform, admin, table, _ = env
+        power = platform.create_user("perf", [Role.DATA_VIEWER])
+        platform.iam.grant("buckets/lake", Role.STORAGE_OBJECT_VIEWER, power)
+        sql = "SELECT region, SUM(amount) FROM ds.sales WHERE year = 2023 GROUP BY region"
+        direct = SparkSim(platform, mode="direct", name="d")
+        connector = SparkSim(platform, mode="connector", name="c")
+        connector.query(sql, power)  # warm the metadata cache
+
+        t0 = platform.ctx.clock.now_ms
+        direct.query(sql, power)
+        direct_ms = platform.ctx.clock.now_ms - t0
+        t0 = platform.ctx.clock.now_ms
+        connector.query(sql, power)
+        connector_ms = platform.ctx.clock.now_ms - t0
+        assert connector_ms <= direct_ms

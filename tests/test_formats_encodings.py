@@ -1,0 +1,82 @@
+"""Tests for pqs physical encodings, including hypothesis round trips."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.data import Column, DataType
+from repro.formats import encodings
+
+
+class TestPlain:
+    def test_int_round_trip(self):
+        col = Column.from_pylist(DataType.INT64, [1, None, -5, 2**40])
+        out = encodings.decode_plain(DataType.INT64, encodings.encode_plain(col))
+        assert out.to_pylist() == [1, None, -5, 2**40]
+
+    def test_float_round_trip(self):
+        col = Column.from_pylist(DataType.FLOAT64, [1.5, None, -0.25])
+        out = encodings.decode_plain(DataType.FLOAT64, encodings.encode_plain(col))
+        assert out.to_pylist() == [1.5, None, -0.25]
+
+    def test_bool_round_trip(self):
+        col = Column.from_pylist(DataType.BOOL, [True, False, None])
+        out = encodings.decode_plain(DataType.BOOL, encodings.encode_plain(col))
+        assert out.to_pylist() == [True, False, None]
+
+    def test_string_round_trip(self):
+        col = Column.from_pylist(DataType.STRING, ["héllo", "", None, "x" * 1000])
+        out = encodings.decode_plain(DataType.STRING, encodings.encode_plain(col))
+        assert out.to_pylist() == ["héllo", "", None, "x" * 1000]
+
+    def test_bytes_round_trip(self):
+        col = Column.from_pylist(DataType.BYTES, [b"\x00\xff", None, b""])
+        out = encodings.decode_plain(DataType.BYTES, encodings.encode_plain(col))
+        assert out.to_pylist() == [b"\x00\xff", None, b""]
+
+    def test_empty_column(self):
+        col = Column.from_pylist(DataType.INT64, [])
+        out = encodings.decode_plain(DataType.INT64, encodings.encode_plain(col))
+        assert len(out) == 0
+
+
+class TestRle:
+    def test_round_trip(self):
+        codes = np.array([0, 0, 0, 1, 1, -1, 2], dtype=np.int32)
+        out = encodings.decode_codes_rle(encodings.encode_codes_rle(codes))
+        assert list(out) == list(codes)
+
+    def test_empty(self):
+        out = encodings.decode_codes_rle(encodings.encode_codes_rle(np.array([], dtype=np.int32)))
+        assert len(out) == 0
+
+    def test_rle_compresses_runs(self):
+        runs = np.repeat(np.arange(4, dtype=np.int32), 1000)
+        rle = encodings.encode_codes_rle(runs)
+        plain = encodings.encode_codes_plain(runs)
+        assert len(rle) < len(plain) / 10
+
+    def test_plain_codes_round_trip(self):
+        codes = np.array([3, -1, 0], dtype=np.int32)
+        out = encodings.decode_codes_plain(encodings.encode_codes_plain(codes))
+        assert list(out) == [3, -1, 0]
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(-(2**62), 2**62 - 1)), max_size=300))
+def test_plain_int_round_trip_property(items):
+    col = Column.from_pylist(DataType.INT64, items)
+    out = encodings.decode_plain(DataType.INT64, encodings.encode_plain(col))
+    assert out.to_pylist() == items
+
+
+@given(st.lists(st.one_of(st.none(), st.text(max_size=20)), max_size=200))
+def test_plain_string_round_trip_property(items):
+    col = Column.from_pylist(DataType.STRING, items)
+    out = encodings.decode_plain(DataType.STRING, encodings.encode_plain(col))
+    assert out.to_pylist() == items
+
+
+@given(st.lists(st.integers(-1, 50), max_size=400))
+def test_rle_round_trip_property(codes):
+    arr = np.asarray(codes, dtype=np.int32)
+    out = encodings.decode_codes_rle(encodings.encode_codes_rle(arr))
+    assert list(out) == codes

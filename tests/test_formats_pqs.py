@@ -1,0 +1,116 @@
+"""Tests for the pqs file format: layout, footer stats, projection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import DataType, Schema, batch_from_pydict
+from repro.errors import ExecutionError
+from repro.formats import read_footer, read_row_group, write_table
+
+
+@pytest.fixture
+def wide_file(sales_schema, sales_batch):
+    return write_table(sales_schema, [sales_batch], row_group_rows=2)
+
+
+class TestLayout:
+    def test_round_trip_all_row_groups(self, sales_schema, sales_batch, wide_file):
+        footer = read_footer(wide_file)
+        assert footer.num_rows == 5
+        assert len(footer.row_groups) == 3  # 2 + 2 + 1
+        rows = []
+        for i in range(len(footer.row_groups)):
+            rows.extend(read_row_group(wide_file, footer, i).iter_rows())
+        assert rows == list(sales_batch.iter_rows())
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ExecutionError):
+            read_footer(b"NOTPQS_AT_ALL")
+
+    def test_empty_table(self, sales_schema):
+        data = write_table(sales_schema, [])
+        footer = read_footer(data)
+        assert footer.num_rows == 0
+        assert len(footer.row_groups) == 1
+        assert read_row_group(data, footer, 0).num_rows == 0
+
+    def test_projection(self, wide_file):
+        footer = read_footer(wide_file)
+        batch = read_row_group(wide_file, footer, 0, columns=["amount"])
+        assert batch.schema.names() == ["amount"]
+        assert batch.column("amount").to_pylist() == [10.0, 20.5]
+
+
+class TestFooterStats:
+    def test_min_max_per_chunk(self, wide_file):
+        footer = read_footer(wide_file)
+        chunk = footer.row_groups[0].column("order_id")
+        assert (chunk.min_value, chunk.max_value) == (1, 2)
+
+    def test_null_counts(self, wide_file):
+        footer = read_footer(wide_file)
+        # Nulls: order_id row 4 (third group), amount row 2 (second group).
+        assert footer.column_stats("order_id") == (1, 4, 1)
+        lo, hi, nulls = footer.column_stats("amount")
+        assert (lo, hi, nulls) == (10.0, 50.0, 1)
+
+    def test_string_stats(self, wide_file):
+        footer = read_footer(wide_file)
+        lo, hi, _ = footer.column_stats("region")
+        assert lo == "apac" and hi == "us"
+
+    def test_bytes_stats_omitted(self):
+        schema = Schema.of(("b", DataType.BYTES))
+        data = write_table(schema, [batch_from_pydict(schema, {"b": [b"\x01", b"\x02"]})])
+        footer = read_footer(data)
+        chunk = footer.row_groups[0].column("b")
+        assert chunk.min_value is None and chunk.max_value is None
+
+
+class TestEncodingSelection:
+    def test_low_cardinality_string_dictionary_encoded(self):
+        schema = Schema.of(("k", DataType.STRING))
+        values = ["red", "green", "blue"] * 100
+        data = write_table(schema, [batch_from_pydict(schema, {"k": values})])
+        footer = read_footer(data)
+        assert footer.row_groups[0].column("k").encoding.startswith("DICT")
+        batch = read_row_group(data, footer, 0)
+        assert batch.column("k").to_pylist() == values
+
+    def test_sorted_column_uses_rle(self):
+        schema = Schema.of(("k", DataType.INT64))
+        values = sorted([1, 2, 3] * 200)
+        data = write_table(schema, [batch_from_pydict(schema, {"k": values})])
+        footer = read_footer(data)
+        assert footer.row_groups[0].column("k").encoding == "DICT_RLE"
+
+    def test_unique_values_stay_plain(self):
+        schema = Schema.of(("k", DataType.INT64))
+        values = list(range(100))
+        data = write_table(schema, [batch_from_pydict(schema, {"k": values})])
+        footer = read_footer(data)
+        assert footer.row_groups[0].column("k").encoding == "PLAIN"
+
+    def test_floats_never_dictionary_encoded(self):
+        schema = Schema.of(("f", DataType.FLOAT64))
+        values = [1.0] * 100
+        data = write_table(schema, [batch_from_pydict(schema, {"f": values})])
+        footer = read_footer(data)
+        assert footer.row_groups[0].column("f").encoding == "PLAIN"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ints=st.lists(st.one_of(st.none(), st.integers(-1000, 1000)), min_size=1, max_size=120),
+    rg_rows=st.integers(1, 50),
+)
+def test_file_round_trip_property(ints, rg_rows):
+    """Any int column survives write->read regardless of row-group size."""
+    schema = Schema.of(("v", DataType.INT64))
+    batch = batch_from_pydict(schema, {"v": ints})
+    data = write_table(schema, [batch], row_group_rows=rg_rows)
+    footer = read_footer(data)
+    out = []
+    for i in range(len(footer.row_groups)):
+        out.extend(read_row_group(data, footer, i).column("v").to_pylist())
+    assert out == ints

@@ -1,0 +1,79 @@
+"""Tests for the row-oriented and vectorized readers."""
+
+import pytest
+
+from repro.data import DataType, DictionaryColumn, Schema, batch_from_pydict
+from repro.formats import RowReader, VectorizedReader, write_table
+
+
+@pytest.fixture
+def file_bytes():
+    schema = Schema.of(
+        ("id", DataType.INT64), ("color", DataType.STRING), ("v", DataType.FLOAT64)
+    )
+    batch = batch_from_pydict(
+        schema,
+        {
+            "id": list(range(10)),
+            "color": ["red", "blue"] * 5,
+            "v": [float(i) * 1.5 for i in range(10)],
+        },
+    )
+    return write_table(schema, [batch], row_group_rows=4)
+
+
+class TestRowReader:
+    def test_iter_all_rows(self, file_bytes):
+        rows = list(RowReader(file_bytes).iter_rows())
+        assert len(rows) == 10
+        assert rows[0] == (0, "red", 0.0)
+
+    def test_projection(self, file_bytes):
+        rows = list(RowReader(file_bytes).iter_rows(columns=["v", "id"]))
+        assert rows[1] == (1.5, 1)
+
+    def test_predicate(self, file_bytes):
+        rows = list(
+            RowReader(file_bytes).iter_rows(
+                columns=["id"], predicate=lambda r: r["color"] == "blue"
+            )
+        )
+        assert [r[0] for r in rows] == [1, 3, 5, 7, 9]
+
+    def test_read_all_rebatches(self, file_bytes):
+        batches = list(RowReader(file_bytes).read_all(columns=["id"], batch_rows=3))
+        assert [b.num_rows for b in batches] == [3, 3, 3, 1]
+
+
+class TestVectorizedReader:
+    def test_batches_per_row_group(self, file_bytes):
+        reader = VectorizedReader(file_bytes)
+        batches = list(reader.read_batches())
+        assert [b.num_rows for b in batches] == [4, 4, 2]
+
+    def test_keeps_dictionary_encoding(self, file_bytes):
+        reader = VectorizedReader(file_bytes)
+        batch = next(iter(reader.read_batches(columns=["color"])))
+        assert isinstance(batch.raw_column("color"), DictionaryColumn)
+
+    def test_flat_mode(self, file_bytes):
+        reader = VectorizedReader(file_bytes)
+        batch = next(iter(reader.read_batches(columns=["color"], keep_dictionary=False)))
+        assert not isinstance(batch.raw_column("color"), DictionaryColumn)
+
+    def test_same_data_both_paths(self, file_bytes):
+        vec_rows = []
+        for batch in VectorizedReader(file_bytes).read_batches():
+            vec_rows.extend(batch.iter_rows())
+        assert vec_rows == list(RowReader(file_bytes).iter_rows())
+
+    def test_row_group_pruning_by_stats(self, file_bytes):
+        reader = VectorizedReader(file_bytes)
+        # ids 0-3 / 4-7 / 8-9 per row group.
+        assert reader.prunable_row_groups("id", lo=8) == [2]
+        assert reader.prunable_row_groups("id", hi=3) == [0]
+        assert reader.prunable_row_groups("id", lo=2, hi=5) == [0, 1]
+
+    def test_pruning_without_bounds_keeps_all(self, file_bytes):
+        reader = VectorizedReader(file_bytes)
+        assert reader.prunable_row_groups("id") == [0, 1, 2]

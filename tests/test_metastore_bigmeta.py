@@ -1,0 +1,183 @@
+"""Tests for Big Metadata: log/baseline structure, snapshots, pruning,
+multi-table transactions."""
+
+import pytest
+
+from repro.errors import TransactionConflictError
+from repro.metastore import (
+    BigMetadataService,
+    ColumnConstraint,
+    ColumnStats,
+    ConstraintSet,
+    FileEntry,
+)
+
+
+def entry(path, rows=100, lo=0, hi=10, part=None):
+    return FileEntry(
+        file_path=path,
+        size_bytes=rows * 8,
+        row_count=rows,
+        partition_values=tuple((part or {}).items()),
+        column_stats=(("x", ColumnStats(min_value=lo, max_value=hi)),),
+    )
+
+
+@pytest.fixture
+def service(ctx):
+    return BigMetadataService(ctx, tail_compaction_threshold=4)
+
+
+class TestCommits:
+    def test_register_and_commit(self, service):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/f1")])
+        assert [e.file_path for e in service.snapshot("t")] == ["b/f1"]
+
+    def test_delete(self, service):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/f1"), entry("b/f2")])
+        service.commit("t", deleted=["b/f1"])
+        assert [e.file_path for e in service.snapshot("t")] == ["b/f2"]
+
+    def test_delete_nonlive_conflicts(self, service):
+        service.register_table("t")
+        with pytest.raises(TransactionConflictError):
+            service.commit("t", deleted=["b/ghost"])
+
+    def test_tail_compacts_into_baseline(self, service):
+        service.register_table("t")
+        for i in range(5):
+            service.commit("t", added=[entry(f"b/f{i}")])
+        meta = service.table("t")
+        assert len(meta.tail) < 5  # threshold 4 triggered a compaction
+        assert len(meta.baseline) >= 4
+        assert len(service.snapshot("t")) == 5
+
+    def test_history_is_preserved_across_compaction(self, service):
+        service.register_table("t")
+        for i in range(6):
+            service.commit("t", added=[entry(f"b/f{i}")])
+        assert len(service.history("t")) == 6
+
+
+class TestSnapshots:
+    def test_point_in_time_read(self, service, ctx):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/f1")])
+        t1 = ctx.clock.now_ms
+        ctx.clock.advance(10.0)
+        service.commit("t", added=[entry("b/f2")])
+        past = {e.file_path for e in service.snapshot("t", as_of_ms=t1)}
+        now = {e.file_path for e in service.snapshot("t")}
+        assert past == {"b/f1"}
+        assert now == {"b/f1", "b/f2"}
+
+    def test_snapshot_before_deletion_sees_file(self, service, ctx):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/f1")])
+        t1 = ctx.clock.now_ms
+        ctx.clock.advance(10.0)
+        service.commit("t", deleted=["b/f1"])
+        assert [e.file_path for e in service.snapshot("t", as_of_ms=t1)] == ["b/f1"]
+        assert service.snapshot("t") == []
+
+
+class TestPruning:
+    def test_stats_pruning(self, service):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/low", lo=0, hi=9), entry("b/high", lo=10, hi=19)])
+        cs = ConstraintSet()
+        cs.add("x", ColumnConstraint(lo=12))
+        assert [e.file_path for e in service.prune("t", cs)] == ["b/high"]
+
+    def test_partition_pruning(self, service):
+        service.register_table("t")
+        service.commit(
+            "t",
+            added=[
+                entry("b/us", part={"region": "us"}),
+                entry("b/eu", part={"region": "eu"}),
+            ],
+        )
+        cs = ConstraintSet()
+        cs.add("region", ColumnConstraint(in_set=frozenset({"eu"})))
+        assert [e.file_path for e in service.prune("t", cs)] == ["b/eu"]
+
+    def test_unknown_column_not_pruned(self, service):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/f1")])
+        cs = ConstraintSet()
+        cs.add("unknown_col", ColumnConstraint(lo=5))
+        assert len(service.prune("t", cs)) == 1
+
+    def test_empty_constraints_keep_all(self, service):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/f1"), entry("b/f2")])
+        assert len(service.prune("t", ConstraintSet())) == 2
+
+
+class TestTransactions:
+    def test_multi_table_atomicity(self, service):
+        service.register_table("t1")
+        service.register_table("t2")
+        txn = service.begin()
+        txn.stage("t1", added=[entry("b/a")])
+        txn.stage("t2", added=[entry("b/b")])
+        commit_id = txn.commit()
+        assert commit_id > 0
+        assert len(service.snapshot("t1")) == 1
+        assert len(service.snapshot("t2")) == 1
+        # Both records share the commit id (atomic commit point).
+        assert service.history("t1")[-1].commit_id == service.history("t2")[-1].commit_id
+
+    def test_concurrent_delete_conflicts(self, service):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/f1")])
+        txn = service.begin()
+        txn.stage("t", deleted=["b/f1"])
+        # A concurrent writer commits in between.
+        service.commit("t", added=[entry("b/f2")])
+        with pytest.raises(TransactionConflictError):
+            txn.commit()
+
+    def test_concurrent_appends_commute(self, service):
+        service.register_table("t")
+        txn = service.begin()
+        txn.stage("t", added=[entry("b/a")])
+        service.commit("t", added=[entry("b/b")])
+        txn.commit()  # append-only: no conflict
+        assert len(service.snapshot("t")) == 2
+
+    def test_failed_txn_applies_nothing(self, service):
+        service.register_table("t1")
+        service.register_table("t2")
+        service.commit("t1", added=[entry("b/a")])
+        txn = service.begin()
+        txn.stage("t1", deleted=["b/a"])
+        txn.stage("t2", added=[entry("b/b")])
+        service.commit("t1", added=[entry("b/c")])  # induce conflict on t1
+        with pytest.raises(TransactionConflictError):
+            txn.commit()
+        assert service.snapshot("t2") == []  # t2 untouched (atomicity)
+
+    def test_finished_txn_rejects_reuse(self, service):
+        from repro.errors import CatalogError
+
+        service.register_table("t")
+        txn = service.begin()
+        txn.stage("t", added=[entry("b/a")])
+        txn.commit()
+        with pytest.raises(CatalogError):
+            txn.commit()
+
+
+class TestTableStats:
+    def test_aggregation(self, service):
+        service.register_table("t")
+        service.commit("t", added=[entry("b/f1", rows=10, lo=0, hi=5), entry("b/f2", rows=20, lo=3, hi=9)])
+        stats = service.table_stats("t")
+        assert stats["num_rows"] == 30
+        assert stats["num_files"] == 2
+        assert stats["columns"]["x"]["min"] == 0
+        assert stats["columns"]["x"]["max"] == 9

@@ -1,0 +1,162 @@
+"""Tests for the catalog and constraint primitives."""
+
+import pytest
+
+from repro.data import DataType, Schema
+from repro.errors import AlreadyExistsError, CatalogError, NotFoundError
+from repro.metastore import (
+    Catalog,
+    ColumnConstraint,
+    ConstraintSet,
+    HiveMetastore,
+    StorageDescriptor,
+    TableInfo,
+    TableKind,
+)
+
+SCHEMA = Schema.of(("id", DataType.INT64))
+
+
+def biglake_table(name="t", connection="us.lake"):
+    return TableInfo(
+        project="repro-project",
+        dataset="ds",
+        name=name,
+        kind=TableKind.BIGLAKE,
+        schema=SCHEMA,
+        storage=StorageDescriptor(bucket="lake", prefix=f"tables/{name}"),
+        connection_name=connection,
+    )
+
+
+class TestCatalog:
+    def test_create_and_resolve(self):
+        catalog = Catalog()
+        catalog.create_dataset("ds")
+        catalog.create_table(biglake_table())
+        table = catalog.resolve(("ds", "t"))
+        assert table.table_id == "repro-project.ds.t"
+        assert table.resource_name == "projects/repro-project/datasets/ds/tables/t"
+
+    def test_resolve_with_project(self):
+        catalog = Catalog()
+        catalog.create_dataset("ds")
+        catalog.create_table(biglake_table())
+        assert catalog.resolve(("repro-project", "ds", "t")).name == "t"
+
+    def test_resolve_wrong_project(self):
+        catalog = Catalog()
+        catalog.create_dataset("ds")
+        catalog.create_table(biglake_table())
+        with pytest.raises(NotFoundError):
+            catalog.resolve(("other", "ds", "t"))
+
+    def test_resolve_bad_arity(self):
+        with pytest.raises(CatalogError):
+            Catalog().resolve(("only-one",))
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_dataset("ds")
+        catalog.create_table(biglake_table())
+        with pytest.raises(AlreadyExistsError):
+            catalog.create_table(biglake_table())
+
+    def test_replace_allowed(self):
+        catalog = Catalog()
+        catalog.create_dataset("ds")
+        catalog.create_table(biglake_table())
+        catalog.create_table(biglake_table(), replace=True)
+
+    def test_biglake_requires_connection(self):
+        catalog = Catalog()
+        catalog.create_dataset("ds")
+        table = biglake_table(connection=None)
+        with pytest.raises(CatalogError):
+            catalog.create_table(table)
+
+    def test_managed_table_needs_no_connection(self):
+        catalog = Catalog()
+        catalog.create_dataset("ds")
+        catalog.create_table(
+            TableInfo(
+                project="repro-project", dataset="ds", name="m",
+                kind=TableKind.MANAGED, schema=SCHEMA,
+            )
+        )
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_dataset("ds")
+        catalog.create_table(biglake_table())
+        catalog.drop_table("ds", "t")
+        with pytest.raises(NotFoundError):
+            catalog.get_table("ds", "t")
+
+
+class TestConstraints:
+    def test_merge_and_tightens_range(self):
+        a = ColumnConstraint(lo=0, hi=100)
+        b = ColumnConstraint(lo=10, hi=50)
+        merged = a.merge_and(b)
+        assert (merged.lo, merged.hi) == (10, 50)
+
+    def test_merge_and_intersects_sets(self):
+        a = ColumnConstraint(in_set=frozenset({1, 2, 3}))
+        b = ColumnConstraint(in_set=frozenset({2, 3, 4}))
+        assert a.merge_and(b).in_set == frozenset({2, 3})
+
+    def test_admits_range_overlap(self):
+        c = ColumnConstraint(lo=10, hi=20)
+        assert c.admits_range(15, 30)
+        assert not c.admits_range(21, 30)
+        assert not c.admits_range(0, 9)
+
+    def test_unknown_bounds_admitted(self):
+        c = ColumnConstraint(lo=10)
+        assert c.admits_range(None, None)
+
+    def test_in_set_range_check(self):
+        c = ColumnConstraint(in_set=frozenset({5}))
+        assert c.admits_range(0, 10)
+        assert not c.admits_range(6, 10)
+
+    def test_admits_value(self):
+        c = ColumnConstraint(lo=1, hi=3, in_set=frozenset({2, 9}))
+        assert c.admits_value(2)
+        assert not c.admits_value(9)  # outside range
+        assert not c.admits_value(None)
+
+    def test_constraint_set_merges_same_column(self):
+        cs = ConstraintSet()
+        cs.add("X", ColumnConstraint(lo=0))
+        cs.add("x", ColumnConstraint(hi=10))
+        constraint = cs.get("x")
+        assert (constraint.lo, constraint.hi) == (0, 10)
+
+
+class TestHiveMetastore:
+    def test_partition_pruning(self, ctx):
+        hive = HiveMetastore(ctx)
+        hive.register_table("t", ["region"])
+        hive.add_partition("t", {"region": "us"}, "t/region=us/")
+        hive.add_partition("t", {"region": "eu"}, "t/region=eu/")
+        cs = ConstraintSet()
+        cs.add("region", ColumnConstraint(in_set=frozenset({"us"})))
+        survivors = hive.prune_partitions("t", cs)
+        assert [p.prefix for p in survivors] == ["t/region=us/"]
+
+    def test_non_partition_constraint_cannot_prune(self, ctx):
+        hive = HiveMetastore(ctx)
+        hive.register_table("t", ["region"])
+        hive.add_partition("t", {"region": "us"}, "t/region=us/")
+        cs = ConstraintSet()
+        cs.add("amount", ColumnConstraint(lo=100))
+        assert len(hive.prune_partitions("t", cs)) == 1
+
+    def test_duplicate_partition_ignored(self, ctx):
+        hive = HiveMetastore(ctx)
+        hive.register_table("t", ["d"])
+        hive.add_partition("t", {"d": 1}, "t/d=1/")
+        hive.add_partition("t", {"d": 1}, "t/d=1/")
+        assert len(hive.partitions("t")) == 1

@@ -1,0 +1,110 @@
+"""Coverage for the remaining public surface: errors, CLI, result helpers."""
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        exception_types = [
+            value
+            for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        assert len(exception_types) >= 20
+        for exc in exception_types:
+            assert issubclass(exc, errors.ReproError)
+
+    def test_domain_groupings(self):
+        assert issubclass(errors.NotFoundError, errors.StorageError)
+        assert issubclass(errors.AccessDeniedError, errors.SecurityError)
+        assert issubclass(errors.SqlSyntaxError, errors.QueryError)
+        assert issubclass(errors.StreamOffsetError, errors.StorageApiError)
+        assert issubclass(errors.ModelTooLargeError, errors.MlError)
+        assert issubclass(errors.VpnPolicyError, errors.OmniError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TransactionConflictError("x")
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "region" in out and "pruned" in out
+
+    def test_info_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info"]) == 0
+        assert "BigLake" in capsys.readouterr().out
+
+    def test_default_is_demo(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 0
+
+
+class TestQueryResultHelpers:
+    @pytest.fixture
+    def result(self):
+        from tests.helpers import make_platform
+        from repro import DataType, Schema, batch_from_pydict
+
+        platform, admin = make_platform()
+        platform.catalog.create_dataset("ds")
+        t = platform.tables.create_managed_table(
+            "ds", "t", Schema.of(("a", DataType.INT64), ("b", DataType.STRING))
+        )
+        platform.managed.append(
+            t.table_id,
+            batch_from_pydict(t.schema, {"a": [1, 2], "b": ["x", "y"]}),
+        )
+        return platform.home_engine.query("SELECT a, b FROM ds.t ORDER BY a", admin)
+
+    def test_column_accessor(self, result):
+        assert result.column("b") == ["x", "y"]
+
+    def test_to_pydict(self, result):
+        assert result.to_pydict() == {"a": [1, 2], "b": ["x", "y"]}
+
+    def test_single_value_requires_scalar(self, result):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            result.single_value()
+
+    def test_plan_text_present(self, result):
+        assert "Scan(" in result.plan_text
+
+
+class TestSuperluminalProjectionHelper:
+    def test_evaluate_projection(self, sales_schema, sales_batch):
+        from repro.security.policies import TablePolicySet
+        from repro.storageapi.superluminal import Superluminal
+
+        sl = Superluminal(sales_schema, TablePolicySet().resolve(None))
+        out = sl.evaluate_projection("amount * 2", sales_batch)
+        assert out.to_pylist()[0] == 20.0
+
+
+class TestWireErrors:
+    def test_truncated_payload(self):
+        from repro.errors import StorageApiError
+        from repro.storageapi import wire
+
+        with pytest.raises(StorageApiError):
+            wire.decode_batch(b"WIR")
+
+    def test_empty_batch_round_trip(self, sales_schema):
+        from repro.data import RecordBatch
+        from repro.storageapi import wire
+
+        empty = RecordBatch.empty(sales_schema)
+        out = wire.decode_batch(wire.encode_batch(empty))
+        assert out.num_rows == 0
+        assert out.schema == sales_schema

@@ -1,0 +1,261 @@
+"""End-to-end inference tests: object tables + ML.PREDICT /
+ML.PROCESS_DOCUMENT / remote endpoints (§4)."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, MlError
+from repro.ml.models import serialize_model
+from repro.ml.remote import DocumentAiProcessor, VertexEndpoint
+from repro.security import Principal, Role, RowAccessPolicy
+from repro.workloads.objects_corpus import (
+    build_document_corpus,
+    build_image_corpus,
+    train_classifier_for_corpus,
+)
+
+from tests.helpers import make_platform
+
+
+@pytest.fixture
+def env():
+    platform, admin = make_platform()
+    store = platform.stores.store_for("gcp/us-central1")
+    corpus = build_image_corpus(store, "media", count=40, spread_create_time_ms=40_000)
+    docs = build_document_corpus(store, "media", count=12)
+    conn = platform.connections.create_connection("us.media")
+    platform.connections.grant_lake_access(conn, "media")
+    platform.iam.grant("connections/us.media", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("dataset1")
+    files = platform.tables.create_object_table(
+        admin, "dataset1", "files", "media", "images", "us.media"
+    )
+    documents = platform.tables.create_object_table(
+        admin, "dataset1", "documents", "media", "documents", "us.media"
+    )
+    model = train_classifier_for_corpus()
+    platform.ml.import_model("dataset1.resnet50", serialize_model(model))
+    return platform, admin, corpus, docs, files, documents, model
+
+
+class TestObjectTables:
+    def test_select_star_is_ls(self, env):
+        platform, admin, corpus, docs, *_ = env
+        r = platform.home_engine.query("SELECT uri, size FROM dataset1.files", admin)
+        assert r.num_rows == len(corpus)
+
+    def test_filter_on_attributes(self, env):
+        platform, admin, corpus, *_ = env
+        r = platform.home_engine.query(
+            "SELECT COUNT(*) FROM dataset1.files WHERE content_type = 'image/simg'",
+            admin,
+        )
+        assert r.single_value() == len(corpus)
+
+    def test_create_time_filter_prunes_entries(self, env):
+        platform, admin, corpus, *_ = env
+        r = platform.home_engine.query(
+            "SELECT COUNT(*) FROM dataset1.files "
+            "WHERE create_time > TIMESTAMP '1970-01-01 00:00:20'", admin,
+        )
+        count = r.single_value()
+        assert 0 < count < len(corpus)
+
+    def test_listing_avoids_object_store_after_cache(self, env):
+        platform, admin, *_ = env
+        platform.home_engine.query("SELECT COUNT(*) FROM dataset1.files", admin)
+        before = platform.ctx.metering.snapshot()
+        platform.home_engine.query("SELECT COUNT(*) FROM dataset1.files", admin)
+        delta = platform.ctx.metering.delta_since(before)
+        assert delta.op_counts.get("object_store.list_page", 0) == 0
+
+    def test_row_policy_gates_object_content(self, env):
+        """§4.1 invariant: no visible row => no access to the bytes."""
+        platform, admin, corpus, _, files, *_ = env
+        limited = platform.create_user("limited", [Role.DATA_VIEWER, Role.JOB_USER, Role.ML_USER])
+        files.policies.add_row_policy(
+            RowAccessPolicy(
+                "late_uploads", "create_time > TIMESTAMP '1970-01-01 00:00:20'",
+                frozenset({limited}),
+            )
+        )
+        r = platform.home_engine.query(
+            "SELECT uri, data FROM dataset1.files", limited
+        )
+        visible = r.num_rows
+        assert 0 < visible < len(corpus)
+        # Every returned row carries its object's bytes; none beyond.
+        for uri, data in r.rows():
+            assert data is not None
+
+    def test_signed_urls_extend_governance(self, env):
+        platform, admin, corpus, _, files, *_ = env
+        store = platform.stores.store_for("gcp/us-central1")
+        r = platform.home_engine.query(
+            "SELECT bucket, key FROM dataset1.files LIMIT 1", admin
+        )
+        bucket, key = r.rows()[0]
+        url = store.generate_signed_url(bucket, key, ttl_ms=1000.0)
+        assert store.read_signed_url(url)[:4] == b"SIMG"
+
+
+class TestInEngineInference:
+    LISTING_1 = """
+        SELECT uri, predicted_label FROM
+        ML.PREDICT(
+          MODEL dataset1.resnet50,
+          (
+            SELECT uri, ML.DECODE_IMAGE(data) AS image
+            FROM dataset1.files
+            WHERE content_type = 'image/simg'
+          )
+        )
+    """
+
+    def test_listing_1_accuracy(self, env):
+        platform, admin, corpus, *_ = env
+        r = platform.home_engine.query(self.LISTING_1, admin)
+        assert r.num_rows == len(corpus)
+        correct = 0
+        for uri, label in r.rows():
+            key = uri.removeprefix("store://media/")
+            correct += corpus.labels[key] == label
+        assert correct / r.num_rows >= 0.9
+
+    def test_predictions_json_column(self, env):
+        platform, admin, *_ = env
+        r = platform.home_engine.query(
+            "SELECT predictions FROM ML.PREDICT(MODEL dataset1.resnet50, "
+            "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) LIMIT 1",
+            admin,
+        )
+        import json
+
+        payload = json.loads(r.single_value())
+        assert "label" in payload and "score" in payload
+
+    def test_split_plan_bounds_memory(self, env):
+        """Fig. 7: raw image and model never share a worker."""
+        platform, admin, corpus, _, files, _, model = env
+        big_model = serialize_model(model, declared_size_bytes=180 * 1024**2)
+        platform.ml.import_model("dataset1.big", big_model)
+        platform.ml.split_preprocess = True
+        r = platform.home_engine.query(
+            "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.big, "
+            "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) LIMIT 5",
+            admin,
+        )
+        assert r.num_rows > 0
+        assert platform.ml.stats.exchange_bytes > 0  # tensors crossed workers
+
+    def test_colocated_plan_ooms_where_split_fits(self, env):
+        platform, admin, corpus, _, files, _, model = env
+        big_model = serialize_model(model, declared_size_bytes=180 * 1024**2)
+        platform.ml.import_model("dataset1.big", big_model)
+        platform.ml.split_preprocess = False
+        with pytest.raises(MlError):
+            platform.home_engine.query(
+                "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.big, "
+                "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))",
+                admin,
+            )
+        assert platform.ml.stats.oom_events == 1
+        platform.ml.split_preprocess = True
+        r = platform.home_engine.query(
+            "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.big, "
+            "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))",
+            admin,
+        )
+        assert r.num_rows == len(corpus)
+
+    def test_oversized_model_must_go_remote(self, env):
+        from repro.errors import ModelTooLargeError
+
+        platform, admin, _, _, _, _, model = env
+        huge = serialize_model(model, declared_size_bytes=3 * 1024**3)
+        platform.ml.import_model("dataset1.huge", huge)
+        with pytest.raises(ModelTooLargeError):
+            platform.home_engine.query(
+                "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.huge, "
+                "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) LIMIT 1",
+                admin,
+            )
+
+
+class TestRemoteInference:
+    def test_vertex_endpoint_predicts(self, env):
+        platform, admin, corpus, _, _, _, model = env
+        endpoint = VertexEndpoint(model, platform.ctx)
+        platform.ml.create_remote_vertex_model("dataset1.remote", "us.media", endpoint)
+        r = platform.home_engine.query(
+            "SELECT uri, predicted_label FROM ML.PREDICT(MODEL dataset1.remote, "
+            "(SELECT uri, ML.DECODE_IMAGE(data) AS image FROM dataset1.files))",
+            admin,
+        )
+        assert r.num_rows == len(corpus)
+        assert endpoint.stats.samples == len(corpus)
+        correct = sum(
+            corpus.labels[uri.removeprefix("store://media/")] == label
+            for uri, label in r.rows()
+        )
+        assert correct / r.num_rows >= 0.9
+
+    def test_endpoint_autoscales_under_load(self, env):
+        import numpy as np
+
+        platform, admin, _, _, _, _, model = env
+        endpoint = VertexEndpoint(model, platform.ctx, per_replica_qps=5.0, max_replicas=4)
+        tensors = np.zeros((64, 16, 16, 3), dtype=np.float32)
+        for _ in range(6):
+            endpoint.predict(tensors)
+        assert endpoint.replicas > endpoint.min_replicas
+        assert endpoint.stats.scale_ups >= 1
+
+    def test_listing_2_document_processing(self, env):
+        platform, admin, _, docs, *_ = env
+        processor = DocumentAiProcessor(
+            "proj/my_processor", platform.ctx, platform.stores, platform.connections
+        )
+        platform.ml.create_document_processor_model(
+            "mydataset.invoice_parser", "us.media", processor
+        )
+        r = platform.home_engine.query(
+            "SELECT * FROM ML.PROCESS_DOCUMENT(MODEL mydataset.invoice_parser, "
+            "TABLE dataset1.documents)",
+            admin,
+        )
+        assert r.num_rows == len(docs)
+        by_key = {
+            row[0].removeprefix("store://media/"): row for row in r.rows()
+        }
+        for key, truth in docs.ground_truth.items():
+            row = by_key[key]
+            assert row[2] == truth["vendor"]
+            assert row[4] == pytest.approx(truth["total"])
+
+    def test_document_bytes_bypass_engine(self, env):
+        """First-party models read objects directly (§4.2.2): the engine's
+        sessions never fetch document payloads."""
+        platform, admin, _, docs, *_ = env
+        processor = DocumentAiProcessor(
+            "p", platform.ctx, platform.stores, platform.connections
+        )
+        platform.ml.create_document_processor_model("mydataset.p", "us.media", processor)
+        r = platform.home_engine.query(
+            "SELECT uri FROM ML.PROCESS_DOCUMENT(MODEL mydataset.p, TABLE dataset1.documents)",
+            admin,
+        )
+        # The engine's scan only returned metadata columns; document
+        # payloads were fetched by the processor under a scoped credential.
+        assert r.stats.bytes_scanned == 0
+        assert processor.documents_processed == len(docs)
+
+    def test_processor_token_scoped_to_documents(self, env):
+        """A processor given a credential for documents cannot read other
+        prefixes — §5.3.1's blast-radius bound, applied to §4.2."""
+        platform, admin, corpus, docs, *_ = env
+        conn = platform.connections.get_connection("us.media")
+        credential = platform.connections.mint_scoped_credential(
+            conn, ["media/documents/"]
+        )
+        with pytest.raises(AccessDeniedError):
+            platform.connections.validate(credential, "media", corpus.keys[0])

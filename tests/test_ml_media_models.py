@@ -1,0 +1,144 @@
+"""Tests for media formats and the model zoo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MlError, ModelTooLargeError
+from repro.ml import media
+from repro.ml.models import (
+    CentroidClassifier,
+    MlpClassifier,
+    TinyConvNet,
+    load_model,
+    peek_model_size,
+    serialize_model,
+    train_centroid_classifier,
+)
+from repro.workloads.objects_corpus import IMAGE_CLASSES, generate_image
+
+
+class TestSimg:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        pixels = rng.integers(0, 256, (8, 6, 3), dtype=np.uint8)
+        out = media.decode_image(media.encode_image(pixels))
+        assert np.array_equal(out, pixels)
+
+    def test_grayscale_gets_channel_dim(self):
+        pixels = np.zeros((4, 4), dtype=np.uint8)
+        out = media.decode_image(media.encode_image(pixels))
+        assert out.shape == (4, 4, 1)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(MlError):
+            media.decode_image(b"JPEG????")
+
+    def test_truncated_rejected(self):
+        data = media.encode_image(np.zeros((4, 4, 3), dtype=np.uint8))
+        with pytest.raises(MlError):
+            media.decode_image(data[:-5])
+
+    def test_resize_shapes(self):
+        pixels = np.arange(64, dtype=np.uint8).reshape(8, 8, 1)
+        out = media.resize_image(pixels, 4, 2)
+        assert out.shape == (4, 2, 1)
+
+    def test_preprocess_normalizes(self):
+        pixels = np.full((8, 8, 3), 255, dtype=np.uint8)
+        tensor = media.preprocess_image(media.encode_image(pixels), 4, 4)
+        assert tensor.dtype == np.float32
+        assert tensor.max() == pytest.approx(1.0)
+
+
+class TestTensor:
+    def test_round_trip(self):
+        t = np.random.default_rng(1).standard_normal((3, 4, 2)).astype(np.float32)
+        out = media.decode_tensor(media.encode_tensor(t))
+        assert np.allclose(out, t)
+
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, dims):
+        t = np.ones(dims, dtype=np.float32) * 0.5
+        out = media.decode_tensor(media.encode_tensor(t))
+        assert out.shape == tuple(dims)
+
+
+class TestSdoc:
+    def test_round_trip(self):
+        data = media.make_document("INV-1", "Acme", "2023-05-01", 42.5, [("a", 42.5)])
+        payload = media.parse_document(data)
+        assert payload["vendor"] == "Acme"
+        assert payload["total"] == 42.5
+        assert "TOTAL DUE" in payload["text"]
+
+    def test_non_document_rejected(self):
+        with pytest.raises(MlError):
+            media.parse_document(b"\x00\x01binary")
+        with pytest.raises(MlError):
+            media.parse_document(b'{"format": "other"}')
+
+
+class TestModels:
+    def _tensors(self, n=4, size=8):
+        rng = np.random.default_rng(2)
+        return rng.random((n, size, size, 3)).astype(np.float32)
+
+    @pytest.mark.parametrize("cls", [MlpClassifier, TinyConvNet])
+    def test_predict_shapes(self, cls):
+        model = cls(8, 8, 3, ["a", "b", "c"])
+        labels, scores = model.predict(self._tensors())
+        assert len(labels) == 4
+        assert all(label in ("a", "b", "c") for label in labels)
+        assert np.all((scores > 0) & (scores <= 1))
+
+    @pytest.mark.parametrize("cls", [MlpClassifier, TinyConvNet])
+    def test_serialization_round_trip(self, cls):
+        model = cls(8, 8, 3, ["a", "b"], seed=5)
+        restored = load_model(serialize_model(model))
+        tensors = self._tensors()
+        assert np.allclose(model.forward(tensors), restored.forward(tensors), atol=1e-5)
+
+    def test_centroid_round_trip(self):
+        centroids = np.random.default_rng(3).random((2, 8 * 8 * 3)).astype(np.float32)
+        model = CentroidClassifier(8, 8, 3, ["x", "y"], centroids)
+        restored = load_model(serialize_model(model))
+        tensors = self._tensors()
+        assert model.predict(tensors)[0] == restored.predict(tensors)[0]
+
+    def test_declared_size_limit_enforced(self):
+        """The 2GB in-engine ceiling (§4.2.1)."""
+        model = MlpClassifier(4, 4, 1, ["a", "b"], hidden=4)
+        data = serialize_model(model, declared_size_bytes=3 * 1024**3)
+        assert peek_model_size(data) == 3 * 1024**3
+        with pytest.raises(ModelTooLargeError):
+            load_model(data)
+        # The same bytes load fine with a bigger (external) limit.
+        load_model(data, memory_limit_bytes=4 * 1024**3)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(MlError):
+            load_model(b"NOPE")
+
+    def test_trained_centroid_classifier_is_accurate(self):
+        """The corpus patterns are genuinely learnable: held-out accuracy
+        must be near-perfect."""
+        rng = np.random.default_rng(42)
+        train_images, train_labels = [], []
+        for _ in range(100):
+            label = IMAGE_CLASSES[int(rng.integers(0, len(IMAGE_CLASSES)))]
+            pixels = generate_image(rng, label, 32).astype(np.float32) / 255.0
+            train_images.append(media.resize_image(pixels, 16, 16))
+            train_labels.append(label)
+        model = train_centroid_classifier(train_images, train_labels, 16, 16)
+
+        correct = 0
+        total = 50
+        for _ in range(total):
+            label = IMAGE_CLASSES[int(rng.integers(0, len(IMAGE_CLASSES)))]
+            pixels = generate_image(rng, label, 32).astype(np.float32) / 255.0
+            tensor = media.resize_image(pixels, 16, 16)[None, ...]
+            predicted, _ = model.predict(tensor)
+            correct += predicted[0] == label
+        assert correct / total >= 0.9

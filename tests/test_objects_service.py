@@ -1,0 +1,108 @@
+"""Tests for the Object-table workflow service."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.objects import ObjectTableService
+from repro.security import Role, RowAccessPolicy
+from repro.workloads.objects_corpus import build_image_corpus
+
+from tests.helpers import make_platform
+
+
+@pytest.fixture
+def env():
+    platform, admin = make_platform()
+    store = platform.stores.store_for("gcp/us-central1")
+    corpus = build_image_corpus(store, "media", count=60, spread_create_time_ms=60_000)
+    conn = platform.connections.create_connection("us.media")
+    platform.connections.grant_lake_access(conn, "media")
+    platform.iam.grant("connections/us.media", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("dataset1")
+    table = platform.tables.create_object_table(
+        admin, "dataset1", "files", "media", "images", "us.media"
+    )
+    return platform, admin, corpus, table, ObjectTableService(platform)
+
+
+class TestListing:
+    def test_lists_all_visible(self, env):
+        platform, admin, corpus, table, service = env
+        sample = service.list_objects(table, admin)
+        assert len(sample) == len(corpus)
+        assert all(uri.startswith("store://media/") for uri in sample.uris())
+
+    def test_where_filters(self, env):
+        platform, admin, corpus, table, service = env
+        sample = service.list_objects(table, admin, where="key LIKE '%0.simg'")
+        assert 0 < len(sample) < len(corpus)
+
+    def test_limit_orders_by_key(self, env):
+        platform, admin, corpus, table, service = env
+        sample = service.list_objects(table, admin, limit=5)
+        keys = [key for _, _, key in sample.rows]
+        assert keys == sorted(keys) and len(keys) == 5
+
+    def test_rejects_non_object_table(self, env):
+        from repro.data import DataType, Schema
+
+        platform, admin, _, _, service = env
+        managed = platform.tables.create_managed_table(
+            "dataset1", "m", Schema.of(("a", DataType.INT64))
+        )
+        with pytest.raises(CatalogError):
+            service.list_objects(managed, admin)
+
+
+class TestSampling:
+    def test_every_nth(self, env):
+        platform, admin, corpus, table, service = env
+        sample = service.sample(table, admin, every_nth=10)
+        assert len(sample) == 6
+
+    def test_sample_respects_row_policy(self, env):
+        platform, admin, corpus, table, service = env
+        limited = platform.create_user("lim", [Role.DATA_VIEWER, Role.JOB_USER])
+        table.policies.add_row_policy(
+            RowAccessPolicy(
+                "late", "create_time > TIMESTAMP '1970-01-01 00:00:30'",
+                frozenset({limited}),
+            )
+        )
+        visible = service.list_objects(table, limited)
+        assert 0 < len(visible) < len(corpus)
+        sample = service.sample(table, limited, every_nth=5)
+        visible_keys = {key for _, _, key in visible.rows}
+        assert all(key in visible_keys for _, _, key in sample.rows)
+
+
+class TestSignedUrlExport:
+    def test_urls_readable(self, env):
+        platform, admin, corpus, table, service = env
+        store = platform.stores.store_for("gcp/us-central1")
+        urls = service.export_signed_urls(table, admin, limit=3)
+        assert len(urls) == 3
+        for url in urls:
+            assert store.read_signed_url(url)[:4] == b"SIMG"
+
+    def test_export_bounded_by_policy(self, env):
+        platform, admin, corpus, table, service = env
+        limited = platform.create_user("lim2", [Role.DATA_VIEWER, Role.JOB_USER])
+        table.policies.add_row_policy(
+            RowAccessPolicy(
+                "late2", "create_time > TIMESTAMP '1970-01-01 00:00:30'",
+                frozenset({limited}),
+            )
+        )
+        urls = service.export_signed_urls(table, limited)
+        visible = service.list_objects(table, limited)
+        assert len(urls) == len(visible) < len(corpus)
+
+
+class TestStats:
+    def test_corpus_stats(self, env):
+        platform, admin, corpus, table, service = env
+        stats = service.corpus_stats(table, admin)
+        assert stats["total_objects"] == len(corpus)
+        assert stats["by_content_type"]["image/simg"]["objects"] == len(corpus)
+        assert stats["total_bytes"] > 0

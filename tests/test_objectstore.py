@@ -1,0 +1,174 @@
+"""Tests for the object store simulation."""
+
+import pytest
+
+from repro.cloud import Cloud, Region
+from repro.errors import (
+    AlreadyExistsError,
+    InvalidCredentialError,
+    NotFoundError,
+    PreconditionFailedError,
+)
+from repro.objectstore import ObjectStore
+from repro.simtime import SimContext
+
+from tests.conftest import AWS_US
+
+
+class TestBuckets:
+    def test_create_and_lookup(self, store):
+        assert store.has_bucket("lake")
+        assert not store.has_bucket("nope")
+
+    def test_duplicate_bucket_rejected(self, store):
+        with pytest.raises(AlreadyExistsError):
+            store.create_bucket("lake")
+
+    def test_missing_bucket_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.get_object("nope", "k")
+
+
+class TestObjects:
+    def test_put_get_round_trip(self, store):
+        store.put_object("lake", "a", b"hello")
+        assert store.get_object("lake", "a") == b"hello"
+
+    def test_metadata_fields(self, store, ctx):
+        meta = store.put_object("lake", "a", b"hello", content_type="text/plain")
+        assert meta.size == 5
+        assert meta.content_type == "text/plain"
+        assert meta.generation == 1
+        assert meta.uri == "store://lake/a"
+
+    def test_overwrite_bumps_generation(self, store):
+        store.put_object("lake", "a", b"1")
+        meta = store.put_object("lake", "a", b"2")
+        assert meta.generation == 2
+
+    def test_get_range_tail(self, store):
+        store.put_object("lake", "a", b"0123456789")
+        assert store.get_range("lake", "a", -4, 4) == b"6789"
+        assert store.get_range("lake", "a", 2, 3) == b"234"
+
+    def test_delete(self, store):
+        store.put_object("lake", "a", b"x")
+        store.delete_object("lake", "a")
+        assert not store.object_exists("lake", "a")
+        with pytest.raises(NotFoundError):
+            store.delete_object("lake", "a")
+
+    def test_head_does_not_count_read_bytes(self, store, ctx):
+        store.put_object("lake", "a", b"xyz")
+        read_before = ctx.metering.bytes_read
+        store.head_object("lake", "a")
+        assert ctx.metering.bytes_read == read_before
+
+
+class TestListing:
+    def test_prefix_listing_sorted(self, store):
+        for key in ["b/2", "a/1", "b/1", "c"]:
+            store.put_object("lake", key, b"x")
+        keys = [m.key for m in store.list_objects("lake", prefix="b/")]
+        assert keys == ["b/1", "b/2"]
+
+    def test_listing_charges_per_page(self, store, ctx):
+        for i in range(25):
+            store.put_object("lake", f"k/{i:04d}", b"x")
+        before = ctx.metering.op_counts.get("object_store.list_page", 0)
+        list(store.list_objects("lake", prefix="k/", page_size=10))
+        pages = ctx.metering.op_counts["object_store.list_page"] - before
+        assert pages == 3  # 10 + 10 + 5
+
+    def test_count_objects(self, store):
+        for i in range(7):
+            store.put_object("lake", f"p/{i}", b"x")
+        store.put_object("lake", "q/x", b"x")
+        assert store.count_objects("lake", "p/") == 7
+
+
+class TestConditionalWrites:
+    def test_create_if_absent(self, store):
+        meta = store.put_if_generation("lake", "ptr", b"v1", expected_generation=0)
+        assert meta.generation == 1
+
+    def test_generation_mismatch_rejected(self, store):
+        store.put_object("lake", "ptr", b"v1")
+        with pytest.raises(PreconditionFailedError):
+            store.put_if_generation("lake", "ptr", b"v2", expected_generation=0)
+
+    def test_successful_swap(self, store):
+        store.put_object("lake", "ptr", b"v1")
+        meta = store.put_if_generation("lake", "ptr", b"v2", expected_generation=1)
+        assert meta.generation == 2
+        assert store.get_object("lake", "ptr") == b"v2"
+
+    def test_cas_rate_limit_stalls_clock(self, store, ctx):
+        """Back-to-back CAS writes to one object are throttled to
+        cas_mutations_per_sec, which is the §3.5 commit-rate bound."""
+        interval_ms = 1000.0 / ctx.costs.cas_mutations_per_sec
+        store.put_if_generation("lake", "ptr", b"1", expected_generation=0)
+        t0 = ctx.clock.now_ms
+        store.put_if_generation("lake", "ptr", b"2", expected_generation=1)
+        assert ctx.clock.now_ms - t0 >= interval_ms - 1e-6
+        assert ctx.metering.op_counts.get("object_store.cas_throttled", 0) >= 1
+
+    def test_cas_limit_is_per_object(self, store, ctx):
+        store.put_if_generation("lake", "p1", b"1", expected_generation=0)
+        t0 = ctx.clock.now_ms
+        store.put_if_generation("lake", "p2", b"1", expected_generation=0)
+        # Different object: no throttle stall (only normal put latency).
+        assert ctx.clock.now_ms - t0 < 1000.0 / ctx.costs.cas_mutations_per_sec
+
+
+class TestEgress:
+    def test_in_region_read_has_no_egress(self, store, ctx):
+        store.put_object("lake", "a", b"x" * 1000)
+        store.get_object("lake", "a")
+        assert ctx.metering.total_egress() == 0
+
+    def test_cross_cloud_read_accrues_egress(self, store, ctx):
+        store.put_object("lake", "a", b"x" * 1000)
+        store.get_object("lake", "a", caller_location=AWS_US.location)
+        key = (store.region.location, AWS_US.location)
+        assert ctx.metering.egress_bytes[key] == 1000
+
+    def test_cross_cloud_read_is_slower(self, ctx):
+        store = ObjectStore(Region(Cloud.AWS, "us-east-1"), ctx)
+        store.create_bucket("b")
+        store.put_object("b", "a", b"x" * 1_000_000)
+        t0 = ctx.clock.now_ms
+        store.get_object("b", "a")
+        local = ctx.clock.now_ms - t0
+        t0 = ctx.clock.now_ms
+        store.get_object("b", "a", caller_location="gcp/us-central1")
+        remote = ctx.clock.now_ms - t0
+        assert remote > local
+
+
+class TestSignedUrls:
+    def test_valid_url_reads(self, store):
+        store.put_object("lake", "img", b"bytes")
+        url = store.generate_signed_url("lake", "img", ttl_ms=1000.0)
+        assert store.read_signed_url(url) == b"bytes"
+
+    def test_expired_url_rejected(self, store, ctx):
+        store.put_object("lake", "img", b"bytes")
+        url = store.generate_signed_url("lake", "img", ttl_ms=10.0)
+        ctx.clock.advance(20.0)
+        with pytest.raises(InvalidCredentialError):
+            store.read_signed_url(url)
+
+    def test_tampered_url_rejected(self, store):
+        from dataclasses import replace
+
+        store.put_object("lake", "img", b"bytes")
+        store.put_object("lake", "secret", b"hidden")
+        url = store.generate_signed_url("lake", "img", ttl_ms=1000.0)
+        forged = replace(url, key="secret")
+        with pytest.raises(InvalidCredentialError):
+            store.read_signed_url(forged)
+
+    def test_url_for_missing_object_rejected(self, store):
+        with pytest.raises(NotFoundError):
+            store.generate_signed_url("lake", "ghost", ttl_ms=1000.0)

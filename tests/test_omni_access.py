@@ -1,0 +1,127 @@
+"""Tests for §5.3.4: audited, MFA-gated human access to production."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, InvalidCredentialError
+from repro.omni.access import (
+    CorporateSshCa,
+    ProductionAccessService,
+    SecurityKey,
+)
+from repro.simtime import SimContext
+
+
+@pytest.fixture
+def ctx():
+    return SimContext()
+
+
+@pytest.fixture
+def service(ctx):
+    return ProductionAccessService(ctx)
+
+
+@pytest.fixture
+def operator(service):
+    key = service.enroll_operator("sre-ana")
+    credential = service.refresh_credential(key)
+    certificate = service.ca.issue("sre-ana")
+    return key, credential, certificate
+
+
+class TestCredentialRefresh:
+    def test_refresh_with_enrolled_key(self, service):
+        key = service.enroll_operator("sre-bo")
+        credential = service.refresh_credential(key)
+        assert credential.operator == "sre-bo"
+
+    def test_unenrolled_key_rejected(self, service):
+        stray = SecurityKey.issue("stranger")
+        with pytest.raises(InvalidCredentialError):
+            service.refresh_credential(stray)
+
+    def test_credential_expires_after_a_day(self, service, ctx, operator):
+        key, credential, certificate = operator
+        ctx.clock.advance(25 * 3600 * 1000.0)
+        with pytest.raises(InvalidCredentialError):
+            service.ssh_login(credential, certificate, "vm-1")
+        # A fresh daily refresh restores access.
+        fresh = service.refresh_credential(key)
+        service.ssh_login(fresh, certificate, "vm-1")
+
+    def test_forged_signature_rejected(self, service, operator):
+        from dataclasses import replace
+
+        _, credential, certificate = operator
+        forged = replace(credential, expires_ms=credential.expires_ms + 1e9)
+        with pytest.raises(InvalidCredentialError):
+            service.ssh_login(forged, certificate, "vm-1")
+
+
+class TestSshLogin:
+    def test_happy_path(self, service, operator):
+        _, credential, certificate = operator
+        service.ssh_login(credential, certificate, "vm-1")
+        actions = [e.action for e in service.audit_trail("sre-ana")]
+        assert "login" in actions
+
+    def test_certificate_from_other_ca_rejected(self, service, operator):
+        _, credential, _ = operator
+        rogue = CorporateSshCa("rogue-ca").issue("sre-ana")
+        with pytest.raises(AccessDeniedError):
+            service.ssh_login(credential, rogue, "vm-1")
+
+    def test_certificate_for_other_operator_rejected(self, service, operator):
+        _, credential, _ = operator
+        other = service.ca.issue("someone-else")
+        with pytest.raises(AccessDeniedError):
+            service.ssh_login(credential, other, "vm-1")
+
+    def test_deprovisioned_operator_denied(self, service, operator):
+        _, credential, certificate = operator
+        service.remove_from_groups("sre-ana")
+        with pytest.raises(AccessDeniedError):
+            service.ssh_login(credential, certificate, "vm-1")
+
+    def test_offline_verification_no_service_calls(self, service, operator, ctx):
+        """Certificate checks are pure computation — usable during an
+        incident with online services down."""
+        _, credential, certificate = operator
+        ops_before = dict(ctx.metering.op_counts)
+        service.ssh_login(credential, certificate, "vm-1")
+        assert ctx.metering.op_counts == ops_before
+
+
+class TestEscalation:
+    def test_escalation_reauthenticates(self, service, operator):
+        _, credential, certificate = operator
+        service.ssh_login(credential, certificate, "vm-1")
+        service.escalate(credential, certificate, "vm-1")
+        actions = [e.action for e in service.audit_trail("sre-ana")]
+        assert actions.count("escalate") == 1
+
+    def test_container_escape_cannot_escalate(self, service, operator):
+        """A stolen session without the certificate fails PAM re-auth."""
+        _, credential, _ = operator
+        stolen_cert = CorporateSshCa("attacker").issue("sre-ana")
+        with pytest.raises(AccessDeniedError):
+            service.escalate(credential, stolen_cert, "vm-1")
+
+
+class TestAuditTrail:
+    def test_every_decision_logged(self, service, operator):
+        _, credential, certificate = operator
+        service.ssh_login(credential, certificate, "vm-1")
+        service.remove_from_groups("sre-ana")
+        with pytest.raises(AccessDeniedError):
+            service.ssh_login(credential, certificate, "vm-2")
+        actions = [e.action for e in service.audit_trail("sre-ana")]
+        assert "refresh" in actions
+        assert "login" in actions
+        assert any(a.startswith("denied:") for a in actions)
+
+    def test_log_records_host(self, service, operator):
+        _, credential, certificate = operator
+        service.ssh_login(credential, certificate, "dremel-worker-7")
+        entry = [e for e in service.audit_trail() if e.action == "login"][-1]
+        assert entry.host == "dremel-worker-7"

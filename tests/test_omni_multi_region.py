@@ -1,0 +1,120 @@
+"""Three-cloud scenarios: GCP + AWS + Azure in one query / deployment."""
+
+import pytest
+
+from repro import Cloud, DataType, MetadataCacheMode, Region, Role, Schema, batch_from_pydict
+from repro.storageapi.fileutil import write_data_file
+
+from tests.helpers import make_platform
+
+AWS = Region(Cloud.AWS, "us-east-1")
+AZURE = Region(Cloud.AZURE, "westeurope")
+
+
+def _lake_table(platform, admin, region, dataset, name, n, base_value):
+    store = platform.stores.store_for(region.location)
+    bucket = f"{dataset}-{region.cloud.value}"
+    if not store.has_bucket(bucket):
+        store.create_bucket(bucket)
+    conn_name = f"{region.cloud.value}.{dataset}"
+    if not platform.connections.has_connection(conn_name):
+        conn = platform.connections.create_connection(conn_name)
+        platform.connections.grant_lake_access(conn, bucket)
+    platform.iam.grant(f"connections/{conn_name}", Role.CONNECTION_USER, admin)
+    schema = Schema.of(("customer_id", DataType.INT64), ("value", DataType.FLOAT64))
+    write_data_file(
+        store, bucket, f"{name}/part-0.pqs", schema,
+        [batch_from_pydict(schema, {
+            "customer_id": list(range(n)),
+            "value": [float(base_value + i) for i in range(n)],
+        })],
+    )
+    if not platform.catalog.has_dataset(dataset):
+        platform.catalog.create_dataset(dataset)
+    return platform.tables.create_biglake_table(
+        admin, dataset, name, schema, bucket, name, conn_name,
+        cache_mode=MetadataCacheMode.AUTOMATIC,
+    )
+
+
+@pytest.fixture
+def env():
+    platform, admin = make_platform()
+    platform.omni.deploy_region(AWS)
+    platform.omni.deploy_region(AZURE)
+    _lake_table(platform, admin, AWS, "aws_ds", "orders", 50, 100)
+    _lake_table(platform, admin, AZURE, "azure_ds", "clicks", 50, 1000)
+    return platform, admin
+
+
+class TestThreeCloudQueries:
+    def test_join_spanning_aws_and_azure(self, env):
+        platform, admin = env
+        result = platform.job_server.submit(
+            """
+            SELECT o.customer_id, o.value AS order_value, c.value AS click_value
+            FROM aws_ds.orders AS o
+            JOIN azure_ds.clicks AS c ON o.customer_id = c.customer_id
+            WHERE o.value > 120 AND c.value > 1030
+            ORDER BY o.customer_id
+            """,
+            admin,
+        )
+        assert result.num_rows == 19  # customers 31..49
+        assert result.cross_cloud["subqueries"] == 2
+        assert set(result.cross_cloud["sources"]) == {
+            AWS.location, AZURE.location,
+        }
+
+    def test_each_region_sheds_only_filtered_bytes(self, env):
+        platform, admin = env
+        before = platform.ctx.metering.snapshot()
+        platform.job_server.submit(
+            """
+            SELECT o.customer_id FROM aws_ds.orders AS o
+            JOIN azure_ds.clicks AS c ON o.customer_id = c.customer_id
+            WHERE o.value > 148
+            """,
+            admin,
+        )
+        delta = platform.ctx.metering.delta_since(before)
+        aws_egress = delta.egress_bytes.get((AWS.location, "gcp/us-central1"), 0)
+        azure_egress = delta.egress_bytes.get((AZURE.location, "gcp/us-central1"), 0)
+        assert 0 < aws_egress < azure_egress  # AWS side was filtered harder
+
+    def test_cross_cloud_result_matches_colocated_compute(self, env):
+        platform, admin = env
+        sql = (
+            "SELECT COUNT(*) FROM aws_ds.orders AS o "
+            "JOIN azure_ds.clicks AS c ON o.customer_id = c.customer_id"
+        )
+        via_jobserver = platform.job_server.submit(sql, admin).single_value()
+        direct = platform.home_engine.query(sql, admin).single_value()
+        assert via_jobserver == direct == 50
+
+
+class TestRegionIsolation:
+    def test_separate_vpn_channels_per_region(self, env):
+        platform, admin = env
+        aws_region = platform.omni.region_for(AWS.location)
+        azure_region = platform.omni.region_for(AZURE.location)
+        assert aws_region.channel is not azure_region.channel
+        calls_before = (aws_region.channel.calls, azure_region.channel.calls)
+        platform.job_server.submit("SELECT COUNT(*) FROM aws_ds.orders", admin)
+        assert aws_region.channel.calls > calls_before[0]
+        assert azure_region.channel.calls == calls_before[1]
+
+    def test_realm_users_unique_per_region(self, env):
+        platform, _ = env
+        aws = platform.omni.region_for(AWS.location)
+        azure = platform.omni.region_for(AZURE.location)
+        assert aws.realm.service_user("dremel") != azure.realm.service_user("dremel")
+
+    def test_engines_colocated_with_their_stores(self, env):
+        platform, admin = env
+        result = platform.job_server.submit(
+            "SELECT COUNT(*) FROM azure_ds.clicks", admin
+        )
+        job = platform.job_server.jobs[-1]
+        assert job.routed_engine == platform.engine_in(AZURE.location).name
+        assert result.single_value() == 50

@@ -1,0 +1,101 @@
+"""Tests for multi-phase rollouts with validation gates (§5.1, §5.4)."""
+
+import pytest
+
+from repro import Cloud, Region
+from repro.omni.release import Release, ReleaseKind, RolloutManager
+
+from tests.helpers import make_platform
+
+AWS = Region(Cloud.AWS, "us-east-1")
+AWS2 = Region(Cloud.AWS, "eu-west-1")
+AZURE = Region(Cloud.AZURE, "westeurope")
+
+
+@pytest.fixture
+def fleet():
+    platform, admin = make_platform()
+    for region in (AWS, AWS2, AZURE):
+        platform.omni.deploy_region(region)
+    return platform, RolloutManager(platform.omni)
+
+
+def binary_release(version="v2"):
+    return Release(
+        version=version,
+        kind=ReleaseKind.BINARY,
+        payloads={"dremel": f"ELF::dremel::{version}".encode()},
+    )
+
+
+def config_release(version="c2"):
+    return Release(version=version, kind=ReleaseKind.CONFIG, payloads={"flag": True})
+
+
+class TestWavePlanning:
+    def test_binary_waves_are_one_region_each(self, fleet):
+        _, manager = fleet
+        waves = manager.plan_waves(ReleaseKind.BINARY)
+        assert [len(w) for w in waves] == [1, 1, 1]
+        order = [w[0].region.location for w in waves]
+        assert order == sorted(order)  # predetermined deterministic order
+
+    def test_config_waves_are_wider(self, fleet):
+        _, manager = fleet
+        waves = manager.plan_waves(ReleaseKind.CONFIG)
+        assert len(waves) == 1 and len(waves[0]) == 3
+
+
+class TestRollout:
+    def test_successful_rollout_reaches_every_region(self, fleet):
+        _, manager = fleet
+        report = manager.rollout(binary_release(), validator=lambda r, rel: True)
+        assert report.completed
+        assert len(report.deployed_regions) == 3
+        for location in manager.omni.regions:
+            assert manager.region_version(location, ReleaseKind.BINARY) == "v2"
+
+    def test_new_binary_pods_replace_old(self, fleet):
+        platform, manager = fleet
+        region = platform.omni.region_for(AWS.location)
+        manager.rollout(binary_release(), validator=lambda r, rel: True)
+        pods = region.cluster.pods_for("dremel")
+        assert len(pods) == 1  # old pod stopped, new one running
+
+    def test_failed_validation_halts_rollout(self, fleet):
+        _, manager = fleet
+        order = [w[0].region.location for w in manager.plan_waves(ReleaseKind.BINARY)]
+
+        def gate(region, release):
+            return region.region.location != order[1]  # second wave fails
+
+        report = manager.rollout(binary_release(), validator=gate)
+        assert not report.completed
+        assert report.deployed_regions == [order[0]]
+        # The failing region was rolled back; the third never deployed.
+        assert manager.region_version(order[1], ReleaseKind.BINARY) is None
+        assert manager.region_version(order[2], ReleaseKind.BINARY) is None
+
+    def test_unregistered_binary_rejected_by_authorization(self, fleet):
+        from repro.errors import OmniError
+
+        platform, manager = fleet
+        region = platform.omni.region_for(AWS.location)
+        with pytest.raises(OmniError):
+            region.cluster.launch_pod("dremel", "dremel", b"unregistered build")
+
+
+class TestPerformanceGate:
+    def test_parity_check_as_release_validator(self, fleet):
+        """§5.4: 'any new product release has to pass the performance runs'
+        — wire an actual query-parity check in as the validation."""
+        platform, manager = fleet
+        admin = platform.admin_user("release-admin")
+
+        def perf_gate(region, release):
+            result = region.engine.query("SELECT 1 + 1", admin)
+            return result.single_value() == 2
+
+        report = manager.rollout(binary_release("v3"), validator=perf_gate)
+        assert report.completed
+        assert all(w.validated for w in report.waves)

@@ -1,0 +1,94 @@
+"""Tests for platform wiring, audit trails, and the bench harness."""
+
+import pytest
+
+from repro import Cloud, LakehousePlatform, Region, Role
+from repro.bench.harness import format_table
+from repro.errors import CatalogError
+from repro.security.iam import Permission
+
+
+class TestPlatformWiring:
+    def test_home_engine_colocated(self):
+        platform = LakehousePlatform()
+        assert platform.home_engine.location == "gcp/us-central1"
+        assert platform.engine_in("gcp/us-central1") is platform.home_engine
+
+    def test_add_engine_in_new_region(self):
+        platform = LakehousePlatform()
+        europe = Region(Cloud.GCP, "europe-west1")
+        engine = platform.add_engine(europe)
+        assert engine.location == "gcp/europe-west1"
+        assert platform.engine(engine.name) is engine
+        # The new engine got the DML handler and the ML TVFs.
+        assert engine.dml_handler is platform.tables
+        assert "ML.PREDICT" in engine._tvf_handlers
+
+    def test_engine_in_unknown_region(self):
+        with pytest.raises(CatalogError):
+            LakehousePlatform().engine_in("azure/nowhere")
+
+    def test_admin_user_roles(self):
+        platform = LakehousePlatform()
+        admin = platform.admin_user()
+        project = f"projects/{platform.config.project}"
+        for permission in (
+            Permission.JOBS_CREATE,
+            Permission.TABLES_UPDATE_DATA,
+            Permission.CONNECTIONS_USE,
+        ):
+            assert platform.iam.is_allowed(admin, permission, project).allowed
+
+    def test_omni_and_job_server_lazy_singletons(self):
+        platform = LakehousePlatform()
+        assert platform.omni is platform.omni
+        assert platform.job_server is platform.job_server
+
+    def test_engines_share_one_clock(self):
+        platform = LakehousePlatform()
+        engine = platform.add_engine(Region(Cloud.AWS, "us-east-1"))
+        assert engine.ctx is platform.home_engine.ctx is platform.ctx
+
+
+class TestAuditTrail:
+    def test_reads_and_denials_audited(self):
+        from tests.helpers import setup_sales_lake
+        from repro.security.iam import Principal
+
+        platform = LakehousePlatform()
+        admin = platform.admin_user()
+        table, _ = setup_sales_lake(platform, admin)
+        platform.read_api.create_read_session(admin, table)
+        stranger = Principal.user("stranger")
+        with pytest.raises(Exception):
+            platform.read_api.create_read_session(stranger, table)
+        actions = [(e.principal.name, e.allowed) for e in platform.audit.events]
+        assert ("admin", True) in actions
+        assert ("stranger", False) in actions
+        assert len(platform.audit.denials()) == 1
+        assert list(platform.audit.for_principal(stranger))
+
+
+class TestBenchHarness:
+    def test_format_table_aligns(self):
+        text = format_table("T", ["a", "bb"], [(1, "x"), (22, "yyyy")])
+        lines = text.splitlines()
+        assert lines[0] == "\n=== T ===".strip() or "=== T ===" in text
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) <= 2  # header separator + aligned rows
+
+    def test_format_table_empty_rows(self):
+        text = format_table("Empty", ["col"], [])
+        assert "Empty" in text and "col" in text
+
+    def test_power_run_shape(self):
+        from repro.bench import build_tpcds_platform, power_run
+        from repro.workloads import tpcds_lite
+
+        platform, admin, engine, queries = build_tpcds_platform(scale=0.05)
+        subset = {k: queries[k] for k in list(queries)[:2]}
+        run = power_run(engine, subset, admin)
+        assert set(run.query_stats) == set(subset)
+        assert run.total_elapsed_ms == pytest.approx(
+            sum(s.elapsed_ms for s in run.query_stats.values())
+        )

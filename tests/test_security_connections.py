@@ -1,0 +1,105 @@
+"""Tests for delegated access connections and downscoped credentials."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, InvalidCredentialError
+from repro.security import (
+    ConnectionManager,
+    IamService,
+    Permission,
+    Principal,
+    Role,
+)
+
+ALICE = Principal.user("alice")
+
+
+@pytest.fixture
+def iam():
+    return IamService()
+
+
+@pytest.fixture
+def manager(iam, ctx):
+    return ConnectionManager(iam, ctx)
+
+
+class TestConnections:
+    def test_create_generates_service_account(self, manager):
+        conn = manager.create_connection("us.lake")
+        assert conn.service_account.name.startswith("biglake-conn-")
+
+    def test_duplicate_name_rejected(self, manager):
+        manager.create_connection("us.lake")
+        with pytest.raises(ValueError):
+            manager.create_connection("us.lake")
+
+    def test_grant_lake_access(self, manager, iam):
+        conn = manager.create_connection("us.lake")
+        manager.grant_lake_access(conn, "lake")
+        assert iam.is_allowed(
+            conn.service_account, Permission.STORAGE_OBJECTS_GET, "buckets/lake"
+        ).allowed
+
+    def test_user_needs_connection_use_permission(self, manager, iam):
+        conn = manager.create_connection("us.lake")
+        with pytest.raises(AccessDeniedError):
+            manager.authorize_use(ALICE, conn)
+        iam.grant("connections/us.lake", Role.CONNECTION_USER, ALICE)
+        manager.authorize_use(ALICE, conn)  # no raise
+
+    def test_delegation_user_never_needs_bucket_access(self, manager, iam):
+        """The core §3.1 property: the querying user holds no storage
+        permission at all; only the connection's service account does."""
+        conn = manager.create_connection("us.lake")
+        manager.grant_lake_access(conn, "lake")
+        assert not iam.is_allowed(
+            ALICE, Permission.STORAGE_OBJECTS_GET, "buckets/lake"
+        ).allowed
+
+
+class TestScopedCredentials:
+    def test_mint_and_validate(self, manager):
+        conn = manager.create_connection("us.lake")
+        manager.grant_lake_access(conn, "lake")
+        cred = manager.mint_scoped_credential(conn, ["lake/tables/t1/"])
+        manager.validate(cred, "lake", "tables/t1/part-0.pqs")  # no raise
+
+    def test_out_of_scope_path_denied(self, manager):
+        conn = manager.create_connection("us.lake")
+        manager.grant_lake_access(conn, "lake")
+        cred = manager.mint_scoped_credential(conn, ["lake/tables/t1/"])
+        with pytest.raises(AccessDeniedError):
+            manager.validate(cred, "lake", "tables/t2/part-0.pqs")
+
+    def test_cannot_widen_beyond_connection(self, manager):
+        conn = manager.create_connection("us.lake")
+        manager.grant_lake_access(conn, "lake")
+        with pytest.raises(AccessDeniedError):
+            manager.mint_scoped_credential(conn, ["other-bucket/anything/"])
+
+    def test_expiry(self, manager, ctx):
+        conn = manager.create_connection("us.lake")
+        manager.grant_lake_access(conn, "lake")
+        cred = manager.mint_scoped_credential(conn, ["lake/t/"], ttl_ms=100.0)
+        ctx.clock.advance(200.0)
+        with pytest.raises(InvalidCredentialError):
+            manager.validate(cred, "lake", "t/x")
+
+    def test_revocation(self, manager):
+        conn = manager.create_connection("us.lake")
+        manager.grant_lake_access(conn, "lake")
+        cred = manager.mint_scoped_credential(conn, ["lake/t/"])
+        manager.revoke(cred)
+        with pytest.raises(InvalidCredentialError):
+            manager.validate(cred, "lake", "t/x")
+
+    def test_forged_token_rejected(self, manager):
+        from dataclasses import replace
+
+        conn = manager.create_connection("us.lake")
+        manager.grant_lake_access(conn, "lake")
+        cred = manager.mint_scoped_credential(conn, ["lake/t/"])
+        forged = replace(cred, allowed_paths=frozenset({"lake/"}))
+        with pytest.raises(InvalidCredentialError):
+            manager.validate(forged, "lake", "secret/x")

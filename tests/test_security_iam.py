@@ -1,0 +1,73 @@
+"""Tests for coarse-grained IAM."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.security import IamService, Permission, Principal, Role
+
+
+@pytest.fixture
+def iam():
+    return IamService()
+
+
+ALICE = Principal.user("alice")
+BOB = Principal.user("bob")
+ANALYSTS = Principal.group("analysts")
+
+
+class TestGrants:
+    def test_direct_grant_allows(self, iam):
+        iam.grant("projects/p/datasets/d", Role.DATA_VIEWER, ALICE)
+        decision = iam.is_allowed(ALICE, Permission.TABLES_GET_DATA, "projects/p/datasets/d")
+        assert decision.allowed
+
+    def test_ungranted_denied(self, iam):
+        decision = iam.is_allowed(BOB, Permission.TABLES_GET_DATA, "projects/p/datasets/d")
+        assert not decision.allowed
+
+    def test_hierarchy_inherits_down(self, iam):
+        iam.grant("projects/p", Role.DATA_VIEWER, ALICE)
+        assert iam.is_allowed(
+            ALICE, Permission.TABLES_GET, "projects/p/datasets/d/tables/t"
+        ).allowed
+
+    def test_sibling_resources_isolated(self, iam):
+        iam.grant("projects/p/datasets/d1", Role.DATA_VIEWER, ALICE)
+        assert not iam.is_allowed(
+            ALICE, Permission.TABLES_GET, "projects/p/datasets/d2"
+        ).allowed
+
+    def test_role_does_not_leak_permissions(self, iam):
+        iam.grant("projects/p", Role.DATA_VIEWER, ALICE)
+        assert not iam.is_allowed(ALICE, Permission.TABLES_UPDATE_DATA, "projects/p").allowed
+
+    def test_revoke(self, iam):
+        iam.grant("projects/p", Role.DATA_VIEWER, ALICE)
+        iam.revoke("projects/p", Role.DATA_VIEWER, ALICE)
+        assert not iam.is_allowed(ALICE, Permission.TABLES_GET, "projects/p").allowed
+
+    def test_require_raises_on_denial(self, iam):
+        with pytest.raises(AccessDeniedError):
+            iam.require(BOB, Permission.JOBS_CREATE, "projects/p")
+
+    def test_require_returns_decision_on_success(self, iam):
+        iam.grant("projects/p", Role.JOB_USER, ALICE)
+        decision = iam.require(ALICE, Permission.JOBS_CREATE, "projects/p")
+        assert decision.allowed and "jobUser" in decision.reason
+
+
+class TestGroups:
+    def test_group_membership_grants(self, iam):
+        iam.add_group_member(ANALYSTS, ALICE)
+        iam.grant("projects/p", Role.DATA_VIEWER, ANALYSTS)
+        assert iam.is_allowed(ALICE, Permission.TABLES_GET, "projects/p").allowed
+
+    def test_non_member_not_granted(self, iam):
+        iam.add_group_member(ANALYSTS, ALICE)
+        iam.grant("projects/p", Role.DATA_VIEWER, ANALYSTS)
+        assert not iam.is_allowed(BOB, Permission.TABLES_GET, "projects/p").allowed
+
+    def test_group_must_be_group(self, iam):
+        with pytest.raises(ValueError):
+            iam.add_group_member(ALICE, BOB)

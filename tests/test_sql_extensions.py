@@ -1,0 +1,265 @@
+"""Tests for the extended SQL surface: time travel, IN (SELECT ...)
+semi/anti joins, and CREATE MODEL DDL."""
+
+import pytest
+
+from repro import DataType, Schema, batch_from_pydict
+from repro.errors import AlreadyExistsError, AnalysisError
+from repro.ml.models import serialize_model
+from repro.security.iam import Role
+from repro.sql import ast, parse_statement
+from repro.workloads.objects_corpus import (
+    build_document_corpus,
+    build_image_corpus,
+    train_classifier_for_corpus,
+)
+
+from tests.helpers import make_platform
+
+
+class TestParsing:
+    def test_system_time_clause(self):
+        stmt = parse_statement(
+            "SELECT * FROM ds.t FOR SYSTEM_TIME AS OF TIMESTAMP '2023-01-01' AS x"
+        )
+        ref = stmt.from_item
+        assert ref.system_time is not None and ref.alias == "x"
+
+    def test_in_subquery(self):
+        stmt = parse_statement("SELECT a FROM ds.t WHERE a IN (SELECT b FROM ds.u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_not_in_subquery(self):
+        stmt = parse_statement("SELECT a FROM ds.t WHERE a NOT IN (SELECT b FROM ds.u)")
+        assert stmt.where.negated
+
+    def test_create_model_listing_2(self):
+        stmt = parse_statement(
+            """
+            CREATE OR REPLACE MODEL mydataset.invoice_parser
+            REMOTE WITH CONNECTION us.myconnection
+            OPTIONS (
+              remote_service_type = 'cloud_ai_document',
+              document_processor = 'proj/my_processor')
+            """
+        )
+        assert isinstance(stmt, ast.CreateModel)
+        assert stmt.replace
+        assert stmt.remote_connection == ("us", "myconnection")
+        assert stmt.options["remote_service_type"] == "cloud_ai_document"
+
+    def test_create_local_model(self):
+        stmt = parse_statement(
+            "CREATE MODEL ds.m OPTIONS (model_path = 'store://b/k')"
+        )
+        assert stmt.remote_connection is None
+        assert stmt.options["model_path"] == "store://b/k"
+
+    def test_options_require_literals(self):
+        from repro.errors import SqlSyntaxError
+
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE MODEL ds.m OPTIONS (x = a + 1)")
+
+
+@pytest.fixture
+def join_env():
+    platform, admin = make_platform()
+    platform.catalog.create_dataset("ds")
+    orders = Schema.of(("id", DataType.INT64), ("cust", DataType.INT64))
+    vip = Schema.of(("cust_id", DataType.INT64),)
+    o = platform.tables.create_managed_table("ds", "orders", orders)
+    v = platform.tables.create_managed_table("ds", "vip", vip)
+    platform.managed.append(o.table_id, batch_from_pydict(orders, {
+        "id": [1, 2, 3, 4, 5], "cust": [10, 20, 30, None, 10],
+    }))
+    platform.managed.append(v.table_id, batch_from_pydict(vip, {
+        "cust_id": [10, 30],
+    }))
+    return platform, admin
+
+
+class TestInSubqueryExecution:
+    def test_semi_join(self, join_env):
+        platform, admin = join_env
+        r = platform.home_engine.query(
+            "SELECT id FROM ds.orders WHERE cust IN (SELECT cust_id FROM ds.vip) ORDER BY id",
+            admin,
+        )
+        assert r.column("id") == [1, 3, 5]
+
+    def test_anti_join(self, join_env):
+        platform, admin = join_env
+        r = platform.home_engine.query(
+            "SELECT id FROM ds.orders WHERE cust NOT IN (SELECT cust_id FROM ds.vip) ORDER BY id",
+            admin,
+        )
+        # NULL cust (id 4) never qualifies for NOT IN.
+        assert r.column("id") == [2]
+
+    def test_not_in_with_null_in_subquery_matches_nothing(self, join_env):
+        platform, admin = join_env
+        platform.managed.append(
+            platform.catalog.get_table("ds", "vip").table_id,
+            batch_from_pydict(Schema.of(("cust_id", DataType.INT64)), {"cust_id": [None]}),
+        )
+        r = platform.home_engine.query(
+            "SELECT id FROM ds.orders WHERE cust NOT IN (SELECT cust_id FROM ds.vip)",
+            admin,
+        )
+        assert r.num_rows == 0
+
+    def test_semi_join_composes_with_filters(self, join_env):
+        platform, admin = join_env
+        r = platform.home_engine.query(
+            "SELECT id FROM ds.orders WHERE id > 1 AND cust IN (SELECT cust_id FROM ds.vip)",
+            admin,
+        )
+        assert sorted(r.column("id")) == [3, 5]
+
+    def test_subquery_with_own_filter(self, join_env):
+        platform, admin = join_env
+        r = platform.home_engine.query(
+            "SELECT id FROM ds.orders WHERE cust IN "
+            "(SELECT cust_id FROM ds.vip WHERE cust_id < 20)",
+            admin,
+        )
+        assert sorted(r.column("id")) == [1, 5]
+
+    def test_multi_column_subquery_rejected(self, join_env):
+        platform, admin = join_env
+        with pytest.raises(AnalysisError):
+            platform.home_engine.query(
+                "SELECT id FROM ds.orders WHERE cust IN (SELECT cust_id, cust_id FROM ds.vip)",
+                admin,
+            )
+
+    def test_in_subquery_inside_or_rejected(self, join_env):
+        platform, admin = join_env
+        with pytest.raises(AnalysisError):
+            platform.home_engine.query(
+                "SELECT id FROM ds.orders WHERE id = 1 OR cust IN (SELECT cust_id FROM ds.vip)",
+                admin,
+            )
+
+
+class TestTimeTravel:
+    def test_blmt_time_travel_sql(self):
+        platform, admin = make_platform()
+        platform.catalog.create_dataset("ds")
+        store = platform.stores.store_for("gcp/us-central1")
+        store.create_bucket("cust")
+        conn = platform.connections.create_connection("us.cust")
+        platform.connections.grant_lake_access(conn, "cust", writable=True)
+        platform.iam.grant("connections/us.cust", Role.CONNECTION_USER, admin)
+        schema = Schema.of(("k", DataType.INT64))
+        table = platform.tables.create_blmt(admin, "ds", "t", schema, "cust", "t", "us.cust")
+        platform.tables.blmt.insert(table, [batch_from_pydict(schema, {"k": [1]})])
+        # Capture a wall-clock instant between the two commits; the sim
+        # clock counts ms from the 1970 epoch, so render it as seconds.
+        snapshot_seconds = platform.ctx.clock.now_ms / 1000.0 + 0.001
+        platform.ctx.clock.advance(5_000.0)
+        platform.tables.blmt.insert(table, [batch_from_pydict(schema, {"k": [2]})])
+
+        now = platform.home_engine.query("SELECT COUNT(*) FROM ds.t", admin)
+        assert now.single_value() == 2
+        past = platform.home_engine.query(
+            "SELECT COUNT(*) FROM ds.t FOR SYSTEM_TIME AS OF "
+            f"TIMESTAMP '1970-01-01 00:00:{snapshot_seconds:09.6f}'",
+            admin,
+        )
+        assert past.single_value() == 1
+
+    def test_system_time_requires_timestamp(self, join_env):
+        platform, admin = join_env
+        with pytest.raises(AnalysisError):
+            platform.home_engine.query(
+                "SELECT id FROM ds.orders FOR SYSTEM_TIME AS OF 'yesterday'", admin
+            )
+
+
+class TestCreateModelExecution:
+    @pytest.fixture
+    def ml_env(self):
+        platform, admin = make_platform()
+        store = platform.stores.store_for("gcp/us-central1")
+        images = build_image_corpus(store, "media", count=20)
+        documents = build_document_corpus(store, "media", count=5)
+        conn = platform.connections.create_connection("us.media")
+        platform.connections.grant_lake_access(conn, "media")
+        platform.iam.grant("connections/us.media", Role.CONNECTION_USER, admin)
+        platform.catalog.create_dataset("dataset1")
+        platform.catalog.create_dataset("mydataset")
+        platform.tables.create_object_table(
+            admin, "dataset1", "files", "media", "images", "us.media"
+        )
+        platform.tables.create_object_table(
+            admin, "mydataset", "documents", "media", "documents", "us.media"
+        )
+        # Export a trained model as an object so SQL can import it.
+        model = train_classifier_for_corpus()
+        store.create_bucket("models")
+        store.put_object("models", "resnet50.mdl", serialize_model(model))
+        return platform, admin, images, documents
+
+    def test_create_local_model_from_bucket(self, ml_env):
+        platform, admin, images, _ = ml_env
+        platform.home_engine.execute(
+            "CREATE MODEL dataset1.resnet50 "
+            "OPTIONS (model_path = 'store://models/resnet50.mdl')",
+            admin,
+        )
+        r = platform.home_engine.query(
+            "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.resnet50, "
+            "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))",
+            admin,
+        )
+        assert r.num_rows == len(images)
+
+    def test_listing_2_end_to_end_in_sql_only(self, ml_env):
+        """Listing 2 verbatim: CREATE MODEL + ML.PROCESS_DOCUMENT."""
+        platform, admin, _, documents = ml_env
+        platform.home_engine.execute(
+            """
+            CREATE OR REPLACE MODEL mydataset.invoice_parser
+            REMOTE WITH CONNECTION us.media
+            OPTIONS (
+              remote_service_type = 'cloud_ai_document',
+              document_processor = 'proj/my_processor')
+            """,
+            admin,
+        )
+        r = platform.home_engine.query(
+            "SELECT * FROM ML.PROCESS_DOCUMENT(MODEL mydataset.invoice_parser, "
+            "TABLE mydataset.documents)",
+            admin,
+        )
+        assert r.num_rows == len(documents)
+
+    def test_create_without_replace_conflicts(self, ml_env):
+        platform, admin, *_ = ml_env
+        sql = ("CREATE MODEL dataset1.m "
+               "OPTIONS (model_path = 'store://models/resnet50.mdl')")
+        platform.home_engine.execute(sql, admin)
+        with pytest.raises(AlreadyExistsError):
+            platform.home_engine.execute(sql, admin)
+
+    def test_vertex_endpoint_reference(self, ml_env):
+        from repro.ml.remote import VertexEndpoint
+        from repro.ml.models import load_model
+
+        platform, admin, images, _ = ml_env
+        store = platform.stores.store_for("gcp/us-central1")
+        model = load_model(store.get_object("models", "resnet50.mdl"))
+        platform.ml.register_endpoint("img-endpoint", VertexEndpoint(model, platform.ctx))
+        platform.home_engine.execute(
+            "CREATE MODEL dataset1.remote_model REMOTE WITH CONNECTION us.media "
+            "OPTIONS (remote_service_type = 'vertex_ai', endpoint = 'img-endpoint')",
+            admin,
+        )
+        r = platform.home_engine.query(
+            "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.remote_model, "
+            "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) LIMIT 5",
+            admin,
+        )
+        assert r.num_rows == 5

@@ -1,0 +1,262 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse_expression, parse_statement
+from repro.sql.tokens import TokenKind, tokenize
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        tokens = tokenize("SELECT foo FROM Bar")
+        assert [t.kind for t in tokens[:4]] == [
+            TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.KEYWORD, TokenKind.IDENT,
+        ]
+        assert tokens[0].text == "SELECT"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 1.5e-2")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", "1e3", "1.5e-2"]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- comment\n, 2")
+        texts = [t.text for t in tokens[:-1]]
+        assert "comment" not in " ".join(texts)
+
+    def test_multi_char_symbols(self):
+        tokens = tokenize("a <= b != c")
+        symbols = [t.text for t in tokens if t.kind is TokenKind.SYMBOL]
+        assert symbols == ["<=", "!="]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize("`weird name`")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "weird name"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_garbage_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestExpressionParsing:
+    def test_precedence_arith_over_comparison(self):
+        expr = parse_expression("a + b * 2 > 10")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == ">"
+        assert isinstance(expr.left, ast.BinaryOp) and expr.left.op == "+"
+        assert isinstance(expr.left.right, ast.BinaryOp) and expr.left.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "AND"
+
+    def test_not_in(self):
+        expr = parse_expression("x NOT IN (1, 2)")
+        assert isinstance(expr, ast.InList) and expr.negated
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert isinstance(expr, ast.Like) and expr.pattern == "a%"
+
+    def test_is_not_null(self):
+        expr = parse_expression("x IS NOT NULL")
+        assert isinstance(expr, ast.IsNull) and expr.negated
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, ast.Case) and len(expr.whens) == 1
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS FLOAT64)")
+        assert isinstance(expr, ast.Cast) and expr.target_type == "FLOAT64"
+
+    def test_typed_literals(self):
+        ts = parse_expression("TIMESTAMP '2023-11-01'")
+        assert isinstance(ts, ast.Literal) and ts.type_hint == "TIMESTAMP"
+        date = parse_expression("DATE '2023-11-01'")
+        assert date.type_hint == "DATE"
+
+    def test_dotted_function_name(self):
+        expr = parse_expression("ML.DECODE_IMAGE(data)")
+        assert isinstance(expr, ast.FunctionCall) and expr.name == "ML.DECODE_IMAGE"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr, ast.FunctionCall) and expr.is_star
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT x)")
+        assert expr.distinct
+
+    def test_qualified_column(self):
+        expr = parse_expression("t.col")
+        assert isinstance(expr, ast.ColumnRef) and expr.parts == ("t", "col")
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("1 + 2 extra extra")
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        stmt = parse_statement("SELECT 1")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.from_item is None
+
+    def test_full_query_shape(self):
+        stmt = parse_statement(
+            """
+            SELECT region, SUM(amount) AS total
+            FROM ds.sales
+            WHERE amount > 0
+            GROUP BY region
+            HAVING SUM(amount) > 100
+            ORDER BY total DESC
+            LIMIT 5
+            """
+        )
+        assert stmt.items[1].alias == "total"
+        assert isinstance(stmt.from_item, ast.TableRef)
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert not stmt.order_by[0].ascending
+        assert stmt.limit == 5
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("SELECT *, t.* FROM ds.t AS t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[1].expr.qualifier == "t"
+
+    def test_join_chain(self):
+        stmt = parse_statement(
+            "SELECT a.x FROM ds.a AS a JOIN ds.b AS b ON a.k = b.k "
+            "LEFT JOIN ds.c c ON b.k = c.k"
+        )
+        join = stmt.from_item
+        assert isinstance(join, ast.Join) and join.kind == "LEFT"
+        assert isinstance(join.left, ast.Join) and join.left.kind == "INNER"
+
+    def test_cross_join(self):
+        stmt = parse_statement("SELECT 1 FROM ds.a CROSS JOIN ds.b")
+        assert stmt.from_item.kind == "CROSS"
+
+    def test_subquery_in_from(self):
+        stmt = parse_statement("SELECT x FROM (SELECT x FROM ds.t) AS sub")
+        assert isinstance(stmt.from_item, ast.SubqueryRef)
+        assert stmt.from_item.alias == "sub"
+
+    def test_union_all(self):
+        stmt = parse_statement("SELECT 1 UNION ALL SELECT 2")
+        assert stmt.union_all is not None
+
+    def test_paper_listing_1(self):
+        """The exact ML.PREDICT query from Listing 1."""
+        stmt = parse_statement(
+            """
+            SELECT uri, predictions FROM
+            ML.PREDICT(
+              MODEL dataset1.resnet50,
+              (
+                SELECT ML.DECODE_IMAGE(data) AS image
+                FROM dataset1.files
+                WHERE content_type = 'image/jpeg'
+                AND create_time > TIMESTAMP('23-11-1')
+              )
+            )
+            """
+        )
+        tvf = stmt.from_item
+        assert isinstance(tvf, ast.TvfRef)
+        assert tvf.name == "ML.PREDICT"
+        assert tvf.model == ("dataset1", "resnet50")
+        assert tvf.input_query is not None
+
+    def test_paper_listing_2(self):
+        """ML.PROCESS_DOCUMENT over TABLE from Listing 2."""
+        stmt = parse_statement(
+            """
+            SELECT * FROM ML.PROCESS_DOCUMENT(
+              MODEL mydataset.invoice_parser,
+              TABLE mydataset.documents
+            )
+            """
+        )
+        tvf = stmt.from_item
+        assert tvf.name == "ML.PROCESS_DOCUMENT"
+        assert tvf.input_table == ("mydataset", "documents")
+
+    def test_paper_listing_3(self):
+        """Cross-cloud join from Listing 3 parses."""
+        stmt = parse_statement(
+            """
+            SELECT o.order_id, o.order_total, ads.id
+            FROM local_dataset.ads_impressions AS ads
+            JOIN aws_dataset.customer_orders AS o
+            ON o.customer_id = ads.customer_id
+            """
+        )
+        assert isinstance(stmt.from_item, ast.Join)
+
+
+class TestDmlParsing:
+    def test_ctas(self):
+        stmt = parse_statement("CREATE OR REPLACE TABLE ds.t AS SELECT 1 AS x")
+        assert isinstance(stmt, ast.CreateTableAsSelect)
+        assert stmt.replace
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO ds.t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.InsertValues)
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO ds.t SELECT a, b FROM ds.s")
+        assert isinstance(stmt, ast.InsertSelect)
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE ds.t SET a = a + 1, b = 'x' WHERE a < 5")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM ds.t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_merge(self):
+        stmt = parse_statement(
+            """
+            MERGE INTO ds.t AS tgt USING ds.s AS src ON tgt.id = src.id
+            WHEN MATCHED AND src.v > 0 THEN UPDATE SET v = src.v
+            WHEN MATCHED THEN DELETE
+            WHEN NOT MATCHED THEN INSERT (id, v) VALUES (src.id, src.v)
+            """
+        )
+        assert isinstance(stmt, ast.Merge)
+        assert [w.action for w in stmt.whens] == ["UPDATE", "DELETE", "INSERT"]
+        assert stmt.whens[0].condition is not None
+
+    def test_merge_without_when_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("MERGE INTO ds.t USING ds.s ON 1 = 1")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT 1 SELECT 2")

@@ -1,0 +1,132 @@
+"""Tests for managed storage, fileutil helpers, and the store registry."""
+
+import pytest
+
+from repro import Cloud, DataType, Region, Schema, batch_from_pydict
+from repro.errors import NotFoundError
+from repro.objectstore.registry import StoreRegistry
+from repro.storageapi.fileutil import (
+    entry_from_footer,
+    read_remote_footer,
+    write_data_file,
+)
+from repro.storageapi.managed import ManagedStorage
+
+SCHEMA = Schema.of(("a", DataType.INT64), ("b", DataType.STRING))
+
+
+def batch(*values):
+    return batch_from_pydict(SCHEMA, {"a": list(values), "b": [str(v) for v in values]})
+
+
+class TestManagedStorage:
+    def test_create_append_read(self, ctx):
+        storage = ManagedStorage(ctx)
+        storage.create("t", SCHEMA)
+        storage.append("t", batch(1, 2))
+        storage.append("t", batch(3))
+        assert storage.row_count("t") == 3
+        assert storage.read_all("t").column("a").to_pylist() == [1, 2, 3]
+
+    def test_read_charges_scan_cost(self, ctx):
+        storage = ManagedStorage(ctx)
+        storage.create("t", SCHEMA)
+        storage.append("t", batch(*range(100)))
+        t0 = ctx.clock.now_ms
+        storage.read("t")
+        assert ctx.clock.now_ms > t0
+
+    def test_empty_append_ignored(self, ctx):
+        storage = ManagedStorage(ctx)
+        storage.create("t", SCHEMA)
+        storage.append("t", batch())
+        assert storage.row_count("t") == 0
+
+    def test_truncate_and_replace(self, ctx):
+        storage = ManagedStorage(ctx)
+        storage.create("t", SCHEMA)
+        storage.append("t", batch(1, 2, 3))
+        storage.replace_contents("t", [batch(9)])
+        assert storage.row_count("t") == 1
+        storage.truncate("t")
+        assert storage.row_count("t") == 0
+
+    def test_missing_table_raises(self, ctx):
+        with pytest.raises(NotFoundError):
+            ManagedStorage(ctx).read("ghost")
+
+    def test_create_is_idempotent_without_replace(self, ctx):
+        storage = ManagedStorage(ctx)
+        storage.create("t", SCHEMA)
+        storage.append("t", batch(1))
+        storage.create("t", SCHEMA)  # no replace: keeps data
+        assert storage.row_count("t") == 1
+        storage.create("t", SCHEMA, replace=True)
+        assert storage.row_count("t") == 0
+
+    def test_size_accounting(self, ctx):
+        storage = ManagedStorage(ctx)
+        storage.create("t", SCHEMA)
+        assert storage.size_bytes("t") == 0
+        storage.append("t", batch(*range(50)))
+        assert storage.size_bytes("t") > 0
+
+
+class TestFileUtil:
+    def test_write_data_file_returns_entry(self, store):
+        entry = write_data_file(
+            store, "lake", "d/f.pqs", SCHEMA, [batch(5, 1, 9)],
+            partition_values={"year": 2023},
+        )
+        assert entry.file_path == "lake/d/f.pqs"
+        assert entry.row_count == 3
+        assert entry.partition() == {"year": 2023}
+        assert entry.stats_for("a").min_value == 1
+        assert entry.stats_for("a").max_value == 9
+
+    def test_remote_footer_matches_local(self, store):
+        write_data_file(store, "lake", "d/f.pqs", SCHEMA, [batch(1, 2, 3)])
+        footer, size = read_remote_footer(store, "lake", "d/f.pqs")
+        assert footer.num_rows == 3
+        assert size == store.head_object("lake", "d/f.pqs").size
+        assert footer.column_stats("a") == (1, 3, 0)
+
+    def test_remote_footer_costs_ranged_reads_not_full_file(self, store, ctx):
+        write_data_file(store, "lake", "big.pqs", SCHEMA, [batch(*range(5000))])
+        full_size = store.head_object("lake", "big.pqs").size
+        before = ctx.metering.snapshot()
+        read_remote_footer(store, "lake", "big.pqs")
+        delta = ctx.metering.delta_since(before)
+        assert delta.bytes_read < full_size / 5
+        assert delta.op_counts["object_store.get_range"] == 2
+
+    def test_entry_from_footer_stats_for_unknown_column(self, store):
+        entry = write_data_file(store, "lake", "x.pqs", SCHEMA, [batch(1)])
+        assert entry.stats_for("nope") is None
+
+
+class TestStoreRegistry:
+    def test_add_region_idempotent(self, ctx):
+        registry = StoreRegistry(ctx)
+        a = registry.add_region(Region(Cloud.GCP, "us-central1"))
+        b = registry.add_region(Region(Cloud.GCP, "us-central1"))
+        assert a is b
+
+    def test_store_for_unknown_location(self, ctx):
+        with pytest.raises(NotFoundError):
+            StoreRegistry(ctx).store_for("aws/nowhere")
+
+    def test_find_bucket_across_regions(self, ctx):
+        registry = StoreRegistry(ctx)
+        gcp = registry.add_region(Region(Cloud.GCP, "us-central1"))
+        aws = registry.add_region(Region(Cloud.AWS, "us-east-1"))
+        aws.create_bucket("s3-data")
+        assert registry.find_bucket("s3-data") is aws
+        with pytest.raises(NotFoundError):
+            registry.find_bucket("ghost")
+
+    def test_locations_sorted(self, ctx):
+        registry = StoreRegistry(ctx)
+        registry.add_region(Region(Cloud.GCP, "us-central1"))
+        registry.add_region(Region(Cloud.AWS, "us-east-1"))
+        assert registry.locations() == ["aws/us-east-1", "gcp/us-central1"]

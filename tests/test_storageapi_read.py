@@ -1,0 +1,275 @@
+"""Integration tests for the Read API: sessions, pruning, cache, security."""
+
+import pytest
+
+from repro import MetadataCacheMode, Principal, Role
+from repro.errors import AccessDeniedError, SessionExpiredError, StorageApiError
+from repro.security import DataMaskingRule, MaskingKind, RowAccessPolicy
+
+from tests.helpers import make_platform, setup_sales_lake
+
+
+@pytest.fixture
+def env():
+    platform, admin = make_platform()
+    table, store = setup_sales_lake(platform, admin)
+    return platform, admin, table, store
+
+
+class TestSessions:
+    def test_full_read(self, env):
+        platform, admin, table, _ = env
+        session = platform.read_api.create_read_session(admin, table)
+        rows = []
+        for i in range(len(session.streams)):
+            for batch in platform.read_api.read_rows(session, i):
+                rows.extend(batch.iter_rows())
+        assert len(rows) == 200
+        assert session.stats.rows_returned == 200
+
+    def test_projection(self, env):
+        platform, admin, table, _ = env
+        session = platform.read_api.create_read_session(admin, table, columns=["amount"])
+        batch = next(iter(platform.read_api.read_rows(session, 0)))
+        assert batch.schema.names() == ["amount"]
+
+    def test_row_restriction_filters(self, env):
+        platform, admin, table, _ = env
+        session = platform.read_api.create_read_session(
+            admin, table, row_restriction="region = 'eu' AND amount > 10"
+        )
+        total = 0
+        for i in range(len(session.streams)):
+            for batch in platform.read_api.read_rows(session, i):
+                assert set(batch.column("region").to_pylist()) == {"eu"}
+                total += batch.num_rows
+        assert 0 < total < 200
+
+    def test_file_pruning_via_restriction(self, env):
+        platform, admin, table, _ = env
+        session = platform.read_api.create_read_session(
+            admin, table, row_restriction="year = 2023"
+        )
+        assert session.stats.files_total == 4
+        assert session.stats.files_after_pruning == 2
+
+    def test_unauthorized_principal_rejected(self, env):
+        platform, _, table, _ = env
+        stranger = Principal.user("stranger")
+        with pytest.raises(AccessDeniedError):
+            platform.read_api.create_read_session(stranger, table)
+        assert platform.audit.denials()
+
+    def test_session_expiry(self, env):
+        platform, admin, table, _ = env
+        session = platform.read_api.create_read_session(admin, table)
+        platform.ctx.clock.advance(7 * 3600 * 1000.0)
+        with pytest.raises(SessionExpiredError):
+            list(platform.read_api.read_rows(session, 0))
+
+    def test_bad_stream_index(self, env):
+        platform, admin, table, _ = env
+        session = platform.read_api.create_read_session(admin, table)
+        with pytest.raises(StorageApiError):
+            list(platform.read_api.read_rows(session, 99))
+
+    def test_split_stream_rebalances(self, env):
+        platform, admin, table, _ = env
+        session = platform.read_api.create_read_session(admin, table, max_streams=1)
+        before = len(session.streams[0].files)
+        new_index = platform.read_api.split_stream(session, 0)
+        assert len(session.streams) == 2
+        assert len(session.streams[0].files) + len(session.streams[new_index].files) == before
+
+    def test_table_stats_returned_when_requested(self, env):
+        platform, admin, table, _ = env
+        # Prime the cache (AUTOMATIC mode refreshes on first session).
+        platform.read_api.create_read_session(admin, table)
+        session = platform.read_api.create_read_session(admin, table, with_table_stats=True)
+        assert session.table_stats is not None
+        assert session.table_stats["num_rows"] == 200
+
+    def test_snapshot_read_is_point_in_time(self, env):
+        platform, admin, table, store = env
+        platform.read_api.create_read_session(admin, table)  # prime cache
+        t1 = platform.ctx.clock.now_ms
+        platform.ctx.clock.advance(10.0)
+        # New file lands and the cache is refreshed.
+        from tests.helpers import SALES_SCHEMA
+        from repro.data import batch_from_pydict
+        from repro.storageapi.fileutil import write_data_file
+
+        write_data_file(
+            store, "lake", "sales/part-9999.pqs", SALES_SCHEMA,
+            [batch_from_pydict(SALES_SCHEMA, {
+                "order_id": [9999], "region": ["us"], "amount": [1.0], "year": [2024],
+            })],
+        )
+        platform.read_api.refresh_metadata_cache(table)
+        old_session = platform.read_api.create_read_session(admin, table, snapshot_ms=t1)
+        new_session = platform.read_api.create_read_session(admin, table)
+        assert old_session.stats.files_after_pruning == 4
+        assert new_session.stats.files_after_pruning == 5
+
+
+class TestMetadataCache:
+    def test_uncached_path_lists_and_reads_footers(self):
+        platform, admin = make_platform()
+        table, _ = setup_sales_lake(
+            platform, admin, cache_mode=MetadataCacheMode.DISABLED
+        )
+        before = platform.ctx.metering.snapshot()
+        platform.read_api.create_read_session(admin, table, row_restriction="year = 2023")
+        delta = platform.ctx.metering.delta_since(before)
+        assert delta.op_counts.get("object_store.list_page", 0) >= 1
+        assert delta.op_counts.get("object_store.get_range", 0) >= 4  # footers
+
+    def test_cached_path_avoids_listing(self, env):
+        platform, admin, table, _ = env
+        platform.read_api.create_read_session(admin, table)  # prime
+        before = platform.ctx.metering.snapshot()
+        platform.read_api.create_read_session(admin, table, row_restriction="year = 2023")
+        delta = platform.ctx.metering.delta_since(before)
+        assert delta.op_counts.get("object_store.list_page", 0) == 0
+        assert delta.op_counts.get("bigmeta.prune", 0) >= 1
+
+    def test_refresh_detects_added_and_removed(self, env):
+        platform, admin, table, store = env
+        first = platform.read_api.refresh_metadata_cache(table)
+        assert first["added"] == 4
+        store.delete_object("lake", "sales/part-0000.pqs")
+        second = platform.read_api.refresh_metadata_cache(table)
+        assert second["removed"] == 1
+        session = platform.read_api.create_read_session(admin, table)
+        assert session.stats.files_after_pruning == 3
+
+    def test_manual_mode_serves_stale_until_refresh(self):
+        platform, admin = make_platform()
+        table, store = setup_sales_lake(
+            platform, admin, cache_mode=MetadataCacheMode.MANUAL
+        )
+        platform.read_api.create_read_session(admin, table)  # initial populate
+        from tests.helpers import SALES_SCHEMA
+        from repro.data import batch_from_pydict
+        from repro.storageapi.fileutil import write_data_file
+
+        write_data_file(
+            store, "lake", "sales/part-8888.pqs", SALES_SCHEMA,
+            [batch_from_pydict(SALES_SCHEMA, {
+                "order_id": [1], "region": ["us"], "amount": [1.0], "year": [2024],
+            })],
+        )
+        stale = platform.read_api.create_read_session(admin, table)
+        assert stale.stats.files_after_pruning == 4  # still the old view
+        platform.read_api.refresh_metadata_cache(table)
+        fresh = platform.read_api.create_read_session(admin, table)
+        assert fresh.stats.files_after_pruning == 5
+
+    def test_automatic_mode_refreshes_after_staleness(self):
+        platform, admin = make_platform()
+        table, store = setup_sales_lake(
+            platform, admin, cache_mode=MetadataCacheMode.AUTOMATIC
+        )
+        table.cache_config.max_staleness_ms = 1000.0
+        platform.read_api.create_read_session(admin, table)
+        from tests.helpers import SALES_SCHEMA
+        from repro.data import batch_from_pydict
+        from repro.storageapi.fileutil import write_data_file
+
+        write_data_file(
+            store, "lake", "sales/part-7777.pqs", SALES_SCHEMA,
+            [batch_from_pydict(SALES_SCHEMA, {
+                "order_id": [1], "region": ["us"], "amount": [1.0], "year": [2024],
+            })],
+        )
+        platform.ctx.clock.advance(2000.0)
+        session = platform.read_api.create_read_session(admin, table)
+        assert session.stats.files_after_pruning == 5
+
+
+class TestGovernanceThroughReadApi:
+    def test_row_policy_enforced_in_stream(self, env):
+        platform, admin, table, _ = env
+        bob = platform.create_user("bob", [Role.DATA_VIEWER])
+        table.policies.add_row_policy(
+            RowAccessPolicy("eu_only", "region = 'eu'", frozenset({bob}))
+        )
+        session = platform.read_api.create_read_session(bob, table)
+        for i in range(len(session.streams)):
+            for batch in platform.read_api.read_rows(session, i):
+                assert set(batch.column("region").to_pylist()) == {"eu"}
+
+    def test_masking_enforced_in_stream(self, env):
+        platform, admin, table, _ = env
+        bob = platform.create_user("bob2", [Role.DATA_VIEWER])
+        table.policies.add_masking_rule(
+            DataMaskingRule("region", MaskingKind.HASH, frozenset({bob}))
+        )
+        session = platform.read_api.create_read_session(bob, table, columns=["region"])
+        batch = next(iter(platform.read_api.read_rows(session, 0)))
+        for value in batch.column("region").to_pylist():
+            assert len(value) == 64  # sha256 hex
+
+    def test_user_never_needs_bucket_permission(self, env):
+        """§3.1: the delegated model — the reader holds table perms only."""
+        platform, admin, table, _ = env
+        from repro.security.iam import Permission
+
+        viewer = platform.create_user("viewer", [Role.DATA_VIEWER])
+        assert not platform.iam.is_allowed(
+            viewer, Permission.STORAGE_OBJECTS_GET, "buckets/lake"
+        ).allowed
+        session = platform.read_api.create_read_session(viewer, table)
+        rows = sum(
+            b.num_rows
+            for i in range(len(session.streams))
+            for b in platform.read_api.read_rows(session, i)
+        )
+        assert rows == 200
+
+    def test_revoking_connection_access_breaks_reads(self, env):
+        """If the connection's SA loses bucket access, delegated reads fail
+        (at cache refresh during session creation, or at read time)."""
+        platform, admin, table, _ = env
+        conn = platform.connections.get_connection(table.connection_name)
+        platform.iam.revoke(
+            "buckets/lake", Role.STORAGE_OBJECT_VIEWER, conn.service_account
+        )
+        with pytest.raises(AccessDeniedError):
+            session = platform.read_api.create_read_session(admin, table)
+            list(platform.read_api.read_rows(session, 0))
+
+
+class TestRowOrientedPath:
+    def test_row_reader_returns_same_data(self, env):
+        platform, admin, table, _ = env
+        fast = platform.read_api.create_read_session(admin, table)
+        slow = platform.read_api.create_read_session(
+            admin, table, use_row_oriented_reader=True
+        )
+
+        def collect(session):
+            rows = []
+            for i in range(len(session.streams)):
+                for batch in platform.read_api.read_rows(session, i):
+                    rows.extend(batch.iter_rows())
+            return sorted(rows)
+
+        assert collect(fast) == collect(slow)
+
+    def test_row_reader_costs_more_simulated_time(self, env):
+        platform, admin, table, _ = env
+
+        def time_path(row_oriented):
+            session = platform.read_api.create_read_session(
+                admin, table, use_row_oriented_reader=row_oriented
+            )
+            t0 = platform.ctx.clock.now_ms
+            for i in range(len(session.streams)):
+                for _ in platform.read_api.read_rows(session, i):
+                    pass
+            return platform.ctx.clock.now_ms - t0
+
+        vectorized = time_path(False)
+        row = time_path(True)
+        assert row > vectorized

@@ -1,0 +1,134 @@
+"""Tests for the Iceberg-like open table format."""
+
+import json
+
+import pytest
+
+from repro.data import DataType, Schema
+from repro.errors import CatalogError
+from repro.metastore import ColumnConstraint, ConstraintSet
+from repro.tableformats import DataFileInfo, IcebergTable
+from repro.tableformats.hive_layout import parse_partition_from_key, partition_prefix
+
+SCHEMA = Schema.of(("x", DataType.INT64))
+
+
+def data_file(path, lo=0, hi=10, part=()):
+    return DataFileInfo(
+        path=path, file_size=1000, record_count=100,
+        partition=part, bounds=(("x", (lo, hi, 0)),),
+    )
+
+
+@pytest.fixture
+def table(store):
+    return IcebergTable.create(store, "lake", "warehouse/t", SCHEMA, ["region"])
+
+
+class TestLifecycle:
+    def test_create_writes_metadata_and_pointer(self, table, store):
+        assert store.object_exists("lake", "warehouse/t/metadata/version-hint.json")
+        assert table.current_snapshot() is None
+        assert table.schema() == SCHEMA
+
+    def test_append_creates_snapshot(self, table):
+        snap = table.commit_append([data_file("lake/warehouse/t/data/f1.pqs")])
+        assert snap.operation == "append"
+        assert table.current_snapshot().snapshot_id == snap.snapshot_id
+        assert [f.path for f in table.scan()] == ["lake/warehouse/t/data/f1.pqs"]
+
+    def test_appends_accumulate(self, table):
+        table.commit_append([data_file("lake/t/f1")])
+        table.commit_append([data_file("lake/t/f2")])
+        assert {f.path for f in table.scan()} == {"lake/t/f1", "lake/t/f2"}
+        assert len(table.snapshots()) == 2
+
+    def test_overwrite_replaces(self, table):
+        table.commit_append([data_file("lake/t/f1")])
+        table.commit_overwrite([data_file("lake/t/f2")], removed_paths=["lake/t/f1"])
+        assert [f.path for f in table.scan()] == ["lake/t/f2"]
+
+    def test_overwrite_missing_file_rejected(self, table):
+        with pytest.raises(CatalogError):
+            table.commit_overwrite([], removed_paths=["lake/t/ghost"])
+
+    def test_time_travel_by_snapshot_id(self, table):
+        s1 = table.commit_append([data_file("lake/t/f1")])
+        table.commit_append([data_file("lake/t/f2")])
+        old = table.scan(snapshot_id=s1.snapshot_id)
+        assert [f.path for f in old] == ["lake/t/f1"]
+
+
+class TestScanPruning:
+    def test_bounds_pruning(self, table):
+        table.commit_append([data_file("lake/t/low", lo=0, hi=9), data_file("lake/t/high", lo=10, hi=19)])
+        cs = ConstraintSet()
+        cs.add("x", ColumnConstraint(lo=15))
+        assert [f.path for f in table.scan(cs)] == ["lake/t/high"]
+
+    def test_partition_pruning(self, table):
+        table.commit_append([
+            data_file("lake/t/us", part=(("region", "us"),)),
+            data_file("lake/t/eu", part=(("region", "eu"),)),
+        ])
+        cs = ConstraintSet()
+        cs.add("region", ColumnConstraint(in_set=frozenset({"us"})))
+        assert [f.path for f in table.scan(cs)] == ["lake/t/us"]
+
+
+class TestCommitProtocol:
+    def test_commit_rate_is_cas_bound(self, table, ctx):
+        """N commits take at least (N-1)/cas_rate seconds of simulated time
+        — the §3.5 bottleneck."""
+        t0 = ctx.clock.now_ms
+        for i in range(5):
+            table.commit_append([data_file(f"lake/t/f{i}")])
+        elapsed_s = (ctx.clock.now_ms - t0) / 1000.0
+        min_expected = (5 - 1) / ctx.costs.cas_mutations_per_sec
+        assert elapsed_s >= min_expected * 0.9
+
+    def test_lost_race_retries_and_succeeds(self, table, store, ctx):
+        """Simulate a concurrent committer racing the pointer swap."""
+        table.commit_append([data_file("lake/t/f1")])
+        # A second client commits under the first client's feet.
+        other = IcebergTable(store, "lake", "warehouse/t")
+        original_read = table._read_pointer
+        raced = {"done": False}
+
+        def racing_read():
+            version, generation = original_read()
+            if not raced["done"]:
+                raced["done"] = True
+                other.commit_append([data_file("lake/t/raced")])
+            return version, generation
+
+        table._read_pointer = racing_read
+        table.commit_append([data_file("lake/t/f2")])
+        paths = {f.path for f in table.scan()}
+        assert paths == {"lake/t/f1", "lake/t/raced", "lake/t/f2"}
+        assert ctx.metering.op_counts.get("iceberg.commit_conflict", 0) >= 1
+
+    def test_log_is_tamperable_by_bucket_writers(self, table, store):
+        """§3.5: open formats store the log with the data, so a malicious
+        bucket writer can rewrite history — demonstrated, not prevented."""
+        table.commit_append([data_file("lake/t/f1")])
+        key, _ = table._read_pointer()
+        metadata = json.loads(store.get_object("lake", key))
+        metadata["snapshots"] = []  # erase history
+        metadata["current_snapshot_id"] = None
+        store.put_object("lake", key, json.dumps(metadata).encode())
+        assert table.scan() == []  # history rewritten successfully
+
+
+class TestHiveLayout:
+    def test_partition_prefix(self):
+        assert partition_prefix("sales", {"year": 2023, "m": 7}) == "sales/year=2023/m=7/"
+
+    def test_parse_round_trip(self):
+        prefix = partition_prefix("sales", {"year": 2023})
+        values = parse_partition_from_key("sales", prefix + "part-0.pqs")
+        assert values == {"year": "2023"}
+
+    def test_parse_wrong_prefix_rejected(self):
+        with pytest.raises(CatalogError):
+            parse_partition_from_key("sales", "other/year=1/f")

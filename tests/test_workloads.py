@@ -1,0 +1,125 @@
+"""Workload generator tests: determinism, shape, and query validity."""
+
+import pytest
+
+from repro.workloads import objects_corpus, tpcds_lite, tpch_lite
+
+from tests.helpers import make_platform
+
+
+class TestTpcdsGenerator:
+    def test_deterministic(self):
+        a = tpcds_lite.generate(scale=0.1, seed=3)
+        b = tpcds_lite.generate(scale=0.1, seed=3)
+        assert a["store_sales"].to_pydict() == b["store_sales"].to_pydict()
+
+    def test_scale_controls_fact_size(self):
+        small = tpcds_lite.generate(scale=0.1)
+        large = tpcds_lite.generate(scale=0.5)
+        assert large["store_sales"].num_rows > small["store_sales"].num_rows
+
+    def test_foreign_keys_resolve(self):
+        data = tpcds_lite.generate(scale=0.1)
+        item_sks = set(data["item"].column("i_item_sk").to_pylist())
+        for sk in data["store_sales"].column("ss_item_sk").to_pylist():
+            assert sk in item_sks
+
+    def test_fact_sorted_by_date(self):
+        data = tpcds_lite.generate(scale=0.1)
+        dates = data["store_sales"].column("ss_sold_date_sk").to_pylist()
+        assert dates == sorted(dates)
+
+    def test_all_queries_run_green(self):
+        platform, admin = make_platform()
+        data = tpcds_lite.generate(scale=0.1)
+        tpcds_lite.load_as_biglake(platform, admin, data)
+        for name, sql in tpcds_lite.queries().items():
+            result = platform.home_engine.query(sql, admin)
+            assert result.stats.elapsed_ms > 0, name
+
+    def test_managed_load_matches_biglake(self):
+        platform, admin = make_platform()
+        data = tpcds_lite.generate(scale=0.1)
+        tpcds_lite.load_as_biglake(platform, admin, data)
+        tpcds_lite.load_as_managed(platform, data)
+        q = tpcds_lite.queries("tpcds")["q42"]
+        q_managed = tpcds_lite.queries("tpcds_managed")["q42"]
+        a = platform.home_engine.query(q, admin).rows()
+        b = platform.home_engine.query(q_managed, admin).rows()
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            for va, vb in zip(ra, rb):
+                if isinstance(va, float):
+                    assert va == pytest.approx(vb)
+                else:
+                    assert va == vb
+
+
+class TestTpchGenerator:
+    def test_deterministic(self):
+        a = tpch_lite.generate(scale=0.1, seed=1)
+        b = tpch_lite.generate(scale=0.1, seed=1)
+        assert a["lineitem"].to_pydict() == b["lineitem"].to_pydict()
+
+    def test_lineitem_sorted_by_shipdate(self):
+        data = tpch_lite.generate(scale=0.1)
+        dates = data["lineitem"].column("l_shipdate").to_pylist()
+        assert dates == sorted(dates)
+
+    def test_all_queries_run_green(self):
+        platform, admin = make_platform()
+        data = tpch_lite.generate(scale=0.1)
+        tpch_lite.load_as_biglake(platform, admin, data)
+        for name, sql in tpch_lite.queries().items():
+            result = platform.home_engine.query(sql, admin)
+            assert result.stats.elapsed_ms > 0, name
+
+    def test_q1_aggregates_consistent(self):
+        platform, admin = make_platform()
+        data = tpch_lite.generate(scale=0.1)
+        tpch_lite.load_as_biglake(platform, admin, data)
+        r = platform.home_engine.query(tpch_lite.queries()["q01"], admin)
+        for row in r.rows():
+            flag, status, sum_qty, base, disc, avg_qty, avg_disc, n = row
+            assert n > 0
+            assert avg_qty == pytest.approx(sum_qty / n)
+            assert disc <= base  # discounted price never exceeds base
+
+
+class TestObjectsCorpus:
+    def test_image_corpus_deterministic_labels(self, ctx):
+        from repro.cloud import Cloud, Region
+        from repro.objectstore import ObjectStore
+
+        s1 = ObjectStore(Region(Cloud.GCP, "us-central1"), ctx, name="a")
+        s2 = ObjectStore(Region(Cloud.GCP, "us-central1"), ctx, name="b")
+        c1 = objects_corpus.build_image_corpus(s1, "b1", count=10, seed=4)
+        c2 = objects_corpus.build_image_corpus(s2, "b2", count=10, seed=4)
+        assert list(c1.labels.values()) == list(c2.labels.values())
+
+    def test_images_decode(self, ctx, store):
+        corpus = objects_corpus.build_image_corpus(store, "lake", count=5)
+        from repro.ml.media import decode_image
+
+        data = store.get_object("lake", corpus.keys[0])
+        pixels = decode_image(data)
+        assert pixels.shape == (32, 32, 3)
+
+    def test_documents_parse_to_ground_truth(self, ctx, store):
+        corpus = objects_corpus.build_document_corpus(store, "lake", count=5)
+        from repro.ml.media import parse_document
+
+        for key, truth in corpus.ground_truth.items():
+            payload = parse_document(store.get_object("lake", key))
+            assert payload["vendor"] == truth["vendor"]
+            assert payload["total"] == pytest.approx(truth["total"])
+
+    def test_class_patterns_distinct(self):
+        import numpy as np
+
+        patterns = [
+            objects_corpus.class_pattern(c, 32) for c in objects_corpus.IMAGE_CLASSES
+        ]
+        for i in range(len(patterns)):
+            for j in range(i + 1, len(patterns)):
+                assert not np.allclose(patterns[i], patterns[j])
