@@ -101,10 +101,10 @@ def test_e11_ccmv_incremental_replication(benchmark):
     # Paper shape: each refresh ships ~1 partition of ~CUSTOMERS.
     assert incremental_bytes < naive_total / 20
     # Replica answers match a direct (expensive) cross-cloud query.
-    replica = platform.home_engine.query(
+    replica = platform.home_engine.execute(
         "SELECT total FROM ccmv.orders_by_cust WHERE customer_id = 0", admin
     )
-    direct = platform.home_engine.query(
+    direct = platform.home_engine.execute(
         "SELECT SUM(order_total) FROM aws_dataset.customer_orders WHERE customer_id = 0",
         admin,
     )

@@ -48,8 +48,8 @@ def test_e12_governance_matrix(benchmark):
 
     governed = {}
     for engine_name, engine in (("BigQuery", bigquery), ("Spark/connector", spark)):
-        governed[engine_name] = sorted(engine.query(SQL, analyst).rows())
-    leaked = sorted(spark_direct.query(SQL, insider).rows())
+        governed[engine_name] = sorted(engine.execute(SQL, analyst).rows())
+    leaked = sorted(spark_direct.execute(SQL, insider).rows())
 
     rows = []
     for engine_name, result_rows in governed.items():
@@ -75,14 +75,14 @@ def test_e12_governance_matrix(benchmark):
 
     # Enforcement overhead: governed vs ungoverned read through the API.
     def governed_read():
-        return bigquery.query(SQL, analyst)
+        return bigquery.execute(SQL, analyst)
 
     governed_run = benchmark.pedantic(governed_read, rounds=3, iterations=1)
     t0 = platform.ctx.clock.now_ms
-    bigquery.query(SQL, admin)  # admin: no row policy, no mask
+    bigquery.execute(SQL, admin)  # admin: no row policy, no mask
     ungoverned_ms = platform.ctx.clock.now_ms - t0
     t0 = platform.ctx.clock.now_ms
-    bigquery.query(SQL, analyst)
+    bigquery.execute(SQL, analyst)
     governed_ms = platform.ctx.clock.now_ms - t0
     print(
         f"\nE12 enforcement overhead: governed {governed_ms:.1f}ms vs "

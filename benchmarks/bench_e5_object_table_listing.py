@@ -52,7 +52,7 @@ def _sql_sample(platform, admin):
     t0 = platform.ctx.clock.now_ms
     # Deterministic 1% sample: keys are img-NNNNNN.simg, so matching a
     # trailing "00" picks every 100th object.
-    result = platform.home_engine.query(
+    result = platform.home_engine.execute(
         "SELECT uri FROM dataset1.files WHERE key LIKE '%00.simg'", admin
     )
     return result, platform.ctx.clock.now_ms - t0

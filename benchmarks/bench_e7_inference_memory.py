@@ -44,7 +44,7 @@ def _run(platform, admin, model_bytes, split: bool):
     stats_before_peak = platform.ml.stats.peak_worker_memory_bytes
     platform.ml.stats.peak_worker_memory_bytes = 0
     try:
-        platform.home_engine.query(QUERY, admin)
+        platform.home_engine.execute(QUERY, admin)
         completed = True
     except Exception:
         completed = False
@@ -96,6 +96,6 @@ def test_e7_split_vs_colocated_inference(benchmark):
     platform.ml.import_model("dataset1.m", model_bytes)
     platform.ml.split_preprocess = True
     result = benchmark.pedantic(
-        lambda: platform.home_engine.query(QUERY, admin), rounds=1, iterations=1
+        lambda: platform.home_engine.execute(QUERY, admin), rounds=1, iterations=1
     )
     assert result.num_rows == len(corpus)

@@ -48,7 +48,7 @@ def _burst(platform, admin, model_name):
         "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))"
     )
     t0 = platform.ctx.clock.now_ms
-    result = platform.home_engine.query(sql, admin)
+    result = platform.home_engine.execute(sql, admin)
     return result, platform.ctx.clock.now_ms - t0
 
 

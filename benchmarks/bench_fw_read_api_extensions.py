@@ -129,11 +129,11 @@ def test_fw_aggregate_pushdown(benchmark):
     sql = "SELECT COUNT(*), SUM(amount), MIN(order_id), MAX(order_id) FROM ds.sales"
 
     pushed = benchmark.pedantic(
-        lambda: platform.home_engine.query(sql, admin), rounds=1, iterations=1
+        lambda: platform.home_engine.execute(sql, admin), rounds=1, iterations=1
     )
     platform.home_engine.enable_aggregate_pushdown = False
     try:
-        plain = platform.home_engine.query(sql, admin)
+        plain = platform.home_engine.execute(sql, admin)
     finally:
         platform.home_engine.enable_aggregate_pushdown = True
     assert pushed.rows() == plain.rows()

@@ -48,8 +48,8 @@ def main() -> None:
     snapshot_micros = int(platform.ctx.clock.now_ms * 1000) + 1000
     platform.ctx.clock.advance(60_000.0)
     platform.home_engine.execute("DELETE FROM ops.tickets WHERE ticket = 4", admin)
-    now = platform.home_engine.query("SELECT COUNT(*) FROM ops.tickets", admin)
-    then = platform.home_engine.query(
+    now = platform.home_engine.execute("SELECT COUNT(*) FROM ops.tickets", admin)
+    then = platform.home_engine.execute(
         "SELECT COUNT(*) FROM ops.tickets FOR SYSTEM_TIME AS OF "
         f"TIMESTAMP '{micros_to_timestamp_string(snapshot_micros)}'",
         admin,
@@ -64,12 +64,12 @@ def main() -> None:
     platform.managed.append(
         oncall.table_id, batch_from_pydict(oncall.schema, {"person": ["ana"]})
     )
-    mine = platform.home_engine.query(
+    mine = platform.home_engine.execute(
         "SELECT ticket FROM ops.tickets WHERE assignee IN "
         "(SELECT person FROM ops.oncall) ORDER BY ticket",
         admin,
     )
-    others = platform.home_engine.query(
+    others = platform.home_engine.execute(
         "SELECT ticket FROM ops.tickets WHERE assignee NOT IN "
         "(SELECT person FROM ops.oncall) ORDER BY ticket",
         admin,
@@ -78,7 +78,7 @@ def main() -> None:
           f"others {others.column('ticket')}")
 
     # -- 3. Aggregate pushdown ------------------------------------------------------
-    result = platform.home_engine.query(
+    result = platform.home_engine.execute(
         "SELECT COUNT(*), SUM(hours), MAX(hours) FROM ops.tickets", admin
     )
     print(
@@ -122,7 +122,7 @@ def main() -> None:
         platform.home_engine.execute("UPDATE ops.tickets SET hours = 0.0", admin)
     except StorageError as exc:
         print(f"injected crash mid-UPDATE: {exc}")
-    untouched = platform.home_engine.query("SELECT SUM(hours) FROM ops.tickets", admin)
+    untouched = platform.home_engine.execute("SELECT SUM(hours) FROM ops.tickets", admin)
     # A writer that crashed after its data write but before the commit
     # leaves an orphaned object; background GC reclaims it.
     store.put_object("cust", "tickets/data/part-99999999.pqs", b"half-written")

@@ -51,7 +51,7 @@ def main() -> None:
         duplicate = platform.write_api.append_rows(stream, batch, offset=offset)
         assert duplicate.duplicate
     platform.write_api.flush(stream)
-    count = platform.home_engine.query("SELECT COUNT(*) FROM iot.events", admin)
+    count = platform.home_engine.execute("SELECT COUNT(*) FROM iot.events", admin)
     print(f"streamed 30 rows (with retries) -> table holds {count.single_value()}")
 
     # -- 3. SQL DML --------------------------------------------------------------

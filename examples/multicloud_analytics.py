@@ -129,7 +129,7 @@ def main() -> None:
         f"CCMV incremental refresh: {delta.partitions_changed} partition changed, "
         f"{delta.bytes_replicated:,} bytes shipped (vs {mv.full_copy_bytes():,} full copy)"
     )
-    local = platform.home_engine.query(
+    local = platform.home_engine.execute(
         "SELECT spend FROM ccmv.spend_by_customer WHERE customer_id = 42", admin
     )
     print(f"replica query (GCP-local, zero egress): customer 42 spend = {local.single_value():,.0f}")

@@ -46,7 +46,7 @@ def main() -> None:
     )
 
     # -- Object tables: SQL as `ls` ------------------------------------------
-    listing = platform.home_engine.query(
+    listing = platform.home_engine.execute(
         "SELECT content_type, COUNT(*) AS n, SUM(size) AS bytes "
         "FROM dataset1.files GROUP BY content_type",
         admin,
@@ -58,7 +58,7 @@ def main() -> None:
     # -- Listing 1: in-engine inference ---------------------------------------
     model = train_classifier_for_corpus()
     platform.ml.import_model("dataset1.resnet50", serialize_model(model))
-    predictions = platform.home_engine.query(
+    predictions = platform.home_engine.execute(
         """
         SELECT uri, predicted_label, predicted_score FROM
         ML.PREDICT(
@@ -82,7 +82,7 @@ def main() -> None:
         f"(preprocess/inference split across workers, "
         f"{platform.ml.stats.exchange_bytes:,} tensor bytes exchanged)"
     )
-    by_label = platform.home_engine.query(
+    by_label = platform.home_engine.execute(
         "SELECT predicted_label, COUNT(*) AS n FROM ML.PREDICT(MODEL dataset1.resnet50, "
         "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) "
         "GROUP BY predicted_label ORDER BY n DESC",
@@ -97,7 +97,7 @@ def main() -> None:
     platform.ml.create_document_processor_model(
         "mydataset.invoice_parser", "us.media", processor
     )
-    invoices = platform.home_engine.query(
+    invoices = platform.home_engine.execute(
         """
         SELECT vendor, COUNT(*) AS invoices, SUM(total) AS billed
         FROM ML.PROCESS_DOCUMENT(
@@ -121,7 +121,7 @@ def main() -> None:
             frozenset({curator}),
         )
     )
-    sample = platform.home_engine.query(
+    sample = platform.home_engine.execute(
         "SELECT bucket, key FROM dataset1.files WHERE key LIKE '%0.simg'", curator
     )
     urls = [

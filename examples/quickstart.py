@@ -64,7 +64,7 @@ def main() -> None:
     print(f"created {table.table_id} (connection SA: {connection.service_account.name})")
 
     # -- 3. Query as admin (before any row policies exist) --------------------
-    result = platform.home_engine.query(
+    result = platform.home_engine.execute(
         "SELECT region, COUNT(*) AS orders, SUM(amount) AS revenue "
         "FROM sales.orders GROUP BY region ORDER BY revenue DESC",
         admin,
@@ -87,7 +87,7 @@ def main() -> None:
         DataMaskingRule("card_number", MaskingKind.LAST_FOUR, frozenset({analyst}))
     )
 
-    governed = platform.home_engine.query(
+    governed = platform.home_engine.execute(
         "SELECT region, card_number, amount FROM sales.orders LIMIT 3", analyst
     )
     print("\neu_analyst sees only EU rows, with masked cards:")
@@ -96,14 +96,14 @@ def main() -> None:
 
     # The same policies hold for an external engine using the Read API.
     spark = SparkSim(platform, mode="connector")
-    spark_rows = spark.query(
+    spark_rows = spark.execute(
         "SELECT region, card_number, amount FROM sales.orders LIMIT 3", analyst
     )
     assert sorted(spark_rows.rows()) == sorted(governed.rows())
     print("\nSparkSim (via Storage Read API) returns byte-identical governed rows.")
 
     # Pruning in action: a selective filter reads 1 of 4 files.
-    pruned = platform.home_engine.query(
+    pruned = platform.home_engine.execute(
         "SELECT COUNT(*) FROM sales.orders WHERE order_id BETWEEN 120 AND 150", admin
     )
     print(

@@ -3,6 +3,8 @@
 Commands:
 
 * ``demo``        — run the quickstart scenario inline (no files needed).
+* ``trace <sql>`` — run a query over the demo lake and print its
+  cross-layer span tree (``explain_analyze``) plus the metrics dump.
 * ``experiments`` — run the full E1–E12 + future-work benchmark suite.
 * ``info``        — print the module inventory and experiment index.
 """
@@ -14,7 +16,8 @@ import subprocess
 import sys
 
 
-def _demo() -> int:
+def _build_demo_platform():
+    """(platform, admin) with the quickstart ``demo.orders`` lake loaded."""
     from repro import (
         DataType, LakehousePlatform, MetadataCacheMode, Role, Schema,
         batch_from_pydict,
@@ -45,7 +48,32 @@ def _demo() -> int:
         admin, "demo", "orders", schema, "demo-lake", "orders", "us.demo",
         cache_mode=MetadataCacheMode.AUTOMATIC,
     )
-    result = platform.home_engine.query(
+    return platform, admin
+
+
+def _trace(sql: str | None) -> int:
+    from repro.errors import ReproError
+
+    platform, admin = _build_demo_platform()
+    if not sql:
+        sql = (
+            "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
+            "FROM demo.orders WHERE id < 150 GROUP BY region ORDER BY total DESC"
+        )
+    print(f"-- {sql}\n")
+    try:
+        print(platform.home_engine.explain_analyze(sql, admin))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("\n-- metrics\n")
+    print(platform.metrics_text(), end="")
+    return 0
+
+
+def _demo() -> int:
+    platform, admin = _build_demo_platform()
+    result = platform.home_engine.execute(
         "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
         "FROM demo.orders WHERE id < 150 GROUP BY region ORDER BY total DESC",
         admin,
@@ -84,12 +112,18 @@ def _info() -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
-        "command", choices=["demo", "experiments", "info"], nargs="?", default="demo"
+        "command", choices=["demo", "trace", "experiments", "info"],
+        nargs="?", default="demo",
     )
-    parser.add_argument("extra", nargs="*", help="extra pytest args for 'experiments'")
+    parser.add_argument(
+        "extra", nargs="*",
+        help="SQL for 'trace'; extra pytest args for 'experiments'",
+    )
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _demo()
+    if args.command == "trace":
+        return _trace(" ".join(args.extra) if args.extra else None)
     if args.command == "experiments":
         return _experiments(args.extra)
     return _info()

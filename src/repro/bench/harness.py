@@ -15,6 +15,7 @@ from typing import Any, Sequence
 from repro.core import LakehousePlatform
 from repro.engine.engine import QueryStats
 from repro.metastore.catalog import MetadataCacheMode
+from repro.obs.trace import summarize_trace
 from repro.workloads import tpcds_lite, tpch_lite
 
 
@@ -24,6 +25,8 @@ class PowerRunResult:
 
     query_stats: dict[str, QueryStats] = field(default_factory=dict)
     total_elapsed_ms: float = 0.0
+    # name -> {"total_ms", "span_count", "layers_ms"} when tracing is on.
+    trace_summaries: dict[str, dict] = field(default_factory=dict)
 
     def elapsed(self, name: str) -> float:
         return self.query_stats[name].elapsed_ms
@@ -33,9 +36,11 @@ def power_run(engine, queries: dict[str, str], principal) -> PowerRunResult:
     """Run each query sequentially (the paper's TPC-DS power-run mode)."""
     result = PowerRunResult()
     for name, sql in queries.items():
-        query_result = engine.query(sql, principal)
+        query_result = engine.execute(sql, principal)
         result.query_stats[name] = query_result.stats
         result.total_elapsed_ms += query_result.stats.elapsed_ms
+        if query_result.trace is not None:
+            result.trace_summaries[name] = summarize_trace(query_result.trace)
     return result
 
 

@@ -71,6 +71,10 @@ class LakehousePlatform:
             ctx=self.ctx,
         )
         self._engines: dict[str, QueryEngine] = {}
+        self.tables = None  # TableManager, set below
+        self.ml = None  # InferenceRuntime, set below
+        self._omni = None  # OmniDeployment, created on first use
+        self._job_server = None  # JobServer, created on first use
         self.stores.add_region(self.config.home_region)
         self.home_engine = self.add_engine(self.config.home_region)
 
@@ -82,8 +86,7 @@ class LakehousePlatform:
         self.tables = TableManager(self)
         self.ml = InferenceRuntime(self)
         for engine in self._engines.values():
-            engine.set_dml_handler(self.tables)
-            self.ml.attach(engine)
+            self._wire_engine(engine)
 
     # -- regions & engines ----------------------------------------------------
 
@@ -105,11 +108,17 @@ class LakehousePlatform:
             **flags,
         )
         self._engines[engine.name] = engine
-        if hasattr(self, "tables"):
-            engine.set_dml_handler(self.tables)
-        if hasattr(self, "ml"):
-            self.ml.attach(engine)
+        self._wire_engine(engine)
         return engine
+
+    def _wire_engine(self, engine: QueryEngine) -> None:
+        """Attach the platform services an engine depends on. A no-op for
+        the home engine built during ``__init__`` (the services do not
+        exist yet); ``__init__`` re-wires every engine once they do."""
+        if self.tables is not None:
+            engine.set_dml_handler(self.tables)
+        if self.ml is not None:
+            self.ml.attach(engine)
 
     def engine(self, name: str) -> QueryEngine:
         try:
@@ -132,7 +141,7 @@ class LakehousePlatform:
     @property
     def omni(self):
         """The Omni deployment for this platform (created on first use)."""
-        if not hasattr(self, "_omni"):
+        if self._omni is None:
             from repro.omni.deployment import OmniDeployment
 
             self._omni = OmniDeployment(platform=self)
@@ -141,11 +150,21 @@ class LakehousePlatform:
     @property
     def job_server(self):
         """The control-plane Job Server (created on first use)."""
-        if not hasattr(self, "_job_server"):
+        if self._job_server is None:
             from repro.omni.control_plane import JobServer
 
             self._job_server = JobServer(self, self.omni)
         return self._job_server
+
+    # -- observability ------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, dict[str, float]]:
+        """All platform metrics as ``{name: {series: value}}``."""
+        return self.ctx.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of every platform metric."""
+        return self.ctx.metrics.render()
 
     # -- convenience -------------------------------------------------------------
 

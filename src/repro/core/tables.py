@@ -215,7 +215,7 @@ class TableManager:
     # -- CTAS -----------------------------------------------------------------
 
     def _ctas(self, statement: ast.CreateTableAsSelect, engine, principal: Principal):
-        result = engine.query(statement.query, principal)
+        result = engine.execute(statement.query, principal)
         if len(statement.table) < 2:
             raise AnalysisError("CTAS target must be dataset.table")
         dataset, name = statement.table[-2], statement.table[-1]
@@ -253,7 +253,7 @@ class TableManager:
     def _insert_select(self, statement: ast.InsertSelect, engine, principal: Principal):
         table = self.platform.catalog.resolve(statement.table)
         self._require_write(principal, table)
-        result = engine.query(statement.query, principal)
+        result = engine.execute(statement.query, principal)
         columns = statement.columns or table.schema.names()
         if len(result.schema) != len(columns):
             raise AnalysisError("INSERT SELECT arity mismatch")
@@ -365,7 +365,7 @@ class TableManager:
 
         # Materialize the source with qualified column names.
         source_select = ast.Select(items=[ast.SelectItem(ast.Star())], from_item=statement.source)
-        source_result = engine.query(source_select, principal)
+        source_result = engine.execute(source_select, principal)
         source_alias = getattr(statement.source, "alias", None) or "source"
         source = concat_batches(source_result.schema, source_result.batches)
         source_schema = Schema(

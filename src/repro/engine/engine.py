@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Protocol
 
@@ -37,6 +38,8 @@ class QueryStats:
     dpp_applied: int = 0
     elapsed_ms: float = 0.0
     slot_ms: float = 0.0
+    shuffle_partitions: int = 0  # set by finalize() from the engine config
+    compute_parallelism: int = 0  # set by finalize(): min(slots, shuffle_partitions)
 
     def record_scan(self, session: SessionStats, scan_ms: float, tasks: int) -> None:
         self.scan_work_ms += scan_ms
@@ -51,12 +54,14 @@ class QueryStats:
     def files_pruned(self) -> int:
         return self.files_total - self.files_read
 
-    def finalize(self, slots: int, startup_ms: float) -> None:
+    def finalize(self, slots: int, startup_ms: float, shuffle_partitions: int = 8) -> None:
         """Slot-limited elapsed-time model: metadata/planning work is
         serial; scan work spreads across min(slots, tasks) workers; operator
         compute spreads across shuffle partitions (bounded by slots)."""
+        self.shuffle_partitions = shuffle_partitions
         parallelism = max(1, min(slots, self.scan_tasks or 1))
-        compute_parallelism = max(1, min(slots, 8))
+        self.compute_parallelism = max(1, min(slots, shuffle_partitions))
+        compute_parallelism = self.compute_parallelism
         self.slot_ms = self.planning_ms + self.scan_work_ms + self.compute_ms
         self.elapsed_ms = (
             startup_ms
@@ -76,6 +81,8 @@ class QueryResult:
     plan_text: str = ""
     rows_affected: int = 0  # set by DML statements
     cross_cloud: dict | None = None  # set by the cross-cloud planner
+    # The query's span tree (repro.obs.Span) when tracing was enabled.
+    trace: Any | None = None
 
     @property
     def num_rows(self) -> int:
@@ -142,6 +149,7 @@ class QueryEngine:
         enable_dpp: bool = True,
         use_row_oriented_reader: bool = False,
         enable_aggregate_pushdown: bool = True,
+        shuffle_partitions: int = 8,
     ) -> None:
         self.read_api = read_api
         self.catalog = catalog
@@ -153,6 +161,7 @@ class QueryEngine:
         self.enable_dpp = enable_dpp
         self.use_row_oriented_reader = use_row_oriented_reader
         self.enable_aggregate_pushdown = enable_aggregate_pushdown
+        self.shuffle_partitions = shuffle_partitions
         self.ctx = read_api.ctx
         self._tvf_handlers: dict[str, TvfHandler] = {}
         self.dml_handler: DmlHandler | None = None
@@ -220,23 +229,93 @@ class QueryEngine:
             raise AnalysisError("EXPLAIN supports SELECT statements")
         return self.plan(statement).describe()
 
+    def execute(
+        self,
+        sql_or_select: str | ast.Select,
+        principal: Principal,
+        *,
+        snapshot_ms: float | None = None,
+    ) -> QueryResult:
+        """The single query entry point: SELECT (string or AST) and DML.
+
+        SELECTs are planned and executed here; other statements dispatch
+        to the registered DML handler. Every statement runs under a root
+        ``query`` span, so ``result.trace`` (when tracing is enabled)
+        holds the full cross-layer span tree, and the query metrics
+        (``queries_total``, ``query_elapsed_ms``,
+        ``query_bytes_scanned_total``) are recorded on the way out.
+        """
+        if isinstance(sql_or_select, str):
+            statement = parse_statement(sql_or_select)
+        else:
+            statement = sql_or_select
+        is_select = isinstance(statement, ast.Select)
+        if is_select:
+            kind = "select"
+        elif snapshot_ms is not None:
+            raise AnalysisError("snapshot_ms applies to SELECT statements only")
+        elif self.dml_handler is None:
+            raise QueryError(
+                f"{type(statement).__name__} requires a DML handler "
+                "(wire the engine through a table manager)"
+            )
+        else:
+            kind = type(statement).__name__.lower()
+        tracer = self.ctx.tracer
+        with tracer.span("query", layer="engine", engine=self.name, kind=kind) as root:
+            if is_select:
+                result = self._run_plan(self.plan(statement), principal, snapshot_ms=snapshot_ms)
+            else:
+                result = self.dml_handler.execute_dml(statement, self, principal)
+        if tracer.enabled:
+            result.trace = root
+        metrics = self.ctx.metrics
+        metrics.counter("queries_total", "statements executed").inc(
+            engine=self.name, kind=kind
+        )
+        metrics.counter(
+            "query_bytes_scanned_total", "bytes scanned on behalf of queries"
+        ).inc(result.stats.bytes_scanned, engine=self.name)
+        metrics.histogram(
+            "query_elapsed_ms", "modeled slot-limited query latency"
+        ).observe(result.stats.elapsed_ms, engine=self.name)
+        return result
+
     def query(
         self,
         sql: str | ast.Select,
         principal: Principal,
         snapshot_ms: float | None = None,
     ) -> QueryResult:
-        """Plan and execute a SELECT."""
-        if isinstance(sql, str):
-            statement = parse_statement(sql)
-            if not isinstance(statement, ast.Select):
-                raise AnalysisError("query() takes SELECT; use execute() for DML")
-        else:
-            statement = sql
-        plan = self.plan(statement)
-        return self.run_plan(plan, principal, snapshot_ms=snapshot_ms)
+        """Deprecated alias for :meth:`execute`."""
+        warnings.warn(
+            "QueryEngine.query() is deprecated; use execute()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(sql, principal, snapshot_ms=snapshot_ms)
 
-    def run_plan(
+    def explain_analyze(
+        self,
+        sql: str | ast.Select,
+        principal: Principal,
+        *,
+        snapshot_ms: float | None = None,
+    ) -> str:
+        """Execute ``sql`` and render its span tree with a per-layer
+        self-time breakdown — deterministic across identical runs."""
+        from repro.obs.trace import layer_breakdown, render_trace
+
+        result = self.execute(sql, principal, snapshot_ms=snapshot_ms)
+        if result.trace is None:
+            return result.plan_text
+        lines = [render_trace(result.trace), "", "layer self time:"]
+        breakdown = layer_breakdown(result.trace)
+        for layer in sorted(breakdown, key=lambda k: (-breakdown[k], k)):
+            lines.append(f"  {layer:<12} {breakdown[layer]:12.3f} ms")
+        return "\n".join(lines)
+
+    def _run_plan(
         self,
         plan: PlanNode,
         principal: Principal,
@@ -251,22 +330,10 @@ class QueryEngine:
             snapshot_ms=snapshot_ms,
         )
         batches = execute_plan(plan, ctx)
-        stats.finalize(self.slots, self.ctx.costs.slot_startup_ms)
+        stats.finalize(self.slots, self.ctx.costs.slot_startup_ms, self.shuffle_partitions)
         return QueryResult(
             schema=plan.schema, batches=batches, stats=stats, plan_text=plan.describe()
         )
-
-    def execute(self, sql: str, principal: Principal) -> QueryResult:
-        """Execute any statement: SELECT directly, DML via the handler."""
-        statement = parse_statement(sql)
-        if isinstance(statement, ast.Select):
-            return self.run_plan(self.plan(statement), principal)
-        if self.dml_handler is None:
-            raise QueryError(
-                f"{type(statement).__name__} requires a DML handler "
-                "(wire the engine through a table manager)"
-            )
-        return self.dml_handler.execute_dml(statement, self, principal)
 
     # -- TVF execution -------------------------------------------------------------
 

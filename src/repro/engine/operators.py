@@ -58,7 +58,24 @@ class ExecContext:
 
 
 def execute_plan(node: PlanNode, ctx: ExecContext) -> list[RecordBatch]:
-    """Execute a plan subtree, returning its batches."""
+    """Execute a plan subtree, returning its batches.
+
+    With tracing enabled each node gets an ``engine.<op>`` span whose
+    sim-time duration covers the node *and* its inputs; per-layer
+    breakdowns use self-time, so nested scans still attribute their IO
+    to the storage layers below.
+    """
+    tracer = ctx.engine.ctx.tracer
+    if not tracer.enabled:
+        return _dispatch_plan_node(node, ctx)
+    op = type(node).__name__.removesuffix("Node").lower()
+    with tracer.span(f"engine.{op}", layer="engine") as span:
+        batches = _dispatch_plan_node(node, ctx)
+        span.set_tag("rows_out", sum(b.num_rows for b in batches))
+        return batches
+
+
+def _dispatch_plan_node(node: PlanNode, ctx: ExecContext) -> list[RecordBatch]:
     if isinstance(node, ScanNode):
         return _execute_scan(node, ctx)
     if isinstance(node, FilterNode):
@@ -108,11 +125,21 @@ def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
     t1 = engine.ctx.clock.now_ms
     batches: list[RecordBatch] = []
     for stream_index in range(len(session.streams)):
-        for batch in engine.read_api.read_rows(session, stream_index):
-            batches.append(batch)
+        with engine.ctx.tracer.span(
+            "read_api.read_rows", layer="storageapi", stream=stream_index
+        ) as span:
+            rows = 0
+            for batch in engine.read_api.read_rows(session, stream_index):
+                rows += batch.num_rows
+                batches.append(batch)
+            span.set_tag("rows", rows)
     scan_ms = engine.ctx.clock.now_ms - t1
     tasks = max(1, session.stats.files_after_pruning)
     ctx.stats.record_scan(session.stats, scan_ms, tasks)
+    current = engine.ctx.tracer.current
+    if current is not None:
+        current.set_tag("table", node.table.table_id)
+        current.add_tag("bytes_scanned", session.stats.bytes_scanned)
     if node.pushed_aggregates:
         # Partial-aggregate rows already carry the scan's output names.
         return batches

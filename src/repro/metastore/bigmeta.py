@@ -280,7 +280,11 @@ class BigMetadataService:
     ) -> int:
         commit_id = next(self._commit_ids)
         # A commit is a memory-speed append to the in-memory tail.
-        self.ctx.charge("bigmeta.commit", self.ctx.costs.bigmeta_commit_ms)
+        with self.ctx.tracer.span(
+            "bigmeta.commit", layer="metastore", tables=len(staged)
+        ):
+            self.ctx.charge("bigmeta.commit", self.ctx.costs.bigmeta_commit_ms)
+        self.ctx.metrics.counter("bigmeta_commits_total", "Big Metadata commits").inc()
         timestamp = self.ctx.clock.now_ms
         for table_id, (adds, dels) in staged.items():
             meta = self._tables[table_id]
@@ -315,7 +319,13 @@ class BigMetadataService:
         self, table_id: str, as_of_ms: float | None = None
     ) -> list[FileEntry]:
         """All live files (point-in-time if ``as_of_ms`` given)."""
-        self.ctx.charge("bigmeta.lookup", self.ctx.costs.bigmeta_lookup_ms)
+        with self.ctx.tracer.span(
+            "bigmeta.snapshot", layer="metastore", table=table_id
+        ):
+            self.ctx.charge("bigmeta.lookup", self.ctx.costs.bigmeta_lookup_ms)
+        self.ctx.metrics.counter(
+            "bigmeta_reads_total", "Big Metadata read operations by path"
+        ).inc(path="snapshot")
         meta = self.table(table_id)
         return list(meta.live_entries(as_of_ms).values())
 
@@ -333,17 +343,32 @@ class BigMetadataService:
         fast path: a vectorized candidate mask over the baseline index plus
         a per-entry check of the (short) tail — the paper's "read the
         columnar baselines and reconcile with the tail"."""
-        self.ctx.charge("bigmeta.prune", self.ctx.costs.bigmeta_lookup_ms)
-        meta = self.table(table_id)
-        if constraints.is_empty:
-            return list(meta.live_entries(as_of_ms).values())
-        if as_of_ms is None and meta.baseline_index is not None:
-            return self._prune_columnar(meta, constraints)
-        return [
-            entry
-            for entry in meta.live_entries(as_of_ms).values()
-            if self._entry_matches(entry, constraints)
-        ]
+        columnar = (
+            not constraints.is_empty
+            and as_of_ms is None
+            and self.table(table_id).baseline_index is not None
+        )
+        path = "columnar" if columnar else "tail_replay"
+        with self.ctx.tracer.span(
+            "bigmeta.prune", layer="metastore", table=table_id, path=path
+        ) as span:
+            self.ctx.charge("bigmeta.prune", self.ctx.costs.bigmeta_lookup_ms)
+            meta = self.table(table_id)
+            if constraints.is_empty:
+                entries = list(meta.live_entries(as_of_ms).values())
+            elif columnar:
+                entries = self._prune_columnar(meta, constraints)
+            else:
+                entries = [
+                    entry
+                    for entry in meta.live_entries(as_of_ms).values()
+                    if self._entry_matches(entry, constraints)
+                ]
+            span.set_tag("entries", len(entries))
+        self.ctx.metrics.counter(
+            "bigmeta_reads_total", "Big Metadata read operations by path"
+        ).inc(path=path)
+        return entries
 
     def _prune_columnar(
         self, meta: TableMetadata, constraints: ConstraintSet

@@ -219,11 +219,16 @@ class InferenceRuntime:
         input_schema = input_batches[0].schema
         combined = concat_batches(input_schema, input_batches)
         tensor_column = _find_tensor_column(combined)
-        tensors, raw_sizes = self._materialize_tensors(combined, tensor_column, entry)
-        if isinstance(entry, LocalModel):
-            labels, scores = self._in_engine_predict(entry, tensors, raw_sizes, ctx)
-        else:
-            labels, scores = self._remote_predict(entry, tensors, ctx)
+        with self.platform.ctx.tracer.span(
+            "ml.predict", layer="ml",
+            model=".".join(model_path), rows=combined.num_rows,
+            mode="local" if isinstance(entry, LocalModel) else "remote",
+        ):
+            tensors, raw_sizes = self._materialize_tensors(combined, tensor_column, entry)
+            if isinstance(entry, LocalModel):
+                labels, scores = self._in_engine_predict(entry, tensors, raw_sizes, ctx)
+            else:
+                labels, scores = self._remote_predict(entry, tensors, ctx)
         self.stats.images_processed += len(labels)
         out_schema = self.predict_schema(model_path, input_schema)
         predictions_json = [
@@ -362,7 +367,11 @@ class InferenceRuntime:
         paths = [f"{bucket}/{key}" for bucket, key in references]
         credential = self.platform.connections.mint_scoped_credential(connection, paths)
         try:
-            results = entry.endpoint.process(references, credential)
+            with self.platform.ctx.tracer.span(
+                "ml.process_document", layer="ml",
+                model=".".join(model_path), documents=len(references),
+            ):
+                results = entry.endpoint.process(references, credential)
         finally:
             self.platform.connections.revoke(credential)
         self.stats.documents_processed += len(results)

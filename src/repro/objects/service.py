@@ -54,7 +54,7 @@ class ObjectTableService:
             sql += f" WHERE {where}"
         if limit is not None:
             sql += f" ORDER BY key LIMIT {limit}"
-        result = self.platform.home_engine.query(sql, principal)
+        result = self.platform.home_engine.execute(sql, principal)
         return ObjectSample(rows=result.rows())
 
     def sample(
@@ -94,7 +94,7 @@ class ObjectTableService:
     def corpus_stats(self, table: TableInfo, principal: Principal) -> dict:
         """Visible-object counts and sizes, grouped by content type."""
         self._require_object_table(table)
-        result = self.platform.home_engine.query(
+        result = self.platform.home_engine.execute(
             f"SELECT content_type, COUNT(*) AS objects, SUM(size) AS bytes "
             f"FROM {table.dataset}.{table.name} GROUP BY content_type",
             principal,

@@ -136,6 +136,17 @@ class ObjectStore:
 
     # -- internals -------------------------------------------------------------
 
+    def _count_op(self, op: str, num_bytes: int = 0, read: bool = False) -> None:
+        """Bump the per-op/per-region metrics for one store operation."""
+        metrics = self.ctx.metrics
+        metrics.counter(
+            "objectstore_ops_total", "object store operations by op and region"
+        ).inc(op=op, region=self.region.location)
+        if num_bytes:
+            metrics.counter(
+                "objectstore_bytes_total", "object store payload bytes by direction"
+            ).inc(num_bytes, direction="read" if read else "write", region=self.region.location)
+
     def _transfer_charge(self, num_bytes: int, caller_location: str | None, read: bool) -> None:
         """Charge latency + egress for moving bytes to/from the caller."""
         here = self.region.location
@@ -147,6 +158,9 @@ class ObjectStore:
                 self.ctx.metering.add_egress(here, there, num_bytes)
             else:
                 self.ctx.metering.add_egress(there, here, num_bytes)
+            current = self.ctx.tracer.current
+            if current is not None:
+                current.add_tag("egress_bytes", num_bytes)
 
     def _make_meta(self, bucket: str, key: str, data: bytes, content_type: str, prior: ObjectMeta | None) -> ObjectMeta:
         now = self.ctx.clock.now_ms
@@ -177,9 +191,13 @@ class ObjectStore:
         """Unconditional PUT (create or overwrite)."""
         self._maybe_fail("put")
         b = self.bucket(bucket)
-        self.ctx.charge("object_store.put", self.ctx.costs.put_first_byte_ms)
-        self.ctx.clock.advance((len(data) / MIB) * self.ctx.costs.put_per_mib_ms)
-        self._transfer_charge(len(data), caller_location, read=False)
+        with self.ctx.tracer.span(
+            "objectstore.put", layer="objectstore", key=f"{bucket}/{key}", bytes=len(data)
+        ):
+            self.ctx.charge("object_store.put", self.ctx.costs.put_first_byte_ms)
+            self.ctx.clock.advance((len(data) / MIB) * self.ctx.costs.put_per_mib_ms)
+            self._transfer_charge(len(data), caller_location, read=False)
+        self._count_op("put", len(data))
         self.ctx.metering.add_write(len(data))
         prior = b.blobs.get(key)
         meta = self._make_meta(bucket, key, data, content_type, prior.meta if prior else None)
@@ -205,18 +223,23 @@ class ObjectStore:
         """
         self._maybe_fail("cas_put")
         b = self.bucket(bucket)
-        # Per-object mutation rate limit: wait for the next allowed slot.
-        slot_key = (bucket, key)
-        interval_ms = 1000.0 / self.ctx.costs.cas_mutations_per_sec
-        next_allowed = self._cas_next_allowed_ms.get(slot_key, 0.0)
-        if self.ctx.clock.now_ms < next_allowed:
-            self.ctx.metering.count("object_store.cas_throttled")
-            self.ctx.clock.advance_to(next_allowed)
-        self._cas_next_allowed_ms[slot_key] = self.ctx.clock.now_ms + interval_ms
+        with self.ctx.tracer.span(
+            "objectstore.cas_put", layer="objectstore", key=f"{bucket}/{key}", bytes=len(data)
+        ) as span:
+            # Per-object mutation rate limit: wait for the next allowed slot.
+            slot_key = (bucket, key)
+            interval_ms = 1000.0 / self.ctx.costs.cas_mutations_per_sec
+            next_allowed = self._cas_next_allowed_ms.get(slot_key, 0.0)
+            if self.ctx.clock.now_ms < next_allowed:
+                self.ctx.metering.count("object_store.cas_throttled")
+                span.set_tag("throttled_ms", next_allowed - self.ctx.clock.now_ms)
+                self.ctx.clock.advance_to(next_allowed)
+            self._cas_next_allowed_ms[slot_key] = self.ctx.clock.now_ms + interval_ms
 
-        self.ctx.charge("object_store.cas_put", self.ctx.costs.put_first_byte_ms)
-        self.ctx.clock.advance((len(data) / MIB) * self.ctx.costs.put_per_mib_ms)
-        self._transfer_charge(len(data), caller_location, read=False)
+            self.ctx.charge("object_store.cas_put", self.ctx.costs.put_first_byte_ms)
+            self.ctx.clock.advance((len(data) / MIB) * self.ctx.costs.put_per_mib_ms)
+            self._transfer_charge(len(data), caller_location, read=False)
+        self._count_op("cas_put", len(data))
         prior = b.blobs.get(key)
         current_generation = prior.meta.generation if prior else 0
         if current_generation != expected_generation:
@@ -236,9 +259,13 @@ class ObjectStore:
         """GET the full object."""
         self._maybe_fail("get")
         blob = self._lookup(bucket, key)
-        self.ctx.charge("object_store.get", self.ctx.costs.get_first_byte_ms)
-        self.ctx.clock.advance((len(blob.data) / MIB) * self.ctx.costs.get_per_mib_ms)
-        self._transfer_charge(len(blob.data), caller_location, read=True)
+        with self.ctx.tracer.span(
+            "objectstore.get", layer="objectstore", key=f"{bucket}/{key}", bytes=len(blob.data)
+        ):
+            self.ctx.charge("object_store.get", self.ctx.costs.get_first_byte_ms)
+            self.ctx.clock.advance((len(blob.data) / MIB) * self.ctx.costs.get_per_mib_ms)
+            self._transfer_charge(len(blob.data), caller_location, read=True)
+        self._count_op("get", len(blob.data), read=True)
         self.ctx.metering.add_read(len(blob.data))
         return blob.data
 
@@ -255,16 +282,22 @@ class ObjectStore:
         if start < 0:
             start = max(0, len(blob.data) + start)
         payload = blob.data[start : start + length]
-        self.ctx.charge("object_store.get_range", self.ctx.costs.get_first_byte_ms)
-        self.ctx.clock.advance((len(payload) / MIB) * self.ctx.costs.get_per_mib_ms)
-        self._transfer_charge(len(payload), caller_location, read=True)
+        with self.ctx.tracer.span(
+            "objectstore.get_range", layer="objectstore", key=f"{bucket}/{key}", bytes=len(payload)
+        ):
+            self.ctx.charge("object_store.get_range", self.ctx.costs.get_first_byte_ms)
+            self.ctx.clock.advance((len(payload) / MIB) * self.ctx.costs.get_per_mib_ms)
+            self._transfer_charge(len(payload), caller_location, read=True)
+        self._count_op("get_range", len(payload), read=True)
         self.ctx.metering.add_read(len(payload))
         return payload
 
     def head_object(self, bucket: str, key: str) -> ObjectMeta:
         """Metadata-only request."""
         blob = self._lookup(bucket, key)
-        self.ctx.charge("object_store.head", self.ctx.costs.head_latency_ms)
+        with self.ctx.tracer.span("objectstore.head", layer="objectstore", key=f"{bucket}/{key}"):
+            self.ctx.charge("object_store.head", self.ctx.costs.head_latency_ms)
+        self._count_op("head")
         return blob.meta
 
     def object_exists(self, bucket: str, key: str) -> bool:
@@ -275,7 +308,9 @@ class ObjectStore:
         b = self.bucket(bucket)
         if key not in b.blobs:
             raise NotFoundError(f"object {bucket}/{key} not found")
-        self.ctx.charge("object_store.delete", self.ctx.costs.delete_latency_ms)
+        with self.ctx.tracer.span("objectstore.delete", layer="objectstore", key=f"{bucket}/{key}"):
+            self.ctx.charge("object_store.delete", self.ctx.costs.delete_latency_ms)
+        self._count_op("delete")
         del b.blobs[key]
         b._remove_key(key)
 
@@ -293,18 +328,25 @@ class ObjectStore:
         page_size = page_size or self.ctx.costs.list_page_size
         start = bisect.bisect_left(b.sorted_keys, prefix)
         emitted_in_page = 0
-        self.ctx.charge("object_store.list_page", self.ctx.costs.list_page_latency_ms)
+        self._charge_list_page(bucket, prefix)
         for idx in range(start, len(b.sorted_keys)):
             key = b.sorted_keys[idx]
             if not key.startswith(prefix):
                 break
             if emitted_in_page == page_size:
-                self.ctx.charge(
-                    "object_store.list_page", self.ctx.costs.list_page_latency_ms
-                )
+                self._charge_list_page(bucket, prefix)
                 emitted_in_page = 0
             emitted_in_page += 1
             yield b.blobs[key].meta
+
+    def _charge_list_page(self, bucket: str, prefix: str) -> None:
+        """One LIST page round trip, as its own (short) span so the cost
+        lands on whichever span is consuming the listing generator."""
+        with self.ctx.tracer.span(
+            "objectstore.list_page", layer="objectstore", key=f"{bucket}/{prefix}"
+        ):
+            self.ctx.charge("object_store.list_page", self.ctx.costs.list_page_latency_ms)
+        self._count_op("list_page")
 
     def count_objects(self, bucket: str, prefix: str = "") -> int:
         """Number of objects under a prefix (no latency; test helper)."""

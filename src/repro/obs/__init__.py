@@ -1,0 +1,42 @@
+"""repro.obs — zero-dependency tracing + metrics ("Dapper-lite").
+
+The paper's production claims all rest on *measured* internals; this
+package is how the reproduction measures its own. Two halves:
+
+* :mod:`repro.obs.trace` — per-query span trees over simulated time. A
+  :class:`Tracer` lives on the shared :class:`~repro.simtime.SimContext`
+  and every layer (object store, Big Metadata, Read API, Superluminal,
+  engine operators, ML, Omni networking) opens spans around its work, so
+  a query's simulated latency decomposes exactly into per-layer time.
+* :mod:`repro.obs.metrics` — a Prometheus-style registry of counters,
+  gauges, and histograms with a text exposition dump, also hanging off
+  the ``SimContext`` so one platform reads one set of meters.
+
+Both are always-on but cheap to disable: ``ctx.tracer.enabled = False``
+turns every ``span()`` call into a shared no-op context manager.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NOOP_TRACER,
+    Span,
+    Tracer,
+    layer_breakdown,
+    layer_time_ms,
+    render_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "Span",
+    "Tracer",
+    "layer_breakdown",
+    "layer_time_ms",
+    "render_trace",
+    "summarize_trace",
+]

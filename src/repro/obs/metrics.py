@@ -1,0 +1,211 @@
+"""Prometheus-style metrics: counters, gauges, histograms, registry.
+
+Metric names follow the Prometheus convention (``snake_case`` with a
+``_total`` suffix for counters, base units in the name, e.g.
+``objectstore_ops_total`` / ``query_elapsed_ms``). Labels are passed as
+keyword arguments at observation time::
+
+    ctx.metrics.counter("objectstore_ops_total").inc(op="get", region="gcp/us-central1")
+    ctx.metrics.histogram("query_elapsed_ms").observe(stats.elapsed_ms)
+
+:meth:`MetricsRegistry.render` emits the text exposition format, sorted
+for deterministic output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = key + extra
+    if not items:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in items)
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing per-label-set counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {value})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def get(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def samples(self) -> Iterable[tuple[str, LabelKey, float]]:
+        for key in sorted(self._values):
+            yield self.name, key, self._values[key]
+
+
+class Gauge:
+    """A value that can go up or down (per label set)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, delta: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + delta
+
+    def get(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterable[tuple[str, LabelKey, float]]:
+        for key in sorted(self._values):
+            yield self.name, key, self._values[key]
+
+
+DEFAULT_BUCKETS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0, math.inf,
+)
+
+
+class Histogram:
+    """A cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: tuple[float, ...] | None = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        if self.buckets[-1] != math.inf:
+            self.buckets = self.buckets + (math.inf,)
+        self._counts: dict[LabelKey, list[int]] = {}
+        self._sums: dict[LabelKey, float] = {}
+        self._totals: dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        counts = self._counts.setdefault(key, [0] * len(self.buckets))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: Any) -> int:
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterable[tuple[str, LabelKey, float]]:
+        for key in sorted(self._totals):
+            cumulative = 0
+            for i, bound in enumerate(self.buckets):
+                cumulative += self._counts[key][i]
+                yield (
+                    f"{self.name}_bucket",
+                    key + (("le", _fmt_value(bound)),),
+                    float(cumulative),
+                )
+            yield f"{self.name}_sum", key, self._sums[key]
+            yield f"{self.name}_count", key, float(self._totals[key])
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one platform."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, buckets)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise ValueError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def _get_or_create(self, name: str, cls, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def get(self, name: str) -> Counter | Gauge | Histogram:
+        return self._metrics[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """{metric_name: {rendered_labels: value}} for programmatic reads."""
+        out: dict[str, dict[str, float]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            series: dict[str, float] = {}
+            for sample_name, key, value in metric.samples():
+                series[f"{sample_name}{_render_labels(key)}"] = value
+            out[name] = series
+        return out
+
+    def render(self) -> str:
+        """The Prometheus text exposition format (sorted, deterministic)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for sample_name, key, value in metric.samples():
+                lines.append(f"{sample_name}{_render_labels(key)} {_fmt_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")

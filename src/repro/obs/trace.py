@@ -1,0 +1,254 @@
+"""Span-tree tracing over simulated time.
+
+A :class:`Span` covers one unit of work (an object-store GET, a Big
+Metadata prune, a join operator). Spans nest: whatever span is open when
+a new one starts becomes its parent, so a query produces a tree whose
+root is the engine's ``query`` span. Durations are measured on the
+simulation clock, which means a span's duration is *exactly* the
+simulated latency charged inside it — the property the observability
+tests lean on (object-store span time equals the cost model's charges).
+
+Tags are free-form ``key=value`` annotations (``bytes_scanned``,
+``cache_hit``, ``egress_bytes``); the ``layer`` field names the subsystem
+(``engine``, ``storageapi``, ``metastore``, ``objectstore``, ``formats``,
+``ml``, ``omni``) so renderers and benchmarks can aggregate per layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One timed unit of work in a trace tree."""
+
+    span_id: int
+    name: str
+    layer: str
+    start_ms: float
+    duration_ms: float = 0.0
+    parent_id: int | None = None
+    tags: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def add_tag(self, key: str, delta: float) -> None:
+        """Accumulate a numeric tag (for per-span byte/row counters)."""
+        self.tags[key] = self.tags.get(key, 0) + delta
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """All spans in this subtree with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    def self_time_ms(self) -> float:
+        """Duration not covered by child spans (this span's own work)."""
+        return max(0.0, self.duration_ms - sum(c.duration_ms for c in self.children))
+
+
+class _NoopSpan:
+    """Shared do-nothing span/context-manager for disabled tracers."""
+
+    __slots__ = ()
+
+    span_id = 0
+    name = ""
+    layer = ""
+    start_ms = 0.0
+    duration_ms = 0.0
+    parent_id = None
+    tags: dict[str, Any] = {}
+    children: list[Span] = []
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+    def add_tag(self, key: str, delta: float) -> None:
+        pass
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanHandle:
+    """Context manager that closes one span against its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._finish(self._span)
+        return False
+
+
+class Tracer:
+    """Produces span trees against a simulation clock.
+
+    One tracer per :class:`~repro.simtime.SimContext`. Completed root
+    spans (traces) are retained in a bounded deque so long benchmark
+    runs cannot grow memory without bound.
+    """
+
+    def __init__(self, clock, enabled: bool = True, max_traces: int = 64) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.traces: deque[Span] = deque(maxlen=max_traces)
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def span(self, name: str, layer: str = "", **tags: Any) -> _SpanHandle | _NoopSpan:
+        """Open a span as a context manager: ``with tracer.span(...) as s:``."""
+        if not self.enabled:
+            return NOOP_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            layer=layer,
+            start_ms=self.clock.now_ms,
+            parent_id=parent.span_id if parent is not None else None,
+            tags=tags,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _finish(self, span: Span) -> None:
+        # Pop back to this span: defensive against a leaked inner span.
+        while self._stack:
+            top = self._stack.pop()
+            top.duration_ms = self.clock.now_ms - top.start_ms
+            if top is span:
+                break
+        if not self._stack:
+            self.traces.append(span)
+
+    @property
+    def current(self) -> Span | _NoopSpan | None:
+        """The innermost open span (None when idle or disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def last_trace(self) -> Span | None:
+        return self.traces[-1] if self.traces else None
+
+    def reset(self) -> None:
+        self.traces.clear()
+        self._stack.clear()
+
+
+class _NoopClock:
+    now_ms = 0.0
+
+
+#: A permanently-disabled tracer for components constructed without one.
+NOOP_TRACER = Tracer(clock=_NoopClock(), enabled=False)
+
+
+# --------------------------------------------------------------------------
+# Trace analysis & rendering
+# --------------------------------------------------------------------------
+
+
+def layer_breakdown(root: Span) -> dict[str, float]:
+    """Self-time per layer across a trace, in simulated milliseconds.
+
+    Each span contributes its *self* time (duration minus child
+    durations) to its own layer, so the values sum to the root span's
+    duration with no double counting across nested layers.
+    """
+    totals: dict[str, float] = {}
+    for span in root.walk():
+        layer = span.layer or "other"
+        totals[layer] = totals.get(layer, 0.0) + span.self_time_ms()
+    return totals
+
+
+def layer_time_ms(root: Span, layer: str) -> float:
+    """Total span time attributed to one layer (self-time aggregation)."""
+    return layer_breakdown(root).get(layer, 0.0)
+
+
+def render_trace(root: Span, max_spans: int = 2000) -> str:
+    """Render a span tree as indented text, deterministically.
+
+    Start offsets are relative to the root (so two identical runs on
+    fresh platforms render identically); span ids are omitted for the
+    same reason. Trees larger than ``max_spans`` are truncated with a
+    trailing note rather than flooding the terminal.
+    """
+    lines: list[str] = []
+    count = 0
+    truncated = 0
+
+    def visit(span: Span, depth: int) -> None:
+        nonlocal count, truncated
+        if count >= max_spans:
+            truncated += 1 + sum(1 for _ in span.walk()) - 1
+            return
+        count += 1
+        indent = "  " * depth
+        offset = span.start_ms - root.start_ms
+        tags = " ".join(
+            f"{key}={_fmt_tag(value)}" for key, value in sorted(span.tags.items())
+        )
+        line = f"{indent}{span.name} [{span.layer or '-'}] +{offset:.3f}ms {span.duration_ms:.3f}ms"
+        if tags:
+            line += f"  {tags}"
+        lines.append(line)
+        for child in span.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    if truncated:
+        lines.append(f"... {truncated} more spans truncated ...")
+    return "\n".join(lines)
+
+
+def summarize_trace(root: Span) -> dict[str, Any]:
+    """Compact per-trace summary benchmarks attach to their results."""
+    breakdown = layer_breakdown(root)
+    return {
+        "total_ms": round(root.duration_ms, 3),
+        "span_count": sum(1 for _ in root.walk()),
+        "layers_ms": {k: round(v, 3) for k, v in sorted(breakdown.items())},
+    }
+
+
+def _fmt_tag(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -119,7 +119,7 @@ class CrossCloudMaterializedView:
         """One incremental refresh: recompute locally, ship deltas only."""
         report = RefreshReport()
         self.refresh_count += 1
-        result = self.source_engine.query(self._select, self.owner)
+        result = self.source_engine.execute(self._select, self.owner)
         report.source_rows = result.num_rows
         partitions = self._partition_rows(result.batches)
         report.partitions_total = len(partitions)
@@ -181,7 +181,7 @@ class CrossCloudMaterializedView:
 
     def full_copy_bytes(self) -> int:
         """What a non-incremental refresh would ship (the E11 baseline)."""
-        result = self.source_engine.query(self._select, self.owner)
+        result = self.source_engine.execute(self._select, self.owner)
         partitions = self._partition_rows(result.batches)
         return sum(
             len(pqs.write_table(self.schema, [batch])) for batch in partitions.values()

@@ -90,7 +90,7 @@ class JobServer:
             job.routed_engine = engine.name
             if target_location != home:
                 self._forward_over_vpn(job, sql, target_location)
-            result = engine.query(statement, principal)
+            result = engine.execute(statement, principal)
             if target_location != home:
                 self._return_over_vpn(job, result, target_location)
             return result

@@ -66,8 +66,13 @@ class CrossCloudQueryPlanner:
         """Plan on the primary engine, relocate remote scans, execute."""
         plan = primary_engine.plan(select)
         report = CrossCloudReport()
-        rewritten = self._relocate_remote_scans(plan, principal, primary_engine, report)
-        result = primary_engine.run_plan(rewritten, principal)
+        with self.platform.ctx.tracer.span(
+            "crosscloud.execute", layer="omni", primary=primary_engine.location
+        ) as span:
+            rewritten = self._relocate_remote_scans(plan, principal, primary_engine, report)
+            result = primary_engine._run_plan(rewritten, principal)
+            span.set_tag("subqueries", len(report.subqueries))
+            span.set_tag("bytes_moved", report.total_bytes_moved)
         result.cross_cloud = {
             "subqueries": len(report.subqueries),
             "bytes_moved": report.total_bytes_moved,
@@ -81,10 +86,14 @@ class CrossCloudQueryPlanner:
         approach the paper contrasts against."""
         plan = primary_engine.plan(select)
         report = CrossCloudReport()
-        rewritten = self._relocate_remote_scans(
-            plan, principal, primary_engine, report, push_filters=False
-        )
-        result = primary_engine.run_plan(rewritten, principal)
+        with self.platform.ctx.tracer.span(
+            "crosscloud.execute", layer="omni", primary=primary_engine.location,
+            naive_copy=True,
+        ):
+            rewritten = self._relocate_remote_scans(
+                plan, principal, primary_engine, report, push_filters=False
+            )
+            result = primary_engine._run_plan(rewritten, principal)
         result.cross_cloud = {
             "subqueries": len(report.subqueries),
             "bytes_moved": report.total_bytes_moved,
@@ -167,22 +176,28 @@ class CrossCloudQueryPlanner:
             remote_scan.schema = (
                 base.rename_all(scan.qualifier) if scan.qualifier else base
             )
-        t0 = platform.ctx.clock.now_ms
-        remote_result = remote_engine.run_plan(remote_scan, principal)
-        remote_elapsed = platform.ctx.clock.now_ms - t0
+        with platform.ctx.tracer.span(
+            "crosscloud.subquery", layer="omni",
+            table=scan.table.table_id, source=source_location,
+        ) as span:
+            t0 = platform.ctx.clock.now_ms
+            remote_result = remote_engine._run_plan(remote_scan, principal)
+            remote_elapsed = platform.ctx.clock.now_ms - t0
 
-        # Stream results back to the primary region (high-throughput
-        # streaming API over the VPN): charge transfer + egress.
-        result_bytes = sum(b.nbytes() for b in remote_result.batches)
-        latency = transfer_latency_ms(
-            platform.ctx.costs, source_location, primary_engine.location, result_bytes
-        )
-        platform.ctx.charge("crosscloud.stream_results", latency)
-        platform.ctx.metering.add_egress(
-            source_location, primary_engine.location, result_bytes
-        )
-        if self.omni is not None and source_location in self.omni.regions:
-            self.omni.regions[source_location].channel.calls += 1
+            # Stream results back to the primary region (high-throughput
+            # streaming API over the VPN): charge transfer + egress.
+            result_bytes = sum(b.nbytes() for b in remote_result.batches)
+            latency = transfer_latency_ms(
+                platform.ctx.costs, source_location, primary_engine.location, result_bytes
+            )
+            platform.ctx.charge("crosscloud.stream_results", latency)
+            platform.ctx.metering.add_egress(
+                source_location, primary_engine.location, result_bytes
+            )
+            span.add_tag("egress_bytes", result_bytes)
+            span.set_tag("rows", remote_result.num_rows)
+            if self.omni is not None and source_location in self.omni.regions:
+                self.omni.regions[source_location].channel.calls += 1
 
         temp_table = self._create_temp_table(remote_scan, remote_result)
         report.subqueries.append(

@@ -120,9 +120,17 @@ class VpnChannel:
         src = self.control_location if toward_data_plane else self.data_location
         dst = self.data_location if toward_data_plane else self.control_location
         latency = transfer_latency_ms(self.ctx.costs, src, dst, payload_bytes)
-        self.ctx.charge("vpn.call", latency + self.ctx.costs.vpn_overhead_ms)
-        if src != dst:
-            self.ctx.metering.add_egress(src, dst, payload_bytes)
+        with self.ctx.tracer.span(
+            "vpn.call", layer="omni",
+            service=service, method=method, bytes=payload_bytes,
+        ) as span:
+            self.ctx.charge("vpn.call", latency + self.ctx.costs.vpn_overhead_ms)
+            if src != dst:
+                self.ctx.metering.add_egress(src, dst, payload_bytes)
+                span.add_tag("egress_bytes", payload_bytes)
+        self.ctx.metrics.counter(
+            "vpn_calls_total", "RPCs across the control/data-plane tunnel"
+        ).inc(service=service)
         self.calls += 1
         self.bytes_transferred += payload_bytes
 

@@ -22,6 +22,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
 
 MIB = 1024.0 * 1024.0
 
@@ -174,16 +179,31 @@ class Metering:
 
 @dataclass
 class SimContext:
-    """Bundle of clock + cost model + metering shared by a simulation.
+    """Bundle of clock + cost model + metering + observability shared by a
+    simulation.
 
     Every stateful component (object stores, metadata services, engines,
     networks) takes a ``SimContext`` so an experiment controls one clock and
-    reads one set of meters.
+    reads one set of meters. The :class:`~repro.obs.Tracer` and
+    :class:`~repro.obs.MetricsRegistry` ride along so every layer can open
+    spans and bump counters without extra wiring; set
+    ``ctx.tracer.enabled = False`` to turn tracing into no-ops.
     """
 
     clock: SimClock = field(default_factory=SimClock)
     costs: CostModel = field(default_factory=CostModel)
     metering: Metering = field(default_factory=Metering)
+    tracer: "Tracer | None" = None
+    metrics: "MetricsRegistry | None" = None
+
+    def __post_init__(self) -> None:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+
+        if self.tracer is None:
+            self.tracer = Tracer(self.clock)
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
 
     def charge(self, op: str, latency_ms: float) -> None:
         """Record operation ``op`` and advance the clock by its latency."""

@@ -164,6 +164,21 @@ class ReadApi:
     # ------------------------------------------------------------------
 
     def create_read_session(
+        self, principal: Principal, table: TableInfo, **kwargs
+    ) -> ReadSession:
+        """Open a consistent read session over ``table`` (traced wrapper;
+        see :meth:`_create_read_session` for the parameters)."""
+        with self.ctx.tracer.span(
+            "read_api.create_session", layer="storageapi", table=table.table_id
+        ) as span:
+            session = self._create_read_session(principal, table, **kwargs)
+            span.set_tag("files_total", session.stats.files_total)
+            span.set_tag("files_pruned", session.stats.files_pruned)
+            if session.stats.served_from_session_cache:
+                span.set_tag("session_cache_hit", True)
+            return session
+
+    def _create_read_session(
         self,
         principal: Principal,
         table: TableInfo,
@@ -208,6 +223,9 @@ class ReadApi:
             table_schema, access, columns=columns,
             row_restriction=row_restriction, functions=self.functions,
         )
+        self.ctx.metrics.counter(
+            "readapi_sessions_total", "read sessions created by table kind"
+        ).inc(kind=table.kind.name.lower())
 
         constraints = ConstraintSet()
         if row_restriction:
@@ -226,6 +244,9 @@ class ReadApi:
             stats.files_after_pruning = len(entries)
             stats.served_from_session_cache = True
             self.session_cache_hits += 1
+            self.ctx.metrics.counter(
+                "readapi_session_cache_hits_total", "read sessions served from the resolution cache"
+            ).inc()
             streams = self._balance_streams(entries, max_streams)
         elif table.kind is TableKind.MANAGED:
             streams = self._managed_streams(table, max_streams)
@@ -425,15 +446,28 @@ class ReadApi:
     def _ensure_cache_fresh(self, table: TableInfo) -> None:
         if table.kind is TableKind.BLMT:
             return  # always authoritative
+        hits = self.ctx.metrics.counter(
+            "bigmeta_cache_hits_total", "metadata-cache reads served without a refresh"
+        )
+        misses = self.ctx.metrics.counter(
+            "bigmeta_cache_misses_total", "metadata-cache reads that triggered a refresh"
+        )
         last = self._cache_refreshed_ms.get(table.table_id)
         stale = last is None or (
             self.ctx.clock.now_ms - last > table.cache_config.max_staleness_ms
         )
         if stale and table.cache_config.mode is MetadataCacheMode.AUTOMATIC:
+            misses.inc()
             self.refresh_metadata_cache(table)
         elif last is None:
             # Manual mode with no refresh ever: populate once so queries work.
+            misses.inc()
             self.refresh_metadata_cache(table)
+        else:
+            hits.inc()
+            current = self.ctx.tracer.current
+            if current is not None:
+                current.set_tag("cache_hit", True)
 
     def refresh_metadata_cache(self, table: TableInfo) -> dict[str, int]:
         """Re-scan the bucket and reconcile the Big Metadata cache.
@@ -442,6 +476,12 @@ class ReadApi:
         operation the user's credentials could never perform, §3.1).
         Returns counters: {"added": n, "removed": m, "unchanged": k}.
         """
+        with self.ctx.tracer.span(
+            "read_api.refresh_metadata_cache", layer="storageapi", table=table.table_id
+        ):
+            return self._refresh_metadata_cache(table)
+
+    def _refresh_metadata_cache(self, table: TableInfo) -> dict[str, int]:
         store = self.stores.store_for(table.storage.location)
         self._require_delegated_access(table, store, listing=True)
         self.bigmeta.register_table(table.table_id)
@@ -504,6 +544,7 @@ class ReadApi:
         enforcement = Superluminal(
             table_schema, access, columns=session.columns,
             row_restriction=session.row_restriction, functions=self.functions,
+            tracer=self.ctx.tracer,
         )
         stream = session.streams[stream_index]
         if session.table.kind is TableKind.MANAGED:
@@ -534,11 +575,12 @@ class ReadApi:
         session.stats.wire_bytes_encoded += encoded
         # Wire transfer + client-side TLS decryption scale with the bytes
         # actually shipped.
-        self.ctx.charge(
-            "read_api.wire",
-            (encoded / MIB)
-            * (self.ctx.costs.in_region_per_mib_ms + self.ctx.costs.tls_decrypt_per_mib_ms),
-        )
+        with self.ctx.tracer.span("read_api.wire", layer="storageapi", bytes=encoded):
+            self.ctx.charge(
+                "read_api.wire",
+                (encoded / MIB)
+                * (self.ctx.costs.in_region_per_mib_ms + self.ctx.costs.tls_decrypt_per_mib_ms),
+            )
 
     def _aggregate_stream(self, session: ReadSession, batches) -> Iterator[RecordBatch]:
         """Aggregate pushdown (§3.4 future work): compute partial
@@ -597,10 +639,16 @@ class ReadApi:
         self._account_wire(session, partial)
         yield partial
 
+    def _count_scanned(self, num_bytes: int) -> None:
+        self.ctx.metrics.counter(
+            "readapi_bytes_scanned_total", "bytes scanned across all read sessions"
+        ).inc(num_bytes)
+
     def _read_managed_stream(self, session, stream, enforcement) -> Iterator[RecordBatch]:
         for batch in stream.batches:
             session.stats.rows_scanned += batch.num_rows
             session.stats.bytes_scanned += batch.nbytes()
+            self._count_scanned(batch.nbytes())
             out = enforcement.process(batch)
             session.stats.rows_returned += out.num_rows
             if out.num_rows:
@@ -626,7 +674,7 @@ class ReadApi:
             enforcement = Superluminal(
                 self._effective_schema(session.table), access,
                 columns=wide_columns, row_restriction=session.row_restriction,
-                functions=self.functions,
+                functions=self.functions, tracer=self.ctx.tracer,
             )
             store = self.stores.store_for(session.table.storage.location)
             self._require_delegated_access(session.table, store)
@@ -656,6 +704,7 @@ class ReadApi:
         for bucket, key in zip(buckets, keys):
             data = store.get_object(bucket, key, caller_location=session.engine_location)
             session.stats.bytes_scanned += len(data)
+            self._count_scanned(len(data))
             payloads.append(data)
         column = Column.from_pylist(DataType.BYTES, payloads)
         return batch.with_column(Field("data", DataType.BYTES), column)
@@ -671,6 +720,7 @@ class ReadApi:
                 continue
             data = store.get_object(bucket, key, caller_location=session.engine_location)
             session.stats.bytes_scanned += len(data)
+            self._count_scanned(len(data))
             if session.use_row_oriented_reader:
                 yield from self._row_oriented_scan(session, data, enforcement)
             else:
@@ -728,6 +778,7 @@ class ReadApi:
                     caller_location=session.engine_location,
                 )
                 session.stats.bytes_scanned += len(blob)
+                self._count_scanned(len(blob))
                 for chunk in members:
                     lo = chunk.offset - start
                     buffers[chunk.name] = blob[lo : lo + chunk.length]
@@ -752,7 +803,11 @@ class ReadApi:
                 sum(len(b) for b in buffers.values()) / MIB
             ) * self.ctx.costs.scan_per_mib_ms
             session.stats.cpu_ms += cpu_cost
-            self.ctx.charge("read_api.ranged_scan", cpu_cost)
+            with self.ctx.tracer.span(
+                "formats.decode", layer="formats", reader="ranged",
+                bytes=sum(len(b) for b in buffers.values()),
+            ):
+                self.ctx.charge("read_api.ranged_scan", cpu_cost)
             session.stats.rows_scanned += batch.num_rows
             out = enforcement.process(batch)
             session.stats.rows_returned += out.num_rows
@@ -805,7 +860,10 @@ class ReadApi:
         session.stats.row_groups_pruned += len(reader.footer.row_groups) - len(keep)
         cpu_cost = (len(data) / MIB) * self.ctx.costs.scan_per_mib_ms
         session.stats.cpu_ms += cpu_cost
-        self.ctx.charge("read_api.vectorized_scan", cpu_cost)
+        with self.ctx.tracer.span(
+            "formats.decode", layer="formats", reader="vectorized", bytes=len(data)
+        ):
+            self.ctx.charge("read_api.vectorized_scan", cpu_cost)
         for rg_index in sorted(keep):
             from repro.formats import pqs
 
@@ -826,7 +884,10 @@ class ReadApi:
             + n_rows * self.ctx.costs.row_scan_overhead_per_row_us / 1000.0
         )
         session.stats.cpu_ms += cpu_cost
-        self.ctx.charge("read_api.row_scan", cpu_cost)
+        with self.ctx.tracer.span(
+            "formats.decode", layer="formats", reader="row", bytes=len(data)
+        ):
+            self.ctx.charge("read_api.row_scan", cpu_cost)
         for batch in reader.read_all(batch_rows=8192):
             session.stats.rows_scanned += batch.num_rows
             out = enforcement.process(batch)

@@ -18,6 +18,7 @@ from repro.data.batch import RecordBatch
 from repro.data.column import Column
 from repro.data.types import DataType, Field, Schema
 from repro.errors import AccessDeniedError
+from repro.obs.trace import NOOP_TRACER, Tracer
 from repro.security.policies import EffectiveAccess, MaskingKind
 from repro.sql import ast_nodes as ast
 from repro.sql.expressions import (
@@ -61,10 +62,12 @@ class Superluminal:
         columns: list[str] | None = None,
         row_restriction: str | None = None,
         functions: FunctionRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.table_schema = table_schema
         self.access = access
         self.stats = ScanFilterStats()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
         if columns is None:
             projected = [
@@ -105,20 +108,28 @@ class Superluminal:
 
     def process(self, batch: RecordBatch) -> RecordBatch:
         """Apply the full enforcement pipeline to one batch."""
-        self.stats.rows_in += batch.num_rows
-        if self._security_filter is _DENY_ALL:
-            return RecordBatch.empty(self.output_schema)
-        if self._security_filter is not None:
-            mask = evaluate_predicate(self._security_filter, batch)
-            batch = batch.filter(mask)
-        if self._user_filter is not None and batch.num_rows:
-            mask = evaluate_predicate(self._user_filter, batch)
-            batch = batch.filter(mask)
-        out = batch.select(self.columns)
-        if self._masks and out.num_rows:
-            out = self._apply_masks(out)
-        self.stats.rows_out += out.num_rows
-        return out
+        with self.tracer.span(
+            "superluminal.process", layer="storageapi", rows_in=batch.num_rows
+        ) as span:
+            self.stats.rows_in += batch.num_rows
+            masked_before = self.stats.values_masked
+            if self._security_filter is _DENY_ALL:
+                span.set_tag("rows_out", 0)
+                return RecordBatch.empty(self.output_schema)
+            if self._security_filter is not None:
+                mask = evaluate_predicate(self._security_filter, batch)
+                batch = batch.filter(mask)
+            if self._user_filter is not None and batch.num_rows:
+                mask = evaluate_predicate(self._user_filter, batch)
+                batch = batch.filter(mask)
+            out = batch.select(self.columns)
+            if self._masks and out.num_rows:
+                out = self._apply_masks(out)
+            self.stats.rows_out += out.num_rows
+            span.set_tag("rows_out", out.num_rows)
+            if self.stats.values_masked > masked_before:
+                span.set_tag("masked", self.stats.values_masked - masked_before)
+            return out
 
     def _apply_masks(self, batch: RecordBatch) -> RecordBatch:
         for name, kind in self._masks.items():

@@ -32,8 +32,8 @@ class TestSnapshotReadsThroughDml:
         before_ms = platform.ctx.clock.now_ms
         platform.ctx.clock.advance(10.0)
         platform.home_engine.execute("DELETE FROM ds.t WHERE k = 1", admin)
-        now = platform.home_engine.query("SELECT COUNT(*) FROM ds.t", admin)
-        past = platform.home_engine.query(
+        now = platform.home_engine.execute("SELECT COUNT(*) FROM ds.t", admin)
+        past = platform.home_engine.execute(
             "SELECT COUNT(*) FROM ds.t", admin, snapshot_ms=before_ms
         )
         assert now.single_value() == 2
@@ -44,7 +44,7 @@ class TestSnapshotReadsThroughDml:
         before_ms = platform.ctx.clock.now_ms
         platform.ctx.clock.advance(10.0)
         platform.home_engine.execute("UPDATE ds.t SET v = 100.0 WHERE k = 2", admin)
-        past = platform.home_engine.query(
+        past = platform.home_engine.execute(
             "SELECT v FROM ds.t WHERE k = 2", admin, snapshot_ms=before_ms
         )
         assert past.single_value() == 2.0
@@ -57,7 +57,7 @@ class TestSnapshotReadsThroughDml:
         before_ms = platform.ctx.clock.now_ms
         platform.ctx.clock.advance(10.0)
         platform.tables.blmt.optimize_storage(table)
-        past = platform.home_engine.query(
+        past = platform.home_engine.execute(
             "SELECT COUNT(*) FROM ds.t", admin, snapshot_ms=before_ms
         )
         assert past.single_value() == 4  # same rows, old file layout
@@ -75,7 +75,7 @@ class TestRetention:
             bucket, _, key = path.partition("/")
             assert store.object_exists(bucket, key)
         # ... so time travel inside the window still works end to end.
-        past = platform.home_engine.query(
+        past = platform.home_engine.execute(
             "SELECT COUNT(*) FROM ds.t", admin, snapshot_ms=before_ms
         )
         assert past.single_value() == 3
@@ -95,7 +95,7 @@ class TestRetention:
         platform, admin, table, store = env
         platform.ctx.clock.advance(platform.tables.blmt.retention_ms * 2)
         assert platform.tables.blmt.garbage_collect(table) == 0
-        result = platform.home_engine.query("SELECT COUNT(*) FROM ds.t", admin)
+        result = platform.home_engine.execute("SELECT COUNT(*) FROM ds.t", admin)
         assert result.single_value() == 3
 
     def test_custom_retention_window(self):

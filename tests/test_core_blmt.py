@@ -90,7 +90,7 @@ class TestStorageOptimization:
         assert report.files_compacted == 6
         after = platform.bigmeta.snapshot(table.table_id)
         assert len(after) < 6
-        result = platform.home_engine.query("SELECT COUNT(*) FROM ds.t", admin)
+        result = platform.home_engine.execute("SELECT COUNT(*) FROM ds.t", admin)
         assert result.single_value() == 18
 
     def test_compaction_reclusters(self, env):
@@ -99,7 +99,7 @@ class TestStorageOptimization:
         platform.tables.blmt.insert(table, [batch([3, 4], cluster=[5, 1])])
         report = platform.tables.blmt.optimize_storage(table)
         assert report.reclustered
-        result = platform.home_engine.query(
+        result = platform.home_engine.execute(
             "SELECT cluster_key FROM ds.t", admin
         )
         values = result.column("cluster_key")

@@ -52,7 +52,7 @@ def run(env, sql):
 
 def rows(env, sql="SELECT * FROM ds.t ORDER BY id"):
     platform, admin, _ = env
-    return platform.home_engine.query(sql, admin).rows()
+    return platform.home_engine.execute(sql, admin).rows()
 
 
 class TestInsert:
@@ -153,7 +153,7 @@ class TestCtasAndAuth:
         result = run(env, "CREATE TABLE ds.summary AS "
                           "SELECT status, SUM(amount) AS total FROM ds.t GROUP BY status")
         assert result.rows_affected > 0
-        out = platform.home_engine.query("SELECT * FROM ds.summary", admin)
+        out = platform.home_engine.execute("SELECT * FROM ds.summary", admin)
         assert out.schema.names() == ["status", "total"]
 
     def test_ctas_or_replace(self, env):

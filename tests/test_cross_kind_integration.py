@@ -68,7 +68,7 @@ def env():
 class TestCrossKindJoins:
     def test_managed_join_biglake(self, env):
         platform, admin, *_ = env
-        r = platform.home_engine.query("""
+        r = platform.home_engine.execute("""
             SELECT d.region_name, SUM(o.amount) AS total
             FROM ds.orders AS o JOIN ds.regions AS d ON o.region = d.region_code
             GROUP BY d.region_name ORDER BY total DESC
@@ -78,7 +78,7 @@ class TestCrossKindJoins:
 
     def test_biglake_join_blmt(self, env):
         platform, admin, *_ = env
-        r = platform.home_engine.query("""
+        r = platform.home_engine.execute("""
             SELECT o.order_id, o.amount + a.delta AS adjusted
             FROM ds.orders AS o JOIN ds.adjustments AS a ON o.order_id = a.order_id
             ORDER BY o.order_id
@@ -89,7 +89,7 @@ class TestCrossKindJoins:
         """Metadata extraction pattern (§6): structured join against
         object attributes."""
         platform, admin, *_ = env
-        r = platform.home_engine.query("""
+        r = platform.home_engine.execute("""
             SELECT COUNT(*) FROM ds.media AS m
             JOIN ds.regions AS d ON d.region_code = 'us'
         """, admin)
@@ -97,7 +97,7 @@ class TestCrossKindJoins:
 
     def test_semi_join_across_kinds(self, env):
         platform, admin, *_ = env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT COUNT(*) FROM ds.orders WHERE order_id IN "
             "(SELECT order_id FROM ds.adjustments)",
             admin,
@@ -110,7 +110,7 @@ class TestCrossKindJoins:
             CREATE TABLE ds.summary AS
             SELECT o.region, COUNT(*) AS n FROM ds.orders AS o GROUP BY o.region
         """, admin)
-        r = platform.home_engine.query("SELECT SUM(n) FROM ds.summary", admin)
+        r = platform.home_engine.execute("SELECT SUM(n) FROM ds.summary", admin)
         assert r.single_value() == 90
 
 
@@ -122,8 +122,8 @@ class TestGovernanceAcrossKinds:
             RowAccessPolicy("pos", "delta > 0", frozenset({analyst}))
         )
         sql = "SELECT order_id, delta FROM ds.adjustments"
-        bq = platform.home_engine.query(sql, analyst)
-        spark = SparkSim(platform, mode="connector", name="xk-spark").query(sql, analyst)
+        bq = platform.home_engine.execute(sql, analyst)
+        spark = SparkSim(platform, mode="connector", name="xk-spark").execute(sql, analyst)
         assert sorted(bq.rows()) == sorted(spark.rows())
         assert all(delta > 0 for _, delta in bq.rows())
 
@@ -136,7 +136,7 @@ class TestGovernanceAcrossKinds:
         fact.policies.add_masking_rule(
             DataMaskingRule("amount", MaskingKind.NULLIFY, frozenset({analyst}))
         )
-        r = platform.home_engine.query("""
+        r = platform.home_engine.execute("""
             SELECT SUM(o.amount) FROM ds.orders AS o
             JOIN ds.regions AS d ON o.region = d.region_code
         """, analyst)
@@ -146,12 +146,12 @@ class TestGovernanceAcrossKinds:
 class TestAggregatesOnObjectTables:
     def test_count_pushdown_over_object_table(self, env):
         platform, admin, _, _, media = env
-        r = platform.home_engine.query("SELECT COUNT(*) FROM ds.media", admin)
+        r = platform.home_engine.execute("SELECT COUNT(*) FROM ds.media", admin)
         assert r.single_value() == 12
 
     def test_min_max_size_over_object_table(self, env):
         platform, admin, _, _, media = env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT MIN(size), MAX(size), SUM(size) FROM ds.media", admin
         )
         lo, hi, total = r.rows()[0]

@@ -100,7 +100,7 @@ def _rows(platform, admin, table, where):
     if where:
         sql += f" WHERE {where}"
     return sorted(
-        platform.home_engine.query(sql, admin).rows(),
+        platform.home_engine.execute(sql, admin).rows(),
         key=lambda r: (r[0] is None, r[0]),
     )
 
@@ -129,7 +129,7 @@ def test_managed_and_biglake_agree_on_aggregates(env, where, group):
     def run(table):
         sql = sql_template.format(g=group, t=table, w=where)
         return sorted(
-            platform.home_engine.query(sql, admin).rows(),
+            platform.home_engine.execute(sql, admin).rows(),
             key=lambda r: (r[0] is None, r[0]),
         )
 

@@ -44,7 +44,7 @@ def env():
 
 def q(env, sql):
     platform, admin = env
-    return platform.home_engine.query(sql, admin)
+    return platform.home_engine.execute(sql, admin)
 
 
 class TestSorting:

@@ -137,7 +137,7 @@ class TestEstimates:
     def test_build_side_is_smaller_relation(self, env):
         """With statistics, the join builds on the dimension (10 rows)."""
         platform, admin = env
-        result = platform.home_engine.query(
+        result = platform.home_engine.execute(
             "SELECT COUNT(*) FROM ds.fact AS f JOIN ds.dim AS d ON f.dim_id = d.dim_id",
             admin,
         )

@@ -23,13 +23,13 @@ class TestConnectorMode:
         platform, admin, _, _ = env
         spark = SparkSim(platform, mode="connector")
         sql = "SELECT region, COUNT(*) AS n FROM ds.sales GROUP BY region ORDER BY region"
-        assert spark.query(sql, admin).rows() == platform.home_engine.query(sql, admin).rows()
+        assert spark.execute(sql, admin).rows() == platform.home_engine.execute(sql, admin).rows()
 
     def test_connector_user_needs_no_bucket_access(self, env):
         platform, _, _, _ = env
         analyst = platform.create_user("sparky", [Role.DATA_VIEWER, Role.JOB_USER])
         spark = SparkSim(platform, mode="connector")
-        r = spark.query("SELECT COUNT(*) FROM ds.sales", analyst)
+        r = spark.execute("SELECT COUNT(*) FROM ds.sales", analyst)
         assert r.single_value() == 200
 
     def test_session_stats_enable_dpp(self, env):
@@ -47,14 +47,14 @@ class TestDirectMode:
         analyst = platform.create_user("nocreds", [Role.DATA_VIEWER, Role.JOB_USER])
         spark = SparkSim(platform, mode="direct")
         with pytest.raises(AccessDeniedError):
-            spark.query("SELECT COUNT(*) FROM ds.sales", analyst)
+            spark.execute("SELECT COUNT(*) FROM ds.sales", analyst)
 
     def test_direct_reads_with_credentials(self, env):
         platform, _, _, _ = env
         power = platform.create_user("power", [Role.DATA_VIEWER])
         platform.iam.grant("buckets/lake", Role.STORAGE_OBJECT_VIEWER, power)
         spark = SparkSim(platform, mode="direct")
-        r = spark.query("SELECT COUNT(*) FROM ds.sales WHERE year = 2023", power)
+        r = spark.execute("SELECT COUNT(*) FROM ds.sales WHERE year = 2023", power)
         assert r.single_value() == 100
 
     def test_direct_lists_bucket_every_query(self, env):
@@ -62,9 +62,9 @@ class TestDirectMode:
         power = platform.create_user("power2", [Role.DATA_VIEWER])
         platform.iam.grant("buckets/lake", Role.STORAGE_OBJECT_VIEWER, power)
         spark = SparkSim(platform, mode="direct")
-        spark.query("SELECT COUNT(*) FROM ds.sales", power)
+        spark.execute("SELECT COUNT(*) FROM ds.sales", power)
         before = platform.ctx.metering.snapshot()
-        spark.query("SELECT COUNT(*) FROM ds.sales", power)
+        spark.execute("SELECT COUNT(*) FROM ds.sales", power)
         delta = platform.ctx.metering.delta_since(before)
         assert delta.op_counts.get("object_store.list_page", 0) >= 1
 
@@ -77,7 +77,7 @@ class TestDirectMode:
         power = platform.create_user("power3", [Role.DATA_VIEWER, Role.STORAGE_OBJECT_VIEWER])
         spark = SparkSim(platform, mode="direct")
         with pytest.raises(QueryError):
-            spark.query("SELECT a FROM ds.m", power)
+            spark.execute("SELECT a FROM ds.m", power)
 
 
 class TestGovernanceUniformity:
@@ -97,8 +97,8 @@ class TestGovernanceUniformity:
         analyst = platform.create_user("gov", [Role.DATA_VIEWER, Role.JOB_USER])
         self._lock_down(platform, table, analyst)
         sql = "SELECT region, amount FROM ds.sales"
-        bq = platform.home_engine.query(sql, analyst)
-        spark = SparkSim(platform, mode="connector").query(sql, analyst)
+        bq = platform.home_engine.execute(sql, analyst)
+        spark = SparkSim(platform, mode="connector").execute(sql, analyst)
         assert sorted(bq.rows()) == sorted(spark.rows())
         assert set(r[0] for r in bq.rows()) == {"eu"}
         assert all(r[1] is None for r in bq.rows())  # masked
@@ -112,7 +112,7 @@ class TestGovernanceUniformity:
         platform.iam.grant("buckets/lake", Role.STORAGE_OBJECT_VIEWER, insider)
         self._lock_down(platform, table, insider)
         spark = SparkSim(platform, mode="direct")
-        leaked = spark.query("SELECT region, amount FROM ds.sales", insider)
+        leaked = spark.execute("SELECT region, amount FROM ds.sales", insider)
         regions = {r[0] for r in leaked.rows()}
         assert regions == {"us", "eu", "apac"}  # row policy bypassed
         assert any(r[1] is not None for r in leaked.rows())  # mask bypassed
@@ -128,12 +128,12 @@ class TestPerformanceShape:
         sql = "SELECT region, SUM(amount) FROM ds.sales WHERE year = 2023 GROUP BY region"
         direct = SparkSim(platform, mode="direct", name="d")
         connector = SparkSim(platform, mode="connector", name="c")
-        connector.query(sql, power)  # warm the metadata cache
+        connector.execute(sql, power)  # warm the metadata cache
 
         t0 = platform.ctx.clock.now_ms
-        direct.query(sql, power)
+        direct.execute(sql, power)
         direct_ms = platform.ctx.clock.now_ms - t0
         t0 = platform.ctx.clock.now_ms
-        connector.query(sql, power)
+        connector.execute(sql, power)
         connector_ms = platform.ctx.clock.now_ms - t0
         assert connector_ms <= direct_ms

@@ -61,7 +61,7 @@ class TestBlmtCrashSafety:
             )
         after = platform.bigmeta.snapshot(table.table_id)
         assert [e.file_path for e in after] == [e.file_path for e in before]
-        result = platform.home_engine.query("SELECT COUNT(*) FROM ds.t", admin)
+        result = platform.home_engine.execute("SELECT COUNT(*) FROM ds.t", admin)
         assert result.single_value() == 3
 
     def test_failed_rewrite_is_atomic(self, blmt_env):
@@ -72,7 +72,7 @@ class TestBlmtCrashSafety:
         platform.tables.blmt.insert(
             table, [batch_from_pydict(SCHEMA, {"id": [10, 11], "v": [1.0, 1.0]})]
         )
-        before_rows = platform.home_engine.query(
+        before_rows = platform.home_engine.execute(
             "SELECT SUM(v) FROM ds.t", admin
         ).single_value()
         # Fail the second data-file write of the copy-on-write pass.
@@ -83,7 +83,7 @@ class TestBlmtCrashSafety:
         # form: fail the very first write; nothing commits either way.
         with pytest.raises(StorageError):
             platform.home_engine.execute("UPDATE ds.t SET v = v + 100", admin)
-        after_rows = platform.home_engine.query(
+        after_rows = platform.home_engine.execute(
             "SELECT SUM(v) FROM ds.t", admin
         ).single_value()
         assert after_rows == before_rows  # no partial update visible

@@ -145,17 +145,17 @@ class TestAggregatePushdown:
     def test_results_match_unpushed(self, env):
         platform, admin, table, _ = env
         sql = "SELECT COUNT(*), COUNT(amount), SUM(amount), MIN(order_id), MAX(amount) FROM ds.sales WHERE year = 2023"
-        pushed = platform.home_engine.query(sql, admin).rows()
+        pushed = platform.home_engine.execute(sql, admin).rows()
         platform.home_engine.enable_aggregate_pushdown = False
         try:
-            plain = platform.home_engine.query(sql, admin).rows()
+            plain = platform.home_engine.execute(sql, admin).rows()
         finally:
             platform.home_engine.enable_aggregate_pushdown = True
         assert pushed == plain
 
     def test_rows_returned_shrinks(self, env):
         platform, admin, table, _ = env
-        result = platform.home_engine.query("SELECT SUM(amount) FROM ds.sales", admin)
+        result = platform.home_engine.execute("SELECT SUM(amount) FROM ds.sales", admin)
         # One partial row per stream instead of 2000 data rows.
         assert result.stats.rows_scanned == 2000
         assert result.num_rows == 1
@@ -164,7 +164,7 @@ class TestAggregatePushdown:
         platform, admin, table, _ = env
         plan = self._plan(platform, "SELECT AVG(amount) FROM ds.sales")
         assert not _find_scans(plan)[0].pushed_aggregates
-        assert platform.home_engine.query(
+        assert platform.home_engine.execute(
             "SELECT AVG(amount) FROM ds.sales", admin
         ).single_value() == pytest.approx(250.5)
 
@@ -187,13 +187,13 @@ class TestAggregatePushdown:
         table.policies.add_row_policy(
             RowAccessPolicy("eu", "region = 'eu'", frozenset({analyst}))
         )
-        governed = platform.home_engine.query("SELECT COUNT(*) FROM ds.sales", analyst)
+        governed = platform.home_engine.execute("SELECT COUNT(*) FROM ds.sales", analyst)
         # 2000 rows total; the analyst's policy admits only the 'eu' third.
         assert 0 < governed.single_value() < 2000
 
     def test_empty_result_semantics(self, env):
         platform, admin, table, _ = env
-        result = platform.home_engine.query(
+        result = platform.home_engine.execute(
             "SELECT COUNT(*), SUM(amount) FROM ds.sales WHERE order_id > 99999", admin
         )
         assert result.rows() == [(0, None)]

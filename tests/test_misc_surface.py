@@ -64,7 +64,7 @@ class TestQueryResultHelpers:
             t.table_id,
             batch_from_pydict(t.schema, {"a": [1, 2], "b": ["x", "y"]}),
         )
-        return platform.home_engine.query("SELECT a, b FROM ds.t ORDER BY a", admin)
+        return platform.home_engine.execute("SELECT a, b FROM ds.t ORDER BY a", admin)
 
     def test_column_accessor(self, result):
         assert result.column("b") == ["x", "y"]

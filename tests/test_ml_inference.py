@@ -40,12 +40,12 @@ def env():
 class TestObjectTables:
     def test_select_star_is_ls(self, env):
         platform, admin, corpus, docs, *_ = env
-        r = platform.home_engine.query("SELECT uri, size FROM dataset1.files", admin)
+        r = platform.home_engine.execute("SELECT uri, size FROM dataset1.files", admin)
         assert r.num_rows == len(corpus)
 
     def test_filter_on_attributes(self, env):
         platform, admin, corpus, *_ = env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT COUNT(*) FROM dataset1.files WHERE content_type = 'image/simg'",
             admin,
         )
@@ -53,7 +53,7 @@ class TestObjectTables:
 
     def test_create_time_filter_prunes_entries(self, env):
         platform, admin, corpus, *_ = env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT COUNT(*) FROM dataset1.files "
             "WHERE create_time > TIMESTAMP '1970-01-01 00:00:20'", admin,
         )
@@ -62,9 +62,9 @@ class TestObjectTables:
 
     def test_listing_avoids_object_store_after_cache(self, env):
         platform, admin, *_ = env
-        platform.home_engine.query("SELECT COUNT(*) FROM dataset1.files", admin)
+        platform.home_engine.execute("SELECT COUNT(*) FROM dataset1.files", admin)
         before = platform.ctx.metering.snapshot()
-        platform.home_engine.query("SELECT COUNT(*) FROM dataset1.files", admin)
+        platform.home_engine.execute("SELECT COUNT(*) FROM dataset1.files", admin)
         delta = platform.ctx.metering.delta_since(before)
         assert delta.op_counts.get("object_store.list_page", 0) == 0
 
@@ -78,7 +78,7 @@ class TestObjectTables:
                 frozenset({limited}),
             )
         )
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT uri, data FROM dataset1.files", limited
         )
         visible = r.num_rows
@@ -90,7 +90,7 @@ class TestObjectTables:
     def test_signed_urls_extend_governance(self, env):
         platform, admin, corpus, _, files, *_ = env
         store = platform.stores.store_for("gcp/us-central1")
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT bucket, key FROM dataset1.files LIMIT 1", admin
         )
         bucket, key = r.rows()[0]
@@ -113,7 +113,7 @@ class TestInEngineInference:
 
     def test_listing_1_accuracy(self, env):
         platform, admin, corpus, *_ = env
-        r = platform.home_engine.query(self.LISTING_1, admin)
+        r = platform.home_engine.execute(self.LISTING_1, admin)
         assert r.num_rows == len(corpus)
         correct = 0
         for uri, label in r.rows():
@@ -123,7 +123,7 @@ class TestInEngineInference:
 
     def test_predictions_json_column(self, env):
         platform, admin, *_ = env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT predictions FROM ML.PREDICT(MODEL dataset1.resnet50, "
             "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) LIMIT 1",
             admin,
@@ -139,7 +139,7 @@ class TestInEngineInference:
         big_model = serialize_model(model, declared_size_bytes=180 * 1024**2)
         platform.ml.import_model("dataset1.big", big_model)
         platform.ml.split_preprocess = True
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.big, "
             "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) LIMIT 5",
             admin,
@@ -153,14 +153,14 @@ class TestInEngineInference:
         platform.ml.import_model("dataset1.big", big_model)
         platform.ml.split_preprocess = False
         with pytest.raises(MlError):
-            platform.home_engine.query(
+            platform.home_engine.execute(
                 "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.big, "
                 "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))",
                 admin,
             )
         assert platform.ml.stats.oom_events == 1
         platform.ml.split_preprocess = True
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.big, "
             "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))",
             admin,
@@ -174,7 +174,7 @@ class TestInEngineInference:
         huge = serialize_model(model, declared_size_bytes=3 * 1024**3)
         platform.ml.import_model("dataset1.huge", huge)
         with pytest.raises(ModelTooLargeError):
-            platform.home_engine.query(
+            platform.home_engine.execute(
                 "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.huge, "
                 "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) LIMIT 1",
                 admin,
@@ -186,7 +186,7 @@ class TestRemoteInference:
         platform, admin, corpus, _, _, _, model = env
         endpoint = VertexEndpoint(model, platform.ctx)
         platform.ml.create_remote_vertex_model("dataset1.remote", "us.media", endpoint)
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT uri, predicted_label FROM ML.PREDICT(MODEL dataset1.remote, "
             "(SELECT uri, ML.DECODE_IMAGE(data) AS image FROM dataset1.files))",
             admin,
@@ -218,7 +218,7 @@ class TestRemoteInference:
         platform.ml.create_document_processor_model(
             "mydataset.invoice_parser", "us.media", processor
         )
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT * FROM ML.PROCESS_DOCUMENT(MODEL mydataset.invoice_parser, "
             "TABLE dataset1.documents)",
             admin,
@@ -240,7 +240,7 @@ class TestRemoteInference:
             "p", platform.ctx, platform.stores, platform.connections
         )
         platform.ml.create_document_processor_model("mydataset.p", "us.media", processor)
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT uri FROM ML.PROCESS_DOCUMENT(MODEL mydataset.p, TABLE dataset1.documents)",
             admin,
         )

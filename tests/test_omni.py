@@ -218,7 +218,7 @@ class TestCrossCloudQueries:
         via_jobserver = platform.job_server.submit(sql, admin)
         # Ground truth computed directly on the home engine (it can read
         # the remote bucket too, just expensively).
-        direct = platform.home_engine.query(sql, admin)
+        direct = platform.home_engine.execute(sql, admin)
         assert via_jobserver.single_value() == direct.single_value()
 
     def test_pushdown_reduces_egress_vs_naive(self, env):
@@ -285,13 +285,13 @@ class TestCcmv:
             "customer_id", platform.engine_in(AWS.location), admin,
         )
         mv.refresh()
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT COUNT(*) FROM ccmv.mv3", admin
         )
         assert r.single_value() == 25
         # Reading the replica moves no cross-cloud bytes.
         before = platform.ctx.metering.snapshot()
-        platform.home_engine.query("SELECT total FROM ccmv.mv3 WHERE customer_id = 1", admin)
+        platform.home_engine.execute("SELECT total FROM ccmv.mv3 WHERE customer_id = 1", admin)
         delta = platform.ctx.metering.delta_since(before)
         assert not any(
             src.startswith("aws") for (src, _), _ in delta.egress_bytes.items()
@@ -319,5 +319,5 @@ class TestCcmv:
         platform.read_api.refresh_metadata_cache(table)
         report = mv.refresh()
         assert report.partitions_removed == first.partitions_total
-        r = platform.home_engine.query("SELECT COUNT(*) FROM ccmv.mv4", admin)
+        r = platform.home_engine.execute("SELECT COUNT(*) FROM ccmv.mv4", admin)
         assert r.single_value() == 0

@@ -89,7 +89,7 @@ class TestThreeCloudQueries:
             "JOIN azure_ds.clicks AS c ON o.customer_id = c.customer_id"
         )
         via_jobserver = platform.job_server.submit(sql, admin).single_value()
-        direct = platform.home_engine.query(sql, admin).single_value()
+        direct = platform.home_engine.execute(sql, admin).single_value()
         assert via_jobserver == direct == 50
 
 

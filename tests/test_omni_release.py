@@ -93,7 +93,7 @@ class TestPerformanceGate:
         admin = platform.admin_user("release-admin")
 
         def perf_gate(region, release):
-            result = region.engine.query("SELECT 1 + 1", admin)
+            result = region.engine.execute("SELECT 1 + 1", admin)
             return result.single_value() == 2
 
         report = manager.rollout(binary_release("v3"), validator=perf_gate)

@@ -82,7 +82,7 @@ def join_env():
 class TestInSubqueryExecution:
     def test_semi_join(self, join_env):
         platform, admin = join_env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT id FROM ds.orders WHERE cust IN (SELECT cust_id FROM ds.vip) ORDER BY id",
             admin,
         )
@@ -90,7 +90,7 @@ class TestInSubqueryExecution:
 
     def test_anti_join(self, join_env):
         platform, admin = join_env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT id FROM ds.orders WHERE cust NOT IN (SELECT cust_id FROM ds.vip) ORDER BY id",
             admin,
         )
@@ -103,7 +103,7 @@ class TestInSubqueryExecution:
             platform.catalog.get_table("ds", "vip").table_id,
             batch_from_pydict(Schema.of(("cust_id", DataType.INT64)), {"cust_id": [None]}),
         )
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT id FROM ds.orders WHERE cust NOT IN (SELECT cust_id FROM ds.vip)",
             admin,
         )
@@ -111,7 +111,7 @@ class TestInSubqueryExecution:
 
     def test_semi_join_composes_with_filters(self, join_env):
         platform, admin = join_env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT id FROM ds.orders WHERE id > 1 AND cust IN (SELECT cust_id FROM ds.vip)",
             admin,
         )
@@ -119,7 +119,7 @@ class TestInSubqueryExecution:
 
     def test_subquery_with_own_filter(self, join_env):
         platform, admin = join_env
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT id FROM ds.orders WHERE cust IN "
             "(SELECT cust_id FROM ds.vip WHERE cust_id < 20)",
             admin,
@@ -129,7 +129,7 @@ class TestInSubqueryExecution:
     def test_multi_column_subquery_rejected(self, join_env):
         platform, admin = join_env
         with pytest.raises(AnalysisError):
-            platform.home_engine.query(
+            platform.home_engine.execute(
                 "SELECT id FROM ds.orders WHERE cust IN (SELECT cust_id, cust_id FROM ds.vip)",
                 admin,
             )
@@ -137,7 +137,7 @@ class TestInSubqueryExecution:
     def test_in_subquery_inside_or_rejected(self, join_env):
         platform, admin = join_env
         with pytest.raises(AnalysisError):
-            platform.home_engine.query(
+            platform.home_engine.execute(
                 "SELECT id FROM ds.orders WHERE id = 1 OR cust IN (SELECT cust_id FROM ds.vip)",
                 admin,
             )
@@ -161,9 +161,9 @@ class TestTimeTravel:
         platform.ctx.clock.advance(5_000.0)
         platform.tables.blmt.insert(table, [batch_from_pydict(schema, {"k": [2]})])
 
-        now = platform.home_engine.query("SELECT COUNT(*) FROM ds.t", admin)
+        now = platform.home_engine.execute("SELECT COUNT(*) FROM ds.t", admin)
         assert now.single_value() == 2
-        past = platform.home_engine.query(
+        past = platform.home_engine.execute(
             "SELECT COUNT(*) FROM ds.t FOR SYSTEM_TIME AS OF "
             f"TIMESTAMP '1970-01-01 00:00:{snapshot_seconds:09.6f}'",
             admin,
@@ -173,7 +173,7 @@ class TestTimeTravel:
     def test_system_time_requires_timestamp(self, join_env):
         platform, admin = join_env
         with pytest.raises(AnalysisError):
-            platform.home_engine.query(
+            platform.home_engine.execute(
                 "SELECT id FROM ds.orders FOR SYSTEM_TIME AS OF 'yesterday'", admin
             )
 
@@ -209,7 +209,7 @@ class TestCreateModelExecution:
             "OPTIONS (model_path = 'store://models/resnet50.mdl')",
             admin,
         )
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.resnet50, "
             "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files))",
             admin,
@@ -229,7 +229,7 @@ class TestCreateModelExecution:
             """,
             admin,
         )
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT * FROM ML.PROCESS_DOCUMENT(MODEL mydataset.invoice_parser, "
             "TABLE mydataset.documents)",
             admin,
@@ -257,7 +257,7 @@ class TestCreateModelExecution:
             "OPTIONS (remote_service_type = 'vertex_ai', endpoint = 'img-endpoint')",
             admin,
         )
-        r = platform.home_engine.query(
+        r = platform.home_engine.execute(
             "SELECT predicted_label FROM ML.PREDICT(MODEL dataset1.remote_model, "
             "(SELECT ML.DECODE_IMAGE(data) AS image FROM dataset1.files)) LIMIT 5",
             admin,

@@ -134,7 +134,7 @@ class TestPendingAndTransactions:
         platform.write_api.batch_commit([s1, s2])
         history = platform.bigmeta.history(table.table_id)
         assert len(history) == 1  # single atomic commit
-        result = platform.home_engine.query("SELECT COUNT(*) FROM ds.t", admin)
+        result = platform.home_engine.execute("SELECT COUNT(*) FROM ds.t", admin)
         assert result.single_value() == 3
 
 

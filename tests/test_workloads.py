@@ -34,7 +34,7 @@ class TestTpcdsGenerator:
         data = tpcds_lite.generate(scale=0.1)
         tpcds_lite.load_as_biglake(platform, admin, data)
         for name, sql in tpcds_lite.queries().items():
-            result = platform.home_engine.query(sql, admin)
+            result = platform.home_engine.execute(sql, admin)
             assert result.stats.elapsed_ms > 0, name
 
     def test_managed_load_matches_biglake(self):
@@ -44,8 +44,8 @@ class TestTpcdsGenerator:
         tpcds_lite.load_as_managed(platform, data)
         q = tpcds_lite.queries("tpcds")["q42"]
         q_managed = tpcds_lite.queries("tpcds_managed")["q42"]
-        a = platform.home_engine.query(q, admin).rows()
-        b = platform.home_engine.query(q_managed, admin).rows()
+        a = platform.home_engine.execute(q, admin).rows()
+        b = platform.home_engine.execute(q_managed, admin).rows()
         assert len(a) == len(b)
         for ra, rb in zip(a, b):
             for va, vb in zip(ra, rb):
@@ -71,14 +71,14 @@ class TestTpchGenerator:
         data = tpch_lite.generate(scale=0.1)
         tpch_lite.load_as_biglake(platform, admin, data)
         for name, sql in tpch_lite.queries().items():
-            result = platform.home_engine.query(sql, admin)
+            result = platform.home_engine.execute(sql, admin)
             assert result.stats.elapsed_ms > 0, name
 
     def test_q1_aggregates_consistent(self):
         platform, admin = make_platform()
         data = tpch_lite.generate(scale=0.1)
         tpch_lite.load_as_biglake(platform, admin, data)
-        r = platform.home_engine.query(tpch_lite.queries()["q01"], admin)
+        r = platform.home_engine.execute(tpch_lite.queries()["q01"], admin)
         for row in r.rows():
             flag, status, sum_qty, base, disc, avg_qty, avg_disc, n = row
             assert n > 0
