@@ -8,7 +8,7 @@ across the cloud boundary and the resulting egress dollars.
 """
 
 from repro import Cloud, DataType, Region, Role, Schema, batch_from_pydict
-from repro.bench import format_table
+from repro.bench import format_table, record_bench
 from repro.cloud import egress_cost_usd
 from repro.metastore.catalog import MetadataCacheMode
 from repro.omni.crosscloud import CrossCloudQueryPlanner
@@ -80,9 +80,11 @@ def test_e10_cross_cloud_join_egress(benchmark):
     naive_bytes = naive.cross_cloud["bytes_moved"]
 
     rows = []
+    moved_by_threshold = {}
     for threshold in (0, 500, 900, 990):
         result = planner.execute(parse_statement(_join_sql(threshold)), admin, home)
         moved = result.cross_cloud["bytes_moved"]
+        moved_by_threshold[str(threshold)] = moved
         cost = egress_cost_usd(
             platform.ctx.costs, AWS.location, "gcp/us-central1", moved
         )
@@ -108,6 +110,16 @@ def test_e10_cross_cloud_join_egress(benchmark):
         lambda: planner.execute(parse_statement(_join_sql(990)), admin, home),
         rounds=1, iterations=1,
     )
+    record_bench(
+        "e10",
+        title="Cross-cloud join: subquery pushdown vs naive table copy",
+        bytes_moved_naive=naive_bytes,
+        bytes_moved_by_threshold=moved_by_threshold,
+        reduction_selective=round(
+            naive_bytes / max(selective.cross_cloud["bytes_moved"], 1), 3
+        ),
+    )
+
     # Paper shape: the selective query ships a small fraction of the table.
     assert selective.cross_cloud["bytes_moved"] < naive_bytes / 10
     # Same answers both ways.

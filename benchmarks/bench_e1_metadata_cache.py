@@ -11,7 +11,13 @@ file/partition pruning versus statistics-driven planning (join reordering +
 dynamic partition pruning).
 """
 
-from repro.bench import build_tpcds_platform, format_table, power_run
+from repro.bench import (
+    build_tpcds_platform,
+    format_table,
+    power_run,
+    record_bench,
+    record_power_run,
+)
 from repro.metastore.catalog import MetadataCacheMode
 
 SCALE = 0.3
@@ -68,6 +74,20 @@ def test_e1_tpcds_metadata_cache_speedup(benchmark):
             ],
         )
     )
+    record_power_run("e1", "uncached_external", uncached)
+    record_power_run("e1", "cache_pruning_only", pruning_only)
+    record_power_run("e1", "cache_plus_stats", cached)
+    record_bench(
+        "e1",
+        title="TPC-DS power run, metadata cache off vs on (Fig. 4)",
+        speedup_overall=round(overall, 3),
+        speedup_pruning_only=round(ablation, 3),
+        speedup_per_query={
+            name: round(uncached.elapsed(name) / max(cached.elapsed(name), 1e-9), 3)
+            for name in cached.query_stats
+        },
+    )
+
     # Paper shape: every query at least as fast; overall ~4x or better.
     assert all(uncached.elapsed(n) >= cached.elapsed(n) * 0.99 for n in cached.query_stats)
     assert overall >= 4.0, f"overall speedup {overall:.1f}x below the paper's ~4x"

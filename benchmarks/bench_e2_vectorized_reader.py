@@ -12,7 +12,7 @@ server-side cost model.
 
 import time
 
-from repro.bench import format_table
+from repro.bench import format_table, record_bench
 from tests.helpers import make_platform, setup_sales_lake
 
 
@@ -67,6 +67,15 @@ def test_e2_vectorized_vs_row_oriented_reader(benchmark):
             ],
         )
     )
+    record_bench(
+        "e2",
+        title="ReadRows: vectorized (Superluminal) vs row-oriented reader",
+        rows_read=rows_vec,
+        sim_cpu_ms={"row_oriented": round(sim_row, 3), "vectorized": round(sim_vec, 3)},
+        speedup_sim_cpu=round(sim_speedup, 3),
+        speedup_wall=round(wall_speedup, 3),
+    )
+
     # Paper shape: ~2x read throughput, ~10x server CPU efficiency.
     assert sim_speedup >= 8.0, f"CPU efficiency only {sim_speedup:.1f}x"
     assert wall_speedup >= 2.0, f"wall speedup only {wall_speedup:.2f}x"

@@ -1,8 +1,10 @@
-"""Benchmark-suite conftest: make the repo root importable.
+"""Benchmark-suite conftest: repo-root imports + the bench report dump.
 
 The benches reuse ``tests.helpers`` scenario builders; a bare ``pytest
 benchmarks/`` invocation only puts ``benchmarks/`` itself on ``sys.path``,
-so the repo root is added here.
+so the repo root is added here. At session finish, whatever the benches
+recorded via :func:`repro.bench.record_bench` is written to
+``BENCH_PR2.json`` at the repo root (schema documented in EXPERIMENTS.md).
 """
 
 import sys
@@ -11,3 +13,11 @@ from pathlib import Path
 _ROOT = str(Path(__file__).resolve().parent.parent)
 if _ROOT not in sys.path:
     sys.path.insert(0, _ROOT)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.bench import write_bench_report
+
+    written = write_bench_report(str(Path(_ROOT) / "BENCH_PR2.json"))
+    if written:
+        print(f"\nbench report written to {written}")

@@ -5,6 +5,10 @@ Commands:
 * ``demo``        — run the quickstart scenario inline (no files needed).
 * ``trace <sql>`` — run a query over the demo lake and print its
   cross-layer span tree (``explain_analyze``) plus the metrics dump.
+* ``jobs``        — run a demo workload, then query the job history
+  *through its own SQL surface* (``INFORMATION_SCHEMA.JOBS``).
+  ``--timeline JOB_ID`` prints the per-span timeline for one job;
+  ``--chrome-trace OUT.json`` exports it for ``chrome://tracing``.
 * ``experiments`` — run the full E1–E12 + future-work benchmark suite.
 * ``info``        — print the module inventory and experiment index.
 """
@@ -89,6 +93,72 @@ def _demo() -> int:
     return 0
 
 
+def _jobs(timeline: str | None, chrome_trace_path: str | None) -> int:
+    """Run a small workload, then inspect it via INFORMATION_SCHEMA."""
+    from repro.errors import ReproError
+    from repro.obs.export import chrome_trace_json
+
+    platform, admin = _build_demo_platform()
+    engine = platform.home_engine
+    workload = [
+        "SELECT region, COUNT(*) AS n FROM demo.orders GROUP BY region",
+        "SELECT SUM(amount) AS total FROM demo.orders WHERE id < 150",
+        "SELECT * FROM demo.no_such_table",  # deliberate failure, stays in history
+    ]
+    for sql in workload:
+        try:
+            engine.execute(sql, admin)
+        except ReproError:
+            pass
+
+    # Dogfood: the report below is itself a query over the system tables.
+    result = engine.execute(
+        "SELECT job_id, state, total_ms, bytes_scanned, sql "
+        "FROM INFORMATION_SCHEMA.JOBS ORDER BY job_id",
+        admin,
+    )
+    print("job_id      state      total_ms  bytes_scanned  sql")
+    for job_id, state, total_ms, bytes_scanned, sql in result.rows():
+        text = sql if len(sql) <= 48 else sql[:45] + "..."
+        print(f"{job_id}  {state:<9} {total_ms:>9.2f}  {bytes_scanned:>13,}  {text}")
+
+    if timeline:
+        print(f"\n-- timeline for {timeline}\n")
+        try:
+            rows = engine.execute(
+                "SELECT span_id, parent_span_id, name, layer, start_ms, "
+                "duration_ms, self_ms FROM INFORMATION_SCHEMA.JOBS_TIMELINE "
+                f"WHERE job_id = '{timeline}' ORDER BY span_id",
+                admin,
+            ).rows()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not rows:
+            print(f"error: no timeline rows for {timeline!r}", file=sys.stderr)
+            return 1
+        print("span  parent  layer       start_ms  dur_ms  self_ms  name")
+        for span_id, parent_id, name, layer, start_ms, dur_ms, self_ms in rows:
+            print(
+                f"{span_id:>4}  {parent_id:>6}  {layer:<10} {start_ms:>9.2f} "
+                f"{dur_ms:>7.2f} {self_ms:>8.2f}  {name}"
+            )
+
+    if chrome_trace_path:
+        try:
+            record = platform.job(timeline) if timeline else platform.history.last
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if record is None or record.trace is None:
+            print("error: no trace retained to export", file=sys.stderr)
+            return 1
+        with open(chrome_trace_path, "w", encoding="utf-8") as fh:
+            fh.write(chrome_trace_json(record.trace, process_name=record.job_id))
+        print(f"\nwrote Chrome trace for {record.job_id} to {chrome_trace_path}")
+    return 0
+
+
 def _experiments(extra: list[str]) -> int:
     command = [
         sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
@@ -112,18 +182,28 @@ def _info() -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
-        "command", choices=["demo", "trace", "experiments", "info"],
+        "command", choices=["demo", "trace", "jobs", "experiments", "info"],
         nargs="?", default="demo",
     )
     parser.add_argument(
         "extra", nargs="*",
         help="SQL for 'trace'; extra pytest args for 'experiments'",
     )
+    parser.add_argument(
+        "--timeline", metavar="JOB_ID",
+        help="for 'jobs': print the per-span timeline of one job",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="OUT.json", dest="chrome_trace",
+        help="for 'jobs': write the job's trace in Chrome trace-event format",
+    )
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _demo()
     if args.command == "trace":
         return _trace(" ".join(args.extra) if args.extra else None)
+    if args.command == "jobs":
+        return _jobs(args.timeline, args.chrome_trace)
     if args.command == "experiments":
         return _experiments(args.extra)
     return _info()

@@ -1,17 +1,25 @@
 """Benchmark harness utilities shared by the ``benchmarks/`` suite."""
 
 from repro.bench.harness import (
+    PowerRunResult,
+    bench_report,
     build_tpcds_platform,
     build_tpch_platform,
     format_table,
     power_run,
-    PowerRunResult,
+    record_bench,
+    record_power_run,
+    write_bench_report,
 )
 
 __all__ = [
+    "PowerRunResult",
+    "bench_report",
     "build_tpcds_platform",
     "build_tpch_platform",
     "format_table",
     "power_run",
-    "PowerRunResult",
+    "record_bench",
+    "record_power_run",
+    "write_bench_report",
 ]

@@ -3,12 +3,15 @@
 Each benchmark in ``benchmarks/`` regenerates one of the paper's
 tables/figures (see DESIGN.md's experiment index). The harness provides
 platform builders for the standard workloads, a sequential "power run"
-runner (the measurement mode Fig. 4 uses), and plain-text table printing so
-benchmark output reads like the paper's reported series.
+runner (the measurement mode Fig. 4 uses), plain-text table printing so
+benchmark output reads like the paper's reported series, and a
+machine-readable report (``record_bench`` / ``write_bench_report``) the
+suite conftest dumps to ``BENCH_PR2.json`` — schema in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -76,6 +79,60 @@ def build_tpch_platform(
     for flag, value in engine_flags.items():
         setattr(engine, flag, value)
     return platform, admin, engine, tpch_lite.queries()
+
+
+# --------------------------------------------------------------------------
+# Machine-readable bench report (BENCH_PR2.json)
+# --------------------------------------------------------------------------
+
+#: Accumulates across one pytest session; the benchmarks/ conftest writes
+#: it out at session finish. Keyed by bench id ("e1", "e2", ...).
+_REPORT: dict[str, dict[str, Any]] = {}
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def record_bench(bench: str, **fields: Any) -> None:
+    """Merge result fields into one bench's report entry.
+
+    Values must be JSON-serializable; simulated times are milliseconds and
+    speedups are plain ratios (``4.2`` meaning 4.2x), so downstream tooling
+    never parses ``"4.2x"`` strings.
+    """
+    _REPORT.setdefault(bench, {}).update(fields)
+
+
+def record_power_run(bench: str, label: str, result: PowerRunResult) -> None:
+    """Attach one power run's per-query timings + layer summary to a bench."""
+    layers: dict[str, float] = {}
+    for summary in result.trace_summaries.values():
+        for layer, ms in summary["layers_ms"].items():
+            layers[layer] = round(layers.get(layer, 0.0) + ms, 3)
+    runs = _REPORT.setdefault(bench, {}).setdefault("runs", {})
+    runs[label] = {
+        "total_ms": round(result.total_elapsed_ms, 3),
+        "queries_ms": {
+            name: round(stats.elapsed_ms, 3)
+            for name, stats in result.query_stats.items()
+        },
+        "layers_ms": layers,
+    }
+
+
+def bench_report() -> dict[str, Any]:
+    """The report document (shared dict — callers must not mutate it)."""
+    return {"schema_version": REPORT_SCHEMA_VERSION, "benches": _REPORT}
+
+
+def write_bench_report(path: str) -> str | None:
+    """Dump the accumulated report as JSON; a no-op when nothing recorded
+    (e.g. a ``-k``-filtered run that touched no recording bench)."""
+    if not _REPORT:
+        return None
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench_report(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:

@@ -17,6 +17,8 @@ from repro.metastore.bigmeta import BigMetadataService
 from repro.metastore.catalog import Catalog
 from repro.metastore.hivemeta import HiveMetastore
 from repro.objectstore.registry import StoreRegistry
+from repro.obs.history import JobHistory
+from repro.obs.system_tables import SystemTables
 from repro.security.audit import AuditLog
 from repro.security.connections import ConnectionManager
 from repro.security.iam import IamService, Principal, Role
@@ -34,6 +36,8 @@ class PlatformConfig:
     project: str = "repro-project"
     home_region: Region = field(default_factory=lambda: GCP_US)
     engine_slots: int = 64
+    # Ring-buffer bound on the queryable job history (INFORMATION_SCHEMA.JOBS).
+    job_history_capacity: int = 256
 
 
 class LakehousePlatform:
@@ -51,6 +55,17 @@ class LakehousePlatform:
         self.connections = ConnectionManager(self.iam, self.ctx)
         self.managed = ManagedStorage(self.ctx)
         self.functions = FunctionRegistry()
+        self.history = JobHistory(capacity=self.config.job_history_capacity)
+        self.system_tables = SystemTables(
+            project=self.config.project,
+            history=self.history,
+            iam=self.iam,
+            audit=self.audit,
+            catalog=self.catalog,
+            bigmeta=self.bigmeta,
+            managed=self.managed,
+            metrics=self.ctx.metrics,
+        )
         self.read_api = ReadApi(
             catalog=self.catalog,
             bigmeta=self.bigmeta,
@@ -119,6 +134,8 @@ class LakehousePlatform:
             engine.set_dml_handler(self.tables)
         if self.ml is not None:
             self.ml.attach(engine)
+        engine.history = self.history
+        engine.system_tables = self.system_tables
 
     def engine(self, name: str) -> QueryEngine:
         try:
@@ -166,6 +183,14 @@ class LakehousePlatform:
         """The Prometheus text exposition of every platform metric."""
         return self.ctx.metrics.render()
 
+    def job(self, job_id: str):
+        """Look up one job record from the platform history."""
+        return self.history.get(job_id)
+
+    def jobs(self):
+        """All retained job records, oldest first."""
+        return self.history.jobs()
+
     # -- convenience -------------------------------------------------------------
 
     def create_user(self, name: str, roles: list[Role] | None = None) -> Principal:
@@ -178,5 +203,11 @@ class LakehousePlatform:
     def admin_user(self, name: str = "admin") -> Principal:
         return self.create_user(
             name,
-            [Role.DATA_EDITOR, Role.JOB_USER, Role.CONNECTION_USER, Role.ML_USER],
+            [
+                Role.ADMIN,
+                Role.DATA_EDITOR,
+                Role.JOB_USER,
+                Role.CONNECTION_USER,
+                Role.ML_USER,
+            ],
         )

@@ -165,6 +165,11 @@ class QueryEngine:
         self.ctx = read_api.ctx
         self._tvf_handlers: dict[str, TvfHandler] = {}
         self.dml_handler: DmlHandler | None = None
+        # Platform-owned observability services (set by _wire_engine); a
+        # bare engine runs fine without them — no history, and
+        # INFORMATION_SCHEMA names fall through to the catalog.
+        self.history = None  # repro.obs.history.JobHistory
+        self.system_tables = None  # repro.obs.system_tables.SystemTables
 
     # -- registration -------------------------------------------------------
 
@@ -181,6 +186,7 @@ class QueryEngine:
             self.catalog,
             functions=self.functions,
             tvf_schema_resolver=self._tvf_schema,
+            system_tables=self.system_tables,
         )
 
     def _tvf_schema(
@@ -244,29 +250,65 @@ class QueryEngine:
         holds the full cross-layer span tree, and the query metrics
         (``queries_total``, ``query_elapsed_ms``,
         ``query_bytes_scanned_total``) are recorded on the way out.
+
+        When the engine is platform-wired, every call — including ones
+        that fail — persists a :class:`~repro.obs.history.JobRecord` into
+        the platform's job history, queryable afterwards through
+        ``INFORMATION_SCHEMA.JOBS`` / ``JOBS_TIMELINE``. Audit events
+        emitted while the statement runs carry its job id.
         """
-        if isinstance(sql_or_select, str):
-            statement = parse_statement(sql_or_select)
-        else:
-            statement = sql_or_select
-        is_select = isinstance(statement, ast.Select)
-        if is_select:
-            kind = "select"
-        elif snapshot_ms is not None:
-            raise AnalysisError("snapshot_ms applies to SELECT statements only")
-        elif self.dml_handler is None:
-            raise QueryError(
-                f"{type(statement).__name__} requires a DML handler "
-                "(wire the engine through a table manager)"
-            )
-        else:
-            kind = type(statement).__name__.lower()
+        sql_text = sql_or_select if isinstance(sql_or_select, str) else ""
+        job_id = self.history.next_job_id() if self.history is not None else ""
+        start_ms = self.ctx.clock.now_ms
+        metering_before = (
+            self.ctx.metering.snapshot() if self.history is not None else None
+        )
+        # Some read-api stand-ins (e.g. the Spark direct-mode reader) carry
+        # no audit log; job correlation simply doesn't apply there.
+        audit = getattr(self.read_api, "audit", None)
+        prev_job_id = audit.current_job_id if audit is not None else ""
+        if audit is not None:
+            audit.current_job_id = job_id
         tracer = self.ctx.tracer
-        with tracer.span("query", layer="engine", engine=self.name, kind=kind) as root:
-            if is_select:
-                result = self._run_plan(self.plan(statement), principal, snapshot_ms=snapshot_ms)
+        kind = "invalid"
+        root = None
+        try:
+            if isinstance(sql_or_select, str):
+                statement = parse_statement(sql_or_select)
             else:
-                result = self.dml_handler.execute_dml(statement, self, principal)
+                statement = sql_or_select
+                sql_text = f"<{type(statement).__name__} AST>"
+            is_select = isinstance(statement, ast.Select)
+            if is_select:
+                kind = "select"
+            elif snapshot_ms is not None:
+                kind = type(statement).__name__.lower()
+                raise AnalysisError("snapshot_ms applies to SELECT statements only")
+            elif self.dml_handler is None:
+                kind = type(statement).__name__.lower()
+                raise QueryError(
+                    f"{type(statement).__name__} requires a DML handler "
+                    "(wire the engine through a table manager)"
+                )
+            else:
+                kind = type(statement).__name__.lower()
+            with tracer.span("query", layer="engine", engine=self.name, kind=kind) as root:
+                if is_select:
+                    result = self._run_plan(
+                        self.plan(statement), principal, snapshot_ms=snapshot_ms
+                    )
+                else:
+                    result = self.dml_handler.execute_dml(statement, self, principal)
+        except Exception as exc:
+            self._record_job(
+                job_id, principal, sql_text, kind, error=str(exc),
+                trace=root if tracer.enabled else None,
+                start_ms=start_ms, metering_before=metering_before,
+            )
+            raise
+        finally:
+            if audit is not None:
+                audit.current_job_id = prev_job_id
         if tracer.enabled:
             result.trace = root
         metrics = self.ctx.metrics
@@ -279,7 +321,63 @@ class QueryEngine:
         metrics.histogram(
             "query_elapsed_ms", "modeled slot-limited query latency"
         ).observe(result.stats.elapsed_ms, engine=self.name)
+        self._record_job(
+            job_id, principal, sql_text, kind, result=result,
+            trace=result.trace, start_ms=start_ms, metering_before=metering_before,
+        )
         return result
+
+    def _record_job(
+        self,
+        job_id: str,
+        principal: Principal,
+        sql_text: str,
+        kind: str,
+        *,
+        result: QueryResult | None = None,
+        error: str = "",
+        trace: Any | None = None,
+        start_ms: float = 0.0,
+        metering_before: Any | None = None,
+    ) -> None:
+        """Persist one execution into the platform job history (no-op for
+        bare engines constructed without a platform)."""
+        if self.history is None:
+            return
+        from repro.obs.history import FAILED, SUCCEEDED, JobRecord, record_from_trace
+
+        end_ms = self.ctx.clock.now_ms
+        delta = (
+            self.ctx.metering.delta_since(metering_before)
+            if metering_before is not None
+            else None
+        )
+        stats = result.stats if result is not None else None
+        record = JobRecord(
+            job_id=job_id,
+            principal=str(principal),
+            sql=sql_text,
+            kind=kind,
+            engine=self.name,
+            state=SUCCEEDED if result is not None else FAILED,
+            error=error,
+            start_ms=start_ms,
+            end_ms=end_ms,
+            total_ms=stats.elapsed_ms if stats is not None else end_ms - start_ms,
+            slot_ms=stats.slot_ms if stats is not None else 0.0,
+            bytes_scanned=stats.bytes_scanned if stats is not None else 0,
+            rows_scanned=stats.rows_scanned if stats is not None else 0,
+            rows_produced=result.num_rows if result is not None else 0,
+            files_read=stats.files_read if stats is not None else 0,
+            files_total=stats.files_total if stats is not None else 0,
+            shuffle_partitions=stats.shuffle_partitions if stats is not None else 0,
+            compute_parallelism=stats.compute_parallelism if stats is not None else 0,
+            bytes_read=delta.bytes_read if delta is not None else 0,
+            bytes_written=delta.bytes_written if delta is not None else 0,
+            bytes_egressed=delta.total_egress() if delta is not None else 0,
+            trace=trace,
+        )
+        self.history.record(record_from_trace(record))
 
     def query(
         self,

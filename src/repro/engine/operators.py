@@ -27,6 +27,7 @@ from repro.engine.plan import (
     ProjectNode,
     ScanNode,
     SortNode,
+    SystemTableNode,
     TvfNode,
     UnionAllNode,
     ValuesNode,
@@ -78,6 +79,8 @@ def execute_plan(node: PlanNode, ctx: ExecContext) -> list[RecordBatch]:
 def _dispatch_plan_node(node: PlanNode, ctx: ExecContext) -> list[RecordBatch]:
     if isinstance(node, ScanNode):
         return _execute_scan(node, ctx)
+    if isinstance(node, SystemTableNode):
+        return _execute_system_table(node, ctx)
     if isinstance(node, FilterNode):
         return _execute_filter(node, ctx)
     if isinstance(node, ProjectNode):
@@ -150,6 +153,34 @@ def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
         ordered = batch.select(node.columns)
         renamed.append(ordered.rename(out_names))
     return renamed
+
+
+def _execute_system_table(node: SystemTableNode, ctx: ExecContext) -> list[RecordBatch]:
+    """Materialize an INFORMATION_SCHEMA table under the querying principal.
+
+    Governance (per-principal job visibility, admin-only audit access)
+    lives in the provider, not here — the engine is untrusted with respect
+    to observability data just as it is with table data (§3.2)."""
+    engine = ctx.engine
+    provider = getattr(engine, "system_tables", None)
+    if provider is None:
+        raise ExecutionError(
+            f"INFORMATION_SCHEMA.{node.name} requires a platform-wired engine"
+        )
+    t0 = engine.ctx.clock.now_ms
+    with engine.ctx.tracer.span(
+        "system_tables.scan", layer="obs", table=node.name
+    ) as span:
+        # System tables read control-plane state: charge one metadata
+        # lookup rather than object-store scan costs.
+        engine.ctx.charge("system_tables.scan", engine.ctx.costs.bigmeta_lookup_ms)
+        rows = provider.scan(node.name, ctx.principal)
+        span.set_tag("rows", len(rows))
+    ctx.stats.planning_ms += engine.ctx.clock.now_ms - t0
+    batch = batch_from_rows(node.base_schema, rows)
+    if node.schema.names() != node.base_schema.names():
+        batch = batch.rename(node.schema.names())
+    return [batch]
 
 
 def _scan_restriction(node: ScanNode) -> str | None:

@@ -68,6 +68,27 @@ class ScanNode(PlanNode):
 
 
 @dataclass
+class SystemTableNode(PlanNode):
+    """Scan of an ``INFORMATION_SCHEMA`` virtual table.
+
+    Rows are produced at execution time by the platform's
+    :class:`~repro.obs.system_tables.SystemTables` provider under the
+    querying principal — which is where per-principal visibility and the
+    admin-only tables are enforced. ``base_schema`` keeps the unqualified
+    column names the provider emits; ``schema`` may be alias-qualified
+    when the table appears in a join.
+    """
+
+    name: str  # normalized table name, e.g. "JOBS"
+    schema: Schema
+    base_schema: Schema
+    qualifier: str | None = None
+
+    def _label(self) -> str:
+        return f"SystemTable(INFORMATION_SCHEMA.{self.name})"
+
+
+@dataclass
 class FilterNode(PlanNode):
     child: PlanNode
     predicate: ast.Expr

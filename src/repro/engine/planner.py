@@ -23,6 +23,7 @@ from repro.engine.plan import (
     ProjectNode,
     ScanNode,
     SortNode,
+    SystemTableNode,
     TvfNode,
     UnionAllNode,
 )
@@ -47,10 +48,12 @@ class Planner:
         catalog: Catalog,
         functions: FunctionRegistry | None = None,
         tvf_schema_resolver: TvfSchemaResolver | None = None,
+        system_tables=None,  # repro.obs.system_tables.SystemTables
     ) -> None:
         self.catalog = catalog
         self.functions = functions or FunctionRegistry()
         self.tvf_schema_resolver = tvf_schema_resolver
+        self.system_tables = system_tables
 
     # ------------------------------------------------------------------
 
@@ -211,7 +214,9 @@ class Planner:
             )
         raise AnalysisError(f"unsupported FROM item {item!r}")
 
-    def _plan_table(self, ref: ast.TableRef, join_context: bool) -> ScanNode:
+    def _plan_table(self, ref: ast.TableRef, join_context: bool) -> PlanNode:
+        if self.system_tables is not None and self.system_tables.resolves(ref.path):
+            return self._plan_system_table(ref, join_context)
         table = self.catalog.resolve(ref.path)
         base = OBJECT_TABLE_SCHEMA if table.kind is TableKind.OBJECT else table.schema
         qualifier = ref.alias or ref.path[-1]
@@ -225,6 +230,22 @@ class Planner:
             columns=base.names(),
             qualifier=qualifier if join_context else None,
             snapshot_ms=self._system_time_ms(ref),
+        )
+
+    def _plan_system_table(self, ref: ast.TableRef, join_context: bool) -> SystemTableNode:
+        if ref.system_time is not None:
+            raise AnalysisError(
+                "INFORMATION_SCHEMA tables do not support FOR SYSTEM_TIME AS OF"
+            )
+        name = self.system_tables.normalize(ref.path)
+        base = self.system_tables.schema(name)
+        qualifier = ref.alias or ref.path[-1]
+        schema = base.rename_all(qualifier) if join_context else base
+        return SystemTableNode(
+            name=name,
+            schema=schema,
+            base_schema=base,
+            qualifier=qualifier if join_context else None,
         )
 
     def _system_time_ms(self, ref: ast.TableRef) -> float | None:

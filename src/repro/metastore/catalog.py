@@ -128,6 +128,9 @@ class Catalog:
     def has_dataset(self, name: str) -> bool:
         return name in self._datasets
 
+    def dataset_names(self) -> list[str]:
+        return sorted(self._datasets)
+
     def create_table(self, table: TableInfo, replace: bool = False) -> TableInfo:
         ds = self.dataset(table.dataset)
         if table.name in ds.tables and not replace:

@@ -1,7 +1,7 @@
 """repro.obs — zero-dependency tracing + metrics ("Dapper-lite").
 
 The paper's production claims all rest on *measured* internals; this
-package is how the reproduction measures its own. Two halves:
+package is how the reproduction measures its own:
 
 * :mod:`repro.obs.trace` — per-query span trees over simulated time. A
   :class:`Tracer` lives on the shared :class:`~repro.simtime.SimContext`
@@ -11,12 +11,28 @@ package is how the reproduction measures its own. Two halves:
 * :mod:`repro.obs.metrics` — a Prometheus-style registry of counters,
   gauges, and histograms with a text exposition dump, also hanging off
   the ``SimContext`` so one platform reads one set of meters.
+* :mod:`repro.obs.history` — the persistent :class:`JobHistory` ring
+  buffer every ``execute()`` records into, keeping per-job stats and span
+  trees queryable after the ``QueryResult`` is gone.
+* :mod:`repro.obs.system_tables` — ``INFORMATION_SCHEMA`` virtual tables
+  (JOBS, JOBS_TIMELINE, TABLE_STORAGE, DATA_ACCESS, METRICS) the planner
+  resolves like ordinary relations, governed by the platform IAM.
+* :mod:`repro.obs.export` — Chrome-trace and OTLP-style JSON exporters
+  for any retained span tree.
 
-Both are always-on but cheap to disable: ``ctx.tracer.enabled = False``
+Tracing is always-on but cheap to disable: ``ctx.tracer.enabled = False``
 turns every ``span()`` call into a shared no-op context manager.
 """
 
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    otlp_spans,
+    otlp_spans_json,
+)
+from repro.obs.history import JobHistory, JobRecord, job_summary, timeline_rows
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.system_tables import SystemTables
 from repro.obs.trace import (
     NOOP_TRACER,
     Span,
@@ -31,12 +47,21 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JobHistory",
+    "JobRecord",
     "MetricsRegistry",
     "NOOP_TRACER",
     "Span",
+    "SystemTables",
     "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "job_summary",
     "layer_breakdown",
     "layer_time_ms",
+    "otlp_spans",
+    "otlp_spans_json",
     "render_trace",
     "summarize_trace",
+    "timeline_rows",
 ]

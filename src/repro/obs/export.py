@@ -1,0 +1,147 @@
+"""Trace exporters: Chrome-trace JSON and OTLP-style span JSON.
+
+Both operate on the :class:`~repro.obs.trace.Span` tree a job retains in
+history, so any job still in the ring buffer can be exported after the
+fact — load the Chrome format in ``chrome://tracing`` / Perfetto, or feed
+the OTLP shape to anything speaking the OpenTelemetry JSON encoding.
+Timestamps are simulated milliseconds converted to the target unit
+(microseconds for Chrome, nanoseconds for OTLP), so exports are
+deterministic across runs like everything else in the simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.obs.trace import Span
+
+
+def _json_tag(value: Any) -> Any:
+    """Tags may hold arbitrary objects; keep JSON-native values, stringify
+    the rest."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+# --------------------------------------------------------------------------
+# Chrome trace event format
+# --------------------------------------------------------------------------
+
+
+def chrome_trace(root: Span, *, process_name: str = "repro") -> dict[str, Any]:
+    """The span tree as a Chrome trace-event document.
+
+    Each span becomes one complete ("ph": "X") event; ``ts``/``dur`` are in
+    microseconds per the format. Nesting is positional in the viewer (same
+    pid/tid, containment by time range), which holds by construction: a
+    child span's sim-time interval lies inside its parent's. ``span_id`` /
+    ``parent_id`` ride along in ``args`` so the hierarchy survives
+    round-tripping even outside the viewer.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in root.walk():
+        args: dict[str, Any] = {k: _json_tag(v) for k, v in sorted(span.tags.items())}
+        args["span_id"] = span.span_id
+        args["parent_id"] = span.parent_id or 0
+        args["self_ms"] = round(span.self_time_ms(), 6)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.layer or "other",
+                "ph": "X",
+                "ts": round(span.start_ms * 1000.0, 3),
+                "dur": round(span.duration_ms * 1000.0, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(root: Span, *, process_name: str = "repro") -> str:
+    return json.dumps(chrome_trace(root, process_name=process_name), indent=2)
+
+
+# --------------------------------------------------------------------------
+# OTLP-style span JSON
+# --------------------------------------------------------------------------
+
+
+def _trace_id(seed: str) -> str:
+    """A deterministic 128-bit trace id derived from the job id."""
+    return hashlib.sha256(seed.encode()).hexdigest()[:32]
+
+
+def _span_id(span_id: int) -> str:
+    return f"{span_id:016x}"
+
+
+def _otlp_value(value: Any) -> dict[str, Any]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def otlp_spans(root: Span, *, trace_name: str = "query") -> dict[str, Any]:
+    """The span tree in the OpenTelemetry OTLP/JSON shape.
+
+    ``resourceSpans -> scopeSpans -> spans``, with hex trace/span ids and
+    nanosecond epoch times. The trace id is a stable hash of ``trace_name``
+    (pass the job id), so exporting the same job twice yields byte-equal
+    documents.
+    """
+    trace_id = _trace_id(trace_name)
+    spans: list[dict[str, Any]] = []
+    for span in root.walk():
+        attributes = [
+            {"key": "layer", "value": {"stringValue": span.layer or "other"}}
+        ] + [
+            {"key": key, "value": _otlp_value(value)}
+            for key, value in sorted(span.tags.items())
+        ]
+        spans.append(
+            {
+                "traceId": trace_id,
+                "spanId": _span_id(span.span_id),
+                "parentSpanId": _span_id(span.parent_id) if span.parent_id else "",
+                "name": span.name,
+                "kind": "SPAN_KIND_INTERNAL",
+                "startTimeUnixNano": str(int(span.start_ms * 1_000_000)),
+                "endTimeUnixNano": str(int(span.end_ms * 1_000_000)),
+                "attributes": attributes,
+            }
+        )
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {"key": "service.name", "value": {"stringValue": "repro"}}
+                    ]
+                },
+                "scopeSpans": [
+                    {"scope": {"name": "repro.obs", "version": "1"}, "spans": spans}
+                ],
+            }
+        ]
+    }
+
+
+def otlp_spans_json(root: Span, *, trace_name: str = "query") -> str:
+    return json.dumps(otlp_spans(root, trace_name=trace_name), indent=2)

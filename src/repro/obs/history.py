@@ -1,0 +1,162 @@
+"""Persistent job history: the record behind ``INFORMATION_SCHEMA.JOBS``.
+
+Every :meth:`~repro.engine.engine.QueryEngine.execute` call — SELECT or
+DML, succeeded or failed — lands one :class:`JobRecord` in the platform's
+:class:`JobHistory`, a bounded ring buffer keyed by a monotonically
+assigned ``job_id``. Records carry the paper-relevant execution facts
+(principal, SQL text, terminal state, byte/row/file counters, slot and
+parallelism info, per-layer self-time breakdown) plus the full span tree,
+so the timeline view (``INFORMATION_SCHEMA.JOBS_TIMELINE``) and the trace
+exporters (:mod:`repro.obs.export`) can be derived from history alone —
+observability you can SELECT, long after the ``QueryResult`` is gone.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import NotFoundError
+from repro.obs.trace import Span, layer_breakdown
+
+#: Terminal job states (mirrors the BigQuery job lifecycle's end states).
+SUCCEEDED = "SUCCEEDED"
+FAILED = "FAILED"
+
+
+@dataclass
+class JobRecord:
+    """One completed (or failed) statement execution."""
+
+    job_id: str
+    principal: str  # "user:alice" — the str() of the Principal
+    sql: str
+    kind: str  # select / insertvalues / delete / ... (statement kind)
+    engine: str
+    state: str  # SUCCEEDED | FAILED
+    error: str = ""
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+    # Modeled slot-limited latency for successes; sim wall time for failures.
+    total_ms: float = 0.0
+    slot_ms: float = 0.0
+    bytes_scanned: int = 0
+    rows_scanned: int = 0
+    rows_produced: int = 0
+    files_read: int = 0
+    files_total: int = 0
+    shuffle_partitions: int = 0
+    compute_parallelism: int = 0
+    # Object-store traffic attributable to this job (metering delta).
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_egressed: int = 0
+    # Self-time per layer over the job's span tree (empty if tracing off).
+    layers_ms: dict[str, float] = field(default_factory=dict)
+    trace: Span | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state == SUCCEEDED
+
+
+def timeline_rows(record: JobRecord) -> list[tuple]:
+    """Flatten a job's span tree into ``JOBS_TIMELINE`` rows.
+
+    One row per span, depth-first in start order: (job_id, span_id,
+    parent_span_id, name, layer, start_ms, duration_ms, self_ms, tags).
+    The root's parent_span_id is 0; tags render as sorted ``k=v`` pairs so
+    rows stay scalar and deterministic.
+    """
+    if record.trace is None:
+        return []
+    rows: list[tuple] = []
+    for span in record.trace.walk():
+        tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+        rows.append(
+            (
+                record.job_id,
+                span.span_id,
+                span.parent_id or 0,
+                span.name,
+                span.layer or "other",
+                span.start_ms,
+                span.duration_ms,
+                span.self_time_ms(),
+                tags,
+            )
+        )
+    return rows
+
+
+class JobHistory:
+    """A bounded, append-only ring buffer of job records.
+
+    Owned by the platform (one history across all of its engines, like the
+    project-scoped ``INFORMATION_SCHEMA.JOBS``). The ring bound keeps long
+    benchmark runs from growing memory without limit; evicted jobs simply
+    age out of the queryable window, oldest first.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"history capacity must be positive (got {capacity})")
+        self.capacity = capacity
+        self._records: deque[JobRecord] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+
+    def next_job_id(self) -> str:
+        """Reserve the next job id (assigned before execution starts, so
+        failed jobs burn an id too — matching real job-server behavior)."""
+        return f"job_{next(self._ids):06d}"
+
+    def record(self, record: JobRecord) -> JobRecord:
+        self._records.append(record)
+        return record
+
+    def jobs(self) -> list[JobRecord]:
+        """All retained records, oldest first."""
+        return list(self._records)
+
+    def get(self, job_id: str) -> JobRecord:
+        for record in self._records:
+            if record.job_id == job_id:
+                return record
+        raise NotFoundError(f"job {job_id!r} not in history (evicted or never ran)")
+
+    def has(self, job_id: str) -> bool:
+        return any(r.job_id == job_id for r in self._records)
+
+    @property
+    def last(self) -> JobRecord | None:
+        return self._records[-1] if self._records else None
+
+    def for_principal(self, principal: str) -> list[JobRecord]:
+        return [r for r in self._records if r.principal == principal]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def record_from_trace(record: JobRecord) -> JobRecord:
+    """Fill the per-layer breakdown from the record's own span tree."""
+    if record.trace is not None:
+        record.layers_ms = {
+            layer: round(ms, 6) for layer, ms in layer_breakdown(record.trace).items()
+        }
+    return record
+
+
+def job_summary(record: JobRecord) -> dict[str, Any]:
+    """A compact dict view (used by the CLI and benchmarks)."""
+    return {
+        "job_id": record.job_id,
+        "user": record.principal,
+        "state": record.state,
+        "kind": record.kind,
+        "total_ms": round(record.total_ms, 3),
+        "bytes_scanned": record.bytes_scanned,
+        "layers_ms": dict(record.layers_ms),
+    }

@@ -24,11 +24,18 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format escaping: backslash, double-quote, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = key + extra
     if not items:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in items)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in items
+    )
     return "{" + body + "}"
 
 
@@ -131,6 +138,30 @@ class Histogram:
 
     def sum(self, **labels: Any) -> float:
         return self._sums.get(_label_key(labels), 0.0)
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the q-quantile from the cumulative buckets
+        (Prometheus ``histogram_quantile`` semantics: linear interpolation
+        within the containing bucket, the bucket's lower bound for the
+        +Inf bucket). Returns NaN with no observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1] (got {q})")
+        key = _label_key(labels)
+        total = self._totals.get(key, 0)
+        if total == 0:
+            return math.nan
+        counts = self._counts[key]
+        rank = q * total
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            cumulative += counts[i]
+            if counts[i] > 0 and cumulative >= rank:
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                if bound == math.inf:
+                    return lower
+                fraction = (rank - (cumulative - counts[i])) / counts[i]
+                return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
+        return math.nan
 
     def samples(self) -> Iterable[tuple[str, LabelKey, float]]:
         for key in sorted(self._totals):

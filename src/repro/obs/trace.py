@@ -106,7 +106,12 @@ class _SpanHandle:
     def __enter__(self) -> Span:
         return self._span
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # A span whose body raises still closes (with the correct sim-time
+        # duration) and is marked so failed work is visible in timelines.
+        if exc_type is not None:
+            self._span.set_tag("error", True)
+            self._span.set_tag("error_type", exc_type.__name__)
         self._tracer._finish(self._span)
         return False
 

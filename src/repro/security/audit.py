@@ -19,6 +19,9 @@ class AuditEvent:
     resource: str
     allowed: bool
     detail: str = ""
+    # The job whose execution triggered this event ("" outside a query);
+    # correlates DATA_ACCESS rows with INFORMATION_SCHEMA.JOBS.
+    job_id: str = ""
 
 
 @dataclass
@@ -27,6 +30,9 @@ class AuditLog:
 
     ctx: SimContext
     events: list[AuditEvent] = field(default_factory=list)
+    # Set by the engine for the duration of a statement so every decision
+    # made on the job's behalf carries its job_id.
+    current_job_id: str = ""
 
     def record(
         self,
@@ -43,6 +49,7 @@ class AuditLog:
             resource=resource,
             allowed=allowed,
             detail=detail,
+            job_id=self.current_job_id,
         )
         self.events.append(event)
         return event

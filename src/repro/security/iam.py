@@ -46,6 +46,8 @@ class Permission(enum.Enum):
     TABLES_CREATE = "bigquery.tables.create"
     TABLES_DELETE = "bigquery.tables.delete"
     JOBS_CREATE = "bigquery.jobs.create"
+    JOBS_LIST_ALL = "bigquery.jobs.listAll"
+    AUDIT_READ = "bigquery.auditLogs.read"
     CONNECTIONS_USE = "bigquery.connections.use"
     MODELS_PREDICT = "bigquery.models.predict"
     STORAGE_OBJECTS_GET = "storage.objects.get"
@@ -63,6 +65,7 @@ class Role(enum.Enum):
     STORAGE_OBJECT_VIEWER = "roles/storage.objectViewer"
     STORAGE_OBJECT_ADMIN = "roles/storage.objectAdmin"
     ML_USER = "roles/bigquery.mlUser"
+    ADMIN = "roles/bigquery.admin"
 
 
 ROLE_PERMISSIONS: dict[Role, frozenset[Permission]] = {
@@ -91,6 +94,23 @@ ROLE_PERMISSIONS: dict[Role, frozenset[Permission]] = {
         }
     ),
     Role.ML_USER: frozenset({Permission.MODELS_PREDICT}),
+    # Project administration: every BigQuery-side permission, plus the
+    # observability verbs that widen INFORMATION_SCHEMA.JOBS to all
+    # principals and open the DATA_ACCESS audit view.
+    Role.ADMIN: frozenset(
+        {
+            Permission.TABLES_GET,
+            Permission.TABLES_GET_DATA,
+            Permission.TABLES_UPDATE_DATA,
+            Permission.TABLES_CREATE,
+            Permission.TABLES_DELETE,
+            Permission.JOBS_CREATE,
+            Permission.JOBS_LIST_ALL,
+            Permission.AUDIT_READ,
+            Permission.CONNECTIONS_USE,
+            Permission.MODELS_PREDICT,
+        }
+    ),
 }
 
 

@@ -1,0 +1,97 @@
+"""Metrics-registry unit tests: exposition escaping + quantile estimation.
+
+The Prometheus text format requires ``\\``, ``"``, and newline escapes in
+label values; ``Histogram.quantile`` implements ``histogram_quantile``'s
+linear interpolation over cumulative buckets. Both ship with the
+observability tentpole and are covered here at the unit level.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, _escape_label_value
+
+
+class TestLabelEscaping:
+    def test_escape_function(self):
+        assert _escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        assert _escape_label_value("plain") == "plain"
+
+    def test_backslash_escaped_before_quote(self):
+        # Order matters: escaping quotes first would double-escape.
+        assert _escape_label_value('\\"') == '\\\\\\"'
+
+    def test_render_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total").inc(path='gs://b/"weird"\npath\\x')
+        text = registry.render()
+        assert 'path="gs://b/\\"weird\\"\\npath\\\\x"' in text
+        # The rendered exposition stays one-sample-per-line.
+        sample_lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_snapshot_uses_same_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total").inc(name='say "hi"')
+        (series,) = registry.snapshot()["ops_total"].keys()
+        assert series == 'ops_total{name="say \\"hi\\""}'
+
+
+class TestHistogramQuantile:
+    def test_no_observations_is_nan(self):
+        histogram = Histogram("h")
+        assert math.isnan(histogram.quantile(0.5))
+
+    def test_out_of_range_raises(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.quantile(-0.1)
+
+    def test_linear_interpolation_within_bucket(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0, 30.0))
+        for value in (5.0, 15.0, 25.0, 26.0):
+            histogram.observe(value)
+        # rank(0.5) = 2 of 4; the (10, 20] bucket holds observation 2
+        # (cumulative 1 -> 2), so interpolate fully through it: 10 + 20*? ...
+        # fraction = (2 - 1) / 1 = 1.0 -> upper bound 20.
+        assert histogram.quantile(0.5) == pytest.approx(20.0)
+        # rank(0.25) = 1: fully through the first bucket, lower bound 0.
+        assert histogram.quantile(0.25) == pytest.approx(10.0)
+        # rank(1.0) = 4: last bucket (20, 30], fraction (4-2)/2 = 1.0.
+        assert histogram.quantile(1.0) == pytest.approx(30.0)
+
+    def test_partial_fraction(self):
+        histogram = Histogram("h", buckets=(0.0, 100.0))
+        for _ in range(4):
+            histogram.observe(50.0)  # all land in (0, 100]
+        # rank(0.5) = 2 of 4 -> fraction 0.5 through (0, 100].
+        assert histogram.quantile(0.5) == pytest.approx(50.0)
+        assert histogram.quantile(0.75) == pytest.approx(75.0)
+
+    def test_inf_bucket_returns_lower_bound(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        histogram.observe(5.0)
+        histogram.observe(1e9)  # lands in +Inf
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+
+    def test_respects_labels(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0))
+        histogram.observe(5.0, engine="a")
+        histogram.observe(15.0, engine="b")
+        assert histogram.quantile(1.0, engine="a") <= 10.0
+        assert histogram.quantile(1.0, engine="b") > 10.0
+        assert math.isnan(histogram.quantile(0.5, engine="c"))
+
+    def test_median_of_query_latencies(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("query_elapsed_ms")
+        for ms in (3.0, 40.0, 40.0, 40.0, 9000.0):
+            histogram.observe(ms)
+        p50 = histogram.quantile(0.5)
+        # The median observation (40) lives in the (25, 50] default bucket.
+        assert 25.0 < p50 <= 50.0

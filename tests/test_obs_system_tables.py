@@ -1,0 +1,276 @@
+"""INFORMATION_SCHEMA system tables: queryable job history + governance.
+
+The acceptance surface for the queryable-observability tentpole: SELECTs
+over ``INFORMATION_SCHEMA.JOBS`` / ``JOBS_TIMELINE`` return correct rows
+for previously executed queries (including a FAILED one), timeline
+durations reconcile with ``QueryResult.trace`` self-times, non-admin
+principals are silently scoped to their own jobs and hard-denied on
+``DATA_ACCESS``, and the other tables (TABLE_STORAGE, METRICS) compose
+with ordinary SQL (filters, joins, aggregates).
+"""
+
+import pytest
+
+from repro.errors import AccessDeniedError, AnalysisError, NotFoundError
+from repro.obs.trace import layer_breakdown
+
+from tests.helpers import make_platform, setup_sales_lake
+
+SALES_SQL = (
+    "SELECT region, SUM(amount) AS total FROM ds.sales "
+    "WHERE year = 2023 GROUP BY region ORDER BY total DESC"
+)
+
+
+def sales_platform():
+    platform, admin = make_platform()
+    setup_sales_lake(platform, admin)
+    return platform, admin
+
+
+class TestJobs:
+    def test_jobs_rows_for_previous_queries(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        result = engine.execute(SALES_SQL, admin)
+        with pytest.raises(NotFoundError):
+            engine.execute("SELECT * FROM ds.missing", admin)
+
+        rows = engine.execute(
+            "SELECT job_id, user, state, error, kind, total_ms, bytes_scanned "
+            "FROM INFORMATION_SCHEMA.JOBS ORDER BY job_id",
+            admin,
+        ).rows()
+        assert len(rows) == 2
+        ok, bad = rows
+        assert ok[0] == "job_000001"
+        assert ok[1] == "user:admin"
+        assert ok[2] == "SUCCEEDED"
+        assert ok[3] == ""
+        assert ok[4] == "select"
+        assert ok[5] == pytest.approx(result.stats.elapsed_ms)
+        assert ok[6] == result.stats.bytes_scanned > 0
+        # The failed job is retained with its terminal state and error.
+        assert bad[0] == "job_000002"
+        assert bad[2] == "FAILED"
+        assert "ds.missing" in bad[3]
+        assert bad[6] == 0
+
+    def test_jobs_query_does_not_see_itself(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        engine.execute(SALES_SQL, admin)
+        count = engine.execute(
+            "SELECT COUNT(*) AS n FROM INFORMATION_SCHEMA.JOBS", admin
+        ).single_value()
+        # Records land *after* execution: the introspection query itself is
+        # not yet in history when its scan runs — but it is afterwards.
+        assert count == 1
+        assert len(platform.history) == 2
+        assert platform.history.last.sql.startswith("SELECT COUNT(*)")
+
+    def test_record_carries_execution_stats(self):
+        platform, admin = sales_platform()
+        result = platform.home_engine.execute(SALES_SQL, admin)
+        record = platform.history.last
+        assert record.rows_produced == result.num_rows
+        assert record.files_read == result.stats.files_read
+        assert record.files_total == result.stats.files_total
+        assert record.slot_ms == pytest.approx(result.stats.slot_ms)
+        assert record.compute_parallelism == result.stats.compute_parallelism
+        assert record.bytes_read > 0  # metering delta: object-store reads
+        assert record.bytes_egressed == 0  # home-region query, no egress
+        assert record.layers_ms  # per-layer self-time breakdown filled
+        assert platform.job(record.job_id) is record
+
+    def test_project_qualified_name_resolves(self):
+        platform, admin = sales_platform()
+        platform.home_engine.execute(SALES_SQL, admin)
+        rows = platform.home_engine.execute(
+            "SELECT job_id FROM `repro-project`.INFORMATION_SCHEMA.JOBS", admin
+        ).rows()
+        assert rows == [("job_000001",)]
+
+    def test_unknown_system_table(self):
+        platform, admin = sales_platform()
+        with pytest.raises(NotFoundError, match="INFORMATION_SCHEMA.NOPE"):
+            platform.home_engine.execute(
+                "SELECT * FROM INFORMATION_SCHEMA.NOPE", admin
+            )
+
+    def test_time_travel_rejected(self):
+        platform, admin = sales_platform()
+        with pytest.raises(AnalysisError, match="SYSTEM_TIME"):
+            platform.home_engine.execute(
+                "SELECT * FROM INFORMATION_SCHEMA.JOBS "
+                "FOR SYSTEM_TIME AS OF TIMESTAMP '2024-01-01 00:00:00'",
+                admin,
+            )
+
+
+class TestTimeline:
+    def test_timeline_reconciles_with_trace_self_times(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        result = engine.execute(SALES_SQL, admin)
+        job_id = platform.history.last.job_id
+
+        rows = engine.execute(
+            "SELECT span_id, parent_span_id, name, layer, duration_ms, self_ms "
+            f"FROM INFORMATION_SCHEMA.JOBS_TIMELINE WHERE job_id = '{job_id}' "
+            "ORDER BY span_id",
+            admin,
+        ).rows()
+        spans = {s.span_id: s for s in result.trace.walk()}
+        assert {r[0] for r in rows} == set(spans)
+        for span_id, parent_id, name, layer, duration_ms, self_ms in rows:
+            span = spans[span_id]
+            assert parent_id == (span.parent_id or 0)
+            assert name == span.name
+            assert layer == (span.layer or "other")
+            assert duration_ms == pytest.approx(span.duration_ms)
+            assert self_ms == pytest.approx(span.self_time_ms())
+
+    def test_per_layer_aggregate_matches_layer_breakdown(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        result = engine.execute(SALES_SQL, admin)
+        job_id = platform.history.last.job_id
+
+        rows = engine.execute(
+            "SELECT layer, SUM(self_ms) AS ms FROM INFORMATION_SCHEMA.JOBS_TIMELINE "
+            f"WHERE job_id = '{job_id}' GROUP BY layer ORDER BY layer",
+            admin,
+        ).rows()
+        expected = layer_breakdown(result.trace)
+        assert dict(rows) == pytest.approx(expected)
+        # Self-time partitions the root duration exactly.
+        assert sum(ms for _, ms in rows) == pytest.approx(result.trace.duration_ms)
+
+    def test_join_jobs_with_timeline(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        engine.execute(SALES_SQL, admin)
+        rows = engine.execute(
+            "SELECT j.job_id, COUNT(*) AS spans "
+            "FROM INFORMATION_SCHEMA.JOBS AS j "
+            "JOIN INFORMATION_SCHEMA.JOBS_TIMELINE AS t ON j.job_id = t.job_id "
+            "WHERE j.state = 'SUCCEEDED' GROUP BY j.job_id",
+            admin,
+        ).rows()
+        record = platform.history.get("job_000001")
+        assert rows == [("job_000001", sum(1 for _ in record.trace.walk()))]
+
+
+class TestGovernance:
+    def test_non_admin_sees_only_own_jobs(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        engine.execute(SALES_SQL, admin)
+        alice = platform.create_user("alice")
+        engine.execute("SELECT 1 AS x", alice)
+
+        # Admin (bigquery.jobs.listAll) sees everyone.
+        users = engine.execute(
+            "SELECT user FROM INFORMATION_SCHEMA.JOBS", admin
+        ).column("user")
+        assert set(users) == {"user:admin", "user:alice"}
+        # Alice is silently scoped to her own jobs — no error, no leakage.
+        rows = engine.execute(
+            "SELECT job_id, user FROM INFORMATION_SCHEMA.JOBS", alice
+        ).rows()
+        assert rows and all(user == "user:alice" for _, user in rows)
+        timeline_jobs = set(
+            engine.execute(
+                "SELECT job_id FROM INFORMATION_SCHEMA.JOBS_TIMELINE", alice
+            ).column("job_id")
+        )
+        own = {r.job_id for r in platform.history.for_principal("user:alice")}
+        assert timeline_jobs and timeline_jobs <= own
+
+    def test_data_access_denied_without_audit_read(self):
+        platform, admin = sales_platform()
+        alice = platform.create_user("alice")
+        with pytest.raises(AccessDeniedError, match="admin-only"):
+            platform.home_engine.execute(
+                "SELECT * FROM INFORMATION_SCHEMA.DATA_ACCESS", alice
+            )
+        # The denial is itself audited, and the failed attempt is a job.
+        denial = [
+            e
+            for e in platform.audit.events
+            if e.action == "system_tables.read" and not e.allowed
+        ]
+        assert denial and denial[-1].resource.endswith("DATA_ACCESS")
+        assert str(denial[-1].principal) == "user:alice"
+        assert platform.history.last.state == "FAILED"
+
+    def test_data_access_correlates_job_ids(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        engine.execute(SALES_SQL, admin)
+        job_id = platform.history.last.job_id
+        rows = engine.execute(
+            "SELECT action, allowed FROM INFORMATION_SCHEMA.DATA_ACCESS "
+            f"WHERE job_id = '{job_id}'",
+            admin,
+        ).rows()
+        # The sales query's own data accesses carry its job id.
+        assert rows and all(allowed for _, allowed in rows)
+        actions = {action for action, _ in rows}
+        assert "table.read" in actions or "read_session.create" in actions
+
+    def test_table_storage_filtered_by_tables_get(self):
+        platform, admin = sales_platform()
+        storage_sql = (
+            "SELECT table_schema, table_name, total_files, total_rows "
+            "FROM INFORMATION_SCHEMA.TABLE_STORAGE"
+        )
+        # Stats come from the Big Metadata cache, which fills on first use:
+        # a never-queried AUTOMATIC-mode table reports zeros (stale), then
+        # real counts once a query has refreshed the cache.
+        assert ("ds", "sales", 0, 0) in platform.home_engine.execute(
+            storage_sql, admin
+        ).rows()
+        platform.home_engine.execute(SALES_SQL, admin)
+        rows = platform.home_engine.execute(storage_sql, admin).rows()
+        assert ("ds", "sales", 4, 200) in rows
+        # A principal with no table grants sees an empty (not denied) view.
+        alice = platform.create_user("alice")
+        assert (
+            platform.home_engine.execute(
+                "SELECT COUNT(*) AS n FROM INFORMATION_SCHEMA.TABLE_STORAGE", alice
+            ).single_value()
+            == 0
+        )
+
+
+class TestMetricsTable:
+    def test_metrics_rows_reflect_registry(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        engine.execute(SALES_SQL, admin)
+        before = platform.ctx.metrics.counter("queries_total").total()
+        rows = engine.execute(
+            "SELECT name, kind, value FROM INFORMATION_SCHEMA.METRICS "
+            "WHERE name = 'queries_total'",
+            admin,
+        ).rows()
+        assert rows
+        name, kind, value = rows[0]
+        assert kind == "counter"
+        # The scan runs mid-query, before the scanning query's own counters
+        # land, so it reflects the registry as of query start.
+        assert value == before
+
+    def test_filter_and_aggregate_compose(self):
+        platform, admin = sales_platform()
+        engine = platform.home_engine
+        for _ in range(3):
+            engine.execute(SALES_SQL, admin)
+        total = engine.execute(
+            "SELECT SUM(bytes_scanned) AS b FROM INFORMATION_SCHEMA.JOBS "
+            "WHERE state = 'SUCCEEDED'",
+            admin,
+        ).single_value()
+        assert total == sum(r.bytes_scanned for r in platform.jobs())

@@ -253,3 +253,51 @@ class TestTracerUnit:
             span.add_tag("n", 2)
         assert span is NOOP_SPAN
         assert len(tracer.traces) == 0
+
+    def test_span_closes_with_duration_and_error_tag_when_body_raises(self):
+        from repro.simtime import SimClock
+
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("outer", layer="engine"):
+                clock.advance(7.5)
+                with tracer.span("inner", layer="objectstore"):
+                    clock.advance(2.5)
+                    raise RuntimeError("boom")
+        # Both spans closed despite the exception, with sim-time durations.
+        assert tracer.current is None, "stack must unwind fully"
+        root = tracer.last_trace
+        assert root is not None and root.name == "outer"
+        assert root.duration_ms == pytest.approx(10.0)
+        inner = root.children[0]
+        assert inner.duration_ms == pytest.approx(2.5)
+        # Both the failing span and its ancestors are marked.
+        assert inner.tags["error"] is True
+        assert inner.tags["error_type"] == "RuntimeError"
+        assert root.tags["error"] is True
+
+    def test_exception_does_not_swallow_and_preserves_nesting(self):
+        from repro.simtime import SimClock
+
+        tracer = Tracer(clock=SimClock())
+        with pytest.raises(ValueError):
+            with tracer.span("root", layer="engine"):
+                raise ValueError("x")
+        # A new trace after the failure starts a fresh tree.
+        with tracer.span("next", layer="engine"):
+            pass
+        assert [t.name for t in tracer.traces] == ["root", "next"]
+        assert tracer.last_trace.parent_id is None
+
+    def test_disabled_tracer_noop_on_exception_path(self):
+        from repro.simtime import SimClock
+
+        tracer = Tracer(clock=SimClock(), enabled=False)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer") as span:
+                raise RuntimeError("boom")
+        assert span is NOOP_SPAN
+        assert NOOP_SPAN.tags == {}, "noop span must stay untagged"
+        assert len(tracer.traces) == 0
+        assert tracer.current is NOOP_SPAN
