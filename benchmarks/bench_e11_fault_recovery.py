@@ -1,0 +1,98 @@
+"""E11-FR — fault recovery: TPC-H-lite under uniform transient faults.
+
+Runs the TPC-H-lite suite with ``FaultPlan.uniform`` chaos at increasing
+fault rates, with retries enabled vs disabled, and measures the outcome:
+queries succeeded/failed, retries spent, degradations taken, faults
+injected, and simulated elapsed time. The headline result is the recovery
+claim from DESIGN.md §7: at a 5% transient-fault rate the retry/degradation
+machinery keeps the whole suite green, while the same seed with retries
+disabled fails at least half the queries.
+"""
+
+from repro.bench import build_tpch_platform, format_table, record_bench
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+
+SEED = 1234
+RATES = [0.0, 0.02, 0.05]
+
+
+def _run_suite(rate: float, retries_enabled: bool) -> dict:
+    platform, admin, engine, queries = build_tpch_platform(scale=0.1)
+    platform.ctx.faults.install(FaultPlan.uniform(rate, seed=SEED))
+    platform.ctx.retry.enabled = retries_enabled
+    t0 = platform.ctx.clock.now_ms
+    succeeded = failed = 0
+    for sql in queries.values():
+        try:
+            engine.execute(sql, admin)
+            succeeded += 1
+        except ReproError:
+            failed += 1
+    counts = platform.ctx.metering.op_counts
+    return {
+        "rate": rate,
+        "retries_enabled": retries_enabled,
+        "succeeded": succeeded,
+        "failed": failed,
+        "retries": counts.get("repro.retry", 0),
+        "degraded": counts.get("repro.degraded", 0),
+        "faults_injected": counts.get("repro.fault_injected", 0),
+        "elapsed_ms": round(platform.ctx.clock.now_ms - t0, 3),
+    }
+
+
+def test_e11_fault_recovery(benchmark):
+    configs = [(rate, retries) for rate in RATES for retries in (True, False)]
+    results = [_run_suite(rate, retries) for rate, retries in configs[:-1]]
+    # The headline config (5% faults, retries off) is the timed one.
+    results.append(
+        benchmark.pedantic(
+            lambda: _run_suite(0.05, False), rounds=1, iterations=1
+        )
+    )
+
+    print(
+        format_table(
+            f"E11-FR — TPC-H-lite under uniform transient faults (seed={SEED})",
+            ["rate", "retries", "ok", "failed", "retried", "degraded",
+             "injected", "sim ms"],
+            [
+                (
+                    f"{r['rate']:.0%}",
+                    "on" if r["retries_enabled"] else "off",
+                    r["succeeded"],
+                    r["failed"],
+                    r["retries"],
+                    r["degraded"],
+                    r["faults_injected"],
+                    r["elapsed_ms"],
+                )
+                for r in results
+            ],
+        )
+    )
+
+    by_key = {(r["rate"], r["retries_enabled"]): r for r in results}
+    clean = by_key[(0.0, True)]
+    recovered = by_key[(0.05, True)]
+    unprotected = by_key[(0.05, False)]
+    record_bench(
+        "e11_fault_recovery",
+        title="Fault recovery: TPC-H-lite suite survival under injected chaos",
+        seed=SEED,
+        queries=clean["succeeded"],
+        results=results,
+        recovery_overhead_ms=round(
+            recovered["elapsed_ms"] - clean["elapsed_ms"], 3
+        ),
+    )
+
+    # No faults: everything succeeds with zero recovery activity.
+    assert clean["failed"] == 0
+    assert clean["retries"] == 0 and clean["degraded"] == 0
+    # 5% chaos with retries: the suite survives, visibly doing recovery work.
+    assert recovered["failed"] == 0
+    assert recovered["retries"] + recovered["degraded"] >= 1
+    # Same seed, retries off: at least half the suite fails.
+    assert unprotected["failed"] * 2 >= unprotected["succeeded"] + unprotected["failed"]

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo gate: lint (when ruff is available) + the tier-1 test suite.
+# Repo gate: lint (when ruff is available) + the tier-1 test suite + the
+# chaos determinism gate (same seed, two processes, identical outcomes).
 # Usage: scripts/check.sh  (from the repo root)
 set -euo pipefail
 
@@ -14,3 +15,17 @@ fi
 
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q
+
+echo "== chaos determinism gate =="
+chaos_a="$(mktemp)" chaos_b="$(mktemp)"
+trap 'rm -f "$chaos_a" "$chaos_b"' EXIT
+PYTHONPATH=src python -m repro chaos --suite --seed 1234 --rate 0.05 \
+    --json "$chaos_a" >/dev/null
+PYTHONPATH=src python -m repro chaos --suite --seed 1234 --rate 0.05 \
+    --json "$chaos_b" >/dev/null
+if diff -u "$chaos_a" "$chaos_b"; then
+    echo "chaos run is deterministic"
+else
+    echo "chaos determinism gate FAILED: same seed produced different runs" >&2
+    exit 1
+fi

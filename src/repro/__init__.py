@@ -30,6 +30,7 @@ from repro.security import (
     Role,
     RowAccessPolicy,
 )
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.simtime import CostModel, SimContext
 
 __version__ = "1.0.0"
@@ -54,5 +55,8 @@ __all__ = [
     "RowAccessPolicy",
     "CostModel",
     "SimContext",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
     "__version__",
 ]

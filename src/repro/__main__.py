@@ -9,6 +9,13 @@ Commands:
   *through its own SQL surface* (``INFORMATION_SCHEMA.JOBS``).
   ``--timeline JOB_ID`` prints the per-span timeline for one job;
   ``--chrome-trace OUT.json`` exports it for ``chrome://tracing``.
+* ``chaos [sql]`` — run a workload under seeded fault injection and report
+  per-job outcomes (state, retries, degradation) from
+  ``INFORMATION_SCHEMA.JOBS``. ``--seed N`` makes the run exactly
+  replayable; ``--plan "op:rate=0.1"`` declares faults (repeatable) or
+  ``--rate R`` installs the uniform transient mix; ``--suite`` runs the
+  TPC-H-lite suite instead of one statement; ``--no-retries`` disables
+  recovery; ``--json OUT`` writes a machine-readable report.
 * ``experiments`` — run the full E1–E12 + future-work benchmark suite.
 * ``info``        — print the module inventory and experiment index.
 """
@@ -159,6 +166,117 @@ def _jobs(timeline: str | None, chrome_trace_path: str | None) -> int:
     return 0
 
 
+def _chaos(
+    sql: str | None,
+    seed: int,
+    plans: list[str],
+    rate: float | None,
+    no_retries: bool,
+    suite: bool,
+    repeat: int,
+    json_path: str | None,
+) -> int:
+    """Run a workload under seeded fault injection; report job outcomes."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.faults import FaultPlan
+
+    if suite:
+        from repro.bench.harness import build_tpch_platform
+
+        platform, admin, engine, queries = build_tpch_platform(scale=0.1)
+        workload = list(queries.items())
+    else:
+        platform, admin = _build_demo_platform()
+        engine = platform.home_engine
+        sql = sql or (
+            "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
+            "FROM demo.orders WHERE id < 150 GROUP BY region ORDER BY total DESC"
+        )
+        workload = [(f"q{i + 1:02d}", sql) for i in range(repeat)]
+
+    ctx = platform.ctx
+    try:
+        if plans:
+            plan = FaultPlan.parse(plans, seed=seed)
+        else:
+            plan = FaultPlan.uniform(rate if rate is not None else 0.05, seed=seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    ctx.faults.install(plan)
+    if no_retries:
+        ctx.retry.enabled = False
+
+    succeeded = failed = 0
+    for name, text in workload:
+        try:
+            engine.execute(text, admin)
+            succeeded += 1
+        except ReproError as exc:
+            failed += 1
+            print(f"{name}: FAILED ({type(exc).__name__})")
+    faults_fired = len(ctx.faults.events)
+    retries = ctx.metering.op_counts.get("repro.retry", 0)
+    degraded = ctx.metering.op_counts.get("repro.degraded", 0)
+
+    # Chaos off for the report query itself: the dogfood read of
+    # INFORMATION_SCHEMA.JOBS must not be able to fail.
+    ctx.faults.clear()
+    result = engine.execute(
+        "SELECT job_id, state, retry_count, degraded, error, total_ms "
+        "FROM INFORMATION_SCHEMA.JOBS ORDER BY job_id",
+        admin,
+    )
+    jobs = [
+        {
+            "job_id": job_id,
+            "state": state,
+            "retry_count": retry_count,
+            "degraded": bool(is_degraded),
+            "error": error,
+            "total_ms": round(total_ms, 3),
+        }
+        # The report query itself is not in the scan: a job is recorded
+        # only after it finishes, so the rows cover the workload exactly.
+        for job_id, state, retry_count, is_degraded, error, total_ms in result.rows()
+    ]
+    print("\njob_id      state      retries  degraded  total_ms  error")
+    for row in jobs:
+        text = row["error"] if len(row["error"]) <= 40 else row["error"][:37] + "..."
+        print(
+            f"{row['job_id']}  {row['state']:<9} {row['retry_count']:>8} "
+            f"{str(row['degraded']):<8} {row['total_ms']:>9.2f}  {text}"
+        )
+    print(
+        f"\nseed={seed} queries={len(workload)} succeeded={succeeded} "
+        f"failed={failed} faults_injected={faults_fired} retries={retries} "
+        f"degraded={degraded} retries_enabled={not no_retries}"
+    )
+    if json_path:
+        report = {
+            "seed": seed,
+            "plan": plans or [f"uniform:rate={rate if rate is not None else 0.05}"],
+            "retries_enabled": not no_retries,
+            "jobs": jobs,
+            "totals": {
+                "queries": len(workload),
+                "succeeded": succeeded,
+                "failed": failed,
+                "faults_injected": faults_fired,
+                "retries": retries,
+                "degraded": degraded,
+                "sim_elapsed_ms": round(ctx.clock.now_ms, 3),
+            },
+        }
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"chaos report written to {json_path}")
+    return 0
+
+
 def _experiments(extra: list[str]) -> int:
     command = [
         sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
@@ -182,12 +300,12 @@ def _info() -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
-        "command", choices=["demo", "trace", "jobs", "experiments", "info"],
+        "command", choices=["demo", "trace", "jobs", "chaos", "experiments", "info"],
         nargs="?", default="demo",
     )
     parser.add_argument(
         "extra", nargs="*",
-        help="SQL for 'trace'; extra pytest args for 'experiments'",
+        help="SQL for 'trace'/'chaos'; extra pytest args for 'experiments'",
     )
     parser.add_argument(
         "--timeline", metavar="JOB_ID",
@@ -197,6 +315,36 @@ def main(argv: list[str] | None = None) -> int:
         "--chrome-trace", metavar="OUT.json", dest="chrome_trace",
         help="for 'jobs': write the job's trace in Chrome trace-event format",
     )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="for 'chaos': fault-plan RNG seed (same seed => same faults)",
+    )
+    parser.add_argument(
+        "--plan", action="append", default=[], metavar="SPEC",
+        help="for 'chaos': fault spec 'op:key=val:...' e.g. "
+        "'objectstore.get:rate=0.1' (repeatable)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="for 'chaos': uniform transient-fault rate when no --plan "
+        "is given (default 0.05)",
+    )
+    parser.add_argument(
+        "--no-retries", action="store_true", dest="no_retries",
+        help="for 'chaos': disable the retry policy (chaos without recovery)",
+    )
+    parser.add_argument(
+        "--suite", action="store_true",
+        help="for 'chaos': run the TPC-H-lite suite instead of one statement",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=8,
+        help="for 'chaos': times to run the statement (non-suite mode)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT.json", dest="json_path",
+        help="for 'chaos': write the machine-readable outcome report",
+    )
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _demo()
@@ -204,6 +352,12 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(" ".join(args.extra) if args.extra else None)
     if args.command == "jobs":
         return _jobs(args.timeline, args.chrome_trace)
+    if args.command == "chaos":
+        return _chaos(
+            " ".join(args.extra) if args.extra else None,
+            args.seed, args.plan, args.rate, args.no_retries,
+            args.suite, args.repeat, args.json_path,
+        )
     if args.command == "experiments":
         return _experiments(args.extra)
     return _info()

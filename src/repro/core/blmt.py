@@ -108,7 +108,10 @@ class BlmtManager:
     def insert(self, table: TableInfo, batches: list[RecordBatch]) -> int:
         """Append rows; returns the commit id."""
         entry = self._write_file(table, batches)
-        commit_id = self.bigmeta.commit(table.table_id, added=[entry])
+        commit_id = self.ctx.with_retry(
+            "bigmeta.commit",
+            lambda: self.bigmeta.commit(table.table_id, added=[entry]),
+        )
         table.version += 1
         self.read_api.mark_cache_refreshed(table.table_id)
         self._maybe_auto_export(table)
@@ -179,9 +182,14 @@ class BlmtManager:
         combined = concat_batches(table.schema, batches)
         if table.clustering_columns:
             combined = _sort_by(combined, table.clustering_columns)
-        return write_data_file(
-            store, table.storage.bucket, key, table.schema, [combined],
-            partition_values=partition,
+        # Same-key PUT is idempotent, so transient faults are retried here;
+        # injected (non-transient) StorageErrors still surface to callers.
+        return self.ctx.with_retry(
+            "objectstore.put",
+            lambda: write_data_file(
+                store, table.storage.bucket, key, table.schema, [combined],
+                partition_values=partition,
+            ),
         )
 
     # -- background storage optimization (§3.5) ---------------------------------

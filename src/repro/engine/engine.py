@@ -40,6 +40,8 @@ class QueryStats:
     slot_ms: float = 0.0
     shuffle_partitions: int = 0  # set by finalize() from the engine config
     compute_parallelism: int = 0  # set by finalize(): min(slots, shuffle_partitions)
+    retry_count: int = 0  # transient-failure retries spent on this query
+    degraded: bool = False  # True when any fallback path served the query
 
     def record_scan(self, session: SessionStats, scan_ms: float, tasks: int) -> None:
         self.scan_work_ms += scan_ms
@@ -263,6 +265,8 @@ class QueryEngine:
         metering_before = (
             self.ctx.metering.snapshot() if self.history is not None else None
         )
+        retries_before = self.ctx.metering.op_counts.get("repro.retry", 0)
+        degraded_before = self.ctx.metering.op_counts.get("repro.degraded", 0)
         # Some read-api stand-ins (e.g. the Spark direct-mode reader) carry
         # no audit log; job correlation simply doesn't apply there.
         audit = getattr(self.read_api, "audit", None)
@@ -304,6 +308,10 @@ class QueryEngine:
                 job_id, principal, sql_text, kind, error=str(exc),
                 trace=root if tracer.enabled else None,
                 start_ms=start_ms, metering_before=metering_before,
+                retry_count=self.ctx.metering.op_counts.get("repro.retry", 0)
+                - retries_before,
+                degraded=self.ctx.metering.op_counts.get("repro.degraded", 0)
+                > degraded_before,
             )
             raise
         finally:
@@ -321,9 +329,16 @@ class QueryEngine:
         metrics.histogram(
             "query_elapsed_ms", "modeled slot-limited query latency"
         ).observe(result.stats.elapsed_ms, engine=self.name)
+        result.stats.retry_count = (
+            self.ctx.metering.op_counts.get("repro.retry", 0) - retries_before
+        )
+        result.stats.degraded = (
+            self.ctx.metering.op_counts.get("repro.degraded", 0) > degraded_before
+        )
         self._record_job(
             job_id, principal, sql_text, kind, result=result,
             trace=result.trace, start_ms=start_ms, metering_before=metering_before,
+            retry_count=result.stats.retry_count, degraded=result.stats.degraded,
         )
         return result
 
@@ -339,6 +354,8 @@ class QueryEngine:
         trace: Any | None = None,
         start_ms: float = 0.0,
         metering_before: Any | None = None,
+        retry_count: int = 0,
+        degraded: bool = False,
     ) -> None:
         """Persist one execution into the platform job history (no-op for
         bare engines constructed without a platform)."""
@@ -375,6 +392,8 @@ class QueryEngine:
             bytes_read=delta.bytes_read if delta is not None else 0,
             bytes_written=delta.bytes_written if delta is not None else 0,
             bytes_egressed=delta.total_egress() if delta is not None else 0,
+            retry_count=retry_count,
+            degraded=degraded,
             trace=trace,
         )
         self.history.record(record_from_trace(record))

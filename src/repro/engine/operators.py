@@ -128,14 +128,7 @@ def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
     t1 = engine.ctx.clock.now_ms
     batches: list[RecordBatch] = []
     for stream_index in range(len(session.streams)):
-        with engine.ctx.tracer.span(
-            "read_api.read_rows", layer="storageapi", stream=stream_index
-        ) as span:
-            rows = 0
-            for batch in engine.read_api.read_rows(session, stream_index):
-                rows += batch.num_rows
-                batches.append(batch)
-            span.set_tag("rows", rows)
+        batches.extend(_run_stream_task(engine, session, stream_index))
     scan_ms = engine.ctx.clock.now_ms - t1
     tasks = max(1, session.stats.files_after_pruning)
     ctx.stats.record_scan(session.stats, scan_ms, tasks)
@@ -153,6 +146,33 @@ def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
         ordered = batch.select(node.columns)
         renamed.append(ordered.rename(out_names))
     return renamed
+
+
+def _run_stream_task(engine, session, stream_index: int) -> list[RecordBatch]:
+    """One worker task: drain a stream, with task-level retry.
+
+    The ``engine.task`` hazard point models a worker restart killing the
+    task; the retry re-runs the whole stream read. Batches are buffered
+    per attempt, so a mid-stream failure never leaks duplicate rows into
+    the query.
+    """
+    ctx = engine.ctx
+
+    def attempt() -> tuple[list[RecordBatch], int]:
+        ctx.faults.check("engine.task", engine=engine.name, stream=stream_index)
+        collected: list[RecordBatch] = []
+        rows = 0
+        for batch in engine.read_api.read_rows(session, stream_index):
+            rows += batch.num_rows
+            collected.append(batch)
+        return collected, rows
+
+    with ctx.tracer.span(
+        "read_api.read_rows", layer="storageapi", stream=stream_index
+    ) as span:
+        collected, rows = ctx.with_retry("engine.task", attempt)
+        span.set_tag("rows", rows)
+    return collected
 
 
 def _execute_system_table(node: SystemTableNode, ctx: ExecContext) -> list[RecordBatch]:

@@ -13,6 +13,21 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class TransientError(ReproError):
+    """Mixin marking failures that may succeed if simply retried.
+
+    Retry machinery (:class:`repro.faults.RetryPolicy`) keys off this class:
+    an error is retryable iff it is a ``TransientError``. Permanent failures
+    (not-found, access-denied, syntax errors, forged credentials) must NOT
+    inherit from it — retrying them only wastes the retry budget.
+    """
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when ``exc`` is classified transient (safe to retry)."""
+    return isinstance(exc, TransientError)
+
+
 class StorageError(ReproError):
     """Object-store level failure (missing object, bad bucket, etc.)."""
 
@@ -29,8 +44,12 @@ class PreconditionFailedError(StorageError):
     """A conditional (CAS) write lost the race: generation mismatch."""
 
 
-class RateLimitedError(StorageError):
+class RateLimitedError(StorageError, TransientError):
     """The object store rejected a mutation due to per-object rate limits."""
+
+
+class UnavailableError(StorageError, TransientError):
+    """The object store was transiently unavailable (5xx-shaped)."""
 
 
 class CatalogError(ReproError):
@@ -39,6 +58,10 @@ class CatalogError(ReproError):
 
 class TransactionConflictError(CatalogError):
     """An optimistic transaction conflicted with a concurrent commit."""
+
+
+class MetadataUnavailableError(CatalogError, TransientError):
+    """Big Metadata was transiently unreachable (lookup or commit)."""
 
 
 class SecurityError(ReproError):
@@ -51,6 +74,15 @@ class AccessDeniedError(SecurityError):
 
 class InvalidCredentialError(SecurityError):
     """Credential is malformed, expired, or out of scope."""
+
+
+class TokenExpiredError(InvalidCredentialError):
+    """A (previously valid) session token passed its expiry.
+
+    Deliberately *not* transient: blind retry with the same token can never
+    succeed — the caller must re-establish a fresh token first (see
+    ``UntrustedProxy`` token re-establishment in :mod:`repro.omni.network`).
+    """
 
 
 class QueryError(ReproError):
@@ -67,6 +99,10 @@ class AnalysisError(QueryError):
 
 class ExecutionError(QueryError):
     """Runtime failure while executing a (valid) plan."""
+
+
+class TransientExecutionError(ExecutionError, TransientError):
+    """A worker task died mid-flight (slot preemption / worker restart)."""
 
 
 class StorageApiError(ReproError):
@@ -95,3 +131,7 @@ class OmniError(ReproError):
 
 class VpnPolicyError(OmniError):
     """The VPN policy engine rejected a cross-plane RPC."""
+
+
+class VpnUnavailableError(OmniError, TransientError):
+    """The cross-cloud VPN tunnel flapped; the RPC never reached the peer."""

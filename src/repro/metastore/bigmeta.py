@@ -278,6 +278,9 @@ class BigMetadataService:
     def _apply_transaction(
         self, staged: dict[str, tuple[list[FileEntry], list[str]]]
     ) -> int:
+        # Hazard point before any mutation: an injected commit fault leaves
+        # the metadata untouched, so a caller's retry observes a clean slate.
+        self.ctx.faults.check("bigmeta.commit", tables=len(staged))
         commit_id = next(self._commit_ids)
         # A commit is a memory-speed append to the in-memory tail.
         with self.ctx.tracer.span(
@@ -319,6 +322,7 @@ class BigMetadataService:
         self, table_id: str, as_of_ms: float | None = None
     ) -> list[FileEntry]:
         """All live files (point-in-time if ``as_of_ms`` given)."""
+        self.ctx.faults.check("bigmeta.lookup", table=table_id)
         with self.ctx.tracer.span(
             "bigmeta.snapshot", layer="metastore", table=table_id
         ):
@@ -343,6 +347,7 @@ class BigMetadataService:
         fast path: a vectorized candidate mask over the baseline index plus
         a per-entry check of the (short) tail — the paper's "read the
         columnar baselines and reconcile with the tail"."""
+        self.ctx.faults.check("bigmeta.lookup", table=table_id)
         columnar = (
             not constraints.is_empty
             and as_of_ms is None

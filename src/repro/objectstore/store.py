@@ -93,28 +93,31 @@ class ObjectStore:
         self._signing_secret = hashlib.sha256(self.name.encode()).hexdigest()
         # Per-object earliest next allowed CAS mutation time (sim ms).
         self._cas_next_allowed_ms: dict[tuple[str, str], float] = {}
-        # Fault injection: op-prefix -> remaining failures to inject.
-        self._faults: dict[str, int] = {}
 
     # -- fault injection (tests/failure benches) -------------------------------
 
     def inject_fault(self, op_prefix: str, count: int = 1) -> None:
         """Make the next ``count`` operations whose name starts with
         ``op_prefix`` (e.g. ``"put"``, ``"get"``, ``"list"``) fail with
-        :class:`~repro.errors.StorageError`."""
-        self._faults[op_prefix] = self._faults.get(op_prefix, 0) + count
+        :class:`~repro.errors.StorageError`.
+
+        Compatibility shim over the :class:`~repro.faults.FaultInjector` on
+        this store's context: the fault is scoped to this store (via a
+        ``store=`` match) and raises the legacy non-transient
+        ``StorageError``, so retry policies pass it straight through.
+        """
+        from repro.faults import FaultSpec
+
+        self.ctx.faults.add(FaultSpec(
+            op=f"objectstore.{op_prefix}",
+            error="StorageError",
+            count=count,
+            match=(("store", self.name),),
+        ))
 
     def _maybe_fail(self, op: str) -> None:
-        from repro.errors import StorageError
-
-        for prefix, remaining in list(self._faults.items()):
-            if op.startswith(prefix) and remaining > 0:
-                if remaining == 1:
-                    del self._faults[prefix]
-                else:
-                    self._faults[prefix] = remaining - 1
-                self.ctx.metering.count("object_store.injected_fault")
-                raise StorageError(f"injected fault on {op} ({self.name})")
+        """Consult the context-wide injector at this store's hazard point."""
+        self.ctx.faults.check(f"objectstore.{op}", store=self.name)
 
     # -- bucket management ---------------------------------------------------
 
@@ -278,6 +281,7 @@ class ObjectStore:
         caller_location: str | None = None,
     ) -> bytes:
         """Ranged GET (used to fetch file footers without the whole object)."""
+        self._maybe_fail("get_range")
         blob = self._lookup(bucket, key)
         if start < 0:
             start = max(0, len(blob.data) + start)
@@ -294,6 +298,7 @@ class ObjectStore:
 
     def head_object(self, bucket: str, key: str) -> ObjectMeta:
         """Metadata-only request."""
+        self._maybe_fail("head")
         blob = self._lookup(bucket, key)
         with self.ctx.tracer.span("objectstore.head", layer="objectstore", key=f"{bucket}/{key}"):
             self.ctx.charge("object_store.head", self.ctx.costs.head_latency_ms)
@@ -305,6 +310,7 @@ class ObjectStore:
         return key in b.blobs
 
     def delete_object(self, bucket: str, key: str) -> None:
+        self._maybe_fail("delete")
         b = self.bucket(bucket)
         if key not in b.blobs:
             raise NotFoundError(f"object {bucket}/{key} not found")

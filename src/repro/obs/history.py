@@ -53,6 +53,10 @@ class JobRecord:
     bytes_read: int = 0
     bytes_written: int = 0
     bytes_egressed: int = 0
+    # Chaos/recovery accounting: transient-failure retries charged to this
+    # job and whether any degraded (fallback) path served it.
+    retry_count: int = 0
+    degraded: bool = False
     # Self-time per layer over the job's span tree (empty if tracing off).
     layers_ms: dict[str, float] = field(default_factory=dict)
     trace: Span | None = None

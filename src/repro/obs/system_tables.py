@@ -64,6 +64,8 @@ JOBS_SCHEMA = Schema.of(
     ("bytes_read", DataType.INT64),
     ("bytes_written", DataType.INT64),
     ("bytes_egressed", DataType.INT64),
+    ("retry_count", DataType.INT64),
+    ("degraded", DataType.BOOL),
 )
 
 JOBS_TIMELINE_SCHEMA = Schema.of(
@@ -239,6 +241,8 @@ class SystemTables:
                 r.bytes_read,
                 r.bytes_written,
                 r.bytes_egressed,
+                r.retry_count,
+                r.degraded,
             )
             for r in self._visible_jobs(principal)
         ]

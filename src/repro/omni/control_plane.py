@@ -154,9 +154,12 @@ class JobServer:
         token = region.channel.mint_session_token(
             job.job_id, allowed_services=["job-server", "metadata", "shuffle"]
         )
-        region.channel.call(
-            "job-server@gcp", "dremel", "ExecuteQuery",
-            payload_bytes=len(sql.encode()) + 2048,  # query + creds + token
+        region.channel.ctx.with_retry(
+            "vpn.call",
+            lambda: region.channel.call(
+                "job-server@gcp", "dremel", "ExecuteQuery",
+                payload_bytes=len(sql.encode()) + 2048,  # query + creds + token
+            ),
         )
         job.cross_cloud = False
         del token  # the data plane holds it for callbacks; modeled in tests
@@ -165,7 +168,10 @@ class JobServer:
         """Stream the (final) result rows back to the control plane."""
         region = self.omni.regions[location]
         result_bytes = sum(b.nbytes() for b in result.batches)
-        region.channel.call(
-            region.realm.service_user("dremel"), "job-server",
-            "ReturnResults", payload_bytes=result_bytes, toward_data_plane=False,
+        region.channel.ctx.with_retry(
+            "vpn.call",
+            lambda: region.channel.call(
+                region.realm.service_user("dremel"), "job-server",
+                "ReturnResults", payload_bytes=result_bytes, toward_data_plane=False,
+            ),
         )

@@ -21,8 +21,10 @@ import hashlib
 import itertools
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from repro.cloud import transfer_latency_ms
-from repro.errors import InvalidCredentialError, VpnPolicyError
+from repro.errors import InvalidCredentialError, TokenExpiredError, VpnPolicyError
 from repro.security.iam import Principal
 from repro.simtime import SimContext
 
@@ -117,6 +119,9 @@ class VpnChannel:
             raise VpnPolicyError(
                 f"policy engine denied {caller!r} -> {service}.{method}"
             )
+        # Hazard after the policy check: a flap models the tunnel dropping
+        # an admitted RPC, never a policy bypass.
+        self.ctx.faults.check("vpn.call", service=service, method=method)
         src = self.control_location if toward_data_plane else self.data_location
         dst = self.data_location if toward_data_plane else self.control_location
         latency = transfer_latency_ms(self.ctx.costs, src, dst, payload_bytes)
@@ -157,7 +162,7 @@ class VpnChannel:
         if token.signature != hashlib.sha256(payload.encode()).hexdigest():
             raise InvalidCredentialError("session token signature mismatch")
         if self.ctx.clock.now_ms > token.expires_ms:
-            raise InvalidCredentialError("session token expired")
+            raise TokenExpiredError("session token expired")
 
 
 class UntrustedProxy:
@@ -167,11 +172,24 @@ class UntrustedProxy:
     admitting traffic toward the control plane (§5.3.2).
     """
 
-    def __init__(self, channel: VpnChannel, realm: SecurityRealm) -> None:
+    def __init__(
+        self,
+        channel: VpnChannel,
+        realm: SecurityRealm,
+        token_refresher: "Callable[[SessionToken], SessionToken] | None" = None,
+    ) -> None:
         self.channel = channel
         self.realm = realm
+        self.token_refresher = token_refresher
         self.denied_calls = 0
         self.admitted_calls = 0
+
+    def set_token_refresher(
+        self, refresher: "Callable[[SessionToken], SessionToken] | None"
+    ) -> None:
+        """Install the control-plane callback that re-mints an *expired*
+        (but authentic) session token for the same query scope."""
+        self.token_refresher = refresher
 
     def call_control_plane(
         self,
@@ -180,29 +198,63 @@ class UntrustedProxy:
         service: str,
         method: str,
         payload_bytes: int = 1024,
-    ) -> None:
-        """A data-plane worker calling back into the control plane."""
+    ) -> SessionToken:
+        """A data-plane worker calling back into the control plane.
+
+        Returns the token the call was admitted under — the original, or a
+        re-established one when the original had merely expired mid-query
+        and a ``token_refresher`` is installed. Forged tokens are never
+        refreshed. Transient VPN flaps on the admitted RPC are retried.
+        """
         if not self.realm.owns(worker_user):
             self.denied_calls += 1
             raise VpnPolicyError(
                 f"worker identity {worker_user!r} is not in realm "
                 f"{self.realm.region_location!r}"
             )
-        try:
-            self.channel.verify_token(token)
-        except InvalidCredentialError:
-            self.denied_calls += 1
-            raise
+        token = self._verify_or_reestablish(token)
         if service not in token.allowed_services:
             self.denied_calls += 1
             raise VpnPolicyError(
                 f"session token for query {token.query_id!r} does not allow "
                 f"service {service!r}"
             )
-        self.channel.call(
-            worker_user, service, method, payload_bytes, toward_data_plane=False
+        self.channel.ctx.with_retry(
+            "vpn.call",
+            lambda: self.channel.call(
+                worker_user, service, method, payload_bytes, toward_data_plane=False
+            ),
         )
         self.admitted_calls += 1
+        return token
+
+    def _verify_or_reestablish(self, token: SessionToken) -> SessionToken:
+        """Verify ``token``; on expiry (only), re-establish via the
+        refresher. Signature mismatches always deny — an attacker must not
+        be able to launder a forged token through the refresh path."""
+        try:
+            self.channel.verify_token(token)
+            return token
+        except TokenExpiredError:
+            if self.token_refresher is None:
+                self.denied_calls += 1
+                raise
+        except InvalidCredentialError:
+            self.denied_calls += 1
+            raise
+        ctx = self.channel.ctx
+        ctx.metering.count("omni.token_reestablished")
+        ctx.metrics.counter(
+            "omni_token_reestablished_total",
+            "Expired session tokens re-established mid-query.",
+        ).inc()
+        fresh = self.token_refresher(token)
+        try:
+            self.channel.verify_token(fresh)
+        except InvalidCredentialError:
+            self.denied_calls += 1
+            raise
+        return fresh
 
 
 def human_access_principal(username: str) -> Principal:

@@ -25,8 +25,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from typing import Callable, TypeVar
+
+    from repro.faults import FaultInjector, RetryPolicy
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import Tracer
+
+    _T = TypeVar("_T")
 
 MIB = 1024.0 * 1024.0
 
@@ -44,8 +49,10 @@ class SimClock:
 
     @property
     def now_ms(self) -> float:
-        """Current simulated time in milliseconds."""
-        return self._now_ms
+        """Current simulated time in milliseconds (read under the lock, so
+        cross-thread reads during distributed execution are consistent)."""
+        with self._lock:
+            return self._now_ms
 
     def advance(self, delta_ms: float) -> float:
         """Advance the clock by ``delta_ms`` and return the new time."""
@@ -195,8 +202,11 @@ class SimContext:
     metering: Metering = field(default_factory=Metering)
     tracer: "Tracer | None" = None
     metrics: "MetricsRegistry | None" = None
+    faults: "FaultInjector | None" = None
+    retry: "RetryPolicy | None" = None
 
     def __post_init__(self) -> None:
+        from repro.faults import FaultInjector, RetryPolicy
         from repro.obs.metrics import MetricsRegistry
         from repro.obs.trace import Tracer
 
@@ -204,8 +214,16 @@ class SimContext:
             self.tracer = Tracer(self.clock)
         if self.metrics is None:
             self.metrics = MetricsRegistry()
+        if self.faults is None:
+            self.faults = FaultInjector(self)
+        if self.retry is None:
+            self.retry = RetryPolicy()
 
     def charge(self, op: str, latency_ms: float) -> None:
         """Record operation ``op`` and advance the clock by its latency."""
         self.metering.count(op)
         self.clock.advance(latency_ms)
+
+    def with_retry(self, op: str, fn: "Callable[[], _T]") -> "_T":
+        """Run ``fn`` under this context's :class:`RetryPolicy`."""
+        return self.retry.call(self, op, fn)

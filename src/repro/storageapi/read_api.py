@@ -26,7 +26,9 @@ from repro.errors import (
     CatalogError,
     SessionExpiredError,
     StorageApiError,
+    TransientError,
 )
+from repro.faults import record_degradation
 from repro.formats.readers import RowReader, VectorizedReader
 from repro.metastore.bigmeta import BigMetadataService, ColumnStats, FileEntry
 from repro.metastore.catalog import MetadataCacheMode, TableInfo, TableKind
@@ -335,9 +337,27 @@ class ReadApi:
         stats: SessionStats,
     ) -> list[ReadStream]:
         """Object tables read the metadata cache itself as data (§4.1)."""
-        self._ensure_cache_fresh(table)
-        entries = self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms)
-        stats.files_total = self._live_file_count(table.table_id, snapshot_ms)
+        try:
+            self._ensure_cache_fresh(table)
+            entries = self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms)
+            stats.files_total = self._live_file_count(table.table_id, snapshot_ms)
+        except TransientError:
+            # Degraded mode: serve object rows straight from a live LIST,
+            # bypassing the unavailable metadata cache.
+            record_degradation(self.ctx, "object_table", table.table_id)
+            store = self.stores.store_for(table.storage.location)
+            self._require_delegated_access(table, store, listing=True)
+            listed = [
+                _object_entry(table.storage.bucket, meta)
+                for meta in store.list_objects(
+                    table.storage.bucket, prefix=_dir_prefix(table.storage.prefix)
+                )
+            ]
+            entries = [
+                e for e in listed
+                if BigMetadataService._entry_matches(e, constraints)
+            ]
+            stats.files_total = len(listed)
         stats.files_after_pruning = len(entries)
         count = max(1, min(max_streams, (len(entries) + 4095) // 4096 or 1))
         streams = [ReadStream(stream_id=i) for i in range(count)]
@@ -355,8 +375,13 @@ class ReadApi:
     ) -> tuple[list[FileEntry], int]:
         """(pruned entries, total live files) for a file-backed table."""
         if table.kind is TableKind.BLMT:
-            # Big Metadata is the source of truth for managed BigLake tables.
-            pruned = self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms)
+            # Big Metadata is the source of truth for managed BigLake tables:
+            # there is no listing fallback (the bucket may hold uncommitted
+            # files), so transient lookup faults are retried instead.
+            pruned = self.ctx.with_retry(
+                "bigmeta.prune",
+                lambda: self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms),
+            )
             total = self._live_file_count(table.table_id, snapshot_ms)
             return pruned, total
         if table.kind in (TableKind.BIGLAKE, TableKind.EXTERNAL):
@@ -365,10 +390,19 @@ class ReadApi:
                 and table.cache_config.mode is not MetadataCacheMode.DISABLED
             )
             if cache_on:
-                self._ensure_cache_fresh(table)
-                pruned = self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms)
-                total = self._live_file_count(table.table_id, snapshot_ms)
-                return pruned, total
+                try:
+                    self._ensure_cache_fresh(table)
+                    pruned = self.bigmeta.prune(
+                        table.table_id, constraints, as_of_ms=snapshot_ms
+                    )
+                    total = self._live_file_count(table.table_id, snapshot_ms)
+                    return pruned, total
+                except TransientError:
+                    # Graceful degradation (§3.3): when the metadata cache
+                    # is unavailable, fall back to the live LIST + footer
+                    # path — slower, but within the staleness bound since
+                    # the bucket itself is the source of truth.
+                    record_degradation(self.ctx, "metadata_cache", table.table_id)
             return self._resolve_by_listing(table, constraints)
         raise CatalogError(f"cannot stream table kind {table.kind}")
 
@@ -395,8 +429,11 @@ class ReadApi:
             # read; anything else needs the footer statistics.
             if not self._partition_admits(partition, constraints):
                 continue
-            footer, size = read_remote_footer(
-                store, table.storage.bucket, meta.key, caller_location=caller
+            footer, size = self.ctx.with_retry(
+                "objectstore.get_range",
+                lambda key=meta.key: read_remote_footer(
+                    store, table.storage.bucket, key, caller_location=caller
+                ),
             )
             entry = entry_from_footer(
                 f"{table.storage.bucket}/{meta.key}", size, footer, partition
@@ -535,6 +572,9 @@ class ReadApi:
 
     def read_rows(self, session: ReadSession, stream_index: int) -> Iterator[RecordBatch]:
         """Stream governed batches from one stream of a session."""
+        self.ctx.faults.check(
+            "read_api.read_rows", table=session.table.table_id, stream=stream_index
+        )
         if self.ctx.clock.now_ms > session.expires_ms:
             raise SessionExpiredError(f"session {session.session_id} expired")
         if not 0 <= stream_index < len(session.streams):
@@ -702,7 +742,12 @@ class ReadApi:
         keys = batch.column("key").to_pylist()
         payloads = []
         for bucket, key in zip(buckets, keys):
-            data = store.get_object(bucket, key, caller_location=session.engine_location)
+            data = self.ctx.with_retry(
+                "objectstore.get",
+                lambda: store.get_object(
+                    bucket, key, caller_location=session.engine_location
+                ),
+            )
             session.stats.bytes_scanned += len(data)
             self._count_scanned(len(data))
             payloads.append(data)
@@ -718,7 +763,12 @@ class ReadApi:
             if session.ranged_reads and not session.use_row_oriented_reader:
                 yield from self._ranged_scan(session, store, bucket, key, enforcement)
                 continue
-            data = store.get_object(bucket, key, caller_location=session.engine_location)
+            data = self.ctx.with_retry(
+                "objectstore.get",
+                lambda: store.get_object(
+                    bucket, key, caller_location=session.engine_location
+                ),
+            )
             session.stats.bytes_scanned += len(data)
             self._count_scanned(len(data))
             if session.use_row_oriented_reader:
@@ -741,8 +791,11 @@ class ReadApi:
         from repro.formats import pqs as _pqs
         from repro.sql.expressions import collect_column_refs
 
-        footer, _size = read_remote_footer(
-            store, bucket, key, caller_location=session.engine_location
+        footer, _size = self.ctx.with_retry(
+            "objectstore.get_range",
+            lambda: read_remote_footer(
+                store, bucket, key, caller_location=session.engine_location
+            ),
         )
         keep = self._surviving_row_groups(session, footer)
         session.stats.row_groups_pruned += len(footer.row_groups) - len(keep)
@@ -773,9 +826,12 @@ class ReadApi:
             )
             buffers: dict[str, bytes] = {}
             for start, stop, members in self._coalesced_ranges(chunks):
-                blob = store.get_range(
-                    bucket, key, start, stop - start,
-                    caller_location=session.engine_location,
+                blob = self.ctx.with_retry(
+                    "objectstore.get_range",
+                    lambda start=start, stop=stop: store.get_range(
+                        bucket, key, start, stop - start,
+                        caller_location=session.engine_location,
+                    ),
                 )
                 session.stats.bytes_scanned += len(blob)
                 self._count_scanned(len(blob))

@@ -129,6 +129,9 @@ class WriteApi:
         """
         if not stream.is_writable:
             raise StorageApiError(f"stream {stream.stream_id} is not writable")
+        # Hazard before buffering: the exactly-once offset protocol makes a
+        # caller retry of a failed append safe (duplicates are acked).
+        self.ctx.faults.check("write_api.append", table=stream.table.table_id)
         if offset is None:
             offset = stream.next_offset
         if offset < stream.next_offset:
@@ -217,12 +220,20 @@ class WriteApi:
         store = self.stores.store_for(table.storage.location)
         key = f"{table.storage.prefix.rstrip('/')}/data/stream-{next(_file_ids):08d}.pqs"
         combined = concat_batches(table.schema, batches)
-        entry = write_data_file(
-            store, table.storage.bucket, key, table.schema, [combined]
+        # Retried ops are idempotent: the PUT rewrites the same key, and a
+        # failed commit leaves Big Metadata untouched.
+        entry = self.ctx.with_retry(
+            "objectstore.put",
+            lambda: write_data_file(
+                store, table.storage.bucket, key, table.schema, [combined]
+            ),
         )
         self.bigmeta.register_table(table.table_id)
         if txn is not None:
             txn.stage(table.table_id, added=[entry])
         else:
-            self.bigmeta.commit(table.table_id, added=[entry])
+            self.ctx.with_retry(
+                "bigmeta.commit",
+                lambda: self.bigmeta.commit(table.table_id, added=[entry]),
+            )
         table.version += 1

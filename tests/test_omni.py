@@ -321,3 +321,126 @@ class TestCcmv:
         assert report.partitions_removed == first.partitions_total
         r = platform.home_engine.execute("SELECT COUNT(*) FROM ccmv.mv4", admin)
         assert r.single_value() == 0
+
+
+class TestTokenRecovery:
+    """Satellite: SessionToken expiry + UntrustedProxy rejection paths,
+    including retry-on-reestablish (PR 3)."""
+
+    def test_expiry_raises_token_expired_error(self, env):
+        from repro.errors import TokenExpiredError
+
+        platform, _, region, _ = env
+        token = region.channel.mint_session_token("q1", ["metadata"], ttl_ms=5.0)
+        platform.ctx.clock.advance(10.0)
+        with pytest.raises(TokenExpiredError):
+            region.channel.verify_token(token)
+
+    def test_expired_token_denied_without_refresher(self, env):
+        from repro.errors import TokenExpiredError
+
+        platform, _, region, _ = env
+        worker = region.realm.service_user("dremel")
+        token = region.channel.mint_session_token("q1", ["metadata"], ttl_ms=5.0)
+        platform.ctx.clock.advance(10.0)
+        assert region.proxy.token_refresher is None
+        with pytest.raises(TokenExpiredError):
+            region.proxy.call_control_plane(worker, token, "metadata", "Lookup")
+        assert region.proxy.denied_calls == 1
+        assert region.proxy.admitted_calls == 0
+
+    def test_refresher_reestablishes_expired_token(self, env):
+        platform, _, region, _ = env
+        worker = region.realm.service_user("dremel")
+        token = region.channel.mint_session_token("q1", ["metadata"], ttl_ms=5.0)
+        region.proxy.set_token_refresher(
+            lambda old: region.channel.mint_session_token(
+                old.query_id, sorted(old.allowed_services)
+            )
+        )
+        platform.ctx.clock.advance(10.0)
+        admitted = region.proxy.call_control_plane(worker, token, "metadata", "Lookup")
+        assert admitted.token_id != token.token_id
+        assert admitted.query_id == token.query_id
+        assert region.proxy.admitted_calls == 1
+        assert region.proxy.denied_calls == 0
+        assert platform.ctx.metering.op_counts.get("omni.token_reestablished") == 1
+
+    def test_forged_token_never_refreshed(self, env):
+        from dataclasses import replace
+
+        from repro.errors import InvalidCredentialError
+
+        _, _, region, _ = env
+        worker = region.realm.service_user("dremel")
+        calls = []
+        region.proxy.set_token_refresher(lambda old: calls.append(old))
+        token = region.channel.mint_session_token("q1", ["metadata"])
+        forged = replace(
+            token, allowed_services=frozenset({"metadata", "spanner-catalog"})
+        )
+        with pytest.raises(InvalidCredentialError):
+            region.proxy.call_control_plane(worker, forged, "spanner-catalog", "Scan")
+        assert calls == []  # the refresh path must not launder forgeries
+        assert region.proxy.denied_calls == 1
+
+    def test_refresher_returning_bad_token_denied(self, env):
+        from dataclasses import replace
+
+        from repro.errors import InvalidCredentialError
+
+        platform, _, region, _ = env
+        worker = region.realm.service_user("dremel")
+        token = region.channel.mint_session_token("q1", ["metadata"], ttl_ms=5.0)
+        region.proxy.set_token_refresher(
+            lambda old: replace(old, signature="deadbeef")
+        )
+        platform.ctx.clock.advance(10.0)
+        with pytest.raises(InvalidCredentialError):
+            region.proxy.call_control_plane(worker, token, "metadata", "Lookup")
+        assert region.proxy.denied_calls == 1
+        assert region.proxy.admitted_calls == 0
+
+    def test_vpn_flap_retried_by_proxy(self, env):
+        from repro.faults import FaultSpec
+
+        platform, _, region, _ = env
+        worker = region.realm.service_user("dremel")
+        token = region.channel.mint_session_token("q1", ["metadata"])
+        platform.ctx.faults.add(
+            FaultSpec(op="vpn.call", error="VpnUnavailableError", count=1)
+        )
+        region.proxy.call_control_plane(worker, token, "metadata", "Lookup")
+        assert region.proxy.admitted_calls == 1
+        assert platform.ctx.metering.op_counts.get("repro.retry", 0) >= 1
+
+    def test_vpn_outage_exhausts_retry_budget(self, env):
+        from repro.errors import VpnUnavailableError
+        from repro.faults import FaultPlan, FaultSpec
+
+        platform, _, region, _ = env
+        worker = region.realm.service_user("dremel")
+        token = region.channel.mint_session_token("q1", ["metadata"])
+        platform.ctx.faults.install(FaultPlan(seed=1, specs=[
+            FaultSpec(op="vpn.call", error="VpnUnavailableError", rate=1.0)
+        ]))
+        with pytest.raises(VpnUnavailableError):
+            region.proxy.call_control_plane(worker, token, "metadata", "Lookup")
+        assert (
+            platform.ctx.metering.op_counts.get("repro.retry")
+            == platform.ctx.retry.max_attempts - 1
+        )
+        assert region.proxy.admitted_calls == 0
+
+    def test_cross_cloud_query_survives_vpn_flaps(self, env):
+        from repro.faults import FaultSpec
+
+        platform, admin, region, _ = env
+        platform.ctx.faults.add(
+            FaultSpec(op="vpn.call", error="VpnUnavailableError", count=1)
+        )
+        result = platform.job_server.submit(
+            "SELECT COUNT(*) FROM aws_dataset.customer_orders", admin
+        )
+        assert result.single_value() == 100
+        assert platform.ctx.metering.op_counts.get("repro.retry", 0) >= 1
