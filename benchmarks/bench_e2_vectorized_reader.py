@@ -18,6 +18,9 @@ from tests.helpers import make_platform, setup_sales_lake
 
 def _build():
     platform, admin = make_platform()
+    # Data cache off: warm chunk hits would skip the decode work entirely
+    # (server CPU -> 0), and this bench measures exactly that decode cost.
+    platform.data_cache.config.enabled = False
     table, _ = setup_sales_lake(platform, admin, files=6, rows_per_file=4000)
     return platform, admin, table
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Repo gate: lint (when ruff is available) + the tier-1 test suite + the
-# chaos determinism gate (same seed, two processes, identical outcomes).
+# chaos determinism gate (same seed, two processes, identical outcomes) +
+# the data-cache coherence gate (warm == cold rows, hit ratio > 0, and the
+# report is byte-identical across processes).
 # Usage: scripts/check.sh  (from the repo root)
 set -euo pipefail
 
@@ -16,9 +18,23 @@ fi
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q
 
+echo "== data-cache coherence gate =="
+# The CLI itself exits non-zero if the warm rows differ from the cold run
+# or no bytes were served from cache; diffing two runs pins determinism.
+cache_a="$(mktemp)" cache_b="$(mktemp)"
+trap 'rm -f "$cache_a" "$cache_b"' EXIT
+PYTHONPATH=src python -m repro cache-stats > "$cache_a"
+PYTHONPATH=src python -m repro cache-stats > "$cache_b"
+if diff -u "$cache_a" "$cache_b"; then
+    echo "cache-stats run is deterministic"
+else
+    echo "cache determinism gate FAILED: two runs produced different stats" >&2
+    exit 1
+fi
+
 echo "== chaos determinism gate =="
 chaos_a="$(mktemp)" chaos_b="$(mktemp)"
-trap 'rm -f "$chaos_a" "$chaos_b"' EXIT
+trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b"' EXIT
 PYTHONPATH=src python -m repro chaos --suite --seed 1234 --rate 0.05 \
     --json "$chaos_a" >/dev/null
 PYTHONPATH=src python -m repro chaos --suite --seed 1234 --rate 0.05 \

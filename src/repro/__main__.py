@@ -16,6 +16,11 @@ Commands:
   ``--rate R`` installs the uniform transient mix; ``--suite`` runs the
   TPC-H-lite suite instead of one statement; ``--no-retries`` disables
   recovery; ``--json OUT`` writes a machine-readable report.
+* ``cache-stats`` — run the demo query cold then warm and print the
+  per-tier data-cache counters via ``INFORMATION_SCHEMA.CACHE_STATS``.
+  Exits non-zero if the warm run's rows differ from the cold run's or if
+  the warm run served no bytes from the cache; the output is
+  deterministic, so two invocations must be byte-identical.
 * ``experiments`` — run the full E1–E12 + future-work benchmark suite.
 * ``info``        — print the module inventory and experiment index.
 """
@@ -277,6 +282,48 @@ def _chaos(
     return 0
 
 
+def _cache_stats() -> int:
+    """Cold run, warm run, then the CACHE_STATS table — a self-checking
+    walkthrough of the data cache (byte-identical results, warm hits > 0).
+    Deterministic output: ``scripts/check.sh`` diffs two invocations."""
+    platform, admin = _build_demo_platform()
+    engine = platform.home_engine
+    sql = (
+        "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
+        "FROM demo.orders WHERE id < 250 GROUP BY region ORDER BY region"
+    )
+    print(f"-- {sql}\n")
+    cold = engine.execute(sql, admin)
+    warm = engine.execute(sql, admin)
+    if warm.rows() != cold.rows():
+        print("error: warm run returned different rows than cold run", file=sys.stderr)
+        return 1
+    if warm.stats.cache_hit_bytes <= 0:
+        print("error: warm run served no bytes from the data cache", file=sys.stderr)
+        return 1
+    for label, result in (("cold", cold), ("warm", warm)):
+        stats = result.stats
+        print(
+            f"{label}: elapsed {stats.elapsed_ms:.2f} ms, "
+            f"scanned {stats.bytes_scanned:,} B, "
+            f"cache {stats.cache_hit_bytes:,} B "
+            f"(hit ratio {stats.cache_hit_ratio:.3f})"
+        )
+
+    print("\ntier        entries  resident_b  capacity_b   hits  misses  hit_ratio")
+    rows = engine.execute(
+        "SELECT tier, entries, resident_bytes, capacity_bytes, hits, misses, "
+        "hit_ratio FROM INFORMATION_SCHEMA.CACHE_STATS ORDER BY tier",
+        admin,
+    ).rows()
+    for tier, entries, resident, capacity, hits, misses, ratio in rows:
+        print(
+            f"{tier:<11} {entries:>7} {resident:>11,} {capacity:>11,} "
+            f"{hits:>6} {misses:>7} {ratio:>10.3f}"
+        )
+    return 0
+
+
 def _experiments(extra: list[str]) -> int:
     command = [
         sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
@@ -300,7 +347,8 @@ def _info() -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
-        "command", choices=["demo", "trace", "jobs", "chaos", "experiments", "info"],
+        "command",
+        choices=["demo", "trace", "jobs", "chaos", "cache-stats", "experiments", "info"],
         nargs="?", default="demo",
     )
     parser.add_argument(
@@ -358,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
             args.seed, args.plan, args.rate, args.no_retries,
             args.suite, args.repeat, args.json_path,
         )
+    if args.command == "cache-stats":
+        return _cache_stats()
     if args.command == "experiments":
         return _experiments(args.extra)
     return _info()

@@ -6,7 +6,7 @@ platform builders for the standard workloads, a sequential "power run"
 runner (the measurement mode Fig. 4 uses), plain-text table printing so
 benchmark output reads like the paper's reported series, and a
 machine-readable report (``record_bench`` / ``write_bench_report``) the
-suite conftest dumps to ``BENCH_PR2.json`` — schema in EXPERIMENTS.md.
+suite conftest dumps to ``BENCH_PR4.json`` — schema in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -15,7 +15,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.cache import CacheConfig
 from repro.core import LakehousePlatform
+from repro.core.platform import PlatformConfig
 from repro.engine.engine import QueryStats
 from repro.metastore.catalog import MetadataCacheMode
 from repro.obs.trace import summarize_trace
@@ -47,14 +49,21 @@ def power_run(engine, queries: dict[str, str], principal) -> PowerRunResult:
     return result
 
 
+def _make_platform(data_cache: CacheConfig | None) -> LakehousePlatform:
+    if data_cache is None:
+        return LakehousePlatform()
+    return LakehousePlatform(PlatformConfig(data_cache=data_cache))
+
+
 def build_tpcds_platform(
     scale: float = 0.3,
     cache_mode: MetadataCacheMode = MetadataCacheMode.AUTOMATIC,
     fact_files: int = 24,
+    data_cache: CacheConfig | None = None,
     **engine_flags: Any,
 ):
     """(platform, admin, engine, queries) over a BigLake TPC-DS lake."""
-    platform = LakehousePlatform()
+    platform = _make_platform(data_cache)
     admin = platform.admin_user()
     data = tpcds_lite.generate(scale=scale)
     tpcds_lite.load_as_biglake(
@@ -69,12 +78,16 @@ def build_tpcds_platform(
 def build_tpch_platform(
     scale: float = 0.3,
     cache_mode: MetadataCacheMode = MetadataCacheMode.AUTOMATIC,
+    data_cache: CacheConfig | None = None,
+    lineitem_files: int = 16,
     **engine_flags: Any,
 ):
-    platform = LakehousePlatform()
+    platform = _make_platform(data_cache)
     admin = platform.admin_user()
     data = tpch_lite.generate(scale=scale)
-    tpch_lite.load_as_biglake(platform, admin, data, cache_mode=cache_mode)
+    tpch_lite.load_as_biglake(
+        platform, admin, data, cache_mode=cache_mode, lineitem_files=lineitem_files
+    )
     engine = platform.home_engine
     for flag, value in engine_flags.items():
         setattr(engine, flag, value)
@@ -82,7 +95,7 @@ def build_tpch_platform(
 
 
 # --------------------------------------------------------------------------
-# Machine-readable bench report (BENCH_PR2.json)
+# Machine-readable bench report (BENCH_PR4.json)
 # --------------------------------------------------------------------------
 
 #: Accumulates across one pytest session; the benchmarks/ conftest writes

@@ -1,0 +1,331 @@
+"""Multi-tier columnar data cache (§3.3/§3.4): footers, chunks, dictionaries.
+
+The paper closes the gap between lake and managed storage by caching file
+*data*, not just metadata, next to the slots. This module is that layer for
+the reproduction: a slot-local cache with three tiers —
+
+* **footer** — parsed :class:`~repro.formats.pqs.FileFooter` objects (plus
+  object size), so a warm scan skips the per-file footer round trips.
+* **chunk** — decoded column chunks (:class:`~repro.data.column.Column` or
+  :class:`~repro.data.column.DictionaryColumn`, dictionary encoding
+  preserved), so a warm scan skips both the object-store GET and the decode.
+* **dictionary** — decoded dictionary value vectors, content-addressed, so
+  identical dictionaries (the common case across row groups and compacted
+  files of one table) are stored once and shared.
+
+Coherence is by *keying*, not invalidation: every entry is keyed by
+``(bucket, key, generation, ...)`` where ``generation`` is the object
+store's per-PUT generation number (carried on
+:class:`~repro.metastore.bigmeta.FileEntry`). DML rewrites and BLMT
+compaction write new objects (new keys), in-place overwrites bump the
+generation, and Iceberg pointer swaps change the referenced data files —
+in every case the stale entries simply stop being addressed and age out
+of the LRU. There is no explicit flush. Entries whose generation is
+unknown (``0``) are never cached.
+
+Each tier is a capacity-bounded LRU with admission-by-size: an item larger
+than ``admission_fraction`` of the tier's capacity is not admitted (one
+giant scan must not wipe out the working set).
+
+Failure policy: every get/put consults the fault injector at the
+``cache.get`` / ``cache.put`` hazard points; an injected cache error turns
+the operation into a miss (get) or a skipped admission (put) and records a
+degradation — the cache can make a query slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReproError
+from repro.faults import record_degradation
+from repro.simtime import MIB
+
+if TYPE_CHECKING:
+    from repro.data.column import Column, DictionaryColumn
+    from repro.formats.pqs import FileFooter
+    from repro.simtime import SimContext
+
+
+@dataclass
+class CacheConfig:
+    """Capacity knobs for the three tiers (bytes of *source* data)."""
+
+    enabled: bool = True
+    footer_capacity_bytes: int = 8 * 1024 * 1024
+    chunk_capacity_bytes: int = 256 * 1024 * 1024
+    dictionary_capacity_bytes: int = 32 * 1024 * 1024
+    # Admission-by-size: reject items larger than this fraction of the
+    # tier's capacity instead of evicting the whole working set for them.
+    admission_fraction: float = 0.25
+
+
+@dataclass
+class TierStats:
+    """Raw counters for one tier (also exported as metrics)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    hit_bytes: int = 0
+    admission_rejects: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheTier:
+    """One capacity-bounded LRU map from tuple keys to (value, size)."""
+
+    def __init__(self, name: str, capacity_bytes: int, admission_fraction: float) -> None:
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.admission_limit = int(capacity_bytes * admission_fraction)
+        self._entries: "OrderedDict[tuple, tuple[Any, int]]" = OrderedDict()
+        self.resident_bytes = 0
+        self.stats = TierStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> tuple[Any, int] | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.hit_bytes += entry[1]
+        return entry
+
+    def put(self, key: tuple, value: Any, size_bytes: int) -> bool:
+        """Admit ``(key, value)``; returns False if rejected by size."""
+        if size_bytes > self.admission_limit or size_bytes > self.capacity_bytes:
+            self.stats.admission_rejects += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.resident_bytes -= old[1]
+        while self._entries and self.resident_bytes + size_bytes > self.capacity_bytes:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self.resident_bytes -= evicted_size
+            self.stats.evictions += 1
+        self._entries[key] = (value, size_bytes)
+        self.resident_bytes += size_bytes
+        return True
+
+
+class DataCache:
+    """The slot-local data cache one platform's engines share.
+
+    Read paths call :meth:`lookup_footer` / :meth:`lookup_chunk` before
+    touching the object store and :meth:`admit_footer` / :meth:`admit_chunk`
+    after a cold fetch; :meth:`decode_chunk` is the dictionary-sharing
+    decode used by both. Hits charge the (much cheaper)
+    ``cache_lookup_ms`` + ``cache_hit_per_mib_ms`` sim-time costs instead
+    of GET latency + decode cost.
+    """
+
+    def __init__(self, ctx: "SimContext", config: CacheConfig | None = None) -> None:
+        self.ctx = ctx
+        self.config = config or CacheConfig()
+        fraction = self.config.admission_fraction
+        self.footers = CacheTier("footer", self.config.footer_capacity_bytes, fraction)
+        self.chunks = CacheTier("chunk", self.config.chunk_capacity_bytes, fraction)
+        self.dictionaries = CacheTier(
+            "dictionary", self.config.dictionary_capacity_bytes, fraction
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def tiers(self) -> list[CacheTier]:
+        return [self.footers, self.chunks, self.dictionaries]
+
+    # -- fault gating -------------------------------------------------------
+
+    def _guard(self, op: str, tier: CacheTier) -> bool:
+        """Consult the ``cache.get``/``cache.put`` hazard point. An injected
+        fault degrades the operation to a bypass (never an error)."""
+        try:
+            self.ctx.faults.check(op, tier=tier.name)
+        except ReproError:
+            record_degradation(self.ctx, "data_cache", f"{tier.name} {op} bypassed")
+            self.ctx.metrics.counter(
+                "repro_cache_bypass_total", "cache operations bypassed by injected faults"
+            ).inc(tier=tier.name, op=op)
+            return False
+        return True
+
+    # -- metrics ------------------------------------------------------------
+
+    def _count(self, tier: CacheTier, hit: bool, nbytes: int = 0) -> None:
+        metrics = self.ctx.metrics
+        if hit:
+            metrics.counter("repro_cache_hits_total", "data-cache hits").inc(tier=tier.name)
+            metrics.counter(
+                "repro_cache_bytes_total", "source bytes served from the data cache"
+            ).inc(nbytes, tier=tier.name)
+        else:
+            metrics.counter("repro_cache_misses_total", "data-cache misses").inc(tier=tier.name)
+        metrics.gauge(
+            "repro_cache_resident_bytes", "bytes currently resident per cache tier"
+        ).set(tier.resident_bytes, tier=tier.name)
+
+    def _count_eviction(self, tier: CacheTier, evicted_before: int) -> None:
+        delta = tier.stats.evictions - evicted_before
+        if delta:
+            self.ctx.metrics.counter(
+                "repro_cache_evictions_total", "data-cache LRU evictions"
+            ).inc(delta, tier=tier.name)
+
+    # -- footer tier --------------------------------------------------------
+
+    def lookup_footer(
+        self, bucket: str, key: str, generation: int
+    ) -> "tuple[FileFooter, int] | None":
+        """Cached ``(footer, object_size)`` or None. Hits charge one cheap
+        lookup instead of the two ranged GETs of a remote footer read."""
+        if not self.enabled or generation <= 0:
+            return None
+        if not self._guard("cache.get", self.footers):
+            return None
+        entry = self.footers.get((bucket, key, generation))
+        if entry is None:
+            self._count(self.footers, hit=False)
+            return None
+        self.ctx.charge("data_cache.hit", self.ctx.costs.cache_lookup_ms)
+        self._count(self.footers, hit=True, nbytes=entry[1])
+        return entry[0]
+
+    def admit_footer(
+        self, bucket: str, key: str, generation: int,
+        footer: "FileFooter", size_bytes: int,
+    ) -> None:
+        if not self.enabled or generation <= 0:
+            return
+        if not self._guard("cache.put", self.footers):
+            return
+        # Footers are tiny relative to data; account them at a nominal
+        # serialized size so the tier bound still means something.
+        footer_bytes = 256 + 64 * sum(len(rg.columns) for rg in footer.row_groups)
+        before = self.footers.stats.evictions
+        self.footers.put((bucket, key, generation), (footer, size_bytes), footer_bytes)
+        self._count_eviction(self.footers, before)
+
+    # -- chunk tier ---------------------------------------------------------
+
+    def lookup_chunk(
+        self, bucket: str, key: str, generation: int, rg_index: int, column: str
+    ) -> "tuple[Column | DictionaryColumn, int] | None":
+        """Cached decoded chunk as ``(column, source_bytes)`` or None.
+        Hits charge the cheap memory-bandwidth cost, not GET + decode."""
+        if not self.enabled or generation <= 0:
+            return None
+        if not self._guard("cache.get", self.chunks):
+            return None
+        entry = self.chunks.get((bucket, key, generation, rg_index, column))
+        if entry is None:
+            self._count(self.chunks, hit=False)
+            return None
+        value, nbytes = entry
+        self.ctx.charge(
+            "data_cache.hit",
+            self.ctx.costs.cache_lookup_ms
+            + (nbytes / MIB) * self.ctx.costs.cache_hit_per_mib_ms,
+        )
+        self._count(self.chunks, hit=True, nbytes=nbytes)
+        return value, nbytes
+
+    def admit_chunk(
+        self, bucket: str, key: str, generation: int, rg_index: int, column: str,
+        value: "Column | DictionaryColumn", size_bytes: int,
+    ) -> None:
+        if not self.enabled or generation <= 0:
+            return
+        if not self._guard("cache.put", self.chunks):
+            return
+        before = self.chunks.stats.evictions
+        self.chunks.put((bucket, key, generation, rg_index, column), value, size_bytes)
+        self._count_eviction(self.chunks, before)
+
+    # -- dictionary tier ----------------------------------------------------
+
+    def decode_chunk(
+        self, dtype, encoding: str, payload: bytes
+    ) -> "Column | DictionaryColumn":
+        """Decode one encoded chunk, sharing decoded dictionary vectors
+        through the content-addressed dictionary tier.
+
+        Dictionary payloads carry their value vector inline; across row
+        groups (and across the files compaction rewrites) those vectors are
+        usually identical, so the decoded :class:`Column` is keyed by
+        content digest and reused — one copy per distinct dictionary.
+        """
+        from repro.data.column import DictionaryColumn
+        from repro.formats import pqs
+
+        decoded = pqs._decode_chunk(dtype, encoding, payload)
+        if not isinstance(decoded, DictionaryColumn) or not self.enabled:
+            return decoded
+        dict_len = int.from_bytes(payload[:4], "little")
+        dict_bytes = payload[4 : 4 + dict_len]
+        digest = (dtype.name, dict_len, zlib.crc32(dict_bytes))
+        if self._guard("cache.get", self.dictionaries):
+            entry = self.dictionaries.get(digest)
+            if entry is not None:
+                self._count(self.dictionaries, hit=True, nbytes=entry[1])
+                return DictionaryColumn(dtype, decoded.codes, entry[0])
+            self._count(self.dictionaries, hit=False)
+        if self._guard("cache.put", self.dictionaries):
+            before = self.dictionaries.stats.evictions
+            self.dictionaries.put(digest, decoded.dictionary, dict_len)
+            self._count_eviction(self.dictionaries, before)
+        return decoded
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats_rows(self) -> list[tuple]:
+        """Rows for ``INFORMATION_SCHEMA.CACHE_STATS`` (one per tier)."""
+        rows = []
+        for tier in self.tiers():
+            s = tier.stats
+            rows.append(
+                (
+                    tier.name,
+                    len(tier),
+                    tier.resident_bytes,
+                    tier.capacity_bytes,
+                    s.hits,
+                    s.misses,
+                    s.evictions,
+                    s.admission_rejects,
+                    s.hit_bytes,
+                    round(s.hit_ratio, 6),
+                )
+            )
+        return rows
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """{tier: counters} for the CLI and benchmarks."""
+        out: dict[str, dict[str, Any]] = {}
+        for tier in self.tiers():
+            s = tier.stats
+            out[tier.name] = {
+                "entries": len(tier),
+                "resident_bytes": tier.resident_bytes,
+                "capacity_bytes": tier.capacity_bytes,
+                "hits": s.hits,
+                "misses": s.misses,
+                "evictions": s.evictions,
+                "admission_rejects": s.admission_rejects,
+                "hit_bytes": s.hit_bytes,
+                "hit_ratio": round(s.hit_ratio, 6),
+            }
+        return out

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache import CacheConfig, DataCache
 from repro.cloud import Cloud, Region
 from repro.engine.engine import QueryEngine
 from repro.errors import CatalogError
@@ -38,6 +39,9 @@ class PlatformConfig:
     engine_slots: int = 64
     # Ring-buffer bound on the queryable job history (INFORMATION_SCHEMA.JOBS).
     job_history_capacity: int = 256
+    # Slot-local multi-tier data cache (footer/chunk/dictionary tiers);
+    # CacheConfig(enabled=False) reproduces the always-cold baseline.
+    data_cache: CacheConfig = field(default_factory=CacheConfig)
 
 
 class LakehousePlatform:
@@ -55,6 +59,7 @@ class LakehousePlatform:
         self.connections = ConnectionManager(self.iam, self.ctx)
         self.managed = ManagedStorage(self.ctx)
         self.functions = FunctionRegistry()
+        self.data_cache = DataCache(self.ctx, self.config.data_cache)
         self.history = JobHistory(capacity=self.config.job_history_capacity)
         self.system_tables = SystemTables(
             project=self.config.project,
@@ -65,6 +70,7 @@ class LakehousePlatform:
             bigmeta=self.bigmeta,
             managed=self.managed,
             metrics=self.ctx.metrics,
+            cache=self.data_cache,
         )
         self.read_api = ReadApi(
             catalog=self.catalog,
@@ -76,6 +82,7 @@ class LakehousePlatform:
             managed=self.managed,
             ctx=self.ctx,
             functions=self.functions,
+            data_cache=self.data_cache,
         )
         self.write_api = WriteApi(
             bigmeta=self.bigmeta,

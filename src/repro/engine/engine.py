@@ -42,6 +42,7 @@ class QueryStats:
     compute_parallelism: int = 0  # set by finalize(): min(slots, shuffle_partitions)
     retry_count: int = 0  # transient-failure retries spent on this query
     degraded: bool = False  # True when any fallback path served the query
+    cache_hit_bytes: int = 0  # source bytes served from the data cache
 
     def record_scan(self, session: SessionStats, scan_ms: float, tasks: int) -> None:
         self.scan_work_ms += scan_ms
@@ -51,24 +52,38 @@ class QueryStats:
         self.files_total += session.files_total
         self.files_read += session.files_after_pruning
         self.row_groups_pruned += session.row_groups_pruned
+        self.cache_hit_bytes += session.cache_hit_bytes
 
     @property
     def files_pruned(self) -> int:
         return self.files_total - self.files_read
 
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of source bytes served from the data cache."""
+        total = self.cache_hit_bytes + self.bytes_scanned
+        return self.cache_hit_bytes / total if total else 0.0
+
     def finalize(self, slots: int, startup_ms: float, shuffle_partitions: int = 8) -> None:
         """Slot-limited elapsed-time model: metadata/planning work is
-        serial; scan work spreads across min(slots, tasks) workers; operator
-        compute spreads across shuffle partitions (bounded by slots)."""
+        serial; scan work runs in ceil(tasks / slots) waves of equal tasks;
+        operator compute spreads across shuffle partitions (bounded by
+        slots)."""
+        import math
+
         self.shuffle_partitions = shuffle_partitions
-        parallelism = max(1, min(slots, self.scan_tasks or 1))
         self.compute_parallelism = max(1, min(slots, shuffle_partitions))
         compute_parallelism = self.compute_parallelism
         self.slot_ms = self.planning_ms + self.scan_work_ms + self.compute_ms
+        # Wave model: 3 equal tasks on 2 slots take 2 waves (2/3 of the
+        # total scan work elapses), not the 1.5 "waves" plain division by
+        # min(slots, tasks) would claim.
+        tasks = max(1, self.scan_tasks)
+        waves = math.ceil(tasks / max(1, slots))
         self.elapsed_ms = (
             startup_ms
             + self.planning_ms
-            + self.scan_work_ms / parallelism
+            + self.scan_work_ms * waves / tasks
             + self.compute_ms / compute_parallelism
         )
 
@@ -394,6 +409,8 @@ class QueryEngine:
             bytes_egressed=delta.total_egress() if delta is not None else 0,
             retry_count=retry_count,
             degraded=degraded,
+            cache_hit_bytes=stats.cache_hit_bytes if stats is not None else 0,
+            cache_hit_ratio=stats.cache_hit_ratio if stats is not None else 0.0,
             trace=trace,
         )
         self.history.record(record_from_trace(record))

@@ -26,7 +26,9 @@ Hazard-point naming is dotted ``layer.op``: ``objectstore.get``,
 ``objectstore.put``, ``objectstore.cas_put``, ``objectstore.list``,
 ``objectstore.get_range``, ``objectstore.head``, ``objectstore.delete``,
 ``bigmeta.lookup``, ``bigmeta.commit``, ``read_api.read_rows``,
-``write_api.append``, ``vpn.call``, ``engine.task``. Fault specs select by
+``write_api.append``, ``vpn.call``, ``engine.task``, ``cache.get``,
+``cache.put`` (data-cache probes degrade to a bypass, never an error —
+see :mod:`repro.cache`). Fault specs select by
 *prefix*, so ``op="objectstore."`` matches every store operation while
 ``op="objectstore.get"`` matches GETs (including ranged GETs) only.
 """

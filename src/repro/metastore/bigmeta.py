@@ -44,6 +44,10 @@ class FileEntry:
     row_count: int
     partition_values: tuple[tuple[str, Any], ...] = ()
     column_stats: tuple[tuple[str, ColumnStats], ...] = ()
+    # Object-store generation of the file at registration time. Keys the
+    # data cache (stale generations stop being addressed after rewrites);
+    # 0 means unknown, which the cache treats as uncacheable.
+    generation: int = 0
 
     def partition(self) -> dict[str, Any]:
         return dict(self.partition_values)

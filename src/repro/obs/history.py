@@ -57,6 +57,10 @@ class JobRecord:
     # job and whether any degraded (fallback) path served it.
     retry_count: int = 0
     degraded: bool = False
+    # Data-cache accounting: source bytes served from the slot-local cache
+    # and the fraction of all source bytes they represent.
+    cache_hit_bytes: int = 0
+    cache_hit_ratio: float = 0.0
     # Self-time per layer over the job's span tree (empty if tracing off).
     layers_ms: dict[str, float] = field(default_factory=dict)
     trace: Span | None = None

@@ -140,10 +140,24 @@ class Histogram:
         return self._sums.get(_label_key(labels), 0.0)
 
     def quantile(self, q: float, **labels: Any) -> float:
-        """Estimate the q-quantile from the cumulative buckets
-        (Prometheus ``histogram_quantile`` semantics: linear interpolation
-        within the containing bucket, the bucket's lower bound for the
-        +Inf bucket). Returns NaN with no observations."""
+        """Estimate the q-quantile from the cumulative buckets, following
+        Prometheus ``histogram_quantile``:
+
+        * the containing bucket is the *first* one whose cumulative count
+          reaches ``rank = q * total`` (so a rank landing exactly on a
+          bucket boundary resolves to that bucket's upper bound);
+        * linear interpolation within the containing bucket, whose lower
+          bound is the previous bucket's upper bound (0 for the first
+          bucket with a positive upper bound);
+        * a first bucket with a non-positive upper bound returns that
+          upper bound (no interpolation down from 0);
+        * the +Inf bucket returns the previous finite bound.
+
+        One documented deviation: ``q=0.0`` with empty leading buckets
+        returns the lower bound of the first populated bucket (the
+        minimum's bucket edge) where strict Prometheus divides 0/0 into
+        NaN. Returns NaN with no observations.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1] (got {q})")
         key = _label_key(labels)
@@ -153,15 +167,31 @@ class Histogram:
         counts = self._counts[key]
         rank = q * total
         cumulative = 0
-        for i, bound in enumerate(self.buckets):
+        b = len(self.buckets) - 1
+        for i in range(len(self.buckets)):
             cumulative += counts[i]
-            if counts[i] > 0 and cumulative >= rank:
-                lower = 0.0 if i == 0 else self.buckets[i - 1]
-                if bound == math.inf:
-                    return lower
-                fraction = (rank - (cumulative - counts[i])) / counts[i]
-                return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
-        return math.nan
+            if cumulative >= rank:
+                b = i
+                break
+        if self.buckets[b] == math.inf:
+            return self.buckets[b - 1] if b > 0 else math.nan
+        if b == 0 and self.buckets[0] <= 0:
+            return self.buckets[0]
+        lower = 0.0 if b == 0 else self.buckets[b - 1]
+        upper = self.buckets[b]
+        count = counts[b]
+        if count == 0:
+            # Only reachable at rank 0 (q=0 with empty leading buckets):
+            # report the first populated bucket's lower edge.
+            for i in range(b, len(self.buckets)):
+                if counts[i] > 0:
+                    if self.buckets[i] == math.inf:
+                        return self.buckets[i - 1] if i > 0 else math.nan
+                    return 0.0 if i == 0 else self.buckets[i - 1]
+            return math.nan
+        below = cumulative - count
+        fraction = (rank - below) / count
+        return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
 
     def samples(self) -> Iterable[tuple[str, LabelKey, float]]:
         for key in sorted(self._totals):

@@ -22,6 +22,8 @@ Tables (all under the ``INFORMATION_SCHEMA`` pseudo-dataset):
   Admin-only (``bigquery.auditLogs.read``); a denied read is itself
   audited.
 * ``METRICS`` — the current metrics-registry snapshot.
+* ``CACHE_STATS`` — one row per data-cache tier (footer / chunk /
+  dictionary): residency, capacity, hit/miss/eviction counters.
 """
 
 from __future__ import annotations
@@ -66,6 +68,8 @@ JOBS_SCHEMA = Schema.of(
     ("bytes_egressed", DataType.INT64),
     ("retry_count", DataType.INT64),
     ("degraded", DataType.BOOL),
+    ("cache_hit_bytes", DataType.INT64),
+    ("cache_hit_ratio", DataType.FLOAT64),
 )
 
 JOBS_TIMELINE_SCHEMA = Schema.of(
@@ -109,12 +113,26 @@ METRICS_SCHEMA = Schema.of(
     ("value", DataType.FLOAT64),
 )
 
+CACHE_STATS_SCHEMA = Schema.of(
+    ("tier", DataType.STRING),
+    ("entries", DataType.INT64),
+    ("resident_bytes", DataType.INT64),
+    ("capacity_bytes", DataType.INT64),
+    ("hits", DataType.INT64),
+    ("misses", DataType.INT64),
+    ("evictions", DataType.INT64),
+    ("admission_rejects", DataType.INT64),
+    ("hit_bytes", DataType.INT64),
+    ("hit_ratio", DataType.FLOAT64),
+)
+
 _SCHEMAS: dict[str, Schema] = {
     "JOBS": JOBS_SCHEMA,
     "JOBS_TIMELINE": JOBS_TIMELINE_SCHEMA,
     "TABLE_STORAGE": TABLE_STORAGE_SCHEMA,
     "DATA_ACCESS": DATA_ACCESS_SCHEMA,
     "METRICS": METRICS_SCHEMA,
+    "CACHE_STATS": CACHE_STATS_SCHEMA,
 }
 
 
@@ -137,6 +155,7 @@ class SystemTables:
         bigmeta: "BigMetadataService",
         managed: "ManagedStorage",
         metrics: "MetricsRegistry",
+        cache=None,
     ) -> None:
         self.project = project
         self.history = history
@@ -146,6 +165,8 @@ class SystemTables:
         self.bigmeta = bigmeta
         self.managed = managed
         self.metrics = metrics
+        # repro.cache.DataCache; None renders CACHE_STATS as empty.
+        self.cache = cache
 
     # -- name resolution ----------------------------------------------------
 
@@ -206,6 +227,8 @@ class SystemTables:
             rows = self._data_access_rows(principal)
         elif name == "METRICS":
             rows = self._metrics_rows()
+        elif name == "CACHE_STATS":
+            rows = self.cache.stats_rows() if self.cache is not None else []
         else:
             raise NotFoundError(f"system table INFORMATION_SCHEMA.{name} not found")
         self.audit.record(
@@ -243,6 +266,8 @@ class SystemTables:
                 r.bytes_egressed,
                 r.retry_count,
                 r.degraded,
+                r.cache_hit_bytes,
+                r.cache_hit_ratio,
             )
             for r in self._visible_jobs(principal)
         ]

@@ -120,6 +120,10 @@ class CostModel:
     aggregate_cpu_us_per_row: float = 0.8
     # Client-side TLS decryption of ReadRows payloads (§3.4 future work).
     tls_decrypt_per_mib_ms: float = 1.5
+    # Slot-local data cache (§3.3): a hit is a hash probe plus a memory
+    # copy — orders of magnitude under GET first-byte + per-MiB decode.
+    cache_lookup_ms: float = 0.02
+    cache_hit_per_mib_ms: float = 0.05
 
     # Inference.
     remote_call_overhead_ms: float = 25.0

@@ -16,6 +16,7 @@ def entry_from_footer(
     size_bytes: int,
     footer: pqs.FileFooter,
     partition_values: dict[str, Any] | None = None,
+    generation: int = 0,
 ) -> FileEntry:
     """Build the Big Metadata entry for a pqs file from its footer —
     exactly the statistics §3.3 says the cache collects."""
@@ -29,6 +30,7 @@ def entry_from_footer(
         row_count=footer.num_rows,
         partition_values=tuple(sorted((partition_values or {}).items())),
         column_stats=tuple(stats),
+        generation=generation,
     )
 
 
@@ -44,12 +46,15 @@ def write_data_file(
 ) -> FileEntry:
     """Serialize batches to a pqs object and return its metadata entry."""
     data = pqs.write_table(schema, batches, row_group_rows=row_group_rows)
-    store.put_object(
+    meta = store.put_object(
         bucket, key, data, content_type="application/x-pqs",
         caller_location=caller_location,
     )
     footer = pqs.read_footer(data)
-    return entry_from_footer(f"{bucket}/{key}", len(data), footer, partition_values)
+    return entry_from_footer(
+        f"{bucket}/{key}", len(data), footer, partition_values,
+        generation=meta.generation,
+    )
 
 
 def read_remote_footer(

@@ -78,6 +78,8 @@ class SessionStats:
     rows_scanned: int = 0
     rows_returned: int = 0
     row_groups_pruned: int = 0
+    # Source bytes served from the slot-local data cache (chunk hits).
+    cache_hit_bytes: int = 0
     cpu_ms: float = 0.0  # server-side decode/filter cost (CPU efficiency)
     # ReadRows payload accounting (§3.4 future work): logical Arrow-like
     # bytes vs the dictionary/RLE wire bytes actually shipped.
@@ -143,6 +145,7 @@ class ReadApi:
         managed: ManagedStorage,
         ctx: SimContext,
         functions: FunctionRegistry | None = None,
+        data_cache=None,
     ) -> None:
         self.catalog = catalog
         self.bigmeta = bigmeta
@@ -153,6 +156,9 @@ class ReadApi:
         self.managed = managed
         self.ctx = ctx
         self.functions = functions
+        # Slot-local multi-tier data cache (repro.cache.DataCache); None
+        # or a disabled cache keeps the historical always-cold behavior.
+        self.data_cache = data_cache
         # table_id -> simulated time of last metadata-cache refresh.
         self._cache_refreshed_ms: dict[str, float] = {}
         # Read-session reuse (§3.4 future work): cache of resolved file
@@ -242,8 +248,11 @@ class ReadApi:
             )
         if cache_key is not None and cache_key in self._resolution_cache:
             entries, total = self._resolution_cache[cache_key]
-            stats.files_total = total
-            stats.files_after_pruning = len(entries)
+            # Accumulate (+=): a SessionStats may see several resolutions
+            # (multi-prefix or re-resolved sessions); assignment would
+            # overwrite earlier counts and let files_pruned go negative.
+            stats.files_total += total
+            stats.files_after_pruning += len(entries)
             stats.served_from_session_cache = True
             self.session_cache_hits += 1
             self.ctx.metrics.counter(
@@ -312,8 +321,8 @@ class ReadApi:
         stats: SessionStats,
     ) -> list[ReadStream]:
         entries, total = self._resolve_files(table, constraints, snapshot_ms)
-        stats.files_total = total
-        stats.files_after_pruning = len(entries)
+        stats.files_total += total
+        stats.files_after_pruning += len(entries)
         return self._balance_streams(entries, max_streams)
 
     @staticmethod
@@ -340,7 +349,7 @@ class ReadApi:
         try:
             self._ensure_cache_fresh(table)
             entries = self.bigmeta.prune(table.table_id, constraints, as_of_ms=snapshot_ms)
-            stats.files_total = self._live_file_count(table.table_id, snapshot_ms)
+            stats.files_total += self._live_file_count(table.table_id, snapshot_ms)
         except TransientError:
             # Degraded mode: serve object rows straight from a live LIST,
             # bypassing the unavailable metadata cache.
@@ -357,8 +366,8 @@ class ReadApi:
                 e for e in listed
                 if BigMetadataService._entry_matches(e, constraints)
             ]
-            stats.files_total = len(listed)
-        stats.files_after_pruning = len(entries)
+            stats.files_total += len(listed)
+        stats.files_after_pruning += len(entries)
         count = max(1, min(max_streams, (len(entries) + 4095) // 4096 or 1))
         streams = [ReadStream(stream_id=i) for i in range(count)]
         for i, entry in enumerate(entries):
@@ -436,7 +445,8 @@ class ReadApi:
                 ),
             )
             entry = entry_from_footer(
-                f"{table.storage.bucket}/{meta.key}", size, footer, partition
+                f"{table.storage.bucket}/{meta.key}", size, footer, partition,
+                generation=meta.generation,
             )
             if BigMetadataService._entry_matches(entry, constraints):
                 entries.append(entry)
@@ -536,12 +546,21 @@ class ReadApi:
                     continue
                 path = f"{bucket}/{meta.key}"
                 known = current.get(path)
-                if known is not None and known.size_bytes == meta.size:
+                # Generation is a stronger change signal than size: an
+                # in-place overwrite of identical length still bumps it.
+                # Entries registered without a generation (0) keep the
+                # legacy size-only comparison.
+                if (
+                    known is not None
+                    and known.size_bytes == meta.size
+                    and known.generation in (0, meta.generation)
+                ):
                     observed[path] = known  # unchanged: skip the footer read
                     continue
                 footer, size = read_remote_footer(store, bucket, meta.key)
                 observed[path] = entry_from_footer(
-                    path, size, footer, self._partition_values(table, meta.key)
+                    path, size, footer, self._partition_values(table, meta.key),
+                    generation=meta.generation,
                 )
         added = [e for p, e in observed.items() if p not in current]
         changed = [
@@ -758,8 +777,23 @@ class ReadApi:
         table = session.table
         store = self.stores.store_for(table.storage.location)
         self._require_delegated_access(table, store)
+        cache = self.data_cache
         for entry in stream.files:
             bucket, _, key = entry.file_path.partition("/")
+            generation = getattr(entry, "generation", 0)
+            if (
+                cache is not None
+                and cache.enabled
+                and generation > 0
+                and not session.use_row_oriented_reader
+            ):
+                # The cached path covers both scan modes: a warm file is
+                # served chunk-by-chunk regardless of ranged_reads, a cold
+                # one falls back to the mode's historical fetch shape.
+                yield from self._cached_scan(
+                    session, store, bucket, key, generation, enforcement
+                )
+                continue
             if session.ranged_reads and not session.use_row_oriented_reader:
                 yield from self._ranged_scan(session, store, bucket, key, enforcement)
                 continue
@@ -782,25 +816,10 @@ class ReadApi:
     # request (standard reader coalescing).
     _COALESCE_GAP_BYTES = 64 * 1024
 
-    def _ranged_scan(
-        self, session, store, bucket: str, key: str, enforcement
-    ) -> Iterator[RecordBatch]:
-        """Fetch only the chunks the query needs: footer first, then the
-        surviving row groups x (projected + filter) columns, coalescing
-        adjacent byte ranges."""
-        from repro.formats import pqs as _pqs
+    def _needed_columns(self, session) -> set[str]:
+        """Lower-cased column names a scan must materialize: the projection
+        plus every column referenced by user or security row filters."""
         from repro.sql.expressions import collect_column_refs
-
-        footer, _size = self.ctx.with_retry(
-            "objectstore.get_range",
-            lambda: read_remote_footer(
-                store, bucket, key, caller_location=session.engine_location
-            ),
-        )
-        keep = self._surviving_row_groups(session, footer)
-        session.stats.row_groups_pruned += len(footer.row_groups) - len(keep)
-        if not keep:
-            return
 
         needed = {c.lower() for c in session.columns if c.lower() != "data"}
         if session.row_restriction:
@@ -814,6 +833,58 @@ class ReadApi:
                 r.rsplit(".", 1)[-1].lower()
                 for r in collect_column_refs(parse_expression(filter_sql))
             }
+        return needed
+
+    def _fetch_ranges(
+        self, session, store, bucket: str, key: str, chunks
+    ) -> dict[str, bytes]:
+        """Fetch the given column chunks with coalesced ranged GETs;
+        returns {column_name: payload} and accounts the scanned bytes."""
+        buffers: dict[str, bytes] = {}
+        for start, stop, members in self._coalesced_ranges(
+            sorted(chunks, key=lambda c: c.offset)
+        ):
+            blob = self.ctx.with_retry(
+                "objectstore.get_range",
+                lambda start=start, stop=stop: store.get_range(
+                    bucket, key, start, stop - start,
+                    caller_location=session.engine_location,
+                ),
+            )
+            session.stats.bytes_scanned += len(blob)
+            self._count_scanned(len(blob))
+            for chunk in members:
+                lo = chunk.offset - start
+                buffers[chunk.name] = blob[lo : lo + chunk.length]
+        return buffers
+
+    def _emit(self, session, enforcement, batch) -> Iterator[RecordBatch]:
+        session.stats.rows_scanned += batch.num_rows
+        out = enforcement.process(batch)
+        session.stats.rows_returned += out.num_rows
+        if out.num_rows:
+            yield out
+
+    def _ranged_scan(
+        self, session, store, bucket: str, key: str, enforcement
+    ) -> Iterator[RecordBatch]:
+        """Fetch only the chunks the query needs: footer first, then the
+        surviving row groups x (projected + filter) columns, coalescing
+        adjacent byte ranges."""
+        from repro.formats import pqs as _pqs
+
+        footer, _size = self.ctx.with_retry(
+            "objectstore.get_range",
+            lambda: read_remote_footer(
+                store, bucket, key, caller_location=session.engine_location
+            ),
+        )
+        keep = self._surviving_row_groups(session, footer)
+        session.stats.row_groups_pruned += len(footer.row_groups) - len(keep)
+        if not keep:
+            return
+
+        needed = self._needed_columns(session)
         schema = footer.schema
         fetch_columns = [f.name for f in schema if f.name.lower() in needed]
         if not fetch_columns:
@@ -821,23 +892,10 @@ class ReadApi:
 
         for rg_index in keep:
             rg = footer.row_groups[rg_index]
-            chunks = sorted(
-                (rg.column(name) for name in fetch_columns), key=lambda c: c.offset
+            buffers = self._fetch_ranges(
+                session, store, bucket, key,
+                [rg.column(name) for name in fetch_columns],
             )
-            buffers: dict[str, bytes] = {}
-            for start, stop, members in self._coalesced_ranges(chunks):
-                blob = self.ctx.with_retry(
-                    "objectstore.get_range",
-                    lambda start=start, stop=stop: store.get_range(
-                        bucket, key, start, stop - start,
-                        caller_location=session.engine_location,
-                    ),
-                )
-                session.stats.bytes_scanned += len(blob)
-                self._count_scanned(len(blob))
-                for chunk in members:
-                    lo = chunk.offset - start
-                    buffers[chunk.name] = blob[lo : lo + chunk.length]
             columns = []
             for field in schema:
                 chunk = rg.column(field.name)
@@ -864,11 +922,125 @@ class ReadApi:
                 bytes=sum(len(b) for b in buffers.values()),
             ):
                 self.ctx.charge("read_api.ranged_scan", cpu_cost)
-            session.stats.rows_scanned += batch.num_rows
-            out = enforcement.process(batch)
-            session.stats.rows_returned += out.num_rows
-            if out.num_rows:
-                yield out
+            yield from self._emit(session, enforcement, batch)
+
+    def _cached_scan(
+        self, session, store, bucket: str, key: str, generation: int, enforcement
+    ) -> Iterator[RecordBatch]:
+        """Serve a file's surviving row groups through the data cache.
+
+        Footer first: a hit skips the footer round trips, a miss takes the
+        scan mode's historical fetch (whole object, or ranged footer read)
+        and admits it. Then per row group: a cold whole-object fetch
+        decodes and admits every chunk at the historical decode cost; a
+        warm file serves the needed columns from the chunk tier at the
+        cheap hit cost, ranged-fetching only the missing chunks. Columns
+        the query does not need ride as null placeholders exactly like the
+        ranged path, so results are byte-identical cold or warm.
+        """
+        from repro.data.column import Column
+        from repro.formats import pqs as _pqs
+
+        cache = self.data_cache
+        data: bytes | None = None
+        cached = cache.lookup_footer(bucket, key, generation)
+        if cached is not None:
+            footer, _size = cached
+        elif session.ranged_reads:
+            footer, size = self.ctx.with_retry(
+                "objectstore.get_range",
+                lambda: read_remote_footer(
+                    store, bucket, key, caller_location=session.engine_location
+                ),
+            )
+            cache.admit_footer(bucket, key, generation, footer, size)
+        else:
+            data = self.ctx.with_retry(
+                "objectstore.get",
+                lambda: store.get_object(
+                    bucket, key, caller_location=session.engine_location
+                ),
+            )
+            session.stats.bytes_scanned += len(data)
+            self._count_scanned(len(data))
+            footer = _pqs.read_footer(data)
+            cache.admit_footer(bucket, key, generation, footer, len(data))
+
+        keep = self._surviving_row_groups(session, footer)
+        session.stats.row_groups_pruned += len(footer.row_groups) - len(keep)
+        if not keep:
+            return
+        schema = footer.schema
+
+        if data is not None:
+            # Cold whole-object fetch: decode every column (the bytes are
+            # already here) so later queries hit regardless of projection.
+            cpu_cost = (len(data) / MIB) * self.ctx.costs.scan_per_mib_ms
+            session.stats.cpu_ms += cpu_cost
+            with self.ctx.tracer.span(
+                "formats.decode", layer="formats", reader="vectorized", bytes=len(data)
+            ):
+                self.ctx.charge("read_api.vectorized_scan", cpu_cost)
+            for rg_index in keep:
+                rg = footer.row_groups[rg_index]
+                columns = []
+                for field in schema:
+                    chunk = rg.column(field.name)
+                    decoded = cache.decode_chunk(
+                        field.dtype, chunk.encoding,
+                        data[chunk.offset : chunk.offset + chunk.length],
+                    )
+                    cache.admit_chunk(
+                        bucket, key, generation, rg_index, field.name,
+                        decoded, chunk.length,
+                    )
+                    columns.append(decoded)
+                yield from self._emit(
+                    session, enforcement, RecordBatch(schema, columns)
+                )
+            return
+
+        # Warm footer: chunk-granular serving for the needed columns.
+        needed = self._needed_columns(session)
+        fetch_columns = [f.name for f in schema if f.name.lower() in needed]
+        if not fetch_columns:
+            fetch_columns = [schema.fields[0].name]
+        for rg_index in keep:
+            rg = footer.row_groups[rg_index]
+            resolved: dict[str, Any] = {}
+            missing = []
+            for name in fetch_columns:
+                hit = cache.lookup_chunk(bucket, key, generation, rg_index, name)
+                if hit is not None:
+                    resolved[name], nbytes = hit
+                    session.stats.cache_hit_bytes += nbytes
+                else:
+                    missing.append(rg.column(name))
+            if missing:
+                buffers = self._fetch_ranges(session, store, bucket, key, missing)
+                fetched = sum(len(b) for b in buffers.values())
+                cpu_cost = (fetched / MIB) * self.ctx.costs.scan_per_mib_ms
+                session.stats.cpu_ms += cpu_cost
+                with self.ctx.tracer.span(
+                    "formats.decode", layer="formats", reader="ranged", bytes=fetched
+                ):
+                    self.ctx.charge("read_api.ranged_scan", cpu_cost)
+                for chunk in missing:
+                    field = schema.field(chunk.name)
+                    decoded = cache.decode_chunk(
+                        field.dtype, chunk.encoding, buffers[chunk.name]
+                    )
+                    cache.admit_chunk(
+                        bucket, key, generation, rg_index, chunk.name,
+                        decoded, chunk.length,
+                    )
+                    resolved[chunk.name] = decoded
+            columns = [
+                resolved[f.name] if f.name in resolved
+                else Column.nulls(f.dtype, rg.num_rows)
+                for f in schema
+            ]
+            yield from self._emit(session, enforcement, RecordBatch(schema, columns))
 
     def _surviving_row_groups(self, session, footer) -> list[int]:
         keep = set(range(len(footer.row_groups)))

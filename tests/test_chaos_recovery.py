@@ -60,6 +60,10 @@ class TestTaskRetry:
 
     def test_transient_get_fault_retried(self, lake):
         platform, admin, _, _ = lake
+        # Data cache off: a warm second run would serve the scan without any
+        # GET, so the injected store fault would never reach the retry path
+        # this test is about.
+        platform.data_cache.config.enabled = False
         # Warm the metadata cache first so the fault fires on the data-read
         # path (wrapped in with_retry) rather than during cache refresh
         # (which would be absorbed by degradation instead).

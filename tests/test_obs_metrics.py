@@ -95,3 +95,68 @@ class TestHistogramQuantile:
         p50 = histogram.quantile(0.5)
         # The median observation (40) lives in the (25, 50] default bucket.
         assert 25.0 < p50 <= 50.0
+
+
+class TestHistogramQuantileEdges:
+    """Table-driven pins against Prometheus ``histogram_quantile``
+    (``bucketQuantile`` in promql/quantile.go), plus the one documented
+    deviation for q=0 over empty leading buckets."""
+
+    # (buckets, observations, q, expected)
+    PROMETHEUS_TABLE = [
+        # q=0 with the first bucket populated: fraction 0 through (0, 10].
+        ((10.0, 20.0), (5.0,), 0.0, 0.0),
+        # Rank landing exactly on a bucket boundary resolves to that
+        # bucket's upper bound (first cumulative >= rank).
+        ((10.0, 20.0), (5.0, 15.0), 0.5, 10.0),
+        ((10.0, 20.0, 30.0), (5.0, 15.0, 25.0), 2 / 3, 20.0),
+        # First bucket with a non-positive upper bound returns the bound
+        # itself — no interpolating down from a fictitious 0 lower edge.
+        ((-5.0, 10.0), (-7.0,), 0.5, -5.0),
+        ((0.0, 100.0), (0.0,), 0.5, 0.0),
+        ((0.0, 100.0), (0.0,), 1.0, 0.0),
+        # +Inf bucket answers with the highest finite bound.
+        ((10.0,), (1e9,), 0.5, 10.0),
+        ((10.0,), (5.0, 1e9), 1.0, 10.0),
+        # Interpolation partway through an interior bucket: rank 2.5 of 5,
+        # 1 below the (10, 20] bucket, fraction (2.5 - 1) / 4 = 0.375.
+        ((10.0, 20.0), (5.0, 12.0, 14.0, 18.0, 19.0), 0.5, 13.75),
+    ]
+
+    @pytest.mark.parametrize("buckets,observations,q,expected", PROMETHEUS_TABLE)
+    def test_prometheus_semantics(self, buckets, observations, q, expected):
+        histogram = Histogram("h", buckets=buckets)
+        for value in observations:
+            histogram.observe(value)
+        assert histogram.quantile(q) == pytest.approx(expected)
+
+    def test_q0_with_empty_leading_buckets_returns_first_populated_edge(self):
+        # Documented deviation: strict Prometheus divides 0/0 into NaN here;
+        # we answer with the minimum's bucket edge instead.
+        histogram = Histogram("h", buckets=(10.0, 20.0, 30.0))
+        histogram.observe(15.0)
+        assert histogram.quantile(0.0) == pytest.approx(10.0)
+
+    def test_q0_only_inf_bucket_populated(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0))
+        histogram.observe(1e9)
+        assert histogram.quantile(0.0) == pytest.approx(20.0)
+
+    def test_all_mass_in_inf_with_no_finite_bucket_is_nan(self):
+        histogram = Histogram("h", buckets=(math.inf,))
+        histogram.observe(5.0)
+        assert math.isnan(histogram.quantile(0.5))
+
+    def test_boundary_rank_never_exceeds_next_bucket(self):
+        # Sweep every q over a fixed histogram: the estimate must be
+        # monotone in q and clamped to the outermost finite bounds.
+        histogram = Histogram("h", buckets=(10.0, 20.0, 30.0))
+        for value in (5.0, 15.0, 15.0, 25.0, 29.0, 1e9):
+            histogram.observe(value)
+        previous = -math.inf
+        for step in range(0, 21):
+            q = step / 20
+            estimate = histogram.quantile(q)
+            assert 0.0 <= estimate <= 30.0
+            assert estimate >= previous
+            previous = estimate
