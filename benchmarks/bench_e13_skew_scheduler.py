@@ -1,0 +1,177 @@
+"""E13-SK — skew-aware scheduling: stragglers and speculative execution.
+
+The scalar wave model priced every scan stage as ``work * waves / tasks``,
+blind to task-size skew — the explicitly-flagged ROADMAP gap. The per-task
+slot scheduler prices the *makespan* of an LPT schedule instead, so two
+workloads with identical total work but different task-size distributions
+now cost differently, and injected stragglers (``task.slow``) inflate the
+makespan unless speculative execution launches backups.
+
+Two acceptance claims, both on fully seeded model time:
+
+* **(a) skew costs time** — a table whose bytes sit in one fat file among
+  small ones takes strictly longer than a uniform layout of the *same*
+  total rows/bytes/file count, and reports ``task_skew > 1``.
+* **(b) speculation recovers stragglers** — under a seeded ``task.slow``
+  chaos plan, speculative execution recovers >= 50% of the
+  straggler-induced makespan inflation ``(off - on) / (off - healthy)``,
+  with byte-identical rows in every configuration.
+
+Recorded in ``BENCH_PR5.json`` under ``e13_sk``.
+"""
+
+from repro import (
+    DataType,
+    LakehousePlatform,
+    MetadataCacheMode,
+    Role,
+    Schema,
+    batch_from_pydict,
+)
+from repro.bench import format_table, record_bench
+from repro.engine.scheduler import SpeculationConfig
+from repro.faults import FaultPlan
+from repro.storageapi.fileutil import write_data_file
+
+TOTAL_ROWS = 24_000
+FILES = 8
+UNIFORM_SIZES = [TOTAL_ROWS // FILES] * FILES
+# Half the rows in one fat file, the rest spread evenly: equal total work.
+SKEWED_SIZES = [TOTAL_ROWS // 2] + [TOTAL_ROWS // 2 // (FILES - 1)] * (FILES - 1)
+SKEWED_SIZES[-1] += TOTAL_ROWS - sum(SKEWED_SIZES)
+
+SQL = (
+    "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
+    "FROM demo.events GROUP BY region ORDER BY region"
+)
+STRAGGLER_PLAN = ["task.slow:rate=0.25:factor=8"]
+SEED = 5
+
+
+def build_platform(file_rows: list[int]) -> tuple[LakehousePlatform, object]:
+    """A fresh platform with ``demo.events`` laid out as ``file_rows``."""
+    platform = LakehousePlatform()
+    admin = platform.admin_user()
+    store = platform.stores.store_for("gcp/us-central1")
+    store.create_bucket("bench-lake")
+    schema = Schema.of(
+        ("id", DataType.INT64), ("region", DataType.STRING), ("amount", DataType.FLOAT64)
+    )
+    start = 0
+    for part, rows in enumerate(file_rows):
+        write_data_file(
+            store, "bench-lake", f"events/part-{part}.pqs", schema,
+            [batch_from_pydict(schema, {
+                # Keyed off the *global* row id so every layout of the same
+                # TOTAL_ROWS holds the identical multiset of rows.
+                "id": list(range(start, start + rows)),
+                "region": [("us", "eu", "apac")[g % 3] for g in range(start, start + rows)],
+                "amount": [float(g % 97) for g in range(start, start + rows)],
+            })],
+        )
+        start += rows
+    conn = platform.connections.create_connection("us.bench")
+    platform.connections.grant_lake_access(conn, "bench-lake")
+    platform.iam.grant("connections/us.bench", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("demo")
+    platform.tables.create_biglake_table(
+        admin, "demo", "events", schema, "bench-lake", "events", "us.bench",
+        cache_mode=MetadataCacheMode.AUTOMATIC,
+    )
+    return platform, admin
+
+
+def run(file_rows, plan=None, speculation=True):
+    platform, admin = build_platform(file_rows)
+    engine = platform.home_engine
+    if not speculation:
+        engine.speculation = SpeculationConfig(enabled=False)
+    if plan:
+        platform.ctx.faults.install(FaultPlan.parse(plan, seed=SEED))
+    return engine.execute(SQL, admin)
+
+
+def test_e13_sk_skew_and_speculation(benchmark):
+    # -- (a) same total work, skewed vs uniform layout (healthy) ----------
+    uniform, skewed = benchmark.pedantic(
+        lambda: (run(UNIFORM_SIZES), run(SKEWED_SIZES)), rounds=1, iterations=1
+    )
+    skew_penalty = skewed.stats.elapsed_ms / uniform.stats.elapsed_ms
+
+    # -- (b) stragglers: healthy vs speculation off vs speculation on -----
+    healthy = uniform
+    spec_off = run(UNIFORM_SIZES, plan=STRAGGLER_PLAN, speculation=False)
+    spec_on = run(UNIFORM_SIZES, plan=STRAGGLER_PLAN, speculation=True)
+    inflation = spec_off.stats.elapsed_ms - healthy.stats.elapsed_ms
+    recovered = spec_off.stats.elapsed_ms - spec_on.stats.elapsed_ms
+    recovery = recovered / inflation if inflation > 0 else 0.0
+
+    print(
+        format_table(
+            "E13-SK — per-task scheduling verdicts (simulated ms)",
+            ["configuration", "elapsed", "task_skew", "spec launched", "spec wins"],
+            [
+                (
+                    "uniform layout, healthy",
+                    round(uniform.stats.elapsed_ms, 2),
+                    round(uniform.stats.task_skew, 3),
+                    uniform.stats.speculative_count,
+                    uniform.stats.speculative_wins,
+                ),
+                (
+                    "skewed layout, healthy",
+                    round(skewed.stats.elapsed_ms, 2),
+                    round(skewed.stats.task_skew, 3),
+                    skewed.stats.speculative_count,
+                    skewed.stats.speculative_wins,
+                ),
+                (
+                    "uniform + stragglers, speculation off",
+                    round(spec_off.stats.elapsed_ms, 2),
+                    round(spec_off.stats.task_skew, 3),
+                    spec_off.stats.speculative_count,
+                    spec_off.stats.speculative_wins,
+                ),
+                (
+                    "uniform + stragglers, speculation on",
+                    round(spec_on.stats.elapsed_ms, 2),
+                    round(spec_on.stats.task_skew, 3),
+                    spec_on.stats.speculative_count,
+                    spec_on.stats.speculative_wins,
+                ),
+            ],
+        )
+    )
+    print(
+        f"straggler inflation {inflation:.2f} ms, speculation recovered "
+        f"{recovered:.2f} ms ({recovery:.0%})"
+    )
+
+    record_bench(
+        "e13_sk",
+        title="Skew-aware scheduling: stragglers + speculative execution",
+        seed=SEED,
+        plan=STRAGGLER_PLAN,
+        uniform_elapsed_ms=round(uniform.stats.elapsed_ms, 3),
+        skewed_elapsed_ms=round(skewed.stats.elapsed_ms, 3),
+        skew_penalty=round(skew_penalty, 4),
+        skewed_task_skew=round(skewed.stats.task_skew, 4),
+        straggler_elapsed_speculation_off_ms=round(spec_off.stats.elapsed_ms, 3),
+        straggler_elapsed_speculation_on_ms=round(spec_on.stats.elapsed_ms, 3),
+        straggler_inflation_ms=round(inflation, 3),
+        speculation_recovered_ms=round(recovered, 3),
+        speculation_recovery_ratio=round(recovery, 4),
+        speculative_launched=spec_on.stats.speculative_count,
+        speculative_wins=spec_on.stats.speculative_wins,
+    )
+
+    # Acceptance (a): equal total work, strictly slower when skewed.
+    assert sum(SKEWED_SIZES) == sum(UNIFORM_SIZES)
+    assert skewed.stats.elapsed_ms > uniform.stats.elapsed_ms
+    assert skewed.stats.task_skew > 1.0 >= uniform.stats.task_skew * 0.999
+    # Acceptance (b): stragglers fired, speculation recovered >= 50%.
+    assert inflation > 0, "straggler plan injected no slowdown"
+    assert spec_on.stats.speculative_wins >= 1
+    assert recovery >= 0.5, f"speculation recovered only {recovery:.0%}"
+    # The scheduler never changes answers, only the time model.
+    assert uniform.rows() == skewed.rows() == spec_off.rows() == spec_on.rows()

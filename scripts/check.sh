@@ -2,7 +2,8 @@
 # Repo gate: lint (when ruff is available) + the tier-1 test suite + the
 # chaos determinism gate (same seed, two processes, identical outcomes) +
 # the data-cache coherence gate (warm == cold rows, hit ratio > 0, and the
-# report is byte-identical across processes).
+# report is byte-identical across processes) + the scheduler determinism
+# gate (same seed, two processes, byte-identical task timelines).
 # Usage: scripts/check.sh  (from the repo root)
 set -euo pipefail
 
@@ -43,5 +44,20 @@ if diff -u "$chaos_a" "$chaos_b"; then
     echo "chaos run is deterministic"
 else
     echo "chaos determinism gate FAILED: same seed produced different runs" >&2
+    exit 1
+fi
+
+echo "== scheduler determinism gate =="
+# The CLI itself exits non-zero if speculation changes any row or makes
+# the query slower; diffing two same-seed reports pins the task timeline
+# (slot placement, straggler draws, backup launches) byte-for-byte.
+sched_a="$(mktemp)" sched_b="$(mktemp)"
+trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b"' EXIT
+PYTHONPATH=src python -m repro schedule --seed 1234 --json "$sched_a" >/dev/null
+PYTHONPATH=src python -m repro schedule --seed 1234 --json "$sched_b" >/dev/null
+if diff -u "$sched_a" "$sched_b"; then
+    echo "schedule run is deterministic"
+else
+    echo "scheduler determinism gate FAILED: same seed produced different timelines" >&2
     exit 1
 fi

@@ -21,6 +21,14 @@ Commands:
   Exits non-zero if the warm run's rows differ from the cold run's or if
   the warm run served no bytes from the cache; the output is
   deterministic, so two invocations must be byte-identical.
+* ``schedule [sql]`` — run a query over a deliberately skewed demo lake
+  (one fat file among small ones) under a seeded ``task.slow`` straggler
+  plan, once with speculative execution and once without, and print the
+  scheduler's per-task timeline. Self-checking: exits non-zero if the two
+  runs' rows differ or speculation made the query slower. ``--seed`` makes
+  the run exactly replayable and ``--json OUT`` writes the timeline
+  report; the output is deterministic, so two invocations with the same
+  seed must be byte-identical (the CI scheduler determinism gate).
 * ``experiments`` — run the full E1–E12 + future-work benchmark suite.
 * ``info``        — print the module inventory and experiment index.
 """
@@ -324,6 +332,146 @@ def _cache_stats() -> int:
     return 0
 
 
+def _build_skewed_platform():
+    """(platform, admin) with ``demo.events``: one fat file among small ones.
+
+    The deliberate size skew (part-0 holds ~half the rows) gives the
+    scheduler a naturally imbalanced stage even before any ``task.slow``
+    straggler plan is installed.
+    """
+    from repro import (
+        DataType, LakehousePlatform, MetadataCacheMode, Role, Schema,
+        batch_from_pydict,
+    )
+    from repro.storageapi.fileutil import write_data_file
+
+    platform = LakehousePlatform()
+    admin = platform.admin_user()
+    store = platform.stores.store_for("gcp/us-central1")
+    store.create_bucket("skew-lake")
+    schema = Schema.of(
+        ("id", DataType.INT64), ("region", DataType.STRING), ("amount", DataType.FLOAT64)
+    )
+    sizes = [700, 80, 80, 80, 80, 80, 80, 80]
+    start = 0
+    for part, rows in enumerate(sizes):
+        write_data_file(
+            store, "skew-lake", f"events/part-{part}.pqs", schema,
+            [batch_from_pydict(schema, {
+                "id": list(range(start, start + rows)),
+                "region": [("us", "eu", "apac")[i % 3] for i in range(rows)],
+                "amount": [float(i % 97) for i in range(rows)],
+            })],
+        )
+        start += rows
+    conn = platform.connections.create_connection("us.skew")
+    platform.connections.grant_lake_access(conn, "skew-lake")
+    platform.iam.grant("connections/us.skew", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("demo")
+    platform.tables.create_biglake_table(
+        admin, "demo", "events", schema, "skew-lake", "events", "us.skew",
+        cache_mode=MetadataCacheMode.AUTOMATIC,
+    )
+    return platform, admin
+
+
+def _schedule(sql: str | None, seed: int, plans: list[str], json_path: str | None) -> int:
+    """Skew/straggler walkthrough: the same seeded query with and without
+    speculative execution. Self-checking (identical rows, speculation never
+    slower) and deterministic: ``scripts/check.sh`` diffs two invocations."""
+    import json
+
+    from repro.engine.scheduler import SpeculationConfig
+    from repro.errors import ReproError
+    from repro.faults import FaultPlan
+
+    sql = sql or (
+        "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
+        "FROM demo.events GROUP BY region ORDER BY region"
+    )
+    specs = plans or ["task.slow:rate=0.3:factor=8"]
+
+    def run(speculation: bool):
+        platform, admin = _build_skewed_platform()
+        engine = platform.home_engine
+        if not speculation:
+            engine.speculation = SpeculationConfig(enabled=False)
+        platform.ctx.faults.install(FaultPlan.parse(specs, seed=seed))
+        return engine.execute(sql, admin)
+
+    print(f"-- {sql}\n-- plan={','.join(specs)} seed={seed}\n")
+    try:
+        on = run(speculation=True)
+        off = run(speculation=False)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if on.rows() != off.rows():
+        print(
+            "error: speculation changed the query's rows (must be result-"
+            "invariant)",
+            file=sys.stderr,
+        )
+        return 1
+    if on.stats.elapsed_ms > off.stats.elapsed_ms + 1e-6:
+        print(
+            "error: speculation made the query slower "
+            f"({on.stats.elapsed_ms:.3f} ms > {off.stats.elapsed_ms:.3f} ms)",
+            file=sys.stderr,
+        )
+        return 1
+
+    print("stage   task  slot  start_ms   end_ms  slow  flags")
+    for t in on.stats.task_timeline:
+        flags = "".join(
+            ch
+            for ch, cond in (
+                ("S", t.speculative), ("W", t.winner), ("X", t.cancelled)
+            )
+            if cond
+        )
+        print(
+            f"{t.stage:<7} {t.task:>4} {t.slot:>5} {t.start_ms:>9.3f} "
+            f"{t.end_ms:>8.3f} {t.slow_factor:>5g}  {flags or '-'}"
+        )
+    print(
+        f"\nspeculation on:  elapsed {on.stats.elapsed_ms:.3f} ms, "
+        f"task_skew {on.stats.task_skew:.3f}, "
+        f"launched {on.stats.speculative_count}, wins {on.stats.speculative_wins}"
+    )
+    print(
+        f"speculation off: elapsed {off.stats.elapsed_ms:.3f} ms, "
+        f"task_skew {off.stats.task_skew:.3f}"
+    )
+    recovered = off.stats.elapsed_ms - on.stats.elapsed_ms
+    print(f"speculation recovered {recovered:.3f} ms of makespan")
+
+    if json_path:
+        report = {
+            "seed": seed,
+            "plan": specs,
+            "sql": sql,
+            "rows_identical": True,
+            "speculation_on": {
+                "elapsed_ms": round(on.stats.elapsed_ms, 6),
+                "task_skew": round(on.stats.task_skew, 6),
+                "speculative_launched": on.stats.speculative_count,
+                "speculative_wins": on.stats.speculative_wins,
+                "timeline": [t.to_dict() for t in on.stats.task_timeline],
+            },
+            "speculation_off": {
+                "elapsed_ms": round(off.stats.elapsed_ms, 6),
+                "task_skew": round(off.stats.task_skew, 6),
+                "timeline": [t.to_dict() for t in off.stats.task_timeline],
+            },
+        }
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"schedule report written to {json_path}")
+    return 0
+
+
 def _experiments(extra: list[str]) -> int:
     command = [
         sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
@@ -348,7 +496,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "command",
-        choices=["demo", "trace", "jobs", "chaos", "cache-stats", "experiments", "info"],
+        choices=[
+            "demo", "trace", "jobs", "chaos", "cache-stats", "schedule",
+            "experiments", "info",
+        ],
         nargs="?", default="demo",
     )
     parser.add_argument(
@@ -365,12 +516,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=0,
-        help="for 'chaos': fault-plan RNG seed (same seed => same faults)",
+        help="for 'chaos'/'schedule': fault-plan RNG seed (same seed => "
+        "same faults)",
     )
     parser.add_argument(
         "--plan", action="append", default=[], metavar="SPEC",
-        help="for 'chaos': fault spec 'op:key=val:...' e.g. "
-        "'objectstore.get:rate=0.1' (repeatable)",
+        help="for 'chaos'/'schedule': fault spec 'op:key=val:...' e.g. "
+        "'objectstore.get:rate=0.1' or 'task.slow:rate=0.3:factor=8' "
+        "(repeatable)",
     )
     parser.add_argument(
         "--rate", type=float, default=None,
@@ -391,7 +544,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--json", metavar="OUT.json", dest="json_path",
-        help="for 'chaos': write the machine-readable outcome report",
+        help="for 'chaos'/'schedule': write the machine-readable report",
     )
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -408,6 +561,11 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "cache-stats":
         return _cache_stats()
+    if args.command == "schedule":
+        return _schedule(
+            " ".join(args.extra) if args.extra else None,
+            args.seed, args.plan, args.json_path,
+        )
     if args.command == "experiments":
         return _experiments(args.extra)
     return _info()

@@ -103,6 +103,12 @@ class CacheTier:
         self.stats.hit_bytes += entry[1]
         return entry
 
+    def resident_items(self) -> "list[tuple[tuple, int]]":
+        """``(key, size_bytes)`` pairs, LRU order — a *read-only* view that,
+        unlike :meth:`get`, touches neither the recency order nor the
+        hit/miss stats (planner probes must not perturb the cache)."""
+        return [(key, size) for key, (_, size) in self._entries.items()]
+
     def put(self, key: tuple, value: Any, size_bytes: int) -> bool:
         """Admit ``(key, value)``; returns False if rejected by size."""
         if size_bytes > self.admission_limit or size_bytes > self.capacity_bytes:
@@ -254,6 +260,23 @@ class DataCache:
         before = self.chunks.stats.evictions
         self.chunks.put((bucket, key, generation, rg_index, column), value, size_bytes)
         self._count_eviction(self.chunks, before)
+
+    def warm_chunk_bytes(self, bucket: str, key: str, generation: int) -> int:
+        """Source bytes of one object currently resident in the chunk tier.
+
+        The scheduler's cost estimator calls this at planning time to
+        discount warm files; it must not perturb what it measures, so the
+        probe is non-mutating (no LRU touch, no hit/miss accounting) and
+        consults no fault hazard — a mis-estimate only skews the schedule,
+        never the data.
+        """
+        if not self.enabled or generation <= 0:
+            return 0
+        prefix = (bucket, key, generation)
+        return sum(
+            size for entry_key, size in self.chunks.resident_items()
+            if entry_key[:3] == prefix
+        )
 
     # -- dictionary tier ----------------------------------------------------
 

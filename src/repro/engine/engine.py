@@ -20,6 +20,25 @@ from repro.engine.operators import ExecContext, execute_plan
 from repro.engine.optimizer import optimize
 from repro.engine.plan import PlanNode, ScanNode, TvfNode
 from repro.engine.planner import Planner
+from repro.engine.scheduler import (
+    SlotScheduler,
+    SpeculationConfig,
+    TaskRun,
+    normalize_costs,
+)
+
+
+@dataclass
+class StageScan:
+    """One plan stage's scan work: measured time + per-task estimates."""
+
+    stage: str
+    scan_ms: float
+    task_costs: list[float] = field(default_factory=list)
+
+    @property
+    def tasks(self) -> int:
+        return len(self.task_costs)
 
 
 @dataclass
@@ -43,8 +62,25 @@ class QueryStats:
     retry_count: int = 0  # transient-failure retries spent on this query
     degraded: bool = False  # True when any fallback path served the query
     cache_hit_bytes: int = 0  # source bytes served from the data cache
+    # Per-stage scan accounting (one entry per scan operator); stage-less
+    # callers (e.g. ML batch scoring) keep bumping scan_work_ms/scan_tasks
+    # directly and are finalized under the legacy wave model.
+    scan_stages: list[StageScan] = field(default_factory=list)
+    # Scheduler outputs (set by finalize): per-task timeline plus skew and
+    # speculation facts, surfaced on JobRecord / INFORMATION_SCHEMA.JOBS.
+    task_skew: float = 1.0
+    speculative_count: int = 0
+    speculative_wins: int = 0
+    task_timeline: list[TaskRun] = field(default_factory=list)
 
-    def record_scan(self, session: SessionStats, scan_ms: float, tasks: int) -> None:
+    def record_scan(
+        self,
+        session: SessionStats,
+        scan_ms: float,
+        tasks: int,
+        stage: str | None = None,
+        task_costs: list[float] | None = None,
+    ) -> None:
         self.scan_work_ms += scan_ms
         self.scan_tasks += tasks
         self.bytes_scanned += session.bytes_scanned
@@ -53,6 +89,17 @@ class QueryStats:
         self.files_read += session.files_after_pruning
         self.row_groups_pruned += session.row_groups_pruned
         self.cache_hit_bytes += session.cache_hit_bytes
+        if stage is not None:
+            # Self-joins scan the same table twice; keep stage names unique
+            # so timelines stay unambiguous.
+            taken = {s.stage for s in self.scan_stages}
+            name, k = stage, 2
+            while name in taken:
+                name = f"{stage}#{k}"
+                k += 1
+            self.scan_stages.append(
+                StageScan(name, scan_ms, normalize_costs(task_costs, scan_ms, tasks))
+            )
 
     @property
     def files_pruned(self) -> int:
@@ -64,26 +111,69 @@ class QueryStats:
         total = self.cache_hit_bytes + self.bytes_scanned
         return self.cache_hit_bytes / total if total else 0.0
 
-    def finalize(self, slots: int, startup_ms: float, shuffle_partitions: int = 8) -> None:
+    def finalize(
+        self,
+        slots: int,
+        startup_ms: float,
+        shuffle_partitions: int = 8,
+        faults: Any | None = None,
+        speculation: SpeculationConfig | None = None,
+    ) -> None:
         """Slot-limited elapsed-time model: metadata/planning work is
-        serial; scan work runs in ceil(tasks / slots) waves of equal tasks;
-        operator compute spreads across shuffle partitions (bounded by
-        slots)."""
+        serial; each scan stage's tasks run through the skew-aware slot
+        scheduler (LPT + work-stealing, straggler injection, speculative
+        backups) and contribute their makespan; operator compute spreads
+        across shuffle partitions (bounded by slots).
+
+        Stage-less scan work (recorded without per-task estimates, e.g. by
+        ML batch scoring) still uses the legacy uniform-wave formula — for
+        *n* equal tasks the scheduler's makespan reduces to exactly that,
+        so the two models agree where the old one was right.
+        """
         import math
 
         self.shuffle_partitions = shuffle_partitions
         self.compute_parallelism = max(1, min(slots, shuffle_partitions))
         compute_parallelism = self.compute_parallelism
         self.slot_ms = self.planning_ms + self.scan_work_ms + self.compute_ms
-        # Wave model: 3 equal tasks on 2 slots take 2 waves (2/3 of the
-        # total scan work elapses), not the 1.5 "waves" plain division by
-        # min(slots, tasks) would claim.
-        tasks = max(1, self.scan_tasks)
-        waves = math.ceil(tasks / max(1, slots))
+        scan_elapsed = 0.0
+        self.task_timeline = []
+        self.speculative_count = 0
+        self.speculative_wins = 0
+        winner_durations: list[float] = []
+        if self.scan_stages:
+            scheduler = SlotScheduler(slots, faults=faults, speculation=speculation)
+            offset = startup_ms + self.planning_ms
+            for stage in self.scan_stages:
+                timeline = scheduler.run_stage(
+                    stage.stage, stage.task_costs, start_ms=offset
+                )
+                offset += timeline.makespan_ms
+                scan_elapsed += timeline.makespan_ms
+                self.speculative_count += timeline.speculative_launched
+                self.speculative_wins += timeline.speculative_wins
+                self.task_timeline.extend(timeline.runs)
+                winner_durations.extend(
+                    r.duration_ms for r in timeline.runs if r.winner
+                )
+        self.task_skew = 1.0
+        if winner_durations:
+            mean = sum(winner_durations) / len(winner_durations)
+            if mean > 0:
+                self.task_skew = max(winner_durations) / mean
+        # Legacy wave model for scan work recorded without a stage: 3 equal
+        # tasks on 2 slots take 2 waves (2/3 of the total scan work
+        # elapses), not the 1.5 "waves" plain division would claim.
+        leftover_tasks = self.scan_tasks - sum(s.tasks for s in self.scan_stages)
+        leftover_ms = self.scan_work_ms - sum(s.scan_ms for s in self.scan_stages)
+        if leftover_ms > 1e-9:  # float residue from the += accumulation is not work
+            tasks = max(1, leftover_tasks)
+            waves = math.ceil(tasks / max(1, slots))
+            scan_elapsed += leftover_ms * waves / tasks
         self.elapsed_ms = (
             startup_ms
             + self.planning_ms
-            + self.scan_work_ms * waves / tasks
+            + scan_elapsed
             + self.compute_ms / compute_parallelism
         )
 
@@ -167,6 +257,7 @@ class QueryEngine:
         use_row_oriented_reader: bool = False,
         enable_aggregate_pushdown: bool = True,
         shuffle_partitions: int = 8,
+        speculation: SpeculationConfig | None = None,
     ) -> None:
         self.read_api = read_api
         self.catalog = catalog
@@ -179,6 +270,7 @@ class QueryEngine:
         self.use_row_oriented_reader = use_row_oriented_reader
         self.enable_aggregate_pushdown = enable_aggregate_pushdown
         self.shuffle_partitions = shuffle_partitions
+        self.speculation = speculation or SpeculationConfig()
         self.ctx = read_api.ctx
         self._tvf_handlers: dict[str, TvfHandler] = {}
         self.dml_handler: DmlHandler | None = None
@@ -411,6 +503,9 @@ class QueryEngine:
             degraded=degraded,
             cache_hit_bytes=stats.cache_hit_bytes if stats is not None else 0,
             cache_hit_ratio=stats.cache_hit_ratio if stats is not None else 0.0,
+            task_skew=stats.task_skew if stats is not None else 1.0,
+            speculative_count=stats.speculative_count if stats is not None else 0,
+            task_timeline=list(stats.task_timeline) if stats is not None else [],
             trace=trace,
         )
         self.history.record(record_from_trace(record))
@@ -464,10 +559,43 @@ class QueryEngine:
             snapshot_ms=snapshot_ms,
         )
         batches = execute_plan(plan, ctx)
-        stats.finalize(self.slots, self.ctx.costs.slot_startup_ms, self.shuffle_partitions)
+        # The scheduler runs on model time only — the span below is
+        # zero-duration on the sim clock, a marker carrying the verdict.
+        with self.ctx.tracer.span("scheduler.simulate", layer="scheduler") as span:
+            stats.finalize(
+                self.slots, self.ctx.costs.slot_startup_ms, self.shuffle_partitions,
+                faults=self.ctx.faults, speculation=self.speculation,
+            )
+            if stats.task_timeline:
+                span.set_tag("tasks", sum(s.tasks for s in stats.scan_stages))
+                span.set_tag("task_skew", round(stats.task_skew, 4))
+                span.set_tag("speculative", stats.speculative_count)
+        self._record_scheduler_metrics(stats)
         return QueryResult(
             schema=plan.schema, batches=batches, stats=stats, plan_text=plan.describe()
         )
+
+    def _record_scheduler_metrics(self, stats: QueryStats) -> None:
+        if not stats.task_timeline:
+            return
+        metrics = self.ctx.metrics
+        metrics.counter(
+            "repro_scheduler_tasks_total", "scan tasks placed on the simulated slot pool"
+        ).inc(sum(s.tasks for s in stats.scan_stages), engine=self.name)
+        if stats.speculative_count:
+            metrics.counter(
+                "repro_scheduler_speculative_launched_total",
+                "speculative backup tasks launched",
+            ).inc(stats.speculative_count, engine=self.name)
+        if stats.speculative_wins:
+            metrics.counter(
+                "repro_scheduler_speculative_wins_total",
+                "speculative backups that beat their primary",
+            ).inc(stats.speculative_wins, engine=self.name)
+        metrics.gauge(
+            "repro_task_skew_ratio",
+            "max/mean winner task duration of the last scheduled query",
+        ).set(stats.task_skew, engine=self.name)
 
     # -- TVF execution -------------------------------------------------------------
 

@@ -125,13 +125,22 @@ def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
         aggregates=node.pushed_aggregates or None,
     )
     ctx.stats.planning_ms += engine.ctx.clock.now_ms - t0
+    # Per-task cost estimates for the slot scheduler, taken *before* the
+    # scan runs (planning-time knowledge: file sizes + cache residency).
+    # Read-api stand-ins (e.g. the Spark direct reader) may not offer them;
+    # the scheduler then falls back to a uniform split.
+    estimator = getattr(engine.read_api, "estimate_task_costs", None)
+    task_costs = estimator(session) if estimator is not None else None
     t1 = engine.ctx.clock.now_ms
     batches: list[RecordBatch] = []
     for stream_index in range(len(session.streams)):
         batches.extend(_run_stream_task(engine, session, stream_index))
     scan_ms = engine.ctx.clock.now_ms - t1
     tasks = max(1, session.stats.files_after_pruning)
-    ctx.stats.record_scan(session.stats, scan_ms, tasks)
+    ctx.stats.record_scan(
+        session.stats, scan_ms, tasks,
+        stage=node.table.table_id, task_costs=task_costs,
+    )
     current = engine.ctx.tracer.current
     if current is not None:
         current.set_tag("table", node.table.table_id)
@@ -154,17 +163,24 @@ def _run_stream_task(engine, session, stream_index: int) -> list[RecordBatch]:
     The ``engine.task`` hazard point models a worker restart killing the
     task; the retry re-runs the whole stream read. Batches are buffered
     per attempt, so a mid-stream failure never leaks duplicate rows into
-    the query.
+    the query — and session stats are snapshotted per attempt, so the
+    failed attempt's partial progress (bytes/rows counted mid-stream) is
+    rolled back instead of double-counted by the re-execution.
     """
     ctx = engine.ctx
 
     def attempt() -> tuple[list[RecordBatch], int]:
         ctx.faults.check("engine.task", engine=engine.name, stream=stream_index)
-        collected: list[RecordBatch] = []
-        rows = 0
-        for batch in engine.read_api.read_rows(session, stream_index):
-            rows += batch.num_rows
-            collected.append(batch)
+        snap = session.stats.snapshot()
+        try:
+            collected: list[RecordBatch] = []
+            rows = 0
+            for batch in engine.read_api.read_rows(session, stream_index):
+                rows += batch.num_rows
+                collected.append(batch)
+        except BaseException:
+            session.stats.restore(snap)
+            raise
         return collected, rows
 
     with ctx.tracer.span(

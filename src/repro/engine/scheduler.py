@@ -1,0 +1,284 @@
+"""Skew-aware slot-pool scheduler: per-task makespan on simulated time.
+
+The scalar wave model (``elapsed = scan_work * waves / tasks``) assumed
+perfectly even task sizes — the explicitly-flagged ROADMAP gap. This module
+replaces it with a small discrete-event simulation of a Dremel-style slot
+pool, run entirely on *model* time (no sim-clock advancement, no RNG of its
+own, no wall clock), so the result is a pure, replayable function of its
+inputs:
+
+* **Per-stage scheduling** — each scan stage brings its own per-task cost
+  estimates (per-file bytes, decode cost, cache-hit discounts from
+  :meth:`~repro.storageapi.read_api.ReadApi.estimate_task_costs`). Tasks
+  are placed LPT (longest processing time first); a slot that frees up
+  steals the next pending task, so the schedule is the classic greedy
+  list schedule. For *n* equal tasks on *s* slots the makespan reduces
+  exactly to the old wave formula ``ceil(n/s) * per_task_cost``.
+* **Stragglers** — the ``task.slow`` hazard point (see
+  :meth:`~repro.faults.FaultInjector.slowdown`) multiplies a task's cost
+  by the spec's ``factor``. Probes happen once per primary task in index
+  order, so the fault stream is independent of slot count and of whether
+  speculation is enabled.
+* **Speculative execution** — once at least ``min_completed`` tasks have
+  finished and no work is pending, any task running longer than
+  ``quantile(completed durations) * threshold_multiplier`` gets a backup
+  copy on a free slot. The backup runs at the task's healthy (un-slowed)
+  cost and does *not* re-probe the fault injector; whichever copy finishes
+  first wins and the loser is cancelled, freeing its slot. Backups only
+  ever use otherwise-idle slots, so speculation can never increase the
+  makespan.
+
+The output is a :class:`StageTimeline` per stage — makespan, skew ratio
+(max/mean winner duration), speculative launch/win counts, and the full
+:class:`TaskRun` list that feeds ``INFORMATION_SCHEMA.JOBS_TIMELINE``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.faults import FaultInjector
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Backup-task policy (mirrors Hadoop/Spark speculative execution)."""
+
+    enabled: bool = True
+    # A task is a straggler once it has run longer than this quantile of
+    # completed-task durations, times the multiplier.
+    quantile: float = 0.75
+    threshold_multiplier: float = 1.5
+    # Never speculate before this many tasks have completed (the quantile
+    # would be noise).
+    min_completed: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ValueError(f"speculation quantile must be in [0, 1], got {self.quantile}")
+        if self.threshold_multiplier < 1.0:
+            raise ValueError("speculation threshold_multiplier must be >= 1")
+        if self.min_completed < 1:
+            raise ValueError("speculation min_completed must be >= 1")
+
+
+@dataclass
+class TaskRun:
+    """One task attempt (primary or speculative backup) on one slot."""
+
+    stage: str
+    task: int
+    slot: int
+    start_ms: float
+    end_ms: float
+    cost_ms: float  # modeled runtime of this attempt (slow factor included)
+    slow_factor: float = 1.0
+    speculative: bool = False
+    winner: bool = False
+    cancelled: bool = False
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view (CLI determinism gate, bench reports)."""
+        return {
+            "stage": self.stage,
+            "task": self.task,
+            "slot": self.slot,
+            "start_ms": round(self.start_ms, 6),
+            "end_ms": round(self.end_ms, 6),
+            "cost_ms": round(self.cost_ms, 6),
+            "slow_factor": self.slow_factor,
+            "speculative": self.speculative,
+            "winner": self.winner,
+            "cancelled": self.cancelled,
+        }
+
+
+@dataclass
+class StageTimeline:
+    """The scheduler's verdict for one scan stage."""
+
+    stage: str
+    slots: int
+    task_count: int
+    makespan_ms: float
+    skew_ratio: float = 1.0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    runs: list[TaskRun] = field(default_factory=list)
+
+
+def duration_quantile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile of ``values`` (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class SlotScheduler:
+    """Deterministic greedy-LPT slot pool with stragglers and speculation.
+
+    ``faults`` supplies ``task.slow`` slowdown factors (None = healthy);
+    ``speculation`` configures backup tasks (None = defaults, enabled).
+    The scheduler never draws randomness itself and never touches the sim
+    clock — every number is model time derived from the task costs.
+    """
+
+    _FINISH = 0  # event kinds; FINISH sorts before CHECK at equal times
+    _CHECK = 1
+
+    def __init__(
+        self,
+        slots: int,
+        faults: "FaultInjector | None" = None,
+        speculation: SpeculationConfig | None = None,
+    ) -> None:
+        self.slots = max(1, slots)
+        self.faults = faults
+        self.speculation = speculation or SpeculationConfig()
+
+    def run_stage(
+        self, stage: str, costs: list[float], start_ms: float = 0.0
+    ) -> StageTimeline:
+        """Schedule one stage's tasks; ``costs`` are healthy per-task costs."""
+        n = len(costs)
+        if n == 0:
+            return StageTimeline(stage=stage, slots=self.slots, task_count=0, makespan_ms=0.0)
+
+        # Straggler probes: once per task, in index order, independent of
+        # slot count / speculation so the fault RNG stream is stable.
+        slow = [1.0] * n
+        if self.faults is not None:
+            for i in range(n):
+                slow[i] = self.faults.slowdown("task.slow", stage=stage, task=i)
+
+        spec = self.speculation
+        # LPT on the *estimated* (healthy) cost: the scheduler does not
+        # know which tasks a fault slowed until they fail to come back.
+        pending = deque(sorted(range(n), key=lambda i: (-costs[i], i)))
+        free: list[int] = list(range(self.slots))
+        heapq.heapify(free)
+        events: list[tuple[float, int, int, object]] = []
+        seq = 0
+        runs: list[TaskRun] = []
+        primary: dict[int, TaskRun] = {}
+        backup: dict[int, TaskRun] = {}
+        done: set[int] = set()
+        completed: list[float] = []  # winner durations
+        launched = 0
+        wins = 0
+
+        def push(at_ms: float, kind: int, payload: object) -> None:
+            nonlocal seq
+            seq += 1
+            heapq.heappush(events, (at_ms, kind, seq, payload))
+
+        def launch(task: int, now: float, speculative: bool) -> None:
+            nonlocal launched
+            slot = heapq.heappop(free)
+            factor = 1.0 if speculative else slow[task]
+            cost = costs[task] * factor
+            run = TaskRun(
+                stage=stage, task=task, slot=slot, start_ms=now,
+                end_ms=now + cost, cost_ms=cost, slow_factor=factor,
+                speculative=speculative,
+            )
+            runs.append(run)
+            if speculative:
+                backup[task] = run
+                launched += 1
+            else:
+                primary[task] = run
+            push(run.end_ms, self._FINISH, run)
+
+        def assign(now: float) -> None:
+            while pending and free:
+                launch(pending.popleft(), now, speculative=False)
+
+        def threshold_ms() -> float:
+            return duration_quantile(completed, spec.quantile) * spec.threshold_multiplier
+
+        def maybe_speculate(now: float) -> None:
+            """Launch (or schedule checks for) backups of running stragglers."""
+            if not spec.enabled or pending or len(completed) < spec.min_completed:
+                return
+            limit = threshold_ms()
+            for task in sorted(primary):
+                if not free:
+                    return
+                if task in done or task in backup:
+                    continue
+                trigger = primary[task].start_ms + limit
+                if trigger <= now:
+                    launch(task, now, speculative=True)
+                else:
+                    # Re-evaluated when it fires; duplicates are no-ops.
+                    push(trigger, self._CHECK, task)
+
+        assign(start_ms)
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == self._CHECK:
+                task = payload  # type: ignore[assignment]
+                if (
+                    spec.enabled and not pending and free
+                    and task not in done and task not in backup
+                    and len(completed) >= spec.min_completed
+                ):
+                    trigger = primary[task].start_ms + threshold_ms()
+                    if trigger <= now:
+                        launch(task, now, speculative=True)
+                    else:
+                        push(trigger, self._CHECK, task)
+                continue
+            run = payload  # type: ignore[assignment]
+            if run.cancelled or run.task in done:
+                continue  # stale finish event of a cancelled loser
+            done.add(run.task)
+            run.winner = True
+            completed.append(run.duration_ms)
+            heapq.heappush(free, run.slot)
+            if run.speculative:
+                wins += 1
+            twin = primary.get(run.task) if run.speculative else backup.get(run.task)
+            if twin is not None and twin is not run and not twin.cancelled:
+                twin.cancelled = True
+                twin.end_ms = now
+                twin.cost_ms = twin.duration_ms
+                heapq.heappush(free, twin.slot)
+            assign(now)
+            maybe_speculate(now)
+
+        makespan = max((r.end_ms for r in runs), default=start_ms) - start_ms
+        skew = 1.0
+        if completed:
+            mean = sum(completed) / len(completed)
+            skew = (max(completed) / mean) if mean > 0 else 1.0
+        return StageTimeline(
+            stage=stage, slots=self.slots, task_count=n, makespan_ms=makespan,
+            skew_ratio=skew, speculative_launched=launched,
+            speculative_wins=wins, runs=runs,
+        )
+
+
+def normalize_costs(task_costs: list[float] | None, total_ms: float, tasks: int) -> list[float]:
+    """Scale relative per-task estimates so they sum to the *measured*
+    stage scan time — estimates set the shape, measurement sets the scale.
+    Falls back to a uniform split when estimates are missing/degenerate."""
+    n = max(1, tasks)
+    if not task_costs or len(task_costs) != n or min(task_costs) < 0:
+        return [total_ms / n] * n
+    weight = sum(task_costs)
+    if weight <= 0:
+        return [total_ms / n] * n
+    return [c * total_ms / weight for c in task_costs]

@@ -28,7 +28,9 @@ Hazard-point naming is dotted ``layer.op``: ``objectstore.get``,
 ``bigmeta.lookup``, ``bigmeta.commit``, ``read_api.read_rows``,
 ``write_api.append``, ``vpn.call``, ``engine.task``, ``cache.get``,
 ``cache.put`` (data-cache probes degrade to a bypass, never an error —
-see :mod:`repro.cache`). Fault specs select by
+see :mod:`repro.cache`), and ``task.slow`` (a *slowdown* hazard probed by
+the slot scheduler: it multiplies a task's cost instead of raising — see
+:meth:`FaultInjector.slowdown`). Fault specs select by
 *prefix*, so ``op="objectstore."`` matches every store operation while
 ``op="objectstore.get"`` matches GETs (including ranged GETs) only.
 """
@@ -83,11 +85,22 @@ class FaultSpec:
     end_ms: float = inf
     max_fires: int | None = None
     match: tuple[tuple[str, str], ...] = ()
+    # factor > 1 declares a *slowdown* spec: instead of raising, a firing
+    # multiplies the probed cost (straggler injection at ``task.slow``).
+    # Slowdown specs are consulted only by :meth:`FaultInjector.slowdown`;
+    # :meth:`FaultInjector.check` skips them.
+    factor: float = 1.0
+
+    @property
+    def is_slowdown(self) -> bool:
+        return self.factor > 1.0
 
     def __post_init__(self) -> None:
         _error_class(self.error)  # fail fast on typos
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.factor < 1.0:
+            raise ValueError(f"fault factor must be >= 1, got {self.factor}")
         if self.rate == 0.0 and self.count == 0:
             raise ValueError(
                 f"fault spec {self.op!r} can never fire: set rate= or count="
@@ -98,8 +111,9 @@ class FaultSpec:
         """Parse ``"op:key=value:..."`` (the CLI ``--plan`` syntax).
 
         Known keys: ``rate``, ``count``, ``error``, ``start``, ``end``,
-        ``max``. Any other key becomes a ``match`` constraint, e.g.
-        ``"objectstore.get:rate=0.1:store=aws-east"``.
+        ``max``, ``factor``. Any other key becomes a ``match`` constraint,
+        e.g. ``"objectstore.get:rate=0.1:store=aws-east"``; a slowdown plan
+        reads ``"task.slow:rate=0.15:factor=8"``.
         """
         parts = text.split(":")
         op, fields = parts[0], parts[1:]
@@ -121,6 +135,8 @@ class FaultSpec:
                 kwargs["end_ms"] = float(value)
             elif key == "max":
                 kwargs["max_fires"] = int(value)
+            elif key == "factor":
+                kwargs["factor"] = float(value)
             else:
                 match.append((key, value))
         kwargs["match"] = tuple(match)
@@ -219,11 +235,9 @@ class FaultInjector:
             return
         now = self.ctx.clock.now_ms
         for index, spec in enumerate(self._specs):
-            if not op.startswith(spec.op):
-                continue
-            if not spec.start_ms <= now < spec.end_ms:
-                continue
-            if any(str(detail.get(key)) != value for key, value in spec.match):
+            if spec.is_slowdown:
+                continue  # consulted by slowdown(), never raises here
+            if not self._matches(spec, op, now, detail):
                 continue
             if index in self._counts:
                 self._counts[index] -= 1
@@ -236,9 +250,51 @@ class FaultInjector:
                 if self._rng.random() < spec.rate:
                     self._fire(index, spec, op, now)
 
-    def _fire(self, index: int, spec: FaultSpec, op: str, now: float) -> None:
+    def slowdown(self, op: str, **detail: Any) -> float:
+        """Probe a *slowdown* hazard point (e.g. ``task.slow``).
+
+        Returns the combined multiplicative factor of every slowdown spec
+        that fires (1.0 = healthy); never raises. Firing draws from the
+        same seeded RNG stream as :meth:`check`, and each firing is logged
+        to :attr:`events` / metered like an injected fault, so straggler
+        injection is exactly as replayable as error injection.
+        """
+        if not self._specs:
+            return 1.0
+        factor = 1.0
+        now = self.ctx.clock.now_ms
+        for index, spec in enumerate(self._specs):
+            if not spec.is_slowdown:
+                continue
+            if not self._matches(spec, op, now, detail):
+                continue
+            if index in self._counts:
+                self._counts[index] -= 1
+                if self._counts[index] <= 0:
+                    del self._counts[index]
+                self._record(index, spec, op, now)
+                factor *= spec.factor
+            elif spec.rate > 0.0:
+                if spec.max_fires is not None and self._fires.get(index, 0) >= spec.max_fires:
+                    continue
+                if self._rng.random() < spec.rate:
+                    self._record(index, spec, op, now)
+                    factor *= spec.factor
+        return factor
+
+    @staticmethod
+    def _matches(spec: FaultSpec, op: str, now: float, detail: dict[str, Any]) -> bool:
+        if not op.startswith(spec.op):
+            return False
+        if not spec.start_ms <= now < spec.end_ms:
+            return False
+        return not any(str(detail.get(key)) != value for key, value in spec.match)
+
+    def _record(self, index: int, spec: FaultSpec, op: str, now: float) -> FaultEvent:
+        """Log one firing (replay log + metering + metrics + span tag)."""
+        label = f"Slowdown x{spec.factor:g}" if spec.is_slowdown else spec.error
         self._fires[index] = self._fires.get(index, 0) + 1
-        event = FaultEvent(seq=len(self.events), op=op, error=spec.error, at_ms=now)
+        event = FaultEvent(seq=len(self.events), op=op, error=label, at_ms=now)
         self.events.append(event)
         self.ctx.metering.count("repro.fault_injected")
         if op.startswith("objectstore."):
@@ -247,10 +303,14 @@ class FaultInjector:
         self.ctx.metrics.counter(
             "repro_faults_injected_total",
             "Faults fired by the chaos injector.",
-        ).inc(op=op, error=spec.error)
+        ).inc(op=op, error=label)
         span = self.ctx.tracer.current
         if span is not None:
-            span.set_tag("fault_injected", spec.error)
+            span.set_tag("fault_injected", label)
+        return event
+
+    def _fire(self, index: int, spec: FaultSpec, op: str, now: float) -> None:
+        event = self._record(index, spec, op, now)
         raise _error_class(spec.error)(
             f"injected {spec.error} on {op} [fault #{event.seq}]"
         )

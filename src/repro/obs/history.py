@@ -25,6 +25,10 @@ from repro.obs.trace import Span, layer_breakdown
 SUCCEEDED = "SUCCEEDED"
 FAILED = "FAILED"
 
+#: Span-id floor for synthetic scheduler.task timeline rows (real span ids
+#: are small monotonically assigned ints; this keeps the ranges disjoint).
+_TASK_SPAN_BASE = 1_000_000
+
 
 @dataclass
 class JobRecord:
@@ -61,6 +65,12 @@ class JobRecord:
     # and the fraction of all source bytes they represent.
     cache_hit_bytes: int = 0
     cache_hit_ratio: float = 0.0
+    # Scheduler verdict: max/mean winner task duration, speculative backups
+    # launched, and the full per-task timeline (repro.engine.scheduler.
+    # TaskRun), which JOBS_TIMELINE exposes as synthetic scheduler rows.
+    task_skew: float = 1.0
+    speculative_count: int = 0
+    task_timeline: list[Any] = field(default_factory=list)
     # Self-time per layer over the job's span tree (empty if tracing off).
     layers_ms: dict[str, float] = field(default_factory=dict)
     trace: Span | None = None
@@ -77,22 +87,56 @@ def timeline_rows(record: JobRecord) -> list[tuple]:
     parent_span_id, name, layer, start_ms, duration_ms, self_ms, tags).
     The root's parent_span_id is 0; tags render as sorted ``k=v`` pairs so
     rows stay scalar and deterministic.
+
+    After the span rows, every scheduler task attempt appends one synthetic
+    ``scheduler.task`` row (layer ``scheduler``). Task times are *model*
+    offsets within the job's elapsed_ms budget, not sim-clock timestamps,
+    and their span ids live in a reserved high range so they never collide
+    with real spans. These rows appear even when tracing was off — the
+    scheduler always runs.
     """
-    if record.trace is None:
-        return []
     rows: list[tuple] = []
-    for span in record.trace.walk():
-        tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+    if record.trace is not None:
+        for span in record.trace.walk():
+            tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+            rows.append(
+                (
+                    record.job_id,
+                    span.span_id,
+                    span.parent_id or 0,
+                    span.name,
+                    span.layer or "other",
+                    span.start_ms,
+                    span.duration_ms,
+                    span.self_time_ms(),
+                    tags,
+                )
+            )
+    for i, run in enumerate(record.task_timeline):
+        tags = " ".join(
+            f"{k}={v}"
+            for k, v in sorted(
+                {
+                    "slot": run.slot,
+                    "task": run.task,
+                    "stage": run.stage,
+                    "slow_factor": f"{run.slow_factor:g}",
+                    "speculative": run.speculative,
+                    "winner": run.winner,
+                    "cancelled": run.cancelled,
+                }.items()
+            )
+        )
         rows.append(
             (
                 record.job_id,
-                span.span_id,
-                span.parent_id or 0,
-                span.name,
-                span.layer or "other",
-                span.start_ms,
-                span.duration_ms,
-                span.self_time_ms(),
+                _TASK_SPAN_BASE + i,
+                0,
+                "scheduler.task",
+                "scheduler",
+                run.start_ms,
+                run.end_ms - run.start_ms,
+                run.end_ms - run.start_ms,
                 tags,
             )
         )

@@ -70,6 +70,8 @@ JOBS_SCHEMA = Schema.of(
     ("degraded", DataType.BOOL),
     ("cache_hit_bytes", DataType.INT64),
     ("cache_hit_ratio", DataType.FLOAT64),
+    ("task_skew", DataType.FLOAT64),
+    ("speculative_count", DataType.INT64),
 )
 
 JOBS_TIMELINE_SCHEMA = Schema.of(
@@ -268,6 +270,8 @@ class SystemTables:
                 r.degraded,
                 r.cache_hit_bytes,
                 r.cache_hit_ratio,
+                r.task_skew,
+                r.speculative_count,
             )
             for r in self._visible_jobs(principal)
         ]

@@ -16,7 +16,7 @@ lookup, not an object-store LIST.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterator
 
 from repro.data.batch import RecordBatch, batch_from_pydict
@@ -90,6 +90,20 @@ class SessionStats:
     @property
     def files_pruned(self) -> int:
         return self.files_total - self.files_after_pruning
+
+    def snapshot(self) -> "SessionStats":
+        """Copy of the current counters, for retry-safe rollback."""
+        return replace(self)
+
+    def restore(self, snap: "SessionStats") -> None:
+        """Rewind to a :meth:`snapshot`. Stream reads accumulate into these
+        counters mid-stream, so a task-level retry that re-runs the whole
+        stream must first discard the failed attempt's partial progress or
+        every retried byte/row would be double-counted (the global
+        ``readapi_*_total`` metrics are deliberately *not* rewound — they
+        measure IO actually performed, retried work included)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(snap, f.name))
 
 
 @dataclass
@@ -336,6 +350,43 @@ class ReadApi:
             streams[target].files.append(entry)
             loads[target] += entry.size_bytes
         return streams
+
+    def estimate_task_costs(self, session: ReadSession) -> list[float] | None:
+        """Per-task (per-file) scan cost estimates for the slot scheduler.
+
+        One task per file after pruning, in stream order: GET latency +
+        per-MiB transfer + per-MiB decode, with resident cache bytes
+        (probed non-mutatingly via
+        :meth:`~repro.cache.DataCache.warm_chunk_bytes`) discounted to the
+        cheap hit cost. Purely advisory — the scheduler rescales the
+        estimates to the *measured* stage scan time, so only their relative
+        shape matters. Returns None for managed/object tables, whose tasks
+        are not file-shaped (the scheduler falls back to a uniform split).
+        """
+        if session.table.kind in (TableKind.MANAGED, TableKind.OBJECT):
+            return None
+        costs = self.ctx.costs
+        cache = self.data_cache
+        out: list[float] = []
+        for stream in session.streams:
+            for entry in stream.files:
+                size = max(0, entry.size_bytes)
+                cold = (
+                    costs.get_first_byte_ms
+                    + (size / MIB) * (costs.get_per_mib_ms + costs.scan_per_mib_ms)
+                )
+                warm_bytes = 0
+                generation = getattr(entry, "generation", 0)
+                if cache is not None and cache.enabled and generation > 0 and size > 0:
+                    bucket, _, key = entry.file_path.partition("/")
+                    warm_bytes = min(size, cache.warm_chunk_bytes(bucket, key, generation))
+                warm_fraction = warm_bytes / size if size else 0.0
+                warm = (
+                    costs.cache_lookup_ms
+                    + (warm_bytes / MIB) * costs.cache_hit_per_mib_ms
+                )
+                out.append(cold * (1.0 - warm_fraction) + warm * warm_fraction)
+        return out
 
     def _object_table_streams(
         self,
@@ -703,6 +754,15 @@ class ReadApi:
             "readapi_bytes_scanned_total", "bytes scanned across all read sessions"
         ).inc(num_bytes)
 
+    def _count_cache_hit(self, num_bytes: int) -> None:
+        """Warm reads bypass :meth:`_count_scanned`; without this counter
+        the scanned metric silently stops tying out against trace/JOBS
+        totals on warm runs (scanned + cache_hit == source bytes)."""
+        self.ctx.metrics.counter(
+            "readapi_cache_hit_bytes_total",
+            "source bytes served from the data cache instead of being scanned",
+        ).inc(num_bytes)
+
     def _read_managed_stream(self, session, stream, enforcement) -> Iterator[RecordBatch]:
         for batch in stream.batches:
             session.stats.rows_scanned += batch.num_rows
@@ -1014,6 +1074,7 @@ class ReadApi:
                 if hit is not None:
                     resolved[name], nbytes = hit
                     session.stats.cache_hit_bytes += nbytes
+                    self._count_cache_hit(nbytes)
                 else:
                     missing.append(rg.column(name))
             if missing:

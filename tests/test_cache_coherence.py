@@ -248,3 +248,68 @@ class TestCoherenceUnderChaos:
 
     def test_chaos_replay_deterministic(self):
         assert self._chaos_run(True, seed=9) == self._chaos_run(True, seed=9)
+
+
+class TestWarmRunAccounting:
+    """Warm-run observability drift (bugfix): cache hits bypass the scanned
+    counter, so ``readapi_bytes_scanned_total`` alone stopped tying out
+    against JOBS totals on warm runs. With ``readapi_cache_hit_bytes_total``
+    every source byte a query consumes lands in exactly one of the two
+    counters, and both reconcile with per-job stats."""
+
+    SQL = "SELECT region, SUM(amount) AS total FROM ds.sales GROUP BY region ORDER BY region"
+
+    def needed_chunk_bytes(self, platform, columns):
+        """Source bytes of the given columns: chunk lengths from footers."""
+        from repro.formats import pqs
+
+        store = platform.stores.store_for(platform.config.home_region.location)
+        total = 0
+        for i in range(4):
+            footer = pqs.read_footer(store.get_object("lake", f"sales/part-{i:04d}.pqs"))
+            for rg in footer.row_groups:
+                total += sum(rg.column(name).length for name in columns)
+        return total
+
+    def test_scanned_plus_cache_hit_covers_source_bytes(self):
+        platform, admin = make_platform()
+        setup_sales_lake(platform, admin)
+        store = platform.stores.store_for(platform.config.home_region.location)
+        source_bytes = sum(
+            len(store.get_object("lake", f"sales/part-{i:04d}.pqs")) for i in range(4)
+        )
+
+        cold = platform.home_engine.execute(self.SQL, admin)
+        # Cold: whole objects are fetched and admitted; every source byte
+        # is scanned, none are cache hits.
+        assert cold.stats.bytes_scanned == source_bytes
+        assert cold.stats.cache_hit_bytes == 0
+
+        warm = platform.home_engine.execute(self.SQL, admin)
+        # Warm: nothing is re-scanned; the needed columns' chunks (region +
+        # amount here) are served from the cache, byte-accounted exactly.
+        assert warm.stats.bytes_scanned == 0
+        needed = self.needed_chunk_bytes(platform, ["region", "amount"])
+        # The invariant the two counters jointly restore: scanned plus
+        # cache-hit bytes equal the source bytes each run consumed — the
+        # whole files when cold, the needed columns' chunks when warm.
+        assert cold.stats.bytes_scanned + cold.stats.cache_hit_bytes == source_bytes
+        assert warm.stats.bytes_scanned + warm.stats.cache_hit_bytes == needed
+
+    def test_metrics_tie_out_against_jobs_totals(self):
+        platform, admin = make_platform()
+        setup_sales_lake(platform, admin)
+        engine = platform.home_engine
+        engine.execute(self.SQL, admin)  # cold
+        engine.execute(self.SQL, admin)  # warm
+        engine.execute("SELECT * FROM ds.sales", admin)  # warm, wider columns
+
+        scanned_total, hit_total = engine.execute(
+            "SELECT SUM(bytes_scanned) AS s, SUM(cache_hit_bytes) AS h "
+            "FROM INFORMATION_SCHEMA.JOBS",
+            admin,
+        ).rows()[0]
+        metrics = platform.ctx.metrics
+        assert metrics.counter("readapi_bytes_scanned_total").total() == scanned_total
+        assert metrics.counter("readapi_cache_hit_bytes_total").total() == hit_total
+        assert hit_total > 0  # the warm runs actually exercised the drift

@@ -1,0 +1,126 @@
+"""Property tests for the elapsed-time model (seeded loops, no hypothesis).
+
+Three contracts from the scheduler redesign:
+
+* **Slots monotonicity** — for the healthy model (no straggler injection),
+  adding slots never increases a stage's makespan, and the makespan always
+  sits between the theoretical lower bound ``max(total/slots, max_cost)``
+  and the serial total. (With stragglers *and* speculation the coupling of
+  backup timing to pool state makes more-slots-never-slower a non-theorem —
+  the guarantee here is about the scheduling model itself.)
+* **Skew never wins** — with the same total work and a task count the slot
+  pool divides evenly, a skewed cost distribution never finishes before the
+  uniform one (uniform achieves the ``total/slots`` lower bound exactly).
+* **Speculation is result-invariant** — under the same seeded ``task.slow``
+  chaos plan, speculation on/off returns byte-identical rows and fires the
+  byte-identical fault event log; only the elapsed-time model moves.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.scheduler import SlotScheduler, SpeculationConfig
+from repro.faults import FaultPlan
+
+from tests.helpers import make_platform, setup_sales_lake
+
+NO_SPEC = SpeculationConfig(enabled=False)
+
+SALES_SQL = (
+    "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
+    "FROM ds.sales GROUP BY region ORDER BY region"
+)
+
+
+def random_costs(rng: random.Random, n: int) -> list[float]:
+    return [rng.uniform(0.05, 25.0) for _ in range(n)]
+
+
+class TestSlotsMonotonicity:
+    def test_more_slots_never_slower_healthy(self):
+        for trial in range(120):
+            rng = random.Random(trial)
+            costs = random_costs(rng, rng.randint(1, 24))
+            prev = None
+            for slots in range(1, 10):
+                makespan = (
+                    SlotScheduler(slots, speculation=NO_SPEC)
+                    .run_stage("t", costs)
+                    .makespan_ms
+                )
+                if prev is not None:
+                    assert makespan <= prev + 1e-9, (trial, slots, costs)
+                prev = makespan
+
+    def test_makespan_bounds(self):
+        for trial in range(120):
+            rng = random.Random(1000 + trial)
+            costs = random_costs(rng, rng.randint(1, 24))
+            slots = rng.randint(1, 8)
+            makespan = (
+                SlotScheduler(slots, speculation=NO_SPEC)
+                .run_stage("t", costs)
+                .makespan_ms
+            )
+            lower = max(sum(costs) / slots, max(costs))
+            assert lower - 1e-9 <= makespan <= sum(costs) + 1e-9
+
+
+class TestSkewNeverWins:
+    def test_uniform_is_optimal_at_equal_total_work(self):
+        # With n a multiple of slots, the uniform split hits the
+        # total/slots lower bound exactly; any skewed distribution of the
+        # same total work can only match it, never beat it.
+        for trial in range(120):
+            rng = random.Random(trial)
+            slots = rng.randint(1, 6)
+            n = slots * rng.randint(1, 5)
+            skewed = random_costs(rng, n)
+            total = sum(skewed)
+            scheduler = SlotScheduler(slots, speculation=NO_SPEC)
+            uniform_ms = scheduler.run_stage("u", [total / n] * n).makespan_ms
+            skewed_ms = scheduler.run_stage("s", skewed).makespan_ms
+            assert uniform_ms == pytest.approx(total / slots)
+            assert skewed_ms >= uniform_ms - 1e-9, (trial, slots, skewed)
+
+
+class TestSpeculationResultInvariance:
+    def run_sales(self, seed: int, speculation_enabled: bool):
+        platform, admin = make_platform()
+        setup_sales_lake(platform, admin)
+        engine = platform.home_engine
+        if not speculation_enabled:
+            engine.speculation = NO_SPEC
+        platform.ctx.faults.install(
+            FaultPlan.parse(["task.slow:rate=0.4:factor=10"], seed=seed)
+        )
+        result = engine.execute(SALES_SQL, admin)
+        events = [(e.op, e.error, e.at_ms) for e in platform.ctx.faults.events]
+        return result, events
+
+    @pytest.mark.parametrize("seed", [0, 3, 11, 29])
+    def test_rows_and_fault_stream_identical(self, seed):
+        on, on_events = self.run_sales(seed, speculation_enabled=True)
+        off, off_events = self.run_sales(seed, speculation_enabled=False)
+        assert on.rows() == off.rows()
+        # Backups never probe the injector: same seed, same fault log.
+        assert on_events == off_events
+        # Scan-work accounting (slot_ms, bytes) is identical too — only
+        # the elapsed-time verdict may differ.
+        assert on.stats.bytes_scanned == off.stats.bytes_scanned
+        assert on.stats.slot_ms == pytest.approx(off.stats.slot_ms)
+        assert on.stats.elapsed_ms <= off.stats.elapsed_ms + 1e-9
+
+    def test_speculation_recovers_makespan_when_stragglers_fire(self):
+        recovered_any = False
+        for seed in (0, 3, 11, 29):
+            on, on_events = self.run_sales(seed, speculation_enabled=True)
+            off, _ = self.run_sales(seed, speculation_enabled=False)
+            if on_events and on.stats.speculative_count:
+                recovered_any = recovered_any or (
+                    on.stats.elapsed_ms < off.stats.elapsed_ms
+                )
+        assert recovered_any  # at least one seed shows a strict win
