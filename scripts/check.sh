@@ -3,7 +3,9 @@
 # chaos determinism gate (same seed, two processes, identical outcomes) +
 # the data-cache coherence gate (warm == cold rows, hit ratio > 0, and the
 # report is byte-identical across processes) + the scheduler determinism
-# gate (same seed, two processes, byte-identical task timelines).
+# gate (same seed, two processes, byte-identical task timelines) + the
+# serve determinism gate (same seed, two processes, byte-identical
+# multi-principal reports, plain and under chaos).
 # Usage: scripts/check.sh  (from the repo root)
 set -euo pipefail
 
@@ -59,5 +61,30 @@ if diff -u "$sched_a" "$sched_b"; then
     echo "schedule run is deterministic"
 else
     echo "scheduler determinism gate FAILED: same seed produced different timelines" >&2
+    exit 1
+fi
+
+echo "== serve determinism gate =="
+# The CLI itself exits non-zero if the in-memory job handles disagree
+# with INFORMATION_SCHEMA.JOBS; diffing two same-seed reports pins the
+# whole multi-principal run (arrivals, admission order, queue waits,
+# result CRCs) byte-for-byte — with and without the chaos plan.
+serve_a="$(mktemp)" serve_b="$(mktemp)" serve_ca="$(mktemp)" serve_cb="$(mktemp)"
+trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
+    "$serve_a" "$serve_b" "$serve_ca" "$serve_cb"' EXIT
+PYTHONPATH=src python -m repro serve --smoke --seed 1234 --json "$serve_a" >/dev/null
+PYTHONPATH=src python -m repro serve --smoke --seed 1234 --json "$serve_b" >/dev/null
+if diff -u "$serve_a" "$serve_b"; then
+    echo "serve run is deterministic"
+else
+    echo "serve determinism gate FAILED: same seed produced different reports" >&2
+    exit 1
+fi
+PYTHONPATH=src python -m repro serve --smoke --chaos --seed 1234 --json "$serve_ca" >/dev/null
+PYTHONPATH=src python -m repro serve --smoke --chaos --seed 1234 --json "$serve_cb" >/dev/null
+if diff -u "$serve_ca" "$serve_cb"; then
+    echo "serve run under chaos is deterministic"
+else
+    echo "serve chaos determinism gate FAILED: same seed produced different reports" >&2
     exit 1
 fi

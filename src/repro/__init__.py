@@ -31,6 +31,7 @@ from repro.security import (
     RowAccessPolicy,
 )
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
+from repro.serving import QueryJob, ServingConfig
 from repro.simtime import CostModel, SimContext
 
 __version__ = "1.0.0"
@@ -58,5 +59,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "RetryPolicy",
+    "QueryJob",
+    "ServingConfig",
     "__version__",
 ]

@@ -21,6 +21,17 @@ Commands:
   Exits non-zero if the warm run's rows differ from the cold run's or if
   the warm run served no bytes from the cache; the output is
   deterministic, so two invocations must be byte-identical.
+* ``serve`` — replay a seeded mixed TPC-H/TPC-DS-lite multi-principal
+  workload through the async jobs API: jobs arrive with seeded gaps,
+  queue under admission control, and share one slot pool fairly across
+  principals. Reports per-principal p50/p99 queue wait and the workload
+  makespan, tied out against ``INFORMATION_SCHEMA.JOBS`` /
+  ``JOBS_TIMELINE`` (exit non-zero on any mismatch). ``--smoke`` runs a
+  small fast variant for CI; ``--chaos`` (or explicit ``--plan`` specs)
+  runs the same workload under seeded fault injection; ``--json OUT``
+  writes the deterministic report — two invocations with the same seed
+  must be byte-identical (the serve determinism gate in
+  ``scripts/check.sh``).
 * ``schedule [sql]`` — run a query over a deliberately skewed demo lake
   (one fat file among small ones) under a seeded ``task.slow`` straggler
   plan, once with speculative execution and once without, and print the
@@ -251,9 +262,11 @@ def _chaos(
             "error": error,
             "total_ms": round(total_ms, 3),
         }
-        # The report query itself is not in the scan: a job is recorded
-        # only after it finishes, so the rows cover the workload exactly.
+        # Jobs are recorded at submit time, so the report query sees
+        # itself mid-flight as RUNNING — drop it to cover the workload
+        # exactly (every workload job is terminal by now).
         for job_id, state, retry_count, is_degraded, error, total_ms in result.rows()
+        if state != "RUNNING"
     ]
     print("\njob_id      state      retries  degraded  total_ms  error")
     for row in jobs:
@@ -329,6 +342,78 @@ def _cache_stats() -> int:
             f"{tier:<11} {entries:>7} {resident:>11,} {capacity:>11,} "
             f"{hits:>6} {misses:>7} {ratio:>10.3f}"
         )
+    return 0
+
+
+# The default `serve --chaos` profile: transient object-store faults hot
+# enough to leave FAILED jobs in history, plus stragglers for speculation.
+SERVE_CHAOS_PLAN = [
+    "objectstore.get:rate=0.25:max=40",
+    "task.slow:rate=0.15:factor=4",
+]
+
+
+def _serve(
+    seed: int,
+    smoke: bool,
+    chaos: bool,
+    plans: list[str],
+    json_path: str | None,
+) -> int:
+    """Concurrent multi-query serving walkthrough: shared slot pool +
+    async jobs API over a seeded multi-principal TPC-H/TPC-DS-lite mix.
+    Self-checking (SQL ground truth must tie out) and deterministic."""
+    import json
+
+    from repro.serving.workload import run_serve
+
+    specs = plans or (SERVE_CHAOS_PLAN if chaos else [])
+    kwargs = (
+        dict(jobs=6, scale=0.05, analysts=2, mean_gap_ms=30.0)
+        if smoke
+        else dict(jobs=20, scale=0.1, analysts=4, mean_gap_ms=40.0)
+    )
+    try:
+        report = run_serve(seed=seed, chaos=specs or None, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    mode = "smoke" if smoke else "full"
+    print(
+        f"-- serve: {kwargs['jobs']} jobs, {kwargs['analysts']} principals, "
+        f"4 concurrent, seed={seed} ({mode}"
+        + (f", chaos={','.join(specs)})" if specs else ")")
+        + "\n"
+    )
+    print("job_id      principal   state      arrive_ms  wait_ms  end_ms    query")
+    for row in report["jobs"]:
+        print(
+            f"{row['job_id']}  {row['principal'].removeprefix('user:'):<11} "
+            f"{row['state']:<9} {row['creation_ms']:>10.2f} {row['queue_wait_ms']:>8.2f} "
+            f"{row['end_ms']:>9.2f}  {row['query']}"
+        )
+    print("\nprincipal    jobs  p50_wait_ms  p99_wait_ms")
+    for principal, stats in report["per_principal"].items():
+        print(
+            f"{principal.removeprefix('user:'):<11} {stats['jobs']:>5} "
+            f"{stats['p50_queue_wait_ms']:>12.2f} {stats['p99_queue_wait_ms']:>12.2f}"
+        )
+    states = " ".join(f"{k}={v}" for k, v in sorted(report["states"].items()))
+    print(
+        f"\nmakespan {report['makespan_ms']:.2f} ms  {states}  "
+        f"timeline_task_rows={report['timeline_task_rows']}"
+    )
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"serve report written to {json_path}")
+    if not report["tie_out_ok"]:
+        for line in report["tie_out_errors"]:
+            print(f"error: tie-out failed: {line}", file=sys.stderr)
+        return 1
+    print("INFORMATION_SCHEMA.JOBS tie-out: OK")
     return 0
 
 
@@ -498,7 +583,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "demo", "trace", "jobs", "chaos", "cache-stats", "schedule",
-            "experiments", "info",
+            "serve", "experiments", "info",
         ],
         nargs="?", default="demo",
     )
@@ -516,12 +601,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=0,
-        help="for 'chaos'/'schedule': fault-plan RNG seed (same seed => "
-        "same faults)",
+        help="for 'chaos'/'schedule'/'serve': RNG seed (same seed => "
+        "same faults and arrivals)",
     )
     parser.add_argument(
         "--plan", action="append", default=[], metavar="SPEC",
-        help="for 'chaos'/'schedule': fault spec 'op:key=val:...' e.g. "
+        help="for 'chaos'/'schedule'/'serve': fault spec 'op:key=val:...' e.g. "
         "'objectstore.get:rate=0.1' or 'task.slow:rate=0.3:factor=8' "
         "(repeatable)",
     )
@@ -544,7 +629,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--json", metavar="OUT.json", dest="json_path",
-        help="for 'chaos'/'schedule': write the machine-readable report",
+        help="for 'chaos'/'schedule'/'serve': write the machine-readable "
+        "report",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="for 'serve': small fast variant (6 jobs, 2 principals) for CI",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true", dest="serve_chaos",
+        help="for 'serve': replay the workload under the default seeded "
+        "fault plan (or give explicit --plan specs)",
     )
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -561,6 +656,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "cache-stats":
         return _cache_stats()
+    if args.command == "serve":
+        return _serve(
+            args.seed, args.smoke, args.serve_chaos, args.plan, args.json_path
+        )
     if args.command == "schedule":
         return _schedule(
             " ".join(args.extra) if args.extra else None,

@@ -61,6 +61,12 @@ class CacheConfig:
     # Admission-by-size: reject items larger than this fraction of the
     # tier's capacity instead of evicting the whole working set for them.
     admission_fraction: float = 0.25
+    # Age-based eviction, both off by default (None). ``ttl_ms`` bounds an
+    # entry's total lifetime since admission; ``idle_ms`` bounds the time
+    # since it was last touched. Expiry is lazy (checked on get, swept on
+    # put) on the deterministic sim clock — no background threads.
+    ttl_ms: float | None = None
+    idle_ms: float | None = None
 
 
 @dataclass
@@ -69,9 +75,14 @@ class TierStats:
 
     hits: int = 0
     misses: int = 0
-    evictions: int = 0
+    evictions: int = 0  # capacity-pressure (LRU) evictions only
     hit_bytes: int = 0
     admission_rejects: int = 0
+    # Age-based removals, split by which bound fired (TTL before idle when
+    # both would apply). Not part of ``evictions``: the CACHE_STATS column
+    # keeps meaning "pushed out by capacity", as it always has.
+    expired_ttl: int = 0
+    expired_idle: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -80,48 +91,108 @@ class TierStats:
 
 
 class CacheTier:
-    """One capacity-bounded LRU map from tuple keys to (value, size)."""
+    """One capacity-bounded LRU map from tuple keys to (value, size).
 
-    def __init__(self, name: str, capacity_bytes: int, admission_fraction: float) -> None:
+    Optionally age-bounded: ``ttl_ms`` expires entries a fixed time after
+    admission, ``idle_ms`` expires entries untouched for that long. Expiry
+    is lazy — checked when an entry is read, swept when one is written —
+    against ``now_fn`` (the sim clock), so behavior is deterministic and
+    nothing happens "in the background". Every removal reports its reason
+    (``lru`` / ``ttl`` / ``idle``) through ``on_evict``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        admission_fraction: float,
+        ttl_ms: float | None = None,
+        idle_ms: float | None = None,
+        now_fn: Any = None,
+        on_evict: Any = None,
+    ) -> None:
         self.name = name
         self.capacity_bytes = capacity_bytes
         self.admission_limit = int(capacity_bytes * admission_fraction)
-        self._entries: "OrderedDict[tuple, tuple[Any, int]]" = OrderedDict()
+        self.ttl_ms = ttl_ms
+        self.idle_ms = idle_ms
+        # Entries are [value, size, inserted_ms, touched_ms] lists.
+        self._entries: "OrderedDict[tuple, list]" = OrderedDict()
+        self._now = now_fn or (lambda: 0.0)
+        self._on_evict = on_evict
         self.resident_bytes = 0
         self.stats = TierStats()
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _expiry_reason(self, entry: list, now: float) -> str | None:
+        if self.ttl_ms is not None and now - entry[2] > self.ttl_ms:
+            return "ttl"
+        if self.idle_ms is not None and now - entry[3] > self.idle_ms:
+            return "idle"
+        return None
+
+    def _drop(self, entry: list, reason: str) -> None:
+        self.resident_bytes -= entry[1]
+        if reason == "lru":
+            self.stats.evictions += 1
+        elif reason == "ttl":
+            self.stats.expired_ttl += 1
+        else:
+            self.stats.expired_idle += 1
+        if self._on_evict is not None:
+            self._on_evict(self, reason)
+
+    def sweep(self, now: float | None = None) -> None:
+        """Remove every expired entry (no-op when age bounds are off)."""
+        if self.ttl_ms is None and self.idle_ms is None:
+            return
+        now = self._now() if now is None else now
+        for key, entry in list(self._entries.items()):
+            reason = self._expiry_reason(entry, now)
+            if reason is not None:
+                del self._entries[key]
+                self._drop(entry, reason)
+
     def get(self, key: tuple) -> tuple[Any, int] | None:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
+        now = self._now()
+        reason = self._expiry_reason(entry, now)
+        if reason is not None:
+            del self._entries[key]
+            self._drop(entry, reason)
+            self.stats.misses += 1
+            return None
+        entry[3] = now
         self._entries.move_to_end(key)
         self.stats.hits += 1
         self.stats.hit_bytes += entry[1]
-        return entry
+        return entry[0], entry[1]
 
     def resident_items(self) -> "list[tuple[tuple, int]]":
         """``(key, size_bytes)`` pairs, LRU order — a *read-only* view that,
         unlike :meth:`get`, touches neither the recency order nor the
         hit/miss stats (planner probes must not perturb the cache)."""
-        return [(key, size) for key, (_, size) in self._entries.items()]
+        return [(key, entry[1]) for key, entry in self._entries.items()]
 
     def put(self, key: tuple, value: Any, size_bytes: int) -> bool:
         """Admit ``(key, value)``; returns False if rejected by size."""
         if size_bytes > self.admission_limit or size_bytes > self.capacity_bytes:
             self.stats.admission_rejects += 1
             return False
+        now = self._now()
+        self.sweep(now)
         old = self._entries.pop(key, None)
         if old is not None:
             self.resident_bytes -= old[1]
         while self._entries and self.resident_bytes + size_bytes > self.capacity_bytes:
-            _, (_, evicted_size) = self._entries.popitem(last=False)
-            self.resident_bytes -= evicted_size
-            self.stats.evictions += 1
-        self._entries[key] = (value, size_bytes)
+            _, entry = self._entries.popitem(last=False)
+            self._drop(entry, "lru")
+        self._entries[key] = [value, size_bytes, now, now]
         self.resident_bytes += size_bytes
         return True
 
@@ -141,10 +212,20 @@ class DataCache:
         self.ctx = ctx
         self.config = config or CacheConfig()
         fraction = self.config.admission_fraction
-        self.footers = CacheTier("footer", self.config.footer_capacity_bytes, fraction)
-        self.chunks = CacheTier("chunk", self.config.chunk_capacity_bytes, fraction)
+        tier_kwargs = dict(
+            ttl_ms=self.config.ttl_ms,
+            idle_ms=self.config.idle_ms,
+            now_fn=lambda: ctx.clock.now_ms,
+            on_evict=self._on_evict,
+        )
+        self.footers = CacheTier(
+            "footer", self.config.footer_capacity_bytes, fraction, **tier_kwargs
+        )
+        self.chunks = CacheTier(
+            "chunk", self.config.chunk_capacity_bytes, fraction, **tier_kwargs
+        )
         self.dictionaries = CacheTier(
-            "dictionary", self.config.dictionary_capacity_bytes, fraction
+            "dictionary", self.config.dictionary_capacity_bytes, fraction, **tier_kwargs
         )
 
     @property
@@ -184,12 +265,12 @@ class DataCache:
             "repro_cache_resident_bytes", "bytes currently resident per cache tier"
         ).set(tier.resident_bytes, tier=tier.name)
 
-    def _count_eviction(self, tier: CacheTier, evicted_before: int) -> None:
-        delta = tier.stats.evictions - evicted_before
-        if delta:
-            self.ctx.metrics.counter(
-                "repro_cache_evictions_total", "data-cache LRU evictions"
-            ).inc(delta, tier=tier.name)
+    def _on_evict(self, tier: CacheTier, reason: str) -> None:
+        """Tier eviction callback: one metric, split by tier and by why the
+        entry left (``lru`` pressure vs ``ttl``/``idle`` age bounds)."""
+        self.ctx.metrics.counter(
+            "repro_cache_evictions_total", "data-cache evictions"
+        ).inc(tier=tier.name, reason=reason)
 
     # -- footer tier --------------------------------------------------------
 
@@ -221,9 +302,7 @@ class DataCache:
         # Footers are tiny relative to data; account them at a nominal
         # serialized size so the tier bound still means something.
         footer_bytes = 256 + 64 * sum(len(rg.columns) for rg in footer.row_groups)
-        before = self.footers.stats.evictions
         self.footers.put((bucket, key, generation), (footer, size_bytes), footer_bytes)
-        self._count_eviction(self.footers, before)
 
     # -- chunk tier ---------------------------------------------------------
 
@@ -257,9 +336,7 @@ class DataCache:
             return
         if not self._guard("cache.put", self.chunks):
             return
-        before = self.chunks.stats.evictions
         self.chunks.put((bucket, key, generation, rg_index, column), value, size_bytes)
-        self._count_eviction(self.chunks, before)
 
     def warm_chunk_bytes(self, bucket: str, key: str, generation: int) -> int:
         """Source bytes of one object currently resident in the chunk tier.
@@ -307,9 +384,7 @@ class DataCache:
                 return DictionaryColumn(dtype, decoded.codes, entry[0])
             self._count(self.dictionaries, hit=False)
         if self._guard("cache.put", self.dictionaries):
-            before = self.dictionaries.stats.evictions
             self.dictionaries.put(digest, decoded.dictionary, dict_len)
-            self._count_eviction(self.dictionaries, before)
         return decoded
 
     # -- reporting ----------------------------------------------------------
@@ -347,6 +422,8 @@ class DataCache:
                 "hits": s.hits,
                 "misses": s.misses,
                 "evictions": s.evictions,
+                "expired_ttl": s.expired_ttl,
+                "expired_idle": s.expired_idle,
                 "admission_rejects": s.admission_rejects,
                 "hit_bytes": s.hit_bytes,
                 "hit_ratio": round(s.hit_ratio, 6),

@@ -23,6 +23,7 @@ from repro.obs.system_tables import SystemTables
 from repro.security.audit import AuditLog
 from repro.security.connections import ConnectionManager
 from repro.security.iam import IamService, Principal, Role
+from repro.serving.jobs import JobQueue, JobsApi, ServingConfig
 from repro.simtime import SimContext
 from repro.sql.expressions import FunctionRegistry
 from repro.storageapi.managed import ManagedStorage
@@ -42,6 +43,9 @@ class PlatformConfig:
     # Slot-local multi-tier data cache (footer/chunk/dictionary tiers);
     # CacheConfig(enabled=False) reproduces the always-cold baseline.
     data_cache: CacheConfig = field(default_factory=CacheConfig)
+    # Concurrency policy for the shared slot pool / async jobs API
+    # (admission control seats, inter-stage overlap, per-principal weights).
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
 
 class LakehousePlatform:
@@ -61,6 +65,11 @@ class LakehousePlatform:
         self.functions = FunctionRegistry()
         self.data_cache = DataCache(self.ctx, self.config.data_cache)
         self.history = JobHistory(capacity=self.config.job_history_capacity)
+        # One admission-control queue + shared slot pool per project: every
+        # engine's execute()/submit() routes through it (the async jobs
+        # API), and jobs_api is its REST-shaped facade.
+        self.job_queue = JobQueue(history=self.history, config=self.config.serving)
+        self.jobs_api = JobsApi(self.job_queue)
         self.system_tables = SystemTables(
             project=self.config.project,
             history=self.history,
@@ -143,6 +152,9 @@ class LakehousePlatform:
             self.ml.attach(engine)
         engine.history = self.history
         engine.system_tables = self.system_tables
+        engine.job_queue = self.job_queue
+        if self.job_queue.default_engine is None:
+            self.job_queue.default_engine = engine
 
     def engine(self, name: str) -> QueryEngine:
         try:
@@ -189,6 +201,21 @@ class LakehousePlatform:
     def metrics_text(self) -> str:
         """The Prometheus text exposition of every platform metric."""
         return self.ctx.metrics.render()
+
+    # -- serving -----------------------------------------------------------------
+
+    def submit(self, sql: str, principal: Principal, *, engine: QueryEngine | None = None, snapshot_ms: float | None = None):
+        """``jobs.insert``: enqueue a statement on the shared slot pool and
+        return its :class:`~repro.serving.jobs.QueryJob` handle. The job
+        stays PENDING (visible in ``INFORMATION_SCHEMA.JOBS``) until a
+        ``wait()``/``drain()`` runs the queued batch."""
+        return self.job_queue.submit(
+            sql, principal, engine=engine or self.home_engine, snapshot_ms=snapshot_ms
+        )
+
+    def drain(self) -> None:
+        """Run every queued job to a terminal state (shared-pool batch)."""
+        self.job_queue.drain()
 
     def job(self, job_id: str):
         """Look up one job record from the platform history."""

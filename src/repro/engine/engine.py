@@ -190,6 +190,10 @@ class QueryResult:
     cross_cloud: dict | None = None  # set by the cross-cloud planner
     # The query's span tree (repro.obs.Span) when tracing was enabled.
     trace: Any | None = None
+    # The zero-duration ``scheduler.simulate`` marker span, stashed when
+    # the pool (not finalize) will produce the verdict — the job queue
+    # tags it once the shared-pool simulation settles.
+    sched_span: Any | None = None
 
     @property
     def num_rows(self) -> int:
@@ -279,6 +283,14 @@ class QueryEngine:
         # INFORMATION_SCHEMA names fall through to the catalog.
         self.history = None  # repro.obs.history.JobHistory
         self.system_tables = None  # repro.obs.system_tables.SystemTables
+        # The serving-layer job queue execute() submits through. Platform
+        # wiring points every engine at the shared platform queue (one
+        # admission-control queue + slot pool per project); bare engines
+        # lazily get a private queue so execute() has a single code path.
+        self.job_queue = None  # repro.serving.jobs.JobQueue
+        # Root span of the most recent _execute_statement call (survives
+        # exceptions so the queue can attach traces to failed jobs).
+        self._last_root = None
 
     # -- registration -------------------------------------------------------
 
@@ -365,150 +377,62 @@ class QueryEngine:
         the platform's job history, queryable afterwards through
         ``INFORMATION_SCHEMA.JOBS`` / ``JOBS_TIMELINE``. Audit events
         emitted while the statement runs carry its job id.
+
+        Since the serving redesign this is a thin blocking wrapper over
+        the async jobs API — ``submit(...).wait()`` — so a solo execute()
+        is just a one-job batch on the shared slot pool and there is a
+        single lifecycle/history/metrics code path for both styles.
         """
-        sql_text = sql_or_select if isinstance(sql_or_select, str) else ""
-        job_id = self.history.next_job_id() if self.history is not None else ""
-        start_ms = self.ctx.clock.now_ms
-        metering_before = (
-            self.ctx.metering.snapshot() if self.history is not None else None
+        return self.submit(
+            sql_or_select, principal, snapshot_ms=snapshot_ms
+        ).wait()
+
+    def submit(
+        self,
+        sql_or_select: str | ast.Select,
+        principal: Principal,
+        *,
+        snapshot_ms: float | None = None,
+    ):
+        """``jobs.insert``: enqueue a statement, return its
+        :class:`~repro.serving.jobs.QueryJob` handle (PENDING until a
+        ``wait()`` drains the queue over the shared slot pool)."""
+        if self.job_queue is None:
+            from repro.serving.jobs import JobQueue
+
+            self.job_queue = JobQueue(default_engine=self)
+        return self.job_queue.submit(
+            sql_or_select, principal, engine=self, snapshot_ms=snapshot_ms
         )
-        retries_before = self.ctx.metering.op_counts.get("repro.retry", 0)
-        degraded_before = self.ctx.metering.op_counts.get("repro.degraded", 0)
-        # Some read-api stand-ins (e.g. the Spark direct-mode reader) carry
-        # no audit log; job correlation simply doesn't apply there.
-        audit = getattr(self.read_api, "audit", None)
-        prev_job_id = audit.current_job_id if audit is not None else ""
-        if audit is not None:
-            audit.current_job_id = job_id
+
+    def _execute_statement(
+        self,
+        statement: ast.Statement,
+        principal: Principal,
+        kind: str,
+        snapshot_ms: float | None = None,
+    ) -> QueryResult:
+        """Run one already-validated statement under the root ``query``
+        span — the execution half of the old execute(). Lifecycle, job
+        history, and query metrics live in :class:`repro.serving.JobQueue`;
+        the root span is kept on ``self._last_root`` (even on failure) so
+        the queue can attach traces to failed jobs."""
         tracer = self.ctx.tracer
-        kind = "invalid"
-        root = None
-        try:
-            if isinstance(sql_or_select, str):
-                statement = parse_statement(sql_or_select)
-            else:
-                statement = sql_or_select
-                sql_text = f"<{type(statement).__name__} AST>"
-            is_select = isinstance(statement, ast.Select)
-            if is_select:
-                kind = "select"
-            elif snapshot_ms is not None:
-                kind = type(statement).__name__.lower()
-                raise AnalysisError("snapshot_ms applies to SELECT statements only")
-            elif self.dml_handler is None:
-                kind = type(statement).__name__.lower()
-                raise QueryError(
-                    f"{type(statement).__name__} requires a DML handler "
-                    "(wire the engine through a table manager)"
+        self._last_root = None
+        with tracer.span(
+            "query", layer="engine", engine=self.name, kind=kind
+        ) as root:
+            self._last_root = root
+            if isinstance(statement, ast.Select):
+                result = self._run_plan(
+                    self.plan(statement), principal, snapshot_ms=snapshot_ms,
+                    finalize=False,
                 )
             else:
-                kind = type(statement).__name__.lower()
-            with tracer.span("query", layer="engine", engine=self.name, kind=kind) as root:
-                if is_select:
-                    result = self._run_plan(
-                        self.plan(statement), principal, snapshot_ms=snapshot_ms
-                    )
-                else:
-                    result = self.dml_handler.execute_dml(statement, self, principal)
-        except Exception as exc:
-            self._record_job(
-                job_id, principal, sql_text, kind, error=str(exc),
-                trace=root if tracer.enabled else None,
-                start_ms=start_ms, metering_before=metering_before,
-                retry_count=self.ctx.metering.op_counts.get("repro.retry", 0)
-                - retries_before,
-                degraded=self.ctx.metering.op_counts.get("repro.degraded", 0)
-                > degraded_before,
-            )
-            raise
-        finally:
-            if audit is not None:
-                audit.current_job_id = prev_job_id
+                result = self.dml_handler.execute_dml(statement, self, principal)
         if tracer.enabled:
             result.trace = root
-        metrics = self.ctx.metrics
-        metrics.counter("queries_total", "statements executed").inc(
-            engine=self.name, kind=kind
-        )
-        metrics.counter(
-            "query_bytes_scanned_total", "bytes scanned on behalf of queries"
-        ).inc(result.stats.bytes_scanned, engine=self.name)
-        metrics.histogram(
-            "query_elapsed_ms", "modeled slot-limited query latency"
-        ).observe(result.stats.elapsed_ms, engine=self.name)
-        result.stats.retry_count = (
-            self.ctx.metering.op_counts.get("repro.retry", 0) - retries_before
-        )
-        result.stats.degraded = (
-            self.ctx.metering.op_counts.get("repro.degraded", 0) > degraded_before
-        )
-        self._record_job(
-            job_id, principal, sql_text, kind, result=result,
-            trace=result.trace, start_ms=start_ms, metering_before=metering_before,
-            retry_count=result.stats.retry_count, degraded=result.stats.degraded,
-        )
         return result
-
-    def _record_job(
-        self,
-        job_id: str,
-        principal: Principal,
-        sql_text: str,
-        kind: str,
-        *,
-        result: QueryResult | None = None,
-        error: str = "",
-        trace: Any | None = None,
-        start_ms: float = 0.0,
-        metering_before: Any | None = None,
-        retry_count: int = 0,
-        degraded: bool = False,
-    ) -> None:
-        """Persist one execution into the platform job history (no-op for
-        bare engines constructed without a platform)."""
-        if self.history is None:
-            return
-        from repro.obs.history import FAILED, SUCCEEDED, JobRecord, record_from_trace
-
-        end_ms = self.ctx.clock.now_ms
-        delta = (
-            self.ctx.metering.delta_since(metering_before)
-            if metering_before is not None
-            else None
-        )
-        stats = result.stats if result is not None else None
-        record = JobRecord(
-            job_id=job_id,
-            principal=str(principal),
-            sql=sql_text,
-            kind=kind,
-            engine=self.name,
-            state=SUCCEEDED if result is not None else FAILED,
-            error=error,
-            start_ms=start_ms,
-            end_ms=end_ms,
-            total_ms=stats.elapsed_ms if stats is not None else end_ms - start_ms,
-            slot_ms=stats.slot_ms if stats is not None else 0.0,
-            bytes_scanned=stats.bytes_scanned if stats is not None else 0,
-            rows_scanned=stats.rows_scanned if stats is not None else 0,
-            rows_produced=result.num_rows if result is not None else 0,
-            files_read=stats.files_read if stats is not None else 0,
-            files_total=stats.files_total if stats is not None else 0,
-            shuffle_partitions=stats.shuffle_partitions if stats is not None else 0,
-            compute_parallelism=stats.compute_parallelism if stats is not None else 0,
-            bytes_read=delta.bytes_read if delta is not None else 0,
-            bytes_written=delta.bytes_written if delta is not None else 0,
-            bytes_egressed=delta.total_egress() if delta is not None else 0,
-            retry_count=retry_count,
-            degraded=degraded,
-            cache_hit_bytes=stats.cache_hit_bytes if stats is not None else 0,
-            cache_hit_ratio=stats.cache_hit_ratio if stats is not None else 0.0,
-            task_skew=stats.task_skew if stats is not None else 1.0,
-            speculative_count=stats.speculative_count if stats is not None else 0,
-            task_timeline=list(stats.task_timeline) if stats is not None else [],
-            trace=trace,
-        )
-        self.history.record(record_from_trace(record))
 
     def query(
         self,
@@ -549,7 +473,14 @@ class QueryEngine:
         plan: PlanNode,
         principal: Principal,
         snapshot_ms: float | None = None,
+        finalize: bool = True,
     ) -> QueryResult:
+        """Execute a physical plan. With ``finalize=True`` (direct callers:
+        the cross-cloud planner's regional subqueries) the single-query
+        scheduler settles the elapsed-time verdict here, as it always has.
+        The job queue passes ``finalize=False``: the real work still runs,
+        but the schedulable shape is handed to the shared slot pool, which
+        produces the verdict under multi-query contention."""
         stats = QueryStats()
         ctx = ExecContext(
             engine=self,
@@ -562,18 +493,23 @@ class QueryEngine:
         # The scheduler runs on model time only — the span below is
         # zero-duration on the sim clock, a marker carrying the verdict.
         with self.ctx.tracer.span("scheduler.simulate", layer="scheduler") as span:
-            stats.finalize(
-                self.slots, self.ctx.costs.slot_startup_ms, self.shuffle_partitions,
-                faults=self.ctx.faults, speculation=self.speculation,
-            )
-            if stats.task_timeline:
-                span.set_tag("tasks", sum(s.tasks for s in stats.scan_stages))
-                span.set_tag("task_skew", round(stats.task_skew, 4))
-                span.set_tag("speculative", stats.speculative_count)
-        self._record_scheduler_metrics(stats)
-        return QueryResult(
+            if finalize:
+                stats.finalize(
+                    self.slots, self.ctx.costs.slot_startup_ms, self.shuffle_partitions,
+                    faults=self.ctx.faults, speculation=self.speculation,
+                )
+                if stats.task_timeline:
+                    span.set_tag("tasks", sum(s.tasks for s in stats.scan_stages))
+                    span.set_tag("task_skew", round(stats.task_skew, 4))
+                    span.set_tag("speculative", stats.speculative_count)
+        if finalize:
+            self._record_scheduler_metrics(stats)
+        result = QueryResult(
             schema=plan.schema, batches=batches, stats=stats, plan_text=plan.describe()
         )
+        if not finalize:
+            result.sched_span = span
+        return result
 
     def _record_scheduler_metrics(self, stats: QueryStats) -> None:
         if not stats.task_timeline:

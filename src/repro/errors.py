@@ -101,6 +101,15 @@ class ExecutionError(QueryError):
     """Runtime failure while executing a (valid) plan."""
 
 
+class JobCancelledError(QueryError):
+    """The job was cancelled (by its owner or an admin) before completion.
+
+    Raised by :meth:`repro.serving.QueryJob.wait` / ``get_query_results``
+    when the job reached the ``CANCELLED`` terminal state. Deliberately not
+    transient: resubmission is a caller decision, not a retry.
+    """
+
+
 class TransientExecutionError(ExecutionError, TransientError):
     """A worker task died mid-flight (slot preemption / worker restart)."""
 

@@ -21,9 +21,18 @@ from typing import Any
 from repro.errors import NotFoundError
 from repro.obs.trace import Span, layer_breakdown
 
-#: Terminal job states (mirrors the BigQuery job lifecycle's end states).
+#: Job lifecycle states (mirrors the BigQuery job lifecycle). BigQuery
+#: reports one ``DONE`` state plus an error result; we disaggregate the
+#: terminal state into SUCCEEDED / FAILED / CANCELLED so history queries
+#: need no error-presence join.
+PENDING = "PENDING"
+RUNNING = "RUNNING"
 SUCCEEDED = "SUCCEEDED"
 FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+#: States a job can never leave.
+DONE_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED})
 
 #: Span-id floor for synthetic scheduler.task timeline rows (real span ids
 #: are small monotonically assigned ints; this keeps the ranges disjoint).
@@ -39,10 +48,16 @@ class JobRecord:
     sql: str
     kind: str  # select / insertvalues / delete / ... (statement kind)
     engine: str
-    state: str  # SUCCEEDED | FAILED
+    state: str  # PENDING | RUNNING | SUCCEEDED | FAILED | CANCELLED
     error: str = ""
+    # Lifecycle timestamps (sim-clock ms): creation_ms is stamped at
+    # submit time by the job queue, start_ms at admission onto the slot
+    # pool, end_ms at the terminal transition. queue_wait_ms is the
+    # admission delay (start - creation) the serving benchmarks report.
+    creation_ms: float = 0.0
     start_ms: float = 0.0
     end_ms: float = 0.0
+    queue_wait_ms: float = 0.0
     # Modeled slot-limited latency for successes; sim wall time for failures.
     total_ms: float = 0.0
     slot_ms: float = 0.0
@@ -78,6 +93,10 @@ class JobRecord:
     @property
     def succeeded(self) -> bool:
         return self.state == SUCCEEDED
+
+    @property
+    def done(self) -> bool:
+        return self.state in DONE_STATES
 
 
 def timeline_rows(record: JobRecord) -> list[tuple]:
@@ -209,6 +228,7 @@ def job_summary(record: JobRecord) -> dict[str, Any]:
         "state": record.state,
         "kind": record.kind,
         "total_ms": round(record.total_ms, 3),
+        "queue_wait_ms": round(record.queue_wait_ms, 3),
         "bytes_scanned": record.bytes_scanned,
         "layers_ms": dict(record.layers_ms),
     }

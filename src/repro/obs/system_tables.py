@@ -72,6 +72,8 @@ JOBS_SCHEMA = Schema.of(
     ("cache_hit_ratio", DataType.FLOAT64),
     ("task_skew", DataType.FLOAT64),
     ("speculative_count", DataType.INT64),
+    ("creation_ms", DataType.FLOAT64),
+    ("queue_wait_ms", DataType.FLOAT64),
 )
 
 JOBS_TIMELINE_SCHEMA = Schema.of(
@@ -272,6 +274,8 @@ class SystemTables:
                 r.cache_hit_ratio,
                 r.task_skew,
                 r.speculative_count,
+                r.creation_ms,
+                r.queue_wait_ms,
             )
             for r in self._visible_jobs(principal)
         ]

@@ -1,0 +1,720 @@
+"""BigQuery-style async jobs API over the shared slot pool.
+
+The query entry point of PRs 1–5 was ``QueryEngine.execute()`` — strictly
+one statement at a time, scheduler private to the query. This module
+redesigns it the way BigQuery's control plane works:
+
+* :meth:`JobQueue.submit` (``jobs.insert``-shaped) parses + validates the
+  statement, reserves a job id, stamps ``creation_time``, and records a
+  ``PENDING`` :class:`~repro.obs.history.JobRecord` — the job is in
+  ``INFORMATION_SCHEMA.JOBS`` *before* it runs.
+* :meth:`QueryJob.wait` (``getQueryResults``-shaped) drains the queue:
+  every pending job is admitted onto one shared
+  :class:`~repro.serving.pool.SlotPool` (admission control, fair-share
+  across principals, FIFO within), transitions ``PENDING → RUNNING →
+  SUCCEEDED/FAILED/CANCELLED``, and lands its verdict in history with
+  real ``creation/start/end`` timestamps and ``queue_wait_ms``.
+* ``QueryEngine.execute()`` survives as a thin ``submit()+wait()``
+  wrapper, so the blocking API is a special case of the async one —
+  single code path, no behavior change for existing callers.
+
+Determinism: submission order fixes admission order per seat, the *real*
+work of each job (actual scanning, actual fault probes) happens serially
+in admission order, and the pool interleaves only *model* time — so a
+seeded many-principal run replays byte-identically, chaos plans included.
+
+Statements submitted while a drain (or an inline nested execution) is in
+progress — e.g. the SELECT inside a CTAS — execute inline through the
+classic single-query path: their stats are finalized by
+:meth:`~repro.engine.engine.QueryStats.finalize` exactly as before, and
+the enclosing job passes through the pool as opaque seat occupancy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import JobCancelledError, QueryError
+from repro.obs.history import (
+    CANCELLED,
+    DONE_STATES,
+    FAILED,
+    PENDING,
+    RUNNING,
+    SUCCEEDED,
+    JobRecord,
+    record_from_trace,
+)
+from repro.serving.pool import (
+    JobVerdict,
+    PoolArrival,
+    PoolExecution,
+    PoolOpaque,
+    PoolStage,
+    SlotPool,
+)
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+if TYPE_CHECKING:
+    from repro.engine.engine import QueryEngine, QueryResult
+    from repro.security.iam import Principal
+
+
+@dataclass
+class ServingConfig:
+    """Concurrency policy for the platform's shared slot pool."""
+
+    # Admission control: jobs concurrently drawing from the slot pool.
+    max_concurrent_jobs: int = 8
+    # Inter-stage overlap: a stage's tasks become runnable as soon as
+    # their input partitions land. Off by default so solo queries keep the
+    # exact single-query scheduler verdict; the serve driver turns it on.
+    inter_stage_overlap: bool = False
+    # Reservation weights per principal ("user:alice" form); a principal
+    # with weight 2 gets twice the slot share of weight 1 under contention.
+    weights: dict[str, float] = field(default_factory=dict)
+
+
+class QueryJob:
+    """Handle to one submitted statement (``jobs.insert`` resource)."""
+
+    def __init__(
+        self,
+        queue: "JobQueue",
+        engine: "QueryEngine",
+        principal: "Principal",
+        job_id: str,
+        creation_ms: float,
+        sql: str,
+        snapshot_ms: float | None = None,
+    ) -> None:
+        self.queue = queue
+        self.engine = engine
+        self.principal = principal
+        self.job_id = job_id
+        self.creation_ms = creation_ms
+        self.sql = sql
+        self.snapshot_ms = snapshot_ms
+        self.kind = "invalid"
+        self.statement: ast.Statement | None = None
+        self.record: JobRecord | None = None
+        self.state = PENDING
+        self.start_ms = 0.0
+        self.end_ms = 0.0
+        self.queue_wait_ms = 0.0
+        self._result: "QueryResult | None" = None
+        self._error: BaseException | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state in DONE_STATES
+
+    def wait(self) -> "QueryResult":
+        """Block (in sim terms: drain the queue) until this job reaches a
+        terminal state; return its result or re-raise its error."""
+        if not self.done:
+            self.queue.drain()
+        if self.state == CANCELLED:
+            raise JobCancelledError(f"job {self.job_id or '<unnamed>'} was cancelled")
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            raise QueryError(f"job {self.job_id or '<unnamed>'} produced no result")
+        return self._result
+
+    def result(self) -> "QueryResult":
+        """Alias for :meth:`wait` (concurrent.futures spelling)."""
+        return self.wait()
+
+    def cancel(self) -> bool:
+        """Request cancellation. Queued jobs are dropped before admission;
+        running jobs have their remaining work descheduled at current model
+        time. Returns False once the job is already terminal."""
+        return self.queue._cancel(self)
+
+    def to_api_resource(self) -> dict[str, Any]:
+        """The ``jobs.get``-shaped JSON view of this job."""
+        out: dict[str, Any] = {
+            "jobReference": {"jobId": self.job_id},
+            "user_email": str(self.principal),
+            "configuration": {"query": {"query": self.sql}},
+            "statistics": {
+                "creationTime": round(self.creation_ms, 6),
+                "startTime": round(self.start_ms, 6),
+                "endTime": round(self.end_ms, 6),
+                "queueWaitMs": round(self.queue_wait_ms, 6),
+            },
+            "status": {"state": self.state},
+        }
+        if self._error is not None:
+            out["status"]["errorResult"] = {"message": str(self._error)}
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"QueryJob({self.job_id or '<unnamed>'}, {self.state})"
+
+
+class JobQueue:
+    """The admission-control queue feeding one platform's slot pool."""
+
+    def __init__(
+        self,
+        history=None,
+        config: ServingConfig | None = None,
+        default_engine: "QueryEngine | None" = None,
+    ) -> None:
+        self.history = history
+        self.config = config or ServingConfig()
+        self.default_engine = default_engine
+        self._pending: list[QueryJob] = []
+        self._jobs_by_id: dict[str, QueryJob] = {}
+        self._depth = 0  # >0 while executing (drain or inline): nested
+        # submits run inline through the classic single-query path.
+        self._active_pool: SlotPool | None = None
+        self._active_keys: dict[int, QueryJob] = {}
+        self._on_admit_hooks: list[Any] = []
+
+    # -- submission ---------------------------------------------------------
+
+    def on_admit(self, hook) -> None:
+        """Register ``hook(job)`` to fire when a job is admitted onto the
+        pool, before its real work runs — the deterministic seam tests use
+        to cancel a queued or running job mid-batch."""
+        self._on_admit_hooks.append(hook)
+
+    def submit(
+        self,
+        sql_or_select: "str | ast.Statement",
+        principal: "Principal",
+        *,
+        engine: "QueryEngine | None" = None,
+        snapshot_ms: float | None = None,
+    ) -> QueryJob:
+        """``jobs.insert``: parse + validate, reserve a job id, record a
+        PENDING job. Validation failures record a FAILED job and raise
+        immediately (they never occupy the pool)."""
+        engine = engine or self.default_engine
+        if engine is None:
+            raise QueryError("JobQueue has no engine to run statements on")
+        sql_text = sql_or_select if isinstance(sql_or_select, str) else (
+            f"<{type(sql_or_select).__name__} AST>"
+        )
+        job_id = self.history.next_job_id() if self.history is not None else ""
+        creation_ms = engine.ctx.clock.now_ms
+        job = QueryJob(
+            queue=self, engine=engine, principal=principal, job_id=job_id,
+            creation_ms=creation_ms, sql=sql_text, snapshot_ms=snapshot_ms,
+        )
+        try:
+            statement = (
+                parse_statement(sql_or_select)
+                if isinstance(sql_or_select, str)
+                else sql_or_select
+            )
+            if isinstance(statement, ast.Select):
+                job.kind = "select"
+            elif snapshot_ms is not None:
+                job.kind = type(statement).__name__.lower()
+                from repro.errors import AnalysisError
+
+                raise AnalysisError("snapshot_ms applies to SELECT statements only")
+            elif engine.dml_handler is None:
+                job.kind = type(statement).__name__.lower()
+                raise QueryError(
+                    f"{type(statement).__name__} requires a DML handler "
+                    "(wire the engine through a table manager)"
+                )
+            else:
+                job.kind = type(statement).__name__.lower()
+        except Exception as exc:
+            job.state = FAILED
+            job._error = exc
+            job.start_ms = job.end_ms = creation_ms
+            self._record_terminal(job, error=str(exc))
+            raise
+        job.statement = statement
+        job.record = self._record_pending(job)
+        self._register(job)
+        if self._depth:
+            self._run_inline(job)
+        else:
+            self._pending.append(job)
+        return job
+
+    def get(self, job_id: str) -> QueryJob:
+        """Look up a submitted job by id (``jobs.get``)."""
+        try:
+            return self._jobs_by_id[job_id]
+        except KeyError:
+            from repro.errors import NotFoundError
+
+            raise NotFoundError(f"job {job_id!r} not known to the queue") from None
+
+    def _register(self, job: QueryJob) -> None:
+        if not job.job_id:
+            return
+        self._jobs_by_id[job.job_id] = job
+        # Bound the lookup map the way history bounds its ring.
+        cap = self.history.capacity if self.history is not None else 256
+        while len(self._jobs_by_id) > cap:
+            self._jobs_by_id.pop(next(iter(self._jobs_by_id)))
+
+    # -- cancellation -------------------------------------------------------
+
+    def _cancel(self, job: QueryJob) -> bool:
+        if job.done:
+            return False
+        if job in self._pending:
+            self._pending.remove(job)
+            job.state = CANCELLED
+            job.end_ms = job.engine.ctx.clock.now_ms
+            self._finish_cancelled(job, end_abs=job.end_ms)
+            return True
+        if self._active_pool is not None:
+            for key, active in self._active_keys.items():
+                if active is job:
+                    return self._active_pool.cancel(key)
+        return False
+
+    # -- drain: the shared-pool batch ---------------------------------------
+
+    def drain(self) -> None:
+        """Run every pending job to a terminal state over the shared pool."""
+        if self._depth:
+            raise QueryError("JobQueue.drain() re-entered during execution")
+        while self._pending:
+            batch, self._pending = self._pending, []
+            # One pool per engine: slots are an engine resource. Groups
+            # run in first-submission order, deterministically.
+            groups: dict[Any, list[QueryJob]] = {}
+            for job in batch:
+                groups.setdefault(job.engine, []).append(job)
+            for engine, jobs in groups.items():
+                self._drain_engine(engine, jobs)
+
+    def _drain_engine(self, engine: "QueryEngine", jobs: list[QueryJob]) -> None:
+        anchor = jobs[0].creation_ms
+        arrivals = [
+            PoolArrival(
+                key=i, principal=str(job.principal),
+                arrival_ms=job.creation_ms - anchor,
+            )
+            for i, job in enumerate(jobs)
+        ]
+        pool = SlotPool(
+            slots=engine.slots,
+            max_concurrent_jobs=self.config.max_concurrent_jobs,
+            inter_stage_overlap=self.config.inter_stage_overlap,
+            weights=self.config.weights,
+        )
+        outcomes: dict[int, dict[str, Any]] = {}
+        self._active_pool = pool
+        self._active_keys = {i: job for i, job in enumerate(jobs)}
+        self._depth += 1
+        try:
+            verdicts = pool.run(
+                arrivals,
+                lambda key, admitted_ms: self._execute_for_pool(
+                    jobs[key], anchor, admitted_ms, outcomes, key
+                ),
+                on_admit=self._fire_admit_hooks,
+            )
+        finally:
+            self._depth -= 1
+            self._active_pool = None
+            self._active_keys = {}
+        for key, job in enumerate(jobs):
+            self._settle(job, anchor, verdicts.get(key), outcomes.get(key))
+
+    def _fire_admit_hooks(self, key: int, admitted_ms: float) -> None:
+        job = self._active_keys[key]
+        for hook in self._on_admit_hooks:
+            hook(job)
+
+    def _execute_for_pool(
+        self,
+        job: QueryJob,
+        anchor: float,
+        admitted_ms: float,
+        outcomes: dict[int, dict[str, Any]],
+        key: int,
+    ):
+        """The pool's admission callback: run the job's *real* work on the
+        sim clock, report its schedulable shape back in model time."""
+        engine = job.engine
+        ctx = engine.ctx
+        job.state = RUNNING
+        job.start_ms = anchor + admitted_ms
+        job.queue_wait_ms = job.start_ms - job.creation_ms
+        if job.record is not None:
+            job.record.state = RUNNING
+            job.record.start_ms = job.start_ms
+            job.record.queue_wait_ms = job.queue_wait_ms
+        metering_before = ctx.metering.snapshot() if self.history is not None else None
+        retries_before = ctx.metering.op_counts.get("repro.retry", 0)
+        degraded_before = ctx.metering.op_counts.get("repro.degraded", 0)
+        audit = getattr(engine.read_api, "audit", None)
+        prev_job_id = audit.current_job_id if audit is not None else ""
+        if audit is not None:
+            audit.current_job_id = job.job_id
+        clock_before = ctx.clock.now_ms
+        try:
+            result = engine._execute_statement(
+                job.statement, job.principal, job.kind, job.snapshot_ms
+            )
+        except Exception as exc:
+            outcomes[key] = {
+                "error": exc,
+                "trace": engine._last_root if ctx.tracer.enabled else None,
+                "metering_before": metering_before,
+                "retry_count": ctx.metering.op_counts.get("repro.retry", 0)
+                - retries_before,
+                "degraded": ctx.metering.op_counts.get("repro.degraded", 0)
+                > degraded_before,
+            }
+            return PoolOpaque(ctx.clock.now_ms - clock_before, failed=True)
+        finally:
+            if audit is not None:
+                audit.current_job_id = prev_job_id
+        outcomes[key] = {
+            "result": result,
+            "metering_before": metering_before,
+            "retry_count": ctx.metering.op_counts.get("repro.retry", 0)
+            - retries_before,
+            "degraded": ctx.metering.op_counts.get("repro.degraded", 0)
+            > degraded_before,
+        }
+        if job.kind != "select":
+            # DML shells: inner statements already ran as inline jobs (and
+            # CTAS reuses the inner stats); model them as seat occupancy,
+            # exactly the serial path's timing.
+            return PoolOpaque(ctx.clock.now_ms - clock_before)
+        stats = result.stats
+        faults = ctx.faults
+        stages = []
+        for stage in stats.scan_stages:
+            slow = [1.0] * stage.tasks
+            if faults is not None:
+                # Same hazard point, same order as the single-query
+                # scheduler: once per task, index order — the fault RNG
+                # stream is independent of pool state.
+                for i in range(stage.tasks):
+                    slow[i] = faults.slowdown("task.slow", stage=stage.stage, task=i)
+            stages.append(PoolStage(stage.stage, list(stage.task_costs), slow))
+        # Legacy wave model for stage-less scan work (ML batch scoring).
+        leftover_tasks = stats.scan_tasks - sum(s.tasks for s in stats.scan_stages)
+        leftover_ms = stats.scan_work_ms - sum(s.scan_ms for s in stats.scan_stages)
+        tail_ms = 0.0
+        if leftover_ms > 1e-9:
+            tasks = max(1, leftover_tasks)
+            waves = math.ceil(tasks / max(1, engine.slots))
+            tail_ms = leftover_ms * waves / tasks
+        return PoolExecution(
+            prelude_ms=ctx.costs.slot_startup_ms + stats.planning_ms,
+            stages=stages,
+            tail_ms=tail_ms,
+            compute_ms=stats.compute_ms,
+            compute_tasks=max(1, min(engine.slots, engine.shuffle_partitions)),
+            speculation=engine.speculation,
+        )
+
+    # -- terminal transitions -----------------------------------------------
+
+    def _settle(
+        self,
+        job: QueryJob,
+        anchor: float,
+        verdict: JobVerdict | None,
+        outcome: dict[str, Any] | None,
+    ) -> None:
+        if verdict is None:  # defensive: the pool verdicts every arrival
+            return
+        end_abs = anchor + verdict.end_ms
+        if verdict.state == "cancelled":
+            job.state = CANCELLED
+            job.end_ms = end_abs
+            if verdict.admitted:
+                job.start_ms = anchor + verdict.admitted_ms
+                job.queue_wait_ms = verdict.queue_wait_ms
+            self._finish_cancelled(job, end_abs=end_abs)
+            return
+        if verdict.state == "failed":
+            exc = outcome["error"]
+            job.state = FAILED
+            job._error = exc
+            job.end_ms = end_abs
+            self._record_terminal(
+                job,
+                error=str(exc),
+                trace=outcome.get("trace"),
+                metering_before=outcome.get("metering_before"),
+                retry_count=outcome.get("retry_count", 0),
+                degraded=outcome.get("degraded", False),
+            )
+            return
+        # Success: graft the pool verdict onto the query stats (the moral
+        # equivalent of QueryStats.finalize, with pool-level contention).
+        result = outcome["result"]
+        engine = job.engine
+        stats = result.stats
+        if job.kind == "select":
+            stats.shuffle_partitions = engine.shuffle_partitions
+            stats.compute_parallelism = max(
+                1, min(engine.slots, engine.shuffle_partitions)
+            )
+            stats.slot_ms = stats.planning_ms + stats.scan_work_ms + stats.compute_ms
+            stats.elapsed_ms = verdict.elapsed_ms
+            stats.task_timeline = list(verdict.runs)
+            stats.task_skew = verdict.task_skew
+            stats.speculative_count = verdict.speculative_launched
+            stats.speculative_wins = verdict.speculative_wins
+            span = getattr(result, "sched_span", None)
+            if span is not None and stats.task_timeline:
+                span.set_tag("tasks", sum(s.tasks for s in stats.scan_stages))
+                span.set_tag("task_skew", round(stats.task_skew, 4))
+                span.set_tag("speculative", stats.speculative_count)
+            engine._record_scheduler_metrics(stats)
+        stats.retry_count = outcome.get("retry_count", 0)
+        stats.degraded = outcome.get("degraded", False)
+        job.state = SUCCEEDED
+        job.end_ms = end_abs
+        job._result = result
+        self._observe_query_metrics(job, result)
+        self._record_terminal(
+            job,
+            result=result,
+            trace=result.trace,
+            metering_before=outcome.get("metering_before"),
+            retry_count=stats.retry_count,
+            degraded=stats.degraded,
+        )
+
+    def _finish_cancelled(self, job: QueryJob, end_abs: float) -> None:
+        job._error = None
+        job._result = None
+        engine = job.engine
+        engine.ctx.metrics.counter(
+            "repro_jobs_cancelled_total", "jobs cancelled before completion"
+        ).inc(engine=engine.name)
+        if job.record is not None:
+            record = job.record
+            record.state = CANCELLED
+            record.error = "job cancelled"
+            record.start_ms = job.start_ms
+            record.end_ms = end_abs
+            record.queue_wait_ms = job.queue_wait_ms
+            record.total_ms = max(0.0, end_abs - record.start_ms) if job.start_ms else 0.0
+
+    def _observe_query_metrics(self, job: QueryJob, result: "QueryResult") -> None:
+        engine = job.engine
+        metrics = engine.ctx.metrics
+        metrics.counter("queries_total", "statements executed").inc(
+            engine=engine.name, kind=job.kind
+        )
+        metrics.counter(
+            "query_bytes_scanned_total", "bytes scanned on behalf of queries"
+        ).inc(result.stats.bytes_scanned, engine=engine.name)
+        metrics.histogram(
+            "query_elapsed_ms", "modeled slot-limited query latency"
+        ).observe(result.stats.elapsed_ms, engine=engine.name)
+        metrics.histogram(
+            "repro_job_queue_wait_ms", "admission-control queue wait per job"
+        ).observe(job.queue_wait_ms, engine=engine.name)
+
+    # -- inline (nested / blocking) execution --------------------------------
+
+    def _run_inline(self, job: QueryJob) -> None:
+        """Execute one job through the classic single-query path — used for
+        statements submitted while a drain or another execution is already
+        on the stack (CTAS/INSERT..SELECT inner queries). The stats are
+        finalized by ``QueryStats.finalize`` exactly as pre-redesign."""
+        engine = job.engine
+        ctx = engine.ctx
+        start_ms = ctx.clock.now_ms
+        job.state = RUNNING
+        job.start_ms = start_ms
+        if job.record is not None:
+            job.record.state = RUNNING
+            job.record.start_ms = start_ms
+        metering_before = ctx.metering.snapshot() if self.history is not None else None
+        retries_before = ctx.metering.op_counts.get("repro.retry", 0)
+        degraded_before = ctx.metering.op_counts.get("repro.degraded", 0)
+        audit = getattr(engine.read_api, "audit", None)
+        prev_job_id = audit.current_job_id if audit is not None else ""
+        if audit is not None:
+            audit.current_job_id = job.job_id
+        try:
+            result = engine._execute_statement(
+                job.statement, job.principal, job.kind, job.snapshot_ms
+            )
+        except Exception as exc:
+            job.state = FAILED
+            job._error = exc
+            job.end_ms = ctx.clock.now_ms
+            self._record_terminal(
+                job,
+                error=str(exc),
+                trace=engine._last_root if ctx.tracer.enabled else None,
+                metering_before=metering_before,
+                retry_count=ctx.metering.op_counts.get("repro.retry", 0)
+                - retries_before,
+                degraded=ctx.metering.op_counts.get("repro.degraded", 0)
+                > degraded_before,
+            )
+            return
+        finally:
+            if audit is not None:
+                audit.current_job_id = prev_job_id
+        if job.kind == "select":
+            stats = result.stats
+            span = getattr(result, "sched_span", None)
+            stats.finalize(
+                engine.slots, ctx.costs.slot_startup_ms, engine.shuffle_partitions,
+                faults=ctx.faults, speculation=engine.speculation,
+            )
+            if span is not None and stats.task_timeline:
+                span.set_tag("tasks", sum(s.tasks for s in stats.scan_stages))
+                span.set_tag("task_skew", round(stats.task_skew, 4))
+                span.set_tag("speculative", stats.speculative_count)
+            engine._record_scheduler_metrics(stats)
+        result.stats.retry_count = (
+            ctx.metering.op_counts.get("repro.retry", 0) - retries_before
+        )
+        result.stats.degraded = (
+            ctx.metering.op_counts.get("repro.degraded", 0) > degraded_before
+        )
+        job.state = SUCCEEDED
+        job.end_ms = ctx.clock.now_ms
+        job._result = result
+        self._observe_query_metrics(job, result)
+        self._record_terminal(
+            job,
+            result=result,
+            trace=result.trace,
+            metering_before=metering_before,
+            retry_count=result.stats.retry_count,
+            degraded=result.stats.degraded,
+        )
+
+    # -- history ------------------------------------------------------------
+
+    def _record_pending(self, job: QueryJob) -> JobRecord | None:
+        if self.history is None:
+            return None
+        record = JobRecord(
+            job_id=job.job_id,
+            principal=str(job.principal),
+            sql=job.sql,
+            kind=job.kind,
+            engine=job.engine.name,
+            state=PENDING,
+            creation_ms=job.creation_ms,
+        )
+        return self.history.record(record)
+
+    def _record_terminal(
+        self,
+        job: QueryJob,
+        *,
+        result: "QueryResult | None" = None,
+        error: str = "",
+        trace: Any | None = None,
+        metering_before: Any | None = None,
+        retry_count: int = 0,
+        degraded: bool = False,
+    ) -> None:
+        if self.history is None:
+            return
+        ctx = job.engine.ctx
+        delta = (
+            ctx.metering.delta_since(metering_before)
+            if metering_before is not None
+            else None
+        )
+        stats = result.stats if result is not None else None
+        record = job.record
+        if record is None:
+            # Validation failures land here before a PENDING record exists.
+            record = JobRecord(
+                job_id=job.job_id, principal=str(job.principal), sql=job.sql,
+                kind=job.kind, engine=job.engine.name, state=job.state,
+                creation_ms=job.creation_ms,
+            )
+            job.record = self.history.record(record)
+        record.kind = job.kind
+        record.state = job.state
+        record.error = error
+        record.start_ms = job.start_ms
+        record.end_ms = job.end_ms
+        record.queue_wait_ms = job.queue_wait_ms
+        record.total_ms = (
+            stats.elapsed_ms if stats is not None else job.end_ms - job.start_ms
+        )
+        record.slot_ms = stats.slot_ms if stats is not None else 0.0
+        record.bytes_scanned = stats.bytes_scanned if stats is not None else 0
+        record.rows_scanned = stats.rows_scanned if stats is not None else 0
+        record.rows_produced = result.num_rows if result is not None else 0
+        record.files_read = stats.files_read if stats is not None else 0
+        record.files_total = stats.files_total if stats is not None else 0
+        record.shuffle_partitions = stats.shuffle_partitions if stats is not None else 0
+        record.compute_parallelism = (
+            stats.compute_parallelism if stats is not None else 0
+        )
+        record.bytes_read = delta.bytes_read if delta is not None else 0
+        record.bytes_written = delta.bytes_written if delta is not None else 0
+        record.bytes_egressed = delta.total_egress() if delta is not None else 0
+        record.retry_count = retry_count
+        record.degraded = degraded
+        record.cache_hit_bytes = stats.cache_hit_bytes if stats is not None else 0
+        record.cache_hit_ratio = stats.cache_hit_ratio if stats is not None else 0.0
+        record.task_skew = stats.task_skew if stats is not None else 1.0
+        record.speculative_count = stats.speculative_count if stats is not None else 0
+        record.task_timeline = list(stats.task_timeline) if stats is not None else []
+        record.trace = trace
+        record_from_trace(record)
+
+
+class JobsApi:
+    """``jobs.*``-shaped facade over the queue (the REST surface of §2)."""
+
+    def __init__(self, queue: JobQueue) -> None:
+        self.queue = queue
+
+    def insert(
+        self, sql: str, principal: "Principal", **kwargs: Any
+    ) -> dict[str, Any]:
+        """``jobs.insert``: submit and return the job resource."""
+        job = self.queue.submit(sql, principal, **kwargs)
+        return job.to_api_resource()
+
+    def get(self, job_id: str) -> dict[str, Any]:
+        """``jobs.get``: the current resource view of a submitted job."""
+        return self.queue.get(job_id).to_api_resource()
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``jobs.cancel``: request cancellation, return the resource."""
+        job = self.queue.get(job_id)
+        job.cancel()
+        return job.to_api_resource()
+
+    def get_query_results(self, job_id: str) -> dict[str, Any]:
+        """``jobs.getQueryResults``: wait for the job and return rows."""
+        job = self.queue.get(job_id)
+        result = job.wait()
+        return {
+            "jobReference": {"jobId": job.job_id},
+            "jobComplete": True,
+            "schema": {
+                "fields": [
+                    {"name": f.name, "type": f.dtype.name}
+                    for f in result.schema.fields
+                ]
+            },
+            "totalRows": result.num_rows,
+            "rows": result.rows(),
+        }

@@ -41,8 +41,10 @@ class TestJobs:
             "FROM INFORMATION_SCHEMA.JOBS ORDER BY job_id",
             admin,
         ).rows()
-        assert len(rows) == 2
-        ok, bad = rows
+        # Jobs are recorded at submit time: the introspection query sees
+        # the two prior jobs as terminal — and itself, mid-flight, RUNNING.
+        assert len(rows) == 3
+        ok, bad, self_row = rows
         assert ok[0] == "job_000001"
         assert ok[1] == "user:admin"
         assert ok[2] == "SUCCEEDED"
@@ -55,19 +57,27 @@ class TestJobs:
         assert bad[2] == "FAILED"
         assert "ds.missing" in bad[3]
         assert bad[6] == 0
+        assert self_row[0] == "job_000003"
+        assert self_row[2] == "RUNNING"
 
-    def test_jobs_query_does_not_see_itself(self):
+    def test_jobs_query_sees_itself_running(self):
         platform, admin = sales_platform()
         engine = platform.home_engine
         engine.execute(SALES_SQL, admin)
         count = engine.execute(
             "SELECT COUNT(*) AS n FROM INFORMATION_SCHEMA.JOBS", admin
         ).single_value()
-        # Records land *after* execution: the introspection query itself is
-        # not yet in history when its scan runs — but it is afterwards.
-        assert count == 1
+        # Records land at submit time (PENDING), flip to RUNNING at
+        # admission: the introspection query's own scan counts itself.
+        assert count == 2
         assert len(platform.history) == 2
-        assert platform.history.last.sql.startswith("SELECT COUNT(*)")
+        record = platform.history.last
+        assert record.sql.startswith("SELECT COUNT(*)")
+        # ...and by the time execute() returns, the job is terminal, with
+        # the full PENDING -> RUNNING -> SUCCEEDED lifecycle stamped.
+        assert record.state == "SUCCEEDED"
+        assert record.end_ms >= record.start_ms >= record.creation_ms
+        assert record.queue_wait_ms == record.start_ms - record.creation_ms
 
     def test_record_carries_execution_stats(self):
         platform, admin = sales_platform()
@@ -87,7 +97,9 @@ class TestJobs:
         platform, admin = sales_platform()
         platform.home_engine.execute(SALES_SQL, admin)
         rows = platform.home_engine.execute(
-            "SELECT job_id FROM `repro-project`.INFORMATION_SCHEMA.JOBS", admin
+            "SELECT job_id FROM `repro-project`.INFORMATION_SCHEMA.JOBS "
+            "WHERE state = 'SUCCEEDED'",
+            admin,
         ).rows()
         assert rows == [("job_000001",)]
 
