@@ -1,0 +1,127 @@
+"""E15-FT — fleet telemetry: observer overhead + tie-out + alerting.
+
+The fleet monitor (``repro.obs.monitor``) scrapes the metrics registry on
+a fixed sim-time grid, samples the slot pool into RESERVATION_TIMELINE
+intervals, and evaluates SLO alert rules — all as a *pure reader* of the
+serving layer. This bench quantifies what that costs and re-proves the
+acceptance claims at full workload size:
+
+* **(a) observer effect is zero in model time** — the monitored run's
+  makespan and every per-job row equal the unmonitored run's exactly
+  (same seed, monitoring on vs off); the only cost is wall-clock, which
+  is measured and recorded.
+* **(b) the timeline ties out** — per-principal RESERVATION_TIMELINE
+  sums (slot-ms, queue-ms, admissions, completions) agree with
+  JOBS/JOBS_TIMELINE aggregates computed through the SQL surface.
+* **(c) seeded chaos pages deterministically** — the chaos plan burns
+  the retry error budget and the multi-window burn-rate rule fires, with
+  an identical alert log on a second run.
+
+Recorded in ``BENCH_PR7.json`` under ``e15_ft``.
+"""
+
+import json
+import time
+
+from repro.bench import format_table, record_bench
+from repro.serving.workload import run_monitor, run_serve
+
+SEED = 9
+# Seed for the chaos leg: the fault draws under seed 9 happen to stay
+# inside both error budgets at this workload size, so the alerting claim
+# is pinned on a seed whose draws burn them (deterministically).
+CHAOS_SEED = 11
+JOBS = 20
+SCALE = 0.1
+ANALYSTS = 4
+GAP_MS = 40.0
+CHAOS = [
+    "objectstore.get:rate=0.25:max=40",
+    "task.slow:rate=0.15:factor=4",
+    "cache.get:rate=0.35:max=30",
+]
+
+
+def _wall(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_e15_ft_overhead_tieout_alerts(benchmark):
+    kwargs = dict(
+        seed=SEED, jobs=JOBS, scale=SCALE, analysts=ANALYSTS,
+        mean_gap_ms=GAP_MS,
+    )
+
+    # -- (a) observer effect: same seed, monitoring off vs on ------------
+    baseline, base_wall = _wall(lambda: run_serve(monitor=False, **kwargs))
+    monitored, mon_wall = _wall(
+        lambda: benchmark.pedantic(
+            lambda: run_serve(monitor=True, **kwargs), rounds=1, iterations=1
+        )
+    )
+    section = monitored.pop("monitor")
+    assert json.dumps(monitored, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    ), "monitoring perturbed the serve run"
+    assert monitored["makespan_ms"] == baseline["makespan_ms"]
+    overhead_pct = 100.0 * (mon_wall - base_wall) / base_wall
+
+    # -- (b) tie-out at full size ----------------------------------------
+    full = run_monitor(**kwargs)
+    assert full["monitor"]["tie_out_ok"], full["monitor"]["tie_out_errors"]
+
+    # -- (c) chaos pages, deterministically ------------------------------
+    chaos_kwargs = dict(kwargs, seed=CHAOS_SEED)
+    chaos_a = run_monitor(chaos=CHAOS, **chaos_kwargs)
+    chaos_b = run_monitor(chaos=CHAOS, **chaos_kwargs)
+    fired = chaos_a["monitor"]["burn_alerts_fired"]
+    assert "retry-budget-burn" in fired, fired
+    assert json.dumps(chaos_a["monitor"]["alerts"]) == json.dumps(
+        chaos_b["monitor"]["alerts"]
+    ), "same-seed chaos runs disagreed on the alert log"
+
+    rows = [
+        ("baseline serve (monitor off)", f"{base_wall * 1000:.1f}", "-", "-"),
+        (
+            "monitored serve",
+            f"{mon_wall * 1000:.1f}",
+            section["scrapes"],
+            section["reservation_rows"],
+        ),
+        (
+            "chaos + alerting",
+            "-",
+            chaos_a["monitor"]["scrapes"],
+            len(chaos_a["monitor"]["alerts"]),
+        ),
+    ]
+    print(
+        format_table(
+            "E15-FT — fleet telemetry overhead (wall-clock ms; model time unchanged)",
+            ["run", "wall ms", "scrapes", "rows/events"],
+            rows,
+        )
+    )
+    print(
+        f"observer overhead {overhead_pct:+.1f}% wall-clock, 0.00 ms model "
+        f"time ({JOBS} jobs, {ANALYSTS} principals); chaos fired: "
+        f"{', '.join(fired)}"
+    )
+    record_bench(
+        "e15_ft",
+        jobs=JOBS,
+        principals=ANALYSTS,
+        baseline_wall_ms=round(base_wall * 1000, 3),
+        monitored_wall_ms=round(mon_wall * 1000, 3),
+        observer_overhead_pct=round(overhead_pct, 3),
+        model_time_delta_ms=0.0,
+        scrapes=section["scrapes"],
+        metrics_history_rows=section["metrics_history_rows"],
+        reservation_rows=section["reservation_rows"],
+        tsdb_samples=section["tsdb_samples"],
+        tie_out_ok=full["monitor"]["tie_out_ok"],
+        chaos_burn_alerts=fired,
+        chaos_alert_events=len(chaos_a["monitor"]["alerts"]),
+    )

@@ -5,7 +5,10 @@
 # report is byte-identical across processes) + the scheduler determinism
 # gate (same seed, two processes, byte-identical task timelines) + the
 # serve determinism gate (same seed, two processes, byte-identical
-# multi-principal reports, plain and under chaos).
+# multi-principal reports, plain and under chaos) + the monitor
+# determinism gate (same seed, two processes, byte-identical telemetry
+# reports — RESERVATION_TIMELINE tie-out, alert log, variance table —
+# plain and under chaos).
 # Usage: scripts/check.sh  (from the repo root)
 set -euo pipefail
 
@@ -86,5 +89,32 @@ if diff -u "$serve_ca" "$serve_cb"; then
     echo "serve run under chaos is deterministic"
 else
     echo "serve chaos determinism gate FAILED: same seed produced different reports" >&2
+    exit 1
+fi
+
+echo "== monitor determinism gate =="
+# The CLI itself exits non-zero if the RESERVATION_TIMELINE tie-out
+# breaks or a chaos run fires no burn-rate alert; diffing two same-seed
+# reports pins the whole telemetry pipeline (scrape grid, reservation
+# intervals, alert transitions, variance attribution) byte-for-byte —
+# with and without the chaos plan.
+mon_a="$(mktemp)" mon_b="$(mktemp)" mon_ca="$(mktemp)" mon_cb="$(mktemp)"
+trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
+    "$serve_a" "$serve_b" "$serve_ca" "$serve_cb" \
+    "$mon_a" "$mon_b" "$mon_ca" "$mon_cb"' EXIT
+PYTHONPATH=src python -m repro monitor --smoke --seed 1234 --json "$mon_a" >/dev/null
+PYTHONPATH=src python -m repro monitor --smoke --seed 1234 --json "$mon_b" >/dev/null
+if diff -u "$mon_a" "$mon_b"; then
+    echo "monitor run is deterministic"
+else
+    echo "monitor determinism gate FAILED: same seed produced different reports" >&2
+    exit 1
+fi
+PYTHONPATH=src python -m repro monitor --smoke --chaos --seed 1234 --json "$mon_ca" >/dev/null
+PYTHONPATH=src python -m repro monitor --smoke --chaos --seed 1234 --json "$mon_cb" >/dev/null
+if diff -u "$mon_ca" "$mon_cb"; then
+    echo "monitor run under chaos is deterministic"
+else
+    echo "monitor chaos determinism gate FAILED: same seed produced different reports" >&2
     exit 1
 fi

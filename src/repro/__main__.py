@@ -32,6 +32,17 @@ Commands:
   writes the deterministic report — two invocations with the same seed
   must be byte-identical (the serve determinism gate in
   ``scripts/check.sh``).
+* ``monitor`` — run the ``serve`` workload under fleet telemetry: the
+  sim-time TSDB scrapes the metrics registry, every shared-pool batch is
+  sampled into ``INFORMATION_SCHEMA.RESERVATION_TIMELINE``, and the SLO
+  alert engine evaluates deterministically on the sim clock (results in
+  ``INFORMATION_SCHEMA.ALERTS``). Prints utilization/queue-depth
+  timelines, the alert log, and per-principal variance attribution;
+  exits non-zero if the reservation timeline fails to tie out against
+  ``JOBS``/``JOBS_TIMELINE`` aggregates, or if a ``--chaos`` run fires
+  no burn-rate alert. Deterministic: same seed ⇒ byte-identical
+  ``--json`` report. ``--chrome-trace OUT.json`` exports the whole run
+  (per-principal lanes) for Perfetto.
 * ``schedule [sql]`` — run a query over a deliberately skewed demo lake
   (one fat file among small ones) under a seeded ``task.slow`` straggler
   plan, once with speculative execution and once without, and print the
@@ -417,6 +428,138 @@ def _serve(
     return 0
 
 
+# The default `monitor --chaos` profile: the serve plan plus data-cache
+# faults, so the cache-bypass burn-rate rule has bad events to burn.
+MONITOR_CHAOS_PLAN = SERVE_CHAOS_PLAN + ["cache.get:rate=0.35:max=30"]
+
+#: ASCII intensity ramp for the CLI timeline renders (0.0 → 1.0+).
+_RAMP = " .:-=+*#%@"
+
+
+def _ramp_line(points: list[list[float]], peak: float) -> str:
+    """Render ``[[t, v], ...]`` as one intensity character per sample."""
+    if peak <= 0:
+        return ""
+    out = []
+    for _, value in points:
+        level = min(len(_RAMP) - 1, int(value / peak * (len(_RAMP) - 1) + 0.5))
+        out.append(_RAMP[level])
+    return "".join(out)
+
+
+def _monitor(
+    seed: int,
+    smoke: bool,
+    chaos: bool,
+    plans: list[str],
+    json_path: str | None,
+    chrome_trace_path: str | None,
+) -> int:
+    """Fleet-telemetry walkthrough: the serve workload under scraping +
+    reservation timelines + SLO alerting. Self-checking (reservation
+    timeline must tie out against JOBS/JOBS_TIMELINE; a chaos run must
+    fire a burn-rate alert) and deterministic."""
+    import json
+
+    from repro.obs.export import serve_chrome_trace_json
+    from repro.serving.workload import run_monitor
+
+    specs = plans or (MONITOR_CHAOS_PLAN if chaos else [])
+    kwargs = (
+        dict(jobs=6, scale=0.05, analysts=2, mean_gap_ms=30.0)
+        if smoke
+        else dict(jobs=20, scale=0.1, analysts=4, mean_gap_ms=40.0)
+    )
+    keep: dict = {}
+    try:
+        report = run_monitor(seed=seed, chaos=specs or None, keep=keep, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    mon = report["monitor"]
+
+    mode = "smoke" if smoke else "full"
+    print(
+        f"-- monitor: {kwargs['jobs']} jobs, {kwargs['analysts']} principals, "
+        f"seed={seed} ({mode}"
+        + (f", chaos={','.join(specs)})" if specs else ")")
+        + "\n"
+    )
+    print(
+        f"telemetry: {mon['batches_observed']} batches observed, "
+        f"{mon['scrapes']} scrapes, {mon['reservation_rows']} reservation rows, "
+        f"{mon['tsdb_series']} series / {mon['tsdb_samples']} samples, "
+        f"{mon['metrics_history_rows']} METRICS_HISTORY rows"
+    )
+
+    util = mon["utilization"]
+    if util:
+        span = f"{util[0][0]:.0f}..{util[-1][0]:.0f} ms"
+        util_peak = max(v for _, v in util)
+        print(f"\nslot utilization  [{span}]  peak={util_peak:.3f}")
+        print(f"  {_ramp_line(util, util_peak)}")
+    depth_peak = max(
+        (v for pts in mon["queue_depth"].values() for _, v in pts), default=0.0
+    )
+    if depth_peak > 0:
+        print(f"queue depth per principal  peak={depth_peak:.2f}")
+        for principal, points in mon["queue_depth"].items():
+            label = principal.removeprefix("user:")
+            print(f"  {label:<8} {_ramp_line(points, depth_peak)}")
+
+    print("\nat_ms      rule                 sev      state     value    detail")
+    if not mon["alerts"]:
+        print("  (no alert transitions)")
+    for event in mon["alerts"]:
+        print(
+            f"{event['at_ms']:>9.1f}  {event['rule']:<20} {event['severity']:<8} "
+            f"{event['state']:<9} {event['value']:>7.3f}  {event['detail']}"
+        )
+
+    print("\nprincipal    queue_ms  backoff_ms  cold_read_ms  degraded_ms  execute_ms")
+    for principal, var in mon["variance_ms"].items():
+        print(
+            f"{principal.removeprefix('user:'):<11} {var['queue_ms']:>9.2f} "
+            f"{var['backoff_ms']:>11.2f} {var['cold_read_ms']:>13.2f} "
+            f"{var['degraded_ms']:>12.2f} {var['execute_ms']:>11.2f}"
+        )
+
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nmonitor report written to {json_path}")
+    if chrome_trace_path:
+        with open(chrome_trace_path, "w", encoding="utf-8") as fh:
+            fh.write(serve_chrome_trace_json(keep["platform"].jobs()))
+        print(f"serve Chrome trace written to {chrome_trace_path}")
+
+    failures = 0
+    if not report["tie_out_ok"]:
+        for line in report["tie_out_errors"]:
+            print(f"error: tie-out failed: {line}", file=sys.stderr)
+        failures += 1
+    if mon["batches_observed"] <= 0 or mon["scrapes"] <= 0:
+        print("error: monitor observed no batches or scrapes", file=sys.stderr)
+        failures += 1
+    if specs and not mon["burn_alerts_fired"]:
+        print(
+            "error: chaos run fired no burn-rate alert (expected the error "
+            "budget to burn deterministically)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if failures:
+        return 1
+    burned = (
+        f"  burn_alerts={','.join(mon['burn_alerts_fired'])}"
+        if mon["burn_alerts_fired"]
+        else ""
+    )
+    print(f"\nRESERVATION_TIMELINE tie-out: OK{burned}")
+    return 0
+
+
 def _build_skewed_platform():
     """(platform, admin) with ``demo.events``: one fat file among small ones.
 
@@ -583,7 +726,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "demo", "trace", "jobs", "chaos", "cache-stats", "schedule",
-            "serve", "experiments", "info",
+            "serve", "monitor", "experiments", "info",
         ],
         nargs="?", default="demo",
     )
@@ -597,7 +740,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--chrome-trace", metavar="OUT.json", dest="chrome_trace",
-        help="for 'jobs': write the job's trace in Chrome trace-event format",
+        help="for 'jobs': write the job's trace in Chrome trace-event "
+        "format; for 'monitor': export the whole serve run with "
+        "per-principal lanes",
     )
     parser.add_argument(
         "--seed", type=int, default=0,
@@ -634,12 +779,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="for 'serve': small fast variant (6 jobs, 2 principals) for CI",
+        help="for 'serve'/'monitor': small fast variant (6 jobs, 2 "
+        "principals) for CI",
     )
     parser.add_argument(
         "--chaos", action="store_true", dest="serve_chaos",
-        help="for 'serve': replay the workload under the default seeded "
-        "fault plan (or give explicit --plan specs)",
+        help="for 'serve'/'monitor': replay the workload under the default "
+        "seeded fault plan (or give explicit --plan specs)",
     )
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -659,6 +805,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         return _serve(
             args.seed, args.smoke, args.serve_chaos, args.plan, args.json_path
+        )
+    if args.command == "monitor":
+        return _monitor(
+            args.seed, args.smoke, args.serve_chaos, args.plan,
+            args.json_path, args.chrome_trace,
         )
     if args.command == "schedule":
         return _schedule(

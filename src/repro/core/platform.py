@@ -19,6 +19,7 @@ from repro.metastore.catalog import Catalog
 from repro.metastore.hivemeta import HiveMetastore
 from repro.objectstore.registry import StoreRegistry
 from repro.obs.history import JobHistory
+from repro.obs.monitor import FleetMonitor, MonitorConfig
 from repro.obs.system_tables import SystemTables
 from repro.security.audit import AuditLog
 from repro.security.connections import ConnectionManager
@@ -46,6 +47,9 @@ class PlatformConfig:
     # Concurrency policy for the shared slot pool / async jobs API
     # (admission control seats, inter-stage overlap, per-principal weights).
     serving: ServingConfig = field(default_factory=ServingConfig)
+    # Fleet telemetry (TSDB scrapes, reservation timelines, SLO alerts);
+    # MonitorConfig(enabled=False) is the no-telemetry baseline.
+    monitoring: MonitorConfig = field(default_factory=MonitorConfig)
 
 
 class LakehousePlatform:
@@ -70,6 +74,11 @@ class LakehousePlatform:
         # API), and jobs_api is its REST-shaped facade.
         self.job_queue = JobQueue(history=self.history, config=self.config.serving)
         self.jobs_api = JobsApi(self.job_queue)
+        # Fleet monitor: scrapes the registry onto the sim-time TSDB and
+        # samples every shared-pool batch. A pure reader of the serving
+        # layer — wiring it up never changes query results.
+        self.monitor = FleetMonitor(self.ctx, self.config.monitoring)
+        self.job_queue.monitor = self.monitor
         self.system_tables = SystemTables(
             project=self.config.project,
             history=self.history,
@@ -80,6 +89,7 @@ class LakehousePlatform:
             managed=self.managed,
             metrics=self.ctx.metrics,
             cache=self.data_cache,
+            monitor=self.monitor,
         )
         self.read_api = ReadApi(
             catalog=self.catalog,

@@ -170,6 +170,21 @@ class QueryStats:
             tasks = max(1, leftover_tasks)
             waves = math.ceil(tasks / max(1, slots))
             scan_elapsed += leftover_ms * waves / tasks
+        # Compute partitions occupy slots too; emit their attempts so the
+        # solo timeline matches the pool's run-for-run (on an idle pool the
+        # free-slot heap hands partitions 0..K-1 the identically numbered
+        # slots, all starting at scan end). Skew stays scan-only.
+        if self.compute_ms > 0:
+            start = startup_ms + self.planning_ms + scan_elapsed
+            per_partition = self.compute_ms / compute_parallelism
+            for p in range(compute_parallelism):
+                self.task_timeline.append(
+                    TaskRun(
+                        stage="compute", task=p, slot=p, start_ms=start,
+                        end_ms=start + per_partition, cost_ms=per_partition,
+                        winner=True,
+                    )
+                )
         self.elapsed_ms = (
             startup_ms
             + self.planning_ms

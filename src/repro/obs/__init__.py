@@ -15,24 +15,42 @@ package is how the reproduction measures its own:
   buffer every ``execute()`` records into, keeping per-job stats and span
   trees queryable after the ``QueryResult`` is gone.
 * :mod:`repro.obs.system_tables` — ``INFORMATION_SCHEMA`` virtual tables
-  (JOBS, JOBS_TIMELINE, TABLE_STORAGE, DATA_ACCESS, METRICS) the planner
-  resolves like ordinary relations, governed by the platform IAM.
+  (JOBS, JOBS_TIMELINE, TABLE_STORAGE, DATA_ACCESS, METRICS, plus the
+  fleet-telemetry RESERVATION_TIMELINE / METRICS_HISTORY / ALERTS) the
+  planner resolves like ordinary relations, governed by the platform IAM.
+* :mod:`repro.obs.tsdb` — the sim-time time-series store and the metrics
+  scraper behind ``METRICS_HISTORY`` (Prometheus-shaped window queries,
+  staleness markers).
+* :mod:`repro.obs.alerts` — the declarative SLO alert engine (threshold
+  and multi-window burn-rate rules) evaluated deterministically on the
+  sim clock.
+* :mod:`repro.obs.monitor` — the :class:`FleetMonitor` that wires the
+  scraper, reservation timelines, and alert engine onto one platform's
+  serving layer as a pure reader.
 * :mod:`repro.obs.export` — Chrome-trace and OTLP-style JSON exporters
-  for any retained span tree.
+  for any retained span tree, plus whole-serve-run exports with
+  per-principal lanes.
 
 Tracing is always-on but cheap to disable: ``ctx.tracer.enabled = False``
 turns every ``span()`` call into a shared no-op context manager.
 """
 
+from repro.obs.alerts import AlertEngine, AlertEvent, AlertRule
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_json,
     otlp_spans,
     otlp_spans_json,
+    serve_chrome_trace,
+    serve_chrome_trace_json,
+    serve_otlp_spans,
+    serve_otlp_spans_json,
 )
 from repro.obs.history import JobHistory, JobRecord, job_summary, timeline_rows
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.monitor import FleetMonitor, MonitorConfig, default_alert_rules
 from repro.obs.system_tables import SystemTables
+from repro.obs.tsdb import MetricsScraper, TimeSeriesStore
 from repro.obs.trace import (
     NOOP_TRACER,
     Span,
@@ -44,24 +62,36 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
     "Counter",
+    "FleetMonitor",
     "Gauge",
     "Histogram",
     "JobHistory",
     "JobRecord",
     "MetricsRegistry",
+    "MetricsScraper",
+    "MonitorConfig",
     "NOOP_TRACER",
     "Span",
     "SystemTables",
+    "TimeSeriesStore",
     "Tracer",
     "chrome_trace",
     "chrome_trace_json",
+    "default_alert_rules",
     "job_summary",
     "layer_breakdown",
     "layer_time_ms",
     "otlp_spans",
     "otlp_spans_json",
     "render_trace",
+    "serve_chrome_trace",
+    "serve_chrome_trace_json",
+    "serve_otlp_spans",
+    "serve_otlp_spans_json",
     "summarize_trace",
     "timeline_rows",
 ]

@@ -1,0 +1,267 @@
+"""Declarative SLO alerting over the sim-time TSDB.
+
+Two rule kinds, modeled on the Prometheus/Google-SRE alerting canon:
+
+* **threshold** — a window aggregate of one series (``avg`` / ``max`` /
+  ``rate`` / ``quantile`` / ``last``) compared against a bound, with an
+  optional ``for_ms`` sustain period before the alert fires (PENDING
+  until the breach has held that long, exactly like a ``for:`` clause).
+* **burn_rate** — the multi-window error-budget burn test: the
+  bad-event fraction of a 0/1 series, divided by the error budget, must
+  reach the burn ``factor`` in BOTH a long and a short window. The long
+  window establishes the trend, the short one proves it is still
+  happening — the standard trick that keeps burn alerts from flapping
+  on old spikes.
+
+The engine is evaluated deterministically on the serving-timeline grid
+(the monitor calls :meth:`AlertEngine.evaluate` at fixed model-time
+steps), so a seeded run produces a byte-identical alert log. Every state
+transition appends an :class:`AlertEvent` and bumps
+``repro_alerts_total{rule,state}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.tsdb import TimeSeriesStore
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+#: Alert states (the Prometheus lifecycle, plus an explicit RESOLVED
+#: transition event so the log shows when a condition cleared).
+INACTIVE = "INACTIVE"
+PENDING = "PENDING"
+FIRING = "FIRING"
+RESOLVED = "RESOLVED"
+
+_THRESHOLD_FNS = ("avg", "max", "min", "sum", "rate", "quantile", "last")
+_COMPARATORS = (">", ">=", "<", "<=")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule. ``kind`` selects which fields matter."""
+
+    name: str
+    kind: str  # "threshold" | "burn_rate"
+    series: str
+    labels: tuple[tuple[str, str], ...] = ()
+    severity: str = "warning"
+    # threshold rules:
+    fn: str = "avg"  # avg | max | min | sum | rate | quantile | last
+    q: float = 0.99  # for fn == "quantile"
+    threshold: float = 0.0
+    comparator: str = ">"
+    window_ms: float = 500.0
+    for_ms: float = 0.0  # sustain period before PENDING -> FIRING
+    # burn_rate rules (window_ms doubles as the long window):
+    short_window_ms: float = 0.0
+    error_budget: float = 0.1  # tolerated bad-event fraction
+    burn_factor: float = 1.0  # fire at burn >= factor in both windows
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("threshold", "burn_rate"):
+            raise ValueError(f"unknown alert-rule kind {self.kind!r}")
+        if self.kind == "threshold" and self.fn not in _THRESHOLD_FNS:
+            raise ValueError(
+                f"rule {self.name}: fn must be one of {_THRESHOLD_FNS}"
+            )
+        if self.comparator not in _COMPARATORS:
+            raise ValueError(
+                f"rule {self.name}: comparator must be one of {_COMPARATORS}"
+            )
+        if self.kind == "burn_rate" and self.error_budget <= 0:
+            raise ValueError(f"rule {self.name}: error budget must be positive")
+
+
+@dataclass
+class AlertEvent:
+    """One state transition in the alert log (an ``ALERTS`` row)."""
+
+    at_ms: float
+    rule: str
+    severity: str
+    state: str  # PENDING | FIRING | RESOLVED
+    value: float
+    threshold: float
+    window_ms: float
+    series: str
+    detail: str = ""
+
+    def to_row(self) -> tuple:
+        return (
+            self.at_ms, self.rule, self.severity, self.state,
+            self.value, self.threshold, self.window_ms, self.series,
+            self.detail,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "at_ms": round(self.at_ms, 6),
+            "rule": self.rule,
+            "severity": self.severity,
+            "state": self.state,
+            "value": round(self.value, 6),
+            "threshold": round(self.threshold, 6),
+            "window_ms": round(self.window_ms, 6),
+            "series": self.series,
+            "detail": self.detail,
+        }
+
+
+class _RuleState:
+    __slots__ = ("state", "pending_since")
+
+    def __init__(self) -> None:
+        self.state = INACTIVE
+        self.pending_since = 0.0
+
+
+class AlertEngine:
+    """Evaluate a rule set against the store at fixed model instants."""
+
+    def __init__(
+        self,
+        rules: list[AlertRule],
+        store: TimeSeriesStore,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert-rule names in {names}")
+        self.rules = list(rules)
+        self.store = store
+        self.metrics = metrics
+        self.events: list[AlertEvent] = []
+        self._states: dict[str, _RuleState] = {r.name: _RuleState() for r in rules}
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, at_ms: float) -> list[AlertEvent]:
+        """Evaluate every rule at one instant; returns the transitions."""
+        out: list[AlertEvent] = []
+        for rule in self.rules:
+            event = self._evaluate_rule(rule, at_ms)
+            if event is not None:
+                out.append(event)
+        return out
+
+    def _evaluate_rule(self, rule: AlertRule, at_ms: float) -> AlertEvent | None:
+        value, bound, detail = self._measure(rule, at_ms)
+        breach = (not math.isnan(value)) and self._compare(
+            value, rule.comparator, bound
+        )
+        state = self._states[rule.name]
+        if breach:
+            if state.state == INACTIVE:
+                state.pending_since = at_ms
+                if rule.for_ms > 0 and rule.kind == "threshold":
+                    state.state = PENDING
+                    return self._transition(rule, at_ms, PENDING, value, detail)
+                state.state = FIRING
+                return self._transition(rule, at_ms, FIRING, value, detail)
+            if (
+                state.state == PENDING
+                and at_ms - state.pending_since >= rule.for_ms
+            ):
+                state.state = FIRING
+                return self._transition(rule, at_ms, FIRING, value, detail)
+            return None
+        if state.state in (PENDING, FIRING):
+            resolved = state.state == FIRING
+            state.state = INACTIVE
+            if resolved:
+                return self._transition(rule, at_ms, RESOLVED, value, detail)
+        return None
+
+    def _measure(self, rule: AlertRule, at_ms: float) -> tuple[float, float, str]:
+        labels = dict(rule.labels)
+        if rule.kind == "burn_rate":
+            long_frac = self.store.avg_over_time(
+                rule.series, at_ms, rule.window_ms, **labels
+            )
+            short_ms = rule.short_window_ms or rule.window_ms
+            short_frac = self.store.avg_over_time(
+                rule.series, at_ms, short_ms, **labels
+            )
+            if math.isnan(long_frac) or math.isnan(short_frac):
+                return math.nan, rule.burn_factor, ""
+            long_burn = long_frac / rule.error_budget
+            short_burn = short_frac / rule.error_budget
+            detail = (
+                f"burn long={long_burn:.3f}x/{rule.window_ms:g}ms "
+                f"short={short_burn:.3f}x/{short_ms:g}ms "
+                f"budget={rule.error_budget:g}"
+            )
+            # Both windows must burn: min() is the operative value.
+            return min(long_burn, short_burn), rule.burn_factor, detail
+        s = self.store
+        if rule.fn == "avg":
+            value = s.avg_over_time(rule.series, at_ms, rule.window_ms, **labels)
+        elif rule.fn == "max":
+            value = s.max_over_time(rule.series, at_ms, rule.window_ms, **labels)
+        elif rule.fn == "min":
+            value = s.min_over_time(rule.series, at_ms, rule.window_ms, **labels)
+        elif rule.fn == "sum":
+            value = s.sum_over_time(rule.series, at_ms, rule.window_ms, **labels)
+        elif rule.fn == "rate":
+            value = s.rate(rule.series, at_ms, rule.window_ms, **labels)
+        elif rule.fn == "quantile":
+            value = s.quantile_over_time(
+                rule.series, rule.q, at_ms, rule.window_ms, **labels
+            )
+        else:  # "last"
+            value = s.last(rule.series, at_ms, **labels)
+        fn = f"quantile(q={rule.q:g})" if rule.fn == "quantile" else rule.fn
+        return value, rule.threshold, f"{fn}/{rule.window_ms:g}ms"
+
+    @staticmethod
+    def _compare(value: float, comparator: str, bound: float) -> bool:
+        if comparator == ">":
+            return value > bound
+        if comparator == ">=":
+            return value >= bound
+        if comparator == "<":
+            return value < bound
+        return value <= bound
+
+    def _transition(
+        self, rule: AlertRule, at_ms: float, state: str, value: float, detail: str
+    ) -> AlertEvent:
+        bound = rule.burn_factor if rule.kind == "burn_rate" else rule.threshold
+        event = AlertEvent(
+            at_ms=at_ms, rule=rule.name, severity=rule.severity, state=state,
+            value=value, threshold=bound, window_ms=rule.window_ms,
+            series=rule.series, detail=detail,
+        )
+        self.events.append(event)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_alerts_total", "alert state transitions by rule"
+            ).inc(rule=rule.name, state=state)
+        return event
+
+    # -- views ---------------------------------------------------------------
+
+    def state_of(self, rule_name: str) -> str:
+        return self._states[rule_name].state
+
+    def firing(self) -> list[str]:
+        return sorted(
+            name for name, st in self._states.items() if st.state == FIRING
+        )
+
+    def fired_ever(self, kind: str | None = None) -> list[str]:
+        """Rules that reached FIRING at least once (optionally by kind)."""
+        kinds = {r.name: r.kind for r in self.rules}
+        return sorted(
+            {
+                e.rule
+                for e in self.events
+                if e.state == FIRING and (kind is None or kinds[e.rule] == kind)
+            }
+        )

@@ -7,6 +7,13 @@ the OTLP shape to anything speaking the OpenTelemetry JSON encoding.
 Timestamps are simulated milliseconds converted to the target unit
 (microseconds for Chrome, nanoseconds for OTLP), so exports are
 deterministic across runs like everything else in the simulation.
+
+Beyond single jobs, :func:`serve_chrome_trace` / :func:`serve_otlp_spans`
+export a whole *serve run* — every job still in history — onto one
+timeline with per-principal lanes (Chrome: one pid per principal, one tid
+per job; OTLP: one trace, one root span per job), so a multi-principal
+workload's queueing, overlap, and per-task slot occupancy are visible in
+a single Perfetto load.
 """
 
 from __future__ import annotations
@@ -145,3 +152,191 @@ def otlp_spans(root: Span, *, trace_name: str = "query") -> dict[str, Any]:
 
 def otlp_spans_json(root: Span, *, trace_name: str = "query") -> str:
     return json.dumps(otlp_spans(root, trace_name=trace_name), indent=2)
+
+
+# --------------------------------------------------------------------------
+# Whole-serve-run exports (per-principal lanes)
+# --------------------------------------------------------------------------
+
+
+def serve_chrome_trace(
+    records: list[Any], *, process_prefix: str = "repro serve"
+) -> dict[str, Any]:
+    """A whole serve run as one Chrome trace document.
+
+    One *process* per principal (lanes group naturally in Perfetto), one
+    *thread* per job. Each job contributes a ``queued`` event (creation →
+    admission), a job event (admission → end) carrying the serving facts,
+    and one event per scheduler task attempt (``task_timeline`` offsets
+    are admission-relative, so they land inside the job event). History
+    order is deterministic, hence so is the document.
+    """
+    done = [r for r in records if r.done]
+    principals = sorted({r.principal for r in done})
+    pid_of = {p: i + 1 for i, p in enumerate(principals)}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid_of[p],
+            "tid": 0,
+            "args": {"name": f"{process_prefix}: {p}"},
+        }
+        for p in principals
+    ]
+    tids: dict[int, int] = {}
+    for record in done:
+        pid = pid_of[record.principal]
+        tid = tids.get(pid, 0) + 1
+        tids[pid] = tid
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"{record.job_id} ({record.kind})"},
+            }
+        )
+        if record.start_ms > record.creation_ms:
+            events.append(
+                {
+                    "name": "queued",
+                    "cat": "serving",
+                    "ph": "X",
+                    "ts": round(record.creation_ms * 1000.0, 3),
+                    "dur": round(
+                        (record.start_ms - record.creation_ms) * 1000.0, 3
+                    ),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"queue_wait_ms": round(record.queue_wait_ms, 6)},
+                }
+            )
+        events.append(
+            {
+                "name": record.job_id,
+                "cat": "serving",
+                "ph": "X",
+                "ts": round(record.start_ms * 1000.0, 3),
+                "dur": round(max(record.end_ms - record.start_ms, 0.0) * 1000.0, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "state": record.state,
+                    "kind": record.kind,
+                    "retry_count": record.retry_count,
+                    "degraded": record.degraded,
+                    "backoff_ms": round(record.backoff_ms, 6),
+                    "cold_read_ms": round(record.cold_read_ms, 6),
+                    "degraded_ms": round(record.degraded_ms, 6),
+                    "task_skew": round(record.task_skew, 6),
+                },
+            }
+        )
+        for run in record.task_timeline:
+            events.append(
+                {
+                    "name": f"{run.stage}[{run.task}]",
+                    "cat": "scheduler",
+                    "ph": "X",
+                    "ts": round((record.start_ms + run.start_ms) * 1000.0, 3),
+                    "dur": round((run.end_ms - run.start_ms) * 1000.0, 3),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "slot": run.slot,
+                        "speculative": run.speculative,
+                        "winner": run.winner,
+                        "cancelled": run.cancelled,
+                        "slow_factor": round(run.slow_factor, 6),
+                    },
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def serve_chrome_trace_json(
+    records: list[Any], *, process_prefix: str = "repro serve"
+) -> str:
+    return json.dumps(
+        serve_chrome_trace(records, process_prefix=process_prefix), indent=2
+    )
+
+
+def serve_otlp_spans(
+    records: list[Any], *, trace_name: str = "serve"
+) -> dict[str, Any]:
+    """A whole serve run as one OTLP trace: one root span per job (the
+    principal lane lives in the ``principal`` attribute), one child span
+    per scheduler task attempt. Span ids are assigned sequentially in
+    history order, so same history ⇒ byte-equal document."""
+    trace_id = _trace_id(trace_name)
+    spans: list[dict[str, Any]] = []
+    next_span = 1
+    for record in [r for r in records if r.done]:
+        root_id = next_span
+        next_span += 1
+        spans.append(
+            {
+                "traceId": trace_id,
+                "spanId": _span_id(root_id),
+                "parentSpanId": "",
+                "name": record.job_id,
+                "kind": "SPAN_KIND_SERVER",
+                "startTimeUnixNano": str(int(record.creation_ms * 1_000_000)),
+                "endTimeUnixNano": str(int(record.end_ms * 1_000_000)),
+                "attributes": [
+                    {"key": "principal", "value": {"stringValue": record.principal}},
+                    {"key": "state", "value": {"stringValue": record.state}},
+                    {"key": "kind", "value": {"stringValue": record.kind}},
+                    {
+                        "key": "queue_wait_ms",
+                        "value": _otlp_value(round(record.queue_wait_ms, 6)),
+                    },
+                ],
+            }
+        )
+        for run in record.task_timeline:
+            spans.append(
+                {
+                    "traceId": trace_id,
+                    "spanId": _span_id(next_span),
+                    "parentSpanId": _span_id(root_id),
+                    "name": f"{run.stage}[{run.task}]",
+                    "kind": "SPAN_KIND_INTERNAL",
+                    "startTimeUnixNano": str(
+                        int((record.start_ms + run.start_ms) * 1_000_000)
+                    ),
+                    "endTimeUnixNano": str(
+                        int((record.start_ms + run.end_ms) * 1_000_000)
+                    ),
+                    "attributes": [
+                        {"key": "slot", "value": _otlp_value(run.slot)},
+                        {"key": "winner", "value": _otlp_value(run.winner)},
+                        {
+                            "key": "speculative",
+                            "value": _otlp_value(run.speculative),
+                        },
+                    ],
+                }
+            )
+            next_span += 1
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {"key": "service.name", "value": {"stringValue": "repro"}}
+                    ]
+                },
+                "scopeSpans": [
+                    {"scope": {"name": "repro.obs", "version": "1"}, "spans": spans}
+                ],
+            }
+        ]
+    }
+
+
+def serve_otlp_spans_json(records: list[Any], *, trace_name: str = "serve") -> str:
+    return json.dumps(serve_otlp_spans(records, trace_name=trace_name), indent=2)

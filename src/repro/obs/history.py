@@ -76,6 +76,12 @@ class JobRecord:
     # job and whether any degraded (fallback) path served it.
     retry_count: int = 0
     degraded: bool = False
+    # Variance attribution (derived from the span tree): time parked in
+    # retry backoff, object-store self-time (cold reads the cache missed),
+    # and time inside spans a degraded fallback path served.
+    backoff_ms: float = 0.0
+    cold_read_ms: float = 0.0
+    degraded_ms: float = 0.0
     # Data-cache accounting: source bytes served from the slot-local cache
     # and the fraction of all source bytes they represent.
     cache_hit_bytes: int = 0
@@ -212,11 +218,22 @@ class JobHistory:
 
 
 def record_from_trace(record: JobRecord) -> JobRecord:
-    """Fill the per-layer breakdown from the record's own span tree."""
+    """Fill the per-layer breakdown and variance attribution from the
+    record's own span tree."""
     if record.trace is not None:
         record.layers_ms = {
             layer: round(ms, 6) for layer, ms in layer_breakdown(record.trace).items()
         }
+        backoff = 0.0
+        degraded = 0.0
+        for span in record.trace.walk():
+            if span.name == "retry.backoff":
+                backoff += span.duration_ms
+            if "degraded" in span.tags:
+                degraded += span.duration_ms
+        record.backoff_ms = round(backoff, 6)
+        record.degraded_ms = round(degraded, 6)
+        record.cold_read_ms = record.layers_ms.get("objectstore", 0.0)
     return record
 
 

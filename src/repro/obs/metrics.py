@@ -76,7 +76,14 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up or down (per label set)."""
+    """A value that can go up or down (per label set).
+
+    A label set that stops being meaningful (a principal with no queued
+    jobs, a drained pool) must be :meth:`remove`-d, not left at its last
+    value: the scraper (:class:`~repro.obs.tsdb.MetricsScraper`) turns a
+    vanished series into a staleness marker instead of repeating a value
+    that no longer describes anything.
+    """
 
     kind = "gauge"
 
@@ -92,8 +99,25 @@ class Gauge:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + delta
 
+    def inc(self, delta: float = 1.0, **labels: Any) -> None:
+        self.add(delta, **labels)
+
+    def dec(self, delta: float = 1.0, **labels: Any) -> None:
+        self.add(-delta, **labels)
+
     def get(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
+
+    def remove(self, **labels: Any) -> bool:
+        """Drop one label series entirely (it stops being exported; the
+        next scrape records a staleness marker for it). Returns whether
+        the series existed."""
+        return self._values.pop(_label_key(labels), None) is not None
+
+    def label_sets(self) -> list[LabelKey]:
+        """The currently live label series, sorted (for samplers that
+        need to diff consecutive scrapes)."""
+        return sorted(self._values)
 
     def samples(self) -> Iterable[tuple[str, LabelKey, float]]:
         for key in sorted(self._values):

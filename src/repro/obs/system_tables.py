@@ -24,6 +24,15 @@ Tables (all under the ``INFORMATION_SCHEMA`` pseudo-dataset):
 * ``METRICS`` — the current metrics-registry snapshot.
 * ``CACHE_STATS`` — one row per data-cache tier (footer / chunk /
   dictionary): residency, capacity, hit/miss/eviction counters.
+* ``RESERVATION_TIMELINE`` — per-interval, per-principal slot occupancy
+  from the fleet monitor (slot-ms split scan/compute, queue depth,
+  fair-share attainment). Same visibility rule as ``JOBS``: principals
+  see their own rows unless they hold ``bigquery.jobs.listAll``.
+* ``METRICS_HISTORY`` — the scraped metric samples over sim time, with
+  staleness markers. Requires ``monitoring.timeSeries.list`` (admin);
+  a denied read is audited.
+* ``ALERTS`` — the SLO alert log (state transitions from the alert
+  engine). Same governance as ``METRICS_HISTORY``.
 """
 
 from __future__ import annotations
@@ -74,6 +83,9 @@ JOBS_SCHEMA = Schema.of(
     ("speculative_count", DataType.INT64),
     ("creation_ms", DataType.FLOAT64),
     ("queue_wait_ms", DataType.FLOAT64),
+    ("backoff_ms", DataType.FLOAT64),
+    ("cold_read_ms", DataType.FLOAT64),
+    ("degraded_ms", DataType.FLOAT64),
 )
 
 JOBS_TIMELINE_SCHEMA = Schema.of(
@@ -130,6 +142,43 @@ CACHE_STATS_SCHEMA = Schema.of(
     ("hit_ratio", DataType.FLOAT64),
 )
 
+RESERVATION_TIMELINE_SCHEMA = Schema.of(
+    ("period_start_ms", DataType.FLOAT64),
+    ("period_end_ms", DataType.FLOAT64),
+    ("principal", DataType.STRING),
+    ("slot_ms", DataType.FLOAT64),
+    ("scan_slot_ms", DataType.FLOAT64),
+    ("compute_slot_ms", DataType.FLOAT64),
+    ("queue_ms", DataType.FLOAT64),
+    ("queue_depth_avg", DataType.FLOAT64),
+    ("running_avg", DataType.FLOAT64),
+    ("jobs_admitted", DataType.INT64),
+    ("jobs_completed", DataType.INT64),
+    ("weight", DataType.FLOAT64),
+    ("attainment", DataType.FLOAT64),
+)
+
+METRICS_HISTORY_SCHEMA = Schema.of(
+    ("scrape_ms", DataType.FLOAT64),
+    ("name", DataType.STRING),
+    ("kind", DataType.STRING),
+    ("sample", DataType.STRING),
+    ("value", DataType.FLOAT64),
+    ("stale", DataType.BOOL),
+)
+
+ALERTS_SCHEMA = Schema.of(
+    ("at_ms", DataType.FLOAT64),
+    ("rule", DataType.STRING),
+    ("severity", DataType.STRING),
+    ("state", DataType.STRING),
+    ("value", DataType.FLOAT64),
+    ("threshold", DataType.FLOAT64),
+    ("window_ms", DataType.FLOAT64),
+    ("series", DataType.STRING),
+    ("detail", DataType.STRING),
+)
+
 _SCHEMAS: dict[str, Schema] = {
     "JOBS": JOBS_SCHEMA,
     "JOBS_TIMELINE": JOBS_TIMELINE_SCHEMA,
@@ -137,6 +186,9 @@ _SCHEMAS: dict[str, Schema] = {
     "DATA_ACCESS": DATA_ACCESS_SCHEMA,
     "METRICS": METRICS_SCHEMA,
     "CACHE_STATS": CACHE_STATS_SCHEMA,
+    "RESERVATION_TIMELINE": RESERVATION_TIMELINE_SCHEMA,
+    "METRICS_HISTORY": METRICS_HISTORY_SCHEMA,
+    "ALERTS": ALERTS_SCHEMA,
 }
 
 
@@ -160,6 +212,7 @@ class SystemTables:
         managed: "ManagedStorage",
         metrics: "MetricsRegistry",
         cache=None,
+        monitor=None,
     ) -> None:
         self.project = project
         self.history = history
@@ -171,6 +224,9 @@ class SystemTables:
         self.metrics = metrics
         # repro.cache.DataCache; None renders CACHE_STATS as empty.
         self.cache = cache
+        # repro.obs.monitor.FleetMonitor; None (or disabled) renders the
+        # telemetry tables as empty — governance still applies.
+        self.monitor = monitor
 
     # -- name resolution ----------------------------------------------------
 
@@ -233,6 +289,12 @@ class SystemTables:
             rows = self._metrics_rows()
         elif name == "CACHE_STATS":
             rows = self.cache.stats_rows() if self.cache is not None else []
+        elif name == "RESERVATION_TIMELINE":
+            rows = self._reservation_rows(principal)
+        elif name == "METRICS_HISTORY":
+            rows = self._monitoring_rows(principal, name, "metrics_history_rows")
+        elif name == "ALERTS":
+            rows = self._monitoring_rows(principal, name, "alert_rows")
         else:
             raise NotFoundError(f"system table INFORMATION_SCHEMA.{name} not found")
         self.audit.record(
@@ -243,6 +305,42 @@ class SystemTables:
             detail=f"{len(rows)} rows",
         )
         return rows
+
+    def _reservation_rows(self, principal: Principal) -> list[tuple]:
+        """Per-interval slot occupancy, scoped like JOBS: principals see
+        their own intervals unless they can list everyone's jobs."""
+        if self.monitor is None:
+            return []
+        rows = self.monitor.reservation_rows()
+        if self._sees_all_jobs(principal):
+            return rows
+        me = str(principal)
+        return [row for row in rows if row[2] == me]
+
+    def _monitoring_rows(
+        self, principal: Principal, name: str, accessor: str
+    ) -> list[tuple]:
+        """METRICS_HISTORY / ALERTS: fleet-wide telemetry, admin-only
+        (``monitoring.timeSeries.list``); a denied read is itself audited,
+        like DATA_ACCESS."""
+        decision = self.iam.is_allowed(
+            principal, Permission.MONITORING_READ, self._project_resource
+        )
+        if not decision.allowed:
+            self.audit.record(
+                principal,
+                "system_tables.read",
+                f"{self._project_resource}/informationSchema/{name}",
+                False,
+                detail=decision.reason,
+            )
+            raise AccessDeniedError(
+                f"{principal} lacks {Permission.MONITORING_READ.value} on "
+                f"{self._project_resource}: INFORMATION_SCHEMA.{name} is admin-only"
+            )
+        if self.monitor is None:
+            return []
+        return list(getattr(self.monitor, accessor)())
 
     def _jobs_rows(self, principal: Principal) -> list[tuple]:
         return [
@@ -276,6 +374,9 @@ class SystemTables:
                 r.speculative_count,
                 r.creation_ms,
                 r.queue_wait_ms,
+                r.backoff_ms,
+                r.cold_read_ms,
+                r.degraded_ms,
             )
             for r in self._visible_jobs(principal)
         ]

@@ -48,6 +48,7 @@ class Permission(enum.Enum):
     JOBS_CREATE = "bigquery.jobs.create"
     JOBS_LIST_ALL = "bigquery.jobs.listAll"
     AUDIT_READ = "bigquery.auditLogs.read"
+    MONITORING_READ = "monitoring.timeSeries.list"
     CONNECTIONS_USE = "bigquery.connections.use"
     MODELS_PREDICT = "bigquery.models.predict"
     STORAGE_OBJECTS_GET = "storage.objects.get"
@@ -107,6 +108,7 @@ ROLE_PERMISSIONS: dict[Role, frozenset[Permission]] = {
             Permission.JOBS_CREATE,
             Permission.JOBS_LIST_ALL,
             Permission.AUDIT_READ,
+            Permission.MONITORING_READ,
             Permission.CONNECTIONS_USE,
             Permission.MODELS_PREDICT,
         }

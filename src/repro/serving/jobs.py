@@ -171,6 +171,10 @@ class JobQueue:
         self.history = history
         self.config = config or ServingConfig()
         self.default_engine = default_engine
+        # repro.obs.monitor.FleetMonitor (set by the platform); a pure
+        # reader that scrapes metrics on submit/drain ticks and derives
+        # RESERVATION_TIMELINE + SLO samples from settled batches.
+        self.monitor = None
         self._pending: list[QueryJob] = []
         self._jobs_by_id: dict[str, QueryJob] = {}
         self._depth = 0  # >0 while executing (drain or inline): nested
@@ -240,6 +244,10 @@ class JobQueue:
         job.statement = statement
         job.record = self._record_pending(job)
         self._register(job)
+        if self.monitor is not None and not self._depth:
+            # Clock moved since the last scrape opportunity; catch the
+            # metrics-history grid up (read-only, observer-effect zero).
+            self.monitor.tick(engine.ctx.clock.now_ms)
         if self._depth:
             self._run_inline(job)
         else:
@@ -330,11 +338,36 @@ class JobQueue:
             self._active_keys = {}
         for key, job in enumerate(jobs):
             self._settle(job, anchor, verdicts.get(key), outcomes.get(key))
+        if self.monitor is not None and getattr(self.monitor, "enabled", False):
+            entries = []
+            for key in sorted(verdicts):
+                outcome = outcomes.get(key, {})
+                entries.append(
+                    {
+                        "principal": str(jobs[key].principal),
+                        "verdict": verdicts[key],
+                        "retried": outcome.get("retry_count", 0) > 0,
+                        "degraded": bool(outcome.get("degraded", False)),
+                        "cache_bypass": outcome.get("cache_bypass", 0.0) > 0,
+                    }
+                )
+            self.monitor.observe_batch(
+                anchor, entries, slots=engine.slots, weights=self.config.weights
+            )
+            self.monitor.tick(engine.ctx.clock.now_ms)
 
     def _fire_admit_hooks(self, key: int, admitted_ms: float) -> None:
         job = self._active_keys[key]
         for hook in self._on_admit_hooks:
             hook(job)
+
+    @staticmethod
+    def _cache_bypass_total(ctx) -> float:
+        """Current cache-bypass count (pure metric read; 0.0 if untracked)."""
+        metrics = getattr(ctx, "metrics", None)
+        if metrics is None or not metrics.has("repro_cache_bypass_total"):
+            return 0.0
+        return metrics.get("repro_cache_bypass_total").total()
 
     def _execute_for_pool(
         self,
@@ -358,6 +391,7 @@ class JobQueue:
         metering_before = ctx.metering.snapshot() if self.history is not None else None
         retries_before = ctx.metering.op_counts.get("repro.retry", 0)
         degraded_before = ctx.metering.op_counts.get("repro.degraded", 0)
+        bypass_before = self._cache_bypass_total(ctx)
         audit = getattr(engine.read_api, "audit", None)
         prev_job_id = audit.current_job_id if audit is not None else ""
         if audit is not None:
@@ -376,6 +410,7 @@ class JobQueue:
                 - retries_before,
                 "degraded": ctx.metering.op_counts.get("repro.degraded", 0)
                 > degraded_before,
+                "cache_bypass": self._cache_bypass_total(ctx) - bypass_before,
             }
             return PoolOpaque(ctx.clock.now_ms - clock_before, failed=True)
         finally:
@@ -388,6 +423,7 @@ class JobQueue:
             - retries_before,
             "degraded": ctx.metering.op_counts.get("repro.degraded", 0)
             > degraded_before,
+            "cache_bypass": self._cache_bypass_total(ctx) - bypass_before,
         }
         if job.kind != "select":
             # DML shells: inner statements already ran as inline jobs (and

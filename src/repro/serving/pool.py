@@ -173,7 +173,9 @@ class _JobState:
         self.opaque = False
         self.opaque_failed = False
         self.cancelled = False
-        self.runs: list[TaskRun] = []  # scan attempts (primaries + backups)
+        # Every slot-occupying attempt: scan primaries + backups, and
+        # compute partitions (stage "compute").
+        self.runs: list[TaskRun] = []
         self.spec_launched = 0
         self.spec_wins = 0
 
@@ -539,6 +541,10 @@ class SlotPool:
             end_ms=now + cost, cost_ms=cost,
         )
         job.compute_inflight.append(run)
+        # Compute partitions occupy slots like scan tasks do, so they
+        # belong in the attempt timeline: RESERVATION_TIMELINE slot-ms is
+        # derived from these runs and must tie out against JOBS_TIMELINE.
+        job.runs.append(run)
         self._used_slot_ms[job.principal] = (
             self._used_slot_ms.get(job.principal, 0.0) + cost
         )

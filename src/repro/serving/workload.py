@@ -59,11 +59,13 @@ def build_serving_platform(
     max_concurrent_jobs: int = 4,
     inter_stage_overlap: bool = True,
     weights: dict[str, float] | None = None,
+    monitor: bool = False,
 ):
     """(platform, admin, users) with both lakes loaded and analysts granted
     exactly what they need: read data, create jobs, use the connections."""
     from repro.core import LakehousePlatform
     from repro.core.platform import PlatformConfig
+    from repro.obs.monitor import MonitorConfig
     from repro.workloads import tpcds_lite, tpch_lite
 
     platform = LakehousePlatform(
@@ -72,7 +74,8 @@ def build_serving_platform(
                 max_concurrent_jobs=max_concurrent_jobs,
                 inter_stage_overlap=inter_stage_overlap,
                 weights=dict(weights or {}),
-            )
+            ),
+            monitoring=MonitorConfig(enabled=monitor),
         )
     )
     admin = platform.admin_user()
@@ -98,14 +101,24 @@ def run_serve(
     mean_gap_ms: float = 40.0,
     chaos: list[str] | None = None,
     weights: dict[str, float] | None = None,
+    monitor: bool = False,
+    keep: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Replay the seeded multi-principal workload; return the JSON-able
-    report (deterministic: same seed => byte-identical report)."""
+    report (deterministic: same seed => byte-identical report).
+
+    ``monitor=True`` runs the same workload under fleet telemetry (the
+    monitor is a pure reader: everything but the extra ``monitor`` report
+    key is byte-identical — the observer-effect-zero property). ``keep``,
+    when given, receives the live platform/admin/users/handles so callers
+    (the monitor CLI, tests) can keep querying the system tables.
+    """
     platform, admin, users = build_serving_platform(
         scale=scale,
         analysts=analysts,
         max_concurrent_jobs=max_concurrent_jobs,
         weights=weights,
+        monitor=monitor,
     )
     queries = mixed_queries()
     rng = random.Random(seed)
@@ -222,7 +235,9 @@ def run_serve(
     states: dict[str, int] = {}
     for _, job in handles:
         states[job.state] = states.get(job.state, 0) + 1
-    return {
+    if keep is not None:
+        keep.update(platform=platform, admin=admin, users=users, handles=handles)
+    report = {
         "seed": seed,
         "config": {
             "jobs": jobs,
@@ -241,3 +256,158 @@ def run_serve(
         "tie_out_ok": not tie_out_errors,
         "tie_out_errors": tie_out_errors,
     }
+    if monitor:
+        report["monitor"] = platform.monitor.summary()
+    return report
+
+
+#: Tolerance for the reservation-vs-jobs tie-out sums (accumulated float
+#: noise across bucket clipping; real bugs are whole task-runs ≫ this).
+MONITOR_TIE_TOLERANCE_MS = 0.5
+
+
+def run_monitor(
+    seed: int = 0,
+    jobs: int = 20,
+    scale: float = 0.1,
+    analysts: int = 4,
+    max_concurrent_jobs: int = 4,
+    mean_gap_ms: float = 40.0,
+    chaos: list[str] | None = None,
+    weights: dict[str, float] | None = None,
+    keep: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Run the serve workload under fleet telemetry and tie the
+    ``RESERVATION_TIMELINE`` system table out against ``JOBS`` /
+    ``JOBS_TIMELINE`` aggregates — the two surfaces are derived from the
+    same pool verdicts, so per-principal sums must agree field by field.
+
+    The tie-out is restricted to the analyst principals: the admin SQL
+    queries issued *by* this function each run as jobs themselves and
+    keep appending admin rows to the very tables being read.
+    """
+    if keep is None:
+        keep = {}
+    report = run_serve(
+        seed=seed,
+        jobs=jobs,
+        scale=scale,
+        analysts=analysts,
+        max_concurrent_jobs=max_concurrent_jobs,
+        mean_gap_ms=mean_gap_ms,
+        chaos=chaos,
+        weights=weights,
+        monitor=True,
+        keep=keep,
+    )
+    platform, admin = keep["platform"], keep["admin"]
+    monitor = platform.monitor
+    errors: list[str] = []
+    analyst_ids = sorted({row["principal"] for row in report["jobs"]})
+
+    # SQL view of the reservation timeline, aggregated per principal.
+    reservation: dict[str, tuple] = {}
+    for row in platform.home_engine.execute(
+        "SELECT principal, SUM(slot_ms) AS slot_ms, SUM(queue_ms) AS queue_ms, "
+        "SUM(jobs_admitted) AS admitted, SUM(jobs_completed) AS completed "
+        "FROM INFORMATION_SCHEMA.RESERVATION_TIMELINE GROUP BY principal",
+        admin,
+    ).rows():
+        reservation[row[0]] = row
+
+    # Ground truth #1: slot-ms per job is the sum of its scheduler.task
+    # durations in JOBS_TIMELINE (the same TaskRun attempts).
+    slot_by_job: dict[str, float] = {}
+    for job_id, slot_ms in platform.home_engine.execute(
+        "SELECT job_id, SUM(duration_ms) AS slot_ms "
+        "FROM INFORMATION_SCHEMA.JOBS_TIMELINE "
+        "WHERE name = 'scheduler.task' GROUP BY job_id",
+        admin,
+    ).rows():
+        slot_by_job[job_id] = float(slot_ms)
+
+    # Ground truth #2: queue waits and variance attribution from JOBS.
+    expected: dict[str, dict[str, float]] = {}
+    variance: dict[str, dict[str, float]] = {}
+    for job_id, user, queue_wait, total, backoff, cold, degraded in (
+        platform.home_engine.execute(
+            "SELECT job_id, user, queue_wait_ms, total_ms, backoff_ms, "
+            "cold_read_ms, degraded_ms FROM INFORMATION_SCHEMA.JOBS",
+            admin,
+        ).rows()
+    ):
+        if user not in analyst_ids:
+            continue
+        agg = expected.setdefault(
+            user, {"slot_ms": 0.0, "queue_ms": 0.0, "jobs": 0}
+        )
+        agg["slot_ms"] += slot_by_job.get(job_id, 0.0)
+        agg["queue_ms"] += float(queue_wait)
+        agg["jobs"] += 1
+        var = variance.setdefault(
+            user,
+            {
+                "queue_ms": 0.0,
+                "backoff_ms": 0.0,
+                "cold_read_ms": 0.0,
+                "degraded_ms": 0.0,
+                "execute_ms": 0.0,
+            },
+        )
+        var["queue_ms"] += float(queue_wait)
+        var["backoff_ms"] += float(backoff)
+        var["cold_read_ms"] += float(cold)
+        var["degraded_ms"] += float(degraded)
+        var["execute_ms"] += max(float(total) - float(backoff), 0.0)
+
+    tie_out: dict[str, dict[str, Any]] = {}
+    for principal in analyst_ids:
+        want = expected.get(principal, {"slot_ms": 0.0, "queue_ms": 0.0, "jobs": 0})
+        row = reservation.get(principal)
+        if row is None:
+            errors.append(f"{principal} missing from RESERVATION_TIMELINE")
+            continue
+        _, got_slot, got_queue, got_admitted, got_completed = row
+        checks = (
+            ("slot_ms", float(got_slot), want["slot_ms"], MONITOR_TIE_TOLERANCE_MS),
+            ("queue_ms", float(got_queue), want["queue_ms"], MONITOR_TIE_TOLERANCE_MS),
+            ("jobs_admitted", float(got_admitted), float(want["jobs"]), 0.0),
+            ("jobs_completed", float(got_completed), float(want["jobs"]), 0.0),
+        )
+        entry: dict[str, Any] = {}
+        for label, got, want_value, tolerance in checks:
+            entry[label] = {
+                "reservation": round(got, 3),
+                "jobs": round(want_value, 3),
+            }
+            if abs(got - want_value) > tolerance:
+                errors.append(
+                    f"{principal} {label} mismatch: "
+                    f"reservation={got} jobs={want_value}"
+                )
+        tie_out[principal] = entry
+
+    section = report["monitor"]
+    section["tie_out"] = tie_out
+    section["tie_out_ok"] = not errors
+    section["tie_out_errors"] = errors
+    section["variance_ms"] = {
+        principal: {k: round(v, 6) for k, v in sorted(values.items())}
+        for principal, values in sorted(variance.items())
+    }
+    section["utilization"] = [
+        [round(t, 3), round(v, 6)]
+        for t, v in monitor.store.points("pool_slot_busy_ratio")
+    ]
+    section["queue_depth"] = {
+        principal: [
+            [round(t, 3), round(v, 6)]
+            for t, v in monitor.store.points("pool_queue_depth", principal=principal)
+        ]
+        for principal in analyst_ids
+    }
+    section["burn_alerts_fired"] = monitor.alerts.fired_ever("burn_rate")
+    section["alerts_fired"] = monitor.alerts.fired_ever()
+    report["tie_out_ok"] = report["tie_out_ok"] and not errors
+    report["tie_out_errors"] = report["tie_out_errors"] + errors
+    return report

@@ -1,0 +1,194 @@
+"""Unit tests for the SLO alert engine (``repro.obs.alerts``).
+
+Pins the deterministic lifecycle semantics: threshold rules with a
+``for_ms`` sustain go PENDING before FIRING and resolve when the breach
+clears; burn-rate rules fire only when BOTH the long and the short
+window burn the error budget at the configured factor (the multi-window
+test that keeps burn alerts from flapping on old spikes); every
+transition lands one event and one ``repro_alerts_total`` bump.
+"""
+
+import pytest
+
+from repro.obs.alerts import (
+    FIRING,
+    INACTIVE,
+    PENDING,
+    AlertEngine,
+    AlertRule,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tsdb import TimeSeriesStore
+
+
+def threshold_rule(**overrides):
+    base = dict(
+        name="latency-high",
+        kind="threshold",
+        series="lat",
+        fn="avg",
+        threshold=100.0,
+        window_ms=100.0,
+    )
+    base.update(overrides)
+    return AlertRule(**base)
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            AlertRule(name="x", kind="wat", series="s")
+
+    def test_unknown_fn(self):
+        with pytest.raises(ValueError, match="fn"):
+            threshold_rule(fn="stddev")
+
+    def test_bad_comparator(self):
+        with pytest.raises(ValueError, match="comparator"):
+            threshold_rule(comparator="!=")
+
+    def test_burn_needs_positive_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            AlertRule(name="x", kind="burn_rate", series="s", error_budget=0.0)
+
+    def test_duplicate_rule_names_rejected(self):
+        store = TimeSeriesStore()
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine([threshold_rule(), threshold_rule()], store)
+
+
+class TestThresholdLifecycle:
+    def test_fires_immediately_without_for(self):
+        store = TimeSeriesStore()
+        engine = AlertEngine([threshold_rule()], store)
+        store.record("lat", 50.0, 500.0)
+        events = engine.evaluate(100.0)
+        assert [e.state for e in events] == [FIRING]
+        assert engine.state_of("latency-high") == FIRING
+        assert engine.firing() == ["latency-high"]
+
+    def test_for_ms_goes_pending_then_firing(self):
+        store = TimeSeriesStore()
+        engine = AlertEngine([threshold_rule(for_ms=200.0)], store)
+        for t in (50.0, 150.0, 250.0):
+            store.record("lat", t, 500.0)
+        assert [e.state for e in engine.evaluate(100.0)] == [PENDING]
+        assert engine.evaluate(200.0) == []  # sustained but not long enough
+        assert [e.state for e in engine.evaluate(300.0)] == [FIRING]
+
+    def test_pending_clears_silently_firing_resolves_loudly(self):
+        store = TimeSeriesStore()
+        engine = AlertEngine([threshold_rule(for_ms=200.0)], store)
+        store.record("lat", 50.0, 500.0)
+        engine.evaluate(100.0)  # PENDING
+        store.record("lat", 150.0, 1.0)
+        assert engine.evaluate(200.0) == []  # PENDING -> INACTIVE, no event
+        assert engine.state_of("latency-high") == INACTIVE
+
+        store.record("lat", 250.0, 500.0)
+        engine.evaluate(300.0)  # PENDING again (the sustain restarts)
+        store.record("lat", 400.0, 500.0)
+        assert engine.evaluate(450.0) == []  # 150 ms sustained < for_ms
+        store.record("lat", 500.0, 500.0)
+        events = engine.evaluate(550.0)  # 250 ms sustained >= for_ms
+        assert [e.state for e in events] == [FIRING]
+        store.record("lat", 600.0, 1.0)
+        events = engine.evaluate(650.0)
+        assert [e.state for e in events] == ["RESOLVED"]
+        assert engine.state_of("latency-high") == INACTIVE
+
+    def test_no_data_never_breaches(self):
+        store = TimeSeriesStore()
+        engine = AlertEngine([threshold_rule()], store)
+        assert engine.evaluate(100.0) == []
+        assert engine.state_of("latency-high") == INACTIVE
+
+    def test_quantile_fn(self):
+        store = TimeSeriesStore()
+        rule = threshold_rule(fn="quantile", q=0.99, threshold=90.0)
+        engine = AlertEngine([rule], store)
+        for i in range(10):
+            store.record("lat", float(i), 10.0)
+        store.record("lat", 10.0, 100.0)  # one outlier drives the p99
+        events = engine.evaluate(50.0)
+        assert [e.state for e in events] == [FIRING]
+        assert events[0].value == 100.0
+
+
+class TestBurnRate:
+    def rule(self):
+        return AlertRule(
+            name="burn",
+            kind="burn_rate",
+            series="bad",
+            window_ms=1000.0,
+            short_window_ms=200.0,
+            error_budget=0.2,
+            burn_factor=1.0,
+            severity="page",
+        )
+
+    def test_requires_both_windows(self):
+        # Old spike: long window burns, short window is clean -> no fire.
+        store = TimeSeriesStore()
+        engine = AlertEngine([self.rule()], store)
+        for t in (100.0, 200.0, 300.0):
+            store.record("bad", t, 1.0)
+        for t in (850.0, 950.0):
+            store.record("bad", t, 0.0)
+        assert engine.evaluate(1000.0) == []
+        assert engine.state_of("burn") == INACTIVE
+
+    def test_fires_when_both_windows_burn(self):
+        store = TimeSeriesStore()
+        engine = AlertEngine([self.rule()], store)
+        for t in (100.0, 500.0, 900.0, 950.0):
+            store.record("bad", t, 1.0)
+        events = engine.evaluate(1000.0)
+        assert [e.state for e in events] == [FIRING]
+        # Operative value is min(long_burn, short_burn) = 1.0/0.2 = 5.
+        assert events[0].value == pytest.approx(5.0)
+        assert "burn long=" in events[0].detail
+
+    def test_nan_window_means_no_breach(self):
+        store = TimeSeriesStore()
+        engine = AlertEngine([self.rule()], store)
+        store.record("bad", 100.0, 1.0)  # in long window only
+        assert engine.evaluate(1000.0) == []  # short window empty -> NaN
+
+
+class TestEngineBookkeeping:
+    def test_events_accumulate_and_metrics_bump(self):
+        store = TimeSeriesStore()
+        registry = MetricsRegistry()
+        engine = AlertEngine([threshold_rule()], store, metrics=registry)
+        store.record("lat", 50.0, 500.0)
+        engine.evaluate(100.0)
+        store.record("lat", 150.0, 1.0)
+        engine.evaluate(200.0)
+        assert [e.state for e in engine.events] == [FIRING, "RESOLVED"]
+        snap = registry.snapshot()["repro_alerts_total"]
+        assert snap['repro_alerts_total{rule="latency-high",state="FIRING"}'] == 1.0
+        assert snap['repro_alerts_total{rule="latency-high",state="RESOLVED"}'] == 1.0
+
+    def test_fired_ever_filters_by_kind(self):
+        store = TimeSeriesStore()
+        burn = AlertRule(
+            name="burn", kind="burn_rate", series="bad",
+            window_ms=1000.0, short_window_ms=200.0, error_budget=0.2,
+        )
+        engine = AlertEngine([threshold_rule(), burn], store)
+        store.record("lat", 50.0, 500.0)
+        engine.evaluate(100.0)
+        assert engine.fired_ever() == ["latency-high"]
+        assert engine.fired_ever("threshold") == ["latency-high"]
+        assert engine.fired_ever("burn_rate") == []
+
+    def test_event_row_shape_matches_alerts_schema(self):
+        store = TimeSeriesStore()
+        engine = AlertEngine([threshold_rule()], store)
+        store.record("lat", 50.0, 500.0)
+        (event,) = engine.evaluate(100.0)
+        row = event.to_row()
+        assert len(row) == 9
+        assert row[1] == "latency-high" and row[3] == FIRING

@@ -1,0 +1,176 @@
+"""Unit tests for the sim-time TSDB (``repro.obs.tsdb``) and the Gauge
+ergonomics the fleet monitor depends on.
+
+Covers the Prometheus-shaped contracts: range-vector lookback ``(at -
+window, at]``, nearest-rank ``quantile_over_time``, counter ``rate()``,
+staleness markers (a vanished series must not ghost its last value
+forward), and the scraper's fixed grid (scrape timestamps are multiples
+of the interval no matter when ``maybe_scrape`` is called).
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tsdb import MetricsScraper, TimeSeriesStore
+
+
+class TestTimeSeriesStore:
+    def test_points_roundtrip_and_labels(self):
+        store = TimeSeriesStore()
+        store.record("q", 10.0, 1.0, principal="a")
+        store.record("q", 20.0, 2.0, principal="a")
+        store.record("q", 15.0, 9.0, principal="b")
+        assert store.points("q", principal="a") == [(10.0, 1.0), (20.0, 2.0)]
+        assert store.points("q", principal="b") == [(15.0, 9.0)]
+        assert store.points("q") == []  # unlabeled series is distinct
+        assert store.series_names() == ["q"]
+        assert len(store) == 2
+        assert store.sample_count() == 3
+
+    def test_append_must_be_time_ordered_per_series(self):
+        store = TimeSeriesStore()
+        store.record("x", 100.0, 1.0)
+        with pytest.raises(ValueError, match="time order"):
+            store.record("x", 99.0, 2.0)
+        # Other series are independent.
+        store.record("y", 0.0, 1.0)
+
+    def test_window_is_half_open_lookback(self):
+        store = TimeSeriesStore()
+        for t in (10.0, 20.0, 30.0):
+            store.record("v", t, t)
+        # (10, 30]: the sample AT at_ms is included, at-window excluded.
+        assert store.sum_over_time("v", 30.0, 20.0) == 50.0
+        assert store.count_over_time("v", 30.0, 20.0) == 2
+        assert store.avg_over_time("v", 30.0, 20.0) == 25.0
+        assert store.max_over_time("v", 30.0, 20.0) == 30.0
+        assert store.min_over_time("v", 30.0, 20.0) == 20.0
+
+    def test_empty_window_is_nan(self):
+        store = TimeSeriesStore()
+        store.record("v", 100.0, 1.0)
+        assert math.isnan(store.avg_over_time("v", 50.0, 10.0))
+        assert math.isnan(store.avg_over_time("missing", 50.0, 10.0))
+
+    def test_quantile_over_time_nearest_rank(self):
+        store = TimeSeriesStore()
+        for i, v in enumerate([5.0, 1.0, 3.0, 2.0, 4.0]):
+            store.record("lat", float(i), v)
+        assert store.quantile_over_time("lat", 0.5, 10.0, 100.0) == 3.0
+        assert store.quantile_over_time("lat", 0.99, 10.0, 100.0) == 5.0
+        assert store.quantile_over_time("lat", 0.0, 10.0, 100.0) == 1.0
+        with pytest.raises(ValueError):
+            store.quantile_over_time("lat", 1.5, 10.0, 100.0)
+
+    def test_rate_is_per_second_increase(self):
+        store = TimeSeriesStore()
+        store.record("c", 0.0, 10.0)
+        store.record("c", 500.0, 15.0)
+        store.record("c", 1000.0, 30.0)
+        # Half-open lookback (0, 1000]: the t=0 sample is excluded, so the
+        # increase is 30 - 15 over a 1-second window.
+        assert store.rate("c", 1000.0, 1000.0) == pytest.approx(15.0)
+        # Fewer than two samples in the window: no observable increase.
+        assert store.rate("c", 1000.0, 400.0) == 0.0
+
+    def test_staleness_markers_skipped_by_windows_and_kill_last(self):
+        store = TimeSeriesStore()
+        store.record("g", 100.0, 7.0)
+        store.record_stale("g", 200.0)
+        assert store.avg_over_time("g", 250.0, 200.0) == 7.0  # marker skipped
+        assert store.last("g", 150.0) == 7.0
+        # Newest sample at 200 is the marker: the series is dead, the old
+        # value must not ghost forward.
+        assert math.isnan(store.last("g", 250.0))
+
+
+class TestMetricsScraper:
+    def test_fixed_grid_catch_up(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", "ops").inc()
+        store = TimeSeriesStore()
+        scraper = MetricsScraper(registry, store, interval_ms=100.0)
+        # First call far into sim time: every elapsed grid instant lands.
+        assert scraper.maybe_scrape(350.0) == 4  # t = 0, 100, 200, 300
+        assert [t for t, _ in store.points("repro_ops_total")] == [
+            0.0, 100.0, 200.0, 300.0,
+        ]
+        # No new grid instant elapsed -> no scrape.
+        assert scraper.maybe_scrape(399.0) == 0
+        assert scraper.maybe_scrape(400.0) == 1
+        assert scraper.scrape_count == 5
+
+    def test_grid_is_call_site_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", "ops").inc()
+
+        def timestamps(checkpoints):
+            store = TimeSeriesStore()
+            scraper = MetricsScraper(registry, store, interval_ms=50.0)
+            for now in checkpoints:
+                scraper.maybe_scrape(now)
+            return [t for t, _ in store.points("repro_ops_total")]
+
+        assert timestamps([220.0]) == timestamps([60.0, 130.0, 220.0])
+
+    def test_history_rows_and_staleness_marker(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_depth", "queue depth")
+        gauge.set(3.0, principal="a")
+        store = TimeSeriesStore()
+        scraper = MetricsScraper(registry, store, interval_ms=100.0)
+        scraper.maybe_scrape(0.0)
+        assert gauge.remove(principal="a")
+        scraper.maybe_scrape(100.0)
+        rows = list(scraper.rows)
+        live = [r for r in rows if r[3] == 'repro_depth{principal="a"}' and not r[5]]
+        stale = [r for r in rows if r[5]]
+        assert len(live) == 1 and live[0][4] == 3.0
+        assert len(stale) == 1
+        assert stale[0][0] == 100.0 and math.isnan(stale[0][4])
+        # The TSDB saw the marker too: last() refuses to ghost the value.
+        assert math.isnan(store.last("repro_depth", 150.0, principal="a"))
+        # Series stays gone (no marker spam on the next scrape).
+        scraper.maybe_scrape(200.0)
+        assert sum(1 for r in scraper.rows if r[5]) == 1
+
+    def test_scraper_is_a_pure_reader(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", "ops").inc(kind="x")
+        before = registry.render()
+        scraper = MetricsScraper(registry, TimeSeriesStore(), interval_ms=10.0)
+        scraper.maybe_scrape(100.0)
+        assert registry.render() == before
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsScraper(MetricsRegistry(), TimeSeriesStore(), interval_ms=0.0)
+
+
+class TestGaugeErgonomics:
+    """Satellite fix: inc/dec pairs and explicit series removal, so the
+    pool sampler can retire a principal's series instead of letting its
+    last value persist forever in METRICS_HISTORY."""
+
+    def test_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "test")
+        gauge.inc(principal="a")
+        gauge.inc(2.0, principal="a")
+        gauge.dec(principal="a")
+        assert registry.snapshot()["g"]['g{principal="a"}'] == 2.0
+
+    def test_remove_and_label_sets(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "test")
+        gauge.set(1.0, principal="a")
+        gauge.set(2.0, principal="b")
+        assert gauge.label_sets() == [
+            (("principal", "a"),), (("principal", "b"),),
+        ]
+        assert gauge.remove(principal="a") is True
+        assert gauge.remove(principal="a") is False  # already gone
+        assert gauge.label_sets() == [(("principal", "b"),)]
+        assert 'g{principal="a"}' not in registry.snapshot()["g"]
