@@ -1,0 +1,134 @@
+"""E16-TXN — multi-table transaction commit throughput + chaos oracle.
+
+The transaction coordinator (``repro.txn``) publishes co-mutations of the
+order/lineitem pair through an object-store transaction log: intent record,
+tagged per-table commits, then one CAS'd COMMITTED marker as the sole
+source of truth. This bench measures how that protocol behaves as writer
+concurrency grows, and re-proves the robustness claims at bench size:
+
+* **(a) commit throughput vs. writer count** — sim-time commits/sec and
+  the conflict rate (first-writer-wins losses per commit attempt) for
+  1, 2, 4 and 8 concurrent writers over the same four orders.
+* **(b) chaos costs retries, not correctness** — the same workload at an
+  8% fault rate (including ``txn.crash`` mid-publish) still lands every
+  transaction with zero invariant violations and zero dangling intents.
+* **(c) the run is replayable** — a second chaos run under the same seed
+  produces a byte-identical report.
+
+Recorded in ``BENCH_PR8.json`` under ``e16_txn``.
+"""
+
+import json
+
+from repro.bench import format_table, record_bench
+from repro.txn.workload import run_txn_workload
+
+SEED = 7
+TXNS_PER_WRITER = 3
+ORDERS = 4
+WRITER_COUNTS = [1, 2, 4, 8]
+CHAOS_RATE = 0.08
+
+
+def _throughput(report):
+    elapsed_s = report["sim_elapsed_ms"] / 1000.0
+    return report["commits"] / elapsed_s if elapsed_s > 0 else 0.0
+
+
+def _conflict_rate(report):
+    attempts = report["commits"] + report["conflicts"]
+    return report["conflicts"] / attempts if attempts else 0.0
+
+
+def test_e16_txn_throughput_and_chaos(benchmark):
+    # -- (a) throughput/conflict sweep over writer counts ----------------
+    sweep = {}
+    for writers in WRITER_COUNTS:
+        report = run_txn_workload(
+            seed=SEED, writers=writers, txns_per_writer=TXNS_PER_WRITER,
+            orders=ORDERS, rate=0.0,
+        )
+        assert report["violations"] == []
+        assert report["commits"] == writers * TXNS_PER_WRITER
+        assert report["gave_up"] == 0
+        sweep[writers] = report
+
+    # -- (b) the chaos leg, timed ----------------------------------------
+    chaos_kwargs = dict(
+        seed=SEED, writers=4, txns_per_writer=TXNS_PER_WRITER,
+        orders=ORDERS, rate=CHAOS_RATE,
+    )
+    chaos = benchmark.pedantic(
+        lambda: run_txn_workload(**chaos_kwargs), rounds=1, iterations=1
+    )
+    assert chaos["violations"] == []
+    assert chaos["dangling_intents"] == 0
+    assert chaos["crashes"] > 0
+    assert chaos["commits"] == 4 * TXNS_PER_WRITER
+    assert chaos["gave_up"] == 0
+
+    # -- (c) byte-identical same-seed replay -----------------------------
+    replay = run_txn_workload(**chaos_kwargs)
+    assert json.dumps(chaos, sort_keys=True) == json.dumps(
+        replay, sort_keys=True
+    ), "same-seed chaos runs diverged"
+
+    rows = [
+        (
+            f"{w} writer{'s' if w > 1 else ''}",
+            r["commits"],
+            r["conflicts"],
+            f"{_conflict_rate(r):.2f}",
+            f"{_throughput(r):.1f}",
+        )
+        for w, r in sweep.items()
+    ]
+    rows.append(
+        (
+            f"4 writers @ {CHAOS_RATE:.0%} faults",
+            chaos["commits"],
+            chaos["conflicts"],
+            f"{_conflict_rate(chaos):.2f}",
+            f"{_throughput(chaos):.1f}",
+        )
+    )
+    print(
+        format_table(
+            "E16-TXN — commit throughput vs. writer count (sim time)",
+            ["run", "commits", "conflicts", "conflict rate", "commits/s"],
+            rows,
+        )
+    )
+    print(
+        f"chaos leg: {chaos['crashes']} writer crashes, "
+        f"{chaos['recovery']['rolled_forward']} rolled forward, "
+        f"{chaos['recovery']['rolled_back']} rolled back, "
+        f"0 torn states, 0 dangling intents; same-seed replay byte-identical"
+    )
+    record_bench(
+        "e16_txn",
+        seed=SEED,
+        txns_per_writer=TXNS_PER_WRITER,
+        orders=ORDERS,
+        writer_sweep={
+            str(w): {
+                "commits": r["commits"],
+                "conflicts": r["conflicts"],
+                "conflict_rate": round(_conflict_rate(r), 4),
+                "commits_per_sim_s": round(_throughput(r), 3),
+                "sim_elapsed_ms": round(r["sim_elapsed_ms"], 3),
+            }
+            for w, r in sweep.items()
+        },
+        chaos_rate=CHAOS_RATE,
+        chaos_commits=chaos["commits"],
+        chaos_conflicts=chaos["conflicts"],
+        chaos_conflict_rate=round(_conflict_rate(chaos), 4),
+        chaos_commits_per_sim_s=round(_throughput(chaos), 3),
+        chaos_crashes=chaos["crashes"],
+        chaos_rolled_forward=chaos["recovery"]["rolled_forward"],
+        chaos_rolled_back=chaos["recovery"]["rolled_back"],
+        chaos_violations=len(chaos["violations"]),
+        chaos_dangling_intents=chaos["dangling_intents"],
+        replay_byte_identical=True,
+    )

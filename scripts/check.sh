@@ -8,7 +8,9 @@
 # multi-principal reports, plain and under chaos) + the monitor
 # determinism gate (same seed, two processes, byte-identical telemetry
 # reports — RESERVATION_TIMELINE tie-out, alert log, variance table —
-# plain and under chaos).
+# plain and under chaos) + the transaction determinism gate (same seed,
+# two processes, byte-identical chaos-workload reports — commit timeline,
+# recovery actions, torn-state oracle — plain and under chaos).
 # Usage: scripts/check.sh  (from the repo root)
 set -euo pipefail
 
@@ -116,5 +118,33 @@ if diff -u "$mon_ca" "$mon_cb"; then
     echo "monitor run under chaos is deterministic"
 else
     echo "monitor chaos determinism gate FAILED: same seed produced different reports" >&2
+    exit 1
+fi
+
+echo "== transaction determinism gate =="
+# The CLI itself exits non-zero if the chaos oracle sees a torn state, a
+# dangling intent survives recovery, or any transaction fails to land;
+# diffing two same-seed reports pins the whole run (writer interleaving,
+# conflict losers, crash points, recovery actions, commit timeline)
+# byte-for-byte — with and without the chaos plan.
+txn_a="$(mktemp)" txn_b="$(mktemp)" txn_ca="$(mktemp)" txn_cb="$(mktemp)"
+trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
+    "$serve_a" "$serve_b" "$serve_ca" "$serve_cb" \
+    "$mon_a" "$mon_b" "$mon_ca" "$mon_cb" \
+    "$txn_a" "$txn_b" "$txn_ca" "$txn_cb"' EXIT
+PYTHONPATH=src python -m repro txn --smoke --seed 1234 --json "$txn_a" >/dev/null
+PYTHONPATH=src python -m repro txn --smoke --seed 1234 --json "$txn_b" >/dev/null
+if diff -u "$txn_a" "$txn_b"; then
+    echo "txn run is deterministic"
+else
+    echo "txn determinism gate FAILED: same seed produced different reports" >&2
+    exit 1
+fi
+PYTHONPATH=src python -m repro txn --smoke --chaos --seed 1234 --json "$txn_ca" >/dev/null
+PYTHONPATH=src python -m repro txn --smoke --chaos --seed 1234 --json "$txn_cb" >/dev/null
+if diff -u "$txn_ca" "$txn_cb"; then
+    echo "txn run under chaos is deterministic"
+else
+    echo "txn chaos determinism gate FAILED: same seed produced different reports" >&2
     exit 1
 fi

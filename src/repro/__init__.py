@@ -33,6 +33,7 @@ from repro.security import (
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.serving import QueryJob, ServingConfig
 from repro.simtime import CostModel, SimContext
+from repro.txn import Transaction, TransactionCoordinator
 
 __version__ = "1.0.0"
 
@@ -61,5 +62,7 @@ __all__ = [
     "RetryPolicy",
     "QueryJob",
     "ServingConfig",
+    "Transaction",
+    "TransactionCoordinator",
     "__version__",
 ]

@@ -51,6 +51,17 @@ Commands:
   the run exactly replayable and ``--json OUT`` writes the timeline
   report; the output is deterministic, so two invocations with the same
   seed must be byte-identical (the CI scheduler determinism gate).
+* ``txn`` — multi-table ACID transaction walkthrough: concurrent seeded
+  writers co-mutate ``txn.orders``/``txn.lineitems`` (every commit inserts
+  a lineitem and bumps the matching order total atomically) while the
+  torn-state oracle checks the cross-table invariant in every obtainable
+  view — mid-flight, final, and as-of each commit marker. ``--chaos``
+  injects writer crashes at every publish step plus storage/metadata
+  transients; ``--recover`` runs a crash-heavy profile that must exercise
+  the recovery sweep; ``--smoke`` is the small CI variant. Exits non-zero
+  on any invariant violation, dangling intent, or lost transaction.
+  Deterministic: same seed ⇒ byte-identical ``--json`` report (the txn
+  determinism gate in ``scripts/check.sh``).
 * ``experiments`` — run the full E1–E12 + future-work benchmark suite.
 * ``info``        — print the module inventory and experiment index.
 """
@@ -700,6 +711,115 @@ def _schedule(sql: str | None, seed: int, plans: list[str], json_path: str | Non
     return 0
 
 
+# The default `txn --chaos` profile is built by repro.txn.workload.chaos_plan:
+# writer crashes at every publish step plus storage/metadata transients.
+TXN_CHAOS_RATE = 0.08
+
+# The `txn --recover` profile: crash-heavy, so the run leans on the
+# recovery sweep (both roll directions) instead of the happy path.
+TXN_RECOVER_RATE = 0.25
+
+
+def _txn(
+    seed: int,
+    smoke: bool,
+    recover: bool,
+    chaos: bool,
+    plans: list[str],
+    rate: float | None,
+    json_path: str | None,
+) -> int:
+    """Multi-table ACID transaction walkthrough: concurrent order/lineitem
+    writers under seeded faults, checked by the torn-state oracle at every
+    view a reader can obtain. Self-checking (zero violations, zero dangling
+    intents, every transaction eventually commits) and deterministic: same
+    seed ⇒ byte-identical ``--json`` report."""
+    import json
+
+    from repro.txn.workload import run_txn_workload
+
+    if rate is None:
+        rate = TXN_RECOVER_RATE if recover else (TXN_CHAOS_RATE if chaos else 0.0)
+    kwargs = (
+        dict(writers=2, txns_per_writer=2, orders=3)
+        if smoke
+        else dict(writers=4, txns_per_writer=3, orders=4)
+    )
+    try:
+        report = run_txn_workload(seed=seed, rate=rate, plans=plans or None, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    mode = "smoke" if smoke else ("recover" if recover else "full")
+    print(
+        f"-- txn: {kwargs['writers']} writers x {kwargs['txns_per_writer']} txns, "
+        f"{kwargs['orders']} orders, seed={seed} rate={rate:g} ({mode})\n"
+    )
+    print("txn_id      writer        order  amount  commit_ms")
+    for entry in report["commit_timeline"]:
+        print(
+            f"{entry['txn_id']}  {entry['writer'].removeprefix('user:'):<12} "
+            f"{entry['order_id']:>5} {entry['amount']:>7.2f} {entry['commit_ms']:>10.2f}"
+        )
+    rec = report["recovery"]
+    print(
+        f"\ncommits={report['commits']} conflicts={report['conflicts']} "
+        f"crashes={report['crashes']} aborts={report['aborts']} "
+        f"transients={report['transient_failures']}"
+    )
+    print(
+        f"recovery: sweeps={rec['sweeps']} rolled_forward={rec['rolled_forward']} "
+        f"rolled_back={rec['rolled_back']} dangling_intents={report['dangling_intents']}"
+    )
+    print(
+        f"oracle: {report['midflight_checks']} mid-flight + 1 final + "
+        f"{report['snapshot_checks']} as-of checks, "
+        f"{len(report['violations'])} violations"
+    )
+    print("order totals: " + " ".join(
+        f"{oid}={total:g}" for oid, total in sorted(
+            report["final_totals"].items(), key=lambda kv: int(kv[0])
+        )
+    ))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"txn report written to {json_path}")
+
+    failures = 0
+    for violation in report["violations"]:
+        print(f"error: invariant violated: {violation}", file=sys.stderr)
+        failures += 1
+    if report["dangling_intents"]:
+        print(
+            f"error: {report['dangling_intents']} dangling intent(s) survived "
+            "the final recovery sweep",
+            file=sys.stderr,
+        )
+        failures += 1
+    expected = kwargs["writers"] * kwargs["txns_per_writer"]
+    if report["commits"] != expected or report["gave_up"]:
+        print(
+            f"error: {report['commits']}/{expected} transactions committed "
+            f"({report['gave_up']} gave up)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if recover and rec["rolled_forward"] + rec["rolled_back"] == 0:
+        print(
+            "error: --recover run exercised no recovery (no crash landed "
+            "mid-publish; raise the rate or change the seed)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if failures:
+        return 1
+    print("torn-state oracle: OK")
+    return 0
+
+
 def _experiments(extra: list[str]) -> int:
     command = [
         sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
@@ -726,7 +846,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "demo", "trace", "jobs", "chaos", "cache-stats", "schedule",
-            "serve", "monitor", "experiments", "info",
+            "serve", "monitor", "txn", "experiments", "info",
         ],
         nargs="?", default="demo",
     )
@@ -779,13 +899,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="for 'serve'/'monitor': small fast variant (6 jobs, 2 "
-        "principals) for CI",
+        help="for 'serve'/'monitor'/'txn': small fast variant for CI",
     )
     parser.add_argument(
         "--chaos", action="store_true", dest="serve_chaos",
-        help="for 'serve'/'monitor': replay the workload under the default "
-        "seeded fault plan (or give explicit --plan specs)",
+        help="for 'serve'/'monitor'/'txn': replay the workload under the "
+        "default seeded fault plan (or give explicit --plan specs)",
+    )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="for 'txn': crash-heavy profile that must exercise the "
+        "recovery sweep (exit non-zero if it never runs)",
     )
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -810,6 +934,11 @@ def main(argv: list[str] | None = None) -> int:
         return _monitor(
             args.seed, args.smoke, args.serve_chaos, args.plan,
             args.json_path, args.chrome_trace,
+        )
+    if args.command == "txn":
+        return _txn(
+            args.seed, args.smoke, args.recover, args.serve_chaos,
+            args.plan, args.rate, args.json_path,
         )
     if args.command == "schedule":
         return _schedule(

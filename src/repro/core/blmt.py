@@ -102,12 +102,25 @@ class BlmtManager:
             retention_ms if retention_ms is not None else self.DEFAULT_RETENTION_MS
         )
         self._file_counter = 0
+        # TransactionCoordinator (repro.txn), wired when the platform's txn
+        # coordinator is created. While it has an active transaction, DML
+        # buffers into the transaction instead of committing.
+        self.coordinator = None
+
+    def _active_txn(self):
+        coordinator = self.coordinator
+        return coordinator.active if coordinator is not None else None
 
     # -- write paths ---------------------------------------------------------
 
     def insert(self, table: TableInfo, batches: list[RecordBatch]) -> int:
-        """Append rows; returns the commit id."""
+        """Append rows; returns the commit id (0 when buffered into an open
+        multi-table transaction — commit ids are assigned at publish)."""
+        txn = self._active_txn()
         entry = self._write_file(table, batches)
+        if txn is not None:
+            txn.stage_blmt(table, added=[entry])
+            return 0
         commit_id = self.ctx.with_retry(
             "bigmeta.commit",
             lambda: self.bigmeta.commit(table.table_id, added=[entry]),
@@ -133,12 +146,17 @@ class BlmtManager:
         drops the file), and atomically swap old files for new.
 
         Returns the total number of rows affected (changed or deleted).
+
+        Inside an open multi-table transaction, candidate files are read at
+        the transaction's begin snapshot and the rewrite is *buffered* —
+        nothing publishes until the transaction's marker lands.
         """
-        candidates = self.bigmeta.prune(table.table_id, constraints)
+        mt_txn = self._active_txn()
+        as_of_ms = mt_txn.begin_ms if mt_txn is not None else None
+        candidates = self.bigmeta.prune(table.table_id, constraints, as_of_ms=as_of_ms)
         if not candidates:
             return 0
         store = self.stores.store_for(table.storage.location)
-        txn = self.bigmeta.begin()
         affected = 0
         removed: list[str] = []
         added: list[FileEntry] = []
@@ -161,8 +179,11 @@ class BlmtManager:
             if result is not None and result.num_rows:
                 added.append(self._write_file(table, [result], partition=entry.partition()))
         if not removed and not added:
-            txn.abort()
             return 0
+        if mt_txn is not None:
+            mt_txn.stage_blmt(table, added=added, deleted=removed)
+            return affected
+        txn = self.bigmeta.begin()
         txn.stage(table.table_id, added=added, deleted=removed)
         txn.commit()
         table.version += 1

@@ -116,6 +116,7 @@ class LakehousePlatform:
         self.ml = None  # InferenceRuntime, set below
         self._omni = None  # OmniDeployment, created on first use
         self._job_server = None  # JobServer, created on first use
+        self._txn = None  # TransactionCoordinator, created on first use
         self.stores.add_region(self.config.home_region)
         self.home_engine = self.add_engine(self.config.home_region)
 
@@ -201,6 +202,26 @@ class LakehousePlatform:
 
             self._job_server = JobServer(self, self.omni)
         return self._job_server
+
+    # -- transactions -------------------------------------------------------------
+
+    @property
+    def txn(self):
+        """The multi-table transaction coordinator (created on first use).
+
+        Creation wires marker resolution into Big Metadata and every object
+        store, and runs a crash-recovery sweep over the transaction log —
+        the "recovery at platform start" half of the protocol.
+        """
+        if self._txn is None:
+            from repro.txn.coordinator import TransactionCoordinator
+
+            self._txn = TransactionCoordinator(self)
+        return self._txn
+
+    def begin(self, principal: Principal):
+        """Open a multi-table ACID transaction for ``principal``."""
+        return self.txn.begin(principal)
 
     # -- observability ------------------------------------------------------------
 

@@ -272,6 +272,7 @@ class TableManager:
 
     def _append(self, table: TableInfo, batch: RecordBatch) -> None:
         if table.kind is TableKind.MANAGED:
+            self._reject_in_txn(table)
             self.platform.managed.append(table.table_id, batch)
             table.version += 1
         elif table.kind is TableKind.BLMT:
@@ -336,8 +337,19 @@ class TableManager:
 
         return self._dml_result(self._mutate(table, statement.where, transform))
 
+    def _reject_in_txn(self, table: TableInfo) -> None:
+        """Managed tables apply DML in place (no buffered commit protocol),
+        so letting one slip inside a multi-table transaction would silently
+        break atomicity — fail loudly instead."""
+        if self.blmt._active_txn() is not None:
+            raise QueryError(
+                f"cannot write {table.kind.value} table {table.table_id} inside "
+                "a multi-table transaction (BLMT tables only)"
+            )
+
     def _mutate(self, table: TableInfo, where: ast.Expr | None, transform) -> int:
         if table.kind is TableKind.MANAGED:
+            self._reject_in_txn(table)
             batches = self.platform.managed.read(table.table_id)
             affected = 0
             new_batches = []

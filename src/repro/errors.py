@@ -64,6 +64,34 @@ class MetadataUnavailableError(CatalogError, TransientError):
     """Big Metadata was transiently unreachable (lookup or commit)."""
 
 
+class CommitRetryExhaustedError(CatalogError, TransientError):
+    """A pointer-CAS commit lost every retry of its budget to races.
+
+    Raised by :meth:`repro.tableformats.iceberg.IcebergTable.commit_append`
+    (and overwrite) when ``max_retries`` CAS attempts all collided with
+    concurrent committers. Transient by construction: the table is healthy,
+    the commit is simply contended — backing off and retrying the whole
+    commit can succeed (§3.5's commit-rate ceiling made visible).
+    """
+
+
+class TransactionAbortedError(CatalogError):
+    """The multi-table transaction was aborted (conflict loser or rolled
+    back by recovery); its staged writes will never become visible.
+    Deliberately not transient: the caller must begin a fresh transaction.
+    """
+
+
+class WriterCrashError(ReproError):
+    """An injected writer death at a ``txn.crash`` hazard point.
+
+    Simulates the writing process dying mid-publish: the transaction is
+    left exactly as the crash found it (dangling intent, partial tagged
+    commits) for the recovery sweep to finish. Not transient — a dead
+    writer cannot retry itself.
+    """
+
+
 class SecurityError(ReproError):
     """Authentication or authorization failure."""
 
@@ -144,3 +172,51 @@ class VpnPolicyError(OmniError):
 
 class VpnUnavailableError(OmniError, TransientError):
     """The cross-cloud VPN tunnel flapped; the RPC never reached the peer."""
+
+
+#: Stable machine-readable codes for ``INFORMATION_SCHEMA.JOBS.error_code``.
+#: Ordered most-specific-first; the first matching class wins. Free-text
+#: ``error`` strings stay for humans; retry dashboards and abort budgets
+#: key off these instead.
+_ERROR_CODES: tuple[tuple[type, str], ...] = (
+    (TransactionAbortedError, "TXN_ABORTED"),
+    (TransactionConflictError, "TXN_CONFLICT"),
+    (CommitRetryExhaustedError, "COMMIT_RETRY_EXHAUSTED"),
+    (WriterCrashError, "WRITER_CRASHED"),
+    (JobCancelledError, "CANCELLED"),
+    (TokenExpiredError, "TOKEN_EXPIRED"),
+    (InvalidCredentialError, "INVALID_CREDENTIAL"),
+    (AccessDeniedError, "ACCESS_DENIED"),
+    (RateLimitedError, "RATE_LIMITED"),
+    (PreconditionFailedError, "PRECONDITION_FAILED"),
+    (NotFoundError, "NOT_FOUND"),
+    (AlreadyExistsError, "ALREADY_EXISTS"),
+    (SqlSyntaxError, "INVALID_SYNTAX"),
+    (AnalysisError, "INVALID_QUERY"),
+    (ModelTooLargeError, "MODEL_TOO_LARGE"),
+    (VpnPolicyError, "VPN_POLICY_DENIED"),
+    (StreamOffsetError, "STREAM_OFFSET_MISMATCH"),
+    (SessionExpiredError, "SESSION_EXPIRED"),
+)
+
+
+def error_code(exc: BaseException | None) -> str:
+    """The stable code for an exception surfaced as a job's terminal error.
+
+    A *transient* error that still reached the caller means the retry
+    budget ran out recovering it — those all map to
+    ``RETRY_BUDGET_EXHAUSTED`` (unless a more specific code above applies),
+    so "gave up retrying" is one queryable bucket instead of N error
+    strings. Unclassified library errors map to ``ERROR``; non-library
+    exceptions to ``INTERNAL``; ``None`` (no error) to ``""``.
+    """
+    if exc is None:
+        return ""
+    for cls, code in _ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    if isinstance(exc, TransientError):
+        return "RETRY_BUDGET_EXHAUSTED"
+    if isinstance(exc, ReproError):
+        return "ERROR"
+    return "INTERNAL"

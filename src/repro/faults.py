@@ -28,9 +28,12 @@ Hazard-point naming is dotted ``layer.op``: ``objectstore.get``,
 ``bigmeta.lookup``, ``bigmeta.commit``, ``read_api.read_rows``,
 ``write_api.append``, ``vpn.call``, ``engine.task``, ``cache.get``,
 ``cache.put`` (data-cache probes degrade to a bypass, never an error —
-see :mod:`repro.cache`), and ``task.slow`` (a *slowdown* hazard probed by
-the slot scheduler: it multiplies a task's cost instead of raising — see
-:meth:`FaultInjector.slowdown`). Fault specs select by
+see :mod:`repro.cache`), ``txn.crash`` (writer death between transaction
+publish steps — fire it with ``error=WriterCrashError`` and select a step
+via ``match``, e.g. ``"txn.crash:count=1:step=marker"``; recovery is
+exercised in :mod:`repro.txn`), and ``task.slow`` (a *slowdown* hazard
+probed by the slot scheduler: it multiplies a task's cost instead of
+raising — see :meth:`FaultInjector.slowdown`). Fault specs select by
 *prefix*, so ``op="objectstore."`` matches every store operation while
 ``op="objectstore.get"`` matches GETs (including ranged GETs) only.
 """

@@ -65,12 +65,22 @@ class FileEntry:
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One committed mutation of one table's file set."""
+    """One committed mutation of one table's file set.
+
+    ``txn_id`` is empty for ordinary (single-table, immediately visible)
+    commits. A non-empty ``txn_id`` marks a record published by a
+    multi-table transaction (:mod:`repro.txn`): the record is *pending*
+    until the transaction's log marker reads COMMITTED, at which point it
+    becomes visible with the marker's commit time as its effective
+    timestamp — so every table of the transaction flips atomically for
+    snapshot readers. Records of ABORTED transactions never become visible.
+    """
 
     commit_id: int
     timestamp_ms: float
     added: tuple[FileEntry, ...]
     deleted: tuple[str, ...]  # file paths
+    txn_id: str = ""
 
 
 class ColumnarBaselineIndex:
@@ -152,18 +162,46 @@ class TableMetadata:
     # by the service, never writable by clients — §3.5).
     history: list[LogRecord] = field(default_factory=list)
     version: int = 0
+    # Resolver for txn-tagged records: ``fn(txn_id) -> (state, commit_ms)``
+    # against the transaction log's marker (set by the txn coordinator;
+    # None means tagged records are unresolvable and stay invisible).
+    txn_resolver: Any = None
+
+    def record_visibility(self, record: LogRecord) -> tuple[bool, float]:
+        """(visible, effective timestamp) of one log record.
+
+        Untagged records are visible at their own commit time. Tagged
+        records are visible iff their transaction's marker is COMMITTED —
+        the marker is the sole source of truth — and their effective time
+        is the *marker's* commit time, so all tables of one transaction
+        flip at the same instant for as-of readers.
+        """
+        if not record.txn_id:
+            return True, record.timestamp_ms
+        if self.txn_resolver is None:
+            return False, record.timestamp_ms
+        state, commit_ms = self.txn_resolver(record.txn_id)
+        if state == "COMMITTED":
+            return True, commit_ms
+        return False, record.timestamp_ms
 
     def live_entries(self, as_of_ms: float | None = None) -> dict[str, FileEntry]:
         """Reconstruct the live file set (baseline ⊕ tail), optionally at a
-        past timestamp for snapshot reads."""
+        past timestamp for snapshot reads. Pending/aborted transactional
+        records are skipped; committed ones use their marker time."""
         live = dict(self.baseline)
         records: Iterable[LogRecord] = self.tail
         if as_of_ms is not None:
             # Snapshot semantics require replaying full history up to the
             # timestamp, since the baseline may already include later commits.
             live = {}
-            records = [r for r in self.history if r.timestamp_ms <= as_of_ms]
+            records = self.history
         for record in records:
+            visible, effective_ms = self.record_visibility(record)
+            if not visible:
+                continue
+            if as_of_ms is not None and effective_ms > as_of_ms:
+                continue
             for path in record.deleted:
                 live.pop(path, None)
             for entry in record.added:
@@ -186,11 +224,14 @@ class MetaTransaction:
     began (a concurrent writer may have already deleted or compacted them).
     """
 
-    def __init__(self, service: "BigMetadataService") -> None:
+    def __init__(self, service: "BigMetadataService", txn_id: str = "") -> None:
         self._service = service
         self._staged: dict[str, tuple[list[FileEntry], list[str]]] = {}
         self._start_versions: dict[str, int] = {}
         self._done = False
+        # Non-empty: records are published tagged (pending until the
+        # multi-table transaction's marker commits — see repro.txn).
+        self.txn_id = txn_id
 
     def stage(
         self,
@@ -226,7 +267,7 @@ class MetaTransaction:
                     raise TransactionConflictError(
                         f"cannot delete {path}: not live in {table_id}"
                     )
-        return self._service._apply_transaction(self._staged)
+        return self._service._apply_transaction(self._staged, txn_id=self.txn_id)
 
     def abort(self) -> None:
         self._done = True
@@ -241,13 +282,22 @@ class BigMetadataService:
         self._commit_ids = itertools.count(1)
         # Tail records folded into the baseline once the tail exceeds this.
         self.tail_compaction_threshold = tail_compaction_threshold
+        # fn(txn_id) -> (state, commit_ms) against the transaction log;
+        # installed by the txn coordinator, shared with every table.
+        self.txn_resolver = None
+
+    def set_txn_resolver(self, resolver) -> None:
+        """Install the transaction-marker resolver (repro.txn wires this)."""
+        self.txn_resolver = resolver
+        for meta in self._tables.values():
+            meta.txn_resolver = resolver
 
     # -- table lifecycle ----------------------------------------------------
 
     def register_table(self, table_id: str) -> TableMetadata:
         if table_id in self._tables:
             return self._tables[table_id]
-        meta = TableMetadata(table_id=table_id)
+        meta = TableMetadata(table_id=table_id, txn_resolver=self.txn_resolver)
         self._tables[table_id] = meta
         return meta
 
@@ -265,22 +315,25 @@ class BigMetadataService:
 
     # -- commits ---------------------------------------------------------------
 
-    def begin(self) -> MetaTransaction:
-        return MetaTransaction(self)
+    def begin(self, txn_id: str = "") -> MetaTransaction:
+        return MetaTransaction(self, txn_id=txn_id)
 
     def commit(
         self,
         table_id: str,
         added: list[FileEntry] | None = None,
         deleted: list[str] | None = None,
+        txn_id: str = "",
     ) -> int:
         """Single-table commit (sugar over a one-table transaction)."""
-        txn = self.begin()
+        txn = self.begin(txn_id=txn_id)
         txn.stage(table_id, added=added, deleted=deleted)
         return txn.commit()
 
     def _apply_transaction(
-        self, staged: dict[str, tuple[list[FileEntry], list[str]]]
+        self,
+        staged: dict[str, tuple[list[FileEntry], list[str]]],
+        txn_id: str = "",
     ) -> int:
         # Hazard point before any mutation: an injected commit fault leaves
         # the metadata untouched, so a caller's retry observes a clean slate.
@@ -300,13 +353,35 @@ class BigMetadataService:
                 timestamp_ms=timestamp,
                 added=tuple(adds),
                 deleted=tuple(dels),
+                txn_id=txn_id,
             )
             meta.tail.append(record)
             meta.history.append(record)
             meta.version += 1
-            if len(meta.tail) >= self.tail_compaction_threshold:
+            if len(meta.tail) >= self.tail_compaction_threshold and self._tail_resolved(meta):
                 self._compact(meta)
         return commit_id
+
+    def _tail_resolved(self, meta: TableMetadata) -> bool:
+        """Whether every tagged tail record's transaction reached a
+        terminal state. Compaction folds the tail into the baseline using
+        *current* visibility, which would freeze a pending transaction's
+        records out of (or into) the baseline permanently — so while any
+        tail transaction is unresolved, compaction is deferred (recovery
+        clears such windows quickly). Resolver errors defer too: never
+        guess at a marker."""
+        for record in meta.tail:
+            if not record.txn_id:
+                continue
+            if meta.txn_resolver is None:
+                return False
+            try:
+                state, _ = meta.txn_resolver(record.txn_id)
+            except Exception:
+                return False
+            if state not in ("COMMITTED", "ABORTED"):
+                return False
+        return True
 
     def _compact(self, meta: TableMetadata) -> None:
         """Fold the tail into the columnar baseline (read-optimization)."""
@@ -318,7 +393,11 @@ class BigMetadataService:
         self.ctx.metering.count("bigmeta.baseline_compaction")
 
     def compact_baseline(self, table_id: str) -> None:
-        self._compact(self.table(table_id))
+        meta = self.table(table_id)
+        # Same guard as the automatic path: folding an unresolved pending
+        # transaction would permanently drop its records from the tail.
+        if self._tail_resolved(meta):
+            self._compact(meta)
 
     # -- reads --------------------------------------------------------------------
 
@@ -389,6 +468,9 @@ class BigMetadataService:
         deleted_in_tail: set[str] = set()
         added_in_tail: dict[str, FileEntry] = {}
         for record in meta.tail:
+            visible, _ = meta.record_visibility(record)
+            if not visible:
+                continue
             for path in record.deleted:
                 deleted_in_tail.add(path)
                 added_in_tail.pop(path, None)

@@ -19,12 +19,24 @@ class StoreRegistry:
     def __init__(self, ctx: SimContext) -> None:
         self.ctx = ctx
         self._stores: dict[str, ObjectStore] = {}
+        # fn(txn_id) -> (state, commit_ms): transaction-marker resolution
+        # for Iceberg readers, installed on every store (repro.txn).
+        self.txn_resolver = None
 
     def add_region(self, region: Region) -> ObjectStore:
         """Create (or return) the store endpoint for a region."""
         if region.location not in self._stores:
-            self._stores[region.location] = ObjectStore(region, self.ctx)
+            store = ObjectStore(region, self.ctx)
+            store.txn_resolver = self.txn_resolver
+            self._stores[region.location] = store
         return self._stores[region.location]
+
+    def set_txn_resolver(self, resolver) -> None:
+        """Install the transaction-marker resolver on every store, present
+        and future (the txn coordinator wires this)."""
+        self.txn_resolver = resolver
+        for store in self._stores.values():
+            store.txn_resolver = resolver
 
     def store_for(self, location: str) -> ObjectStore:
         try:

@@ -50,6 +50,12 @@ class JobRecord:
     engine: str
     state: str  # PENDING | RUNNING | SUCCEEDED | FAILED | CANCELLED
     error: str = ""
+    # Stable machine-readable code for the terminal error ("" on success);
+    # see repro.errors.error_code. Dashboards and abort budgets key off
+    # this instead of parsing free-text error strings.
+    error_code: str = ""
+    # Multi-table transaction this statement ran inside ("" when none).
+    transaction_id: str = ""
     # Lifecycle timestamps (sim-clock ms): creation_ms is stamped at
     # submit time by the job queue, start_ms at admission onto the slot
     # pool, end_ms at the terminal transition. queue_wait_ms is the

@@ -86,6 +86,11 @@ JOBS_SCHEMA = Schema.of(
     ("backoff_ms", DataType.FLOAT64),
     ("cold_read_ms", DataType.FLOAT64),
     ("degraded_ms", DataType.FLOAT64),
+    # Appended (not inserted) so positional readers of older columns keep
+    # working: the multi-table transaction the statement ran inside ("" if
+    # none) and the stable machine-readable terminal error code.
+    ("transaction_id", DataType.STRING),
+    ("error_code", DataType.STRING),
 )
 
 JOBS_TIMELINE_SCHEMA = Schema.of(
@@ -167,6 +172,17 @@ METRICS_HISTORY_SCHEMA = Schema.of(
     ("stale", DataType.BOOL),
 )
 
+TRANSACTIONS_SCHEMA = Schema.of(
+    ("transaction_id", DataType.STRING),
+    ("state", DataType.STRING),
+    ("writer", DataType.STRING),
+    ("begin_ms", DataType.FLOAT64),
+    ("commit_ms", DataType.FLOAT64),
+    ("finalized", DataType.BOOL),
+    ("table_count", DataType.INT64),
+    ("tables", DataType.STRING),
+)
+
 ALERTS_SCHEMA = Schema.of(
     ("at_ms", DataType.FLOAT64),
     ("rule", DataType.STRING),
@@ -189,6 +205,7 @@ _SCHEMAS: dict[str, Schema] = {
     "RESERVATION_TIMELINE": RESERVATION_TIMELINE_SCHEMA,
     "METRICS_HISTORY": METRICS_HISTORY_SCHEMA,
     "ALERTS": ALERTS_SCHEMA,
+    "TRANSACTIONS": TRANSACTIONS_SCHEMA,
 }
 
 
@@ -227,6 +244,9 @@ class SystemTables:
         # repro.obs.monitor.FleetMonitor; None (or disabled) renders the
         # telemetry tables as empty — governance still applies.
         self.monitor = monitor
+        # repro.txn.TransactionLog (set by the txn coordinator); None
+        # renders TRANSACTIONS as empty.
+        self.txn_log = None
 
     # -- name resolution ----------------------------------------------------
 
@@ -295,6 +315,8 @@ class SystemTables:
             rows = self._monitoring_rows(principal, name, "metrics_history_rows")
         elif name == "ALERTS":
             rows = self._monitoring_rows(principal, name, "alert_rows")
+        elif name == "TRANSACTIONS":
+            rows = self._transactions_rows(principal)
         else:
             raise NotFoundError(f"system table INFORMATION_SCHEMA.{name} not found")
         self.audit.record(
@@ -377,9 +399,33 @@ class SystemTables:
                 r.backoff_ms,
                 r.cold_read_ms,
                 r.degraded_ms,
+                r.transaction_id,
+                r.error_code,
             )
             for r in self._visible_jobs(principal)
         ]
+
+    def _transactions_rows(self, principal: Principal) -> list[tuple]:
+        if self.txn_log is None:
+            return []
+        sees_all = self._sees_all_jobs(principal)
+        rows: list[tuple] = []
+        for r in self.txn_log.entries():
+            if not sees_all and r.writer != str(principal):
+                continue
+            rows.append(
+                (
+                    r.txn_id,
+                    r.state,
+                    r.writer,
+                    r.begin_ms,
+                    r.commit_ms,
+                    r.finalized,
+                    len(r.tables),
+                    ",".join(tc.table_id for tc in r.tables),
+                )
+            )
+        return rows
 
     def _timeline_rows(self, principal: Principal) -> list[tuple]:
         rows: list[tuple] = []

@@ -36,7 +36,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import JobCancelledError, QueryError
+from repro.errors import JobCancelledError, QueryError, error_code
 from repro.obs.history import (
     CANCELLED,
     DONE_STATES,
@@ -99,6 +99,9 @@ class QueryJob:
         self.sql = sql
         self.snapshot_ms = snapshot_ms
         self.kind = "invalid"
+        # Multi-table transaction this statement runs inside ("" if none);
+        # stamped from the queue's current_transaction_id at submit.
+        self.transaction_id = ""
         self.statement: ast.Statement | None = None
         self.record: JobRecord | None = None
         self.state = PENDING
@@ -175,6 +178,9 @@ class JobQueue:
         # reader that scrapes metrics on submit/drain ticks and derives
         # RESERVATION_TIMELINE + SLO samples from settled batches.
         self.monitor = None
+        # Set by repro.txn.Transaction.execute around statements it runs,
+        # so their JOBS rows carry the transaction id.
+        self.current_transaction_id = ""
         self._pending: list[QueryJob] = []
         self._jobs_by_id: dict[str, QueryJob] = {}
         self._depth = 0  # >0 while executing (drain or inline): nested
@@ -214,6 +220,7 @@ class JobQueue:
             queue=self, engine=engine, principal=principal, job_id=job_id,
             creation_ms=creation_ms, sql=sql_text, snapshot_ms=snapshot_ms,
         )
+        job.transaction_id = self.current_transaction_id
         try:
             statement = (
                 parse_statement(sql_or_select)
@@ -239,7 +246,7 @@ class JobQueue:
             job.state = FAILED
             job._error = exc
             job.start_ms = job.end_ms = creation_ms
-            self._record_terminal(job, error=str(exc))
+            self._record_terminal(job, error=str(exc), exc=exc)
             raise
         job.statement = statement
         job.record = self._record_pending(job)
@@ -487,6 +494,7 @@ class JobQueue:
             self._record_terminal(
                 job,
                 error=str(exc),
+                exc=exc,
                 trace=outcome.get("trace"),
                 metering_before=outcome.get("metering_before"),
                 retry_count=outcome.get("retry_count", 0),
@@ -541,6 +549,7 @@ class JobQueue:
             record = job.record
             record.state = CANCELLED
             record.error = "job cancelled"
+            record.error_code = "CANCELLED"
             record.start_ms = job.start_ms
             record.end_ms = end_abs
             record.queue_wait_ms = job.queue_wait_ms
@@ -595,6 +604,7 @@ class JobQueue:
             self._record_terminal(
                 job,
                 error=str(exc),
+                exc=exc,
                 trace=engine._last_root if ctx.tracer.enabled else None,
                 metering_before=metering_before,
                 retry_count=ctx.metering.op_counts.get("repro.retry", 0)
@@ -650,6 +660,7 @@ class JobQueue:
             engine=job.engine.name,
             state=PENDING,
             creation_ms=job.creation_ms,
+            transaction_id=job.transaction_id,
         )
         return self.history.record(record)
 
@@ -659,6 +670,7 @@ class JobQueue:
         *,
         result: "QueryResult | None" = None,
         error: str = "",
+        exc: BaseException | None = None,
         trace: Any | None = None,
         metering_before: Any | None = None,
         retry_count: int = 0,
@@ -685,6 +697,8 @@ class JobQueue:
         record.kind = job.kind
         record.state = job.state
         record.error = error
+        record.error_code = error_code(exc)
+        record.transaction_id = job.transaction_id
         record.start_ms = job.start_ms
         record.end_ms = job.end_ms
         record.queue_wait_ms = job.queue_wait_ms

@@ -27,7 +27,11 @@ from typing import Any
 _metadata_nonce = itertools.count(1)
 
 from repro.data.types import Schema
-from repro.errors import CatalogError, PreconditionFailedError
+from repro.errors import (
+    CatalogError,
+    CommitRetryExhaustedError,
+    PreconditionFailedError,
+)
 from repro.metastore.constraints import ConstraintSet
 from repro.objectstore import ObjectStore
 
@@ -70,6 +74,11 @@ class IcebergSnapshot:
     manifest_list: str  # object key
     operation: str  # "append" | "overwrite"
     summary: dict = field(default_factory=dict)
+    # Multi-table transaction tagging (repro.txn): a tagged snapshot is
+    # pending until the transaction log's marker reads COMMITTED; readers
+    # resolve past it via parent_snapshot_id in the meantime.
+    txn_id: str = ""
+    parent_snapshot_id: int | None = None
 
 
 class IcebergTable:
@@ -146,6 +155,8 @@ class IcebergTable:
                 manifest_list=s["manifest_list"],
                 operation=s["operation"],
                 summary=s.get("summary", {}),
+                txn_id=s.get("txn_id", ""),
+                parent_snapshot_id=s.get("parent_snapshot_id"),
             )
             for s in metadata["snapshots"]
         ]
@@ -159,6 +170,61 @@ class IcebergTable:
                 return s
         return None
 
+    # -- transactional visibility (repro.txn) ----------------------------------
+
+    def _snapshot_visibility(self, snapshot: dict) -> tuple[bool, float]:
+        """(visible, effective timestamp) of one snapshot dict.
+
+        Untagged snapshots are visible at their own commit time. Tagged
+        snapshots resolve against the transaction log's marker (installed
+        on the store as ``txn_resolver`` by the coordinator): COMMITTED
+        makes them visible at the *marker's* time, anything else hides
+        them. An unresolvable tagged snapshot stays hidden — the marker is
+        the sole source of truth, never the pointer.
+        """
+        txn_id = snapshot.get("txn_id", "")
+        if not txn_id:
+            return True, snapshot["timestamp_ms"]
+        resolver = getattr(self.store, "txn_resolver", None)
+        if resolver is None:
+            return False, snapshot["timestamp_ms"]
+        state, commit_ms = resolver(txn_id)
+        if state == "COMMITTED":
+            return True, commit_ms
+        return False, snapshot["timestamp_ms"]
+
+    def effective_snapshot_id(self, metadata: dict | None = None) -> int | None:
+        """The newest *visible* snapshot: walks the parent chain from the
+        pointer's current snapshot past pending/aborted tagged ones."""
+        if metadata is None:
+            metadata = self.read_metadata()
+        by_id = {s["snapshot_id"]: s for s in metadata["snapshots"]}
+        target = metadata["current_snapshot_id"]
+        while target is not None:
+            snapshot = by_id.get(target)
+            if snapshot is None:
+                return None
+            visible, _ = self._snapshot_visibility(snapshot)
+            if visible:
+                return target
+            target = snapshot.get("parent_snapshot_id")
+        return None
+
+    def snapshot_id_as_of(self, as_of_ms: float) -> int | None:
+        """The visible snapshot a reader at ``as_of_ms`` pins (time travel
+        honoring transaction markers: tagged snapshots order by marker
+        time, so both tables of a transaction flip at the same instant)."""
+        metadata = self.read_metadata()
+        best: tuple[float, int] | None = None
+        for snapshot in metadata["snapshots"]:
+            visible, effective_ms = self._snapshot_visibility(snapshot)
+            if not visible or effective_ms > as_of_ms:
+                continue
+            key = (effective_ms, snapshot["snapshot_id"])
+            if best is None or key > best:
+                best = key
+        return best[1] if best is not None else None
+
     def scan(
         self,
         constraints: ConstraintSet | None = None,
@@ -167,10 +233,14 @@ class IcebergTable:
         """Data files of a snapshot, pruned with manifest-level bounds.
 
         Each manifest is a separate object GET — cheap compared to listing,
-        but slower than a Big Metadata lookup.
+        but slower than a Big Metadata lookup. With no explicit
+        ``snapshot_id``, reads the *effective* (marker-visible) snapshot.
         """
         metadata = self.read_metadata()
-        target = snapshot_id if snapshot_id is not None else metadata["current_snapshot_id"]
+        target = (
+            snapshot_id if snapshot_id is not None
+            else self.effective_snapshot_id(metadata)
+        )
         if target is None:
             return []
         snapshot = next(
@@ -207,18 +277,30 @@ class IcebergTable:
 
     # -- commits ------------------------------------------------------------------
 
-    def commit_append(self, files: list[DataFileInfo], max_retries: int = 10) -> IcebergSnapshot:
+    def commit_append(
+        self,
+        files: list[DataFileInfo],
+        max_retries: int = 10,
+        txn_id: str = "",
+    ) -> IcebergSnapshot:
         """Append files in a new snapshot (retrying pointer CAS races)."""
-        return self._commit(files, removed_paths=[], operation="append", max_retries=max_retries)
+        return self._commit(
+            files, removed_paths=[], operation="append",
+            max_retries=max_retries, txn_id=txn_id,
+        )
 
     def commit_overwrite(
         self,
         added: list[DataFileInfo],
         removed_paths: list[str],
         max_retries: int = 10,
+        txn_id: str = "",
     ) -> IcebergSnapshot:
         """Replace ``removed_paths`` with ``added`` atomically."""
-        return self._commit(added, removed_paths, operation="overwrite", max_retries=max_retries)
+        return self._commit(
+            added, removed_paths, operation="overwrite",
+            max_retries=max_retries, txn_id=txn_id,
+        )
 
     def _commit(
         self,
@@ -226,6 +308,7 @@ class IcebergTable:
         removed_paths: list[str],
         operation: str,
         max_retries: int,
+        txn_id: str = "",
     ) -> IcebergSnapshot:
         removed = set(removed_paths)
         for _attempt in range(max_retries):
@@ -271,6 +354,8 @@ class IcebergTable:
                     "removed_files": len(removed),
                     "total_files": len(new_files),
                 },
+                "txn_id": txn_id,
+                "parent_snapshot_id": metadata["current_snapshot_id"],
             }
             new_version = metadata["metadata_version"] + 1
             metadata["snapshots"].append(snapshot)
@@ -294,6 +379,9 @@ class IcebergTable:
                 )
             except PreconditionFailedError:
                 self.store.ctx.metering.count("iceberg.commit_conflict")
+                self.store.ctx.metrics.counter(
+                    "repro_commit_conflicts_total", "Iceberg pointer-CAS races lost."
+                ).inc(table=f"{self.bucket}/{self.prefix}")
                 continue  # lost the race; re-read and retry
             return IcebergSnapshot(
                 snapshot_id=snapshot_id,
@@ -301,5 +389,67 @@ class IcebergTable:
                 manifest_list=manifest_list_key,
                 operation=operation,
                 summary=snapshot["summary"],
+                txn_id=txn_id,
+                parent_snapshot_id=snapshot["parent_snapshot_id"],
             )
-        raise CatalogError(f"commit failed after {max_retries} CAS retries")
+        raise CommitRetryExhaustedError(
+            f"commit failed after {max_retries} CAS retries"
+        )
+
+    # -- transactional rollback (repro.txn recovery) ---------------------------
+
+    def rollback_txn(self, txn_id: str, added_paths: list[str]) -> bool:
+        """Physically undo an *aborted* transaction's snapshot.
+
+        Top-of-chain case: the pointer's current snapshot is the aborted
+        txn's — revert the pointer to fresh metadata whose current snapshot
+        is the parent (CAS-raced like any commit). Buried case: later
+        snapshots carried the aborted files forward — remove whichever of
+        ``added_paths`` are still live with an overwrite commit. Either
+        way the aborted files can never surface again (they were already
+        invisible via the marker; this reclaims them). Returns True if
+        anything had to change.
+        """
+        metadata = self.read_metadata()
+        current = next(
+            (s for s in metadata["snapshots"]
+             if s["snapshot_id"] == metadata["current_snapshot_id"]),
+            None,
+        )
+        if current is not None and current.get("txn_id") == txn_id:
+            # Pointer revert: write new metadata pointing at the parent.
+            _, pointer_generation = self._read_pointer()
+            metadata["current_snapshot_id"] = current.get("parent_snapshot_id")
+            metadata["snapshots"] = [
+                s for s in metadata["snapshots"]
+                if s.get("txn_id") != txn_id
+            ]
+            new_version = metadata["metadata_version"] + 1
+            metadata["metadata_version"] = new_version
+            new_metadata_key = self._new_metadata_key(new_version)
+            self.store.put_object(
+                self.bucket,
+                new_metadata_key,
+                json.dumps(metadata).encode("utf-8"),
+                content_type="application/json",
+            )
+            try:
+                self.store.put_if_generation(
+                    self.bucket,
+                    self._pointer_key,
+                    json.dumps({"metadata_key": new_metadata_key}).encode("utf-8"),
+                    expected_generation=pointer_generation,
+                )
+                return True
+            except PreconditionFailedError:
+                # A commit raced the revert; fall through to path removal.
+                metadata = self.read_metadata()
+        live_target = metadata["current_snapshot_id"]
+        if live_target is None:
+            return False
+        live = {f.path for f in self.scan(snapshot_id=live_target)}
+        stale = [p for p in added_paths if p in live]
+        if not stale:
+            return False
+        self.commit_overwrite(added=[], removed_paths=stale)
+        return True

@@ -1,0 +1,32 @@
+"""Multi-table ACID transactions over BLMT + Iceberg (LakeVilla-style).
+
+A small CAS-bounded transaction log on the object store extends the
+single-table commit protocols (BLMT's Big Metadata log appends, Iceberg's
+pointer CAS) to atomic multi-table publishes with snapshot-isolated reads,
+first-writer-wins conflict detection, and a crash-safe recovery sweep.
+See DESIGN.md §12 for the log layout and the recovery state machine.
+"""
+
+from repro.txn.coordinator import (
+    RecoveryReport,
+    Transaction,
+    TransactionCoordinator,
+)
+from repro.txn.log import (
+    ABORTED,
+    COMMITTED,
+    INTENT,
+    TransactionLog,
+    TxnRecord,
+)
+
+__all__ = [
+    "ABORTED",
+    "COMMITTED",
+    "INTENT",
+    "RecoveryReport",
+    "Transaction",
+    "TransactionCoordinator",
+    "TransactionLog",
+    "TxnRecord",
+]

@@ -1,0 +1,377 @@
+"""The E16 transaction chaos workload: order/lineitem co-mutation.
+
+Concurrent seeded writers each run multi-statement transactions against a
+pair of BLMT tables — ``txn.orders (order_id, total)`` and
+``txn.lineitems (order_id, item_id, amount)`` — where every committed
+transaction inserts a lineitem *and* bumps the matching order's total in
+the same atomic publish. The cross-table invariant::
+
+    for every order: total == SUM(lineitems.amount where same order_id)
+
+must hold in every view a reader can obtain: the latest committed state
+mid-flight (while other writers are between publish steps), the final
+state after all writers finish, and the historical as-of view at each
+commit marker's timestamp. Writers interleave at deterministic yield
+points driven by one seeded RNG, and a chaos plan can kill any writer at
+any publish step (``txn.crash``) or inject storage/metadata transients —
+so the oracle exercises torn-state windows deliberately. Same seed ⇒
+byte-identical report (the determinism gate in ``scripts/check.sh``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+from repro.core.platform import LakehousePlatform
+from repro.data import DataType, Schema, batch_from_pydict
+from repro.errors import (
+    ReproError,
+    TransactionAbortedError,
+    TransactionConflictError,
+    TransientError,
+    WriterCrashError,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.security.iam import Principal, Role
+from repro.txn.log import COMMITTED
+
+ORDERS_SCHEMA = Schema.of(
+    ("order_id", DataType.INT64),
+    ("total", DataType.FLOAT64),
+)
+
+LINEITEMS_SCHEMA = Schema.of(
+    ("order_id", DataType.INT64),
+    ("item_id", DataType.INT64),
+    ("amount", DataType.FLOAT64),
+)
+
+#: Interleaved attempts before a writer falls back to running the whole
+#: transaction without yield points. Table-granularity first-writer-wins
+#: means heavily interleaved writers conflict often; the fallback bounds
+#: retry storms without weakening the oracle (early attempts still
+#: interleave through every torn-state window).
+_INTERLEAVED_ATTEMPTS = 8
+
+
+def build_txn_platform(orders: int = 4) -> tuple[LakehousePlatform, Principal]:
+    """A platform with the seeded ``txn.orders`` / ``txn.lineitems`` lake.
+
+    Each order starts with two lineitems whose amounts sum to its total,
+    so the invariant holds before any transaction runs.
+    """
+    platform = LakehousePlatform()
+    admin = platform.admin_user()
+    store = platform.stores.store_for(platform.config.home_region.location)
+    store.create_bucket("txn-lake")
+    conn = platform.connections.create_connection("txn.lake")
+    platform.connections.grant_lake_access(conn, "txn-lake", writable=True)
+    platform.iam.grant("connections/txn.lake", Role.CONNECTION_USER, admin)
+    platform.catalog.create_dataset("txn")
+    orders_table = platform.tables.create_blmt(
+        admin, "txn", "orders", ORDERS_SCHEMA, "txn-lake", "orders", "txn.lake"
+    )
+    lineitems_table = platform.tables.create_blmt(
+        admin, "txn", "lineitems", LINEITEMS_SCHEMA, "txn-lake", "lineitems", "txn.lake"
+    )
+    order_ids = list(range(1, orders + 1))
+    platform.tables.blmt.insert(
+        orders_table,
+        [batch_from_pydict(ORDERS_SCHEMA, {
+            "order_id": order_ids,
+            "total": [3.0 * oid for oid in order_ids],
+        })],
+    )
+    platform.tables.blmt.insert(
+        lineitems_table,
+        [batch_from_pydict(LINEITEMS_SCHEMA, {
+            "order_id": [oid for oid in order_ids for _ in (0, 1)],
+            "item_id": [oid * 10 + k for oid in order_ids for k in (0, 1)],
+            "amount": [amt for oid in order_ids for amt in (1.0 * oid, 2.0 * oid)],
+        })],
+    )
+    return platform, admin
+
+
+def _query_rows(platform, admin, sql: str, snapshot_ms: float | None):
+    """Run one oracle query, absorbing injected transients.
+
+    The oracle runs with the chaos plan still installed (clearing it
+    would reseed the injector and break replay), so a read can exhaust
+    its retry budget; re-running is deterministic because the injector's
+    RNG stream only ever advances.
+    """
+    last: Exception | None = None
+    for _ in range(6):
+        try:
+            return platform.home_engine.execute(
+                sql, admin, snapshot_ms=snapshot_ms
+            ).rows()
+        except TransientError as exc:
+            last = exc
+    raise last  # pragma: no cover - 6 consecutive budget exhaustions
+
+
+def _absorb_transients(fn):
+    """Run ``fn`` to completion under chaos, absorbing retry-budget
+    exhaustion. The per-op retry policy already handles most transients;
+    this covers the tail (e.g. a whole log sweep re-rolling). Deterministic:
+    the injector's RNG stream only ever advances."""
+    last: Exception | None = None
+    for _ in range(6):
+        try:
+            return fn()
+        except TransientError as exc:
+            last = exc
+    raise last  # pragma: no cover - 6 consecutive budget exhaustions
+
+
+def check_invariant(
+    platform, admin, snapshot_ms: float | None = None, label: str = "latest"
+) -> list[str]:
+    """The torn-state oracle: one list of violations (empty == consistent).
+
+    Checks, at ``snapshot_ms`` (or the latest committed state when None):
+    every order's total equals the sum of its lineitems' amounts, no order
+    row is duplicated or missing, and no lineitem is orphaned.
+    """
+    order_rows = _query_rows(
+        platform, admin, "SELECT order_id, total FROM txn.orders", snapshot_ms
+    )
+    item_rows = _query_rows(
+        platform,
+        admin,
+        "SELECT order_id, SUM(amount) AS amount_sum FROM txn.lineitems "
+        "GROUP BY order_id",
+        snapshot_ms,
+    )
+    violations: list[str] = []
+    totals: dict[int, float] = {}
+    for order_id, total in order_rows:
+        if order_id in totals:
+            violations.append(f"[{label}] duplicate order row for order {order_id}")
+        totals[order_id] = total
+    sums = {order_id: amount_sum for order_id, amount_sum in item_rows}
+    for order_id in sorted(totals):
+        expected = sums.get(order_id)
+        if expected is None:
+            violations.append(f"[{label}] order {order_id} has no lineitems")
+        elif abs(totals[order_id] - expected) > 1e-6:
+            violations.append(
+                f"[{label}] order {order_id}: total {totals[order_id]:.6f} != "
+                f"lineitem sum {expected:.6f}"
+            )
+    for order_id in sorted(sums):
+        if order_id not in totals:
+            violations.append(
+                f"[{label}] lineitems reference missing order {order_id}"
+            )
+    return violations
+
+
+def chaos_plan(rate: float, seed: int) -> FaultPlan:
+    """The E16 chaos mix: writer crashes at every publish step plus the
+    usual storage/metadata transients, all at ``rate``."""
+    if rate <= 0.0:
+        return FaultPlan(seed=seed, specs=[])
+    return FaultPlan(seed=seed, specs=[
+        FaultSpec(op="txn.crash", error="WriterCrashError", rate=rate),
+        FaultSpec(op="objectstore.get", error="UnavailableError", rate=rate),
+        FaultSpec(op="bigmeta.lookup", error="MetadataUnavailableError", rate=rate),
+    ])
+
+
+def _writer(
+    platform,
+    principal: Principal,
+    windex: int,
+    txns_per_writer: int,
+    orders: int,
+    max_attempts: int,
+    stats: dict[str, Any],
+) -> Iterator[None]:
+    """One writer as a generator: yields at every torn-state window so the
+    driver can interleave it with the other writers."""
+    for t in range(txns_per_writer):
+        order_id = (windex * 7 + t * 5) % orders + 1
+        amount = round(float((windex + 1) * 10 + t + 1), 2)
+        attempt = 0
+        while True:
+            attempt += 1
+            interleave = attempt <= _INTERLEAVED_ATTEMPTS
+            txn = platform.begin(principal)
+            item_id = (windex + 1) * 100_000 + t * 100 + attempt
+            try:
+                if interleave:
+                    yield
+                txn.execute(
+                    "INSERT INTO txn.lineitems (order_id, item_id, amount) "
+                    f"VALUES ({order_id}, {item_id}, {amount})"
+                )
+                if interleave:
+                    yield
+                txn.execute(
+                    f"UPDATE txn.orders SET total = total + {amount} "
+                    f"WHERE order_id = {order_id}"
+                )
+                if interleave:
+                    yield
+                commit_ms = txn.commit()
+            except TransactionConflictError:
+                stats["conflicts"] += 1
+            except WriterCrashError:
+                # The writer "died" mid-publish; a fresh coordinator sweep
+                # stands in for the restart. The transaction may still have
+                # committed (crash after the marker landed) — honor the
+                # marker instead of double-applying.
+                stats["crashes"] += 1
+                report = _absorb_transients(platform.txn.recover)
+                stats["recovery_sweeps"] += 1
+                stats["rolled_forward"] += len(report.rolled_forward)
+                stats["rolled_back"] += len(report.rolled_back)
+                state, commit_ms = _absorb_transients(
+                    lambda: platform.txn.status(txn.txn_id)
+                )
+                if state == COMMITTED:
+                    stats["commits"] += 1
+                    stats["timeline"].append(_commit_entry(txn, order_id, amount, commit_ms))
+                    break
+            except TransactionAbortedError:
+                stats["aborts"] += 1
+            except TransientError:
+                # A retry budget ran dry mid-statement; drop the open
+                # transaction (nothing durable exists) and try again.
+                stats["transient_failures"] += 1
+                txn.abort()
+            else:
+                stats["commits"] += 1
+                stats["timeline"].append(_commit_entry(txn, order_id, amount, commit_ms))
+                break
+            if attempt >= max_attempts:
+                stats["gave_up"] += 1
+                break
+        yield
+
+
+def _commit_entry(txn, order_id: int, amount: float, commit_ms: float) -> dict:
+    return {
+        "txn_id": txn.txn_id,
+        "writer": str(txn.principal),
+        "order_id": order_id,
+        "amount": amount,
+        "commit_ms": round(commit_ms, 3),
+    }
+
+
+def run_txn_workload(
+    seed: int = 0,
+    writers: int = 4,
+    txns_per_writer: int = 3,
+    orders: int = 4,
+    rate: float = 0.0,
+    plans: list[str] | None = None,
+    check_every: int = 7,
+    max_attempts: int = 40,
+) -> dict[str, Any]:
+    """Run the full chaos workload; returns the deterministic report.
+
+    ``violations`` empty and ``dangling_intents`` zero are the pass
+    condition; everything else is accounting. ``plans`` overrides the
+    default :func:`chaos_plan` mix with explicit CLI-style fault specs.
+    """
+    platform, admin = build_txn_platform(orders=orders)
+    principals = [
+        platform.create_user(
+            f"writer{i}", [Role.DATA_EDITOR, Role.JOB_USER, Role.CONNECTION_USER]
+        )
+        for i in range(writers)
+    ]
+    # Force coordinator creation (and its recovery sweep) before chaos.
+    platform.txn
+    if plans:
+        plan = FaultPlan.parse(plans, seed=seed)
+    else:
+        plan = chaos_plan(rate, seed)
+    platform.ctx.faults.install(plan)
+
+    stats: dict[str, Any] = {
+        "commits": 0, "conflicts": 0, "crashes": 0, "aborts": 0,
+        "transient_failures": 0, "gave_up": 0, "recovery_sweeps": 0,
+        "rolled_forward": 0, "rolled_back": 0, "timeline": [],
+    }
+    generators = [
+        _writer(platform, principals[i], i, txns_per_writer, orders, max_attempts, stats)
+        for i in range(writers)
+    ]
+    live = list(range(writers))
+    rng = random.Random(seed)
+    steps = 0
+    midflight_checks = 0
+    violations: list[str] = []
+    while live:
+        index = rng.choice(live)
+        try:
+            next(generators[index])
+        except StopIteration:
+            live.remove(index)
+        steps += 1
+        if steps % check_every == 0:
+            midflight_checks += 1
+            violations.extend(
+                check_invariant(platform, admin, label=f"midflight@step{steps}")
+            )
+
+    # Final sweep: nothing a dead writer left behind may survive it.
+    final_report = _absorb_transients(platform.txn.recover)
+    stats["recovery_sweeps"] += 1
+    stats["rolled_forward"] += len(final_report.rolled_forward)
+    stats["rolled_back"] += len(final_report.rolled_back)
+    dangling = _absorb_transients(platform.txn.log.dangling_intents)
+
+    violations.extend(check_invariant(platform, admin, label="final"))
+    snapshot_checks = 0
+    for entry in stats["timeline"]:
+        snapshot_checks += 1
+        violations.extend(
+            check_invariant(
+                platform, admin,
+                snapshot_ms=entry["commit_ms"],
+                label=f"as-of {entry['txn_id']}",
+            )
+        )
+
+    final_totals = {
+        str(order_id): round(total, 6)
+        for order_id, total in sorted(
+            _query_rows(platform, admin, "SELECT order_id, total FROM txn.orders", None)
+        )
+    }
+    return {
+        "seed": seed,
+        "writers": writers,
+        "txns_per_writer": txns_per_writer,
+        "orders": orders,
+        "plan": plans or ([f"txn-chaos:rate={rate:g}"] if rate > 0 else []),
+        "commits": stats["commits"],
+        "conflicts": stats["conflicts"],
+        "crashes": stats["crashes"],
+        "aborts": stats["aborts"],
+        "transient_failures": stats["transient_failures"],
+        "gave_up": stats["gave_up"],
+        "recovery": {
+            "sweeps": stats["recovery_sweeps"],
+            "rolled_forward": stats["rolled_forward"],
+            "rolled_back": stats["rolled_back"],
+        },
+        "dangling_intents": len(dangling),
+        "midflight_checks": midflight_checks,
+        "snapshot_checks": snapshot_checks,
+        "violations": violations,
+        "commit_timeline": sorted(
+            stats["timeline"], key=lambda e: (e["commit_ms"], e["txn_id"])
+        ),
+        "final_totals": final_totals,
+        "driver_steps": steps,
+        "sim_elapsed_ms": round(platform.ctx.clock.now_ms, 3),
+    }

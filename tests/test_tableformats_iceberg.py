@@ -132,3 +132,34 @@ class TestHiveLayout:
     def test_parse_wrong_prefix_rejected(self):
         with pytest.raises(CatalogError):
             parse_partition_from_key("sales", "other/year=1/f")
+
+
+class TestCommitRetryExhaustion:
+    """Regression for the PR 5 leftover: a commit that loses every CAS
+    retry must surface as a *retryable* error with a stable code, and
+    every lost race must be metered."""
+
+    def test_exhaustion_raises_transient_subtype(self, table, store, ctx):
+        from repro.errors import (
+            CommitRetryExhaustedError, PreconditionFailedError, error_code,
+            is_retryable,
+        )
+
+        table.commit_append([data_file("lake/t/f1")])
+
+        def always_lose(*args, **kwargs):
+            raise PreconditionFailedError("synthetic CAS loss")
+
+        store.put_if_generation = always_lose
+        with pytest.raises(CommitRetryExhaustedError) as excinfo:
+            table.commit_append([data_file("lake/t/f2")], max_retries=3)
+        # Retryable (the caller's retry policy may try a fresh commit) and
+        # classifiable without parsing the message.
+        assert is_retryable(excinfo.value)
+        assert error_code(excinfo.value) == "COMMIT_RETRY_EXHAUSTED"
+        # Every lost race was metered, once per attempt.
+        conflicts = ctx.metrics.counter("repro_commit_conflicts_total")
+        assert conflicts.get(table="lake/warehouse/t") == 3.0
+        # The table itself is untouched by the failed commit.
+        store.put_if_generation = type(store).put_if_generation.__get__(store)
+        assert [f.path for f in table.scan()] == ["lake/t/f1"]

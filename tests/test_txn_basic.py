@@ -1,0 +1,205 @@
+"""Multi-table transaction basics: atomic visibility, snapshot isolation,
+marker-time as-of reads, and the INFORMATION_SCHEMA surfaces (JOBS
+``transaction_id``/``error_code``, the TRANSACTIONS table)."""
+
+import pytest
+
+from repro.data import DataType, Schema
+from repro.errors import (
+    QueryError,
+    TransactionAbortedError,
+    TransactionConflictError,
+    UnavailableError,
+    error_code,
+)
+from repro.faults import FaultSpec
+from repro.security.iam import Role
+from repro.txn.workload import build_txn_platform, check_invariant
+
+
+@pytest.fixture
+def env():
+    platform, admin = build_txn_platform(orders=3)
+    return platform, admin
+
+
+def commit_one(platform, principal, order_id=1, amount=5.0, item_id=901):
+    txn = platform.begin(principal)
+    txn.execute(
+        "INSERT INTO txn.lineitems (order_id, item_id, amount) "
+        f"VALUES ({order_id}, {item_id}, {amount})"
+    )
+    txn.execute(
+        f"UPDATE txn.orders SET total = total + {amount} WHERE order_id = {order_id}"
+    )
+    return txn, txn.commit()
+
+
+def order_total(platform, admin, order_id, snapshot_ms=None):
+    rows = platform.home_engine.execute(
+        f"SELECT total FROM txn.orders WHERE order_id = {order_id}",
+        admin, snapshot_ms=snapshot_ms,
+    ).rows()
+    assert len(rows) == 1
+    return rows[0][0]
+
+
+class TestAtomicVisibility:
+    def test_nothing_visible_before_commit(self, env):
+        platform, admin = env
+        txn = platform.begin(admin)
+        txn.execute(
+            "INSERT INTO txn.lineitems (order_id, item_id, amount) VALUES (1, 901, 5.0)"
+        )
+        txn.execute("UPDATE txn.orders SET total = total + 5.0 WHERE order_id = 1")
+        # An outside reader sees the pre-transaction state of BOTH tables.
+        assert order_total(platform, admin, 1) == 3.0
+        items = platform.home_engine.execute(
+            "SELECT COUNT(*) AS n FROM txn.lineitems WHERE item_id = 901", admin
+        ).rows()
+        assert items[0][0] == 0
+        assert check_invariant(platform, admin) == []
+
+    def test_both_tables_flip_at_commit(self, env):
+        platform, admin = env
+        _, commit_ms = commit_one(platform, admin, order_id=1, amount=5.0)
+        assert order_total(platform, admin, 1) == 8.0
+        items = platform.home_engine.execute(
+            "SELECT SUM(amount) AS s FROM txn.lineitems WHERE order_id = 1", admin
+        ).rows()
+        assert items[0][0] == 8.0
+        assert check_invariant(platform, admin) == []
+        assert commit_ms > 0
+
+    def test_as_of_marker_time(self, env):
+        platform, admin = env
+        _, commit_ms = commit_one(platform, admin, order_id=2, amount=7.0)
+        # Just before the marker: old world, still internally consistent.
+        assert order_total(platform, admin, 2, snapshot_ms=commit_ms - 0.001) == 6.0
+        assert check_invariant(platform, admin, snapshot_ms=commit_ms - 0.001) == []
+        # At the marker: the whole transaction, atomically.
+        assert order_total(platform, admin, 2, snapshot_ms=commit_ms) == 13.0
+        assert check_invariant(platform, admin, snapshot_ms=commit_ms) == []
+
+    def test_snapshot_isolation_for_open_reader(self, env):
+        platform, admin = env
+        reader = platform.begin(admin)
+        before = reader.execute(
+            "SELECT total FROM txn.orders WHERE order_id = 1"
+        ).rows()
+        commit_one(platform, admin, order_id=1, amount=5.0)
+        after = reader.execute(
+            "SELECT total FROM txn.orders WHERE order_id = 1"
+        ).rows()
+        # The reader's snapshot is pinned at its begin time.
+        assert before == after == [(3.0,)]
+        assert order_total(platform, admin, 1) == 8.0
+
+    def test_no_read_your_own_writes(self, env):
+        platform, admin = env
+        txn = platform.begin(admin)
+        txn.execute("UPDATE txn.orders SET total = total + 5.0 WHERE order_id = 1")
+        # Buffered writes stay invisible until the marker lands (documented).
+        rows = txn.execute("SELECT total FROM txn.orders WHERE order_id = 1").rows()
+        assert rows == [(3.0,)]
+
+    def test_abort_leaves_no_trace(self, env):
+        platform, admin = env
+        txn = platform.begin(admin)
+        txn.execute("UPDATE txn.orders SET total = total + 99.0 WHERE order_id = 1")
+        txn.abort()
+        assert order_total(platform, admin, 1) == 3.0
+        assert check_invariant(platform, admin) == []
+        with pytest.raises(TransactionAbortedError):
+            txn.commit()
+
+    def test_managed_tables_rejected_in_txn(self, env):
+        platform, admin = env
+        platform.tables.create_managed_table(
+            "txn", "m", Schema.of(("x", DataType.INT64))
+        )
+        txn = platform.begin(admin)
+        with pytest.raises(QueryError, match="managed"):
+            txn.execute("INSERT INTO txn.m (x) VALUES (1)")
+
+
+class TestErrorCodes:
+    def test_stable_codes(self):
+        from repro.errors import (
+            CommitRetryExhaustedError,
+            WriterCrashError,
+        )
+
+        assert error_code(TransactionConflictError("x")) == "TXN_CONFLICT"
+        assert error_code(TransactionAbortedError("x")) == "TXN_ABORTED"
+        assert error_code(CommitRetryExhaustedError("x")) == "COMMIT_RETRY_EXHAUSTED"
+        assert error_code(WriterCrashError("x")) == "WRITER_CRASHED"
+        assert error_code(UnavailableError("x")) == "RETRY_BUDGET_EXHAUSTED"
+        assert error_code(None) == ""
+
+    def test_jobs_records_retry_budget_exhaustion(self, env):
+        platform, admin = env
+        platform.ctx.faults.add(
+            FaultSpec(op="objectstore.get", error="UnavailableError", count=100)
+        )
+        with pytest.raises(UnavailableError):
+            platform.home_engine.execute("SELECT * FROM txn.orders", admin)
+        platform.ctx.faults.clear()
+        rows = platform.home_engine.execute(
+            "SELECT job_id, state, error_code FROM INFORMATION_SCHEMA.JOBS "
+            "WHERE state = 'FAILED'",
+            admin,
+        ).rows()
+        assert rows, "the failed query must land in JOBS"
+        assert all(code == "RETRY_BUDGET_EXHAUSTED" for _, _, code in rows)
+
+
+class TestSystemTables:
+    def test_jobs_stamps_transaction_id(self, env):
+        platform, admin = env
+        txn = platform.begin(admin)
+        txn.execute("UPDATE txn.orders SET total = total + 1.0 WHERE order_id = 1")
+        txn.commit()
+        rows = platform.home_engine.execute(
+            "SELECT transaction_id, sql FROM INFORMATION_SCHEMA.JOBS", admin
+        ).rows()
+        in_txn = [sql for txn_id, sql in rows if txn_id == txn.txn_id]
+        assert any("UPDATE txn.orders" in sql for sql in in_txn)
+        # Statements outside any transaction carry no id.
+        outside = [txn_id for txn_id, sql in rows if "INFORMATION_SCHEMA" in sql]
+        assert all(txn_id == "" for txn_id in outside)
+
+    def test_transactions_table_rows(self, env):
+        platform, admin = env
+        txn, commit_ms = commit_one(platform, admin, order_id=1, amount=2.0)
+        rows = platform.home_engine.execute(
+            "SELECT transaction_id, state, writer, commit_ms, finalized, "
+            "table_count, tables FROM INFORMATION_SCHEMA.TRANSACTIONS",
+            admin,
+        ).rows()
+        byid = {r[0]: r for r in rows}
+        assert txn.txn_id in byid
+        _, state, writer, ms, finalized, count, tables = byid[txn.txn_id]
+        assert state == "COMMITTED"
+        assert writer == str(admin)
+        assert ms == commit_ms
+        assert finalized is True
+        assert count == 2
+        assert "txn.lineitems" in tables and "txn.orders" in tables
+
+    def test_transactions_table_scoped_to_writer(self, env):
+        platform, admin = env
+        writer = platform.create_user(
+            "bob", [Role.DATA_EDITOR, Role.JOB_USER, Role.CONNECTION_USER]
+        )
+        commit_one(platform, admin, order_id=1, amount=2.0, item_id=901)
+        txn_bob, _ = commit_one(platform, writer, order_id=2, amount=3.0, item_id=902)
+        mine = platform.home_engine.execute(
+            "SELECT transaction_id, writer FROM INFORMATION_SCHEMA.TRANSACTIONS",
+            writer,
+        ).rows()
+        assert [r[0] for r in mine] == [txn_bob.txn_id]
+        everyone = platform.home_engine.execute(
+            "SELECT transaction_id FROM INFORMATION_SCHEMA.TRANSACTIONS", admin
+        ).rows()
+        assert len(everyone) == 2

@@ -1,0 +1,176 @@
+"""The deterministic two-writer conflict matrix: disjoint, overlapping,
+read-write, and write-write interleavings across BLMT and Iceberg tables.
+First-writer-wins is table-granular — reads never conflict, any two
+transactions that wrote the same table do."""
+
+import pytest
+
+from repro.data import DataType, Schema
+from repro.errors import TransactionConflictError, error_code
+from repro.tableformats import DataFileInfo, IcebergTable
+from repro.txn.workload import build_txn_platform, check_invariant
+
+ICE_SCHEMA = Schema.of(("x", DataType.INT64))
+
+
+@pytest.fixture
+def env():
+    platform, admin = build_txn_platform(orders=3)
+    return platform, admin
+
+
+def ice_table(platform, prefix="warehouse/t"):
+    store = platform.stores.store_for(platform.config.home_region.location)
+    if not store.has_bucket("ice"):
+        store.create_bucket("ice")
+    return IcebergTable.create(store, "ice", prefix, ICE_SCHEMA, [])
+
+
+def ice_file(path):
+    return DataFileInfo(
+        path=path, file_size=1000, record_count=10,
+        partition=(), bounds=(("x", (0, 9, 0)),),
+    )
+
+
+class TestBlmtMatrix:
+    def test_disjoint_tables_both_commit(self, env):
+        platform, admin = env
+        a = platform.begin(admin)
+        b = platform.begin(admin)
+        a.execute("UPDATE txn.orders SET total = total + 5.0 WHERE order_id = 1")
+        b.execute(
+            "INSERT INTO txn.lineitems (order_id, item_id, amount) VALUES (1, 901, 5.0)"
+        )
+        a.commit()
+        b.commit()
+        assert a.state == "COMMITTED" and b.state == "COMMITTED"
+        # Disjoint commits compose into the consistent co-mutation.
+        assert check_invariant(platform, admin) == []
+
+    def test_read_write_overlap_both_commit(self, env):
+        platform, admin = env
+        reader = platform.begin(admin)
+        writer = platform.begin(admin)
+        assert reader.execute(
+            "SELECT total FROM txn.orders WHERE order_id = 1"
+        ).rows() == [(3.0,)]
+        writer.execute("UPDATE txn.orders SET total = total + 5.0 WHERE order_id = 1")
+        writer.commit()
+        # Reads stage nothing, so the reader commits conflict-free even
+        # though the table it read has moved on.
+        assert reader.execute(
+            "SELECT total FROM txn.orders WHERE order_id = 1"
+        ).rows() == [(3.0,)]
+        reader.commit()
+        assert reader.state == "COMMITTED"
+
+    def test_write_write_prepare_conflict(self, env):
+        platform, admin = env
+        a = platform.begin(admin)
+        b = platform.begin(admin)
+        a.execute("UPDATE txn.orders SET total = total + 5.0 WHERE order_id = 1")
+        b.execute("UPDATE txn.orders SET total = total + 7.0 WHERE order_id = 2")
+        a.commit()
+        # b staged before a committed: its base version is stale, so
+        # first-writer-wins aborts at prepare — before anything durable.
+        with pytest.raises(TransactionConflictError) as excinfo:
+            b.commit()
+        assert error_code(excinfo.value) == "TXN_CONFLICT"
+        assert b.state == "ABORTED"
+        # a's update survives; b's vanished entirely.
+        rows = dict(
+            platform.home_engine.execute(
+                "SELECT order_id, total FROM txn.orders", admin
+            ).rows()
+        )
+        assert rows[1] == 8.0 and rows[2] == 6.0
+
+    def test_write_write_publish_conflict(self, env):
+        platform, admin = env
+        b = platform.begin(admin)
+        a = platform.begin(admin)
+        a.execute("UPDATE txn.orders SET total = total + 5.0 WHERE order_id = 1")
+        a.commit()
+        # b stages *after* a committed, so its base version already
+        # includes a's bump and prepare passes — but its copy-on-write
+        # rewrite (pinned at b's begin snapshot) retires a file a already
+        # replaced. The publish-time liveness check converts that into
+        # the same conflict.
+        b.execute("UPDATE txn.orders SET total = total + 7.0 WHERE order_id = 2")
+        with pytest.raises(TransactionConflictError):
+            b.commit()
+        assert b.state == "ABORTED"
+        rows = dict(
+            platform.home_engine.execute(
+                "SELECT order_id, total FROM txn.orders", admin
+            ).rows()
+        )
+        assert rows[1] == 8.0 and rows[2] == 6.0
+
+    def test_insert_insert_same_table_conflicts(self, env):
+        platform, admin = env
+        a = platform.begin(admin)
+        b = platform.begin(admin)
+        a.execute(
+            "INSERT INTO txn.lineitems (order_id, item_id, amount) VALUES (1, 901, 1.0)"
+        )
+        b.execute(
+            "INSERT INTO txn.lineitems (order_id, item_id, amount) VALUES (2, 902, 2.0)"
+        )
+        a.commit()
+        # First-writer-wins is deliberately table-granular: even two
+        # appends that could merge are treated as a write-write conflict.
+        with pytest.raises(TransactionConflictError):
+            b.commit()
+
+
+class TestIcebergMatrix:
+    def test_iceberg_commit_in_txn_visible_after_marker(self, env):
+        platform, admin = env
+        ice = ice_table(platform)
+        txn = platform.begin(admin)
+        txn.stage_iceberg(ice, added=[ice_file("ice/warehouse/t/data/f1.pqs")])
+        # Tagged snapshot is invisible until the marker lands.
+        assert txn.scan_iceberg(ice) == []
+        txn.commit()
+        assert [f.path for f in ice.scan()] == ["ice/warehouse/t/data/f1.pqs"]
+
+    def test_iceberg_write_write_conflict(self, env):
+        platform, admin = env
+        ice = ice_table(platform)
+        a = platform.begin(admin)
+        b = platform.begin(admin)
+        a.stage_iceberg(ice, added=[ice_file("ice/warehouse/t/data/a.pqs")])
+        b.stage_iceberg(ice, added=[ice_file("ice/warehouse/t/data/b.pqs")])
+        a.commit()
+        with pytest.raises(TransactionConflictError):
+            b.commit()
+        assert [f.path for f in ice.scan()] == ["ice/warehouse/t/data/a.pqs"]
+
+    def test_iceberg_blmt_multi_table_atomicity(self, env):
+        platform, admin = env
+        ice = ice_table(platform)
+        txn = platform.begin(admin)
+        txn.execute("UPDATE txn.orders SET total = total + 5.0 WHERE order_id = 1")
+        txn.execute(
+            "INSERT INTO txn.lineitems (order_id, item_id, amount) VALUES (1, 901, 5.0)"
+        )
+        txn.stage_iceberg(ice, added=[ice_file("ice/warehouse/t/data/f1.pqs")])
+        commit_ms = txn.commit()
+        assert txn.state == "COMMITTED"
+        # All three tables flipped at one marker time.
+        assert check_invariant(platform, admin, snapshot_ms=commit_ms) == []
+        assert [f.path for f in ice.scan()] == ["ice/warehouse/t/data/f1.pqs"]
+
+    def test_iceberg_disjoint_prefixes_both_commit(self, env):
+        platform, admin = env
+        ice1 = ice_table(platform, "warehouse/t1")
+        ice2 = ice_table(platform, "warehouse/t2")
+        a = platform.begin(admin)
+        b = platform.begin(admin)
+        a.stage_iceberg(ice1, added=[ice_file("ice/warehouse/t1/data/a.pqs")])
+        b.stage_iceberg(ice2, added=[ice_file("ice/warehouse/t2/data/b.pqs")])
+        a.commit()
+        b.commit()
+        assert a.state == b.state == "COMMITTED"
