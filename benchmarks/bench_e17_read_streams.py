@@ -1,0 +1,132 @@
+"""E17-RS — parallel read sessions: consumer scaling + rebalance under skew.
+
+The Storage Read API's §3.4 connector story is N independent consumers
+attaching to one serialized session and draining its streams in parallel.
+Two acceptance claims, both on fully seeded model time, both with
+order-insensitive row CRCs pinning result invariance:
+
+* **(a) consumers scale** — draining a TPC-H ``lineitem`` scan with
+  1 → 16 attached consumers (one per stream) yields a monotone
+  non-increasing makespan on the healthy model, with identical rows at
+  every width.
+* **(b) rebalancing recovers consumer lag** — with one consumer injected
+  4x slower, the dynamic stream rebalancer (idle consumers steal pending
+  files from the most-loaded stream) recovers >= 50% of the lag-induced
+  makespan inflation ``(off - on) / (off - healthy)``, with the row CRC
+  identical rebalancer on or off.
+
+Recorded in ``BENCH_PR9.json`` under ``e17_rs``.
+"""
+
+from repro.bench import format_table, record_bench
+from repro.bench.harness import build_tpch_platform
+from repro.storageapi.streams import drain_session
+
+SEED = 7
+SCALE = 0.1
+LINEITEM_FILES = 16
+STREAM_COUNTS = [1, 2, 4, 8, 16]
+LAG_STREAMS = 4
+LAG_FACTOR = 4.0
+
+
+def _lineitem_session(max_streams: int):
+    platform, admin, _engine, _queries = build_tpch_platform(
+        scale=SCALE, lineitem_files=LINEITEM_FILES
+    )
+    info = platform.catalog.get_table("tpch", "lineitem")
+    session = platform.read_api.create_read_session(
+        admin, info, max_streams=max_streams
+    )
+    return platform, session
+
+
+def _drain(max_streams: int, lag_stream: int | None = None, rebalance: bool = False):
+    platform, session = _lineitem_session(max_streams)
+    lag = {lag_stream: LAG_FACTOR} if lag_stream is not None else None
+    return drain_session(
+        platform.read_api, session.serialize(), lag=lag, rebalance=rebalance
+    )
+
+
+def test_e17_rs_consumer_scaling_and_rebalance(benchmark):
+    # -- (a) consumer scaling curve, healthy model ------------------------
+    curve = benchmark.pedantic(
+        lambda: [(n, _drain(n)) for n in STREAM_COUNTS], rounds=1, iterations=1
+    )
+    base_crc = curve[0][1].crc
+    rows = curve[0][1].rows
+    for n, report in curve:
+        assert report.crc == base_crc, f"{n} consumers changed the rows"
+        assert report.rows == rows
+    makespans = [report.makespan_ms for _, report in curve]
+    for narrow, wide in zip(makespans, makespans[1:]):
+        assert wide <= narrow + 1e-9, (
+            f"more consumers slowed the drain: {makespans}"
+        )
+
+    # -- (b) rebalance under injected consumer lag ------------------------
+    healthy = _drain(LAG_STREAMS)
+    # Lag the consumer with the most files so neighbors have work to steal.
+    _, session = _lineitem_session(LAG_STREAMS)
+    lag_stream = max(
+        range(LAG_STREAMS), key=lambda i: (len(session.streams[i].files), -i)
+    )
+    off = _drain(LAG_STREAMS, lag_stream=lag_stream, rebalance=False)
+    on = _drain(LAG_STREAMS, lag_stream=lag_stream, rebalance=True)
+    inflation = off.makespan_ms - healthy.makespan_ms
+    recovered = off.makespan_ms - on.makespan_ms
+    recovery = recovered / inflation if inflation > 0 else 0.0
+
+    assert off.crc == on.crc == base_crc, "rebalancing changed the rows"
+    assert inflation > 0, "injected lag did not inflate the makespan"
+    assert recovery >= 0.5, f"rebalancer recovered only {recovery:.0%}"
+
+    print(
+        format_table(
+            "E17-RS — consumer scaling, healthy model (model ms)",
+            ["consumers", "makespan", "rows", "crc"],
+            [
+                (n, round(r.makespan_ms, 2), r.rows, f"{r.crc:08x}")
+                for n, r in curve
+            ],
+        )
+    )
+    print(
+        format_table(
+            "E17-RS — rebalance under consumer lag (4 consumers, one 4x slow)",
+            ["configuration", "makespan", "rebalances", "crc"],
+            [
+                ("healthy", round(healthy.makespan_ms, 2), 0, f"{healthy.crc:08x}"),
+                ("lag, rebalancer off", round(off.makespan_ms, 2), 0, f"{off.crc:08x}"),
+                ("lag, rebalancer on", round(on.makespan_ms, 2), on.rebalances,
+                 f"{on.crc:08x}"),
+            ],
+        )
+    )
+    print(
+        f"lag inflation {inflation:.2f} ms, rebalancing recovered "
+        f"{recovered:.2f} ms ({recovery:.0%})"
+    )
+
+    record_bench(
+        "e17_rs",
+        title="Parallel read sessions: consumer scaling + stream rebalancing",
+        seed=SEED,
+        scale=SCALE,
+        lineitem_files=LINEITEM_FILES,
+        scaling_curve=[
+            {"consumers": n, "makespan_ms": round(r.makespan_ms, 3), "rows": r.rows}
+            for n, r in curve
+        ],
+        makespan_monotone_nonincreasing=True,
+        crc_identical_across_widths=True,
+        lag_stream=lag_stream,
+        lag_factor=LAG_FACTOR,
+        rebalance_healthy_ms=round(healthy.makespan_ms, 3),
+        rebalance_off_ms=round(off.makespan_ms, 3),
+        rebalance_on_ms=round(on.makespan_ms, 3),
+        rebalance_moves=len(on.moves),
+        rebalance_recovery=round(recovery, 4),
+        crc_identical_rebalance_on_off=True,
+    )

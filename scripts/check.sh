@@ -10,7 +10,10 @@
 # reports — RESERVATION_TIMELINE tie-out, alert log, variance table —
 # plain and under chaos) + the transaction determinism gate (same seed,
 # two processes, byte-identical chaos-workload reports — commit timeline,
-# recovery actions, torn-state oracle — plain and under chaos).
+# recovery actions, torn-state oracle — plain and under chaos) + the
+# readsession determinism gate (same seed, two processes, byte-identical
+# session-handoff reports — scaling/rebalance legs, row CRCs, consumer
+# timelines — plain and under chaos).
 # Usage: scripts/check.sh  (from the repo root)
 set -euo pipefail
 
@@ -146,5 +149,34 @@ if diff -u "$txn_ca" "$txn_cb"; then
     echo "txn run under chaos is deterministic"
 else
     echo "txn chaos determinism gate FAILED: same seed produced different reports" >&2
+    exit 1
+fi
+
+echo "== readsession determinism gate =="
+# The CLI itself exits non-zero if rebalancing changes any returned row
+# (CRC mismatch) or fails to recover lag-induced makespan inflation;
+# diffing two same-seed reports pins the whole handoff run (stream
+# layout, consumer timelines, rebalance moves, row CRCs) byte-for-byte —
+# with and without the chaos plan.
+rs_a="$(mktemp)" rs_b="$(mktemp)" rs_ca="$(mktemp)" rs_cb="$(mktemp)"
+trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
+    "$serve_a" "$serve_b" "$serve_ca" "$serve_cb" \
+    "$mon_a" "$mon_b" "$mon_ca" "$mon_cb" \
+    "$txn_a" "$txn_b" "$txn_ca" "$txn_cb" \
+    "$rs_a" "$rs_b" "$rs_ca" "$rs_cb"' EXIT
+PYTHONPATH=src python -m repro readsession --smoke --seed 1234 --json "$rs_a" >/dev/null
+PYTHONPATH=src python -m repro readsession --smoke --seed 1234 --json "$rs_b" >/dev/null
+if diff -u "$rs_a" "$rs_b"; then
+    echo "readsession run is deterministic"
+else
+    echo "readsession determinism gate FAILED: same seed produced different reports" >&2
+    exit 1
+fi
+PYTHONPATH=src python -m repro readsession --smoke --chaos --seed 1234 --json "$rs_ca" >/dev/null
+PYTHONPATH=src python -m repro readsession --smoke --chaos --seed 1234 --json "$rs_cb" >/dev/null
+if diff -u "$rs_ca" "$rs_cb"; then
+    echo "readsession run under chaos is deterministic"
+else
+    echo "readsession chaos determinism gate FAILED: same seed produced different reports" >&2
     exit 1
 fi

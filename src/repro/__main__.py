@@ -62,6 +62,15 @@ Commands:
   on any invariant violation, dangling intent, or lost transaction.
   Deterministic: same seed ⇒ byte-identical ``--json`` report (the txn
   determinism gate in ``scripts/check.sh``).
+* ``readsession`` — serializable session handoff walkthrough: one
+  multi-stream read session over a skewed lake, serialized to a byte
+  handle and drained by one attached consumer per stream — healthy, with
+  an injected consumer lag, and with the lag plus the dynamic stream
+  rebalancer. Exits non-zero if any leg's row CRC differs or rebalancing
+  recovers none of the lag inflation. ``--chaos`` adds transient faults
+  on the read path; ``--smoke`` is the small CI variant. Deterministic:
+  same seed ⇒ byte-identical ``--json`` report (the readsession
+  determinism gate in ``scripts/check.sh``).
 * ``experiments`` — run the full E1–E12 + future-work benchmark suite.
 * ``info``        — print the module inventory and experiment index.
 """
@@ -571,12 +580,13 @@ def _monitor(
     return 0
 
 
-def _build_skewed_platform():
+def _build_skewed_platform(sizes: list[int] | None = None):
     """(platform, admin) with ``demo.events``: one fat file among small ones.
 
     The deliberate size skew (part-0 holds ~half the rows) gives the
     scheduler a naturally imbalanced stage even before any ``task.slow``
-    straggler plan is installed.
+    straggler plan is installed. ``sizes`` overrides the per-file row
+    counts (used by the ``readsession`` walkthrough).
     """
     from repro import (
         DataType, LakehousePlatform, MetadataCacheMode, Role, Schema,
@@ -591,7 +601,7 @@ def _build_skewed_platform():
     schema = Schema.of(
         ("id", DataType.INT64), ("region", DataType.STRING), ("amount", DataType.FLOAT64)
     )
-    sizes = [700, 80, 80, 80, 80, 80, 80, 80]
+    sizes = sizes or [700, 80, 80, 80, 80, 80, 80, 80]
     start = 0
     for part, rows in enumerate(sizes):
         write_data_file(
@@ -820,6 +830,148 @@ def _txn(
     return 0
 
 
+# The default `readsession --chaos` profile: transient faults on the
+# governed read path, all recoverable, so the drain still ties out.
+READSESSION_CHAOS_PLAN = [
+    "objectstore.get:rate=0.2:max=20",
+    "read_api.read_rows:rate=0.1:max=8",
+]
+
+
+def _readsession(
+    seed: int,
+    smoke: bool,
+    chaos: bool,
+    plans: list[str],
+    json_path: str | None,
+) -> int:
+    """Serializable session handoff + rebalancing walkthrough: create one
+    multi-stream session over a skewed lake, serialize it, and drain it
+    with one attached consumer per stream — healthy, with an injected
+    consumer lag, and with the lag plus the rebalancer. Self-checking
+    (row CRCs identical across all three legs, rebalancing must recover
+    some of the lag inflation) and deterministic: same seed ⇒
+    byte-identical ``--json`` report."""
+    import json
+
+    from repro.faults import FaultPlan
+    from repro.storageapi.streams import drain_session
+
+    sizes = [300] + [60] * 7 if smoke else [600] + [90] * 11
+    n_streams = 4
+    lag_factor = 4.0
+    specs = plans or (READSESSION_CHAOS_PLAN if chaos else [])
+
+    def leg(lag_stream: int | None = None, rebalance: bool = False):
+        platform, admin = _build_skewed_platform(sizes)
+        info = platform.catalog.get_table("demo", "events")
+        session = platform.read_api.create_read_session(
+            admin, info, max_streams=n_streams
+        )
+        blob = session.serialize()
+        # Chaos targets the consumers: the session is established, then
+        # the drain's governed reads run under the fault plan (transient,
+        # so every leg still ties out after retries).
+        try:
+            if specs:
+                platform.ctx.faults.install(FaultPlan.parse(specs, seed=seed))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(1) from None
+        lag = {lag_stream: lag_factor} if lag_stream is not None else None
+        report = drain_session(platform.read_api, blob, lag=lag, rebalance=rebalance)
+        return blob, session, report
+
+    blob, session, healthy = leg()
+    # Lag the consumer with the most files: it has pending work an idle
+    # neighbor can actually steal (deterministic: ties to the lowest id).
+    lag_stream = max(
+        range(len(session.streams)),
+        key=lambda i: (len(session.streams[i].files), -i),
+    )
+    _, _, off = leg(lag_stream, rebalance=False)
+    _, _, on = leg(lag_stream, rebalance=True)
+
+    mode = "smoke" if smoke else "full"
+    print(
+        f"-- readsession: {len(sizes)} files over {n_streams} streams, "
+        f"seed={seed} ({mode}"
+        + (f", chaos={','.join(specs)})" if specs else ")")
+        + "\n"
+    )
+    print(f"serialized handle ({len(blob)} bytes): {blob[:64].decode()}...")
+    print(f"lagged consumer: worker-{lag_stream} (x{lag_factor:g} slower)\n")
+    for label, report in (
+        ("healthy", healthy), ("lag, rebalancer off", off), ("lag, rebalancer on", on)
+    ):
+        print(f"{label}: makespan {report.makespan_ms:.3f} ms, "
+              f"rows={report.rows} crc={report.crc:08x} "
+              f"rebalances={report.rebalances}")
+        print("  consumer   stream  speed  files   rows    bytes  finished_ms")
+        for c in report.consumers:
+            print(
+                f"  {c.consumer:<9} {c.stream_id:>6} {c.speed:>6g} {c.files:>6} "
+                f"{c.rows:>6} {c.bytes:>8,} {c.finished_ms:>12.3f}"
+            )
+    if on.moves:
+        print("\nrebalance moves (pending files only):")
+        for m in on.moves:
+            print(
+                f"  {m.file_path} ({m.size_bytes:,} B): "
+                f"stream {m.from_stream} -> {m.to_stream}"
+            )
+
+    inflation = off.makespan_ms - healthy.makespan_ms
+    recovered = (off.makespan_ms - on.makespan_ms) / inflation if inflation > 0 else 0.0
+    crc_identical = healthy.crc == off.crc == on.crc
+    rows_identical = healthy.rows == off.rows == on.rows
+    print(
+        f"\nlag inflated the makespan by {inflation:.3f} ms; rebalancing "
+        f"recovered {recovered:.1%} of it"
+    )
+
+    if json_path:
+        payload = {
+            "seed": seed,
+            "plan": specs,
+            "files": len(sizes),
+            "streams": n_streams,
+            "lag_stream": lag_stream,
+            "lag_factor": lag_factor,
+            "crc_identical": crc_identical,
+            "rows_identical": rows_identical,
+            "recovered_fraction": round(recovered, 6),
+            "legs": {
+                "healthy": healthy.to_dict(),
+                "rebalancer_off": off.to_dict(),
+                "rebalancer_on": on.to_dict(),
+            },
+        }
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"readsession report written to {json_path}")
+
+    failures = 0
+    if not crc_identical or not rows_identical:
+        print(
+            "error: rebalancing or lag changed the returned rows (must be "
+            "result-invariant)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if inflation <= 0:
+        print("error: injected lag did not inflate the makespan", file=sys.stderr)
+        failures += 1
+    if recovered <= 0:
+        print("error: rebalancing recovered none of the lag inflation", file=sys.stderr)
+        failures += 1
+    if failures:
+        return 1
+    print("handoff round-trip + rebalance invariance: OK")
+    return 0
+
+
 def _experiments(extra: list[str]) -> int:
     command = [
         sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
@@ -846,7 +998,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "demo", "trace", "jobs", "chaos", "cache-stats", "schedule",
-            "serve", "monitor", "txn", "experiments", "info",
+            "serve", "monitor", "txn", "readsession", "experiments", "info",
         ],
         nargs="?", default="demo",
     )
@@ -899,12 +1051,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="for 'serve'/'monitor'/'txn': small fast variant for CI",
+        help="for 'serve'/'monitor'/'txn'/'readsession': small fast "
+        "variant for CI",
     )
     parser.add_argument(
         "--chaos", action="store_true", dest="serve_chaos",
-        help="for 'serve'/'monitor'/'txn': replay the workload under the "
-        "default seeded fault plan (or give explicit --plan specs)",
+        help="for 'serve'/'monitor'/'txn'/'readsession': replay the "
+        "workload under the default seeded fault plan (or give explicit "
+        "--plan specs)",
     )
     parser.add_argument(
         "--recover", action="store_true",
@@ -939,6 +1093,10 @@ def main(argv: list[str] | None = None) -> int:
         return _txn(
             args.seed, args.smoke, args.recover, args.serve_chaos,
             args.plan, args.rate, args.json_path,
+        )
+    if args.command == "readsession":
+        return _readsession(
+            args.seed, args.smoke, args.serve_chaos, args.plan, args.json_path
         )
     if args.command == "schedule":
         return _schedule(

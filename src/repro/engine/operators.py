@@ -112,6 +112,11 @@ def _dispatch_plan_node(node: PlanNode, ctx: ExecContext) -> list[RecordBatch]:
 def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
     restriction = _scan_restriction(node)
     engine = ctx.engine
+    # External connectors (executor_per_stream) request a fixed executor
+    # count and schedule one task per stream; the home engine keeps one
+    # task per file.
+    per_stream = getattr(engine, "executor_per_stream", False)
+    max_streams = (getattr(engine, "scan_streams", None) or engine.slots) if per_stream else engine.slots
     t0 = engine.ctx.clock.now_ms
     session = engine.read_api.create_read_session(
         principal=ctx.principal,
@@ -119,11 +124,15 @@ def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
         columns=node.columns,
         row_restriction=restriction,
         snapshot_ms=node.snapshot_ms or ctx.snapshot_ms,
-        max_streams=engine.slots,
+        max_streams=max_streams,
         engine_location=engine.remote_location_for(node.table),
         use_row_oriented_reader=engine.use_row_oriented_reader,
         aggregates=node.pushed_aggregates or None,
     )
+    if per_stream and hasattr(session, "serialize") and hasattr(engine.read_api, "attach"):
+        # Connector handoff: executors join through the serialized wire
+        # handle, never through a live session reference.
+        session = engine.read_api.attach(session.serialize())
     ctx.stats.planning_ms += engine.ctx.clock.now_ms - t0
     # Per-task cost estimates for the slot scheduler, taken *before* the
     # scan runs (planning-time knowledge: file sizes + cache residency).
@@ -136,7 +145,19 @@ def _execute_scan(node: ScanNode, ctx: ExecContext) -> list[RecordBatch]:
     for stream_index in range(len(session.streams)):
         batches.extend(_run_stream_task(engine, session, stream_index))
     scan_ms = engine.ctx.clock.now_ms - t1
-    tasks = max(1, session.stats.files_after_pruning)
+    if per_stream:
+        # One executor per stream: fold the per-file estimates into
+        # per-stream task costs (estimates come out in stream order).
+        tasks = max(1, len(session.streams))
+        if task_costs:
+            grouped, start = [], 0
+            for stream in session.streams:
+                stop = start + len(stream.files)
+                grouped.append(sum(task_costs[start:stop]))
+                start = stop
+            task_costs = grouped
+    else:
+        tasks = max(1, session.stats.files_after_pruning)
     ctx.stats.record_scan(
         session.stats, scan_ms, tasks,
         stage=node.table.table_id, task_costs=task_costs,
@@ -172,6 +193,10 @@ def _run_stream_task(engine, session, stream_index: int) -> list[RecordBatch]:
     def attempt() -> tuple[list[RecordBatch], int]:
         ctx.faults.check("engine.task", engine=engine.name, stream=stream_index)
         snap = session.stats.snapshot()
+        stream = session.streams[stream_index]
+        # Reads advance the stream's consumption cursor; a retried attempt
+        # must rewind it with the stats or the re-run starts mid-stream.
+        progress = getattr(stream, "progress_snapshot", lambda: None)()
         try:
             collected: list[RecordBatch] = []
             rows = 0
@@ -180,6 +205,8 @@ def _run_stream_task(engine, session, stream_index: int) -> list[RecordBatch]:
                 collected.append(batch)
         except BaseException:
             session.stats.restore(snap)
+            if progress is not None:
+                stream.restore_progress(progress)
             raise
         return collected, rows
 

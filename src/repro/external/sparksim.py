@@ -19,7 +19,7 @@ from repro.sql.analysis import extract_constraints
 from repro.sql.expressions import Binder, evaluate_predicate
 from repro.sql.parser import parse_expression
 from repro.storageapi.fileutil import entry_from_footer, read_remote_footer
-from repro.storageapi.read_api import ReadStream, SessionStats, _dir_prefix
+from repro.storageapi.read_api import ReadApi, ReadStream, SessionStats, _dir_prefix
 from repro.tableformats.hive_layout import parse_partition_from_key
 
 _session_ids = itertools.count(1)
@@ -109,10 +109,11 @@ class DirectLakeReader:
             if BigMetadataService._entry_matches(entry, constraints):
                 entries.append(entry)
         stats.files_after_pruning = len(entries)
-        count = max(1, min(max_streams, len(entries) or 1))
-        streams = [ReadStream(stream_id=i) for i in range(count)]
-        for i, entry in enumerate(entries):
-            streams[i % count].files.append(entry)
+        # Same largest-first greedy placement as the Read API. The old
+        # round-robin striping (streams[i % count]) skewed streams badly on
+        # heterogeneous file sizes: one stream could collect every large
+        # file while its neighbors got the small ones.
+        streams = ReadApi._balance_streams(entries, max_streams)
         return _DirectSession(
             session_id=f"direct-{next(_session_ids):06d}",
             table=table,
@@ -166,7 +167,10 @@ class DirectLakeReader:
 class SparkSim(QueryEngine):
     """An external engine with Spark's planner characteristics.
 
-    ``mode='connector'`` reads through the Storage Read API; with
+    ``mode='connector'`` reads through the Storage Read API the way real
+    connectors do: CreateReadSession with ``executors`` requested streams,
+    the session serialized and re-attached (the over-the-wire handoff),
+    then one simulated executor per stream on the shared slot pool. With
     ``session_stats=True`` the connector also consumes the table statistics
     CreateReadSession returns, unlocking join reordering and dynamic
     partition pruning (§3.4). ``mode='direct'`` bypasses BigLake entirely.
@@ -180,6 +184,7 @@ class SparkSim(QueryEngine):
         location: str | None = None,
         name: str | None = None,
         slots: int = 32,
+        executors: int = 16,
     ) -> None:
         if mode not in ("connector", "direct"):
             raise ValueError(f"unknown SparkSim mode {mode!r}")
@@ -199,3 +204,8 @@ class SparkSim(QueryEngine):
             # the direct path has no server to push to.
             enable_aggregate_pushdown=(mode == "connector"),
         )
+        # Connector scans consume via serialized multi-stream sessions:
+        # the scan requests ``executors`` streams, attaches through the
+        # wire handle, and schedules one task per stream.
+        self.executor_per_stream = mode == "connector"
+        self.scan_streams = executors if mode == "connector" else None

@@ -16,6 +16,7 @@ lookup, not an object-store LIST.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterator
 
@@ -67,6 +68,11 @@ OBJECT_TABLE_SCHEMA = Schema.of(
 
 _SESSION_TTL_MS = 6 * 3600 * 1000.0
 
+# Server-side session registry bound (oldest sessions fall off first) and
+# the default resolution-cache capacity (entries, LRU).
+_SESSION_REGISTRY_LIMIT = 1024
+_RESOLUTION_CACHE_ENTRIES = 64
+
 
 @dataclass
 class SessionStats:
@@ -114,6 +120,45 @@ class ReadStream:
     files: list[FileEntry] = field(default_factory=list)
     # For managed tables, streams carry batches instead of files.
     batches: list[RecordBatch] = field(default_factory=list)
+    # Consumption cursor: index of the next not-yet-started unit (file, or
+    # batch for managed tables). Units below the cursor are started or
+    # consumed and must never be moved by the rebalancer.
+    offset: int = 0
+    rows_returned: int = 0
+
+    @property
+    def unit_count(self) -> int:
+        return len(self.batches) if self.batches else len(self.files)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.offset >= self.unit_count
+
+    @property
+    def pending_files(self) -> list[FileEntry]:
+        """Files not yet started — the only ones a rebalancer may move."""
+        return self.files[self.offset:]
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(e.size_bytes for e in self.pending_files)
+
+    def progress(self) -> dict[str, int]:
+        """Consumer-reportable progress for this stream."""
+        return {
+            "stream_id": self.stream_id,
+            "consumed_units": self.offset,
+            "total_units": self.unit_count,
+            "rows_returned": self.rows_returned,
+        }
+
+    def progress_snapshot(self) -> tuple[int, int]:
+        """Cursor state for retry-safe rollback (pairs with
+        :meth:`SessionStats.snapshot` in task-level retries)."""
+        return (self.offset, self.rows_returned)
+
+    def restore_progress(self, snap: tuple[int, int]) -> None:
+        self.offset, self.rows_returned = snap
 
 
 @dataclass
@@ -143,6 +188,19 @@ class ReadSession:
     # Ranged reads: fetch only the surviving row-group x needed-column
     # chunks (with range coalescing) instead of whole objects.
     ranged_reads: bool = False
+
+    def serialize(self) -> bytes:
+        """Wire handle for "over the wire" handoff: a stable byte blob with
+        no live object references. Another consumer re-joins the session
+        with :meth:`ReadApi.attach`, which re-resolves the stream ids
+        against the deployment's session registry."""
+        from repro.storageapi.streams import serialize_session
+
+        return serialize_session(self)
+
+    def progress(self) -> list[dict[str, int]]:
+        """Per-stream consumption progress (one dict per stream)."""
+        return [stream.progress() for stream in self.streams]
 
 
 class ReadApi:
@@ -178,8 +236,15 @@ class ReadApi:
         # Read-session reuse (§3.4 future work): cache of resolved file
         # sets keyed by (table, version, restriction, snapshot) so a
         # re-created session skips the expensive enumerate/prune step.
-        self._resolution_cache: dict[tuple, tuple[list[FileEntry], int]] = {}
+        # Bounded LRU: steady DML bumps table.version, so distinct keys
+        # grow without bound while only recent versions can ever hit.
+        self._resolution_cache: OrderedDict[tuple, tuple[list[FileEntry], int]] = OrderedDict()
+        self.resolution_cache_entries = _RESOLUTION_CACHE_ENTRIES
         self.session_cache_hits = 0
+        # Live sessions by id, for serialized-handle re-attach. Expired
+        # sessions are pruned on registration/attach; the oldest fall off
+        # past the registry bound.
+        self._sessions: OrderedDict[str, ReadSession] = OrderedDict()
 
     # ------------------------------------------------------------------
     # CreateReadSession
@@ -261,6 +326,7 @@ class ReadApi:
                 table.table_id, table.version, row_restriction, snapshot_ms, max_streams
             )
         if cache_key is not None and cache_key in self._resolution_cache:
+            self._resolution_cache.move_to_end(cache_key)
             entries, total = self._resolution_cache[cache_key]
             # Accumulate (+=): a SessionStats may see several resolutions
             # (multi-prefix or re-resolved sessions); assignment would
@@ -282,6 +348,15 @@ class ReadApi:
         if cache_key is not None and not stats.served_from_session_cache:
             resolved = [f for s in streams for f in s.files]
             self._resolution_cache[cache_key] = (resolved, stats.files_total)
+            evicted = 0
+            while len(self._resolution_cache) > max(1, self.resolution_cache_entries):
+                self._resolution_cache.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.ctx.metrics.counter(
+                    "repro_session_cache_evictions_total",
+                    "resolution-cache entries evicted (LRU, oldest first)",
+                ).inc(evicted)
 
         projected = columns if columns is not None else [
             f.name for f in table_schema if f.name not in access.denied_columns
@@ -309,6 +384,63 @@ class ReadApi:
             aggregates=list(aggregates or []),
             wire_format=wire_format,
             ranged_reads=ranged_reads,
+        )
+        self._register_session(session)
+        return session
+
+    # ------------------------------------------------------------------
+    # Session registry + serialized-handle attach (§3.4 handoff)
+    # ------------------------------------------------------------------
+
+    def _register_session(self, session: ReadSession) -> None:
+        now = self.ctx.clock.now_ms
+        for sid in [s for s, sess in self._sessions.items() if now > sess.expires_ms]:
+            del self._sessions[sid]
+        self._sessions[session.session_id] = session
+        while len(self._sessions) > _SESSION_REGISTRY_LIMIT:
+            self._sessions.popitem(last=False)
+
+    def attach(self, blob: bytes | str) -> ReadSession:
+        """Re-join a live session from its serialized handle.
+
+        The blob (see :meth:`ReadSession.serialize`) carries ids only — no
+        live object references survive the wire — so streams are
+        re-resolved by id against this deployment's session registry.
+        Expiry is enforced here, at attach time: a consumer holding a
+        stale handle fails fast instead of deep inside its first read.
+
+        Raises :class:`SessionExpiredError` for an expired handle and
+        :class:`StorageApiError` for garbage blobs, sessions unknown to
+        this deployment, or handles whose streams no longer resolve.
+        """
+        from repro.storageapi.streams import parse_handle
+
+        handle = parse_handle(blob)
+        now = self.ctx.clock.now_ms
+        if now > handle.expires_ms:
+            raise SessionExpiredError(
+                f"session {handle.session_id} expired before attach"
+            )
+        session = self._sessions.get(handle.session_id)
+        if session is None:
+            raise StorageApiError(
+                f"unknown session {handle.session_id}: not in this deployment's registry"
+            )
+        if now > session.expires_ms:
+            raise SessionExpiredError(f"session {session.session_id} expired")
+        live = {stream.stream_id for stream in session.streams}
+        missing = [sid for sid in handle.stream_ids if sid not in live]
+        if missing:
+            raise StorageApiError(
+                f"session {session.session_id} has no stream(s) {missing}"
+            )
+        self.ctx.metrics.counter(
+            "repro_readsession_attaches_total",
+            "serialized read-session handles re-attached",
+        ).inc()
+        self.audit.record(
+            session.principal, "read_session.attach",
+            session.table.resource_name, True, "registry",
         )
         return session
 
@@ -640,8 +772,23 @@ class ReadApi:
     # ReadRows
     # ------------------------------------------------------------------
 
-    def read_rows(self, session: ReadSession, stream_index: int) -> Iterator[RecordBatch]:
-        """Stream governed batches from one stream of a session."""
+    def read_rows(
+        self, session: ReadSession, stream_index: int, max_units: int | None = None
+    ) -> Iterator[RecordBatch]:
+        """Stream governed batches from one stream of a session.
+
+        Validation — the fault hazard, session expiry, and the stream
+        index — runs *here*, eagerly at call time, not on first ``next()``
+        of the returned iterator: an expired session or a bad stream index
+        must fail at the call site, not far away wherever the generator is
+        first drained.
+
+        Reads advance the stream's consumption cursor, so a second call
+        resumes where the previous one stopped. ``max_units`` bounds how
+        many units (files; batches for managed tables) this call consumes,
+        letting a consumer interleave progress reports or rebalancing
+        between files; ``None`` drains the stream.
+        """
         self.ctx.faults.check(
             "read_api.read_rows", table=session.table.table_id, stream=stream_index
         )
@@ -656,16 +803,32 @@ class ReadApi:
             row_restriction=session.row_restriction, functions=self.functions,
             tracer=self.ctx.tracer,
         )
+        return self._read_rows_impl(session, stream_index, enforcement, max_units)
+
+    def _read_rows_impl(
+        self, session: ReadSession, stream_index: int, enforcement, max_units: int | None
+    ) -> Iterator[RecordBatch]:
         stream = session.streams[stream_index]
         if session.table.kind is TableKind.MANAGED:
-            batches = self._read_managed_stream(session, stream, enforcement)
+            batches = self._read_managed_stream(session, stream, enforcement, max_units)
         elif session.table.kind is TableKind.OBJECT:
-            batches = self._read_object_stream(session, stream, enforcement)
+            batches = self._read_object_stream(session, stream, enforcement, max_units)
         else:
-            batches = self._read_file_stream(session, stream, enforcement)
+            batches = self._read_file_stream(session, stream, enforcement, max_units)
         if session.aggregates:
-            yield from self._aggregate_stream(session, batches)
-            return
+            batches = self._aggregate_stream(session, batches)
+        else:
+            batches = self._wire_accounted(session, batches)
+        counter = self.ctx.metrics.counter(
+            "repro_readsession_stream_rows_total",
+            "rows returned per read-session stream",
+        )
+        for batch in batches:
+            stream.rows_returned += batch.num_rows
+            counter.inc(batch.num_rows, stream=str(stream.stream_id))
+            yield batch
+
+    def _wire_accounted(self, session: ReadSession, batches) -> Iterator[RecordBatch]:
         for batch in batches:
             self._account_wire(session, batch)
             yield batch
@@ -763,8 +926,14 @@ class ReadApi:
             "source bytes served from the data cache instead of being scanned",
         ).inc(num_bytes)
 
-    def _read_managed_stream(self, session, stream, enforcement) -> Iterator[RecordBatch]:
-        for batch in stream.batches:
+    def _read_managed_stream(
+        self, session, stream, enforcement, max_units=None
+    ) -> Iterator[RecordBatch]:
+        taken = 0
+        while stream.offset < len(stream.batches) and (max_units is None or taken < max_units):
+            batch = stream.batches[stream.offset]
+            stream.offset += 1
+            taken += 1
             session.stats.rows_scanned += batch.num_rows
             session.stats.bytes_scanned += batch.nbytes()
             self._count_scanned(batch.nbytes())
@@ -773,7 +942,9 @@ class ReadApi:
             if out.num_rows:
                 yield out
 
-    def _read_object_stream(self, session, stream, enforcement) -> Iterator[RecordBatch]:
+    def _read_object_stream(
+        self, session, stream, enforcement, max_units=None
+    ) -> Iterator[RecordBatch]:
         """Materialize object-table rows from cached metadata entries.
 
         When the ``data`` column is requested, object contents are fetched
@@ -798,8 +969,12 @@ class ReadApi:
             store = self.stores.store_for(session.table.storage.location)
             self._require_delegated_access(session.table, store)
         chunk = 4096
-        for start in range(0, len(stream.files), chunk):
-            entries = stream.files[start : start + chunk]
+        taken = 0
+        while stream.offset < len(stream.files) and (max_units is None or taken < max_units):
+            take = chunk if max_units is None else min(chunk, max_units - taken)
+            entries = stream.files[stream.offset : stream.offset + take]
+            stream.offset += len(entries)
+            taken += len(entries)
             batch = _object_entries_to_batch(entries)
             self.ctx.charge("object_table.materialize", self.ctx.costs.bigmeta_lookup_ms)
             session.stats.rows_scanned += batch.num_rows
@@ -833,12 +1008,21 @@ class ReadApi:
         column = Column.from_pylist(DataType.BYTES, payloads)
         return batch.with_column(Field("data", DataType.BYTES), column)
 
-    def _read_file_stream(self, session, stream, enforcement) -> Iterator[RecordBatch]:
+    def _read_file_stream(
+        self, session, stream, enforcement, max_units=None
+    ) -> Iterator[RecordBatch]:
         table = session.table
         store = self.stores.store_for(table.storage.location)
         self._require_delegated_access(table, store)
         cache = self.data_cache
-        for entry in stream.files:
+        taken = 0
+        while stream.offset < len(stream.files) and (max_units is None or taken < max_units):
+            # Advance the cursor *before* reading: the file is "started",
+            # so a rebalancer can never move it mid-read. A failed read is
+            # rewound by the caller's progress snapshot, not here.
+            entry = stream.files[stream.offset]
+            stream.offset += 1
+            taken += 1
             bucket, _, key = entry.file_path.partition("/")
             generation = getattr(entry, "generation", 0)
             if (
@@ -1189,13 +1373,18 @@ class ReadApi:
     # ------------------------------------------------------------------
 
     def split_stream(self, session: ReadSession, stream_index: int) -> int:
-        """Split half of a stream's remaining files into a new stream."""
+        """Split half of a stream's *pending* files into a new stream.
+
+        Only not-yet-started files move; anything at or below the
+        consumption cursor stays put so an active consumer never loses a
+        file out from under its current read."""
         stream = session.streams[stream_index]
-        if len(stream.files) < 2:
+        pending = stream.pending_files
+        if len(pending) < 2:
             raise StorageApiError("stream too small to split")
-        half = len(stream.files) // 2
-        moved = stream.files[half:]
-        del stream.files[half:]
+        half = len(pending) // 2
+        moved = pending[half:]
+        del stream.files[stream.offset + half:]
         new_stream = ReadStream(stream_id=len(session.streams), files=moved)
         session.streams.append(new_stream)
         return new_stream.stream_id

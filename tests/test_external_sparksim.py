@@ -8,7 +8,7 @@ from repro.errors import AccessDeniedError
 from repro.external import SparkSim
 from repro.security import DataMaskingRule, MaskingKind, RowAccessPolicy
 
-from tests.helpers import make_platform, setup_sales_lake
+from tests.helpers import SALES_SCHEMA, make_platform, setup_sales_lake
 
 
 @pytest.fixture
@@ -78,6 +78,81 @@ class TestDirectMode:
         spark = SparkSim(platform, mode="direct")
         with pytest.raises(QueryError):
             spark.execute("SELECT a FROM ds.m", power)
+
+
+class TestDirectStreamBalance:
+    """Regression for the old round-robin striping: ``streams[i % count]``
+    handed every large file of an alternating layout to one stream."""
+
+    def _lopsided_lake(self, platform, admin, row_counts):
+        from repro.data import batch_from_pydict
+        from repro.storageapi.fileutil import write_data_file
+
+        store = platform.stores.store_for(platform.config.home_region.location)
+        store.create_bucket("skew")
+        conn = platform.connections.create_connection("ds2.skewconn")
+        platform.connections.grant_lake_access(conn, "skew")
+        platform.iam.grant("connections/ds2.skewconn", Role.CONNECTION_USER, admin)
+        platform.catalog.create_dataset("ds2")
+        for i, count in enumerate(row_counts):
+            rows = {
+                "order_id": list(range(i * 1000, i * 1000 + count)),
+                "region": ["us"] * count,
+                "amount": [1.0] * count,
+                "year": [2023] * count,
+            }
+            write_data_file(
+                store, "skew", f"sales/part-{i:04d}.pqs", SALES_SCHEMA,
+                [batch_from_pydict(SALES_SCHEMA, rows)],
+            )
+        return platform.tables.create_biglake_table(
+            admin, "ds2", "sales", SALES_SCHEMA, "skew", "sales", "ds2.skewconn"
+        )
+
+    def test_direct_striping_balances_lopsided_layout(self, env):
+        platform, admin, _, _ = env
+        # Alternating large/small files: round-robin over 2 streams would
+        # put every large file on stream 0.
+        row_counts = [400, 20] * 4
+        info = self._lopsided_lake(platform, admin, row_counts)
+        power = platform.create_user("skewy", [Role.DATA_VIEWER])
+        platform.iam.grant("buckets/skew", Role.STORAGE_OBJECT_VIEWER, power)
+        from repro.external.sparksim import DirectLakeReader
+
+        session = DirectLakeReader(platform).create_read_session(
+            power, info, max_streams=2
+        )
+        stream_bytes = [
+            sum(e.size_bytes for e in s.files) for s in session.streams
+        ]
+        assert all(b > 0 for b in stream_bytes)
+        greedy_ratio = max(stream_bytes) / min(stream_bytes)
+
+        # What the old code would have produced on the same entries.
+        entries = sorted(
+            (e for s in session.streams for e in s.files),
+            key=lambda e: e.file_path,
+        )
+        rr_bytes = [0, 0]
+        for i, entry in enumerate(entries):
+            rr_bytes[i % 2] += entry.size_bytes
+        rr_ratio = max(rr_bytes) / min(rr_bytes)
+
+        assert greedy_ratio < rr_ratio, (
+            f"striping no better than round-robin: {greedy_ratio:.2f} "
+            f"vs {rr_ratio:.2f}"
+        )
+        assert greedy_ratio <= 1.5, f"streams still skewed {greedy_ratio:.2f}x"
+
+    def test_direct_lopsided_rows_complete(self, env):
+        platform, admin, _, _ = env
+        row_counts = [400, 20] * 4
+        self._lopsided_lake(platform, admin, row_counts)
+        power = platform.create_user("skewy2", [Role.DATA_VIEWER])
+        platform.iam.grant("buckets/skew", Role.STORAGE_OBJECT_VIEWER, power)
+        spark = SparkSim(platform, mode="direct")
+        r = spark.execute("SELECT COUNT(*) FROM ds2.sales", power)
+        assert r.single_value() == sum(row_counts)
 
 
 class TestGovernanceUniformity:

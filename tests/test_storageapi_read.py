@@ -73,6 +73,19 @@ class TestSessions:
         with pytest.raises(StorageApiError):
             list(platform.read_api.read_rows(session, 99))
 
+    def test_read_rows_validates_eagerly(self, env):
+        """Regression: ``read_rows`` used to be a bare generator, so calling
+        it with a bad index or an expired session succeeded silently and the
+        error only surfaced when (if!) the caller started iterating. The
+        call itself must raise."""
+        platform, admin, table, _ = env
+        session = platform.read_api.create_read_session(admin, table)
+        with pytest.raises(StorageApiError):
+            platform.read_api.read_rows(session, 99)  # note: no iteration
+        platform.ctx.clock.advance(7 * 3600 * 1000.0)
+        with pytest.raises(SessionExpiredError):
+            platform.read_api.read_rows(session, 0)
+
     def test_split_stream_rebalances(self, env):
         platform, admin, table, _ = env
         session = platform.read_api.create_read_session(admin, table, max_streams=1)

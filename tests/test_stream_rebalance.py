@@ -1,0 +1,133 @@
+"""StreamRebalancer invariants: only pending files move, and rebalancing
+never changes the returned rows, bytes, or the chaos fault log."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.storageapi.streams import StreamRebalancer, drain_session
+from tests.helpers import make_platform, setup_sales_lake
+
+
+def _session_platform(files=8, rows_per_file=25, max_streams=4):
+    platform, admin = make_platform()
+    info, _ = setup_sales_lake(platform, admin, files=files, rows_per_file=rows_per_file)
+    session = platform.read_api.create_read_session(
+        admin, info, max_streams=max_streams
+    )
+    return platform, session
+
+
+def _lag_target(session):
+    """Lag the stream with the most files (ties → lowest index) so the
+    idle neighbours have pending work worth stealing."""
+    return max(
+        range(len(session.streams)),
+        key=lambda i: (len(session.streams[i].files), -i),
+    )
+
+
+class TestRebalanceMechanics:
+    def test_only_pending_files_move(self):
+        platform, session = _session_platform(files=8, max_streams=2)
+        donor = session.streams[0]
+        started = [e.file_path for e in donor.files[:2]]
+        list(platform.read_api.read_rows(session, 0, max_units=2))
+        rebalancer = StreamRebalancer(session, ctx=platform.ctx)
+        moved = rebalancer.rebalance(to_stream=1)
+        assert moved, "expected the idle stream to steal pending files"
+        moved_paths = {m.file_path for m in moved}
+        assert not moved_paths & set(started), "a started file moved"
+        # The donor keeps its consumed prefix; the cursor still points at
+        # the next unread file.
+        assert [e.file_path for e in donor.files[:2]] == started
+        assert donor.offset == 2
+        assert all(m.from_stream == donor.stream_id for m in moved)
+
+    def test_moves_trailing_half_of_pending(self):
+        platform, session = _session_platform(files=8, max_streams=2)
+        donor = session.streams[0]
+        pending_before = len(donor.pending_files)
+        rebalancer = StreamRebalancer(session, ctx=platform.ctx)
+        moved = rebalancer.rebalance(to_stream=1)
+        assert len(moved) == pending_before - pending_before // 2
+        assert len(donor.pending_files) == pending_before // 2
+
+    def test_no_donor_no_move(self):
+        platform, session = _session_platform(files=4, max_streams=2)
+        for i in range(2):
+            list(platform.read_api.read_rows(session, i))
+        rebalancer = StreamRebalancer(session, ctx=platform.ctx)
+        assert rebalancer.rebalance(to_stream=1) == []
+        assert rebalancer.rebalances == 0
+
+    def test_rebalance_metric(self):
+        platform, session = _session_platform(files=8, max_streams=2)
+        StreamRebalancer(session, ctx=platform.ctx).rebalance(to_stream=1)
+        assert "repro_readsession_rebalances_total 1" in platform.metrics_text()
+
+    def test_union_of_files_preserved(self):
+        platform, session = _session_platform(files=9, max_streams=3)
+        before = sorted(
+            e.file_path for s in session.streams for e in s.files
+        )
+        rebalancer = StreamRebalancer(session, ctx=platform.ctx)
+        rebalancer.rebalance(to_stream=0)
+        rebalancer.rebalance(to_stream=2)
+        after = sorted(e.file_path for s in session.streams for e in s.files)
+        assert after == before
+
+
+class TestResultInvariance:
+    """The tentpole property: rows, bytes, and the fault log are identical
+    with the rebalancer on or off, across seeds and chaos plans."""
+
+    CHAOS = ["consumer.lag:rate=0.3:factor=3"]
+
+    def _drain(self, seed, rebalance, plan=None, lag=None):
+        platform, session = _session_platform(files=10, max_streams=4)
+        blob = session.serialize()
+        if plan is not None:
+            platform.ctx.faults.install(FaultPlan.parse(plan, seed=seed))
+        if lag is None:
+            lag = {_lag_target(session): 4.0}
+        report = drain_session(platform.read_api, blob, rebalance=rebalance, lag=lag)
+        log = [(e.op, e.error) for e in platform.ctx.faults.events]
+        return report, log
+
+    @pytest.mark.parametrize("seed", [1, 7, 13, 29, 101])
+    def test_rows_bytes_faultlog_invariant_under_lag_chaos(self, seed):
+        off, off_log = self._drain(seed, rebalance=False, plan=self.CHAOS)
+        on, on_log = self._drain(seed, rebalance=True, plan=self.CHAOS)
+        assert on.crc == off.crc, "rebalancing changed the returned rows"
+        assert on.rows == off.rows
+        assert on.bytes == off.bytes
+        assert on_log == off_log, "rebalancing perturbed the fault log"
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_rows_invariant_under_transient_read_faults(self, seed):
+        """Transient read_rows faults are retried; the row set still can't
+        depend on the rebalancing schedule (the fault *log* legitimately
+        differs here — read order is schedule-dependent)."""
+        plan = ["read_api.read_rows:rate=0.2:max=10"]
+        off, _ = self._drain(seed, rebalance=False, plan=plan)
+        on, _ = self._drain(seed, rebalance=True, plan=plan)
+        assert on.crc == off.crc
+        assert on.rows == off.rows == 10 * 25
+
+    def test_rebalancing_recovers_lag(self):
+        healthy, _ = self._drain(0, rebalance=False, lag={})
+        off, _ = self._drain(0, rebalance=False)
+        on, _ = self._drain(0, rebalance=True)
+        inflation = off.makespan_ms - healthy.makespan_ms
+        recovered = off.makespan_ms - on.makespan_ms
+        assert inflation > 0
+        assert on.rebalances > 0
+        assert recovered / inflation >= 0.5, (
+            f"recovered only {recovered / inflation:.0%} of lag inflation"
+        )
+
+    def test_rebalancing_never_slower(self):
+        for seed in (0, 5):
+            off, _ = self._drain(seed, rebalance=False)
+            on, _ = self._drain(seed, rebalance=True)
+            assert on.makespan_ms <= off.makespan_ms + 1e-9
