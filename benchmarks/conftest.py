@@ -4,7 +4,7 @@ The benches reuse ``tests.helpers`` scenario builders; a bare ``pytest
 benchmarks/`` invocation only puts ``benchmarks/`` itself on ``sys.path``,
 so the repo root is added here. At session finish, whatever the benches
 recorded via :func:`repro.bench.record_bench` is written to
-``BENCH_PR9.json`` at the repo root (schema documented in EXPERIMENTS.md).
+``BENCH_PR10.json`` at the repo root (schema documented in EXPERIMENTS.md).
 """
 
 import sys
@@ -18,6 +18,6 @@ if _ROOT not in sys.path:
 def pytest_sessionfinish(session, exitstatus):
     from repro.bench import write_bench_report
 
-    written = write_bench_report(str(Path(_ROOT) / "BENCH_PR9.json"))
+    written = write_bench_report(str(Path(_ROOT) / "BENCH_PR10.json"))
     if written:
         print(f"\nbench report written to {written}")

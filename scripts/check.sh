@@ -13,7 +13,10 @@
 # recovery actions, torn-state oracle — plain and under chaos) + the
 # readsession determinism gate (same seed, two processes, byte-identical
 # session-handoff reports — scaling/rebalance legs, row CRCs, consumer
-# timelines — plain and under chaos).
+# timelines — plain and under chaos) + the query-cache coherence gate
+# (warm result-cache hit is byte-identical to the cold run with zero scan
+# and strictly fewer GETs, DML invalidates by keying without flushing,
+# and the walkthrough is byte-identical across processes).
 # Usage: scripts/check.sh  (from the repo root)
 set -euo pipefail
 
@@ -43,9 +46,24 @@ else
     exit 1
 fi
 
+echo "== query-cache coherence gate =="
+# The CLI itself exits non-zero if the warm hit's rows differ from the
+# cold run, the hit scans any bytes or fails to save GETs, or DML serves
+# a stale entry / flushes the tier; diffing two runs pins determinism.
+qc_a="$(mktemp)" qc_b="$(mktemp)"
+trap 'rm -f "$cache_a" "$cache_b" "$qc_a" "$qc_b"' EXIT
+PYTHONPATH=src python -m repro querycache > "$qc_a"
+PYTHONPATH=src python -m repro querycache > "$qc_b"
+if diff -u "$qc_a" "$qc_b"; then
+    echo "querycache run is deterministic"
+else
+    echo "query-cache coherence gate FAILED: two runs produced different reports" >&2
+    exit 1
+fi
+
 echo "== chaos determinism gate =="
 chaos_a="$(mktemp)" chaos_b="$(mktemp)"
-trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b"' EXIT
+trap 'rm -f "$cache_a" "$cache_b" "$qc_a" "$qc_b" "$chaos_a" "$chaos_b"' EXIT
 PYTHONPATH=src python -m repro chaos --suite --seed 1234 --rate 0.05 \
     --json "$chaos_a" >/dev/null
 PYTHONPATH=src python -m repro chaos --suite --seed 1234 --rate 0.05 \
@@ -62,7 +80,7 @@ echo "== scheduler determinism gate =="
 # the query slower; diffing two same-seed reports pins the task timeline
 # (slot placement, straggler draws, backup launches) byte-for-byte.
 sched_a="$(mktemp)" sched_b="$(mktemp)"
-trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b"' EXIT
+trap 'rm -f "$cache_a" "$cache_b" "$qc_a" "$qc_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b"' EXIT
 PYTHONPATH=src python -m repro schedule --seed 1234 --json "$sched_a" >/dev/null
 PYTHONPATH=src python -m repro schedule --seed 1234 --json "$sched_b" >/dev/null
 if diff -u "$sched_a" "$sched_b"; then
@@ -78,7 +96,7 @@ echo "== serve determinism gate =="
 # whole multi-principal run (arrivals, admission order, queue waits,
 # result CRCs) byte-for-byte — with and without the chaos plan.
 serve_a="$(mktemp)" serve_b="$(mktemp)" serve_ca="$(mktemp)" serve_cb="$(mktemp)"
-trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
+trap 'rm -f "$cache_a" "$cache_b" "$qc_a" "$qc_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
     "$serve_a" "$serve_b" "$serve_ca" "$serve_cb"' EXIT
 PYTHONPATH=src python -m repro serve --smoke --seed 1234 --json "$serve_a" >/dev/null
 PYTHONPATH=src python -m repro serve --smoke --seed 1234 --json "$serve_b" >/dev/null
@@ -104,7 +122,7 @@ echo "== monitor determinism gate =="
 # intervals, alert transitions, variance attribution) byte-for-byte —
 # with and without the chaos plan.
 mon_a="$(mktemp)" mon_b="$(mktemp)" mon_ca="$(mktemp)" mon_cb="$(mktemp)"
-trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
+trap 'rm -f "$cache_a" "$cache_b" "$qc_a" "$qc_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
     "$serve_a" "$serve_b" "$serve_ca" "$serve_cb" \
     "$mon_a" "$mon_b" "$mon_ca" "$mon_cb"' EXIT
 PYTHONPATH=src python -m repro monitor --smoke --seed 1234 --json "$mon_a" >/dev/null
@@ -131,7 +149,7 @@ echo "== transaction determinism gate =="
 # conflict losers, crash points, recovery actions, commit timeline)
 # byte-for-byte — with and without the chaos plan.
 txn_a="$(mktemp)" txn_b="$(mktemp)" txn_ca="$(mktemp)" txn_cb="$(mktemp)"
-trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
+trap 'rm -f "$cache_a" "$cache_b" "$qc_a" "$qc_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
     "$serve_a" "$serve_b" "$serve_ca" "$serve_cb" \
     "$mon_a" "$mon_b" "$mon_ca" "$mon_cb" \
     "$txn_a" "$txn_b" "$txn_ca" "$txn_cb"' EXIT
@@ -159,7 +177,7 @@ echo "== readsession determinism gate =="
 # layout, consumer timelines, rebalance moves, row CRCs) byte-for-byte —
 # with and without the chaos plan.
 rs_a="$(mktemp)" rs_b="$(mktemp)" rs_ca="$(mktemp)" rs_cb="$(mktemp)"
-trap 'rm -f "$cache_a" "$cache_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
+trap 'rm -f "$cache_a" "$cache_b" "$qc_a" "$qc_b" "$chaos_a" "$chaos_b" "$sched_a" "$sched_b" \
     "$serve_a" "$serve_b" "$serve_ca" "$serve_cb" \
     "$mon_a" "$mon_b" "$mon_ca" "$mon_cb" \
     "$txn_a" "$txn_b" "$txn_ca" "$txn_cb" \

@@ -21,6 +21,15 @@ Commands:
   Exits non-zero if the warm run's rows differ from the cold run's or if
   the warm run served no bytes from the cache; the output is
   deterministic, so two invocations must be byte-identical.
+* ``querycache`` — plan + query-result cache walkthrough: the demo query
+  cold then warm with ``use_query_cache=True`` (the warm run must return
+  byte-identical rows, report ``cache_hit``, scan zero bytes, and issue
+  strictly fewer object-store GETs), then a DML leg against a managed
+  table proving snapshot-keyed coherence — the INSERT makes the next run
+  a miss with fresh rows while the old entries stay resident (coherence
+  by keying, never flushing). Exits non-zero if any invariant fails; the
+  output is deterministic, so two invocations must be byte-identical
+  (the query-cache coherence gate in ``scripts/check.sh``).
 * ``serve`` — replay a seeded mixed TPC-H/TPC-DS-lite multi-principal
   workload through the async jobs API: jobs arrive with seeded gaps,
   queue under admission control, and share one slot pool fairly across
@@ -373,6 +382,115 @@ def _cache_stats() -> int:
             f"{tier:<11} {entries:>7} {resident:>11,} {capacity:>11,} "
             f"{hits:>6} {misses:>7} {ratio:>10.3f}"
         )
+    return 0
+
+
+def _querycache() -> int:
+    """Plan + result cache walkthrough: cold/warm identity, zero-scan warm
+    hits, and snapshot-keyed DML coherence. Deterministic output:
+    ``scripts/check.sh`` diffs two invocations."""
+    import zlib
+
+    from repro import DataType, Schema
+
+    platform, admin = _build_demo_platform()
+    engine = platform.home_engine
+    metering = platform.ctx.metering
+
+    def gets(delta) -> int:
+        return delta.op_counts.get("object_store.get", 0) + delta.op_counts.get(
+            "object_store.get_range", 0
+        )
+
+    def crc(result) -> int:
+        return zlib.crc32(repr(result.rows()).encode("utf-8"))
+
+    sql = (
+        "SELECT region, COUNT(*) AS n, SUM(amount) AS total "
+        "FROM demo.orders GROUP BY region ORDER BY region"
+    )
+    print(f"-- {sql}\n")
+    before = metering.snapshot()
+    cold = engine.execute(sql, admin, use_query_cache=True)
+    cold_gets = gets(metering.delta_since(before))
+    before = metering.snapshot()
+    warm = engine.execute(sql, admin, use_query_cache=True)
+    warm_gets = gets(metering.delta_since(before))
+    for label, result, n_gets in (("cold", cold, cold_gets), ("warm", warm, warm_gets)):
+        print(
+            f"{label}: cache_hit={result.stats.cache_hit} "
+            f"crc={crc(result):08x} scanned={result.stats.bytes_scanned:,} B "
+            f"gets={n_gets} elapsed={result.stats.elapsed_ms:.2f} ms"
+        )
+    failures = 0
+    if warm.rows() != cold.rows():
+        print("error: warm run returned different rows than cold run", file=sys.stderr)
+        failures += 1
+    if not warm.stats.cache_hit or cold.stats.cache_hit:
+        print("error: expected cold miss then warm hit", file=sys.stderr)
+        failures += 1
+    if warm.stats.bytes_scanned != 0:
+        print("error: warm hit still scanned bytes", file=sys.stderr)
+        failures += 1
+    if not warm_gets < cold_gets:
+        print(
+            f"error: warm run did not issue strictly fewer GETs "
+            f"({warm_gets} vs {cold_gets})",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    # DML coherence leg: a managed (writable) table. The INSERT bumps the
+    # table version, so the cached entry stops being addressed — the next
+    # run is a miss with fresh rows, and nothing is flushed.
+    platform.catalog.create_dataset("sales")
+    platform.tables.create_managed_table(
+        "sales", "totals",
+        Schema.of(("id", DataType.INT64), ("amount", DataType.FLOAT64)),
+    )
+    engine.execute("INSERT INTO sales.totals VALUES (1, 10.0)", admin)
+    dml_sql = "SELECT COUNT(*) AS n, SUM(amount) AS total FROM sales.totals"
+    print(f"\n-- {dml_sql}\n")
+    first = engine.execute(dml_sql, admin, use_query_cache=True)
+    engine.execute("INSERT INTO sales.totals VALUES (2, 5.0)", admin)
+    entries_before = platform.query_cache.snapshot()["result"]["entries"]
+    second = engine.execute(dml_sql, admin, use_query_cache=True)
+    print(
+        f"before INSERT: cache_hit={first.stats.cache_hit} rows={first.rows()}"
+    )
+    print(
+        f"after INSERT:  cache_hit={second.stats.cache_hit} rows={second.rows()} "
+        f"(entries resident before re-run: {entries_before})"
+    )
+    if second.stats.cache_hit or second.rows() == first.rows():
+        print(
+            "error: DML did not invalidate the cached result (stale served)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if entries_before < 1:
+        print(
+            "error: DML flushed the result tier (coherence must be by "
+            "keying, not flushing)",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    print("\ntier    entries  hits  misses  evictions  hit_ratio")
+    rows = engine.execute(
+        "SELECT tier, entries, hits, misses, evictions, hit_ratio "
+        "FROM INFORMATION_SCHEMA.CACHE_STATS WHERE tier = 'plan' "
+        "OR tier = 'result' ORDER BY tier",
+        admin,
+    ).rows()
+    for tier, entries, hits, misses, evictions, ratio in rows:
+        print(
+            f"{tier:<7} {entries:>7} {hits:>5} {misses:>7} {evictions:>10} "
+            f"{ratio:>10.3f}"
+        )
+    if failures:
+        return 1
+    print("\nquery-cache coherence: OK")
     return 0
 
 
@@ -997,8 +1115,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         choices=[
-            "demo", "trace", "jobs", "chaos", "cache-stats", "schedule",
-            "serve", "monitor", "txn", "readsession", "experiments", "info",
+            "demo", "trace", "jobs", "chaos", "cache-stats", "querycache",
+            "schedule", "serve", "monitor", "txn", "readsession",
+            "experiments", "info",
         ],
         nargs="?", default="demo",
     )
@@ -1080,6 +1199,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "cache-stats":
         return _cache_stats()
+    if args.command == "querycache":
+        return _querycache()
     if args.command == "serve":
         return _serve(
             args.seed, args.smoke, args.serve_chaos, args.plan, args.json_path

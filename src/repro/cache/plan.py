@@ -1,0 +1,463 @@
+"""Snapshot-keyed plan and query-result caches (control-plane siblings of
+the slot-local data cache).
+
+Two tiers, both bounded LRUs reusing :class:`~repro.cache.CacheTier`:
+
+* **plan** — optimized physical plans keyed by ``(SQL text, engine
+  identity + planner flags, per-table snapshot digests, principal-policy
+  digest)``. Planning is pure computation on the control plane (it
+  advances no sim clock and consults no fault hazards), so serving a
+  cached plan is invisible to every determinism gate — it is enabled by
+  default.
+* **result** — completed SELECT results keyed like the plan tier plus the
+  requesting principal and the ``snapshot_ms`` time-travel pin. Serving a
+  hit skips the scan entirely (it charges only the cheap
+  ``cache_lookup_ms``), so it *does* change the simulated timeline — it
+  is opt-in per statement via ``use_query_cache=True``.
+
+Coherence is by *keying*, never flushing, exactly like the data cache:
+each referenced table contributes ``(table_id, version, schema
+fingerprint, policy digest)`` to the key. Every data commit — DML,
+transaction commit, BLMT compaction, Iceberg pointer swap, Write API
+flush — bumps :attr:`~repro.metastore.catalog.TableInfo.version`, so
+stale entries simply stop being addressed and age out of the LRU. Policy
+changes alter the policy digest the same way, and a dropped-and-recreated
+table re-resolves to a different digest. Entries are never served across
+principals: the result key carries ``str(principal)`` and a per-table IAM
+read check runs on every hit (a denied principal falls through to a real
+execution, which raises the ordinary access error).
+
+Plans containing TVFs are never cached (handlers are registered per
+engine and models may be mutable); plans over ``INFORMATION_SCHEMA`` are
+plan-cacheable (the plan is static) but never result-cacheable (the
+underlying telemetry changes with every statement).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.cache import CacheTier
+from repro.engine.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    SystemTableNode,
+    TvfNode,
+    UnionAllNode,
+    ValuesNode,
+)
+from repro.errors import ReproError
+from repro.metastore.constraints import ConstraintSet
+
+if TYPE_CHECKING:
+    from repro.data.batch import RecordBatch
+    from repro.data.types import Schema
+    from repro.metastore.catalog import Catalog, TableInfo
+    from repro.security.iam import IamService, Principal
+    from repro.simtime import SimContext
+
+
+@dataclass
+class QueryCacheConfig:
+    """Capacity knobs for the plan and result tiers."""
+
+    # Plan tier: entry-counted LRU (a plan's footprint is a few nodes).
+    plan_enabled: bool = True
+    plan_capacity: int = 256
+    # Result tier: byte-bounded by materialized batch size. Statements opt
+    # in per submit/execute with ``use_query_cache=True``; this flag is the
+    # platform-wide master switch.
+    result_enabled: bool = True
+    result_capacity_bytes: int = 64 * 1024 * 1024
+    result_admission_fraction: float = 0.25
+
+
+# -- snapshot digests ---------------------------------------------------------
+
+
+def policy_digest(table: "TableInfo", principal: "Principal") -> tuple:
+    """A stable fingerprint of what ``principal`` may see of ``table``."""
+    access = table.policies.resolve(principal)
+    return (
+        tuple(access.row_filters),
+        access.row_policies_exist,
+        tuple(sorted(access.denied_columns)),
+        tuple(sorted((c, k.value) for c, k in access.masked_columns.items())),
+    )
+
+
+def table_digest(table: "TableInfo", principal: "Principal") -> tuple:
+    """One table's contribution to a cache key: identity, data version,
+    schema shape, and the principal's effective policy view."""
+    schema_fp = tuple((f.name, f.dtype.name) for f in table.schema)
+    return (table.table_id, table.version, schema_fp, policy_digest(table, principal))
+
+
+# -- plan cloning -------------------------------------------------------------
+
+
+def _clone_plan(node: PlanNode, scans: list[ScanNode]) -> PlanNode | None:
+    """Deep-copy a plan's node shells (ASTs, schemas, and TableInfo refs
+    are shared — they are not mutated at execution) while giving every
+    ScanNode a fresh :class:`ConstraintSet`, because dynamic partition
+    pruning mutates ``runtime_constraints`` in place at run time.
+
+    Returns None for uncacheable plans: any TVF, or a node type this
+    function does not know (fail closed — an unknown node might carry
+    execution-time state).
+    """
+    if isinstance(node, ScanNode):
+        clone = replace(
+            node,
+            columns=list(node.columns),
+            pushed_filters=list(node.pushed_filters),
+            runtime_constraints=ConstraintSet(),
+            pushed_aggregates=list(node.pushed_aggregates),
+        )
+        scans.append(clone)
+        return clone
+    if isinstance(node, (SystemTableNode, ValuesNode)):
+        return node
+    if isinstance(node, TvfNode):
+        return None
+    if isinstance(node, (FilterNode, SortNode, LimitNode, DistinctNode)):
+        child = _clone_plan(node.child, scans)
+        return None if child is None else replace(node, child=child)
+    if isinstance(node, ProjectNode):
+        child = _clone_plan(node.child, scans)
+        if child is None:
+            return None
+        return replace(node, child=child, items=list(node.items))
+    if isinstance(node, AggregateNode):
+        child = _clone_plan(node.child, scans)
+        if child is None:
+            return None
+        return replace(
+            node,
+            child=child,
+            group_items=list(node.group_items),
+            aggregates=list(node.aggregates),
+        )
+    if isinstance(node, JoinNode):
+        left = _clone_plan(node.left, scans)
+        right = _clone_plan(node.right, scans)
+        if left is None or right is None:
+            return None
+        return replace(node, left=left, right=right, equi_keys=list(node.equi_keys))
+    if isinstance(node, UnionAllNode):
+        inputs = [_clone_plan(child, scans) for child in node.inputs]
+        if any(child is None for child in inputs):
+            return None
+        return replace(node, inputs=inputs)
+    return None
+
+
+def _plan_refs(plan: PlanNode) -> tuple[list["TableInfo"], bool] | None:
+    """``(scanned tables, references INFORMATION_SCHEMA)`` for a plan, or
+    None when the plan contains a TVF (uncacheable)."""
+    tables: list["TableInfo"] = []
+    has_system = False
+
+    def walk(node: PlanNode) -> bool:
+        nonlocal has_system
+        if isinstance(node, TvfNode):
+            return False
+        if isinstance(node, ScanNode):
+            tables.append(node.table)
+            return True
+        if isinstance(node, SystemTableNode):
+            has_system = True
+            return True
+        if isinstance(node, ValuesNode):
+            return True
+        if isinstance(node, JoinNode):
+            return walk(node.left) and walk(node.right)
+        if isinstance(node, UnionAllNode):
+            return all(walk(child) for child in node.inputs)
+        child = getattr(node, "child", None)
+        if child is not None:
+            return walk(child)
+        return False
+
+    if not walk(plan):
+        return None
+    return tables, has_system
+
+
+class QueryCache:
+    """The plan + result cache one platform's engines share.
+
+    Lookups are two-step: a side map remembers which tables each SQL text
+    referenced the last time it was planned, those tables are re-resolved
+    *fresh* from the catalog (never from stored references — a dropped or
+    recreated table must not pin its old metadata), and their current
+    digests complete the key. Any table that no longer resolves is a miss.
+
+    Unlike the data cache, neither tier consults fault hazards or (for the
+    plan tier) charges sim time: these caches cannot serve stale data by
+    construction, and the plan tier must stay byte-invisible to seeded
+    chaos runs since it is on by default.
+    """
+
+    def __init__(
+        self,
+        ctx: "SimContext",
+        catalog: "Catalog",
+        config: QueryCacheConfig | None = None,
+        iam: "IamService | None" = None,
+    ) -> None:
+        self.ctx = ctx
+        self.catalog = catalog
+        self.config = config or QueryCacheConfig()
+        self.iam = iam
+        now_fn = lambda: ctx.clock.now_ms  # noqa: E731
+        # Plan entries all count size 1: the tier bound is an entry count.
+        self.plans = CacheTier(
+            "plan", self.config.plan_capacity, 1.0, now_fn=now_fn,
+            on_evict=self._on_evict,
+        )
+        self.results = CacheTier(
+            "result",
+            self.config.result_capacity_bytes,
+            self.config.result_admission_fraction,
+            now_fn=now_fn,
+            on_evict=self._on_evict,
+        )
+        # sql base key -> (dataset, name) refs from the last planning; an
+        # LRU so adversarial unique-SQL streams cannot grow it unbounded.
+        self._refs: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._refs_capacity = max(16, 4 * self.config.plan_capacity)
+
+    # -- metrics ------------------------------------------------------------
+
+    def _count(self, tier: CacheTier, hit: bool, nbytes: int = 0) -> None:
+        metrics = self.ctx.metrics
+        if hit:
+            metrics.counter("repro_cache_hits_total", "data-cache hits").inc(
+                tier=tier.name
+            )
+            if nbytes:
+                metrics.counter(
+                    "repro_cache_bytes_total", "source bytes served from the data cache"
+                ).inc(nbytes, tier=tier.name)
+        else:
+            metrics.counter("repro_cache_misses_total", "data-cache misses").inc(
+                tier=tier.name
+            )
+        metrics.gauge(
+            "repro_cache_resident_bytes", "bytes currently resident per cache tier"
+        ).set(tier.resident_bytes, tier=tier.name)
+
+    def _on_evict(self, tier: CacheTier, reason: str) -> None:
+        self.ctx.metrics.counter(
+            "repro_cache_evictions_total", "data-cache evictions"
+        ).inc(tier=tier.name, reason=reason)
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def _base_key(sql_text: str, engine: Any) -> tuple:
+        """SQL text + everything about the engine that shapes its plans
+        (or could shape results): name, planner flags, execution flags."""
+        return (
+            sql_text,
+            engine.name,
+            engine.use_stats,
+            engine.enable_aggregate_pushdown,
+            engine.enable_dpp,
+            engine.use_row_oriented_reader,
+        )
+
+    def _remember_refs(self, base: tuple, tables: list["TableInfo"]) -> None:
+        self._refs[base] = tuple((t.dataset, t.name) for t in tables)
+        self._refs.move_to_end(base)
+        while len(self._refs) > self._refs_capacity:
+            self._refs.popitem(last=False)
+
+    def _digests(self, base: tuple, principal: "Principal") -> tuple | None:
+        """Current snapshot digests for the tables ``base`` referenced at
+        its last planning — None when unknown or any table is gone."""
+        refs = self._refs.get(base)
+        if refs is None:
+            return None
+        digests = []
+        for dataset, name in refs:
+            try:
+                table = self.catalog.get_table(dataset, name)
+            except ReproError:
+                return None
+            digests.append(table_digest(table, principal))
+        return tuple(digests)
+
+    # -- plan tier ----------------------------------------------------------
+
+    def lookup_plan(
+        self, sql_text: str, engine: Any, principal: "Principal"
+    ) -> PlanNode | None:
+        """A freshly-cloned cached plan for ``sql_text``, or None."""
+        if not self.config.plan_enabled:
+            return None
+        base = self._base_key(sql_text, engine)
+        digests = self._digests(base, principal)
+        if digests is None:
+            self.plans.stats.misses += 1
+            self._count(self.plans, hit=False)
+            return None
+        entry = self.plans.get(base + (digests,))
+        if entry is None:
+            self._count(self.plans, hit=False)
+            return None
+        self._count(self.plans, hit=True)
+        scans: list[ScanNode] = []
+        return _clone_plan(entry[0], scans)
+
+    def store_plan(
+        self, sql_text: str, engine: Any, principal: "Principal", plan: PlanNode
+    ) -> bool:
+        """Admit an optimized plan (a defensive clone of it — the live plan
+        is about to be executed and mutated). Returns True on admission."""
+        if not self.config.plan_enabled:
+            return False
+        scans: list[ScanNode] = []
+        master = _clone_plan(plan, scans)
+        if master is None:
+            return False
+        base = self._base_key(sql_text, engine)
+        self._remember_refs(base, [s.table for s in scans])
+        digests = self._digests(base, principal)
+        if digests is None:
+            return False
+        return self.plans.put(base + (digests,), master, 1)
+
+    # -- result tier --------------------------------------------------------
+
+    def result_key(
+        self,
+        sql_text: str,
+        engine: Any,
+        principal: "Principal",
+        snapshot_ms: float | None,
+        plan: PlanNode,
+    ) -> tuple | None:
+        """The result-cache key for an about-to-run SELECT, or None when it
+        is not result-cacheable (TVFs, INFORMATION_SCHEMA, master switch
+        off, or an unresolvable table)."""
+        if not self.config.result_enabled:
+            return None
+        refs = _plan_refs(plan)
+        if refs is None:
+            return None
+        tables, has_system = refs
+        if has_system:
+            return None
+        base = self._base_key(sql_text, engine)
+        self._remember_refs(base, tables)
+        digests = self._digests(base, principal)
+        if digests is None:
+            return None
+        return base + (digests, str(principal), snapshot_ms)
+
+    def _tables_readable(self, key: tuple, principal: "Principal") -> bool:
+        """Re-check IAM table read access on a hit: a permission revoked
+        after the entry was stored must fall through to real execution
+        (which raises the ordinary access error)."""
+        if self.iam is None:
+            return True
+        from repro.security.iam import Permission
+
+        refs = self._refs.get(key[:6], ())
+        for dataset, name in refs:
+            try:
+                table = self.catalog.get_table(dataset, name)
+            except ReproError:
+                return False
+            decision = self.iam.is_allowed(
+                principal, Permission.TABLES_GET_DATA, table.resource_name
+            )
+            if not decision.allowed:
+                return False
+        return True
+
+    def lookup_result(
+        self, key: tuple, principal: "Principal"
+    ) -> "tuple[Schema, list[RecordBatch], str] | None":
+        """``(schema, batches, plan_text)`` for a cached SELECT, or None.
+        Hits charge one cheap lookup on the sim clock — no scan, no decode."""
+        if not self._tables_readable(key, principal):
+            self.results.stats.misses += 1
+            self._count(self.results, hit=False)
+            return None
+        entry = self.results.get(key)
+        if entry is None:
+            self._count(self.results, hit=False)
+            return None
+        self.ctx.charge("query_cache.hit", self.ctx.costs.cache_lookup_ms)
+        self._count(self.results, hit=True, nbytes=entry[1])
+        schema, batches, plan_text = entry[0]
+        return schema, list(batches), plan_text
+
+    def store_result(
+        self,
+        key: tuple,
+        schema: "Schema",
+        batches: "list[RecordBatch]",
+        plan_text: str,
+    ) -> bool:
+        nbytes = sum(b.nbytes() for b in batches)
+        return self.results.put(
+            key, (schema, tuple(batches), plan_text), max(1, nbytes)
+        )
+
+    # -- reporting ----------------------------------------------------------
+
+    def tiers(self) -> list[CacheTier]:
+        return [self.plans, self.results]
+
+    def stats_rows(self) -> list[tuple]:
+        """Rows for ``INFORMATION_SCHEMA.CACHE_STATS`` (one per tier),
+        schema-compatible with the data cache's rows."""
+        rows = []
+        for tier in self.tiers():
+            s = tier.stats
+            rows.append(
+                (
+                    tier.name,
+                    len(tier),
+                    tier.resident_bytes,
+                    tier.capacity_bytes,
+                    s.hits,
+                    s.misses,
+                    s.evictions,
+                    s.admission_rejects,
+                    s.hit_bytes,
+                    round(s.hit_ratio, 6),
+                )
+            )
+        return rows
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """{tier: counters} for the CLI and benchmarks."""
+        out: dict[str, dict[str, Any]] = {}
+        for tier in self.tiers():
+            s = tier.stats
+            out[tier.name] = {
+                "entries": len(tier),
+                "resident_bytes": tier.resident_bytes,
+                "capacity_bytes": tier.capacity_bytes,
+                "hits": s.hits,
+                "misses": s.misses,
+                "evictions": s.evictions,
+                "admission_rejects": s.admission_rejects,
+                "hit_bytes": s.hit_bytes,
+                "hit_ratio": round(s.hit_ratio, 6),
+            }
+        return out

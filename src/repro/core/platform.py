@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache import CacheConfig, DataCache
+from repro.cache.plan import QueryCache, QueryCacheConfig
 from repro.cloud import Cloud, Region
 from repro.engine.engine import QueryEngine
 from repro.errors import CatalogError
@@ -44,6 +45,10 @@ class PlatformConfig:
     # Slot-local multi-tier data cache (footer/chunk/dictionary tiers);
     # CacheConfig(enabled=False) reproduces the always-cold baseline.
     data_cache: CacheConfig = field(default_factory=CacheConfig)
+    # Plan + query-result caches (snapshot-keyed, coherent by keying).
+    # Plan caching is on by default (invisible to results and timings);
+    # result caching additionally needs use_query_cache=True per statement.
+    query_cache: QueryCacheConfig = field(default_factory=QueryCacheConfig)
     # Concurrency policy for the shared slot pool / async jobs API
     # (admission control seats, inter-stage overlap, per-principal weights).
     serving: ServingConfig = field(default_factory=ServingConfig)
@@ -68,6 +73,9 @@ class LakehousePlatform:
         self.managed = ManagedStorage(self.ctx)
         self.functions = FunctionRegistry()
         self.data_cache = DataCache(self.ctx, self.config.data_cache)
+        self.query_cache = QueryCache(
+            self.ctx, self.catalog, self.config.query_cache, iam=self.iam
+        )
         self.history = JobHistory(capacity=self.config.job_history_capacity)
         # One admission-control queue + shared slot pool per project: every
         # engine's execute()/submit() routes through it (the async jobs
@@ -90,6 +98,7 @@ class LakehousePlatform:
             metrics=self.ctx.metrics,
             cache=self.data_cache,
             monitor=self.monitor,
+            query_cache=self.query_cache,
         )
         self.read_api = ReadApi(
             catalog=self.catalog,
@@ -164,6 +173,7 @@ class LakehousePlatform:
         engine.history = self.history
         engine.system_tables = self.system_tables
         engine.job_queue = self.job_queue
+        engine.query_cache = self.query_cache
         if self.job_queue.default_engine is None:
             self.job_queue.default_engine = engine
 
@@ -235,13 +245,14 @@ class LakehousePlatform:
 
     # -- serving -----------------------------------------------------------------
 
-    def submit(self, sql: str, principal: Principal, *, engine: QueryEngine | None = None, snapshot_ms: float | None = None):
+    def submit(self, sql: str, principal: Principal, *, engine: QueryEngine | None = None, snapshot_ms: float | None = None, use_query_cache: bool = False):
         """``jobs.insert``: enqueue a statement on the shared slot pool and
         return its :class:`~repro.serving.jobs.QueryJob` handle. The job
         stays PENDING (visible in ``INFORMATION_SCHEMA.JOBS``) until a
         ``wait()``/``drain()`` runs the queued batch."""
         return self.job_queue.submit(
-            sql, principal, engine=engine or self.home_engine, snapshot_ms=snapshot_ms
+            sql, principal, engine=engine or self.home_engine, snapshot_ms=snapshot_ms,
+            use_query_cache=use_query_cache,
         )
 
     def drain(self) -> None:

@@ -62,6 +62,7 @@ class QueryStats:
     retry_count: int = 0  # transient-failure retries spent on this query
     degraded: bool = False  # True when any fallback path served the query
     cache_hit_bytes: int = 0  # source bytes served from the data cache
+    cache_hit: bool = False  # True when the query-result cache served this query
     # Per-stage scan accounting (one entry per scan operator); stage-less
     # callers (e.g. ML batch scoring) keep bumping scan_work_ms/scan_tasks
     # directly and are finalized under the legacy wave model.
@@ -303,6 +304,9 @@ class QueryEngine:
         # admission-control queue + slot pool per project); bare engines
         # lazily get a private queue so execute() has a single code path.
         self.job_queue = None  # repro.serving.jobs.JobQueue
+        # The platform's plan/result cache (repro.cache.plan.QueryCache);
+        # a bare engine has none and simply replans every statement.
+        self.query_cache = None
         # Root span of the most recent _execute_statement call (survives
         # exceptions so the queue can attach traces to failed jobs).
         self._last_root = None
@@ -377,6 +381,7 @@ class QueryEngine:
         principal: Principal,
         *,
         snapshot_ms: float | None = None,
+        use_query_cache: bool = False,
     ) -> QueryResult:
         """The single query entry point: SELECT (string or AST) and DML.
 
@@ -399,7 +404,8 @@ class QueryEngine:
         single lifecycle/history/metrics code path for both styles.
         """
         return self.submit(
-            sql_or_select, principal, snapshot_ms=snapshot_ms
+            sql_or_select, principal, snapshot_ms=snapshot_ms,
+            use_query_cache=use_query_cache,
         ).wait()
 
     def submit(
@@ -408,6 +414,7 @@ class QueryEngine:
         principal: Principal,
         *,
         snapshot_ms: float | None = None,
+        use_query_cache: bool = False,
     ):
         """``jobs.insert``: enqueue a statement, return its
         :class:`~repro.serving.jobs.QueryJob` handle (PENDING until a
@@ -417,7 +424,8 @@ class QueryEngine:
 
             self.job_queue = JobQueue(default_engine=self)
         return self.job_queue.submit(
-            sql_or_select, principal, engine=self, snapshot_ms=snapshot_ms
+            sql_or_select, principal, engine=self, snapshot_ms=snapshot_ms,
+            use_query_cache=use_query_cache,
         )
 
     def _execute_statement(
@@ -426,12 +434,20 @@ class QueryEngine:
         principal: Principal,
         kind: str,
         snapshot_ms: float | None = None,
+        sql_text: str | None = None,
+        use_query_cache: bool = False,
     ) -> QueryResult:
         """Run one already-validated statement under the root ``query``
         span — the execution half of the old execute(). Lifecycle, job
         history, and query metrics live in :class:`repro.serving.JobQueue`;
         the root span is kept on ``self._last_root`` (even on failure) so
-        the queue can attach traces to failed jobs."""
+        the queue can attach traces to failed jobs.
+
+        ``sql_text`` (the original statement text; None when the caller
+        submitted an AST) keys the plan and result caches. Plan-cache use
+        is automatic; the result cache additionally requires the caller's
+        ``use_query_cache=True`` opt-in.
+        """
         tracer = self.ctx.tracer
         self._last_root = None
         with tracer.span(
@@ -439,14 +455,54 @@ class QueryEngine:
         ) as root:
             self._last_root = root
             if isinstance(statement, ast.Select):
-                result = self._run_plan(
-                    self.plan(statement), principal, snapshot_ms=snapshot_ms,
-                    finalize=False,
+                result = self._execute_select(
+                    statement, principal, snapshot_ms, sql_text, use_query_cache
                 )
             else:
                 result = self.dml_handler.execute_dml(statement, self, principal)
         if tracer.enabled:
             result.trace = root
+        return result
+
+    def _execute_select(
+        self,
+        statement: ast.Select,
+        principal: Principal,
+        snapshot_ms: float | None,
+        sql_text: str | None,
+        use_query_cache: bool,
+    ) -> QueryResult:
+        """Plan (through the plan cache) and run one SELECT, serving and
+        populating the query-result cache when the caller opted in."""
+        cache = self.query_cache
+        if cache is None or sql_text is None:
+            plan = self.plan(statement)
+        else:
+            plan = cache.lookup_plan(sql_text, self, principal)
+            if plan is None:
+                plan = self.plan(statement)
+                cache.store_plan(sql_text, self, principal, plan)
+        result_key = None
+        if use_query_cache and cache is not None and sql_text is not None:
+            result_key = cache.result_key(
+                sql_text, self, principal, snapshot_ms, plan
+            )
+            if result_key is not None:
+                served = cache.lookup_result(result_key, principal)
+                if served is not None:
+                    schema, batches, plan_text = served
+                    stats = QueryStats(cache_hit=True)
+                    return QueryResult(
+                        schema=schema, batches=batches, stats=stats,
+                        plan_text=plan_text,
+                    )
+        result = self._run_plan(
+            plan, principal, snapshot_ms=snapshot_ms, finalize=False
+        )
+        if result_key is not None:
+            cache.store_result(
+                result_key, result.schema, result.batches, result.plan_text
+            )
         return result
 
     def query(

@@ -313,9 +313,17 @@ def _execute_values(node: ValuesNode, ctx: ExecContext) -> list[RecordBatch]:
         # FROM-less SELECT: one placeholder row; projections evaluate
         # literals against it.
         return [_one_row_batch()]
-    binder = Binder(Schema(()), ctx.engine.functions)
+    binder = None
     rows = []
     for row_exprs in node.rows:
+        # Plain literals (the overwhelmingly common INSERT ... VALUES case)
+        # skip the bind/evaluate machinery entirely; typed literals
+        # (DATE/TIMESTAMP hints) still need the binder's conversion.
+        if all(isinstance(e, ast.Literal) and e.type_hint is None for e in row_exprs):
+            rows.append(tuple(e.value for e in row_exprs))
+            continue
+        if binder is None:
+            binder = Binder(Schema(()), ctx.engine.functions)
         one = _one_row_batch()
         rows.append(tuple(evaluate(binder.bind(e), one)[0] for e in row_exprs))
     return [batch_from_rows(node.schema, rows)]
@@ -351,8 +359,167 @@ def _execute_union(node: UnionAllNode, ctx: ExecContext) -> list[RecordBatch]:
     return out
 
 
+# --------------------------------------------------------------------------
+# Row-key factorization (shared by join / DISTINCT / GROUP BY)
+#
+# Multi-column keys are reduced to one int64 code per row via np.unique so
+# that equal codes correspond *exactly* to key tuples that compare equal
+# under the naive python semantics (NULL == NULL, NULL != any value). When
+# that equivalence cannot be guaranteed — NaN values (python tuples keep
+# distinct NaN objects apart, np.unique collapses them), non-comparable
+# object values, or mismatched key dtypes — the helpers return None and
+# the caller falls back to the retained naive row-at-a-time path, which
+# doubles as the property-test reference.
+# --------------------------------------------------------------------------
+
+
+def _column_codes(columns: list[Column]) -> np.ndarray | None:
+    """Factorize the concatenation of same-position key columns to codes.
+
+    Valid values get codes >= 0 (equal value <=> equal code, shared across
+    all the given columns); NULLs get -1. Returns None when python-tuple
+    equality semantics cannot be reproduced with np.unique.
+    """
+    first_dtype = columns[0].dtype
+    for col in columns[1:]:
+        if col.dtype is not first_dtype:
+            return None
+    if len(columns) == 1:
+        vals, valid = columns[0].values, columns[0].is_valid()
+    else:
+        vals = np.concatenate([c.values for c in columns])
+        valid = np.concatenate([c.is_valid() for c in columns])
+    codes = np.full(len(vals), -1, dtype=np.int64)
+    sub = vals[valid]
+    if sub.size:
+        if sub.dtype.kind == "f" and np.isnan(sub).any():
+            return None
+        try:
+            _, inverse = np.unique(sub, return_inverse=True)
+        except TypeError:
+            return None
+        codes[valid] = inverse
+    return codes
+
+
+def _combine_codes(code_arrays: list[np.ndarray]) -> np.ndarray:
+    """Fold per-column codes into one code per row (NULL folds in as 0).
+
+    Each step re-factorizes the running code so magnitudes stay bounded by
+    the row count — no overflow for any realistic batch."""
+    combined = code_arrays[0] + 1
+    for codes in code_arrays[1:]:
+        if combined.size == 0:
+            return combined
+        c = codes + 1
+        _, combined = np.unique(combined, return_inverse=True)
+        combined = combined.astype(np.int64) * (int(c.max()) + 1) + c
+    return combined
+
+
+def _row_codes(columns: list[Column]) -> np.ndarray | None:
+    """One int64 code per row for a multi-column key; None -> fall back."""
+    code_arrays = []
+    for col in columns:
+        codes = _column_codes([col])
+        if codes is None:
+            return None
+        code_arrays.append(codes)
+    return _combine_codes(code_arrays)
+
+
+def _join_key_codes(
+    build_cols: list[Column], probe_cols: list[Column], build_rows: int
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Shared (build_codes, probe_codes) for equi-join keys; None -> naive."""
+    code_arrays = []
+    for bcol, pcol in zip(build_cols, probe_cols):
+        codes = _column_codes([bcol, pcol])
+        if codes is None:
+            return None
+        code_arrays.append(codes)
+    combined = _combine_codes(code_arrays)
+    return combined[:build_rows], combined[build_rows:]
+
+
+def _hash_join_indices(
+    build_codes: np.ndarray,
+    probe_codes: np.ndarray,
+    build_valid: np.ndarray,
+    probe_valid: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized equi-join match enumeration.
+
+    Emits (probe_indices, build_indices) in probe-major order with build
+    indices ascending within each probe row — the exact order the naive
+    dict-of-lists build/probe loops produce."""
+    build_rows = np.flatnonzero(build_valid)
+    order = np.argsort(build_codes[build_rows], kind="stable")
+    sorted_codes = build_codes[build_rows][order]
+    sorted_build = build_rows[order]
+    probe_rows = np.flatnonzero(probe_valid)
+    pcodes = probe_codes[probe_rows]
+    left = np.searchsorted(sorted_codes, pcodes, side="left")
+    right = np.searchsorted(sorted_codes, pcodes, side="right")
+    counts = right - left
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    probe_indices = np.repeat(probe_rows, counts)
+    # Per-match offset into each probe row's [left, right) run of builds.
+    segment_starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(segment_starts, counts)
+    build_indices = sorted_build[np.repeat(left, counts) + within]
+    return probe_indices.astype(np.int64), build_indices.astype(np.int64)
+
+
+def _hash_join_indices_naive(
+    build_key_cols: list[Column],
+    probe_key_cols: list[Column],
+    build_valid: np.ndarray,
+    probe_valid: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Retained dict-of-lists reference (fallback + property-test oracle)."""
+    table: dict[tuple, list[int]] = {}
+    build_key_lists = [c.to_pylist() for c in build_key_cols]
+    for i in range(len(build_valid)):
+        if not build_valid[i]:
+            continue
+        table.setdefault(tuple(lst[i] for lst in build_key_lists), []).append(i)
+    probe_key_lists = [c.to_pylist() for c in probe_key_cols]
+    probe_indices: list[int] = []
+    build_indices: list[int] = []
+    for i in range(len(probe_valid)):
+        matches = (
+            table.get(tuple(lst[i] for lst in probe_key_lists)) if probe_valid[i] else None
+        )
+        if matches:
+            for j in matches:
+                probe_indices.append(i)
+                build_indices.append(j)
+    return (
+        np.asarray(probe_indices, dtype=np.int64),
+        np.asarray(build_indices, dtype=np.int64),
+    )
+
+
 def _execute_distinct(node: DistinctNode, ctx: ExecContext) -> list[RecordBatch]:
     batches = execute_plan(node.child, ctx)
+    if not batches:
+        return []
+    combined = concat_batches(node.child.schema, batches)
+    if combined.num_rows == 0:
+        return []
+    codes = _row_codes(list(combined.columns))
+    if codes is None:
+        return _distinct_naive(node, batches)
+    _, first_index = np.unique(codes, return_index=True)
+    first_index.sort()  # first-seen row order, as the naive set preserves
+    return [combined.take(first_index.astype(np.int64))]
+
+
+def _distinct_naive(node: DistinctNode, batches: list[RecordBatch]) -> list[RecordBatch]:
+    """Retained row-at-a-time reference (fallback + property-test oracle)."""
     seen: set[tuple] = set()
     rows: list[tuple] = []
     for batch in batches:
@@ -424,18 +591,7 @@ def _execute_aggregate(node: AggregateNode, ctx: ExecContext) -> list[RecordBatc
 
     if node.group_items:
         key_columns = [evaluate(binder.bind(expr), combined) for expr, _ in node.group_items]
-        key_lists = [c.to_pylist() for c in key_columns]
-        group_of: dict[tuple, int] = {}
-        gid = np.empty(n, dtype=np.int64)
-        keys_in_order: list[tuple] = []
-        for i in range(n):
-            key = tuple(lst[i] for lst in key_lists)
-            g = group_of.get(key)
-            if g is None:
-                g = len(keys_in_order)
-                group_of[key] = g
-                keys_in_order.append(key)
-            gid[i] = g
+        gid, keys_in_order = _group_keys(key_columns, n)
         num_groups = len(keys_in_order)
         if num_groups == 0:
             return []
@@ -454,6 +610,42 @@ def _execute_aggregate(node: AggregateNode, ctx: ExecContext) -> list[RecordBatc
         arg = evaluate(binder.bind(spec.arg), combined) if spec.arg is not None else None
         out_columns.append(_aggregate(spec, arg, gid, num_groups, n))
     return [RecordBatch(node.schema, out_columns)]
+
+
+def _group_keys(key_columns: list[Column], n: int) -> tuple[np.ndarray, list[tuple]]:
+    """Materialize GROUP BY keys: per-row group ids (numbered in first-seen
+    order) plus each group's key tuple, first-seen order preserved."""
+    codes = _row_codes(key_columns)
+    if codes is None:
+        return _group_keys_naive(key_columns, n)
+    _, first_index, inverse = np.unique(codes, return_index=True, return_inverse=True)
+    # Rank the unique codes by first appearance so gid 0 is the first key
+    # seen, exactly like the naive dict numbering.
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(first_index), dtype=np.int64)
+    rank[order] = np.arange(len(first_index), dtype=np.int64)
+    gid = rank[inverse.reshape(-1)]
+    first_rows = first_index[order].astype(np.int64)
+    rep_lists = [c.take(first_rows).to_pylist() for c in key_columns]
+    keys_in_order = list(zip(*rep_lists)) if rep_lists else []
+    return gid, keys_in_order
+
+
+def _group_keys_naive(key_columns: list[Column], n: int) -> tuple[np.ndarray, list[tuple]]:
+    """Retained row-at-a-time reference (fallback + property-test oracle)."""
+    key_lists = [c.to_pylist() for c in key_columns]
+    group_of: dict[tuple, int] = {}
+    gid = np.empty(n, dtype=np.int64)
+    keys_in_order: list[tuple] = []
+    for i in range(n):
+        key = tuple(lst[i] for lst in key_lists)
+        g = group_of.get(key)
+        if g is None:
+            g = len(keys_in_order)
+            group_of[key] = g
+            keys_in_order.append(key)
+        gid[i] = g
+    return gid, keys_in_order
 
 
 def _aggregate(spec: AggSpec, arg: Column | None, gid: np.ndarray, groups: int, n: int) -> Column:
@@ -580,36 +772,28 @@ def _execute_join(node: JoinNode, ctx: ExecContext) -> list[RecordBatch]:
     probe_key_cols = [evaluate(probe_binder.bind(k), probe) for k in probe_keys]
     _charge_compute(ctx, probe.num_rows, ctx.engine.ctx.costs.join_cpu_us_per_row)
 
-    # Build hash table: key tuple -> row indices.
-    table: dict[tuple, list[int]] = {}
+    # Enumerate matches: factorize the keys to shared int codes and group
+    # the build side with a stable argsort (dict-of-lists retained as the
+    # naive fallback for key types np.unique cannot order faithfully).
     build_valid = np.ones(build.num_rows, dtype=bool)
     for col in build_key_cols:
         build_valid &= col.is_valid()
-    build_key_lists = [c.to_pylist() for c in build_key_cols]
-    for i in range(build.num_rows):
-        if not build_valid[i]:
-            continue
-        table.setdefault(tuple(lst[i] for lst in build_key_lists), []).append(i)
-
     probe_valid = np.ones(probe.num_rows, dtype=bool)
     for col in probe_key_cols:
         probe_valid &= col.is_valid()
-    probe_key_lists = [c.to_pylist() for c in probe_key_cols]
-
-    probe_indices: list[int] = []
-    build_indices: list[int] = []
-    for i in range(probe.num_rows):
-        matches = (
-            table.get(tuple(lst[i] for lst in probe_key_lists)) if probe_valid[i] else None
+    shared = _join_key_codes(build_key_cols, probe_key_cols, build.num_rows)
+    if shared is not None:
+        build_codes, probe_codes = shared
+        probe_idx_array, build_idx_array = _hash_join_indices(
+            build_codes, probe_codes, build_valid, probe_valid
         )
-        if matches:
-            for j in matches:
-                probe_indices.append(i)
-                build_indices.append(j)
+    else:
+        probe_idx_array, build_idx_array = _hash_join_indices_naive(
+            build_key_cols, probe_key_cols, build_valid, probe_valid
+        )
 
-    probe_idx_array = np.asarray(probe_indices, dtype=np.int64)
     probe_taken = probe.take(probe_idx_array)
-    build_taken = build.take(np.asarray(build_indices, dtype=np.int64))
+    build_taken = build.take(build_idx_array)
     if build_is_left:
         joined = _concat_columns(node.schema, build_taken, probe_taken)
     else:
@@ -624,12 +808,13 @@ def _execute_join(node: JoinNode, ctx: ExecContext) -> list[RecordBatch]:
     results = [joined] if joined.num_rows else []
     if node.kind == "LEFT":
         # Probe rows with no *surviving* match get NULL-extended output.
-        matched = set(probe_idx_array.tolist())
-        unmatched_probe = [i for i in range(probe.num_rows) if i not in matched]
+        matched = np.zeros(probe.num_rows, dtype=bool)
+        matched[probe_idx_array] = True
+        unmatched_probe = np.flatnonzero(~matched)
     else:
-        unmatched_probe = []
-    if node.kind == "LEFT" and unmatched_probe:
-        left_rows = probe.take(np.asarray(unmatched_probe, dtype=np.int64))
+        unmatched_probe = np.empty(0, dtype=np.int64)
+    if node.kind == "LEFT" and unmatched_probe.size:
+        left_rows = probe.take(unmatched_probe.astype(np.int64))
         null_right = RecordBatch(
             build_node.schema,
             [Column.nulls(f.dtype, left_rows.num_rows) for f in build_node.schema],
@@ -713,12 +898,6 @@ def _execute_semi_join(node: JoinNode, ctx: ExecContext) -> list[RecordBatch]:
     build_has_null = any(c.null_count() > 0 for c in build_key_cols)
     if node.kind == "ANTI" and build_has_null:
         return []  # NOT IN over a set containing NULL matches nothing
-    key_set: set[tuple] = set()
-    build_lists = [c.to_pylist() for c in build_key_cols]
-    for i in range(build.num_rows):
-        key = tuple(lst[i] for lst in build_lists)
-        if None not in key:
-            key_set.add(key)
 
     if ctx.dpp_enabled and node.kind == "SEMI":
         # Pruning to the build keys is only sound for SEMI: an ANTI join
@@ -731,16 +910,50 @@ def _execute_semi_join(node: JoinNode, ctx: ExecContext) -> list[RecordBatch]:
     probe_key_cols = [evaluate(probe_binder.bind(k), probe) for k in probe_keys]
     _charge_compute(ctx, probe.num_rows, ctx.engine.ctx.costs.join_cpu_us_per_row)
 
+    build_valid = np.ones(build.num_rows, dtype=bool)
+    for col in build_key_cols:
+        build_valid &= col.is_valid()
+    probe_valid = np.ones(probe.num_rows, dtype=bool)
+    for col in probe_key_cols:
+        probe_valid &= col.is_valid()
+    shared = _join_key_codes(build_key_cols, probe_key_cols, build.num_rows)
+    if shared is not None:
+        build_codes, probe_codes = shared
+        in_set = np.isin(probe_codes, build_codes[build_valid])
+        if node.kind == "SEMI":
+            keep = probe_valid & in_set
+        else:
+            keep = probe_valid & ~in_set
+    else:
+        keep = _semi_join_keep_naive(
+            build_key_cols, probe_key_cols, probe.num_rows, node.kind
+        )
+    result = probe.filter(keep)
+    return [result] if result.num_rows else []
+
+
+def _semi_join_keep_naive(
+    build_key_cols: list[Column],
+    probe_key_cols: list[Column],
+    probe_rows: int,
+    kind: str,
+) -> np.ndarray:
+    """Retained row-at-a-time reference (fallback + property-test oracle)."""
+    key_set: set[tuple] = set()
+    build_lists = [c.to_pylist() for c in build_key_cols]
+    for i in range(len(build_lists[0]) if build_lists else 0):
+        key = tuple(lst[i] for lst in build_lists)
+        if None not in key:
+            key_set.add(key)
     probe_lists = [c.to_pylist() for c in probe_key_cols]
-    keep = np.zeros(probe.num_rows, dtype=bool)
-    for i in range(probe.num_rows):
+    keep = np.zeros(probe_rows, dtype=bool)
+    for i in range(probe_rows):
         key = tuple(lst[i] for lst in probe_lists)
         if None in key:
             continue  # NULL keys match nothing in either mode
         matched = key in key_set
-        keep[i] = matched if node.kind == "SEMI" else not matched
-    result = probe.filter(keep)
-    return [result] if result.num_rows else []
+        keep[i] = matched if kind == "SEMI" else not matched
+    return keep
 
 
 def _execute_cross_join(node: JoinNode, ctx: ExecContext) -> list[RecordBatch]:

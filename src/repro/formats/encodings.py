@@ -9,6 +9,13 @@ Encodings implemented:
 Dictionary encoding is layered in :mod:`repro.formats.pqs`: a dictionary
 chunk is a PLAIN-encoded dictionary followed by a (possibly RLE-compressed)
 code array.
+
+The hot-path codecs are vectorized (offset arrays + single-buffer slicing
+instead of per-value ``struct`` calls); the pre-vectorization row-at-a-time
+implementations are retained as ``*_naive`` reference oracles so property
+tests can pin byte-identity. Every decoder validates chunk bounds and
+raises :class:`ExecutionError` on truncation instead of leaking a raw
+``struct.error`` or silently decoding a short payload.
 """
 
 from __future__ import annotations
@@ -34,6 +41,81 @@ def _fixed_numpy_dtype(dtype: DataType) -> np.dtype:
 def encode_plain(column: Column) -> bytes:
     """Serialize a flat column: [n][validity bytes][values]."""
     n = len(column)
+    valid = column.is_valid()
+    parts: list[bytes] = [_U32.pack(n), valid.astype(np.uint8).tobytes()]
+    if column.dtype.is_variable_width:
+        payloads = [
+            v.encode("utf-8") if isinstance(v, str) else bytes(v)
+            for v in column.values[valid]
+        ]
+        if payloads:
+            lengths = np.fromiter(
+                (len(p) for p in payloads), dtype="<u4", count=len(payloads)
+            )
+            length_bytes = memoryview(lengths.tobytes())
+            for k, payload in enumerate(payloads):
+                parts.append(length_bytes[4 * k : 4 * k + 4])
+                parts.append(payload)
+    else:
+        physical = column.values.astype(_fixed_numpy_dtype(column.dtype), copy=False)
+        parts.append(physical.tobytes())
+    return b"".join(parts)
+
+
+def decode_plain(dtype: DataType, buf: bytes) -> Column:
+    """Inverse of :func:`encode_plain`."""
+    nbuf = len(buf)
+    if nbuf < 4:
+        raise ExecutionError("truncated PLAIN chunk")
+    (n,) = _U32.unpack_from(buf, 0)
+    offset = 4
+    if nbuf - offset < n:
+        raise ExecutionError("truncated PLAIN chunk")
+    validity = np.frombuffer(buf, dtype=np.uint8, count=n, offset=offset).astype(bool)
+    offset += n
+    if dtype.is_variable_width:
+        # One bounds-checked pass over the [len][payload] pairs builds the
+        # payload offset array; values are then sliced out of the single
+        # buffer in bulk instead of per-value struct.unpack_from calls.
+        valid_count = int(np.count_nonzero(validity))
+        starts: list[int] = []
+        ends: list[int] = []
+        pos = offset
+        unpack = _U32.unpack_from
+        for _ in range(valid_count):
+            if pos + 4 > nbuf:
+                raise ExecutionError("truncated PLAIN chunk")
+            (length,) = unpack(buf, pos)
+            pos += 4
+            end = pos + length
+            if end > nbuf:
+                raise ExecutionError("truncated PLAIN chunk")
+            starts.append(pos)
+            ends.append(end)
+            pos = end
+        values = np.empty(n, dtype=object)
+        if valid_count:
+            if dtype is DataType.STRING:
+                values[validity] = [
+                    buf[s:e].decode("utf-8") for s, e in zip(starts, ends)
+                ]
+            else:
+                values[validity] = [buf[s:e] for s, e in zip(starts, ends)]
+        return Column(dtype, values, validity)
+    physical = _fixed_numpy_dtype(dtype)
+    if nbuf - offset < n * physical.itemsize:
+        raise ExecutionError("truncated PLAIN chunk")
+    values = np.frombuffer(buf, dtype=physical, count=n, offset=offset)
+    if dtype is DataType.BOOL:
+        values = values.astype(bool)
+    else:
+        values = values.copy()  # frombuffer yields a read-only view
+    return Column(dtype, values, validity)
+
+
+def encode_plain_naive(column: Column) -> bytes:
+    """Pre-vectorization row-at-a-time encoder, retained as a test oracle."""
+    n = len(column)
     parts = [_U32.pack(n), column.is_valid().astype(np.uint8).tobytes()]
     if column.dtype.is_variable_width:
         valid = column.is_valid()
@@ -50,12 +132,16 @@ def encode_plain(column: Column) -> bytes:
     return b"".join(parts)
 
 
-def decode_plain(dtype: DataType, buf: bytes) -> Column:
-    """Inverse of :func:`encode_plain`."""
-    if len(buf) < 4:
+def decode_plain_naive(dtype: DataType, buf: bytes) -> Column:
+    """Pre-vectorization row-at-a-time decoder, retained as a test oracle
+    (with the same truncation bounds checks as :func:`decode_plain`)."""
+    nbuf = len(buf)
+    if nbuf < 4:
         raise ExecutionError("truncated PLAIN chunk")
     (n,) = _U32.unpack_from(buf, 0)
     offset = 4
+    if nbuf - offset < n:
+        raise ExecutionError("truncated PLAIN chunk")
     validity = np.frombuffer(buf, dtype=np.uint8, count=n, offset=offset).astype(bool)
     offset += n
     if dtype.is_variable_width:
@@ -63,18 +149,24 @@ def decode_plain(dtype: DataType, buf: bytes) -> Column:
         for i in range(n):
             if not validity[i]:
                 continue
+            if offset + 4 > nbuf:
+                raise ExecutionError("truncated PLAIN chunk")
             (length,) = _U32.unpack_from(buf, offset)
             offset += 4
+            if offset + length > nbuf:
+                raise ExecutionError("truncated PLAIN chunk")
             payload = buf[offset : offset + length]
             offset += length
             values[i] = payload.decode("utf-8") if dtype is DataType.STRING else payload
         return Column(dtype, values, validity)
     physical = _fixed_numpy_dtype(dtype)
+    if nbuf - offset < n * physical.itemsize:
+        raise ExecutionError("truncated PLAIN chunk")
     values = np.frombuffer(buf, dtype=physical, count=n, offset=offset)
     if dtype is DataType.BOOL:
         values = values.astype(bool)
     else:
-        values = values.copy()  # frombuffer yields a read-only view
+        values = values.copy()
     return Column(dtype, values, validity)
 
 
@@ -85,7 +177,11 @@ def encode_codes_plain(codes: np.ndarray) -> bytes:
 
 
 def decode_codes_plain(buf: bytes) -> np.ndarray:
+    if len(buf) < 4:
+        raise ExecutionError("truncated PLAIN code chunk")
     (n,) = _U32.unpack_from(buf, 0)
+    if len(buf) - 4 < 4 * n:
+        raise ExecutionError("truncated PLAIN code chunk")
     return np.frombuffer(buf, dtype=np.int32, count=n, offset=4).copy()
 
 
@@ -110,8 +206,12 @@ def encode_codes_rle(codes: np.ndarray) -> bytes:
 
 
 def decode_codes_rle(buf: bytes) -> np.ndarray:
+    if len(buf) < 8:
+        raise ExecutionError("truncated RLE chunk")
     (n,) = _U32.unpack_from(buf, 0)
     (num_runs,) = _U32.unpack_from(buf, 4)
+    if len(buf) - 8 < 8 * num_runs:
+        raise ExecutionError("truncated RLE chunk")
     interleaved = np.frombuffer(buf, dtype=np.uint32, count=2 * num_runs, offset=8)
     run_values = interleaved[0::2].view(np.int32)
     run_lengths = interleaved[1::2].astype(np.int64)

@@ -178,6 +178,8 @@ def _encode_chunk(column: Column) -> tuple[str, bytes]:
 def _decode_chunk(dtype: DataType, encoding: str, buf: bytes) -> Column | DictionaryColumn:
     if encoding == ENCODING_PLAIN:
         return encodings.decode_plain(dtype, buf)
+    if len(buf) < 4:
+        raise ExecutionError("truncated dictionary chunk")
     (dict_len,) = _U32.unpack_from(buf, 0)
     dict_bytes = buf[4 : 4 + dict_len]
     code_bytes = buf[4 + dict_len :]

@@ -92,6 +92,9 @@ class JobRecord:
     # and the fraction of all source bytes they represent.
     cache_hit_bytes: int = 0
     cache_hit_ratio: float = 0.0
+    # True when the query-result cache served the whole statement (no scan
+    # ran and no bytes were charged).
+    cache_hit: bool = False
     # Scheduler verdict: max/mean winner task duration, speculative backups
     # launched, and the full per-task timeline (repro.engine.scheduler.
     # TaskRun), which JOBS_TIMELINE exposes as synthetic scheduler rows.

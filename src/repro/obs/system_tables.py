@@ -22,8 +22,9 @@ Tables (all under the ``INFORMATION_SCHEMA`` pseudo-dataset):
   Admin-only (``bigquery.auditLogs.read``); a denied read is itself
   audited.
 * ``METRICS`` — the current metrics-registry snapshot.
-* ``CACHE_STATS`` — one row per data-cache tier (footer / chunk /
-  dictionary): residency, capacity, hit/miss/eviction counters.
+* ``CACHE_STATS`` — one row per cache tier (the data cache's footer /
+  chunk / dictionary plus the query cache's plan / result): residency,
+  capacity, hit/miss/eviction counters.
 * ``RESERVATION_TIMELINE`` — per-interval, per-principal slot occupancy
   from the fleet monitor (slot-ms split scan/compute, queue depth,
   fair-share attainment). Same visibility rule as ``JOBS``: principals
@@ -91,6 +92,8 @@ JOBS_SCHEMA = Schema.of(
     # none) and the stable machine-readable terminal error code.
     ("transaction_id", DataType.STRING),
     ("error_code", DataType.STRING),
+    # Appended: whether the query-result cache served the whole statement.
+    ("cache_hit", DataType.BOOL),
 )
 
 JOBS_TIMELINE_SCHEMA = Schema.of(
@@ -230,6 +233,7 @@ class SystemTables:
         metrics: "MetricsRegistry",
         cache=None,
         monitor=None,
+        query_cache=None,
     ) -> None:
         self.project = project
         self.history = history
@@ -241,6 +245,9 @@ class SystemTables:
         self.metrics = metrics
         # repro.cache.DataCache; None renders CACHE_STATS as empty.
         self.cache = cache
+        # repro.cache.plan.QueryCache; contributes plan/result tier rows
+        # to CACHE_STATS when present.
+        self.query_cache = query_cache
         # repro.obs.monitor.FleetMonitor; None (or disabled) renders the
         # telemetry tables as empty — governance still applies.
         self.monitor = monitor
@@ -309,6 +316,8 @@ class SystemTables:
             rows = self._metrics_rows()
         elif name == "CACHE_STATS":
             rows = self.cache.stats_rows() if self.cache is not None else []
+            if self.query_cache is not None:
+                rows = rows + self.query_cache.stats_rows()
         elif name == "RESERVATION_TIMELINE":
             rows = self._reservation_rows(principal)
         elif name == "METRICS_HISTORY":
@@ -401,6 +410,7 @@ class SystemTables:
                 r.degraded_ms,
                 r.transaction_id,
                 r.error_code,
+                r.cache_hit,
             )
             for r in self._visible_jobs(principal)
         ]

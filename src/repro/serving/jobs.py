@@ -90,6 +90,8 @@ class QueryJob:
         creation_ms: float,
         sql: str,
         snapshot_ms: float | None = None,
+        use_query_cache: bool = False,
+        cache_sql: str | None = None,
     ) -> None:
         self.queue = queue
         self.engine = engine
@@ -98,6 +100,11 @@ class QueryJob:
         self.creation_ms = creation_ms
         self.sql = sql
         self.snapshot_ms = snapshot_ms
+        # Result-cache opt-in plus the cache key text: the original SQL
+        # string, or None when the caller submitted an AST (an AST has no
+        # stable text to key on, so those statements never hit the caches).
+        self.use_query_cache = use_query_cache
+        self.cache_sql = cache_sql
         self.kind = "invalid"
         # Multi-table transaction this statement runs inside ("" if none);
         # stamped from the queue's current_transaction_id at submit.
@@ -204,6 +211,7 @@ class JobQueue:
         *,
         engine: "QueryEngine | None" = None,
         snapshot_ms: float | None = None,
+        use_query_cache: bool = False,
     ) -> QueryJob:
         """``jobs.insert``: parse + validate, reserve a job id, record a
         PENDING job. Validation failures record a FAILED job and raise
@@ -219,6 +227,8 @@ class JobQueue:
         job = QueryJob(
             queue=self, engine=engine, principal=principal, job_id=job_id,
             creation_ms=creation_ms, sql=sql_text, snapshot_ms=snapshot_ms,
+            use_query_cache=use_query_cache,
+            cache_sql=sql_or_select if isinstance(sql_or_select, str) else None,
         )
         job.transaction_id = self.current_transaction_id
         try:
@@ -229,6 +239,13 @@ class JobQueue:
             )
             if isinstance(statement, ast.Select):
                 job.kind = "select"
+            elif use_query_cache:
+                job.kind = type(statement).__name__.lower()
+                from repro.errors import AnalysisError
+
+                raise AnalysisError(
+                    "use_query_cache applies to SELECT statements only"
+                )
             elif snapshot_ms is not None:
                 job.kind = type(statement).__name__.lower()
                 from repro.errors import AnalysisError
@@ -406,7 +423,8 @@ class JobQueue:
         clock_before = ctx.clock.now_ms
         try:
             result = engine._execute_statement(
-                job.statement, job.principal, job.kind, job.snapshot_ms
+                job.statement, job.principal, job.kind, job.snapshot_ms,
+                sql_text=job.cache_sql, use_query_cache=job.use_query_cache,
             )
         except Exception as exc:
             outcomes[key] = {
@@ -595,7 +613,8 @@ class JobQueue:
             audit.current_job_id = job.job_id
         try:
             result = engine._execute_statement(
-                job.statement, job.principal, job.kind, job.snapshot_ms
+                job.statement, job.principal, job.kind, job.snapshot_ms,
+                sql_text=job.cache_sql, use_query_cache=job.use_query_cache,
             )
         except Exception as exc:
             job.state = FAILED
@@ -722,6 +741,7 @@ class JobQueue:
         record.degraded = degraded
         record.cache_hit_bytes = stats.cache_hit_bytes if stats is not None else 0
         record.cache_hit_ratio = stats.cache_hit_ratio if stats is not None else 0.0
+        record.cache_hit = stats.cache_hit if stats is not None else False
         record.task_skew = stats.task_skew if stats is not None else 1.0
         record.speculative_count = stats.speculative_count if stats is not None else 0
         record.task_timeline = list(stats.task_timeline) if stats is not None else []

@@ -215,7 +215,7 @@ class TestCacheObservability:
             admin,
         ).rows()
         by_tier = {tier: (hits, misses, ratio) for tier, hits, misses, ratio in rows}
-        assert set(by_tier) == {"footer", "chunk", "dictionary"}
+        assert set(by_tier) == {"footer", "chunk", "dictionary", "plan", "result"}
         assert by_tier["chunk"][0] > 0
         assert 0.0 < by_tier["chunk"][2] <= 1.0
 

@@ -1,9 +1,11 @@
 """Tests for pqs physical encodings, including hypothesis round trips."""
 
 import numpy as np
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.data import Column, DataType
+from repro.errors import ExecutionError
 from repro.formats import encodings
 
 
@@ -80,3 +82,86 @@ def test_rle_round_trip_property(codes):
     arr = np.asarray(codes, dtype=np.int32)
     out = encodings.decode_codes_rle(encodings.encode_codes_rle(arr))
     assert list(out) == codes
+
+
+class TestTruncation:
+    """Bugfix regression: every strict prefix of a valid chunk must raise
+    ExecutionError — never a raw struct.error / ValueError, and never a
+    silently short decode."""
+
+    @pytest.mark.parametrize(
+        "dtype,items",
+        [
+            (DataType.INT64, [1, None, -5, 2**40]),
+            (DataType.FLOAT64, [1.5, None, -0.25]),
+            (DataType.BOOL, [True, False, None]),
+            (DataType.STRING, ["héllo", "", None, "xyz"]),
+            (DataType.BYTES, [b"\x00\xff", None, b"", b"abc"]),
+        ],
+    )
+    def test_plain_truncation_at_every_offset(self, dtype, items):
+        buf = encodings.encode_plain(Column.from_pylist(dtype, items))
+        full = encodings.decode_plain(dtype, buf)
+        assert full.to_pylist() == items
+        for cut in range(len(buf)):
+            with pytest.raises(ExecutionError):
+                encodings.decode_plain(dtype, buf[:cut])
+            with pytest.raises(ExecutionError):
+                encodings.decode_plain_naive(dtype, buf[:cut])
+
+    def test_codes_plain_truncation_at_every_offset(self):
+        buf = encodings.encode_codes_plain(np.array([3, -1, 0, 7], dtype=np.int32))
+        for cut in range(len(buf)):
+            with pytest.raises(ExecutionError):
+                encodings.decode_codes_plain(buf[:cut])
+
+    def test_codes_rle_truncation_at_every_offset(self):
+        buf = encodings.encode_codes_rle(np.array([0, 0, 1, 1, 1, -1], dtype=np.int32))
+        for cut in range(len(buf)):
+            with pytest.raises(ExecutionError):
+                encodings.decode_codes_rle(buf[:cut])
+
+    def test_short_payload_no_longer_decodes_silently(self):
+        # Chop mid-payload of the last string: the old decoder returned a
+        # short value; now it must raise.
+        col = Column.from_pylist(DataType.STRING, ["aa", "bbbb"])
+        buf = encodings.encode_plain(col)
+        with pytest.raises(ExecutionError, match="truncated PLAIN chunk"):
+            encodings.decode_plain(DataType.STRING, buf[: len(buf) - 2])
+
+
+class TestRleSingleRun:
+    def test_single_run(self):
+        codes = np.full(257, 5, dtype=np.int32)
+        out = encodings.decode_codes_rle(encodings.encode_codes_rle(codes))
+        assert (out == codes).all()
+
+    def test_single_null_run(self):
+        codes = np.full(3, -1, dtype=np.int32)
+        out = encodings.decode_codes_rle(encodings.encode_codes_rle(codes))
+        assert list(out) == [-1, -1, -1]
+
+
+_DTYPE_STRATEGIES = [
+    (DataType.INT64, st.one_of(st.none(), st.integers(-(2**62), 2**62 - 1))),
+    (DataType.FLOAT64, st.one_of(st.none(), st.floats(allow_nan=False, width=64))),
+    (DataType.BOOL, st.one_of(st.none(), st.booleans())),
+    (DataType.STRING, st.one_of(st.none(), st.text(max_size=24))),
+    (DataType.BYTES, st.one_of(st.none(), st.binary(max_size=24))),
+]
+
+
+@pytest.mark.parametrize("dtype,strategy", _DTYPE_STRATEGIES, ids=lambda p: str(p))
+def test_vectorized_plain_matches_naive_property(dtype, strategy):
+    @given(st.lists(strategy, max_size=120))
+    def check(items):
+        col = Column.from_pylist(dtype, items)
+        fast = encodings.encode_plain(col)
+        naive = encodings.encode_plain_naive(col)
+        assert fast == naive  # byte-identical encode, empty columns included
+        out_fast = encodings.decode_plain(dtype, fast)
+        out_naive = encodings.decode_plain_naive(dtype, fast)
+        assert out_fast.to_pylist() == out_naive.to_pylist() == items
+        assert (out_fast.is_valid() == out_naive.is_valid()).all()
+
+    check()
